@@ -1,0 +1,72 @@
+// Ablation: transport model — HTTP/1.1 connection pools vs HTTP/2
+// multiplexing (DESIGN.md §5; the paper's §3 notes Oak "is entirely
+// compatible with such improvements" to the transport).
+//
+// Loads a corpus slice under both transports and compares (a) page load
+// times and (b) Oak's violator detection: the *report contents* change
+// (connection setup amortizes differently) but the relative MAD criterion
+// should keep flagging the same sick servers — Oak is transport-agnostic.
+#include <cstdio>
+#include <set>
+
+#include "browser/browser.h"
+#include "core/violator.h"
+#include "page/corpus.h"
+#include "util/cdf.h"
+#include "workload/harness.h"
+#include "workload/vantage.h"
+
+int main() {
+  using namespace oak;
+  workload::print_banner("Ablation", "HTTP/1.1 pools vs HTTP/2 multiplexing");
+  page::CorpusConfig cfg;
+  cfg.seed = 42;
+  cfg.num_sites = 250;
+  page::Corpus corpus(cfg);
+  auto vps = workload::make_vantage_points(corpus.universe().network(), 5);
+
+  util::Cdf plt_h1, plt_h2, speedup;
+  std::size_t loads = 0, same_violators = 0, h1_total = 0, h2_total = 0;
+  for (const auto& vp : vps) {
+    browser::BrowserConfig c1;
+    c1.use_cache = false;
+    c1.send_report = false;
+    browser::BrowserConfig c2 = c1;
+    c2.use_h2 = true;
+    browser::Browser b1(corpus.universe(), vp.client, c1);
+    browser::Browser b2(corpus.universe(), vp.client, c2);
+    for (std::size_t s = 0; s < corpus.sites().size(); ++s) {
+      const double t = 8 * 3600.0 + double(s);
+      auto l1 = b1.load(corpus.sites()[s].index_url(), t);
+      auto l2 = b2.load(corpus.sites()[s].index_url(), t);
+      plt_h1.add(l1.plt_s);
+      plt_h2.add(l2.plt_s);
+      if (l2.plt_s > 0) speedup.add(l1.plt_s / l2.plt_s);
+      ++loads;
+
+      auto d1 = core::detect_violators(l1.report);
+      auto d2 = core::detect_violators(l2.report);
+      std::set<std::string> v1, v2;
+      for (const auto& v : d1.violators) v1.insert(v.ip);
+      for (const auto& v : d2.violators) v2.insert(v.ip);
+      h1_total += v1.size();
+      h2_total += v2.size();
+      for (const auto& ip : v1) {
+        if (v2.count(ip)) ++same_violators;
+      }
+    }
+  }
+  workload::print_cdf("plt-h1", plt_h1);
+  workload::print_cdf("plt-h2", plt_h2);
+  workload::print_stat("median PLT h1 (s)", plt_h1.quantile(0.5));
+  workload::print_stat("median PLT h2 (s)", plt_h2.quantile(0.5));
+  workload::print_stat("median h1/h2 speedup", speedup.quantile(0.5));
+  workload::print_stat("violators per load h1",
+                       double(h1_total) / double(loads));
+  workload::print_stat("violators per load h2",
+                       double(h2_total) / double(loads));
+  workload::print_stat(
+      "h1 violators also flagged under h2 (agreement)",
+      h1_total == 0 ? 1.0 : double(same_violators) / double(h1_total));
+  return 0;
+}

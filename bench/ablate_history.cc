@@ -1,0 +1,119 @@
+// Ablation: the §4.2.3 rule-history policy (DESIGN.md §5).
+//
+// Scenario: the default provider is moderately degraded and the first
+// alternative is intermittently worse (heavy congestion weather). Compare
+// mean PLT under the paper's min-distance history rule against the two
+// naive baselines. Min-distance should track the better side; always-keep
+// gets stuck on a bad alternate, always-revert thrashes back onto the bad
+// default.
+#include <cstdio>
+
+#include "browser/browser.h"
+#include "core/oak_server.h"
+#include "util/stats.h"
+#include "workload/harness.h"
+
+namespace {
+
+using namespace oak;
+
+double run(core::HistoryMode mode, std::uint64_t seed) {
+  page::WebUniverse universe(net::NetworkConfig{.seed = seed,
+                                                .horizon_s = 7 * 86400.0});
+  net::Network& net = universe.network();
+  net::ServerConfig ocfg;
+  ocfg.name = "origin";
+  net::ServerId origin = net.add_server(ocfg);
+  universe.dns().bind("hist.example.com", net.server(origin).addr());
+
+  // Three peers so the MAD population is meaningful.
+  for (int i = 0; i < 3; ++i) {
+    net::ServerConfig cfg;
+    cfg.name = "peer" + std::to_string(i);
+    universe.dns().bind("peer" + std::to_string(i) + ".net",
+                        net.server(net.add_server(cfg)).addr());
+  }
+  // Default provider: chronically 5x degraded.
+  net::ServerConfig sick;
+  sick.name = "default-provider";
+  sick.chronic_degradation = 5.0;
+  universe.dns().bind("slow.provider.net",
+                      net.server(net.add_server(sick)).addr());
+  // Alternative: healthy baseline but violent congestion weather.
+  net::ServerConfig flaky;
+  flaky.name = "alt-provider";
+  flaky.congestion_rate_per_day = 8.0;
+  flaky.congestion_mean_duration_s = 2 * 3600.0;
+  flaky.congestion_mean_severity = 2.5;  // mild: usually still beats default
+  universe.dns().bind("flaky.provider.net",
+                      net.server(net.add_server(flaky)).addr());
+
+  page::SiteBuilder b(universe, "hist.example.com", origin);
+  for (int i = 0; i < 3; ++i) {
+    b.add_direct("peer" + std::to_string(i) + ".net", "/lib.js",
+                 html::RefKind::kScript, 15'000, page::Category::kCdn);
+  }
+  b.add_direct("slow.provider.net", "/asset.js", html::RefKind::kScript,
+               15'000, page::Category::kAds);
+  page::Site site = b.finish();
+  universe.store().replicate("http://slow.provider.net/asset.js",
+                             "http://flaky.provider.net/asset.js");
+
+  core::OakConfig cfg;
+  cfg.history = mode;
+  // Re-activation takes five fresh violations: a needless revert parks the
+  // user on the sick default for several loads.
+  cfg.policy.default_min_violations = 5;
+  core::OakServer oak(universe, "hist.example.com", cfg);
+  oak.add_rule(core::make_domain_rule("switch", "slow.provider.net",
+                                      {"flaky.provider.net"}));
+  oak.install();
+
+  net::ClientConfig cc;
+  cc.region = net::Region::kNorthAmerica;
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  browser::Browser browser(universe, net.add_client(cc), bc);
+
+  // Phase 1: the alternative is mildly flaky but clearly better than the
+  // chronic default — reverting on every blip is the mistake.
+  // Phase 2 (halfway): the roles flip — the default recovers and the
+  // alternative rots — now clinging to the alternative is the mistake.
+  // The paper's min-distance rule is the only policy that survives both.
+  net::ServerId alt_server =
+      net.server_by_ip(*universe.dns().resolve("flaky.provider.net"));
+  net::ServerId def_server =
+      net.server_by_ip(*universe.dns().resolve("slow.provider.net"));
+  std::vector<double> plts;
+  for (int i = 0; i < 200; ++i) {
+    if (i == 100) {
+      net.server(alt_server).set_chronic_degradation(12.0);
+      net.server(def_server).set_chronic_degradation(1.0);
+    }
+    plts.push_back(browser.load(site.index_url(), i * 1800.0).plt_s);
+  }
+  return util::mean(plts);
+}
+
+}  // namespace
+
+int main() {
+  workload::print_banner("Ablation", "rule-history policy");
+  std::printf("# policy\tmean_PLT_s (lower is better)\n");
+  struct Row {
+    const char* name;
+    core::HistoryMode mode;
+  };
+  for (const Row& row : {Row{"min-distance (paper)",
+                             core::HistoryMode::kMinDistance},
+                         Row{"always-keep", core::HistoryMode::kAlwaysKeep},
+                         Row{"always-revert",
+                             core::HistoryMode::kAlwaysRevert}}) {
+    double total = 0;
+    for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+      total += run(row.mode, seed);
+    }
+    std::printf("%s\t%.4f\n", row.name, total / 3.0);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: the 2·MAD threshold (DESIGN.md §5).
+//
+// On a labeled synthetic workload — reports whose ground truth says exactly
+// which server is degraded (or that none is) — sweep k and report detection
+// power at two fault severities against the per-server false-flag rate.
+// k = 2 (the paper's choice) keeps strong faults near-certain and mild
+// faults likely while flagging few healthy servers.
+#include <cstdio>
+
+#include "core/violator.h"
+#include "util/rng.h"
+#include "workload/harness.h"
+
+namespace {
+
+oak::browser::PerfReport synth_report(oak::util::Rng& rng, int bad,
+                                      double severity) {
+  oak::browser::PerfReport r;
+  const int servers = 8 + int(rng.uniform_int(0, 6));
+  for (int s = 0; s < servers; ++s) {
+    const std::string ip = "10.0.0." + std::to_string(s + 1);
+    const int objects = 2 + int(rng.uniform_int(0, 2));
+    for (int o = 0; o < objects; ++o) {
+      double t = rng.lognormal_median(0.12, 0.20);
+      if (s == bad) t *= severity;
+      r.entries.push_back({"http://h" + std::to_string(s) + ".com/o" +
+                               std::to_string(o),
+                           "h" + std::to_string(s) + ".com", ip, 2000, 0.0,
+                           t});
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace oak;
+  workload::print_banner("Ablation", "MAD threshold k sweep");
+  constexpr int kTrials = 2000;
+
+  std::printf("# k\tTPR@1.5x\tTPR@2.5x\tper-server FPR\n");
+  for (double k : {1.0, 1.5, 2.0, 2.5, 3.0, 4.0}) {
+    util::Rng rng(404);
+    core::DetectorConfig cfg;
+    cfg.k = k;
+    int tp3 = 0, tp6 = 0;
+    long flags = 0, healthy = 0;
+    for (int i = 0; i < kTrials; ++i) {
+      for (double severity : {1.5, 2.5}) {
+        auto pos = synth_report(rng, /*bad=*/0, severity);
+        auto res = core::detect_violators(pos, cfg);
+        for (const auto& v : res.violators) {
+          if (v.ip == "10.0.0.1") {
+            (severity == 1.5 ? tp3 : tp6)++;
+            break;
+          }
+        }
+      }
+      auto neg = synth_report(rng, /*bad=*/-1, 1.0);
+      auto res = core::detect_violators(neg, cfg);
+      healthy += long(res.observations.size());
+      flags += long(res.violators.size());
+    }
+    std::printf("%.1f\t%.4f\t%.4f\t%.4f\n", k, double(tp3) / kTrials,
+                double(tp6) / kTrials, double(flags) / double(healthy));
+  }
+  std::printf(
+      "# paper uses k=2: clear faults (2.5x) near-certain, subtle ones (1.5x)\n"
+      "# mostly caught, while few healthy servers are flagged\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation: the 50 KB small/large split (DESIGN.md §5).
+//
+// Servers serve heterogeneous mixes of tiny beacons (2 KB) and media
+// (400 KB). Oak times small objects and computes throughput for large ones.
+// Pushing the split to an extreme funnels both classes into one metric,
+// where a server's average reflects its size mix rather than its health —
+// false flags rise and subtle faults drown.
+#include <cstdio>
+
+#include "core/violator.h"
+#include "util/rng.h"
+#include "workload/harness.h"
+
+namespace {
+
+// Each server gets a random mix; server `bad` is degraded: `lat_mult` on
+// per-request latency, `bw_div` on transfer rate.
+oak::browser::PerfReport mixed_report(oak::util::Rng& rng, int bad,
+                                      double lat_mult, double bw_div) {
+  oak::browser::PerfReport r;
+  const int servers = 10;
+  for (int s = 0; s < servers; ++s) {
+    const std::string ip = "10.0.0." + std::to_string(s + 1);
+    const std::string host = "h" + std::to_string(s) + ".com";
+    const int beacons = 1 + int(rng.uniform_int(0, 2));
+    const int media = int(rng.uniform_int(0, 3));
+    double lat = rng.lognormal_median(0.08, 0.15);
+    double bw = rng.lognormal_median(2e6, 0.15);  // bytes/sec
+    if (s == bad) {
+      lat *= lat_mult;
+      bw /= bw_div;
+    }
+    for (int b = 0; b < beacons; ++b) {
+      r.entries.push_back({"http://" + host + "/b" + std::to_string(b), host,
+                           ip, 2000, 0,
+                           lat * rng.lognormal_median(1.0, 0.15)});
+    }
+    for (int m = 0; m < media; ++m) {
+      r.entries.push_back({"http://" + host + "/m" + std::to_string(m), host,
+                           ip, 400'000, 0,
+                           lat + 400'000.0 / (bw *
+                                              rng.lognormal_median(1.0, 0.15))});
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace oak;
+  workload::print_banner("Ablation", "small/large object split sweep");
+  constexpr int kTrials = 1500;
+
+  std::printf("# split_KB\tTPR_latency_fault\tTPR_bw_fault\tper-server FPR\n");
+  for (std::uint64_t split_kb : {1ull, 10ull, 50ull, 200ull, 1000ull}) {
+    core::DetectorConfig cfg;
+    cfg.small_threshold_bytes = split_kb * 1024;
+    util::Rng rng(505);
+    int lat_hits = 0, bw_hits = 0;
+    long flags = 0, healthy = 0;
+    for (int i = 0; i < kTrials; ++i) {
+      auto lat_fault = mixed_report(rng, 0, /*lat=*/3.0, /*bw=*/1.0);
+      for (const auto& v : core::detect_violators(lat_fault, cfg).violators) {
+        if (v.ip == "10.0.0.1") {
+          ++lat_hits;
+          break;
+        }
+      }
+      auto bw_fault = mixed_report(rng, 0, 1.0, /*bw=*/3.0);
+      for (const auto& v : core::detect_violators(bw_fault, cfg).violators) {
+        if (v.ip == "10.0.0.1") {
+          ++bw_hits;
+          break;
+        }
+      }
+      auto clean = mixed_report(rng, -1, 1.0, 1.0);
+      auto res = core::detect_violators(clean, cfg);
+      healthy += long(res.observations.size());
+      flags += long(res.violators.size());
+    }
+    std::printf("%llu\t%.3f\t%.3f\t%.3f\n",
+                static_cast<unsigned long long>(split_kb),
+                double(lat_hits) / kTrials, double(bw_hits) / kTrials,
+                double(flags) / double(healthy));
+  }
+  std::printf(
+      "# a mid-range split (the paper's 50KB) catches both fault classes\n"
+      "# with the lowest false-flag rate; extreme splits mix size classes\n"
+      "# into one metric and pay for it in FPR\n");
+  return 0;
+}

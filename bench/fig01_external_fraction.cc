@@ -1,0 +1,32 @@
+// Figure 1: CDF of the fraction of objects with non-origin hostnames across
+// the Alexa Top 500 (paper §2). Paper shape: median ~= 0.75.
+//
+// Sub-domains of the origin are NOT external (the corpus generator serves a
+// share of origin objects from "static.<site>"); the fraction counts
+// objects, not hosts.
+#include <cstdio>
+
+#include "page/corpus.h"
+#include "util/cdf.h"
+#include "workload/harness.h"
+
+int main() {
+  using namespace oak;
+  workload::print_banner("Figure 1",
+                         "fraction of non-origin objects per site");
+  page::CorpusConfig cfg;
+  cfg.seed = 42;
+  cfg.num_sites = 500;
+  page::Corpus corpus(cfg);
+
+  util::Cdf cdf;
+  for (const auto& site : corpus.sites()) {
+    const double ext = static_cast<double>(site.external_object_count());
+    const double total = ext + static_cast<double>(site.origin_object_count);
+    if (total > 0) cdf.add(ext / total);
+  }
+  workload::print_cdf("external-fraction", cdf);
+  workload::print_stat("median external fraction (paper ~0.75)",
+                       cdf.quantile(0.5));
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 9: sensitivity of detection to injected delay, per client profile.
+//
+// A page pulls objects from 5 NA external servers; one server injects a
+// delay swept from 250ms to 5s. For each (profile, delay) we run 20
+// iterations, loading both the Oak-fronted and the default variant of the
+// page, and report the average PLT ratio default/Oak.
+//
+// Paper shape: the NA client (tight baseline spread) triggers the switch
+// from ~0.75s; EU needs >2s; the cross-global AS client only reacts by ~5s —
+// the MAD criterion is relative to each client's own spread. A fourth
+// profile adds the paper's closing remark: the same principle covers
+// "scenarios of reduced functionality, for example when using a mobile
+// device" (§5.1) — a nearby but slow, jittery cellular link behaves like a
+// distant one.
+#include <cstdio>
+
+#include "browser/browser.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workload/harness.h"
+#include "workload/sensitivity.h"
+#include "workload/vantage.h"
+
+int main() {
+  using namespace oak;
+  workload::print_banner("Figure 9", "PLT ratio vs injected delay by profile");
+
+  const std::vector<double> delays = {0.25, 0.5, 0.75, 1.0, 1.5, 2.0,
+                                      2.5,  3.0, 3.5,  4.0, 5.0};
+  constexpr int kIterations = 20;
+
+  // PlanetLab-style vantage points: modest, distance-degraded links and
+  // noisy paths. The absolute spread of object times (and therefore the
+  // detection threshold, in seconds) grows with distance.
+  struct Profile {
+    const char* label;
+    net::Region region;
+    double downlink_bps;
+    double last_mile_rtt_s;
+    double jitter_sigma;
+  };
+  const Profile profiles[] = {
+      {"NA", net::Region::kNorthAmerica, 20e6, 0.020, 0.50},
+      {"EU", net::Region::kEurope, 8e6, 0.030, 0.50},
+      {"AS", net::Region::kAsia, 3e6, 0.045, 0.50},
+      {"NA-mobile", net::Region::kNorthAmerica, 2e6, 0.080, 0.70},
+  };
+
+  for (const Profile& profile : profiles) {
+    std::vector<std::pair<double, double>> series;
+    std::vector<std::pair<double, double>> spread;
+    for (double delay : delays) {
+      // Fresh scenario per delay — Oak starts with no history — but the
+      // same seed across the sweep: one testbed, eleven delay settings.
+      workload::SensitivityScenario scenario(
+          1000 + util::stable_hash(profile.label) % 97);
+      scenario.set_injected_delay(delay);
+      net::ClientConfig cc;
+      cc.name = "client";
+      cc.region = profile.region;
+      cc.jitter_sigma = profile.jitter_sigma;
+      cc.downlink_bps = profile.downlink_bps;
+      cc.last_mile_rtt_s = profile.last_mile_rtt_s;
+      net::ClientId cid = scenario.universe().network().add_client(cc);
+      browser::BrowserConfig bc;
+      bc.use_cache = false;
+      browser::Browser oak_browser(scenario.universe(), cid, bc);
+      browser::Browser def_browser(scenario.universe(), cid, bc);
+
+      std::vector<double> ratios;
+      for (int it = 0; it < kIterations; ++it) {
+        const double t = 3600.0 + it * 120.0;
+        double plt_oak = oak_browser.load(scenario.oak_site_url(), t).plt_s;
+        double plt_def =
+            def_browser.load(scenario.default_site_url(), t).plt_s;
+        ratios.push_back(plt_def / plt_oak);
+      }
+      series.push_back({delay, util::mean(ratios)});
+      spread.push_back({delay, util::stddev(ratios)});
+    }
+    const std::string code = profile.label;
+    workload::print_series("plt-ratio-" + code, series, "delay_s",
+                           "avg default/oak PLT ratio");
+    workload::print_series("plt-ratio-stddev-" + code, spread, "delay_s",
+                           "stddev");
+  }
+  return 0;
+}

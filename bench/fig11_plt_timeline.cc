@@ -1,0 +1,62 @@
+// Figure 11: average PLT ratio (default / Oak) over 3 days on the §5.2
+// benchmark site. The two degraded default servers collapse during their
+// local daytime; Oak, having switched the affected sets to healthy
+// alternates, holds steady.
+//
+// Paper shape: ratio near 1 at night, rising past 10x at the daily peaks,
+// with the same diurnal period every day.
+#include <cstdio>
+
+#include "browser/browser.h"
+#include "util/stats.h"
+#include "workload/benchmark_site.h"
+#include "workload/harness.h"
+#include "workload/vantage.h"
+
+int main() {
+  using namespace oak;
+  workload::print_banner("Figure 11", "avg PLT ratio over 3 days");
+
+  workload::BenchmarkSiteScenario scenario;
+  auto vps =
+      workload::make_vantage_points(scenario.universe().network(), 25);
+
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+
+  constexpr double kInterval = 1800.0;
+  constexpr int kLoads = 144;  // 72 h
+
+  struct Pair {
+    std::unique_ptr<browser::Browser> oak, def;
+  };
+  std::vector<Pair> browsers;
+  for (const auto& vp : vps) {
+    Pair p;
+    p.oak =
+        std::make_unique<browser::Browser>(scenario.universe(), vp.client, bc);
+    p.def =
+        std::make_unique<browser::Browser>(scenario.universe(), vp.client, bc);
+    browsers.push_back(std::move(p));
+  }
+
+  std::vector<std::pair<double, double>> series, spread;
+  for (int i = 0; i < kLoads; ++i) {
+    const double t = i * kInterval;
+    std::vector<double> ratios;
+    for (auto& p : browsers) {
+      double plt_oak = p.oak->load(scenario.oak_site_url(), t).plt_s;
+      double plt_def = p.def->load(scenario.default_site_url(), t).plt_s;
+      ratios.push_back(plt_def / plt_oak);
+    }
+    series.push_back({t / 3600.0, util::mean(ratios)});
+    spread.push_back({t / 3600.0, util::stddev(ratios)});
+  }
+  workload::print_series("plt-ratio", series, "hour", "avg default/oak PLT");
+  workload::print_series("plt-ratio-stddev", spread, "hour", "stddev");
+
+  double peak = 0;
+  for (const auto& [h, r] : series) peak = std::max(peak, r);
+  workload::print_stat("peak daily ratio (paper >10x)", peak);
+  return 0;
+}

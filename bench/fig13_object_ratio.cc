@@ -1,0 +1,44 @@
+// Figure 13: per-object ratio of default load time to the time under Oak's
+// choice, for Oak-protected objects whose rule activated, across the four
+// condition groups.
+//
+// Ratio > 1 means Oak's choice beat the default. Paper shape: H1-Close is
+// near-even (improvement in ~57% of cases — alternates and defaults are
+// comparable when everything is close and healthy); H1-Far ~66%, H2-Close
+// ~80%, H2-Far ~77% improved.
+#include <cstdio>
+
+#include "util/cdf.h"
+#include "workload/existing_experiment.h"
+#include "workload/harness.h"
+
+int main() {
+  using namespace oak;
+  workload::print_banner("Figure 13", "default/oak object-time ratio");
+
+  workload::ExistingExperimentOptions opt;
+  auto result = workload::run_existing_experiment(opt);
+
+  util::Cdf groups[4];
+  const char* names[4] = {"H1-Close", "H1-Far", "H2-Close", "H2-Far"};
+  for (const auto& o : result.outcomes) {
+    if (!o.activated_ever) continue;
+    for (const auto& [path, def] : o.sums[0]) {
+      if (!o.moved_paths.count(path)) continue;  // Oak never redirected it
+      auto it = o.sums[2].find(path);  // the Oak condition
+      if (it == o.sums[2].end() || def.second == 0 || it->second.second == 0) {
+        continue;
+      }
+      const double def_mean = def.first / def.second;
+      const double oak_mean = it->second.first / it->second.second;
+      if (oak_mean <= 0) continue;
+      groups[(o.h2 ? 2 : 0) + (o.close ? 0 : 1)].add(def_mean / oak_mean);
+    }
+  }
+  for (int g = 0; g < 4; ++g) {
+    workload::print_cdf(names[g], groups[g]);
+    workload::print_stat(std::string(names[g]) + " improved fraction (ratio>1)",
+                         groups[g].fraction_at_or_above(1.0));
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 14 (+ Table 3): individual vs. common problems.
+//
+// For every rule on every site, the fraction of that site's users who ever
+// activated it, CDF'd over rules. Paper shape: 80% of rules are activated
+// by no more than ~18% of users (client-specific problems — a resource that
+// is simply far from that user), while a small set of rules fires for large
+// user fractions (provider-wide problems; fonts/ads dominate).
+#include <algorithm>
+#include <cstdio>
+
+#include "util/cdf.h"
+#include "util/strings.h"
+#include "workload/existing_experiment.h"
+#include "workload/harness.h"
+
+int main() {
+  using namespace oak;
+  workload::print_banner("Figure 14", "rule activation by fraction of users");
+
+  workload::ExistingExperimentOptions opt;
+  auto result = workload::run_existing_experiment(opt);
+
+  util::Cdf cdf;
+  struct RuleShare {
+    double share;
+    std::string domain;
+    std::string site;
+  };
+  std::vector<RuleShare> shares;
+  for (const auto& [site, rules] : result.activations) {
+    for (const auto& [domain, users] : rules) {
+      const double share =
+          double(users.size()) / double(result.users_per_site);
+      cdf.add(share);
+      shares.push_back({share, domain, site});
+    }
+  }
+  workload::print_cdf("user-fraction-per-rule", cdf);
+  workload::print_stat("rules below 18% of users (paper ~0.8)",
+                       cdf.fraction_at_or_below(0.18));
+
+  // Table 3: individual (<18%) vs common (>18%) providers.
+  std::sort(shares.begin(), shares.end(),
+            [](const RuleShare& a, const RuleShare& b) {
+              return a.share > b.share;
+            });
+  std::vector<std::vector<std::string>> rows;
+  std::size_t shown = 0;
+  for (const auto& s : shares) {
+    if (s.share <= 0.18) break;
+    rows.push_back({s.domain, util::format("%.0f%%", s.share * 100.0),
+                    s.site, "common"});
+    if (++shown >= 5) break;
+  }
+  std::size_t indiv = 0;
+  for (auto it = shares.rbegin(); it != shares.rend() && indiv < 5; ++it) {
+    if (it->share > 0.18 || it->share == 0.0) continue;
+    rows.push_back({it->domain, util::format("%.0f%%", it->share * 100.0),
+                    it->site, "individual"});
+    ++indiv;
+  }
+  workload::print_table("Table 3: individual vs common providers",
+                        {"Domain", "Activation%", "Site", "Class"}, rows);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 15: distribution of serialized performance-report sizes when an
+// Oak client loads the Alexa Top 500 (paper §6, Overhead).
+//
+// Paper shape: median below 10 KB, worst case ~345 KB; reports upload after
+// the page finishes, off the user-visible critical path.
+#include <cstdio>
+
+#include "page/corpus.h"
+#include "util/cdf.h"
+#include "workload/harness.h"
+#include "workload/survey.h"
+
+int main() {
+  using namespace oak;
+  workload::print_banner("Figure 15", "performance report sizes");
+  page::CorpusConfig cfg;
+  cfg.seed = 42;
+  cfg.num_sites = 500;
+  page::Corpus corpus(cfg);
+  auto vps = workload::make_vantage_points(corpus.universe().network(), 1);
+
+  workload::SurveyOptions opt;
+  opt.start_time = 9 * 3600.0;
+  auto loads = workload::run_outlier_survey(corpus, vps, opt);
+
+  util::Cdf bytes;
+  for (const auto& l : loads) bytes.add(double(l.report_bytes));
+  workload::print_cdf("report-bytes", bytes);
+  workload::print_stat("median report KB (paper <10KB)",
+                       bytes.quantile(0.5) / 1024.0);
+  workload::print_stat("max report KB (paper ~345KB worst case)",
+                       bytes.quantile(1.0) / 1024.0);
+  return 0;
+}

@@ -1,0 +1,213 @@
+// Microbenchmarks (google-benchmark) for Oak's hot paths: the per-report
+// analysis pipeline (grouping + MAD detection + matching) runs on every
+// client report, and the page rewrite runs on every page serve.
+#include <benchmark/benchmark.h>
+
+#include "core/matcher.h"
+#include "core/oak_server.h"
+#include "browser/browser.h"
+#include "http/cookies.h"
+#include "core/modifier.h"
+#include "core/violator.h"
+#include "html/tokenizer.h"
+#include "page/corpus.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace oak;
+
+browser::PerfReport make_report(int servers, int objects_per_server) {
+  util::Rng rng(7);
+  browser::PerfReport r;
+  for (int s = 0; s < servers; ++s) {
+    const std::string ip = "10.0." + std::to_string(s / 256) + "." +
+                           std::to_string(s % 256);
+    const std::string host = "host" + std::to_string(s) + ".cdn.net";
+    for (int o = 0; o < objects_per_server; ++o) {
+      r.entries.push_back(
+          {"http://" + host + "/obj" + std::to_string(o) + ".js", host, ip,
+           static_cast<std::uint64_t>(rng.pareto(1e3, 5e5, 1.2)), 0.0,
+           rng.lognormal_median(0.1, 0.3)});
+    }
+  }
+  return r;
+}
+
+std::string corpus_page() {
+  page::CorpusConfig cfg;
+  cfg.seed = 71;
+  cfg.num_sites = 12;
+  page::Corpus corpus(cfg);
+  return corpus.universe()
+      .store()
+      .find(corpus.sites()[9].index_url())  // an H2 page
+      ->body;
+}
+
+void BM_ViolatorDetection(benchmark::State& state) {
+  auto report = make_report(int(state.range(0)), 4);
+  for (auto _ : state) {
+    auto res = core::detect_violators(report);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ViolatorDetection)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ReportSerialize(benchmark::State& state) {
+  auto report = make_report(int(state.range(0)), 4);
+  for (auto _ : state) {
+    std::string wire = report.serialize();
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_ReportSerialize)->Arg(8)->Arg(64);
+
+void BM_ReportParse(benchmark::State& state) {
+  const std::string wire = make_report(int(state.range(0)), 4).serialize();
+  for (auto _ : state) {
+    auto report = browser::PerfReport::deserialize(wire);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetBytesProcessed(state.iterations() * wire.size());
+}
+BENCHMARK(BM_ReportParse)->Arg(8)->Arg(64);
+
+void BM_MatcherTiers(benchmark::State& state) {
+  static const std::string page = corpus_page();
+  core::Matcher matcher(nullptr);
+  const std::vector<std::string> domains = {"stats.g.doubleclick.net"};
+  for (auto _ : state) {
+    auto tier = matcher.match_text(page, domains);
+    benchmark::DoNotOptimize(tier);
+  }
+  state.SetBytesProcessed(state.iterations() * page.size());
+}
+BENCHMARK(BM_MatcherTiers);
+
+void BM_PageRewrite(benchmark::State& state) {
+  static const std::string page = corpus_page();
+  core::Rule rule = core::make_domain_rule("switch", "stats.g.doubleclick.net",
+                                           {"na.mirror.doubleclick.net"});
+  rule.id = 1;
+  for (auto _ : state) {
+    auto out = core::apply_rules(page, "/index.html", {{&rule, 0}});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * page.size());
+}
+BENCHMARK(BM_PageRewrite);
+
+void BM_Tokenize(benchmark::State& state) {
+  static const std::string page = corpus_page();
+  for (auto _ : state) {
+    auto tokens = html::tokenize(page);
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(state.iterations() * page.size());
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    page::CorpusConfig cfg;
+    cfg.seed = seed++;
+    cfg.num_sites = std::size_t(state.range(0));
+    cfg.num_providers = 80;
+    page::Corpus corpus(cfg);
+    benchmark::DoNotOptimize(corpus.sites().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CorpusGeneration)->Arg(25)->Arg(100)->Unit(benchmark::kMillisecond);
+
+// A full simulated page load including report assembly — the unit of work
+// every figure bench repeats tens of thousands of times.
+void BM_BrowserPageLoad(benchmark::State& state) {
+  static page::Corpus* corpus = [] {
+    page::CorpusConfig cfg;
+    cfg.seed = 71;
+    cfg.num_sites = 12;
+    return new page::Corpus(cfg);
+  }();
+  static net::ClientId cid =
+      corpus->universe().network().add_client(net::ClientConfig{});
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  bc.send_report = false;
+  browser::Browser b(corpus->universe(), cid, bc);
+  double t = 0;
+  for (auto _ : state) {
+    auto res = b.load(corpus->sites()[9].index_url(), t);
+    benchmark::DoNotOptimize(res.plt_s);
+    t += 1.0;
+  }
+}
+BENCHMARK(BM_BrowserPageLoad);
+
+void BM_OakServePersonalizedPage(benchmark::State& state) {
+  static page::Corpus* corpus = [] {
+    page::CorpusConfig cfg;
+    cfg.seed = 72;
+    cfg.num_sites = 12;
+    return new page::Corpus(cfg);
+  }();
+  const page::Site& site = corpus->sites()[9];
+  static core::OakServer* oak = [&] {
+    auto* server =
+        new core::OakServer(corpus->universe(), site.host, core::OakConfig{});
+    // Domain rules for every external host; force-all exercises the full
+    // rewrite path on each serve.
+    std::set<std::string> domains;
+    for (const auto& hu : site.external_hosts) domains.insert(hu.host);
+    for (const auto& d : domains) {
+      server->add_rule(core::make_domain_rule("r-" + d, d, {"alt." + d}));
+    }
+    server->config().force_all_rules = true;
+    return server;
+  }();
+  http::Request req = http::Request::get(site.index_url());
+  req.headers.set("Cookie", std::string(http::kOakUserCookie) + "=bench");
+  for (auto _ : state) {
+    auto resp = oak->handle(req, 0.0);
+    benchmark::DoNotOptimize(resp.body.size());
+  }
+}
+BENCHMARK(BM_OakServePersonalizedPage);
+
+void BM_StateSnapshot(benchmark::State& state) {
+  static page::WebUniverse universe(net::NetworkConfig{.seed = 3,
+                                                       .horizon_s = 0});
+  static core::OakServer* oak = [] {
+    universe.dns().bind("snap.com",
+                        universe.network()
+                            .server(universe.network().add_server({}))
+                            .addr());
+    auto* server = new core::OakServer(universe, "snap.com", {});
+    server->add_rule(core::make_domain_rule("r", "x.net", {"y.net"}));
+    // Populate a few hundred profiles.
+    util::Rng rng(4);
+    for (int u = 0; u < 300; ++u) {
+      browser::PerfReport r;
+      for (int s = 0; s < 6; ++s) {
+        r.entries.push_back({"http://h" + std::to_string(s) + ".net/o",
+                             "h" + std::to_string(s) + ".net",
+                             "10.0.0." + std::to_string(s + 1), 2000, 0,
+                             rng.uniform(0.05, 0.3)});
+      }
+      server->analyze("user" + std::to_string(u), r, double(u));
+    }
+    return server;
+  }();
+  for (auto _ : state) {
+    std::string snap = oak->export_state().dump();
+    benchmark::DoNotOptimize(snap);
+  }
+}
+BENCHMARK(BM_StateSnapshot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

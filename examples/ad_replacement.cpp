@@ -1,0 +1,135 @@
+// Ad replacement: type-1 (remove) and type-3 (different object) rules with
+// sub-rules — the paper's motivating use case of taking control over
+// under-performing third-party advertising.
+//
+// The page carries two ad slots:
+//  * a sidebar iframe from a hopeless ad network -> type-1 rule removes it
+//    outright when it under-performs, plus a sub-rule that swaps the slot's
+//    placeholder class so the layout collapses gracefully;
+//  * a banner script from a slow network -> type-3 rule replaces it with a
+//    house ad (a *different* object from a different provider).
+//
+// Run: build/examples/ad_replacement
+#include <cstdio>
+
+#include "browser/browser.h"
+#include "core/oak_server.h"
+
+using namespace oak;
+
+int main() {
+  page::WebUniverse web(net::NetworkConfig{.seed = 99, .horizon_s = 0});
+  net::Network& net = web.network();
+
+  net::ServerConfig origin_cfg;
+  origin_cfg.name = "origin";
+  const net::ServerId origin = net.add_server(origin_cfg);
+  web.dns().bind("blog.example.net", net.server(origin).addr());
+
+  net::ServerConfig bad_ads;
+  bad_ads.name = "bad-ads";
+  bad_ads.chronic_degradation = 15.0;
+  web.dns().bind("slots.bad-ads.com",
+                 net.server(net.add_server(bad_ads)).addr());
+  net::ServerConfig slow_ads;
+  slow_ads.name = "slow-ads";
+  slow_ads.chronic_degradation = 8.0;
+  web.dns().bind("banner.slow-ads.net",
+                 net.server(net.add_server(slow_ads)).addr());
+  net::ServerConfig house;
+  house.name = "house-ads";
+  web.dns().bind("house.example.net",
+                 net.server(net.add_server(house)).addr());
+  for (int i = 0; i < 5; ++i) {
+    net::ServerConfig peer;
+    peer.name = "peer" + std::to_string(i);
+    web.dns().bind("c" + std::to_string(i) + ".content.net",
+                   net.server(net.add_server(peer)).addr());
+  }
+
+  const std::string sidebar =
+      "<iframe src=\"http://slots.bad-ads.com/sidebar\"></iframe>";
+  const std::string banner =
+      "<script src=\"http://banner.slow-ads.net/banner.js\"></script>";
+  const std::string house_ad =
+      "<img src=\"http://house.example.net/promo.png\"/>";
+
+  page::SiteBuilder builder(web, "blog.example.net", origin);
+  builder.add_markup("<div class=\"sidebar with-ad\">" + sidebar + "</div>");
+  builder.add_markup(banner);
+  // Several objects per content host: averaging keeps the page's MAD tight
+  // enough that the ad providers stand out.
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      builder.add_direct("c" + std::to_string(i) + ".content.net",
+                         "/art" + std::to_string(j) + ".png",
+                         html::RefKind::kImage, 25'000, page::Category::kCdn);
+    }
+  }
+  page::Site site = builder.finish();
+  // Back the ad objects and the house ad.
+  page::WebObject obj;
+  obj.url = "http://slots.bad-ads.com/sidebar";
+  obj.kind = html::RefKind::kFrame;
+  obj.size = 30'000;
+  web.store().put(obj);
+  obj.url = "http://banner.slow-ads.net/banner.js";
+  obj.kind = html::RefKind::kScript;
+  obj.size = 22'000;
+  web.store().put(obj);
+  obj.url = "http://house.example.net/promo.png";
+  obj.kind = html::RefKind::kImage;
+  obj.size = 18'000;
+  web.store().put(obj);
+
+  core::OakServer oak(web, "blog.example.net", core::OakConfig{});
+  // Type 1: drop the sidebar ad; the sub-rule fixes the layout class.
+  core::Rule remove = core::make_removal_rule("drop-sidebar-ad", sidebar);
+  remove.sub_rules.push_back({"sidebar with-ad", "sidebar"});
+  oak.add_rule(remove);
+  // Type 3: swap the banner for a house ad (non-identical object).
+  core::Rule swap;
+  swap.name = "banner-to-house-ad";
+  swap.type = core::RuleType::kAlternativeObject;
+  swap.default_text = banner;
+  swap.alternatives = {house_ad};
+  oak.add_rule(swap);
+  oak.install();
+
+  net::ClientConfig cc;
+  cc.name = "reader";
+  browser::BrowserConfig bcfg;
+  bcfg.use_cache = false;
+  browser::Browser reader(web, net.add_client(cc), bcfg);
+
+  auto before = reader.load(site.index_url(), 0.0);
+  // A couple of loads give Oak reports covering both ad providers (a single
+  // noisy sample can let one of them slip under the 2-MAD bar).
+  reader.load(site.index_url(), 120.0);
+  reader.load(site.index_url(), 240.0);
+  auto after = reader.load(site.index_url(), 360.0);
+  std::printf("before Oak: %.0f ms, %zu objects\n", before.plt_s * 1000,
+              before.report.entries.size());
+  std::printf("after Oak : %.0f ms, %zu objects (%.1fx faster)\n",
+              after.plt_s * 1000, after.report.entries.size(),
+              before.plt_s / after.plt_s);
+  std::printf("sidebar iframe removed : %s\n",
+              after.page_html.find("slots.bad-ads.com") == std::string::npos
+                  ? "yes"
+                  : "no");
+  std::printf("layout class collapsed : %s\n",
+              after.page_html.find("class=\"sidebar\"") != std::string::npos
+                  ? "yes"
+                  : "no");
+  std::printf("banner swapped to house: %s\n",
+              after.page_html.find("house.example.net") != std::string::npos
+                  ? "yes"
+                  : "no");
+  std::printf("\ndecision log:\n");
+  for (const auto& d : oak.decision_log().entries()) {
+    std::printf("  t=%4.0fs %-16s rule=%d violator=%s (%.1f MADs)\n", d.time,
+                core::to_string(d.type).c_str(), d.rule_id,
+                d.violator_ip.c_str(), d.distance);
+  }
+  return 0;
+}

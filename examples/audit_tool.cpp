@@ -1,0 +1,81 @@
+// Offline auditing (paper §6): "examining which rules are being activated by
+// clients enables site operators to determine which components of their
+// sites are performing poorly, effectively using the performance reports of
+// Oak as an offline auditing tool."
+//
+// This tool loads a slice of the corpus from several vantage points, runs
+// violator detection on every report, and prints an operator-facing audit:
+// the worst third-party providers ranked by how often and how severely they
+// under-perform, with their content category.
+//
+// Run: build/examples/audit_tool [num_sites] [num_vantage_points]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "page/corpus.h"
+#include "workload/survey.h"
+
+using namespace oak;
+
+int main(int argc, char** argv) {
+  const std::size_t num_sites =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 80;
+  const std::size_t num_vps =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 10;
+
+  page::CorpusConfig cfg;
+  cfg.seed = 42;
+  cfg.num_sites = num_sites;
+  page::Corpus corpus(cfg);
+  auto vps = workload::make_vantage_points(corpus.universe().network(),
+                                           num_vps);
+
+  workload::SurveyOptions opt;
+  opt.start_time = 10 * 3600.0;
+  auto loads = workload::run_outlier_survey(corpus, vps, opt);
+
+  struct Tally {
+    std::size_t violations = 0;
+    double worst_distance = 0;
+    std::size_t sites = 0;
+  };
+  std::map<std::string, Tally> tally;
+  std::map<std::string, std::set<std::size_t>> sites_hit;
+  std::size_t loads_with_outliers = 0;
+  for (const auto& l : loads) {
+    if (!l.detection.violators.empty()) ++loads_with_outliers;
+    for (const auto& v : l.detection.violators) {
+      for (const auto& d : v.domains) {
+        if (!corpus.provider_of(d)) continue;  // skip origins
+        Tally& t = tally[d];
+        t.violations++;
+        t.worst_distance = std::max(t.worst_distance, v.severity());
+        sites_hit[d].insert(l.site_index);
+      }
+    }
+  }
+  for (auto& [d, t] : tally) t.sites = sites_hit[d].size();
+
+  std::printf("audit: %zu sites x %zu vantage points = %zu loads; "
+              "%.0f%% of loads saw at least one under-performer\n\n",
+              num_sites, num_vps, loads.size(),
+              100.0 * double(loads_with_outliers) / double(loads.size()));
+
+  std::vector<std::pair<std::string, Tally>> ranked(tally.begin(),
+                                                    tally.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second.violations > b.second.violations;
+  });
+
+  std::printf("%-32s %-18s %10s %8s %12s\n", "provider domain", "category",
+              "violations", "sites", "worst (MADs)");
+  for (std::size_t i = 0; i < ranked.size() && i < 15; ++i) {
+    const auto& [domain, t] = ranked[i];
+    std::printf("%-32s %-18s %10zu %8zu %12.1f\n", domain.c_str(),
+                page::to_string(corpus.category_of(domain)).c_str(),
+                t.violations, t.sites, t.worst_distance);
+  }
+  return 0;
+}

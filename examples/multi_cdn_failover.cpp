@@ -1,0 +1,124 @@
+// Multi-CDN failover: rules loaded from the text DSL, multiple alternatives
+// per rule, client-aware selection, and the §4.2.3 history mechanism
+// advancing past a bad first alternative.
+//
+// A news site serves its static assets from "cdn-a". The operator has
+// contracted two backups: cdn-b (which, unknown to them, has a blind spot
+// for European clients) and cdn-c (healthy everywhere). A European user
+// should end up on cdn-c: Oak first switches to cdn-b, observes it is also
+// a violator *and worse than the original violation*, and advances.
+//
+// Run: build/examples/multi_cdn_failover
+#include <cstdio>
+
+#include "browser/browser.h"
+#include "core/oak_server.h"
+#include "core/rule_parser.h"
+
+using namespace oak;
+
+int main() {
+  page::WebUniverse web(net::NetworkConfig{.seed = 7, .horizon_s = 0});
+  net::Network& net = web.network();
+
+  net::ServerConfig origin_cfg;
+  origin_cfg.name = "origin";
+  origin_cfg.region = net::Region::kEurope;
+  const net::ServerId origin = net.add_server(origin_cfg);
+  web.dns().bind("news.example.org", net.server(origin).addr());
+
+  // cdn-a: the default, chronically overloaded.
+  net::ServerConfig a;
+  a.name = "cdn-a";
+  a.region = net::Region::kEurope;
+  a.chronic_degradation = 12.0;
+  web.dns().bind("assets.cdn-a.net", net.server(net.add_server(a)).addr());
+  // cdn-b: fine in general, but its European PoP is broken.
+  net::ServerConfig b;
+  b.name = "cdn-b";
+  b.region = net::Region::kNorthAmerica;
+  b.global_pops = true;
+  b.blind_spot_regions = {net::Region::kEurope};
+  b.blind_spot_penalty = 20.0;
+  web.dns().bind("assets.cdn-b.net", net.server(net.add_server(b)).addr());
+  // cdn-c: healthy.
+  net::ServerConfig c;
+  c.name = "cdn-c";
+  c.region = net::Region::kEurope;
+  c.global_pops = true;
+  web.dns().bind("assets.cdn-c.net", net.server(net.add_server(c)).addr());
+
+  // Peers for a meaningful in-page population.
+  for (int i = 0; i < 4; ++i) {
+    net::ServerConfig peer;
+    peer.name = "peer" + std::to_string(i);
+    peer.region = net::Region::kEurope;
+    web.dns().bind("p" + std::to_string(i) + ".peers.net",
+                   net.server(net.add_server(peer)).addr());
+  }
+
+  page::SiteBuilder builder(web, "news.example.org", origin);
+  builder.add_direct("assets.cdn-a.net", "/bundle.js", html::RefKind::kScript,
+                     45'000, page::Category::kCdn);
+  builder.add_direct("assets.cdn-a.net", "/style.css",
+                     html::RefKind::kStylesheet, 12'000, page::Category::kCdn);
+  for (int i = 0; i < 4; ++i) {
+    builder.add_direct("p" + std::to_string(i) + ".peers.net", "/w.js",
+                       html::RefKind::kScript, 20'000, page::Category::kCdn);
+  }
+  page::Site site = builder.finish();
+  for (const char* path : {"/bundle.js", "/style.css"}) {
+    web.store().replicate(std::string("http://assets.cdn-a.net") + path,
+                          std::string("http://assets.cdn-b.net") + path);
+    web.store().replicate(std::string("http://assets.cdn-a.net") + path,
+                          std::string("http://assets.cdn-c.net") + path);
+  }
+
+  // Rules come from the operator's config file, in the rule DSL. A
+  // domain-wide type-2 rule with a linear alternative list.
+  const std::string rule_file = R"(
+    # Static asset CDN with two contracted backups.
+    rule "asset-cdn" {
+      type: 2
+      default: "assets.cdn-a.net"
+      alt: "assets.cdn-b.net"
+      alt: "assets.cdn-c.net"
+      ttl: 0        # never expires
+      scope: "*"    # site-wide
+    }
+  )";
+  core::OakServer oak(web, "news.example.org", core::OakConfig{});
+  oak.add_rules(core::parse_rules(rule_file));
+  oak.install();
+
+  net::ClientConfig cc;
+  cc.name = "eu-user";
+  cc.region = net::Region::kEurope;
+  browser::BrowserConfig bcfg;
+  bcfg.use_cache = false;
+  browser::Browser user(web, net.add_client(cc), bcfg);
+
+  const char* expect[] = {"assets.cdn-a.net", "assets.cdn-b.net",
+                          "assets.cdn-c.net"};
+  for (int load = 0; load < 4; ++load) {
+    auto res = user.load(site.index_url(), load * 600.0);
+    std::string serving = "?";
+    for (const auto& e : res.report.entries) {
+      if (e.url.find("/bundle.js") != std::string::npos) serving = e.host;
+    }
+    std::printf("load %d: %.0f ms, bundle.js served by %s\n", load + 1,
+                res.plt_s * 1000, serving.c_str());
+    if (load < 3 && serving != expect[load]) {
+      std::printf("  (expected %s at this step)\n", expect[load]);
+    }
+  }
+
+  std::printf("\nOak's decision log:\n");
+  for (const auto& d : oak.decision_log().entries()) {
+    if (d.type == core::DecisionType::kServeModified) continue;
+    std::printf("  t=%5.0fs %-20s alt#%zu violator=%s (%.1f MADs)\n", d.time,
+                core::to_string(d.type).c_str(), d.alternative_index,
+                d.violator_ip.c_str(), d.distance);
+  }
+  return 0;
+}

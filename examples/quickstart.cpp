@@ -1,0 +1,96 @@
+// Quickstart: the smallest complete Oak deployment.
+//
+//  1. Build a simulated web: one site, two interchangeable CDNs (one of
+//     which is chronically slow), a few healthy providers.
+//  2. Put an OakServer in front of the site with a single type-2 rule.
+//  3. Load the page twice from one user and watch Oak switch the slow
+//     provider out after the first performance report.
+//
+// Run: build/examples/quickstart
+#include <cstdio>
+
+#include "browser/browser.h"
+#include "core/oak_server.h"
+
+using namespace oak;
+
+int main() {
+  // --- The web universe: network, DNS, objects.
+  page::WebUniverse web(net::NetworkConfig{.seed = 2024, .horizon_s = 0});
+  net::Network& net = web.network();
+
+  net::ServerConfig origin_cfg;
+  origin_cfg.name = "origin";
+  const net::ServerId origin = net.add_server(origin_cfg);
+  web.dns().bind("shop.example.com", net.server(origin).addr());
+
+  // A chronically slow CDN and a healthy alternative serving identical
+  // content.
+  net::ServerConfig slow_cfg;
+  slow_cfg.name = "slow-cdn";
+  slow_cfg.chronic_degradation = 10.0;
+  web.dns().bind("cdn.slow.net", net.server(net.add_server(slow_cfg)).addr());
+  net::ServerConfig fast_cfg;
+  fast_cfg.name = "fast-cdn";
+  web.dns().bind("cdn.fast.net", net.server(net.add_server(fast_cfg)).addr());
+
+  // Three more healthy providers so the MAD population is meaningful.
+  for (int i = 0; i < 3; ++i) {
+    net::ServerConfig cfg;
+    cfg.name = "peer" + std::to_string(i);
+    web.dns().bind("static" + std::to_string(i) + ".peer.net",
+                   net.server(net.add_server(cfg)).addr());
+  }
+
+  // --- The page: a product page pulling from all of the above.
+  page::SiteBuilder builder(web, "shop.example.com", origin);
+  builder.add_direct("cdn.slow.net", "/app.js", html::RefKind::kScript,
+                     40'000, page::Category::kCdn);
+  for (int i = 0; i < 3; ++i) {
+    builder.add_direct("static" + std::to_string(i) + ".peer.net",
+                       "/lib.js", html::RefKind::kScript, 30'000,
+                       page::Category::kCdn);
+  }
+  page::Site site = builder.finish();
+  // The alternative CDN carries an identical copy (type-2 prerequisite).
+  web.store().replicate("http://cdn.slow.net/app.js",
+                        "http://cdn.fast.net/app.js");
+
+  // --- Oak in front of the site, with one operator rule.
+  core::OakServer oak(web, "shop.example.com", core::OakConfig{});
+  oak.add_rule(core::make_source_rule(
+      "app-js-cdn",
+      "<script src=\"http://cdn.slow.net/app.js\"></script>",
+      {"<script src=\"http://cdn.fast.net/app.js\"></script>"}));
+  oak.install();
+
+  // --- One user, two page loads.
+  net::ClientConfig client_cfg;
+  client_cfg.name = "alice";
+  browser::BrowserConfig bcfg;
+  bcfg.use_cache = false;
+  browser::Browser alice(web, net.add_client(client_cfg), bcfg);
+
+  auto first = alice.load(site.index_url(), /*now=*/0.0);
+  std::printf("first load : %.0f ms  (report: %zu objects, %zu bytes)\n",
+              first.plt_s * 1000, first.report.entries.size(),
+              first.report_bytes);
+
+  const core::UserProfile* profile = oak.profile(first.report.user_id);
+  std::printf("after report: %zu rule(s) active for %s\n",
+              profile->active.size(), first.report.user_id.c_str());
+  for (const auto& d : oak.decision_log().entries()) {
+    std::printf("  decision: %s rule=%d violator=%s distance=%.1f MADs\n",
+                core::to_string(d.type).c_str(), d.rule_id,
+                d.violator_ip.c_str(), d.distance);
+  }
+
+  auto second = alice.load(site.index_url(), /*now=*/300.0);
+  std::printf("second load: %.0f ms  (%.1fx faster)\n", second.plt_s * 1000,
+              first.plt_s / second.plt_s);
+  const bool switched =
+      second.page_html.find("cdn.fast.net") != std::string::npos;
+  std::printf("page now references: %s\n",
+              switched ? "cdn.fast.net (rewritten by Oak)" : "cdn.slow.net");
+  return switched ? 0 : 1;
+}

@@ -1,0 +1,125 @@
+// oak-rules: operator tooling for rule files.
+//
+//   rule_tool check  <rules-file>            validate and summarize
+//   rule_tool fmt    <rules-file>            parse and re-emit canonically
+//   rule_tool apply  <rules-file> <html>     dry-run: apply every rule to an
+//                                            HTML file and show the effects
+//
+// With no arguments, runs a self-demo on a built-in rule file and page.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/modifier.h"
+#include "core/rule_parser.h"
+
+using namespace oak;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int cmd_check(const std::string& text) {
+  std::vector<core::Rule> rules;
+  try {
+    rules = core::parse_rules(text);
+  } catch (const core::RuleParseError& e) {
+    std::fprintf(stderr, "INVALID: %s\n", e.what());
+    return 1;
+  }
+  std::printf("OK: %zu rule(s)\n", rules.size());
+  for (const auto& r : rules) {
+    std::printf("  \"%s\" type=%s alternatives=%zu ttl=%s scope=%s%s\n",
+                r.name.c_str(), core::to_string(r.type).c_str(),
+                r.alternatives.size(),
+                r.ttl_s == 0 ? "never-expire"
+                             : (std::to_string(int(r.ttl_s)) + "s").c_str(),
+                r.scope.pattern().c_str(),
+                r.is_domain_rule() ? " (domain-wide)" : "");
+  }
+  return 0;
+}
+
+int cmd_fmt(const std::string& text) {
+  try {
+    std::fputs(core::format_rules(core::parse_rules(text)).c_str(), stdout);
+  } catch (const core::RuleParseError& e) {
+    std::fprintf(stderr, "INVALID: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_apply(const std::string& rules_text, const std::string& html,
+              const std::string& path) {
+  auto rules = core::parse_rules(rules_text);
+  std::vector<core::AppliedRule> applied;
+  for (auto& r : rules) {
+    static int next_id = 1;
+    if (r.id == 0) r.id = next_id++;
+    applied.push_back({&r, 0});
+  }
+  core::ModifiedPage out = core::apply_rules(html, path, applied);
+  std::printf("dry-run on %s (%zu bytes -> %zu bytes)\n", path.c_str(),
+              html.size(), out.html.size());
+  for (std::size_t i = 0; i < out.records.size(); ++i) {
+    std::printf("  rule \"%s\": %zu replacement(s)\n",
+                rules[i].name.c_str(), out.records[i].replacements);
+  }
+  for (const auto& alias : out.aliases) {
+    std::printf("  cache alias: %s\n", alias.c_str());
+  }
+  std::printf("---- rewritten page ----\n%s", out.html.c_str());
+  return 0;
+}
+
+const char* kDemoRules = R"(
+rule "jquery-cdn" {
+  type: 2
+  default: "<script src=\"http://s1.com/jquery.js\"></script>"
+  alt: "<script src=\"http://s2.net/jquery.js\"></script>"
+  ttl: 0
+  scope: "*"
+}
+rule "drop-tracker" {
+  type: 1
+  default: "<img src=\"http://trk.pixel.io/p.gif\"/>"
+}
+)";
+
+const char* kDemoPage =
+    "<html><body>\n"
+    "<script src=\"http://s1.com/jquery.js\"></script>\n"
+    "<img src=\"http://trk.pixel.io/p.gif\"/>\n"
+    "<p>content</p>\n"
+    "</body></html>\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) {
+    std::printf("== check ==\n");
+    cmd_check(kDemoRules);
+    std::printf("\n== apply ==\n");
+    return cmd_apply(kDemoRules, kDemoPage, "/index.html");
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "check" && argc == 3) return cmd_check(read_file(argv[2]));
+  if (cmd == "fmt" && argc == 3) return cmd_fmt(read_file(argv[2]));
+  if (cmd == "apply" && argc == 4) {
+    return cmd_apply(read_file(argv[2]), read_file(argv[3]), argv[3]);
+  }
+  std::fprintf(stderr,
+               "usage: rule_tool [check <rules> | fmt <rules> | "
+               "apply <rules> <html>]\n");
+  return 2;
+}

@@ -1,0 +1,127 @@
+// What-if analysis on a recorded report trace.
+//
+// A day of live traffic is recorded with core::recording_handler. The
+// operator then replays the same trace into offline Oak instances with
+// different configurations — no new measurements needed — and compares how
+// many switches each configuration would have made. This is the §6
+// "offline auditing tool" turned into a tuning workflow.
+//
+// Run: build/examples/what_if_replay
+#include <cstdio>
+
+#include "browser/browser.h"
+#include "core/trace.h"
+
+using namespace oak;
+
+namespace {
+
+struct World {
+  std::unique_ptr<page::WebUniverse> web;
+  net::ServerId origin = net::kInvalidServer;
+  page::Site site;
+};
+
+World build_world() {
+  World w;
+  w.web = std::make_unique<page::WebUniverse>(
+      net::NetworkConfig{.seed = 321, .horizon_s = 86400.0});
+  net::Network& net = w.web->network();
+  w.origin = net.add_server(net::ServerConfig{.name = "origin"});
+  w.web->dns().bind("shop.example", net.server(w.origin).addr());
+
+  net::ServerConfig mild;  // borderline: ~2.5x, flickers around 2 MADs
+  mild.name = "mild";
+  mild.chronic_degradation = 2.5;
+  w.web->dns().bind("mild.cdn.net", net.server(net.add_server(mild)).addr());
+  net::ServerConfig severe;
+  severe.name = "severe";
+  severe.chronic_degradation = 12.0;
+  w.web->dns().bind("severe.ads.net",
+                    net.server(net.add_server(severe)).addr());
+  w.web->dns().bind("alt.net",
+                    net.server(net.add_server(net::ServerConfig{})).addr());
+  for (int i = 0; i < 4; ++i) {
+    w.web->dns().bind("p" + std::to_string(i) + ".net",
+                      net.server(net.add_server(net::ServerConfig{})).addr());
+  }
+
+  page::SiteBuilder b(*w.web, "shop.example", w.origin);
+  b.add_direct("mild.cdn.net", "/a.js", html::RefKind::kScript, 14'000,
+               page::Category::kCdn);
+  b.add_direct("severe.ads.net", "/b.js", html::RefKind::kScript, 14'000,
+               page::Category::kAds);
+  for (int i = 0; i < 4; ++i) {
+    b.add_direct("p" + std::to_string(i) + ".net", "/c.js",
+                 html::RefKind::kScript, 14'000, page::Category::kCdn);
+  }
+  w.site = b.finish();
+  w.web->store().replicate("http://mild.cdn.net/a.js", "http://alt.net/a.js");
+  w.web->store().replicate("http://severe.ads.net/b.js",
+                           "http://alt.net/b.js");
+  return w;
+}
+
+std::unique_ptr<core::OakServer> make_oak(World& w, double k,
+                                          int min_violations) {
+  core::OakConfig cfg;
+  cfg.detector.k = k;
+  cfg.policy.default_min_violations = min_violations;
+  auto oak = std::make_unique<core::OakServer>(*w.web, "shop.example", cfg);
+  oak->add_rule(core::make_domain_rule("mild", "mild.cdn.net", {"alt.net"}));
+  oak->add_rule(
+      core::make_domain_rule("severe", "severe.ads.net", {"alt.net"}));
+  return oak;
+}
+
+}  // namespace
+
+int main() {
+  World w = build_world();
+
+  // --- Phase 1: record a day of traffic under the production config.
+  auto production = make_oak(w, 2.0, 1);
+  core::ReportTrace trace;
+  w.web->set_handler("shop.example",
+                     core::recording_handler(*production, trace));
+  for (int user = 0; user < 8; ++user) {
+    net::ClientConfig cc;
+    cc.name = "user" + std::to_string(user);
+    browser::BrowserConfig bc;
+    bc.use_cache = false;
+    browser::Browser b(*w.web, w.web->network().add_client(cc), bc);
+    for (int load = 0; load < 6; ++load) {
+      b.load(w.site.index_url(), user * 300.0 + load * 3600.0);
+    }
+  }
+  std::printf("recorded %zu reports (%zu KB of JSONL)\n\n", trace.size(),
+              trace.to_jsonl().size() / 1024);
+
+  // --- Phase 2: replay under candidate configurations.
+  std::printf("%-28s %12s %14s\n", "configuration", "activations",
+              "deactivations");
+  struct Candidate {
+    const char* label;
+    double k;
+    int min_violations;
+  };
+  for (const Candidate& c : {Candidate{"k=2, switch on 1st (prod)", 2.0, 1},
+                             Candidate{"k=2, switch on 3rd", 2.0, 3},
+                             Candidate{"k=1 (aggressive)", 1.0, 1},
+                             Candidate{"k=4 (conservative)", 4.0, 1}}) {
+    auto oak = make_oak(w, c.k, c.min_violations);
+    trace.replay_into(*oak);
+    std::printf("%-28s %12zu %14zu\n", c.label,
+                oak->decision_log().count(core::DecisionType::kActivate),
+                oak->decision_log().count(core::DecisionType::kDeactivate));
+  }
+  std::printf(
+      "\nsame traffic, four policies — tuned without touching a single "
+      "user.\n"
+      "caveat: the trace embeds the production policy's own effects (after\n"
+      "it switched a user, later reports show the alternative, not the\n"
+      "default) — a policy that waits longer than production sees fewer\n"
+      "violations than it would have live. Replay bounds, not simulates,\n"
+      "counterfactuals.\n");
+  return 0;
+}

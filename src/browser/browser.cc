@@ -1,0 +1,262 @@
+#include "browser/browser.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "html/extract.h"
+#include "page/inline_eval.h"
+#include "util/strings.h"
+#include "util/url.h"
+
+namespace oak::browser {
+
+namespace {
+// Alias header values are either "<alias-url> <canonical-url>" or
+// "host:<alias-host> host:<canonical-host>".
+void apply_alias_header(http::BrowserCache& cache, const std::string& value) {
+  auto parts = util::split_nonempty(value, ' ');
+  if (parts.size() != 2) return;
+  constexpr std::string_view kHostPrefix = "host:";
+  if (util::starts_with(parts[0], kHostPrefix) &&
+      util::starts_with(parts[1], kHostPrefix)) {
+    cache.add_host_alias(parts[0].substr(kHostPrefix.size()),
+                         parts[1].substr(kHostPrefix.size()));
+  } else {
+    cache.add_alias(parts[0], parts[1]);
+  }
+}
+}  // namespace
+
+Browser::Browser(page::WebUniverse& universe, net::ClientId client,
+                 BrowserConfig cfg)
+    : universe_(universe),
+      client_(client),
+      cfg_(cfg),
+      rng_(util::Rng::forked(universe.network().seed(),
+                             0xb0b0ull + client)) {}
+
+std::optional<Browser::Resolved> Browser::resolve(const std::string& host,
+                                                  double now) {
+  auto it = dns_cache_.find(host);
+  if (it != dns_cache_.end() && it->second.expires_at > now) {
+    net::ServerId sid = universe_.network().server_by_ip(it->second.ip);
+    if (sid != net::kInvalidServer) {
+      return Resolved{sid, it->second.ip, /*was_cold=*/false};
+    }
+  }
+  auto ip = universe_.dns().resolve(host);
+  if (!ip) return {};
+  net::ServerId sid = universe_.network().server_by_ip(*ip);
+  if (sid == net::kInvalidServer) return {};
+  dns_cache_[host] = DnsCacheEntry{*ip, now + cfg_.dns_ttl_s};
+  return Resolved{sid, *ip, /*was_cold=*/true};
+}
+
+LoadResult Browser::load(const std::string& url, double now) {
+  LoadResult out;
+  auto parsed = util::parse_url(url);
+  if (!parsed) {
+    out.page_status = 400;
+    return out;
+  }
+  const std::string& origin_host = parsed->host;
+
+  auto origin_res = resolve(origin_host, now);
+  if (!origin_res) {
+    out.page_status = 502;
+    return out;
+  }
+
+  // --- 1. Fetch the index page (through the Oak handler when present).
+  http::Request req = http::Request::get(url);
+  req.client_ip = universe_.network().client(client_).addr.to_string();
+  cookies_.attach(origin_host, req.headers);
+  http::Response resp;
+  const page::WebUniverse::Handler* handler =
+      universe_.handler(origin_host);
+  if (handler) {
+    resp = (*handler)(req, now);
+  } else if (const page::WebObject* index = universe_.store().find(url)) {
+    resp = http::Response::html(index->body);
+  } else {
+    resp = http::Response::not_found();
+  }
+  out.page_status = resp.status;
+  cookies_.ingest(origin_host, resp.headers);
+  for (const auto& alias : resp.headers.get_all(http::kOakAliasHeader)) {
+    apply_alias_header(cache_, alias);
+  }
+  if (!resp.ok()) return out;
+  out.page_html = resp.body;
+
+  net::FetchTiming index_timing = universe_.network().fetch(
+      client_, origin_res->server, resp.body.size(), now, rng_,
+      origin_res->was_cold, /*new_connection=*/true);
+  const double t_index = index_timing.total();
+  out.report.entries.push_back(ReportEntry{
+      url, origin_host, origin_res->ip.to_string(), resp.body.size(), 0.0,
+      t_index});
+
+  // --- 2. Resource discovery from the returned HTML text.
+  struct Pending {
+    std::string url;
+    double at;  // discovery time relative to navigation start
+  };
+  std::deque<Pending> queue;
+  for (const auto& ref : html::extract_references(resp.body)) {
+    queue.push_back({ref.url, t_index});
+  }
+  for (const auto& il : page::evaluate_inline_scripts(resp.body)) {
+    queue.push_back({il.url(), t_index});
+  }
+  // Hidden loads belong to the page identity, not its (possibly rewritten)
+  // text; Oak never touches them, so the original entry is authoritative.
+  if (const page::WebObject* index_obj = universe_.store().find(url)) {
+    for (const auto& h : index_obj->hidden_induced) {
+      queue.push_back({h, t_index});
+    }
+  }
+
+  // --- 3. Scheduling with per-host connection slots (HTTP/1.1) or one
+  // multiplexed connection per host (HTTP/2).
+  std::map<std::string, HostSlots> slots;
+  std::map<std::string, H2Conn> h2_conns;
+  double plt = t_index;
+  while (!queue.empty()) {
+    Pending p = queue.front();
+    queue.pop_front();
+    auto obj_url = util::parse_url(p.url);
+    if (!obj_url) {
+      ++out.missing_objects;
+      continue;
+    }
+
+    const page::WebObject* obj = universe_.store().find(p.url);
+
+    if (cfg_.use_cache && cache_.lookup(p.url, now + p.at)) {
+      ++out.cache_hits;
+      plt = std::max(plt, p.at);
+      if (obj) {
+        for (const auto& child : obj->induced) queue.push_back({child, p.at});
+        for (const auto& child : obj->hidden_induced) {
+          queue.push_back({child, p.at});
+        }
+      }
+      continue;
+    }
+
+    if (!obj) {
+      ++out.missing_objects;
+      continue;
+    }
+    auto res = resolve(obj_url->host, now + p.at);
+    if (!res) {
+      ++out.missing_objects;
+      continue;
+    }
+
+    double start = p.at;
+    bool new_conn = true;
+    std::pair<HostSlots*, std::size_t> h1_slot{nullptr, 0};
+    if (cfg_.use_h2) {
+      // One connection per host; streams multiplex freely once the
+      // connection is up.
+      H2Conn& conn = h2_conns[obj_url->host];
+      if (conn.open) {
+        new_conn = false;
+        start = std::max(p.at, conn.setup_done);
+      }
+    } else {
+      HostSlots& hs = slots[obj_url->host];
+      // Prefer an idle established connection; otherwise open a new one
+      // while under the per-host limit; otherwise queue on the
+      // earliest-free slot.
+      std::size_t slot = 0;
+      bool found_idle = false;
+      for (std::size_t i = 0; i < hs.free_at.size(); ++i) {
+        if (hs.free_at[i] <= p.at) {
+          slot = i;
+          found_idle = true;
+          break;
+        }
+      }
+      if (!found_idle) {
+        if (static_cast<int>(hs.free_at.size()) <
+            cfg_.max_connections_per_host) {
+          hs.free_at.push_back(p.at);
+          hs.connected.push_back(false);
+          slot = hs.free_at.size() - 1;
+        } else {
+          slot = static_cast<std::size_t>(
+              std::min_element(hs.free_at.begin(), hs.free_at.end()) -
+              hs.free_at.begin());
+        }
+      }
+      new_conn = !hs.connected[slot];
+      start = std::max(p.at, hs.free_at[slot]);
+      // Reserve the slot; its availability is patched after timing below.
+      hs.connected[slot] = true;
+      h1_slot = {&hs, slot};
+    }
+    net::FetchTiming timing =
+        universe_.network().fetch(client_, res->server, obj->size,
+                                  now + start, rng_, res->was_cold, new_conn);
+    const double done = start + timing.total();
+    if (cfg_.use_h2) {
+      H2Conn& conn = h2_conns[obj_url->host];
+      if (!conn.open) {
+        conn.open = true;
+        conn.setup_done = start + timing.dns + timing.connect;
+      }
+    } else {
+      h1_slot.first->free_at[h1_slot.second] = done;
+    }
+    plt = std::max(plt, done);
+
+    out.report.entries.push_back(ReportEntry{p.url, obj_url->host,
+                                             res->ip.to_string(), obj->size,
+                                             start, timing.total()});
+    if (cfg_.use_cache && obj->max_age_s > 0.0) {
+      cache_.store(p.url, obj->size, now + done, obj->max_age_s);
+    }
+    for (const auto& child : obj->induced) queue.push_back({child, done});
+    for (const auto& child : obj->hidden_induced) {
+      queue.push_back({child, done});
+    }
+  }
+
+  // --- 4. Report assembly and upload.
+  if (cfg_.report_mechanism == ReportMechanism::kResourceTimingApi) {
+    // The Resource Timing API hides cross-origin entries unless the
+    // provider sent Timing-Allow-Origin; same-origin objects are always
+    // visible to page script.
+    std::erase_if(out.report.entries, [&](const ReportEntry& e) {
+      if (util::same_site(e.host, origin_host)) return false;
+      const page::WebObject* obj = universe_.store().find(e.url);
+      return obj == nullptr || !obj->timing_allow_origin;
+    });
+  }
+  out.plt_s = plt;
+  out.report.page_url = url;
+  out.report.plt_s = plt;
+  if (auto uid = cookies_.get(origin_host, http::kOakUserCookie)) {
+    out.report.user_id = *uid;
+  }
+  const std::string wire = out.report.serialize();
+  out.report_bytes = wire.size();
+  if (cfg_.send_report && handler) {
+    http::Request post = http::Request::post(
+        "http://" + origin_host + "/oak/report", wire);
+    post.client_ip = universe_.network().client(client_).addr.to_string();
+    cookies_.attach(origin_host, post.headers);
+    http::Response rr = (*handler)(post, now + plt);
+    net::FetchTiming upload = universe_.network().fetch(
+        client_, origin_res->server, wire.size(), now + plt, rng_,
+        /*cold_dns=*/false, /*new_connection=*/true);
+    out.report_upload_s = upload.total();
+    out.report_delivered = rr.ok();
+  }
+  return out;
+}
+
+}  // namespace oak::browser

@@ -1,0 +1,116 @@
+// The Oak-enabled client: a simulated browser.
+//
+// Substitutes for the paper's modified WebKit/PhantomJS. One Browser is one
+// user: it keeps a cookie jar (the Oak identity), an object cache (with
+// alias support for type-2 rewrites), a DNS cache, and a private jitter
+// stream. load() performs a full page load:
+//
+//   1. GET the index — through the origin's registered handler when one
+//      exists (that is where Oak sits), else from the static store;
+//   2. discover resources from the *returned* HTML text: explicit
+//      src/href references, inline programmatic loaders (evaluated from
+//      text, so Oak's rewrites change what is loaded), external-script
+//      induction and the page's hidden loads;
+//   3. schedule fetches with per-host connection limits and DNS/connection
+//      reuse, computing each object's timing via the network model;
+//   4. assemble the HAR-lite performance report and POST it back to the
+//      origin (off the critical path — "performance reports are uploaded …
+//      after the page has been downloaded", §6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "browser/report.h"
+#include "http/cache.h"
+#include "http/cookies.h"
+#include "http/message.h"
+#include "page/site.h"
+#include "util/rng.h"
+
+namespace oak::browser {
+
+// How performance data reaches Oak (paper §6, Alternative Mechanisms):
+//  * kModifiedClient — the paper's approach: a modified browser reports
+//    every fetched object;
+//  * kResourceTimingApi — page JavaScript reads the W3C Resource Timing
+//    API. Cross-origin entries are only visible when the provider opted in
+//    with a Timing-Allow-Origin header, so most third parties are invisible
+//    and Oak loses exactly the objects it exists to manage.
+enum class ReportMechanism { kModifiedClient, kResourceTimingApi };
+
+struct BrowserConfig {
+  int max_connections_per_host = 6;
+  double dns_ttl_s = 300.0;
+  bool use_cache = true;
+  bool send_report = true;
+  ReportMechanism report_mechanism = ReportMechanism::kModifiedClient;
+  // HTTP/2-style transport: one connection per host, unlimited concurrent
+  // streams (no per-connection queueing). Oak itself is transport-agnostic
+  // — reports look the same — but PLTs and the relative cost of connection
+  // setup change (see bench/ablate_h2).
+  bool use_h2 = false;
+};
+
+struct LoadResult {
+  PerfReport report;          // what was (or would be) POSTed to Oak
+  double plt_s = 0.0;         // page load time
+  std::string page_html;      // body the origin returned (post-Oak-rewrite)
+  int page_status = 200;
+  std::size_t cache_hits = 0;
+  std::size_t missing_objects = 0;  // URLs with no backing object (404s)
+  std::size_t report_bytes = 0;     // serialized report size (Fig. 15)
+  double report_upload_s = 0.0;     // upload duration, not part of PLT
+  bool report_delivered = false;
+};
+
+class Browser {
+ public:
+  Browser(page::WebUniverse& universe, net::ClientId client,
+          BrowserConfig cfg = {});
+
+  // Load `url` starting at simulated time `now` (seconds).
+  LoadResult load(const std::string& url, double now);
+
+  http::CookieJar& cookies() { return cookies_; }
+  http::BrowserCache& cache() { return cache_; }
+  void clear_dns_cache() { dns_cache_.clear(); }
+  net::ClientId client() const { return client_; }
+
+ private:
+  struct Resolved {
+    net::ServerId server;
+    net::IpAddr ip;
+    bool was_cold;
+  };
+  // Resolve through the client DNS cache; nullopt for unknown hosts.
+  std::optional<Resolved> resolve(const std::string& host, double now);
+
+  // Per-host connection slots used by the scheduler during one load.
+  struct HostSlots {
+    std::vector<double> free_at;  // per-slot availability
+    std::vector<bool> connected;  // slot has an established connection
+  };
+  // Per-host HTTP/2 connection state during one load.
+  struct H2Conn {
+    bool open = false;
+    double setup_done = 0.0;  // when the connection became usable
+  };
+
+  page::WebUniverse& universe_;
+  net::ClientId client_;
+  BrowserConfig cfg_;
+  util::Rng rng_;
+  http::CookieJar cookies_;
+  http::BrowserCache cache_;
+  struct DnsCacheEntry {
+    net::IpAddr ip;
+    double expires_at;
+  };
+  std::map<std::string, DnsCacheEntry> dns_cache_;
+};
+
+}  // namespace oak::browser

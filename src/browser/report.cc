@@ -1,0 +1,47 @@
+#include "browser/report.h"
+
+namespace oak::browser {
+
+util::Json PerfReport::to_json() const {
+  util::JsonObject root;
+  root["uid"] = user_id;
+  root["page"] = page_url;
+  root["plt"] = plt_s;
+  util::JsonArray entries_json;
+  entries_json.reserve(entries.size());
+  for (const auto& e : entries) {
+    util::JsonObject o;
+    o["url"] = e.url;
+    o["host"] = e.host;
+    o["ip"] = e.ip;
+    o["size"] = e.size;
+    o["start"] = e.start_s;
+    o["time"] = e.time_s;
+    entries_json.emplace_back(std::move(o));
+  }
+  root["entries"] = std::move(entries_json);
+  return util::Json(std::move(root));
+}
+
+std::string PerfReport::serialize() const { return to_json().dump(); }
+
+PerfReport PerfReport::deserialize(const std::string& text) {
+  util::Json j = util::Json::parse(text);
+  PerfReport r;
+  r.user_id = j.at("uid").as_string();
+  r.page_url = j.at("page").as_string();
+  r.plt_s = j.at("plt").as_number();
+  for (const auto& e : j.at("entries").as_array()) {
+    ReportEntry entry;
+    entry.url = e.at("url").as_string();
+    entry.host = e.at("host").as_string();
+    entry.ip = e.at("ip").as_string();
+    entry.size = static_cast<std::uint64_t>(e.at("size").as_int());
+    entry.start_s = e.at("start").as_number();
+    entry.time_s = e.at("time").as_number();
+    r.entries.push_back(std::move(entry));
+  }
+  return r;
+}
+
+}  // namespace oak::browser

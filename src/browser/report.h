@@ -1,0 +1,40 @@
+// Client performance reports — the HAR-lite wire format.
+//
+// Paper §4 / §5 (Implementation): the client reports back, per loaded
+// object, "the loaded URL, the size of the loaded object, and the timing
+// information of that object", plus its identifying cookie, via HTTP POST.
+// Fig. 15 measures the byte size of these serialized reports, so the format
+// here is the actual wire format, not an in-memory convenience.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace oak::browser {
+
+struct ReportEntry {
+  std::string url;
+  std::string host;  // hostname the URL named
+  std::string ip;    // address actually contacted (dotted quad)
+  std::uint64_t size = 0;
+  double start_s = 0.0;  // offset from navigation start
+  double time_s = 0.0;   // full fetch duration (dns+connect+ttfb+download)
+};
+
+struct PerfReport {
+  std::string user_id;
+  std::string page_url;
+  double plt_s = 0.0;
+  std::vector<ReportEntry> entries;
+
+  util::Json to_json() const;
+  // Compact wire encoding; its .size() is what Fig. 15 plots.
+  std::string serialize() const;
+  // Throws util::JsonError on malformed input.
+  static PerfReport deserialize(const std::string& text);
+};
+
+}  // namespace oak::browser

@@ -1,0 +1,110 @@
+// Operator analytics over Oak's per-user state (paper §6).
+//
+// "Examining which rules are being activated by clients enables site
+// operators to determine which components of their sites are performing
+// poorly, effectively using the performance reports of Oak as an offline
+// auditing tool."
+//
+// SiteAnalytics aggregates a server's decision log and user profiles into
+// the operator-facing views the paper describes: per-rule activation
+// statistics (how many users, how often, how severe), the individual-vs-
+// common classification of Fig. 14 / Table 3, and a summary suitable for a
+// dashboard or periodic report. Everything is derived — the analyzer never
+// mutates server state.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/oak_server.h"
+#include "util/json.h"
+
+namespace oak::core {
+
+struct RuleStats {
+  int rule_id = 0;
+  std::string rule_name;
+  std::string default_text_preview;  // first ~60 chars
+  std::size_t activations = 0;
+  std::size_t deactivations = 0;
+  std::size_t expirations = 0;
+  std::size_t keep_alternative = 0;
+  std::size_t advance_alternative = 0;
+  std::size_t distinct_users = 0;
+  // Fraction of the site's known users that ever activated this rule
+  // (Fig. 14's x-axis).
+  double user_fraction = 0.0;
+  // Worst violation severity that triggered this rule, in MADs.
+  double worst_distance = 0.0;
+  // Currently active across all user profiles.
+  std::size_t currently_active = 0;
+
+  bool is_common(double threshold = 0.18) const {
+    return user_fraction > threshold;
+  }
+};
+
+struct ViolatorStats {
+  std::string ip;
+  std::size_t times_blamed = 0;  // activations naming this server
+  double worst_distance = 0.0;
+  std::vector<int> rules_triggered;  // distinct, ordered by rule id
+};
+
+// Treated-vs-holdback lift (§6): valid only when a holdback_fraction is
+// configured and both groups have PLT samples.
+struct LiftEstimate {
+  std::size_t treated_users = 0;
+  std::size_t holdback_users = 0;
+  double treated_mean_plt_s = 0.0;
+  double holdback_mean_plt_s = 0.0;
+  // holdback/treated mean PLT; > 1 means Oak made pages faster.
+  double ratio = 0.0;
+  bool valid() const { return treated_users > 0 && holdback_users > 0; }
+};
+
+struct SiteSummary {
+  std::string site_host;
+  std::size_t users = 0;
+  std::size_t reports = 0;
+  std::size_t rules = 0;
+  std::size_t rules_ever_activated = 0;
+  std::size_t total_activations = 0;
+  std::size_t pages_served_modified = 0;
+  // Fig. 14 headline: fraction of rules at or below the 18%-of-users line.
+  double individual_rule_fraction = 0.0;
+};
+
+class SiteAnalytics {
+ public:
+  explicit SiteAnalytics(const OakServer& server);
+
+  const SiteSummary& summary() const { return summary_; }
+  // Per-rule stats, most-activated first. Includes never-activated rules.
+  const std::vector<RuleStats>& rules() const { return rules_; }
+  // Per-violator stats, most-blamed first.
+  const std::vector<ViolatorStats>& violators() const { return violators_; }
+
+  const RuleStats* rule(int rule_id) const;
+
+  // Rules split by the Fig. 14 threshold.
+  std::vector<const RuleStats*> common_rules(double threshold = 0.18) const;
+  std::vector<const RuleStats*> individual_rules(
+      double threshold = 0.18) const;
+
+  const LiftEstimate& lift() const { return lift_; }
+
+  // A machine-readable export of the whole audit (stable key order).
+  util::Json to_json() const;
+  // A human-readable report.
+  std::string to_report() const;
+
+ private:
+  SiteSummary summary_;
+  std::vector<RuleStats> rules_;
+  std::vector<ViolatorStats> violators_;
+  LiftEstimate lift_;
+};
+
+}  // namespace oak::core

@@ -1,0 +1,89 @@
+// Thread-safe front for an OakServer.
+//
+// The paper's prototype is "a multi-threaded server in Python" (§5): page
+// requests and report POSTs arrive concurrently. OakServer itself is a
+// single-threaded state machine (simple to reason about, trivially
+// deterministic for the experiments); ConcurrentOakServer adds the locking
+// needed to drive one from many request threads.
+//
+// Locking model: one mutex over all mutable state. Oak's per-request work is
+// microseconds (see bench/micro_core) and orders of magnitude below the
+// network time of the requests themselves, so a single lock is the right
+// trade — no lock ordering to get wrong, no torn profiles. Read-mostly
+// introspection (snapshotting, audits) shares the same lock.
+#pragma once
+
+#include <mutex>
+
+#include "core/analytics.h"
+#include "core/oak_server.h"
+
+namespace oak::core {
+
+class ConcurrentOakServer {
+ public:
+  ConcurrentOakServer(page::WebUniverse& universe, std::string site_host,
+                      OakConfig cfg = {})
+      : server_(universe, std::move(site_host), cfg) {}
+
+  int add_rule(Rule rule) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return server_.add_rule(std::move(rule));
+  }
+
+  bool remove_rule(int rule_id, double now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return server_.remove_rule(rule_id, now);
+  }
+
+  http::Response handle(const http::Request& req, double now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return server_.handle(req, now);
+  }
+
+  // Register this server as the universe handler. The handler captures
+  // `this`; the wrapper must outlive the universe's use of it.
+  void install(page::WebUniverse& universe) {
+    universe.set_handler(server_.site_host(),
+                         [this](const http::Request& req, double now) {
+                           return handle(req, now);
+                         });
+  }
+
+  // Consistent point-in-time snapshot (for persistence or failover).
+  util::Json export_state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return server_.export_state();
+  }
+
+  void import_state(const util::Json& snapshot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    server_.import_state(snapshot);
+  }
+
+  // Consistent audit (copies all derived stats while holding the lock).
+  SiteAnalytics audit() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return SiteAnalytics(server_);
+  }
+
+  std::size_t user_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return server_.user_count();
+  }
+
+  std::size_t reports_processed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return server_.reports_processed();
+  }
+
+  // Escape hatch for single-threaded phases (setup, assertions in tests).
+  // Callers must guarantee no concurrent handle() calls while using it.
+  OakServer& unsynchronized() { return server_; }
+
+ private:
+  mutable std::mutex mu_;
+  OakServer server_;
+};
+
+}  // namespace oak::core

@@ -1,0 +1,51 @@
+#include "core/decision_log.h"
+
+namespace oak::core {
+
+std::string to_string(DecisionType t) {
+  switch (t) {
+    case DecisionType::kActivate: return "activate";
+    case DecisionType::kDeactivate: return "deactivate";
+    case DecisionType::kAdvanceAlternative: return "advance-alternative";
+    case DecisionType::kKeepAlternative: return "keep-alternative";
+    case DecisionType::kExpire: return "expire";
+    case DecisionType::kServeModified: return "serve-modified";
+  }
+  return "?";
+}
+
+void DecisionLog::record(Decision d) { entries_.push_back(std::move(d)); }
+
+std::vector<Decision> DecisionLog::by_type(DecisionType t) const {
+  std::vector<Decision> out;
+  for (const auto& d : entries_) {
+    if (d.type == t) out.push_back(d);
+  }
+  return out;
+}
+
+std::size_t DecisionLog::count(DecisionType t) const {
+  std::size_t n = 0;
+  for (const auto& d : entries_) {
+    if (d.type == t) ++n;
+  }
+  return n;
+}
+
+std::map<int, std::set<std::string>> DecisionLog::users_activating() const {
+  std::map<int, std::set<std::string>> out;
+  for (const auto& d : entries_) {
+    if (d.type == DecisionType::kActivate) out[d.rule_id].insert(d.user_id);
+  }
+  return out;
+}
+
+std::map<int, std::size_t> DecisionLog::activations_per_rule() const {
+  std::map<int, std::size_t> out;
+  for (const auto& d : entries_) {
+    if (d.type == DecisionType::kActivate) out[d.rule_id]++;
+  }
+  return out;
+}
+
+}  // namespace oak::core

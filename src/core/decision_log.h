@@ -1,0 +1,60 @@
+// The Oak decision log: every activation, deactivation, history verdict and
+// page modification, timestamped and per-user.
+//
+// The paper leans on this twice: operationally ("the server also maintains
+// log information on ... the activation and removal of rules", §5) and as a
+// product feature — "effectively using the performance reports of Oak as an
+// offline auditing tool" (§6). Fig. 14 / Table 3 are computed from exactly
+// this log.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace oak::core {
+
+enum class DecisionType {
+  kActivate,         // rule switched on for a user
+  kDeactivate,       // history verdict: alternative worse than original
+  kAdvanceAlternative,  // history verdict: try the next alternative
+  kKeepAlternative,  // alternative violated but still beats the original
+  kExpire,           // TTL elapsed
+  kServeModified,    // a page was served with >=1 text edit
+};
+
+std::string to_string(DecisionType t);
+
+struct Decision {
+  double time = 0.0;
+  std::string user_id;
+  int rule_id = 0;
+  DecisionType type = DecisionType::kActivate;
+  std::string violator_ip;  // when triggered by a violation
+  double distance = 0.0;    // MAD distance involved in the decision
+  std::size_t alternative_index = 0;
+};
+
+class DecisionLog {
+ public:
+  void record(Decision d);
+
+  const std::vector<Decision>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  std::vector<Decision> by_type(DecisionType t) const;
+  std::size_t count(DecisionType t) const;
+
+  // Distinct users that ever activated each rule (Fig. 14's numerator).
+  std::map<int, std::set<std::string>> users_activating() const;
+  // Activation event counts per rule.
+  std::map<int, std::size_t> activations_per_rule() const;
+
+ private:
+  std::vector<Decision> entries_;
+};
+
+}  // namespace oak::core

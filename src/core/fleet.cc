@@ -1,0 +1,77 @@
+#include "core/fleet.h"
+
+namespace oak::core {
+
+OakServer& Fleet::site(const std::string& site_host) {
+  auto it = servers_.find(site_host);
+  if (it == servers_.end()) {
+    it = servers_
+             .emplace(site_host, std::make_unique<OakServer>(
+                                     universe_, site_host, base_config_))
+             .first;
+  }
+  return *it->second;
+}
+
+const OakServer* Fleet::find(const std::string& site_host) const {
+  auto it = servers_.find(site_host);
+  return it == servers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Fleet::hosts() const {
+  std::vector<std::string> out;
+  out.reserve(servers_.size());
+  for (const auto& [host, server] : servers_) out.push_back(host);
+  return out;
+}
+
+void Fleet::install_all() {
+  for (auto& [host, server] : servers_) server->install();
+}
+
+Fleet::FleetSummary Fleet::summary() const {
+  FleetSummary s;
+  s.sites = servers_.size();
+  for (const auto& [host, server] : servers_) {
+    s.users += server->user_count();
+    s.reports += server->reports_processed();
+    s.rules += server->rules().size();
+    s.total_activations +=
+        server->decision_log().count(DecisionType::kActivate);
+  }
+  return s;
+}
+
+std::map<std::string, SiteAnalytics> Fleet::audit_all() const {
+  std::map<std::string, SiteAnalytics> out;
+  for (const auto& [host, server] : servers_) {
+    out.emplace(host, SiteAnalytics(*server));
+  }
+  return out;
+}
+
+util::Json Fleet::export_state() const {
+  util::JsonObject sites;
+  for (const auto& [host, server] : servers_) {
+    sites[host] = server->export_state();
+  }
+  util::JsonObject root;
+  root["sites"] = std::move(sites);
+  return util::Json(std::move(root));
+}
+
+void Fleet::import_state(const util::Json& snapshot) {
+  const auto& sites = snapshot.at("sites").as_object();
+  // Validate targets first so a bad snapshot cannot partially apply.
+  for (const auto& [host, state] : sites) {
+    if (!servers_.count(host)) {
+      throw util::JsonError("fleet snapshot references unknown site: " +
+                            host);
+    }
+  }
+  for (const auto& [host, state] : sites) {
+    servers_.at(host)->import_state(state);
+  }
+}
+
+}  // namespace oak::core

@@ -1,0 +1,65 @@
+// Fleet: one Oak deployment fronting many sites.
+//
+// The paper evaluates Oak per site, but an operator (or a hosting platform)
+// runs it for a portfolio — the §5.3 experiment itself manages ten sites.
+// Fleet owns one OakServer per site host, applies a shared base
+// configuration, installs every handler, and aggregates auditing and
+// persistence across the portfolio. Profiles remain strictly per site:
+// Oak's identity cookie is scoped to the origin, exactly as in the paper.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/analytics.h"
+#include "core/oak_server.h"
+
+namespace oak::core {
+
+class Fleet {
+ public:
+  Fleet(page::WebUniverse& universe, OakConfig base_config = {})
+      : universe_(universe), base_config_(std::move(base_config)) {}
+
+  // Create (or fetch) the server for `site_host`. New servers start from
+  // the fleet's base configuration.
+  OakServer& site(const std::string& site_host);
+  const OakServer* find(const std::string& site_host) const;
+  bool has(const std::string& site_host) const {
+    return servers_.count(site_host) > 0;
+  }
+  std::size_t size() const { return servers_.size(); }
+  std::vector<std::string> hosts() const;
+
+  // Register every site's handler on the universe.
+  void install_all();
+
+  // Portfolio roll-up of the per-site audits.
+  struct FleetSummary {
+    std::size_t sites = 0;
+    std::size_t users = 0;
+    std::size_t reports = 0;
+    std::size_t rules = 0;
+    std::size_t total_activations = 0;
+  };
+  FleetSummary summary() const;
+  // Per-site audits, keyed by host.
+  std::map<std::string, SiteAnalytics> audit_all() const;
+
+  // One snapshot covering every site ({"sites": {host: snapshot}}).
+  util::Json export_state() const;
+  // Restores every site present in the snapshot; sites must already exist
+  // in the fleet (rules are configuration). Unknown hosts in the snapshot
+  // throw util::JsonError; fleet sites absent from the snapshot are left
+  // untouched.
+  void import_state(const util::Json& snapshot);
+
+ private:
+  page::WebUniverse& universe_;
+  OakConfig base_config_;
+  std::map<std::string, std::unique_ptr<OakServer>> servers_;
+};
+
+}  // namespace oak::core

@@ -1,0 +1,40 @@
+#include "core/grouping.h"
+
+#include "util/stats.h"
+
+namespace oak::core {
+
+double ServerObservation::avg_small_time() const {
+  return util::mean(small_times);
+}
+
+double ServerObservation::avg_large_tput() const {
+  return util::mean(large_tputs);
+}
+
+std::vector<ServerObservation> group_by_server(
+    const browser::PerfReport& report, std::uint64_t small_threshold_bytes) {
+  std::vector<ServerObservation> out;
+  auto find = [&](const std::string& ip) -> ServerObservation& {
+    for (auto& o : out) {
+      if (o.ip == ip) return o;
+    }
+    out.push_back(ServerObservation{});
+    out.back().ip = ip;
+    return out.back();
+  };
+  for (const auto& e : report.entries) {
+    ServerObservation& obs = find(e.ip);
+    obs.domains.insert(e.host);
+    obs.object_count += 1;
+    obs.byte_count += e.size;
+    if (e.size < small_threshold_bytes) {
+      obs.small_times.push_back(e.time_s);
+    } else if (e.time_s > 0.0) {
+      obs.large_tputs.push_back(static_cast<double>(e.size) / e.time_s);
+    }
+  }
+  return out;
+}
+
+}  // namespace oak::core

@@ -1,0 +1,41 @@
+// Report grouping (paper §4.2).
+//
+// "Oak begins by grouping all objects by the IP address to which the client
+// ultimately connected, keeping track of all related domain names. We then
+// consider the average time for small objects, and the average throughput
+// for large objects. Small objects are defined to be any object less than
+// 50 KB."
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "browser/report.h"
+
+namespace oak::core {
+
+inline constexpr std::uint64_t kDefaultSmallObjectBytes = 50 * 1024;
+
+struct ServerObservation {
+  std::string ip;
+  std::set<std::string> domains;
+  std::vector<double> small_times;  // seconds per small object
+  std::vector<double> large_tputs;  // bytes/second per large object
+  std::size_t object_count = 0;
+  std::uint64_t byte_count = 0;
+
+  bool has_small() const { return !small_times.empty(); }
+  bool has_large() const { return !large_tputs.empty(); }
+  double avg_small_time() const;
+  double avg_large_tput() const;
+};
+
+// Group a report's entries by contacted IP. Observation order follows first
+// appearance in the report (deterministic).
+std::vector<ServerObservation> group_by_server(
+    const browser::PerfReport& report,
+    std::uint64_t small_threshold_bytes = kDefaultSmallObjectBytes);
+
+}  // namespace oak::core

@@ -1,0 +1,89 @@
+#include "core/matcher.h"
+
+#include "html/extract.h"
+#include "util/strings.h"
+#include "util/url.h"
+
+namespace oak::core {
+
+std::string to_string(MatchTier t) {
+  switch (t) {
+    case MatchTier::kNone: return "none";
+    case MatchTier::kDirect: return "direct";
+    case MatchTier::kText: return "text";
+    case MatchTier::kExternalScript: return "external-script";
+  }
+  return "?";
+}
+
+Matcher::Matcher(ScriptFetcher fetch_script, MatcherConfig cfg)
+    : fetch_script_(std::move(fetch_script)), cfg_(cfg) {}
+
+bool Matcher::direct_include(const std::string& text,
+                             const std::vector<std::string>& domains) const {
+  for (const auto& ref : html::extract_references(text)) {
+    auto parsed = util::parse_url(ref.url);
+    if (!parsed) continue;
+    for (const auto& d : domains) {
+      if (parsed->host == d) return true;
+    }
+  }
+  return false;
+}
+
+bool Matcher::text_mention(const std::string& text,
+                           const std::vector<std::string>& domains) const {
+  // Substring scan — the paper performs "a regular expression search of the
+  // rules for the domains associated with each violator".
+  for (const auto& d : domains) {
+    if (!d.empty() && util::contains(text, d)) return true;
+  }
+  return false;
+}
+
+MatchTier Matcher::match_text(
+    const std::string& rule_text,
+    const std::vector<std::string>& violator_domains,
+    const std::vector<std::string>& scripts) const {
+  if (violator_domains.empty()) return MatchTier::kNone;
+  if (direct_include(rule_text, violator_domains)) return MatchTier::kDirect;
+  if (cfg_.enable_text && text_mention(rule_text, violator_domains)) {
+    return MatchTier::kText;
+  }
+  if (cfg_.enable_external_scripts && fetch_script_) {
+    for (const auto& script_url : scripts) {
+      auto parsed = util::parse_url(script_url);
+      if (!parsed) continue;
+      // Is this script referenced by the rule (tier 1/2 on its own domain)?
+      const std::vector<std::string> script_domain = {parsed->host};
+      const bool labeled = direct_include(rule_text, script_domain) ||
+                           text_mention(rule_text, script_domain);
+      if (!labeled) continue;
+      auto body = fetch_script_(script_url);
+      if (!body) continue;
+      if (direct_include(*body, violator_domains) ||
+          text_mention(*body, violator_domains)) {
+        return MatchTier::kExternalScript;
+      }
+    }
+  }
+  return MatchTier::kNone;
+}
+
+MatchTier Matcher::match_rule(const Rule& rule,
+                              const std::vector<std::string>& violator_domains,
+                              const std::vector<std::string>& scripts) const {
+  return match_text(rule.default_text, violator_domains, scripts);
+}
+
+std::vector<std::string> report_script_urls(
+    const std::vector<std::string>& entry_urls) {
+  std::vector<std::string> out;
+  for (const auto& u : entry_urls) {
+    auto parsed = util::parse_url(u);
+    if (parsed && util::ends_with(parsed->path, ".js")) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace oak::core

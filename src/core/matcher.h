@@ -1,0 +1,82 @@
+// Connection-dependency matching (paper §4.2.2).
+//
+// A rule activates for a violator when any of three conditions ties the
+// rule's text to the violating server:
+//
+//   Tier 1 (direct include)   the rule contains an explicit src/href whose
+//                             hostname is one of the violator's domains;
+//   Tier 2 (text mention)     a violator domain appears anywhere in the rule
+//                             text (inline scripts building URLs
+//                             programmatically);
+//   Tier 3 (external script)  the rule references an external script (by
+//                             tier 1/2 on the *script's* domain); Oak fetches
+//                             that script server-side and re-runs tiers 1/2
+//                             over the script body. One level of expansion —
+//                             "the payoff is rapidly diminishing" beyond it.
+//
+// Oak is explicitly *not* tracking execution/ordering dependencies; it only
+// answers "did this block cause a connection to that server?" (Fig. 6).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rule.h"
+
+namespace oak::core {
+
+enum class MatchTier {
+  kNone = 0,
+  kDirect = 1,
+  kText = 2,
+  kExternalScript = 3,
+};
+
+std::string to_string(MatchTier t);
+
+struct MatcherConfig {
+  bool enable_text = true;             // tier 2
+  bool enable_external_scripts = true; // tier 3
+};
+
+class Matcher {
+ public:
+  // Fetches a script body by URL, server-side ("Oak ... loading them
+  // directly from the external sources"). Returns nullopt when unavailable.
+  using ScriptFetcher =
+      std::function<std::optional<std::string>(const std::string& url)>;
+
+  explicit Matcher(ScriptFetcher fetch_script = nullptr,
+                   MatcherConfig cfg = {});
+
+  // The best (lowest) tier connecting `rule_text` to a server reachable via
+  // `violator_domains`. `report_script_urls` are the external scripts the
+  // client reported loading — the tier-3 candidates.
+  MatchTier match_text(
+      const std::string& rule_text,
+      const std::vector<std::string>& violator_domains,
+      const std::vector<std::string>& report_script_urls = {}) const;
+
+  MatchTier match_rule(
+      const Rule& rule, const std::vector<std::string>& violator_domains,
+      const std::vector<std::string>& report_script_urls = {}) const;
+
+  const MatcherConfig& config() const { return cfg_; }
+
+ private:
+  bool direct_include(const std::string& text,
+                      const std::vector<std::string>& domains) const;
+  bool text_mention(const std::string& text,
+                    const std::vector<std::string>& domains) const;
+
+  ScriptFetcher fetch_script_;
+  MatcherConfig cfg_;
+};
+
+// External-script URLs among a report's entries (candidates for tier 3).
+std::vector<std::string> report_script_urls(
+    const std::vector<std::string>& entry_urls);
+
+}  // namespace oak::core

@@ -1,0 +1,68 @@
+#include "core/modifier.h"
+
+#include "html/extract.h"
+#include "util/strings.h"
+#include "util/url.h"
+
+namespace oak::core {
+
+namespace {
+
+// Derive alias descriptors for a type-2 rewrite of `def` -> `alt`.
+// Literal-block rules map the URLs inside the blocks pairwise; domain rules
+// map the hostnames.
+void collect_aliases(const Rule& rule, const std::string& alt,
+                     std::vector<std::string>& out) {
+  if (rule.type != RuleType::kAlternativeSource) return;
+  if (rule.is_domain_rule()) {
+    out.push_back("host:" + alt + " host:" + rule.default_text);
+    return;
+  }
+  auto def_refs = html::extract_references(rule.default_text);
+  auto alt_refs = html::extract_references(alt);
+  const std::size_t n = std::min(def_refs.size(), alt_refs.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(alt_refs[i].url + " " + def_refs[i].url);
+  }
+}
+
+}  // namespace
+
+std::size_t ModifiedPage::total_replacements() const {
+  std::size_t n = 0;
+  for (const auto& r : records) n += r.replacements;
+  return n;
+}
+
+ModifiedPage apply_rules(const std::string& html, const std::string& page_path,
+                         const std::vector<AppliedRule>& active) {
+  ModifiedPage out;
+  out.html = html;
+  for (const auto& applied : active) {
+    const Rule& rule = *applied.rule;
+    if (!rule.scope.matches(page_path)) continue;
+
+    std::size_t count = 0;
+    if (rule.type == RuleType::kRemove) {
+      count = util::replace_all(out.html, rule.default_text, "");
+    } else {
+      const std::size_t idx =
+          applied.alternative_index < rule.alternatives.size()
+              ? applied.alternative_index
+              : rule.alternatives.size() - 1;
+      const std::string& alt = rule.alternatives[idx];
+      count = util::replace_all(out.html, rule.default_text, alt);
+      if (count > 0) collect_aliases(rule, alt, out.aliases);
+    }
+    if (count > 0) {
+      // Sub-rules fire only when the parent actually changed the page.
+      for (const auto& sub : rule.sub_rules) {
+        util::replace_all(out.html, sub.from, sub.to);
+      }
+    }
+    out.records.push_back(ModificationRecord{rule.id, count});
+  }
+  return out;
+}
+
+}  // namespace oak::core

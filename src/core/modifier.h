@@ -1,0 +1,45 @@
+// Page modification (paper §4.3).
+//
+// Applies a user's active rules to an outgoing page: type-1 blocks are
+// removed, type-2/3 blocks are replaced by the selected alternative, and
+// sub-rules of activated parents are applied afterwards. Domain-wide rules
+// (bare hostname texts) rewrite every occurrence of the hostname, which
+// covers tags *and* inline programmatic loaders at once.
+//
+// For type-2 rewrites the modifier also emits cache-alias descriptors so the
+// browser can keep using a cached copy of the identical object (§4.3's
+// custom response header).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rule.h"
+
+namespace oak::core {
+
+struct AppliedRule {
+  const Rule* rule = nullptr;
+  std::size_t alternative_index = 0;  // ignored for type 1
+};
+
+struct ModificationRecord {
+  int rule_id = 0;
+  std::size_t replacements = 0;
+};
+
+struct ModifiedPage {
+  std::string html;
+  // Values for the X-Oak-Alias response header, one per rewritten mapping:
+  // "<alias-url> <canonical-url>" or "host:<alias> host:<canonical>".
+  std::vector<std::string> aliases;
+  std::vector<ModificationRecord> records;
+
+  // Total text edits across all rules.
+  std::size_t total_replacements() const;
+};
+
+ModifiedPage apply_rules(const std::string& html, const std::string& page_path,
+                         const std::vector<AppliedRule>& active);
+
+}  // namespace oak::core

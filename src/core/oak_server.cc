@@ -1,0 +1,331 @@
+#include "core/oak_server.h"
+
+#include <algorithm>
+
+#include "http/cookies.h"
+#include "util/strings.h"
+
+namespace oak::core {
+
+OakServer::OakServer(page::WebUniverse& universe, std::string site_host,
+                     OakConfig cfg)
+    : universe_(universe), site_host_(std::move(site_host)), cfg_(cfg) {
+  // Server-side script fetcher: Oak loads externally referenced scripts
+  // "directly from the external sources" to widen the match surface.
+  auto fetcher = [this](const std::string& url) -> std::optional<std::string> {
+    const page::WebObject* obj = universe_.store().find(url);
+    if (!obj || obj->body.empty()) return {};
+    return obj->body;
+  };
+  matcher_ = std::make_unique<Matcher>(fetcher, cfg_.matcher);
+}
+
+int OakServer::add_rule(Rule rule) {
+  std::string why;
+  if (!rule.validate(&why)) {
+    throw std::invalid_argument("invalid rule '" + rule.name + "': " + why);
+  }
+  if (rule.id == 0) rule.id = next_rule_id_;
+  next_rule_id_ = std::max(next_rule_id_, rule.id + 1);
+  rules_.push_back(std::move(rule));
+  return rules_.back().id;
+}
+
+void OakServer::add_rules(std::vector<Rule> rules) {
+  for (auto& r : rules) add_rule(std::move(r));
+}
+
+bool OakServer::remove_rule(int rule_id, double now) {
+  auto it = std::find_if(rules_.begin(), rules_.end(),
+                         [&](const Rule& r) { return r.id == rule_id; });
+  if (it == rules_.end()) return false;
+  rules_.erase(it);
+  for (auto& [uid, profile] : profiles_) {
+    auto active = profile.active.find(rule_id);
+    if (active != profile.active.end()) {
+      log_.record(Decision{now, uid, rule_id, DecisionType::kExpire, "", 0.0,
+                           active->second.alternative_index});
+      profile.active.erase(active);
+    }
+    profile.pending_violations.erase(rule_id);
+    profile.next_alternative.erase(rule_id);
+    profile.banned.erase(rule_id);
+  }
+  return true;
+}
+
+void OakServer::install() {
+  universe_.set_handler(
+      site_host_, [this](const http::Request& req, double now) {
+        return handle(req, now);
+      });
+}
+
+const Rule* OakServer::rule(int id) const {
+  for (const auto& r : rules_) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+const UserProfile* OakServer::profile(const std::string& user_id) const {
+  auto it = profiles_.find(user_id);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+http::Response OakServer::handle(const http::Request& req, double now) {
+  if (req.method == http::Method::kPost && req.url.path == cfg_.report_path) {
+    return ingest_report(req, now);
+  }
+  return serve_page(req, now);
+}
+
+UserProfile& OakServer::user_for(const http::Request& req,
+                                 http::Response& resp) {
+  std::string uid;
+  if (auto cookie = req.headers.get("Cookie")) {
+    auto jar = http::parse_cookie_header(*cookie);
+    auto it = jar.find(http::kOakUserCookie);
+    if (it != jar.end()) uid = it->second;
+  }
+  if (uid.empty() || !profiles_.count(uid)) {
+    if (uid.empty()) {
+      uid = util::format("u%zu", next_user_++);
+      resp.headers.add("Set-Cookie",
+                       std::string(http::kOakUserCookie) + "=" + uid);
+    }
+    profiles_[uid].user_id = uid;
+  }
+  UserProfile& user = profiles_[uid];
+  if (!req.client_ip.empty()) user.client_ip = req.client_ip;
+  return user;
+}
+
+void OakServer::expire_rules(UserProfile& user, double now) {
+  for (auto it = user.active.begin(); it != user.active.end();) {
+    if (it->second.expires_at > 0.0 && now >= it->second.expires_at) {
+      log_.record(Decision{now, user.user_id, it->first, DecisionType::kExpire,
+                           "", 0.0, it->second.alternative_index});
+      it = user.active.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+http::Response OakServer::serve_page(const http::Request& req, double now) {
+  std::string path = req.url.path == "/" ? "/index.html" : req.url.path;
+  const std::string url = "http://" + site_host_ + path;
+  const page::WebObject* obj = universe_.store().find(url);
+  if (!obj) return http::Response::not_found();
+
+  http::Response resp = http::Response::html(obj->body);
+  UserProfile& user = user_for(req, resp);
+  user.pages_served++;
+  user.holdback = cfg_.policy.in_holdback(user.user_id);
+
+  const bool oak_applies = cfg_.enabled &&
+                           cfg_.policy.applies_to(req.client_ip) &&
+                           !user.holdback;
+  if (!oak_applies && !cfg_.force_all_rules) return resp;
+
+  expire_rules(user, now);
+
+  std::vector<AppliedRule> applied;
+  if (cfg_.force_all_rules) {
+    for (const auto& r : rules_) {
+      std::size_t alt = 0;
+      if (!r.alternatives.empty() && cfg_.policy.alternative_selector) {
+        alt = std::min(cfg_.policy.alternative_selector(
+                           user.client_ip, r.alternatives.size()),
+                       r.alternatives.size() - 1);
+      }
+      applied.push_back(AppliedRule{&r, alt});
+    }
+  } else {
+    for (const auto& [rule_id, ar] : user.active) {
+      if (const Rule* r = rule(rule_id)) {
+        applied.push_back(AppliedRule{r, ar.alternative_index});
+      }
+    }
+  }
+  if (applied.empty()) return resp;
+
+  ModifiedPage modified = apply_rules(resp.body, path, applied);
+  if (modified.total_replacements() > 0) {
+    log_.record(Decision{now, user.user_id, 0, DecisionType::kServeModified,
+                         "", 0.0, 0});
+  }
+  resp.body = std::move(modified.html);
+  for (const auto& alias : modified.aliases) {
+    resp.headers.add(http::kOakAliasHeader, alias);
+  }
+  return resp;
+}
+
+http::Response OakServer::ingest_report(const http::Request& req, double now) {
+  http::Response resp = http::Response::text("", 204);
+  // A disabled Oak is the paper's baseline web server: it neither tracks
+  // users nor processes telemetry.
+  if (!cfg_.enabled) return resp;
+  UserProfile& user = user_for(req, resp);
+  if (!cfg_.policy.applies_to(req.client_ip)) {
+    return resp;  // accepted, ignored
+  }
+  browser::PerfReport report;
+  try {
+    report = browser::PerfReport::deserialize(req.body);
+  } catch (const util::JsonError&) {
+    return http::Response::text("malformed report", 400);
+  }
+  process_report(user, report, now, nullptr);
+  return resp;
+}
+
+DetectionResult OakServer::analyze(const std::string& user_id,
+                                   const browser::PerfReport& report,
+                                   double now) {
+  profiles_[user_id].user_id = user_id;
+  DetectionResult detection;
+  process_report(profiles_[user_id], report, now, &detection);
+  return detection;
+}
+
+void OakServer::process_report(UserProfile& user,
+                               const browser::PerfReport& report, double now,
+                               DetectionResult* out_detection) {
+  ++user.reports_received;
+  ++reports_processed_;
+  if (report.plt_s > 0.0) {
+    user.plt_sum_s += report.plt_s;
+    ++user.plt_count;
+  }
+
+  DetectionResult detection = detect_violators(report, cfg_.detector);
+
+  std::vector<std::string> urls;
+  urls.reserve(report.entries.size());
+  for (const auto& e : report.entries) urls.push_back(e.url);
+  const std::vector<std::string> scripts = report_script_urls(urls);
+
+  expire_rules(user, now);
+  review_active_rules(user, detection, scripts, now);
+  consider_activations(user, detection, scripts, now);
+
+  if (out_detection) *out_detection = std::move(detection);
+}
+
+void OakServer::review_active_rules(UserProfile& user,
+                                    const DetectionResult& detection,
+                                    const std::vector<std::string>& scripts,
+                                    double now) {
+  if (detection.violators.empty()) return;
+  if (cfg_.history == HistoryMode::kAlwaysKeep) return;
+  for (auto it = user.active.begin(); it != user.active.end();) {
+    ActiveRule& ar = it->second;
+    const Rule* r = rule(ar.rule_id);
+    if (!r || r->type == RuleType::kRemove || r->alternatives.empty()) {
+      ++it;
+      continue;
+    }
+    const std::size_t idx =
+        std::min(ar.alternative_index, r->alternatives.size() - 1);
+    const std::string& alt_text = r->alternatives[idx];
+
+    const Violation* alt_violation = nullptr;
+    for (const auto& v : detection.violators) {
+      if (matcher_->match_text(alt_text, v.domains, scripts) !=
+          MatchTier::kNone) {
+        alt_violation = &v;
+        break;
+      }
+    }
+    if (!alt_violation) {
+      ++it;
+      continue;
+    }
+
+    // History rule (§4.2.3): keep whichever side lies closer to the median.
+    const double alt_distance = alt_violation->severity();
+    if (cfg_.history == HistoryMode::kMinDistance &&
+        alt_distance < ar.violation_distance) {
+      log_.record(Decision{now, user.user_id, ar.rule_id,
+                           DecisionType::kKeepAlternative, alt_violation->ip,
+                           alt_distance, idx});
+      ++it;
+      continue;
+    }
+    if (idx + 1 < r->alternatives.size()) {
+      ar.alternative_index = idx + 1;
+      log_.record(Decision{now, user.user_id, ar.rule_id,
+                           DecisionType::kAdvanceAlternative,
+                           alt_violation->ip, alt_distance,
+                           ar.alternative_index});
+      ++it;
+    } else {
+      log_.record(Decision{now, user.user_id, ar.rule_id,
+                           DecisionType::kDeactivate, alt_violation->ip,
+                           alt_distance, idx});
+      if (!cfg_.policy.allow_reactivation) user.banned.insert(ar.rule_id);
+      user.pending_violations.erase(ar.rule_id);
+      it = user.active.erase(it);
+    }
+  }
+}
+
+void OakServer::consider_activations(UserProfile& user,
+                                     const DetectionResult& detection,
+                                     const std::vector<std::string>& scripts,
+                                     double now) {
+  if (detection.violators.empty()) return;
+  for (const auto& r : rules_) {
+    if (user.active.count(r.id) || user.banned.count(r.id)) continue;
+
+    const Violation* hit = nullptr;
+    for (const auto& v : detection.violators) {
+      if (matcher_->match_rule(r, v.domains, scripts) != MatchTier::kNone) {
+        hit = &v;
+        break;
+      }
+    }
+    if (!hit) continue;
+
+    const int required =
+        std::max(r.min_violations, cfg_.policy.default_min_violations);
+    const int seen = ++user.pending_violations[r.id];
+    if (seen < required) continue;
+    user.pending_violations.erase(r.id);
+
+    std::size_t alt_idx = 0;
+    if (!r.alternatives.empty() && cfg_.policy.alternative_selector) {
+      alt_idx = std::min(cfg_.policy.alternative_selector(
+                             user.client_ip, r.alternatives.size()),
+                         r.alternatives.size() - 1);
+      user.next_alternative[r.id] = alt_idx + 1;
+    } else if (!r.alternatives.empty()) {
+      std::size_t& next = user.next_alternative[r.id];
+      switch (cfg_.policy.selection) {
+        case AlternativeSelection::kLinear:
+          alt_idx = std::min(next, r.alternatives.size() - 1);
+          break;
+        case AlternativeSelection::kRoundRobin:
+          alt_idx = next % r.alternatives.size();
+          break;
+      }
+      next = alt_idx + 1;
+    }
+
+    ActiveRule ar;
+    ar.rule_id = r.id;
+    ar.alternative_index = alt_idx;
+    ar.activated_at = now;
+    ar.expires_at = r.ttl_s > 0.0 ? now + r.ttl_s : 0.0;
+    ar.violation_distance = hit->severity();
+    ar.violator_ip = hit->ip;
+    user.active[r.id] = ar;
+    log_.record(Decision{now, user.user_id, r.id, DecisionType::kActivate,
+                         hit->ip, ar.violation_distance, alt_idx});
+  }
+}
+
+}  // namespace oak::core

@@ -1,0 +1,167 @@
+// The Oak server (paper §4, Figs. 4 & 5).
+//
+// Sits beside a site's web server (here: in front of the static object
+// store) and performs Oak's two interactions:
+//
+//  * Page serving — identify the user by cookie (issuing one on first
+//    contact), load the default page, apply the user's active rules within
+//    scope, attach type-2 cache-alias headers, and deliver the customized
+//    page. Everything is per-user: "any changes that a user observes are in
+//    direct response to the performance that the user reported" (§4.3).
+//
+//  * Report ingestion — accept the client's POSTed performance report,
+//    group by server, detect MAD violators, re-examine active rules whose
+//    alternative is now violating (the §4.2.3 history rule: keep whichever
+//    side sits closer to the median), and activate operator rules that match
+//    a violator through the three-tier connection-dependency test, subject
+//    to policy (minimum violations, client filters, alternative selection).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/decision_log.h"
+#include "core/matcher.h"
+#include "core/modifier.h"
+#include "core/policy.h"
+#include "core/rule.h"
+#include "core/violator.h"
+#include "http/message.h"
+#include "util/json.h"
+#include "page/site.h"
+
+namespace oak::core {
+
+// What to do when an activated alternative itself becomes a violator.
+// kMinDistance is the paper's §4.2.3 rule ("Oak then chooses the action
+// which minimizes this distance"); the other two exist as ablation
+// baselines.
+enum class HistoryMode {
+  kMinDistance,   // keep whichever side sits closer to the median
+  kAlwaysKeep,    // never revert once switched
+  kAlwaysRevert,  // any violation of the alternative reverts/advances
+};
+
+struct OakConfig {
+  DetectorConfig detector;
+  MatcherConfig matcher;
+  Policy policy;
+  HistoryMode history = HistoryMode::kMinDistance;
+  std::string report_path = "/oak/report";
+  // Master switch: when false Oak serves default pages and ignores reports
+  // (the paper's baseline condition).
+  bool enabled = true;
+  // Evaluation mode: every rule applied for every user regardless of
+  // reports (the paper's "Oak with all rules activated" condition, §5.3).
+  bool force_all_rules = false;
+};
+
+// One activated rule inside a user profile.
+struct ActiveRule {
+  int rule_id = 0;
+  std::size_t alternative_index = 0;
+  double activated_at = 0.0;
+  double expires_at = 0.0;  // 0 = never
+  // MAD distance of the violator that caused activation — the yardstick the
+  // history mechanism compares the alternative against.
+  double violation_distance = 0.0;
+  std::string violator_ip;
+};
+
+struct UserProfile {
+  std::string user_id;
+  std::string client_ip;
+  std::map<int, ActiveRule> active;          // keyed by rule id
+  std::map<int, int> pending_violations;     // toward min_violations
+  std::map<int, std::size_t> next_alternative;
+  std::set<int> banned;  // never re-activate (policy.allow_reactivation=false)
+  std::size_t reports_received = 0;
+  std::size_t pages_served = 0;
+  // Rolling page-load-time statistics from this user's reports; the
+  // treated-vs-holdback comparison in SiteAnalytics measures Oak's lift.
+  double plt_sum_s = 0.0;
+  std::size_t plt_count = 0;
+  bool holdback = false;
+
+  double mean_plt_s() const {
+    return plt_count == 0 ? 0.0 : plt_sum_s / double(plt_count);
+  }
+};
+
+class OakServer {
+ public:
+  OakServer(page::WebUniverse& universe, std::string site_host,
+            OakConfig cfg = {});
+
+  // Returns the rule id (assigned when the rule arrives with id 0).
+  int add_rule(Rule rule);
+  void add_rules(std::vector<Rule> rules);
+  // Retire a rule at runtime: deactivates it in every profile (logged as an
+  // expiration) and removes it from the rule set. Returns false for an
+  // unknown id.
+  bool remove_rule(int rule_id, double now);
+
+  // Register this server as the universe's handler for the site host.
+  void install();
+
+  http::Response handle(const http::Request& req, double now);
+
+  // --- Introspection (tests, experiment harnesses, auditing).
+  const OakConfig& config() const { return cfg_; }
+  OakConfig& config() { return cfg_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+  const Rule* rule(int id) const;
+  const DecisionLog& decision_log() const { return log_; }
+  const UserProfile* profile(const std::string& user_id) const;
+  const std::map<std::string, UserProfile>& profiles() const {
+    return profiles_;
+  }
+  std::size_t user_count() const { return profiles_.size(); }
+  std::size_t reports_processed() const { return reports_processed_; }
+  const std::string& site_host() const { return site_host_; }
+
+  // Run one report through the analysis pipeline directly (harness entry
+  // point that skips HTTP framing).
+  DetectionResult analyze(const std::string& user_id,
+                          const browser::PerfReport& report, double now);
+
+  // --- State persistence (core/persistence.cc). A production Oak restarts
+  // without forgetting who its users are or which rules it activated for
+  // them. Rules themselves are configuration, not state, and are NOT part
+  // of the snapshot; import expects the same rule set to be configured.
+  util::Json export_state() const;
+  // Replaces all user state and the decision log. Throws util::JsonError on
+  // malformed input.
+  void import_state(const util::Json& snapshot);
+
+ private:
+  http::Response serve_page(const http::Request& req, double now);
+  http::Response ingest_report(const http::Request& req, double now);
+  void process_report(UserProfile& user, const browser::PerfReport& report,
+                      double now, DetectionResult* out_detection);
+  void review_active_rules(UserProfile& user, const DetectionResult& detection,
+                           const std::vector<std::string>& scripts,
+                           double now);
+  void consider_activations(UserProfile& user,
+                            const DetectionResult& detection,
+                            const std::vector<std::string>& scripts,
+                            double now);
+  void expire_rules(UserProfile& user, double now);
+  UserProfile& user_for(const http::Request& req, http::Response& resp);
+
+  page::WebUniverse& universe_;
+  std::string site_host_;
+  OakConfig cfg_;
+  std::unique_ptr<Matcher> matcher_;
+  std::vector<Rule> rules_;
+  int next_rule_id_ = 1;
+  std::map<std::string, UserProfile> profiles_;
+  std::size_t next_user_ = 1;
+  std::size_t reports_processed_ = 0;
+  DecisionLog log_;
+};
+
+}  // namespace oak::core

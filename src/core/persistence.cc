@@ -1,0 +1,146 @@
+// Snapshot/restore of an OakServer's per-user state and decision log.
+//
+// The snapshot is plain JSON with a version tag. Rules are configuration
+// (they live in the operator's rule files), so they are not serialized;
+// active-rule references are stored by rule id and survive as long as the
+// operator keeps ids stable — which add_rule does, since explicit ids are
+// preserved and generated ids are sequential.
+#include "core/oak_server.h"
+
+namespace oak::core {
+
+namespace {
+constexpr int kSnapshotVersion = 1;
+
+util::Json active_rule_to_json(const ActiveRule& ar) {
+  util::JsonObject o;
+  o["rule"] = ar.rule_id;
+  o["alt"] = ar.alternative_index;
+  o["activated_at"] = ar.activated_at;
+  o["expires_at"] = ar.expires_at;
+  o["distance"] = ar.violation_distance;
+  o["violator"] = ar.violator_ip;
+  return util::Json(std::move(o));
+}
+
+ActiveRule active_rule_from_json(const util::Json& j) {
+  ActiveRule ar;
+  ar.rule_id = static_cast<int>(j.at("rule").as_int());
+  ar.alternative_index = static_cast<std::size_t>(j.at("alt").as_int());
+  ar.activated_at = j.at("activated_at").as_number();
+  ar.expires_at = j.at("expires_at").as_number();
+  ar.violation_distance = j.at("distance").as_number();
+  ar.violator_ip = j.at("violator").as_string();
+  return ar;
+}
+
+util::Json decision_to_json(const Decision& d) {
+  util::JsonObject o;
+  o["t"] = d.time;
+  o["user"] = d.user_id;
+  o["rule"] = d.rule_id;
+  o["type"] = static_cast<int>(d.type);
+  o["violator"] = d.violator_ip;
+  o["distance"] = d.distance;
+  o["alt"] = d.alternative_index;
+  return util::Json(std::move(o));
+}
+
+Decision decision_from_json(const util::Json& j) {
+  Decision d;
+  d.time = j.at("t").as_number();
+  d.user_id = j.at("user").as_string();
+  d.rule_id = static_cast<int>(j.at("rule").as_int());
+  d.type = static_cast<DecisionType>(j.at("type").as_int());
+  d.violator_ip = j.at("violator").as_string();
+  d.distance = j.at("distance").as_number();
+  d.alternative_index = static_cast<std::size_t>(j.at("alt").as_int());
+  return d;
+}
+}  // namespace
+
+util::Json OakServer::export_state() const {
+  util::JsonObject root;
+  root["version"] = kSnapshotVersion;
+  root["site"] = site_host_;
+  root["next_user"] = next_user_;
+  root["reports_processed"] = reports_processed_;
+
+  util::JsonObject users;
+  for (const auto& [uid, p] : profiles_) {
+    util::JsonObject u;
+    u["client_ip"] = p.client_ip;
+    u["reports"] = p.reports_received;
+    u["pages"] = p.pages_served;
+    u["plt_sum"] = p.plt_sum_s;
+    u["plt_count"] = p.plt_count;
+    u["holdback"] = p.holdback;
+    util::JsonArray active;
+    for (const auto& [rid, ar] : p.active) active.push_back(active_rule_to_json(ar));
+    u["active"] = std::move(active);
+    util::JsonObject pending;
+    for (const auto& [rid, n] : p.pending_violations) {
+      pending[std::to_string(rid)] = n;
+    }
+    u["pending"] = std::move(pending);
+    util::JsonObject next_alt;
+    for (const auto& [rid, n] : p.next_alternative) {
+      next_alt[std::to_string(rid)] = n;
+    }
+    u["next_alt"] = std::move(next_alt);
+    util::JsonArray banned;
+    for (int rid : p.banned) banned.emplace_back(rid);
+    u["banned"] = std::move(banned);
+    users[uid] = util::Json(std::move(u));
+  }
+  root["users"] = std::move(users);
+
+  util::JsonArray log;
+  for (const auto& d : log_.entries()) log.push_back(decision_to_json(d));
+  root["log"] = std::move(log);
+  return util::Json(std::move(root));
+}
+
+void OakServer::import_state(const util::Json& snapshot) {
+  if (snapshot.at("version").as_int() != kSnapshotVersion) {
+    throw util::JsonError("oak snapshot: unsupported version");
+  }
+  std::map<std::string, UserProfile> profiles;
+  for (const auto& [uid, u] : snapshot.at("users").as_object()) {
+    UserProfile p;
+    p.user_id = uid;
+    p.client_ip = u.at("client_ip").as_string();
+    p.reports_received = static_cast<std::size_t>(u.at("reports").as_int());
+    p.pages_served = static_cast<std::size_t>(u.at("pages").as_int());
+    p.plt_sum_s = u.at("plt_sum").as_number();
+    p.plt_count = static_cast<std::size_t>(u.at("plt_count").as_int());
+    p.holdback = u.at("holdback").as_bool();
+    for (const auto& a : u.at("active").as_array()) {
+      ActiveRule ar = active_rule_from_json(a);
+      p.active[ar.rule_id] = ar;
+    }
+    for (const auto& [rid, n] : u.at("pending").as_object()) {
+      p.pending_violations[std::stoi(rid)] = static_cast<int>(n.as_int());
+    }
+    for (const auto& [rid, n] : u.at("next_alt").as_object()) {
+      p.next_alternative[std::stoi(rid)] =
+          static_cast<std::size_t>(n.as_int());
+    }
+    for (const auto& b : u.at("banned").as_array()) {
+      p.banned.insert(static_cast<int>(b.as_int()));
+    }
+    profiles[uid] = std::move(p);
+  }
+  DecisionLog log;
+  for (const auto& d : snapshot.at("log").as_array()) {
+    log.record(decision_from_json(d));
+  }
+  // Commit only after the whole snapshot parsed (strong exception safety).
+  profiles_ = std::move(profiles);
+  log_ = std::move(log);
+  next_user_ = static_cast<std::size_t>(snapshot.at("next_user").as_int());
+  reports_processed_ =
+      static_cast<std::size_t>(snapshot.at("reports_processed").as_int());
+}
+
+}  // namespace oak::core

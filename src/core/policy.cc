@@ -1,0 +1,22 @@
+#include "core/policy.h"
+
+#include "util/rng.h"
+
+namespace oak::core {
+
+bool Policy::in_holdback(const std::string& user_id) const {
+  if (holdback_fraction <= 0.0) return false;
+  if (holdback_fraction >= 1.0) return true;
+  // Stable assignment: the same user lands on the same side forever.
+  return double(util::stable_hash(user_id) % 10'000) <
+         holdback_fraction * 10'000.0;
+}
+
+bool Policy::applies_to(const std::string& client_ip_text) const {
+  if (!client_filter) return true;
+  auto ip = net::IpAddr::parse(client_ip_text);
+  if (!ip) return false;  // unknown clients stay on the default page
+  return client_filter->contains(*ip);
+}
+
+}  // namespace oak::core

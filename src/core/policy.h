@@ -1,0 +1,63 @@
+// Operator policies (paper §4.2.4).
+//
+// Policies shape *when* rules may activate and *which* alternative is used:
+//  * a minimum number of violations before activation (costly switches, e.g.
+//    a contracted CDN, should happen sparingly);
+//  * the progression over multiple alternatives (linear by default);
+//  * an optional client filter ("Oak ... could further discriminate the
+//    activation of rules based on client information, for example by IP
+//    subnet").
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "net/address.h"
+
+namespace oak::core {
+
+enum class AlternativeSelection {
+  kLinear,      // first alternative, then the next on re-activation
+  kRoundRobin,  // wrap around instead of exhausting
+};
+
+struct Subnet {
+  net::IpAddr base;
+  int prefix_len = 0;
+  bool contains(net::IpAddr ip) const { return ip.in_subnet(base, prefix_len); }
+};
+
+struct Policy {
+  // Global default for rules that do not set their own min_violations.
+  int default_min_violations = 1;
+  AlternativeSelection selection = AlternativeSelection::kLinear;
+  // When set, Oak only applies rules (and counts violations) for clients in
+  // this subnet; everyone else gets the default page.
+  std::optional<Subnet> client_filter;
+  // When false, a rule deactivated by history is never re-activated for the
+  // same user (conservative operators).
+  bool allow_reactivation = true;
+
+  // A/B holdback: this fraction of users (chosen by a stable hash of their
+  // Oak id) always receives the default page. Their reports are still
+  // analyzed, so the operator can measure Oak's lift — treated vs held-back
+  // page load times — from the same telemetry (§6's auditing story).
+  double holdback_fraction = 0.0;
+
+  // True when `user_id` falls into the holdback group.
+  bool in_holdback(const std::string& user_id) const;
+
+  // Client-aware alternative selection ("Oak ... could further discriminate
+  // the activation of rules based on client information, for example by IP
+  // subnet", §4.2.4). Given the client's IP and the number of alternatives,
+  // return the index to use; overrides `selection` when set. The §5.3
+  // reproduction uses this to direct each client to its closest replica.
+  std::function<std::size_t(const std::string& client_ip,
+                            std::size_t num_alternatives)>
+      alternative_selector;
+
+  bool applies_to(const std::string& client_ip_text) const;
+};
+
+}  // namespace oak::core

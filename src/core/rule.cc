@@ -1,0 +1,89 @@
+#include "core/rule.h"
+
+#include <cctype>
+
+namespace oak::core {
+
+std::string to_string(RuleType t) {
+  switch (t) {
+    case RuleType::kRemove: return "remove";
+    case RuleType::kAlternativeSource: return "alternative-source";
+    case RuleType::kAlternativeObject: return "alternative-object";
+  }
+  return "?";
+}
+
+bool Rule::validate(std::string* why) const {
+  auto fail = [&](const char* msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  if (default_text.empty()) return fail("default text must not be empty");
+  if (type == RuleType::kRemove) {
+    if (!alternatives.empty()) {
+      return fail("type-1 (remove) rules take no alternatives");
+    }
+  } else {
+    if (alternatives.empty()) {
+      return fail("type-2/3 rules need at least one alternative");
+    }
+    for (const auto& a : alternatives) {
+      if (a.empty()) return fail("alternative text must not be empty");
+      if (a == default_text) {
+        return fail("alternative must differ from the default");
+      }
+    }
+  }
+  if (ttl_s < 0.0) return fail("ttl must be >= 0");
+  if (min_violations < 1) return fail("min_violations must be >= 1");
+  for (const auto& s : sub_rules) {
+    if (s.from.empty()) return fail("sub-rule 'from' must not be empty");
+  }
+  return true;
+}
+
+bool Rule::is_domain_rule() const {
+  if (default_text.empty()) return false;
+  bool has_dot = false;
+  for (char c : default_text) {
+    if (c == '.') {
+      has_dot = true;
+    } else if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-')) {
+      return false;
+    }
+  }
+  return has_dot;
+}
+
+Rule make_removal_rule(std::string name, std::string default_text,
+                       double ttl_s, std::string scope) {
+  Rule r;
+  r.name = std::move(name);
+  r.type = RuleType::kRemove;
+  r.default_text = std::move(default_text);
+  r.ttl_s = ttl_s;
+  r.scope = util::Scope(std::move(scope));
+  return r;
+}
+
+Rule make_source_rule(std::string name, std::string default_text,
+                      std::vector<std::string> alternatives, double ttl_s,
+                      std::string scope) {
+  Rule r;
+  r.name = std::move(name);
+  r.type = RuleType::kAlternativeSource;
+  r.default_text = std::move(default_text);
+  r.alternatives = std::move(alternatives);
+  r.ttl_s = ttl_s;
+  r.scope = util::Scope(std::move(scope));
+  return r;
+}
+
+Rule make_domain_rule(std::string name, std::string domain,
+                      std::vector<std::string> alt_domains, double ttl_s,
+                      std::string scope) {
+  return make_source_rule(std::move(name), std::move(domain),
+                          std::move(alt_domains), ttl_s, std::move(scope));
+}
+
+}  // namespace oak::core

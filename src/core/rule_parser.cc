@@ -1,0 +1,216 @@
+#include "core/rule_parser.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace oak::core {
+
+namespace {
+
+struct Lexer {
+  explicit Lexer(const std::string& text) : text(text) {}
+
+  const std::string& text;
+  std::size_t pos = 0;
+  std::size_t line = 1;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw RuleParseError(line, why);
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (c == '\n') {
+        ++line;
+        ++pos;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else if (c == '#') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eof() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  bool try_consume(char c) {
+    if (eof()) return false;
+    if (text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  // "->"
+  void expect_arrow() {
+    skip_ws();
+    if (pos + 1 >= text.size() || text[pos] != '-' || text[pos + 1] != '>') {
+      fail("expected '->'");
+    }
+    pos += 2;
+  }
+
+  std::string identifier() {
+    skip_ws();
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_')) {
+      ++pos;
+    }
+    if (pos == start) fail("expected identifier");
+    return text.substr(start, pos - start);
+  }
+
+  std::string string_literal() {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '"') fail("expected string");
+    ++pos;
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\n') fail("newline in string (use \\n)");
+      if (c == '\\') {
+        if (pos >= text.size()) fail("unterminated escape");
+        char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  double number() {
+    skip_ws();
+    std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool digits = false;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.')) {
+      digits = true;
+      ++pos;
+    }
+    if (!digits) fail("expected number");
+    return std::stod(text.substr(start, pos - start));
+  }
+};
+
+Rule parse_rule_block(Lexer& lex) {
+  Rule rule;
+  rule.name = lex.string_literal();
+  lex.expect('{');
+  bool saw_type = false;
+  while (lex.peek() != '}') {
+    const std::size_t field_line = lex.line;
+    std::string key = lex.identifier();
+    lex.expect(':');
+    if (key == "type") {
+      int t = static_cast<int>(lex.number());
+      if (t < 1 || t > 3) throw RuleParseError(field_line, "type must be 1-3");
+      rule.type = static_cast<RuleType>(t);
+      saw_type = true;
+    } else if (key == "default") {
+      rule.default_text = lex.string_literal();
+    } else if (key == "alt") {
+      rule.alternatives.push_back(lex.string_literal());
+    } else if (key == "ttl") {
+      rule.ttl_s = lex.number();
+    } else if (key == "scope") {
+      rule.scope = util::Scope(lex.string_literal());
+    } else if (key == "min_violations") {
+      rule.min_violations = static_cast<int>(lex.number());
+    } else if (key == "sub") {
+      SubRule sub;
+      sub.from = lex.string_literal();
+      lex.expect_arrow();
+      sub.to = lex.string_literal();
+      rule.sub_rules.push_back(std::move(sub));
+    } else {
+      throw RuleParseError(field_line, "unknown field '" + key + "'");
+    }
+  }
+  lex.expect('}');
+  if (!saw_type) throw RuleParseError(lex.line, "rule is missing 'type'");
+  std::string why;
+  if (!rule.validate(&why)) throw RuleParseError(lex.line, why);
+  return rule;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Rule> parse_rules(const std::string& text) {
+  Lexer lex(text);
+  std::vector<Rule> rules;
+  while (!lex.eof()) {
+    std::string kw = lex.identifier();
+    if (kw != "rule") lex.fail("expected 'rule'");
+    rules.push_back(parse_rule_block(lex));
+  }
+  return rules;
+}
+
+std::string format_rules(const std::vector<Rule>& rules) {
+  std::string out;
+  for (const auto& r : rules) {
+    out += "rule \"" + escape(r.name) + "\" {\n";
+    out += util::format("  type: %d\n", static_cast<int>(r.type));
+    out += "  default: \"" + escape(r.default_text) + "\"\n";
+    for (const auto& a : r.alternatives) {
+      out += "  alt: \"" + escape(a) + "\"\n";
+    }
+    out += util::format("  ttl: %g\n", r.ttl_s);
+    out += "  scope: \"" + escape(r.scope.pattern()) + "\"\n";
+    if (r.min_violations != 1) {
+      out += util::format("  min_violations: %d\n", r.min_violations);
+    }
+    for (const auto& s : r.sub_rules) {
+      out += "  sub: \"" + escape(s.from) + "\" -> \"" + escape(s.to) + "\"\n";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace oak::core

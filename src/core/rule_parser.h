@@ -1,0 +1,50 @@
+// Text format for rule files.
+//
+// The paper presents rules as operator-authored configuration (§4.1 shows a
+// tuple-style example). We use an equivalent but unambiguous block syntax —
+// the paper's nested unescaped quotes do not survive a grammar:
+//
+//   # comment
+//   rule "jquery-cdn" {
+//     type: 2
+//     default: "<script src=\"http://s1.com/jquery.js\"></script>"
+//     alt: "<script src=\"http://s2.net/jquery.js\"></script>"
+//     alt: "<script src=\"http://s3.org/jquery.js\"></script>"
+//     ttl: 0            # seconds; 0 = never expire
+//     scope: "*"        # glob over page paths
+//     min_violations: 1
+//     sub: "s1.com/skin.css" -> "s2.net/skin.css"
+//   }
+//
+// `type` is the paper's 1/2/3. Multiple `alt:` lines express the §4.2.4
+// multiple-alternatives policy. Strings use C-style escapes (\" \\ \n \t).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/rule.h"
+
+namespace oak::core {
+
+class RuleParseError : public std::runtime_error {
+ public:
+  RuleParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("rule parse error (line " + std::to_string(line) +
+                           "): " + what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+// Parse a rule file. Throws RuleParseError; also rejects rules that fail
+// Rule::validate().
+std::vector<Rule> parse_rules(const std::string& text);
+
+// Render rules back into the file format (round-trips through parse_rules).
+std::string format_rules(const std::vector<Rule>& rules);
+
+}  // namespace oak::core

@@ -1,0 +1,73 @@
+#include "core/trace.h"
+
+#include "http/cookies.h"
+#include "util/strings.h"
+
+namespace oak::core {
+
+void ReportTrace::append(double time, const std::string& user_id,
+                         const browser::PerfReport& report) {
+  records_.push_back(TraceRecord{time, user_id, report});
+}
+
+std::string ReportTrace::to_jsonl() const {
+  std::string out;
+  for (const auto& r : records_) {
+    util::JsonObject o;
+    o["t"] = r.time;
+    o["uid"] = r.user_id;
+    o["report"] = r.report.to_json();
+    out += util::Json(std::move(o)).dump();
+    out += '\n';
+  }
+  return out;
+}
+
+ReportTrace ReportTrace::from_jsonl(const std::string& text) {
+  ReportTrace trace;
+  for (const auto& line : util::split_nonempty(text, '\n')) {
+    util::Json j = util::Json::parse(line);
+    TraceRecord rec;
+    rec.time = j.at("t").as_number();
+    rec.user_id = j.at("uid").as_string();
+    rec.report =
+        browser::PerfReport::deserialize(j.at("report").dump());
+    trace.records_.push_back(std::move(rec));
+  }
+  return trace;
+}
+
+std::size_t ReportTrace::replay_into(OakServer& server) const {
+  const std::size_t before =
+      server.decision_log().count(DecisionType::kActivate);
+  for (const auto& r : records_) {
+    server.analyze(r.user_id, r.report, r.time);
+  }
+  return server.decision_log().count(DecisionType::kActivate) - before;
+}
+
+page::WebUniverse::Handler recording_handler(OakServer& server,
+                                             ReportTrace& trace) {
+  return [&server, &trace](const http::Request& req,
+                           double now) -> http::Response {
+    if (req.method == http::Method::kPost &&
+        req.url.path == server.config().report_path) {
+      try {
+        browser::PerfReport report =
+            browser::PerfReport::deserialize(req.body);
+        std::string uid = report.user_id;
+        if (auto cookie = req.headers.get("Cookie")) {
+          auto jar = http::parse_cookie_header(*cookie);
+          auto it = jar.find(http::kOakUserCookie);
+          if (it != jar.end()) uid = it->second;
+        }
+        trace.append(now, uid, report);
+      } catch (const util::JsonError&) {
+        // Malformed posts are still forwarded so the server replies 400.
+      }
+    }
+    return server.handle(req, now);
+  };
+}
+
+}  // namespace oak::core

@@ -1,0 +1,55 @@
+// Report traces: record the client-report stream, replay it offline.
+//
+// The paper positions Oak's reports as an auditing asset (§6) and its
+// server keeps "log information on the objects downloaded from particular
+// servers" (§5). A ReportTrace is that log: an append-only JSONL stream of
+// (time, user, report) records. Replaying a trace into a fresh OakServer
+// reproduces every decision — or, replayed into a server with a *different*
+// configuration, answers what-if questions ("would k = 3 have switched
+// fewer users?") against real traffic instead of synthetic workloads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "browser/report.h"
+#include "core/oak_server.h"
+
+namespace oak::core {
+
+struct TraceRecord {
+  double time = 0.0;
+  std::string user_id;
+  browser::PerfReport report;
+};
+
+class ReportTrace {
+ public:
+  void append(double time, const std::string& user_id,
+              const browser::PerfReport& report);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  void clear() { records_.clear(); }
+
+  // One JSON object per line; the report payload is the exact wire format.
+  std::string to_jsonl() const;
+  // Throws util::JsonError on any malformed line.
+  static ReportTrace from_jsonl(const std::string& text);
+
+  // Feed every record into `server` in order (via OakServer::analyze).
+  // Returns the number of activations the replay produced.
+  std::size_t replay_into(OakServer& server) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+// Convenience: wrap an OakServer handler so every report POST is also
+// recorded into `trace` before processing. Install the returned handler on
+// the universe instead of calling server.install().
+page::WebUniverse::Handler recording_handler(OakServer& server,
+                                             ReportTrace& trace);
+
+}  // namespace oak::core

@@ -1,0 +1,89 @@
+#include "core/violator.h"
+
+#include <algorithm>
+
+namespace oak::core {
+
+namespace {
+// A zero MAD (majority of servers identical) makes distances infinite; keep
+// severities finite so history comparisons stay well-ordered.
+constexpr double kMaxDistance = 1e9;
+double clamp_distance(double d) { return std::min(d, kMaxDistance); }
+}  // namespace
+
+DetectionResult detect_violators(std::vector<ServerObservation> observations,
+                                 const DetectorConfig& cfg) {
+  DetectionResult result;
+  result.observations = std::move(observations);
+
+  std::vector<double> times;
+  std::vector<double> tputs;
+  for (const auto& o : result.observations) {
+    if (o.has_small()) times.push_back(o.avg_small_time());
+    if (o.has_large()) tputs.push_back(o.avg_large_tput());
+  }
+  result.time_summary = util::mad_summary(times);
+  result.tput_summary = util::mad_summary(tputs);
+
+  if (cfg.mode == DetectionMode::kAbsolute) {
+    // Fixed bounds, no population requirement — exactly the parameter-
+    // selection burden the paper's relative design avoids (§6).
+    for (const auto& o : result.observations) {
+      Violation v;
+      v.ip = o.ip;
+      v.domains.assign(o.domains.begin(), o.domains.end());
+      if (o.has_small() && o.avg_small_time() > cfg.absolute_time_s) {
+        v.by_time = true;
+        v.time_distance = clamp_distance(
+            util::mad_distance(o.avg_small_time(), result.time_summary));
+      }
+      if (o.has_large() && o.avg_large_tput() < cfg.absolute_tput_bps) {
+        v.by_tput = true;
+        v.tput_distance = clamp_distance(
+            -util::mad_distance(o.avg_large_tput(), result.tput_summary));
+      }
+      if (v.by_time || v.by_tput) result.violators.push_back(std::move(v));
+    }
+    return result;
+  }
+
+  const bool check_time = times.size() >= cfg.min_population;
+  const bool check_tput = tputs.size() >= cfg.min_population;
+
+  for (const auto& o : result.observations) {
+    Violation v;
+    v.ip = o.ip;
+    v.domains.assign(o.domains.begin(), o.domains.end());
+    if (check_time && o.has_small()) {
+      const double x = o.avg_small_time();
+      if (util::above_mad(x, result.time_summary, cfg.k)) {
+        v.by_time = true;
+        v.time_distance =
+            clamp_distance(util::mad_distance(x, result.time_summary));
+      }
+    }
+    if (check_tput && o.has_large()) {
+      const double x = o.avg_large_tput();
+      if (util::below_mad(x, result.tput_summary, cfg.k)) {
+        v.by_tput = true;
+        // Distance is negative below the median; report its magnitude.
+        v.tput_distance =
+            clamp_distance(-util::mad_distance(x, result.tput_summary));
+      }
+    }
+    // "a violation of either type will result in the server being labeled
+    // as a violator" (§4.2.1).
+    if (v.by_time || v.by_tput) {
+      result.violators.push_back(std::move(v));
+    }
+  }
+  return result;
+}
+
+DetectionResult detect_violators(const browser::PerfReport& report,
+                                 const DetectorConfig& cfg) {
+  return detect_violators(group_by_server(report, cfg.small_threshold_bytes),
+                          cfg);
+}
+
+}  // namespace oak::core

@@ -1,0 +1,73 @@
+// MAD-based violator detection (paper §4.2.1).
+//
+// A server is a potential violator when, relative to the other servers the
+// same client contacted during the same load,
+//     time(x)  > median(time) + k·MAD(time)     (small objects), or
+//     tput(x)  < median(tput) − k·MAD(tput)     (large objects),
+// with k = 2 in the paper. The measure is *relative*: a client on a slow
+// link sees every server as slow and flags none of them, which is exactly
+// the behaviour Fig. 9 demonstrates (distant clients need larger injected
+// delays before detection fires).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/grouping.h"
+#include "util/stats.h"
+
+namespace oak::core {
+
+// §6 discusses and rejects absolute thresholds ("a maximum time or minimum
+// throughput for a specific object") in favour of the relative MAD rule.
+// The absolute mode exists for the ablation that quantifies why: one fixed
+// number cannot fit both a broadband and a satellite client.
+enum class DetectionMode { kRelative, kAbsolute };
+
+struct DetectorConfig {
+  DetectionMode mode = DetectionMode::kRelative;
+  double k = 2.0;  // MAD multiplier (relative mode)
+  // Absolute-mode thresholds: flag when avg small-object time exceeds, or
+  // avg large-object throughput falls below, these fixed bounds.
+  double absolute_time_s = 1.0;
+  double absolute_tput_bps = 1e6;
+  std::uint64_t small_threshold_bytes = kDefaultSmallObjectBytes;
+  // Populations smaller than this have a meaningless MAD; detection is
+  // skipped for the corresponding metric. With fewer than ~5 servers the
+  // median absolute deviation is dominated by one or two samples and the
+  // 2-MAD rule misfires in both directions.
+  std::size_t min_population = 5;
+};
+
+struct Violation {
+  std::string ip;
+  std::vector<std::string> domains;
+  bool by_time = false;
+  bool by_tput = false;
+  // Positive MAD distances beyond the median in the "worse" direction
+  // (0 when that metric did not trip). This is what rule history records:
+  // "Oak records the difference between the median performance and the
+  // performance of the violator" (§4.2.3).
+  double time_distance = 0.0;
+  double tput_distance = 0.0;
+  double severity() const {
+    return time_distance > tput_distance ? time_distance : tput_distance;
+  }
+};
+
+struct DetectionResult {
+  std::vector<Violation> violators;
+  std::vector<ServerObservation> observations;
+  util::MadSummary time_summary;  // over per-server avg small-object times
+  util::MadSummary tput_summary;  // over per-server avg large throughputs
+};
+
+DetectionResult detect_violators(const browser::PerfReport& report,
+                                 const DetectorConfig& cfg = {});
+
+// Detection over pre-grouped observations (used when the caller already has
+// them or synthesizes them in tests).
+DetectionResult detect_violators(std::vector<ServerObservation> observations,
+                                 const DetectorConfig& cfg = {});
+
+}  // namespace oak::core

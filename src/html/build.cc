@@ -1,0 +1,52 @@
+#include "html/build.h"
+
+namespace oak::html {
+
+std::string img_tag(const std::string& url) {
+  return "<img src=\"" + url + "\"/>";
+}
+
+std::string script_src_tag(const std::string& url) {
+  return "<script src=\"" + url + "\"></script>";
+}
+
+std::string stylesheet_tag(const std::string& url) {
+  return "<link rel=\"stylesheet\" href=\"" + url + "\"/>";
+}
+
+std::string iframe_tag(const std::string& url) {
+  return "<iframe src=\"" + url + "\"></iframe>";
+}
+
+std::string inline_script_tag(const std::string& body) {
+  return "<script>" + body + "</script>";
+}
+
+std::string programmatic_loader_script(const std::string& host,
+                                       const std::string& path) {
+  // Mirrors the common pattern of analytics snippets: the URL is assembled
+  // at runtime, so only the bare hostname appears in the page text.
+  return inline_script_tag(
+      "(function(){var h=\"" + host +
+      "\";var e=document.createElement(\"script\");"
+      "e.src=(\"https:\"==document.location.protocol?\"https://\":\"http://\")+h+\"" +
+      path + "\";document.body.appendChild(e);})();");
+}
+
+std::string assemble(const PageSkeleton& skeleton) {
+  std::string out = "<!DOCTYPE html>\n<html>\n<head>\n<title>" +
+                    skeleton.title + "</title>\n";
+  for (const auto& f : skeleton.head_fragments) {
+    out += f;
+    out += '\n';
+  }
+  out += "</head>\n<body>\n";
+  for (const auto& f : skeleton.body_fragments) {
+    out += f;
+    out += '\n';
+  }
+  out += "</body>\n</html>\n";
+  return out;
+}
+
+}  // namespace oak::html

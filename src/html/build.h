@@ -1,0 +1,31 @@
+// HTML construction helpers used by the synthetic page generator and tests.
+// Emission is deliberately canonical (double quotes, lowercase tags) so that
+// textual rules authored against generated pages match byte-for-byte.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace oak::html {
+
+std::string img_tag(const std::string& url);
+std::string script_src_tag(const std::string& url);
+std::string stylesheet_tag(const std::string& url);
+std::string iframe_tag(const std::string& url);
+std::string inline_script_tag(const std::string& body);
+
+// An inline script that builds a URL for `host` programmatically — the
+// tier-2 matching case: no well-formed URL, but the domain appears in text.
+std::string programmatic_loader_script(const std::string& host,
+                                       const std::string& path);
+
+struct PageSkeleton {
+  std::string title;
+  std::vector<std::string> head_fragments;
+  std::vector<std::string> body_fragments;
+};
+
+// Assemble a complete document from fragments.
+std::string assemble(const PageSkeleton& skeleton);
+
+}  // namespace oak::html

@@ -1,0 +1,62 @@
+#include "html/extract.h"
+
+#include "html/tokenizer.h"
+#include "util/strings.h"
+#include "util/url.h"
+
+namespace oak::html {
+
+std::string to_string(RefKind k) {
+  switch (k) {
+    case RefKind::kImage: return "image";
+    case RefKind::kScript: return "script";
+    case RefKind::kStylesheet: return "stylesheet";
+    case RefKind::kFrame: return "frame";
+    case RefKind::kMedia: return "media";
+    case RefKind::kOther: return "other";
+  }
+  return "?";
+}
+
+std::vector<ResourceRef> extract_references(std::string_view html) {
+  std::vector<ResourceRef> refs;
+  for (const Token& t : tokenize(html)) {
+    if (t.type != TokenType::kStartTag) continue;
+    std::string url;
+    RefKind kind = RefKind::kOther;
+    if (t.name == "img" || t.name == "source") {
+      url = t.attr("src");
+      kind = RefKind::kImage;
+    } else if (t.name == "script") {
+      url = t.attr("src");
+      kind = RefKind::kScript;
+    } else if (t.name == "link") {
+      if (util::to_lower(t.attr("rel")) == "stylesheet") {
+        url = t.attr("href");
+        kind = RefKind::kStylesheet;
+      }
+    } else if (t.name == "iframe") {
+      url = t.attr("src");
+      kind = RefKind::kFrame;
+    } else if (t.name == "video" || t.name == "audio") {
+      url = t.attr("src");
+      kind = RefKind::kMedia;
+    }
+    if (url.empty()) continue;
+    // Only absolute URLs participate: relative paths stay on the origin and
+    // are not subject to provider switching.
+    if (!util::parse_url(url)) continue;
+    refs.push_back(ResourceRef{std::move(url), kind, t.begin, t.end});
+  }
+  return refs;
+}
+
+std::vector<std::string> external_script_urls(std::string_view html) {
+  std::vector<std::string> out;
+  for (const auto& ref : extract_references(html)) {
+    if (ref.kind == RefKind::kScript) out.push_back(ref.url);
+  }
+  return out;
+}
+
+}  // namespace oak::html

@@ -1,0 +1,40 @@
+// Resource-reference extraction: which URLs does a block of HTML load?
+//
+// This powers both the simulated browser (what to fetch) and Oak's matcher
+// tier 1 ("Did the rule contain a reference to an explicit object hosted on a
+// domain that resolved to the violating server?" — a scan for src/href
+// attributes, paper §4.2.2).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oak::html {
+
+enum class RefKind {
+  kImage,       // <img src>, <source src>
+  kScript,      // <script src>
+  kStylesheet,  // <link rel=stylesheet href>
+  kFrame,       // <iframe src>
+  kMedia,       // <video src>, <audio src>
+  kOther,
+};
+
+std::string to_string(RefKind k);
+
+struct ResourceRef {
+  std::string url;
+  RefKind kind = RefKind::kOther;
+  std::size_t tag_begin = 0;  // byte range of the owning tag
+  std::size_t tag_end = 0;
+};
+
+// Explicit (tier-1) references: absolute URLs found in resource-bearing
+// attributes of tags.
+std::vector<ResourceRef> extract_references(std::string_view html);
+
+// URLs of external scripts only (tier-3 expansion inputs).
+std::vector<std::string> external_script_urls(std::string_view html);
+
+}  // namespace oak::html

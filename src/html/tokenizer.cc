@@ -1,0 +1,207 @@
+#include "html/tokenizer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace oak::html {
+
+std::string Token::attr(std::string_view name) const {
+  for (const auto& a : attributes) {
+    if (a.name == name) return a.value;
+  }
+  return {};
+}
+
+bool Token::has_attr(std::string_view name) const {
+  for (const auto& a : attributes) {
+    if (a.name == name) return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ||
+         c == ':';
+}
+
+// Parse attributes within a tag, between `pos` and `end` (exclusive of '>').
+std::vector<Attribute> parse_attributes(std::string_view s) {
+  std::vector<Attribute> attrs;
+  std::size_t i = 0;
+  const std::size_t n = s.size();
+  while (i < n) {
+    while (i < n && (std::isspace(static_cast<unsigned char>(s[i])) ||
+                     s[i] == '/')) {
+      ++i;
+    }
+    if (i >= n) break;
+    std::size_t name_start = i;
+    while (i < n && is_name_char(s[i])) ++i;
+    if (i == name_start) {
+      ++i;  // skip stray character
+      continue;
+    }
+    Attribute a;
+    a.name = util::to_lower(s.substr(name_start, i - name_start));
+    while (i < n && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i < n && s[i] == '=') {
+      ++i;
+      while (i < n && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+      if (i < n && (s[i] == '"' || s[i] == '\'')) {
+        char quote = s[i++];
+        std::size_t vstart = i;
+        while (i < n && s[i] != quote) ++i;
+        a.value = std::string(s.substr(vstart, i - vstart));
+        if (i < n) ++i;  // closing quote
+      } else {
+        std::size_t vstart = i;
+        while (i < n && !std::isspace(static_cast<unsigned char>(s[i])) &&
+               s[i] != '/') {
+          ++i;
+        }
+        a.value = std::string(s.substr(vstart, i - vstart));
+      }
+    }
+    attrs.push_back(std::move(a));
+  }
+  return attrs;
+}
+
+// Find the matching "</name" close tag at or after `from` (case-insensitive).
+std::size_t find_close_tag(std::string_view html, std::string_view name,
+                           std::size_t from) {
+  const std::string needle = "</" + std::string(name);
+  std::size_t i = from;
+  while (i + needle.size() <= html.size()) {
+    if (util::icontains(html.substr(i, needle.size()), needle)) {
+      // Confirm it is exactly here (icontains on a window of needle size is
+      // equality up to case).
+      return i;
+    }
+    ++i;
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view html) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = html.size();
+  while (i < n) {
+    if (html[i] != '<') {
+      std::size_t start = i;
+      while (i < n && html[i] != '<') ++i;
+      Token t;
+      t.type = TokenType::kText;
+      t.begin = start;
+      t.end = i;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // '<' at i.
+    if (i + 3 < n && html.compare(i, 4, "<!--") == 0) {
+      std::size_t close = html.find("-->", i + 4);
+      std::size_t end = close == std::string_view::npos ? n : close + 3;
+      Token t;
+      t.type = TokenType::kComment;
+      t.begin = i;
+      t.end = end;
+      tokens.push_back(std::move(t));
+      i = end;
+      continue;
+    }
+    if (i + 1 < n && html[i + 1] == '!') {
+      std::size_t close = html.find('>', i);
+      std::size_t end = close == std::string_view::npos ? n : close + 1;
+      Token t;
+      t.type = TokenType::kDoctype;
+      t.begin = i;
+      t.end = end;
+      tokens.push_back(std::move(t));
+      i = end;
+      continue;
+    }
+    bool end_tag = i + 1 < n && html[i + 1] == '/';
+    std::size_t name_start = i + (end_tag ? 2 : 1);
+    std::size_t j = name_start;
+    while (j < n && is_name_char(html[j])) ++j;
+    if (j == name_start) {
+      // A bare '<' in text.
+      Token t;
+      t.type = TokenType::kText;
+      t.begin = i;
+      t.end = i + 1;
+      tokens.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    std::string name = util::to_lower(html.substr(name_start, j - name_start));
+    std::size_t close = html.find('>', j);
+    std::size_t tag_end = close == std::string_view::npos ? n : close + 1;
+    Token t;
+    t.type = end_tag ? TokenType::kEndTag : TokenType::kStartTag;
+    t.name = name;
+    t.begin = i;
+    t.end = tag_end;
+    if (!end_tag && close != std::string_view::npos) {
+      std::string_view inner = html.substr(j, close - j);
+      t.self_closing = !inner.empty() && inner.back() == '/';
+      t.attributes = parse_attributes(inner);
+    }
+    tokens.push_back(t);
+    i = tag_end;
+    // Raw-text elements: consume the body up to the close tag as one text
+    // token so '<' inside scripts/styles never opens tags.
+    if (!end_tag && !t.self_closing && (name == "script" || name == "style")) {
+      std::size_t body_start = i;
+      std::size_t close_at = find_close_tag(html, name, i);
+      std::size_t body_end = close_at == std::string_view::npos ? n : close_at;
+      if (body_end > body_start) {
+        Token body;
+        body.type = TokenType::kText;
+        body.begin = body_start;
+        body.end = body_end;
+        tokens.push_back(std::move(body));
+      }
+      i = body_end;
+    }
+  }
+  return tokens;
+}
+
+std::vector<InlineScript> inline_scripts(std::string_view html) {
+  std::vector<InlineScript> out;
+  auto tokens = tokenize(html);
+  for (std::size_t k = 0; k < tokens.size(); ++k) {
+    const Token& t = tokens[k];
+    if (t.type != TokenType::kStartTag || t.name != "script" ||
+        t.self_closing || t.has_attr("src")) {
+      continue;
+    }
+    InlineScript s;
+    s.begin = t.begin;
+    s.end = t.end;
+    if (k + 1 < tokens.size() && tokens[k + 1].type == TokenType::kText) {
+      s.body = std::string(tokens[k + 1].raw(html));
+      s.end = tokens[k + 1].end;
+    }
+    // Extend through the close tag when present.
+    if (k + 2 < tokens.size() && tokens[k + 2].type == TokenType::kEndTag &&
+        tokens[k + 2].name == "script") {
+      s.end = tokens[k + 2].end;
+    } else if (k + 1 < tokens.size() &&
+               tokens[k + 1].type == TokenType::kEndTag &&
+               tokens[k + 1].name == "script") {
+      s.end = tokens[k + 1].end;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace oak::html

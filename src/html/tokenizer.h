@@ -1,0 +1,62 @@
+// A small HTML tokenizer.
+//
+// Oak does not need a full DOM: rule application is *textual* (rules carry
+// literal blocks of page text, paper §4.1) and matching needs only (a) tags
+// with resource attributes and (b) inline <script> bodies. The tokenizer
+// yields tags with parsed attributes plus the byte range each token covers in
+// the source, so extraction and diagnostics can always point back at the
+// original text.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oak::html {
+
+enum class TokenType {
+  kStartTag,   // <name attr=...> (includes self-closing)
+  kEndTag,     // </name>
+  kText,       // character data
+  kComment,    // <!-- ... -->
+  kDoctype,    // <!DOCTYPE ...>
+};
+
+struct Attribute {
+  std::string name;   // lowercased
+  std::string value;  // unquoted
+};
+
+struct Token {
+  TokenType type = TokenType::kText;
+  std::string name;  // tag name, lowercased; empty for text/comment
+  std::vector<Attribute> attributes;
+  bool self_closing = false;
+  std::size_t begin = 0;  // byte offset of token start in source
+  std::size_t end = 0;    // one past the last byte
+
+  std::string_view raw(std::string_view source) const {
+    return source.substr(begin, end - begin);
+  }
+
+  // First value of attribute `name` (lowercase), or empty.
+  std::string attr(std::string_view name) const;
+  bool has_attr(std::string_view name) const;
+};
+
+// Tokenize an HTML document. <script> and <style> element bodies are emitted
+// as a single kText token (their content is CDATA-like; '<' inside a script
+// must not open tags).
+std::vector<Token> tokenize(std::string_view html);
+
+// Convenience: an inline script with its body and source span.
+struct InlineScript {
+  std::string body;
+  std::size_t begin = 0;  // offset of the <script> tag
+  std::size_t end = 0;    // one past </script>
+};
+
+// All <script> elements without a src attribute.
+std::vector<InlineScript> inline_scripts(std::string_view html);
+
+}  // namespace oak::html

@@ -1,0 +1,64 @@
+#include "http/cache.h"
+
+#include "util/url.h"
+
+namespace oak::http {
+
+void BrowserCache::store(const std::string& url, std::uint64_t size,
+                         double now, double max_age_s) {
+  if (max_age_s <= 0.0) return;
+  entries_[url] = CacheEntry{size, now, max_age_s};
+}
+
+void BrowserCache::add_alias(const std::string& alias_url,
+                             const std::string& canonical_url) {
+  if (alias_url == canonical_url) return;
+  aliases_[alias_url] = canonical_url;
+}
+
+std::optional<CacheEntry> BrowserCache::lookup(const std::string& url,
+                                               double now) const {
+  auto fresh = [&](const CacheEntry& e) {
+    return now - e.stored_at <= e.max_age_s;
+  };
+  if (auto it = entries_.find(url); it != entries_.end() && fresh(it->second)) {
+    return it->second;
+  }
+  if (auto a = aliases_.find(url); a != aliases_.end()) {
+    if (auto it = entries_.find(a->second);
+        it != entries_.end() && fresh(it->second)) {
+      return it->second;
+    }
+  }
+  if (!host_aliases_.empty()) {
+    if (auto parsed = util::parse_url(url)) {
+      if (auto h = host_aliases_.find(parsed->host);
+          h != host_aliases_.end()) {
+        if (auto canonical = util::replace_host(url, h->second)) {
+          if (auto it = entries_.find(*canonical);
+              it != entries_.end() && fresh(it->second)) {
+            return it->second;
+          }
+        }
+      }
+    }
+  }
+  return {};
+}
+
+void BrowserCache::add_host_alias(const std::string& alias_host,
+                                  const std::string& canonical_host) {
+  if (alias_host == canonical_host) return;
+  host_aliases_[alias_host] = canonical_host;
+}
+
+bool BrowserCache::has_alias(const std::string& alias_url) const {
+  return aliases_.count(alias_url) > 0;
+}
+
+void BrowserCache::clear() {
+  entries_.clear();
+  aliases_.clear();
+}
+
+}  // namespace oak::http

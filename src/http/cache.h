@@ -1,0 +1,53 @@
+// Browser object cache with Oak alias support.
+//
+// Paper §4.3: a type-2 rewrite changes a resource's URL while the bytes stay
+// identical, which would defeat the browser cache ("the browser may re-fetch
+// an identical object, ignoring a usable copy in its cache"). Oak announces
+// such rewrites via a custom response header; the cache honors the alias so
+// the old entry satisfies the new URL.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace oak::http {
+
+struct CacheEntry {
+  std::uint64_t size = 0;
+  double stored_at = 0.0;
+  double max_age_s = 0.0;  // 0 => not cacheable (always revalidate)
+};
+
+class BrowserCache {
+ public:
+  // Record a downloaded object.
+  void store(const std::string& url, std::uint64_t size, double now,
+             double max_age_s);
+
+  // Register an alias: requests for `alias_url` may be served by the entry
+  // stored under `canonical_url` (Oak type-2 rewrites).
+  void add_alias(const std::string& alias_url,
+                 const std::string& canonical_url);
+
+  // Host-level alias for domain-wide type-2 rules: any URL on `alias_host`
+  // may be served by the same path cached under `canonical_host`.
+  void add_host_alias(const std::string& alias_host,
+                      const std::string& canonical_host);
+
+  // A fresh entry for `url`, following at most one alias hop.
+  std::optional<CacheEntry> lookup(const std::string& url, double now) const;
+
+  bool has_alias(const std::string& alias_url) const;
+  void clear();
+  std::size_t entry_count() const { return entries_.size(); }
+  std::size_t alias_count() const { return aliases_.size(); }
+
+ private:
+  std::map<std::string, CacheEntry> entries_;
+  std::map<std::string, std::string> aliases_;
+  std::map<std::string, std::string> host_aliases_;
+};
+
+}  // namespace oak::http

@@ -1,0 +1,63 @@
+#include "http/cookies.h"
+
+#include "util/strings.h"
+
+namespace oak::http {
+
+std::map<std::string, std::string> parse_cookie_header(
+    const std::string& value) {
+  std::map<std::string, std::string> out;
+  for (const auto& piece : util::split(value, ';')) {
+    auto kv = util::trim(piece);
+    std::size_t eq = kv.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    out[std::string(util::trim(kv.substr(0, eq)))] =
+        std::string(util::trim(kv.substr(eq + 1)));
+  }
+  return out;
+}
+
+std::string to_cookie_header(const std::map<std::string, std::string>& jar) {
+  std::string out;
+  for (const auto& [k, v] : jar) {
+    if (!out.empty()) out += "; ";
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+void CookieJar::set(const std::string& site, const std::string& name,
+                    const std::string& value) {
+  jars_[site][name] = value;
+}
+
+std::optional<std::string> CookieJar::get(const std::string& site,
+                                          const std::string& name) const {
+  auto it = jars_.find(site);
+  if (it == jars_.end()) return {};
+  auto jt = it->second.find(name);
+  if (jt == it->second.end()) return {};
+  return jt->second;
+}
+
+void CookieJar::ingest(const std::string& site,
+                       const Headers& response_headers) {
+  for (const auto& sc : response_headers.get_all("Set-Cookie")) {
+    // Only the name=value part matters in the simulation; attributes
+    // (Path/Expires/...) are ignored.
+    auto first = util::split(sc, ';');
+    if (first.empty()) continue;
+    std::size_t eq = first[0].find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    set(site, std::string(util::trim(first[0].substr(0, eq))),
+        std::string(util::trim(first[0].substr(eq + 1))));
+  }
+}
+
+void CookieJar::attach(const std::string& site, Headers& request_headers) const {
+  auto it = jars_.find(site);
+  if (it == jars_.end() || it->second.empty()) return;
+  request_headers.set("Cookie", to_cookie_header(it->second));
+}
+
+}  // namespace oak::http

@@ -1,0 +1,38 @@
+// Cookie handling: Oak identifies each user by a cookie issued on first
+// contact (paper §4: "the server responds with the default version of the
+// requested page and an identifying cookie").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "http/headers.h"
+
+namespace oak::http {
+
+// Parse a "Cookie:" request-header value ("a=1; b=2") into a map.
+std::map<std::string, std::string> parse_cookie_header(
+    const std::string& value);
+
+// Serialize cookies into a "Cookie:" header value.
+std::string to_cookie_header(const std::map<std::string, std::string>& jar);
+
+// Per-site cookie jar kept by the simulated browser.
+class CookieJar {
+ public:
+  void set(const std::string& site, const std::string& name,
+           const std::string& value);
+  std::optional<std::string> get(const std::string& site,
+                                 const std::string& name) const;
+
+  // Apply "Set-Cookie" response headers for `site`.
+  void ingest(const std::string& site, const Headers& response_headers);
+  // Attach a "Cookie" header for `site` (no-op when the jar is empty).
+  void attach(const std::string& site, Headers& request_headers) const;
+
+ private:
+  std::map<std::string, std::map<std::string, std::string>> jars_;
+};
+
+}  // namespace oak::http

@@ -1,0 +1,60 @@
+#include "http/headers.h"
+
+#include <cctype>
+
+namespace oak::http {
+
+bool header_name_equal(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Headers::add(std::string_view name, std::string_view value) {
+  entries_.emplace_back(std::string(name), std::string(value));
+}
+
+void Headers::set(std::string_view name, std::string_view value) {
+  remove(name);
+  add(name, value);
+}
+
+void Headers::remove(std::string_view name) {
+  std::erase_if(entries_, [&](const auto& e) {
+    return header_name_equal(e.first, name);
+  });
+}
+
+std::optional<std::string> Headers::get(std::string_view name) const {
+  for (const auto& [n, v] : entries_) {
+    if (header_name_equal(n, name)) return v;
+  }
+  return {};
+}
+
+std::vector<std::string> Headers::get_all(std::string_view name) const {
+  std::vector<std::string> out;
+  for (const auto& [n, v] : entries_) {
+    if (header_name_equal(n, name)) out.push_back(v);
+  }
+  return out;
+}
+
+bool Headers::has(std::string_view name) const {
+  return get(name).has_value();
+}
+
+std::size_t Headers::wire_size() const {
+  std::size_t n = 0;
+  for (const auto& [name, value] : entries_) {
+    n += name.size() + 2 + value.size() + 2;  // "Name: value\r\n"
+  }
+  return n;
+}
+
+}  // namespace oak::http

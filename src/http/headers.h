@@ -1,0 +1,41 @@
+// HTTP header collection: ordered, case-insensitive names, repeatable.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace oak::http {
+
+class Headers {
+ public:
+  // Append a header (does not replace existing ones with the same name).
+  void add(std::string_view name, std::string_view value);
+  // Replace all headers with this name by a single one.
+  void set(std::string_view name, std::string_view value);
+  void remove(std::string_view name);
+
+  // First value with this name.
+  std::optional<std::string> get(std::string_view name) const;
+  std::vector<std::string> get_all(std::string_view name) const;
+  bool has(std::string_view name) const;
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+  std::size_t size() const { return entries_.size(); }
+
+  // Serialized size in bytes ("Name: value\r\n" per header) — contributes to
+  // report-overhead accounting.
+  std::size_t wire_size() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+// Case-insensitive ASCII equality for header names.
+bool header_name_equal(std::string_view a, std::string_view b);
+
+}  // namespace oak::http

@@ -1,0 +1,54 @@
+#include "http/message.h"
+
+#include <stdexcept>
+
+namespace oak::http {
+
+std::string to_string(Method m) {
+  switch (m) {
+    case Method::kGet: return "GET";
+    case Method::kPost: return "POST";
+  }
+  return "?";
+}
+
+Request Request::get(const std::string& url) {
+  Request r;
+  r.method = Method::kGet;
+  auto parsed = util::parse_url(url);
+  if (!parsed) throw std::invalid_argument("bad url: " + url);
+  r.url = *parsed;
+  return r;
+}
+
+Request Request::post(const std::string& url, std::string body) {
+  Request r = get(url);
+  r.method = Method::kPost;
+  r.body = std::move(body);
+  r.headers.set("Content-Type", "application/json");
+  return r;
+}
+
+Response Response::not_found() {
+  Response r;
+  r.status = 404;
+  r.body = "not found";
+  return r;
+}
+
+Response Response::text(std::string body, int status) {
+  Response r;
+  r.status = status;
+  r.headers.set("Content-Type", "text/plain");
+  r.body = std::move(body);
+  return r;
+}
+
+Response Response::html(std::string body) {
+  Response r;
+  r.headers.set("Content-Type", "text/html");
+  r.body = std::move(body);
+  return r;
+}
+
+}  // namespace oak::http

@@ -1,0 +1,47 @@
+// HTTP request/response values exchanged between the simulated browser,
+// the Oak server and the backing web server.
+#pragma once
+
+#include <string>
+
+#include "http/headers.h"
+#include "util/url.h"
+
+namespace oak::http {
+
+enum class Method { kGet, kPost };
+
+std::string to_string(Method m);
+
+struct Request {
+  Method method = Method::kGet;
+  util::Url url;
+  Headers headers;
+  std::string body;       // POST payload (performance reports)
+  std::string client_ip;  // dotted quad of the requesting client (may be "")
+
+  static Request get(const std::string& url);
+  static Request post(const std::string& url, std::string body);
+};
+
+struct Response {
+  int status = 200;
+  Headers headers;
+  std::string body;
+
+  bool ok() const { return status >= 200 && status < 300; }
+
+  static Response not_found();
+  static Response text(std::string body, int status = 200);
+  static Response html(std::string body);
+};
+
+// Custom response header carrying type-2 aliases (paper §4.3): each value is
+// "<alternative-url> <default-url>", telling the browser a cached copy of the
+// default URL may satisfy the alternative URL.
+inline constexpr const char* kOakAliasHeader = "X-Oak-Alias";
+
+// Cookie used to carry the per-user Oak identity.
+inline constexpr const char* kOakUserCookie = "oak_uid";
+
+}  // namespace oak::http

@@ -1,0 +1,40 @@
+#include "net/address.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace oak::net {
+
+std::string IpAddr::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::optional<IpAddr> IpAddr::parse(const std::string& dotted) {
+  auto parts = util::split(dotted, '.');
+  if (parts.size() != 4) return {};
+  std::uint32_t v = 0;
+  for (const auto& p : parts) {
+    if (p.empty() || p.size() > 3) return {};
+    int octet = 0;
+    for (char c : p) {
+      if (c < '0' || c > '9') return {};
+      octet = octet * 10 + (c - '0');
+    }
+    if (octet > 255) return {};
+    v = (v << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return IpAddr(v);
+}
+
+bool IpAddr::in_subnet(IpAddr base, int prefix_len) const {
+  if (prefix_len <= 0) return true;
+  if (prefix_len >= 32) return value_ == base.value_;
+  const std::uint32_t mask = ~((1u << (32 - prefix_len)) - 1u);
+  return (value_ & mask) == (base.value_ & mask);
+}
+
+}  // namespace oak::net

@@ -1,0 +1,45 @@
+// IPv4-style addresses for the simulated network.
+//
+// Oak groups report entries "by the IP address to which the client
+// ultimately connected, keeping track of all related domain names"
+// (paper §4.2). Addresses therefore need identity and printing, nothing else.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace oak::net {
+
+class IpAddr {
+ public:
+  constexpr IpAddr() = default;
+  constexpr explicit IpAddr(std::uint32_t v) : value_(v) {}
+  constexpr IpAddr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                   std::uint8_t d)
+      : value_((std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+               (std::uint32_t(c) << 8) | std::uint32_t(d)) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string to_string() const;
+  static std::optional<IpAddr> parse(const std::string& dotted);
+
+  // /prefix_len subnet membership, used by client-discriminating policies.
+  bool in_subnet(IpAddr base, int prefix_len) const;
+
+  friend constexpr auto operator<=>(IpAddr, IpAddr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace oak::net
+
+template <>
+struct std::hash<oak::net::IpAddr> {
+  std::size_t operator()(oak::net::IpAddr ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value());
+  }
+};

@@ -1,0 +1,36 @@
+#include "net/dns.h"
+
+namespace oak::net {
+
+void Dns::bind(const std::string& host, IpAddr addr) {
+  forward_[host] = addr;
+}
+
+void Dns::unbind(const std::string& host) { forward_.erase(host); }
+
+std::optional<IpAddr> Dns::resolve(const std::string& host) const {
+  auto it = forward_.find(host);
+  if (it == forward_.end()) return {};
+  return it->second;
+}
+
+std::vector<std::string> Dns::reverse(IpAddr addr) const {
+  std::vector<std::string> out;
+  for (const auto& [host, ip] : forward_) {
+    if (ip == addr) out.push_back(host);
+  }
+  return out;
+}
+
+bool Dns::has(const std::string& host) const {
+  return forward_.count(host) > 0;
+}
+
+std::vector<std::string> Dns::all_hosts() const {
+  std::vector<std::string> out;
+  out.reserve(forward_.size());
+  for (const auto& [host, ip] : forward_) out.push_back(host);
+  return out;
+}
+
+}  // namespace oak::net

@@ -1,0 +1,38 @@
+// Simulated DNS: the authoritative registry mapping hostnames to server IPs.
+//
+// Several paper mechanisms hinge on the domain/IP split:
+//  * report grouping is by IP, "keeping track of all related domain names"
+//    (multiple CDN hostnames can share one front-end IP);
+//  * rule matching ties a violator IP back to the domains that reach it;
+//  * Fig. 1/2 distinguish origin sub-domains from external hosts.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+
+namespace oak::net {
+
+class Dns {
+ public:
+  // Bind a hostname to an address. Re-binding replaces the old record
+  // (used to emulate providers moving between front-ends over time).
+  void bind(const std::string& host, IpAddr addr);
+  void unbind(const std::string& host);
+
+  std::optional<IpAddr> resolve(const std::string& host) const;
+  // All hostnames bound to `addr` (deterministic order).
+  std::vector<std::string> reverse(IpAddr addr) const;
+  bool has(const std::string& host) const;
+  std::size_t size() const { return forward_.size(); }
+
+  std::vector<std::string> all_hosts() const;
+
+ private:
+  std::map<std::string, IpAddr> forward_;
+};
+
+}  // namespace oak::net

@@ -1,0 +1,45 @@
+#include "net/geo.h"
+
+namespace oak::net {
+
+std::string to_string(Region r) {
+  switch (r) {
+    case Region::kNorthAmerica: return "NorthAmerica";
+    case Region::kEurope: return "Europe";
+    case Region::kAsia: return "Asia";
+    case Region::kOceania: return "Oceania";
+    case Region::kSouthAmerica: return "SouthAmerica";
+  }
+  return "Unknown";
+}
+
+std::string region_code(Region r) {
+  switch (r) {
+    case Region::kNorthAmerica: return "NA";
+    case Region::kEurope: return "EU";
+    case Region::kAsia: return "AS";
+    case Region::kOceania: return "OC";
+    case Region::kSouthAmerica: return "SA";
+  }
+  return "??";
+}
+
+double base_rtt(Region a, Region b) {
+  // Seconds. Indexed [NA][EU][AS][OC][SA].
+  static constexpr double kRtt[kNumRegions][kNumRegions] = {
+      //  NA     EU     AS     OC     SA
+      {0.045, 0.100, 0.170, 0.160, 0.130},  // NA
+      {0.100, 0.030, 0.230, 0.280, 0.200},  // EU
+      {0.170, 0.230, 0.055, 0.120, 0.310},  // AS
+      {0.160, 0.280, 0.120, 0.030, 0.290},  // OC
+      {0.130, 0.200, 0.310, 0.290, 0.040},  // SA
+  };
+  return kRtt[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+std::array<Region, kNumRegions> all_regions() {
+  return {Region::kNorthAmerica, Region::kEurope, Region::kAsia,
+          Region::kOceania, Region::kSouthAmerica};
+}
+
+}  // namespace oak::net

@@ -1,0 +1,36 @@
+// Geographic regions and the base round-trip-time matrix between them.
+//
+// The paper's testbed spans PlanetLab nodes in North America, Europe and
+// Asia/Oceania (§5: 25 clients, half NA, rest split EU/AS+OC). Region-pair
+// base RTTs are the backbone of the simulated network; per-path and per-fetch
+// jitter is layered on top by oak::net::Network.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace oak::net {
+
+enum class Region {
+  kNorthAmerica = 0,
+  kEurope = 1,
+  kAsia = 2,
+  kOceania = 3,
+  kSouthAmerica = 4,
+};
+
+inline constexpr std::size_t kNumRegions = 5;
+
+std::string to_string(Region r);
+// Short labels used in experiment output ("NA", "EU", "AS", "OC", "SA").
+std::string region_code(Region r);
+
+// Base round-trip time between two regions, in seconds. Symmetric.
+// Values approximate public inter-region medians (e.g. NA<->NA ~45ms,
+// NA<->EU ~100ms, NA<->AS ~170ms, EU<->AS ~230ms).
+double base_rtt(Region a, Region b);
+
+// All regions, for iteration in tests and generators.
+std::array<Region, kNumRegions> all_regions();
+
+}  // namespace oak::net

@@ -1,0 +1,106 @@
+// The simulated wide-area network: clients, servers, paths and the
+// transfer-time model.
+//
+// This replaces the paper's real Internet between PlanetLab vantage points
+// and production servers. A fetch decomposes into DNS + TCP connect + TTFB +
+// download, each derived from the region-pair base RTT, a stable per-path
+// factor (some client/server pairs are just worse), per-fetch lognormal
+// jitter (multiplicative, so spread grows with distance — the property behind
+// Fig. 9's region-dependent detection thresholds) and the server's load at
+// that moment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+#include "net/dns.h"
+#include "net/geo.h"
+#include "net/server.h"
+#include "util/rng.h"
+
+namespace oak::net {
+
+using ClientId = std::uint32_t;
+
+struct ClientConfig {
+  std::string name;
+  Region region = Region::kNorthAmerica;
+  double downlink_bps = 50e6;
+  double last_mile_rtt_s = 0.010;  // access-network contribution to RTT
+  double jitter_sigma = 0.35;      // sigma of per-fetch lognormal jitter
+};
+
+struct Client {
+  ClientId id = 0;
+  IpAddr addr;
+  ClientConfig cfg;
+};
+
+// Timing decomposition of one object fetch, in seconds.
+struct FetchTiming {
+  double dns = 0.0;       // 0 when resolved from the client's cache
+  double connect = 0.0;   // 0 when a connection was reused
+  double ttfb = 0.0;      // request RTT + server processing
+  double download = 0.0;  // body transfer
+  double total() const { return dns + connect + ttfb + download; }
+};
+
+struct NetworkConfig {
+  std::uint64_t seed = 1;
+  // Schedule horizon for server congestion weather. Experiments that run
+  // longer than this see no transient events past the horizon.
+  double horizon_s = 14 * 86400.0;
+};
+
+class Network {
+ public:
+  explicit Network(NetworkConfig cfg = {});
+
+  ServerId add_server(ServerConfig cfg);
+  ClientId add_client(ClientConfig cfg);
+
+  Server& server(ServerId id) { return *servers_.at(id); }
+  const Server& server(ServerId id) const { return *servers_.at(id); }
+  const Client& client(ClientId id) const { return clients_.at(id); }
+  std::size_t server_count() const { return servers_.size(); }
+  std::size_t client_count() const { return clients_.size(); }
+
+  Dns& dns() { return dns_; }
+  const Dns& dns() const { return dns_; }
+
+  // Server lookup by IP; kInvalidServer when unknown.
+  ServerId server_by_ip(IpAddr addr) const;
+
+  // Mean RTT of the path (no per-fetch jitter), useful for tests.
+  double path_rtt(ClientId c, ServerId s) const;
+
+  // Compute the timing of fetching `bytes` from `s` by `c` starting at
+  // simulated time `t`. `rng` supplies the per-fetch jitter (owned by the
+  // caller so each client's randomness is an independent, reproducible
+  // stream). `cold_dns` / `new_connection` say whether those phases are paid.
+  FetchTiming fetch(ClientId c, ServerId s, std::uint64_t bytes, double t,
+                    util::Rng& rng, bool cold_dns = true,
+                    bool new_connection = true) const;
+
+  std::uint64_t seed() const { return cfg_.seed; }
+
+  // Day-scale multiplicative route weather between a client's access
+  // network and a server (deterministic in (seed, server, client, day)).
+  // Client-level, not region-level: most routing trouble is specific to one eyeball network, which is why most of Oak's rule activations are
+  // individual rather than common (paper Fig. 14).
+  double route_weather(ClientId c, ServerId s, double t) const;
+
+ private:
+  // Stable per-(client, server) path quality multiplier >= ~0.7.
+  double path_factor(ClientId c, ServerId s) const;
+
+  NetworkConfig cfg_;
+  Dns dns_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<Client> clients_;
+};
+
+}  // namespace oak::net

@@ -1,0 +1,95 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oak::net {
+
+namespace {
+constexpr double kDay = 86400.0;
+
+double region_utc_offset_hours(Region r) {
+  switch (r) {
+    case Region::kNorthAmerica: return -6.0;
+    case Region::kEurope: return 1.0;
+    case Region::kAsia: return 8.0;
+    case Region::kOceania: return 10.0;
+    case Region::kSouthAmerica: return -4.0;
+  }
+  return 0.0;
+}
+}  // namespace
+
+double local_hour(Region r, double t) {
+  double hours = t / 3600.0 + region_utc_offset_hours(r);
+  double h = std::fmod(hours, 24.0);
+  if (h < 0) h += 24.0;
+  return h;
+}
+
+double diurnal_shape(double local_hour) {
+  // Raised cosine centered at 14:00 local, zero between 22:00 and 06:00.
+  double x = local_hour - 14.0;
+  if (x < -12.0) x += 24.0;
+  if (x > 12.0) x -= 24.0;
+  if (std::fabs(x) >= 8.0) return 0.0;
+  return 0.5 * (1.0 + std::cos(x * 3.14159265358979323846 / 8.0));
+}
+
+Server::Server(ServerId id, IpAddr addr, ServerConfig cfg, std::uint64_t seed,
+               double horizon_s)
+    : id_(id), addr_(addr), cfg_(std::move(cfg)) {
+  // Draw the transient congestion schedule deterministically from the seed.
+  if (cfg_.congestion_rate_per_day > 0.0 && horizon_s > 0.0) {
+    util::Rng rng = util::Rng::forked(seed, id_ * 7919ull + 13ull);
+    const double mean_gap = kDay / cfg_.congestion_rate_per_day;
+    double t = rng.exponential(mean_gap);
+    while (t < horizon_s) {
+      CongestionEvent ev;
+      ev.start = t;
+      ev.end = t + std::max(60.0, rng.exponential(cfg_.congestion_mean_duration_s));
+      ev.severity =
+          std::max(0.5, rng.exponential(cfg_.congestion_mean_severity));
+      events_.push_back(ev);
+      t = ev.end + rng.exponential(mean_gap);
+    }
+  }
+}
+
+double Server::load(double t) const {
+  double l = cfg_.diurnal_amplitude * diurnal_shape(local_hour(cfg_.region, t));
+  for (const auto& ev : events_) {
+    if (ev.start > t) break;
+    if (t < ev.end) l += ev.severity;
+  }
+  return l;
+}
+
+bool Server::congested(double t) const {
+  for (const auto& ev : events_) {
+    if (ev.start > t) break;
+    if (t < ev.end) return true;
+  }
+  return false;
+}
+
+double Server::processing_delay(double t, Region client_region) const {
+  double d = cfg_.base_processing_s * (1.0 + load(t)) * cfg_.chronic_degradation;
+  if (cfg_.blind_spot_regions.count(client_region)) {
+    d *= cfg_.blind_spot_penalty;
+  }
+  return d + injected_delay_s_;
+}
+
+double Server::effective_bandwidth_bps(double t) const {
+  return cfg_.bandwidth_bps / ((1.0 + load(t)) * cfg_.chronic_degradation);
+}
+
+double Server::rtt_multiplier(Region client_region) const {
+  if (cfg_.blind_spot_regions.count(client_region)) {
+    return cfg_.blind_spot_penalty;
+  }
+  return 1.0;
+}
+
+}  // namespace oak::net

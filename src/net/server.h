@@ -1,0 +1,117 @@
+// Simulated HTTP servers: the performance-relevant state of a remote host.
+//
+// This is the substitute for the paper's PlanetLab nodes and production
+// third-party servers. Each server has:
+//  * a region (drives base RTT to each client),
+//  * base processing delay and bandwidth,
+//  * a diurnal load curve in server-local time (Fig. 11: "as the default
+//    providers became busy during the day, Oak was able to significantly
+//    improve the total page load time"),
+//  * transient congestion events — a deterministic schedule drawn from the
+//    server's seed (the ephemeral outliers of Fig. 3: "52% of outliers
+//    changing after a single day"),
+//  * optional chronic degradation (the persistent outliers of Fig. 3 and the
+//    "2 PlanetLab servers performing significantly worse" of §5.2),
+//  * optional per-region blind spots ("network blind-spots by third party
+//    providers", §1) — the path from one client region is persistently bad,
+//  * an operator-injected response delay (the sensitivity knob of Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+#include "net/geo.h"
+#include "util/rng.h"
+
+namespace oak::net {
+
+using ServerId = std::uint32_t;
+inline constexpr ServerId kInvalidServer = ~0u;
+
+// One transient congestion window.
+struct CongestionEvent {
+  double start = 0.0;     // seconds
+  double end = 0.0;       // seconds
+  double severity = 1.0;  // added load units while active
+};
+
+struct ServerConfig {
+  std::string name;  // diagnostic label
+  Region region = Region::kNorthAmerica;
+  // Anycast-style global points of presence: clients reach a nearby replica
+  // regardless of the home region (large CDNs, font/social providers).
+  // Blind-spot regions still apply — a blind spot models a missing or sick
+  // PoP for clients of that region.
+  bool global_pops = false;
+  double base_processing_s = 0.020;  // request handling at zero load
+  double bandwidth_bps = 100e6;      // per-connection service rate
+  double diurnal_amplitude = 0.5;    // peak added load units at local midday
+  // Chronic degradation multiplies processing time and divides bandwidth.
+  double chronic_degradation = 1.0;  // 1.0 = healthy; e.g. 8.0 = very sick
+  // Client regions with a persistently bad path to this server.
+  std::set<Region> blind_spot_regions;
+  double blind_spot_penalty = 4.0;  // RTT & processing multiplier in a spot
+  // Transient congestion weather parameters (schedule derived from seed).
+  double congestion_rate_per_day = 0.0;  // expected events per day
+  double congestion_mean_duration_s = 4 * 3600.0;
+  double congestion_mean_severity = 3.0;
+};
+
+class Server {
+ public:
+  Server(ServerId id, IpAddr addr, ServerConfig cfg, std::uint64_t seed,
+         double horizon_s);
+
+  ServerId id() const { return id_; }
+  IpAddr addr() const { return addr_; }
+  const ServerConfig& config() const { return cfg_; }
+  const std::string& name() const { return cfg_.name; }
+  Region region() const { return cfg_.region; }
+
+  // Load (in "units of extra work") at simulated time t: diurnal + transient.
+  double load(double t) const;
+
+  // Effective processing delay for one request at time t from a client in
+  // `client_region`, including chronic degradation, blind spots and the
+  // injected delay.
+  double processing_delay(double t, Region client_region) const;
+
+  // Effective per-connection bandwidth at time t (bytes/sec would be /8).
+  double effective_bandwidth_bps(double t) const;
+
+  // Multiplier applied to the path RTT for clients in `client_region`.
+  double rtt_multiplier(Region client_region) const;
+
+  // Fig. 9 knob: fixed delay added before every response.
+  void set_injected_delay(double seconds) { injected_delay_s_ = seconds; }
+  double injected_delay() const { return injected_delay_s_; }
+
+  void set_chronic_degradation(double factor) {
+    cfg_.chronic_degradation = factor;
+  }
+
+  const std::vector<CongestionEvent>& congestion_schedule() const {
+    return events_;
+  }
+
+  // True when a transient event is active at t.
+  bool congested(double t) const;
+
+ private:
+  ServerId id_;
+  IpAddr addr_;
+  ServerConfig cfg_;
+  double injected_delay_s_ = 0.0;
+  std::vector<CongestionEvent> events_;  // sorted by start
+};
+
+// Local hour-of-day [0,24) for a region at simulated time t (UTC).
+double local_hour(Region r, double t);
+
+// Diurnal load shape: 0 at night, peaking at local ~14:00.
+double diurnal_shape(double local_hour);
+
+}  // namespace oak::net

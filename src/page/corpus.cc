@@ -1,0 +1,643 @@
+#include "page/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace oak::page {
+
+namespace {
+
+struct NamedProvider {
+  const char* name;
+  Category category;
+  std::vector<const char*> domains;
+};
+
+// Recognizable third parties, including every domain the paper's Tables 1
+// and 3 mention, so the reproduced tables read like the originals.
+const std::vector<NamedProvider>& named_providers() {
+  static const std::vector<NamedProvider> kProviders = {
+      {"doubleclick", Category::kAds,
+       {"stats.g.doubleclick.net", "ad.doubleclick.com",
+        "pubads.g.doubleclick.net"}},
+      {"adnxs", Category::kAds, {"ib.adnxs.com"}},
+      {"vizury", Category::kAds, {"rtb-ap.vizury.com"}},
+      {"adcash-net", Category::kAds, {"cdn.adcash.com"}},
+      {"msads", Category::kAds, {"ads1.msads.net"}},
+      {"yadro", Category::kAds, {"counter.yadro.ru"}},
+      {"criteo", Category::kAds, {"static.criteo.net"}},
+      {"taboola", Category::kAds, {"cdn.taboola.com"}},
+      {"outbrain", Category::kAds, {"widgets.outbrain.com"}},
+      {"rubicon", Category::kAds, {"ads.rubiconproject.com"}},
+      {"yahoo-analytics", Category::kAnalytics, {"sp.analytics.yahoo.com"}},
+      {"dsply", Category::kAnalytics, {"www.dsply.com"}},
+      {"alexa-metrics", Category::kAnalytics,
+       {"d31qbv1cthcecs.cloudfront.net"}},
+      {"hotjar", Category::kAnalytics, {"insights.hotjar.com"}},
+      {"google-analytics", Category::kAnalytics,
+       {"www.google-analytics.com"}},
+      {"chartbeat", Category::kAnalytics, {"static.chartbeat.com"}},
+      {"scorecard", Category::kAnalytics, {"sb.scorecardresearch.com"}},
+      {"quantserve", Category::kAnalytics, {"secure.quantserve.com"}},
+      {"facebook", Category::kSocial,
+       {"facebook.com", "s-static.ak.facebook.com", "connect.facebook.net"}},
+      {"twitter", Category::kSocial,
+       {"analytics.twitter.com", "platform.twitter.com"}},
+      {"linkedin", Category::kSocial, {"platform.linkedin.com"}},
+      {"pinterest", Category::kSocial, {"assets.pinterest.com"}},
+      {"vk", Category::kSocial, {"vk.com"}},
+      {"akamai", Category::kCdn, {"e1.a.akamaiedge.net", "a248.e.akamai.net"}},
+      {"cloudfront", Category::kCdn, {"d1.cloudfront.net", "d2.cloudfront.net"}},
+      {"fastly", Category::kCdn, {"global.fastly.net"}},
+      {"cloudflare", Category::kCdn, {"cdnjs.cloudflare.com"}},
+      {"mycdn", Category::kCdn, {"vdp.mycdn.me"}},
+      {"xhcdn", Category::kCdn, {"ut06.xhcdn.com"}},
+      {"flixcart", Category::kCdn, {"img1a.flixcart.com"}},
+      {"qunarzz", Category::kCdn, {"img1.qunarzz.com"}},
+      {"ytimg", Category::kCdn, {"i.ytimg.com"}},
+      {"google-fonts", Category::kFonts,
+       {"fonts.googleapis.com", "fonts.gstatic.com"}},
+      {"typekit", Category::kFonts, {"use.typekit.net"}},
+      {"brightcove", Category::kVideo, {"players.brightcove.net"}},
+      {"jwplayer", Category::kVideo, {"content.jwplatform.com"}},
+      {"vimeo", Category::kVideo, {"player.vimeo.com"}},
+      {"imgur", Category::kImages, {"i.imgur.com"}},
+      {"gravatar", Category::kImages, {"secure.gravatar.com"}},
+      {"giphy", Category::kImages, {"media.giphy.com"}},
+  };
+  return kProviders;
+}
+
+// The paper's Table 2 site names: H1 (5–15 external hosts) then H2 (>15),
+// with their real home regions ("a portion of our sites come from each
+// North America, Europe, and Asia", §5.3).
+struct PaperSite {
+  const char* host;
+  int external_hosts;
+  net::Region region;
+};
+const std::vector<PaperSite>& paper_sites() {
+  static const std::vector<PaperSite> kSites = {
+      {"youtube.com", 9, net::Region::kNorthAmerica},
+      {"msn.com", 12, net::Region::kNorthAmerica},
+      {"wordpress.com", 8, net::Region::kNorthAmerica},
+      {"naver.com", 11, net::Region::kAsia},
+      {"adcash.com", 6, net::Region::kEurope},
+      {"ok.ru", 19, net::Region::kEurope},
+      {"flipkart.com", 24, net::Region::kAsia},
+      {"qunar.com", 21, net::Region::kAsia},
+      {"hulu.com", 17, net::Region::kNorthAmerica},
+      {"xhamster.com", 26, net::Region::kEurope},
+  };
+  return kSites;
+}
+
+struct FailureProfile {
+  double chronic_chance = 0.0;
+  double chronic_lo = 3.0, chronic_hi = 8.0;
+  double congestion_rate_per_day = 0.2;
+  double congestion_mean_severity = 2.0;
+  double blind_spot_chance = 0.08;
+  double base_processing_s = 0.020;
+  double bandwidth_bps = 120e6;
+  double diurnal_amplitude = 0.5;
+  // Probability the provider runs global PoPs (clients reach it locally).
+  // The rest serve from a single home region — the paper's "resource always
+  // being in a distant location from the user" class of individual problem.
+  double global_pops_chance = 0.5;
+};
+
+// Calibrated jointly against Figs. 2 and 3: chronic degradation and blind
+// spots produce the *persistent* outliers, congestion weather the
+// *ephemeral* ones; the paper observes roughly a 50/50 split after one day.
+// 2016-era Timing-Allow-Origin adoption: infrastructure providers opt in
+// sometimes, ad/analytics almost never — which is exactly why the paper
+// rejects the Resource Timing API as Oak's data source (§6).
+double timing_opt_in_chance(Category c) {
+  switch (c) {
+    case Category::kFonts: return 0.9;
+    case Category::kCdn: return 0.5;
+    case Category::kSocial: return 0.35;
+    case Category::kVideo:
+    case Category::kImages: return 0.3;
+    case Category::kAnalytics: return 0.2;
+    case Category::kAds: return 0.1;
+    case Category::kOrigin: return 0.0;
+  }
+  return 0.0;
+}
+
+FailureProfile profile_for(Category c) {
+  switch (c) {
+    case Category::kAds:
+      return {.chronic_chance = 0.03, .chronic_lo = 3.0, .chronic_hi = 9.0,
+              .congestion_rate_per_day = 0.55, .congestion_mean_severity = 6.0,
+              .blind_spot_chance = 0.03, .base_processing_s = 0.025,
+              .bandwidth_bps = 60e6, .diurnal_amplitude = 0.5,
+              .global_pops_chance = 0.93};
+    case Category::kAnalytics:
+      return {.chronic_chance = 0.025, .chronic_lo = 2.5, .chronic_hi = 7.0,
+              .congestion_rate_per_day = 0.4, .congestion_mean_severity = 5.0,
+              .blind_spot_chance = 0.03, .base_processing_s = 0.022,
+              .bandwidth_bps = 70e6, .diurnal_amplitude = 0.5,
+              .global_pops_chance = 0.93};
+    case Category::kSocial:
+      return {.chronic_chance = 0.03, .chronic_lo = 2.0, .chronic_hi = 6.0,
+              .congestion_rate_per_day = 0.15, .congestion_mean_severity = 4.0,
+              .blind_spot_chance = 0.03, .base_processing_s = 0.020,
+              .bandwidth_bps = 90e6, .diurnal_amplitude = 0.4,
+              .global_pops_chance = 0.96};
+    case Category::kCdn:
+      return {.chronic_chance = 0.02, .chronic_lo = 2.0, .chronic_hi = 5.0,
+              .congestion_rate_per_day = 0.15, .congestion_mean_severity = 3.0,
+              .blind_spot_chance = 0.02, .base_processing_s = 0.012,
+              .bandwidth_bps = 250e6, .diurnal_amplitude = 0.4,
+              .global_pops_chance = 0.96};
+    case Category::kFonts:
+      return {.chronic_chance = 0.02, .chronic_lo = 2.0, .chronic_hi = 4.0,
+              .congestion_rate_per_day = 0.155, .congestion_mean_severity = 3.5,
+              .blind_spot_chance = 0.03, .base_processing_s = 0.015,
+              .bandwidth_bps = 150e6, .diurnal_amplitude = 0.4,
+              .global_pops_chance = 0.96};
+    case Category::kVideo:
+      return {.chronic_chance = 0.025, .chronic_lo = 2.0, .chronic_hi = 5.0,
+              .congestion_rate_per_day = 0.45, .congestion_mean_severity = 4.0,
+              .blind_spot_chance = 0.02, .base_processing_s = 0.020,
+              .bandwidth_bps = 200e6, .diurnal_amplitude = 0.4,
+              .global_pops_chance = 0.96};
+    case Category::kImages:
+      return {.chronic_chance = 0.025, .chronic_lo = 2.0, .chronic_hi = 5.0,
+              .congestion_rate_per_day = 0.4, .congestion_mean_severity = 3.5,
+              .blind_spot_chance = 0.02, .base_processing_s = 0.018,
+              .bandwidth_bps = 180e6, .diurnal_amplitude = 0.5,
+              .global_pops_chance = 0.96};
+    case Category::kOrigin:
+      return {.chronic_chance = 0.0, .congestion_rate_per_day = 0.15,
+              .congestion_mean_severity = 2.0, .blind_spot_chance = 0.0,
+              .base_processing_s = 0.015, .bandwidth_bps = 150e6,
+              .diurnal_amplitude = 0.3,
+              .global_pops_chance = 0.0};
+  }
+  return {};
+}
+
+net::Region pick_region(util::Rng& rng) {
+  static const std::vector<double> kWeights = {0.45, 0.25, 0.20, 0.05, 0.05};
+  return net::all_regions()[rng.weighted(kWeights)];
+}
+
+Category pick_filler_category(util::Rng& rng) {
+  // Category mix of generated filler providers; ads/analytics dominate the
+  // third-party ecosystem just as in the paper's Table 1.
+  static const std::vector<double> kWeights = {
+      /*kCdn*/ 0.18, /*kAds*/ 0.30, /*kAnalytics*/ 0.20, /*kSocial*/ 0.08,
+      /*kFonts*/ 0.04, /*kVideo*/ 0.08, /*kImages*/ 0.12};
+  static const Category kCats[] = {
+      Category::kCdn,   Category::kAds,   Category::kAnalytics,
+      Category::kSocial, Category::kFonts, Category::kVideo,
+      Category::kImages};
+  return kCats[rng.weighted(kWeights)];
+}
+
+std::string filler_domain(Category c, std::size_t index) {
+  const char* prefix = "static";
+  const char* tld = "com";
+  switch (c) {
+    case Category::kAds: prefix = "ads"; tld = "net"; break;
+    case Category::kAnalytics: prefix = "metrics"; tld = "io"; break;
+    case Category::kSocial: prefix = "social"; break;
+    case Category::kCdn: prefix = "cdn"; tld = "net"; break;
+    case Category::kFonts: prefix = "fonts"; break;
+    case Category::kVideo: prefix = "media"; tld = "tv"; break;
+    case Category::kImages: prefix = "img"; break;
+    case Category::kOrigin: break;
+  }
+  return util::format("%s.provider%03zu.%s", prefix, index, tld);
+}
+
+html::RefKind pick_kind(Category c, util::Rng& rng) {
+  switch (c) {
+    case Category::kAds:
+      return rng.chance(0.5) ? html::RefKind::kScript
+                             : (rng.chance(0.5) ? html::RefKind::kFrame
+                                                : html::RefKind::kImage);
+    case Category::kAnalytics: return html::RefKind::kScript;
+    case Category::kSocial:
+      return rng.chance(0.6) ? html::RefKind::kScript : html::RefKind::kImage;
+    case Category::kFonts: return html::RefKind::kStylesheet;
+    case Category::kVideo:
+      return rng.chance(0.6) ? html::RefKind::kMedia : html::RefKind::kImage;
+    case Category::kImages: return html::RefKind::kImage;
+    case Category::kCdn:
+    case Category::kOrigin:
+      return rng.chance(0.5) ? html::RefKind::kImage
+                             : (rng.chance(0.5) ? html::RefKind::kScript
+                                                : html::RefKind::kStylesheet);
+  }
+  return html::RefKind::kImage;
+}
+
+std::uint64_t pick_size(html::RefKind kind, util::Rng& rng) {
+  switch (kind) {
+    case html::RefKind::kScript:
+      return static_cast<std::uint64_t>(rng.pareto(2e3, 2.5e5, 1.25));
+    case html::RefKind::kStylesheet:
+      return static_cast<std::uint64_t>(rng.pareto(1e3, 6e4, 1.4));
+    case html::RefKind::kMedia:
+      return static_cast<std::uint64_t>(rng.pareto(6e4, 9e5, 1.0));
+    case html::RefKind::kFrame:
+      return static_cast<std::uint64_t>(rng.pareto(4e3, 1.2e5, 1.3));
+    case html::RefKind::kImage:
+    case html::RefKind::kOther:
+      return static_cast<std::uint64_t>(rng.pareto(3e3, 8e5, 1.15));
+  }
+  return 10'000;
+}
+
+const char* kind_extension(html::RefKind kind) {
+  switch (kind) {
+    case html::RefKind::kScript: return "js";
+    case html::RefKind::kStylesheet: return "css";
+    case html::RefKind::kMedia: return "mp4";
+    case html::RefKind::kFrame: return "html";
+    default: return "png";
+  }
+}
+
+}  // namespace
+
+Corpus::Corpus(CorpusConfig cfg) : cfg_(cfg) {
+  net::NetworkConfig ncfg;
+  ncfg.seed = cfg_.seed;
+  ncfg.horizon_s = cfg_.horizon_s;
+  universe_ = std::make_unique<WebUniverse>(ncfg);
+
+  util::Rng provider_rng = util::Rng::forked(cfg_.seed, 1);
+  build_providers(provider_rng);
+  util::Rng site_rng = util::Rng::forked(cfg_.seed, 2);
+  build_sites(site_rng);
+}
+
+void Corpus::build_providers(util::Rng& rng) {
+  auto add_provider = [&](const std::string& name, Category category,
+                          std::vector<std::string> domains) {
+    // Chronic sickness and missing PoPs concentrate in the long tail:
+    // providers are chosen by Zipf popularity, and head providers
+    // (doubleclick, facebook, ...) are well-run -- their appearances in
+    // Table 1 come from transient congestion, not permanent rot. Without
+    // this, one chronically slow head provider becomes an outlier on
+    // nearly every site and Fig. 2 saturates.
+    const double rank_factor =
+        std::min(1.0, 0.10 + double(providers_.size()) / 60.0);
+    Provider p;
+    p.name = name;
+    p.category = category;
+    p.domains = std::move(domains);
+    p.region = pick_region(rng);
+
+    FailureProfile prof = profile_for(category);
+    net::ServerConfig scfg;
+    scfg.name = "srv-" + name;
+    scfg.region = p.region;
+    // Stable per-provider service-time spread keeps the within-page MAD
+    // honest: a perfectly homogeneous bulk collapses the MAD and turns
+    // ordinary jitter into violations.
+    scfg.base_processing_s =
+        prof.base_processing_s * rng.lognormal_median(1.0, 0.08);
+    scfg.bandwidth_bps = prof.bandwidth_bps;
+    scfg.diurnal_amplitude = prof.diurnal_amplitude;
+    scfg.congestion_rate_per_day = prof.congestion_rate_per_day;
+    scfg.congestion_mean_severity = prof.congestion_mean_severity;
+    // Short events: a congestion spell should not outlive a survey pass,
+    // let alone a day (Fig. 3's ephemeral outliers).
+    scfg.congestion_mean_duration_s = 2 * 3600.0;
+    scfg.global_pops =
+        rng.chance(1.0 - (1.0 - prof.global_pops_chance) * rank_factor);
+    if (rng.chance(prof.chronic_chance * rank_factor)) {
+      scfg.chronic_degradation =
+          rng.uniform(prof.chronic_lo, prof.chronic_hi);
+      p.chronically_degraded = true;
+    }
+    if (rng.chance(prof.blind_spot_chance * rank_factor)) {
+      scfg.blind_spot_regions.insert(pick_region(rng));
+      scfg.blind_spot_penalty = rng.uniform(3.0, 6.0);
+      p.has_blind_spot = true;
+    }
+    p.timing_opt_in = rng.chance(timing_opt_in_chance(category));
+    p.server = universe_->network().add_server(scfg);
+    const net::IpAddr addr = universe_->network().server(p.server).addr();
+    for (const auto& d : p.domains) universe_->dns().bind(d, addr);
+
+    const std::size_t idx = providers_.size();
+    for (const auto& d : p.domains) provider_by_domain_[d] = idx;
+    providers_.push_back(std::move(p));
+  };
+
+  for (const auto& np : named_providers()) {
+    std::vector<std::string> domains(np.domains.begin(), np.domains.end());
+    add_provider(np.name, np.category, std::move(domains));
+  }
+  for (std::size_t i = providers_.size(); i < cfg_.num_providers; ++i) {
+    Category c = pick_filler_category(rng);
+    add_provider(util::format("provider%03zu", i), c, {filler_domain(c, i)});
+  }
+  // Regional providers: single-region services with no global footprint
+  // (local CDNs, regional image hosts — the img1.qunarzz.com class). Far
+  // clients reach them across an ocean, which is what the §5.3 replication
+  // experiment exercises when its clients are "far".
+  std::size_t regional_index = 0;
+  for (net::Region region : net::all_regions()) {
+    for (int j = 0; j < 5; ++j, ++regional_index) {
+      Category c = pick_filler_category(rng);
+      Provider p;
+      p.name = util::format("regional%02zu", regional_index);
+      p.category = c;
+      p.domains = {util::format("r%02zu.%s", regional_index,
+                                filler_domain(c, 200 + regional_index).c_str())};
+      p.region = region;
+
+      FailureProfile prof = profile_for(c);
+      net::ServerConfig scfg;
+      scfg.name = "srv-" + p.name;
+      scfg.region = region;
+      scfg.base_processing_s =
+          prof.base_processing_s * rng.lognormal_median(1.0, 0.08);
+      scfg.bandwidth_bps = prof.bandwidth_bps;
+      scfg.diurnal_amplitude = prof.diurnal_amplitude;
+      // Regional services run leaner operations than the global providers:
+      // busier daily peaks, more frequent congestion, and a fair share of
+      // chronically under-provisioned hosts.
+      scfg.congestion_rate_per_day = prof.congestion_rate_per_day * 1.5;
+      scfg.congestion_mean_severity = prof.congestion_mean_severity;
+      scfg.congestion_mean_duration_s = 2 * 3600.0;
+      scfg.diurnal_amplitude = prof.diurnal_amplitude * 1.5;
+      if (rng.chance(0.25)) {
+        scfg.chronic_degradation = rng.uniform(1.8, 4.0);
+        p.chronically_degraded = true;
+      }
+      scfg.global_pops = false;
+      p.timing_opt_in = rng.chance(timing_opt_in_chance(c) * 0.5);
+      p.server = universe_->network().add_server(scfg);
+      const net::IpAddr addr = universe_->network().server(p.server).addr();
+      for (const auto& d : p.domains) universe_->dns().bind(d, addr);
+      const std::size_t idx = providers_.size();
+      for (const auto& d : p.domains) provider_by_domain_[d] = idx;
+      providers_.push_back(std::move(p));
+    }
+  }
+}
+
+void Corpus::build_sites(util::Rng& /*unused: sites fork their own streams*/) {
+  sites_.reserve(cfg_.num_sites);
+  for (std::size_t i = 0; i < cfg_.num_sites; ++i) {
+    std::string host;
+    int forced_hosts = -1;
+    if (i < paper_sites().size()) {
+      host = paper_sites()[i].host;
+      forced_hosts = paper_sites()[i].external_hosts;
+    } else {
+      host = util::format("site%03zu.com", i);
+    }
+    util::Rng site_rng = util::Rng::forked(cfg_.seed, 1000 + i);
+    const net::Region forced_region = i < paper_sites().size()
+                                          ? paper_sites()[i].region
+                                          : net::Region::kNorthAmerica;
+    sites_.push_back(
+        build_site(i, host, forced_hosts, forced_region, site_rng));
+  }
+}
+
+Site Corpus::build_site(std::size_t index, const std::string& host,
+                        int forced_host_count, net::Region forced_region,
+                        util::Rng& rng) {
+  // Origin server.
+  FailureProfile prof = profile_for(Category::kOrigin);
+  net::ServerConfig ocfg;
+  ocfg.name = "origin-" + host;
+  ocfg.region = forced_host_count > 0 ? forced_region : pick_region(rng);
+  ocfg.base_processing_s =
+      prof.base_processing_s * rng.lognormal_median(1.0, 0.08);
+  ocfg.bandwidth_bps = prof.bandwidth_bps;
+  ocfg.diurnal_amplitude = prof.diurnal_amplitude;
+  ocfg.congestion_rate_per_day = prof.congestion_rate_per_day;
+  ocfg.congestion_mean_severity = prof.congestion_mean_severity;
+  // Roughly half of popular sites are themselves CDN-fronted; the rest are
+  // reached at their home region (their far-away clients see a slower but
+  // *consistently* slower origin — which relative detection ignores). The
+  // Table 2 sites model regional portals served from home: for their far
+  // clients the origin and the region-local providers are slow *together*,
+  // which keeps the per-client median honest and their rule activations
+  // individual rather than common (Fig. 14, Table 3).
+  ocfg.global_pops = forced_host_count > 0 ? false : rng.chance(0.85);
+  const net::ServerId origin = universe_->network().add_server(ocfg);
+  const net::IpAddr origin_ip = universe_->network().server(origin).addr();
+  universe_->dns().bind(host, origin_ip);
+  const std::string static_subdomain = "static." + host;
+  const bool use_subdomain = rng.chance(0.4);
+  if (use_subdomain) universe_->dns().bind(static_subdomain, origin_ip);
+
+  SiteBuilder builder(*universe_, host, origin);
+
+  // Structural draws.
+  // Wide spread: the Alexa list mixes sprawling portals with near-trivial
+  // landing pages, and the simple ones are what gives Fig. 2 its empty
+  // bucket (a page contacting a handful of servers rarely has a 2-MAD
+  // outlier population).
+  std::size_t total = static_cast<std::size_t>(std::clamp(
+      rng.lognormal_median(cfg_.median_objects, 0.80), 5.0, 150.0));
+  const double logit = rng.normal(cfg_.external_fraction_logit_mean,
+                                  cfg_.external_fraction_logit_sigma);
+  const double ext_frac = 1.0 / (1.0 + std::exp(-logit));
+  std::size_t ext_objs =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::lround(double(total) * ext_frac)));
+  std::size_t n_hosts = std::clamp<std::size_t>(
+      static_cast<std::size_t>(
+          std::lround(double(ext_objs) / rng.uniform(1.8, 3.5))),
+      1, 50);
+  if (forced_host_count > 0) {
+    n_hosts = static_cast<std::size_t>(forced_host_count);
+    ext_objs = static_cast<std::size_t>(
+        std::lround(double(n_hosts) * rng.uniform(1.8, 3.0)));
+  }
+  const std::size_t origin_objs = total > ext_objs ? total - ext_objs : 4;
+
+  // Per-site matcher-tier weights, jittered around the corpus means.
+  const double wd = std::clamp(rng.normal(cfg_.tier_direct, 0.13), 0.05, 0.90);
+  const double wi = std::clamp(rng.normal(cfg_.tier_inline, 0.08), 0.0, 0.5);
+  const double ws = std::clamp(rng.normal(cfg_.tier_script, 0.10), 0.0, 0.5);
+  const double wh =
+      std::max(0.02, 1.0 - wd - wi - ws);  // hidden residue
+  const std::vector<double> tier_weights = {wd, wi, ws, wh};
+
+  // Pick distinct providers for this site by popularity.
+  std::vector<std::size_t> chosen;
+  std::vector<bool> used(providers_.size(), false);
+  // The Table 2 sites lean on region-local services the way real regional
+  // portals do (ok.ru, qunar.com, ...): their home-region users see them
+  // fast, everyone else pays trans-oceanic paths.
+  const bool regional_bias = forced_host_count > 0;
+  for (std::size_t k = 0; k < n_hosts && chosen.size() < providers_.size();
+       ++k) {
+    if (regional_bias && rng.chance(0.30)) {
+      std::vector<std::size_t> candidates;
+      for (std::size_t p = 0; p < providers_.size(); ++p) {
+        const bool pops = universe_->network()
+                              .server(providers_[p].server)
+                              .config()
+                              .global_pops;
+        if (!used[p] && !pops && providers_[p].region == ocfg.region) {
+          candidates.push_back(p);
+        }
+      }
+      if (!candidates.empty()) {
+        std::size_t p = candidates[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(candidates.size()) - 1))];
+        used[p] = true;
+        chosen.push_back(p);
+        continue;
+      }
+    }
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      std::size_t p = rng.zipf(providers_.size(), cfg_.provider_popularity_zipf);
+      if (!used[p]) {
+        used[p] = true;
+        chosen.push_back(p);
+        break;
+      }
+    }
+  }
+
+  // Distribute external objects over hosts (at least one each).
+  // At least two objects per host: single-object servers give the MAD
+  // detector one noisy sample and nothing to average.
+  std::vector<std::size_t> objs_per_host(chosen.size(), 2);
+  for (std::size_t rem = ext_objs > 2 * chosen.size()
+                             ? ext_objs - 2 * chosen.size()
+                             : 0;
+       rem > 0; --rem) {
+    objs_per_host[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(chosen.size()) - 1))]++;
+  }
+
+  // Tier assignment per host, then emit.
+  struct PendingInduced {
+    SiteBuilder::Induced induced;
+  };
+  std::vector<SiteBuilder::Induced> script_tier_pending;
+  std::vector<std::pair<std::string, Category>> direct_hosts;
+  std::size_t obj_counter = 0;
+  for (std::size_t k = 0; k < chosen.size(); ++k) {
+    const Provider& prov = providers_[chosen[k]];
+    const std::string& domain = prov.domains[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(prov.domains.size()) - 1))];
+    const std::size_t tier = rng.weighted(tier_weights);
+    for (std::size_t o = 0; o < objs_per_host[k]; ++o) {
+      html::RefKind kind = pick_kind(prov.category, rng);
+      std::uint64_t size = pick_size(kind, rng);
+      const std::string path = util::format(
+          "/%s/o%zu_%zu.%s", host.substr(0, host.find('.')).c_str(),
+          index, obj_counter++, kind_extension(kind));
+      switch (tier) {
+        case 0:
+          builder.add_direct(domain, path, kind, size, prov.category);
+          if (o == 0) direct_hosts.emplace_back(domain, prov.category);
+          break;
+        case 1:
+          builder.add_inline_loader(domain, path, size, prov.category);
+          break;
+        case 2:
+          script_tier_pending.push_back(
+              SiteBuilder::Induced{domain, path, kind, size, prov.category});
+          break;
+        default:
+          builder.add_hidden(domain, path, kind, size, prov.category);
+          break;
+      }
+    }
+  }
+
+  // Group script-tier objects under aggregator scripts hosted by ad/analytics
+  // providers (the Fig. 6 pattern: page -> script on S1 -> object on S3).
+  if (!script_tier_pending.empty()) {
+    const std::size_t groups =
+        std::max<std::size_t>(1, (script_tier_pending.size() + 3) / 4);
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::vector<SiteBuilder::Induced> batch;
+      for (std::size_t j = g; j < script_tier_pending.size(); j += groups) {
+        batch.push_back(script_tier_pending[j]);
+      }
+      if (batch.empty()) continue;
+      // Prefer an aggregator already referenced by this site so the
+      // external-host count matches the tier draws (Table 2 selection
+      // counts hosts, and a surprise aggregator would inflate it).
+      std::string agg_domain;
+      Category agg_category;
+      if (!direct_hosts.empty()) {
+        const auto& pick = direct_hosts[static_cast<std::size_t>(
+            rng.uniform_int(0,
+                            static_cast<std::int64_t>(direct_hosts.size()) - 1))];
+        agg_domain = pick.first;
+        agg_category = pick.second;
+      } else {
+        const Provider& agg = providers_[rng.zipf(
+            providers_.size(), cfg_.provider_popularity_zipf)];
+        agg_domain = agg.domains.front();
+        agg_category = agg.category;
+      }
+      builder.add_script_with_induced(
+          agg_domain,
+          util::format("/s/%s/loader%zu.js",
+                       host.substr(0, host.find('.')).c_str(), g),
+          static_cast<std::uint64_t>(rng.pareto(4e3, 6e4, 1.3)), agg_category,
+          batch);
+    }
+  }
+
+  // Origin-served objects (some on an origin sub-domain, still "internal").
+  for (std::size_t o = 0; o < origin_objs; ++o) {
+    html::RefKind kind = pick_kind(Category::kOrigin, rng);
+    const std::string path =
+        util::format("/assets/a%zu.%s", o, kind_extension(kind));
+    const std::string obj_host =
+        (use_subdomain && rng.chance(0.5)) ? static_subdomain : "";
+    builder.add_origin_object(path, kind, pick_size(kind, rng), obj_host);
+  }
+
+  builder.add_markup("<div class=\"footer\">generated corpus page</div>");
+  Site site = builder.finish();
+  // Stamp Timing-Allow-Origin on objects of opted-in providers.
+  for (const auto& hu : site.external_hosts) {
+    const Provider* prov = provider_of(hu.host);
+    if (!prov || !prov->timing_opt_in) continue;
+    for (const auto& url : hu.object_urls) {
+      if (WebObject* obj = universe_->store().find_mutable(url)) {
+        obj->timing_allow_origin = true;
+      }
+    }
+  }
+  return site;
+}
+
+const Site* Corpus::site_by_host(const std::string& host) const {
+  for (const auto& s : sites_) {
+    if (s.host == host) return &s;
+  }
+  return nullptr;
+}
+
+Category Corpus::category_of(const std::string& host) const {
+  auto it = provider_by_domain_.find(host);
+  if (it == provider_by_domain_.end()) return Category::kOrigin;
+  return providers_[it->second].category;
+}
+
+const Provider* Corpus::provider_of(const std::string& host) const {
+  auto it = provider_by_domain_.find(host);
+  if (it == provider_by_domain_.end()) return nullptr;
+  return &providers_[it->second];
+}
+
+}  // namespace oak::page

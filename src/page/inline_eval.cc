@@ -1,0 +1,41 @@
+#include "page/inline_eval.h"
+
+#include "html/tokenizer.h"
+
+namespace oak::page {
+
+namespace {
+// Extract the string literal following `marker`, delimited by double quotes.
+std::optional<std::string> quoted_after(std::string_view text,
+                                        std::string_view marker) {
+  std::size_t at = text.find(marker);
+  if (at == std::string_view::npos) return {};
+  std::size_t open = text.find('"', at + marker.size());
+  if (open == std::string_view::npos) return {};
+  std::size_t close = text.find('"', open + 1);
+  if (close == std::string_view::npos) return {};
+  return std::string(text.substr(open + 1, close - open - 1));
+}
+}  // namespace
+
+std::optional<InlineLoad> evaluate_loader(std::string_view script_body) {
+  // The loader idiom assigns the host to `var h="..."` and concatenates the
+  // path literal after `+h+`.
+  auto host = quoted_after(script_body, "var h=");
+  if (!host || host->empty()) return {};
+  auto path = quoted_after(script_body, "+h+");
+  if (!path || path->empty() || (*path)[0] != '/') return {};
+  return InlineLoad{std::move(*host), std::move(*path)};
+}
+
+std::vector<InlineLoad> evaluate_inline_scripts(std::string_view html) {
+  std::vector<InlineLoad> out;
+  for (const auto& script : html::inline_scripts(html)) {
+    if (auto load = evaluate_loader(script.body)) {
+      out.push_back(std::move(*load));
+    }
+  }
+  return out;
+}
+
+}  // namespace oak::page

@@ -1,0 +1,34 @@
+// "Execution" of inline programmatic loader scripts.
+//
+// Real pages build resource URLs at runtime ("these scripts often do not
+// contain well formed URLs, and instead construct the final URL
+// programatically", paper §4.2.2). We cannot run JavaScript, so the
+// generator emits loaders in a fixed idiom (html::programmatic_loader_script)
+// and this evaluator recovers the (host, path) the script would load.
+//
+// Crucially the evaluator works on the *page text*, so when Oak's modifier
+// rewrites a hostname inside an inline script, the browser's subsequent
+// loads follow the rewritten host — exactly as a real browser would.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oak::page {
+
+struct InlineLoad {
+  std::string host;
+  std::string path;
+  std::string url() const { return "http://" + host + path; }
+};
+
+// Recognize one programmatic loader body. Returns nullopt when the script is
+// not in the loader idiom (plain inline code loads nothing).
+std::optional<InlineLoad> evaluate_loader(std::string_view script_body);
+
+// All loads induced by the inline scripts of an HTML document.
+std::vector<InlineLoad> evaluate_inline_scripts(std::string_view html);
+
+}  // namespace oak::page

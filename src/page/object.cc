@@ -1,0 +1,69 @@
+#include "page/object.h"
+
+namespace oak::page {
+
+std::string to_string(Category c) {
+  switch (c) {
+    case Category::kOrigin: return "Origin";
+    case Category::kCdn: return "CDN";
+    case Category::kAds: return "Ads";
+    case Category::kAnalytics: return "Analytics";
+    case Category::kSocial: return "Social Networking";
+    case Category::kFonts: return "Fonts";
+    case Category::kVideo: return "Video";
+    case Category::kImages: return "Image Hosting";
+  }
+  return "?";
+}
+
+void ObjectStore::put(WebObject obj) { objects_[obj.url] = std::move(obj); }
+
+const WebObject* ObjectStore::find(const std::string& url) const {
+  auto it = objects_.find(url);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+WebObject* ObjectStore::find_mutable(const std::string& url) {
+  auto it = objects_.find(url);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+bool ObjectStore::replicate(const std::string& from, const std::string& to) {
+  auto it = objects_.find(from);
+  if (it == objects_.end()) return false;
+  WebObject copy = it->second;
+  copy.url = to;
+  objects_[to] = std::move(copy);
+  return true;
+}
+
+std::vector<std::string> ObjectStore::all_urls() const {
+  std::vector<std::string> out;
+  out.reserve(objects_.size());
+  for (const auto& [url, obj] : objects_) out.push_back(url);
+  return out;
+}
+
+std::string make_script_body(const std::vector<std::string>& visible_urls,
+                             std::size_t target_size) {
+  std::string body = "(function(){var u=[";
+  for (std::size_t i = 0; i < visible_urls.size(); ++i) {
+    if (i) body += ',';
+    body += '"';
+    body += visible_urls[i];
+    body += '"';
+  }
+  body +=
+      "];for(var i=0;i<u.length;i++){var e=document.createElement(\"script\");"
+      "e.src=u[i];document.body.appendChild(e);}})();";
+  if (body.size() < target_size) {
+    body += "\n/*";
+    body.append(target_size - body.size() > 2 ? target_size - body.size() - 2
+                                              : 0,
+                'x');
+    body += "*/";
+  }
+  return body;
+}
+
+}  // namespace oak::page

@@ -1,0 +1,84 @@
+// The object universe: every fetchable thing in the simulated web.
+//
+// The paper's clients load real pages whose objects live on real servers.
+// Here, a WebObject records what a URL returns (size, body for text
+// resources) and — because we do not execute JavaScript — an explicit
+// *induction list*: the URLs a script causes the browser to load when it
+// runs. This is precisely the paper's "connection dependency" abstraction
+// (§4.2.2, Fig. 6): Oak does not care about execution order, only that a
+// block on a page caused connections to particular servers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "html/extract.h"
+
+namespace oak::page {
+
+// Content category, used for outlier characterization (Table 1) and for
+// giving third-party classes realistic failure profiles.
+enum class Category {
+  kOrigin,
+  kCdn,
+  kAds,
+  kAnalytics,
+  kSocial,
+  kFonts,
+  kVideo,
+  kImages,
+};
+
+std::string to_string(Category c);
+
+struct WebObject {
+  std::string url;
+  html::RefKind kind = html::RefKind::kOther;
+  std::uint64_t size = 0;
+  Category category = Category::kOrigin;
+  // Body text; present for HTML documents and scripts (scripts that induce
+  // visible loads mention those URLs in their body — Oak's tier-3 matcher
+  // reads exactly this text).
+  std::string body;
+  // URLs this object loads when executed/rendered by the browser.
+  std::vector<std::string> induced;
+  // Induced loads whose origin is masked (built by opaque dynamic code):
+  // they are fetched, but never appear in any body text — the residual ~19%
+  // that no matching tier can reach (paper Fig. 8 discussion).
+  std::vector<std::string> hidden_induced;
+  double max_age_s = 0.0;  // 0 => uncacheable
+  // Provider opt-in to cross-origin timing visibility (the
+  // Timing-Allow-Origin response header). Only relevant when the client
+  // reports via the JavaScript Resource Timing API instead of a modified
+  // browser (paper §6, Alternative Mechanisms).
+  bool timing_allow_origin = false;
+};
+
+class ObjectStore {
+ public:
+  // Insert or replace.
+  void put(WebObject obj);
+  const WebObject* find(const std::string& url) const;
+  WebObject* find_mutable(const std::string& url);
+  bool has(const std::string& url) const { return find(url) != nullptr; }
+  std::size_t size() const { return objects_.size(); }
+
+  // Copy an existing object to a new URL (replication to an alternative
+  // host, preserving body/induction). Returns false if `from` is unknown.
+  bool replicate(const std::string& from, const std::string& to);
+
+  std::vector<std::string> all_urls() const;
+
+ private:
+  std::map<std::string, WebObject> objects_;
+};
+
+// Build a script body of roughly `target_size` bytes that textually mentions
+// each URL in `visible_urls` (comment filler pads the remainder).
+std::string make_script_body(const std::vector<std::string>& visible_urls,
+                             std::size_t target_size);
+
+}  // namespace oak::page

@@ -1,0 +1,195 @@
+#include "page/site.h"
+
+#include "html/build.h"
+
+namespace oak::page {
+
+std::string to_string(RefTier t) {
+  switch (t) {
+    case RefTier::kDirect: return "direct";
+    case RefTier::kInlineScript: return "inline-script";
+    case RefTier::kViaExternalScript: return "via-external-script";
+    case RefTier::kHidden: return "hidden";
+  }
+  return "?";
+}
+
+std::size_t Site::external_object_count() const {
+  std::size_t n = 0;
+  for (const auto& h : external_hosts) n += h.object_urls.size();
+  return n;
+}
+
+WebUniverse::WebUniverse(net::NetworkConfig cfg) : net_(cfg) {}
+
+void WebUniverse::set_handler(const std::string& host, Handler h) {
+  handlers_[host] = std::move(h);
+}
+
+const WebUniverse::Handler* WebUniverse::handler(
+    const std::string& host) const {
+  auto it = handlers_.find(host);
+  return it == handlers_.end() ? nullptr : &it->second;
+}
+
+double default_max_age(html::RefKind kind, Category category) {
+  if (category == Category::kAds || category == Category::kAnalytics) {
+    return 0.0;
+  }
+  switch (kind) {
+    case html::RefKind::kImage:
+    case html::RefKind::kStylesheet:
+    case html::RefKind::kMedia: return 3600.0;
+    case html::RefKind::kScript: return 600.0;
+    default: return 0.0;
+  }
+}
+
+SiteBuilder::SiteBuilder(WebUniverse& universe, std::string site_host,
+                         net::ServerId origin_server, std::string page_path)
+    : universe_(universe) {
+  site_.host = std::move(site_host);
+  site_.origin_server = origin_server;
+  site_.index_path = std::move(page_path);
+}
+
+WebObject SiteBuilder::make_object(const std::string& host,
+                                   const std::string& path,
+                                   html::RefKind kind, std::uint64_t size,
+                                   Category category, double max_age_s) {
+  WebObject obj;
+  obj.url = object_url(host, path);
+  obj.kind = kind;
+  obj.size = size;
+  obj.category = category;
+  obj.max_age_s = max_age_s;
+  return obj;
+}
+
+HostUse& SiteBuilder::host_use(const std::string& host, RefTier tier,
+                               Category category) {
+  for (auto& hu : site_.external_hosts) {
+    if (hu.host == host && hu.tier == tier) return hu;
+  }
+  site_.external_hosts.push_back(HostUse{host, tier, category, {}});
+  return site_.external_hosts.back();
+}
+
+SiteBuilder& SiteBuilder::add_origin_object(const std::string& path,
+                                            html::RefKind kind,
+                                            std::uint64_t size,
+                                            const std::string& host) {
+  const std::string h = host.empty() ? site_.host : host;
+  WebObject obj =
+      make_object(h, path, kind, size, Category::kOrigin,
+                  default_max_age(kind, Category::kOrigin));
+  const std::string url = obj.url;
+  universe_.store().put(std::move(obj));
+  switch (kind) {
+    case html::RefKind::kStylesheet: head_.push_back(html::stylesheet_tag(url)); break;
+    case html::RefKind::kScript: body_.push_back(html::script_src_tag(url)); break;
+    default: body_.push_back(html::img_tag(url)); break;
+  }
+  ++site_.origin_object_count;
+  return *this;
+}
+
+SiteBuilder& SiteBuilder::add_direct(const std::string& host,
+                                     const std::string& path,
+                                     html::RefKind kind, std::uint64_t size,
+                                     Category category) {
+  WebObject obj = make_object(host, path, kind, size, category,
+                              default_max_age(kind, category));
+  const std::string url = obj.url;
+  universe_.store().put(std::move(obj));
+  switch (kind) {
+    case html::RefKind::kStylesheet: head_.push_back(html::stylesheet_tag(url)); break;
+    case html::RefKind::kScript: body_.push_back(html::script_src_tag(url)); break;
+    case html::RefKind::kFrame: body_.push_back(html::iframe_tag(url)); break;
+    default: body_.push_back(html::img_tag(url)); break;
+  }
+  host_use(host, RefTier::kDirect, category).object_urls.push_back(url);
+  return *this;
+}
+
+SiteBuilder& SiteBuilder::add_inline_loader(const std::string& host,
+                                            const std::string& path,
+                                            std::uint64_t size,
+                                            Category category) {
+  WebObject obj = make_object(host, path, html::RefKind::kScript, size,
+                              category, default_max_age(html::RefKind::kScript,
+                                                        category));
+  const std::string url = obj.url;
+  universe_.store().put(std::move(obj));
+  body_.push_back(html::programmatic_loader_script(host, path));
+  host_use(host, RefTier::kInlineScript, category).object_urls.push_back(url);
+  return *this;
+}
+
+SiteBuilder& SiteBuilder::add_script_with_induced(
+    const std::string& script_host, const std::string& script_path,
+    std::uint64_t script_size, Category script_category,
+    const std::vector<Induced>& induced) {
+  WebObject script =
+      make_object(script_host, script_path, html::RefKind::kScript,
+                  script_size, script_category,
+                  default_max_age(html::RefKind::kScript, script_category));
+  std::vector<std::string> visible;
+  for (const auto& ind : induced) {
+    WebObject obj = make_object(ind.host, ind.path, ind.kind, ind.size,
+                                ind.category,
+                                default_max_age(ind.kind, ind.category));
+    const std::string url = obj.url;
+    universe_.store().put(std::move(obj));
+    script.induced.push_back(url);
+    visible.push_back(url);
+    host_use(ind.host, RefTier::kViaExternalScript, ind.category)
+        .object_urls.push_back(url);
+  }
+  script.body = make_script_body(visible, script_size);
+  script.size = script.body.size();
+  const std::string script_url = script.url;
+  universe_.store().put(std::move(script));
+  body_.push_back(html::script_src_tag(script_url));
+  host_use(script_host, RefTier::kDirect, script_category)
+      .object_urls.push_back(script_url);
+  return *this;
+}
+
+SiteBuilder& SiteBuilder::add_hidden(const std::string& host,
+                                     const std::string& path,
+                                     html::RefKind kind, std::uint64_t size,
+                                     Category category) {
+  WebObject obj = make_object(host, path, kind, size, category,
+                              default_max_age(kind, category));
+  const std::string url = obj.url;
+  universe_.store().put(std::move(obj));
+  hidden_induced_.push_back(url);
+  host_use(host, RefTier::kHidden, category).object_urls.push_back(url);
+  return *this;
+}
+
+SiteBuilder& SiteBuilder::add_markup(const std::string& html_fragment) {
+  body_.push_back(html_fragment);
+  return *this;
+}
+
+Site SiteBuilder::finish(double index_max_age_s) {
+  html::PageSkeleton skeleton;
+  skeleton.title = site_.host;
+  skeleton.head_fragments = head_;
+  skeleton.body_fragments = body_;
+
+  WebObject index;
+  index.url = site_.index_url();
+  index.kind = html::RefKind::kOther;
+  index.category = Category::kOrigin;
+  index.body = html::assemble(skeleton);
+  index.size = index.body.size();
+  index.hidden_induced = hidden_induced_;
+  index.max_age_s = index_max_age_s;
+  universe_.store().put(std::move(index));
+  return site_;
+}
+
+}  // namespace oak::page

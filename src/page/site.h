@@ -1,0 +1,149 @@
+// Sites, the WebUniverse, and the SiteBuilder.
+//
+// A Site is one origin plus the ground truth of how it references external
+// hosts — at which *tier* each host is reachable by Oak's matcher:
+//   kDirect            explicit src/href attribute (matcher tier 1)
+//   kInlineScript      hostname appears in an inline programmatic loader
+//                      (matcher tier 2)
+//   kViaExternalScript induced by an external script whose body names the
+//                      host (matcher tier 3)
+//   kHidden            built by opaque dynamic code; no tier can match it
+// The tier mix drives Fig. 8.
+//
+// The WebUniverse owns the simulated network, the object store, and the
+// origin-server request handlers (plain site servers or Oak-enabled ones).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "http/message.h"
+#include "net/network.h"
+#include "page/object.h"
+
+namespace oak::page {
+
+enum class RefTier { kDirect, kInlineScript, kViaExternalScript, kHidden };
+
+std::string to_string(RefTier t);
+
+struct HostUse {
+  std::string host;
+  RefTier tier = RefTier::kDirect;
+  Category category = Category::kCdn;
+  std::vector<std::string> object_urls;
+};
+
+struct Site {
+  std::string host;
+  net::ServerId origin_server = net::kInvalidServer;
+  std::string index_path = "/index.html";
+  std::vector<HostUse> external_hosts;
+  std::size_t origin_object_count = 0;
+
+  std::string index_url() const { return "http://" + host + index_path; }
+  std::size_t external_object_count() const;
+  // Distinct external hostnames (what H1/H2 site selection counts).
+  std::size_t external_host_count() const { return external_hosts.size(); }
+};
+
+class WebUniverse {
+ public:
+  explicit WebUniverse(net::NetworkConfig cfg = {});
+
+  net::Network& network() { return net_; }
+  const net::Network& network() const { return net_; }
+  ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
+  net::Dns& dns() { return net_.dns(); }
+  const net::Dns& dns() const { return net_.dns(); }
+
+  // Dynamic origin handler (e.g. an Oak server). Static objects need none.
+  using Handler =
+      std::function<http::Response(const http::Request&, double now)>;
+  void set_handler(const std::string& host, Handler h);
+  const Handler* handler(const std::string& host) const;
+
+ private:
+  net::Network net_;
+  ObjectStore store_;
+  std::map<std::string, Handler> handlers_;
+};
+
+// Incrementally assembles one site's index page and object-store entries.
+// Hostnames referenced here must be bound in DNS by the caller.
+class SiteBuilder {
+ public:
+  // `page_path` lets one site carry several pages (the index plus sub-pages
+  // like "/article.html"); rules with narrow scopes apply per path, while
+  // site-wide rules learned on one page carry to the others (§4.2.4).
+  SiteBuilder(WebUniverse& universe, std::string site_host,
+              net::ServerId origin_server,
+              std::string page_path = "/index.html");
+
+  // An object served by the origin itself (relative reference; never subject
+  // to provider switching). `host` defaults to the site host but may be an
+  // origin sub-domain, which Fig. 1 still counts as non-external.
+  SiteBuilder& add_origin_object(const std::string& path, html::RefKind kind,
+                                 std::uint64_t size,
+                                 const std::string& host = "");
+
+  // Tier 1: explicit tag referencing an external object.
+  SiteBuilder& add_direct(const std::string& host, const std::string& path,
+                          html::RefKind kind, std::uint64_t size,
+                          Category category);
+
+  // Tier 2: inline programmatic loader for one external object.
+  SiteBuilder& add_inline_loader(const std::string& host,
+                                 const std::string& path, std::uint64_t size,
+                                 Category category);
+
+  struct Induced {
+    std::string host;
+    std::string path;
+    html::RefKind kind = html::RefKind::kImage;
+    std::uint64_t size = 0;
+    Category category = Category::kAds;
+  };
+  // Tier 3: an external script (itself a tier-1 reference on `script_host`)
+  // whose body names and induces further objects on other hosts.
+  SiteBuilder& add_script_with_induced(const std::string& script_host,
+                                       const std::string& script_path,
+                                       std::uint64_t script_size,
+                                       Category script_category,
+                                       const std::vector<Induced>& induced);
+
+  // Hidden: fetched during the load but reachable through no rule text.
+  SiteBuilder& add_hidden(const std::string& host, const std::string& path,
+                          html::RefKind kind, std::uint64_t size,
+                          Category category);
+
+  // Arbitrary extra markup (ad slots, text) — makes rules non-trivial.
+  SiteBuilder& add_markup(const std::string& html_fragment);
+
+  // Assemble the index page, store it, and return the site's ground truth.
+  Site finish(double index_max_age_s = 0.0);
+
+ private:
+  std::string object_url(const std::string& host, const std::string& path) {
+    return "http://" + host + path;
+  }
+  WebObject make_object(const std::string& host, const std::string& path,
+                        html::RefKind kind, std::uint64_t size,
+                        Category category, double max_age_s);
+  HostUse& host_use(const std::string& host, RefTier tier, Category category);
+
+  WebUniverse& universe_;
+  Site site_;
+  std::vector<std::string> head_;
+  std::vector<std::string> body_;
+  std::vector<std::string> hidden_induced_;
+};
+
+// Default cacheability by kind/category used by generators: ads/analytics are
+// uncacheable, images/styles cache for an hour, scripts for ten minutes.
+double default_max_age(html::RefKind kind, Category category);
+
+}  // namespace oak::page

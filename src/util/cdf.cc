@@ -1,0 +1,75 @@
+#include "util/cdf.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace oak::util {
+
+void Cdf::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::fraction_at_or_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::fraction_at_or_above(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  auto it = std::lower_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(samples_.end() - it) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] + frac * (samples_[lo + 1] - samples_[lo]);
+}
+
+std::vector<Cdf::Point> Cdf::points(std::size_t max_points) const {
+  std::vector<Point> out;
+  if (samples_.empty() || max_points == 0) return out;
+  ensure_sorted();
+  const std::size_t n = samples_.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += step) {
+    out.push_back({samples_[i], static_cast<double>(i + 1) /
+                                    static_cast<double>(n)});
+  }
+  if (out.back().value != samples_.back() || out.back().fraction != 1.0) {
+    out.push_back({samples_.back(), 1.0});
+  }
+  return out;
+}
+
+std::string Cdf::to_table(const std::string& label,
+                          std::size_t max_points) const {
+  std::string out = "# CDF: " + label + " (n=" + std::to_string(size()) +
+                    ")\n# value\tfraction\n";
+  for (const auto& p : points(max_points)) {
+    out += format("%.6g\t%.4f\n", p.value, p.fraction);
+  }
+  return out;
+}
+
+}  // namespace oak::util

@@ -1,0 +1,105 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oak::util {
+
+namespace {
+// SplitMix64 step, used to decorrelate forked seeds.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng Rng::fork(std::uint64_t tag) const { return forked(seed_, tag); }
+
+Rng Rng::forked(std::uint64_t seed, std::uint64_t tag) {
+  return Rng(mix(seed ^ mix(tag)));
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double sigma) {
+  if (sigma <= 0.0) return mean;  // std distributions require sigma > 0
+  std::normal_distribution<double> d(mean, sigma);
+  return d(engine_);
+}
+
+double Rng::lognormal_median(double median, double sigma) {
+  if (sigma <= 0.0) return median;
+  std::lognormal_distribution<double> d(std::log(median), sigma);
+  return d(engine_);
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) return 0.0;
+  std::exponential_distribution<double> d(1.0 / mean);
+  return d(engine_);
+}
+
+double Rng::pareto(double lo, double hi, double alpha) {
+  // Inverse-CDF sampling of a bounded Pareto.
+  const double u = uniform(0.0, 1.0);
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  const double x = -(u * ha - u * la - ha) / (ha * la);
+  return std::pow(1.0 / x, 1.0 / alpha);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  if (n == 0) return 0;
+  // Rejection-free sampling via precomputed harmonic normalization would be
+  // cached in a hot loop; corpus generation is one-shot so direct inverse
+  // transform over the CDF is fine for the n (<= a few thousand) we use.
+  double norm = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(double(i), s);
+  double u = uniform(0.0, 1.0) * norm;
+  double acc = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(double(i), s);
+    if (u <= acc) return i - 1;
+  }
+  return n - 1;
+}
+
+std::size_t Rng::weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += std::max(0.0, w);
+  double u = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += std::max(0.0, weights[i]);
+    if (u <= acc) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+std::uint64_t stable_hash(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace oak::util

@@ -1,0 +1,68 @@
+// Deterministic random number generation for the simulator.
+//
+// Everything in the reproduction is seeded: the same seed yields the same
+// corpus, network weather, and experiment output. Rng wraps a mt19937_64 and
+// exposes the distributions the substrate needs (lognormal latency jitter,
+// Zipf host popularity, Pareto-ish object sizes).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace oak::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
+
+  // Derive an independent child stream, a pure function of (construction
+  // seed, tag): forking never consumes entropy from the parent, so the
+  // result does not depend on how many draws the parent has made.
+  Rng fork(std::uint64_t tag) const;
+  static Rng forked(std::uint64_t seed, std::uint64_t tag);
+
+  std::uint64_t seed() const { return seed_; }
+
+  double uniform(double lo, double hi);
+  // Integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  bool chance(double p);
+  double normal(double mean, double sigma);
+  // Lognormal specified by the *median* of the resulting distribution and the
+  // sigma of the underlying normal; convenient for multiplicative jitter
+  // ("median 1.0, sigma 0.25" style).
+  double lognormal_median(double median, double sigma);
+  double exponential(double mean);
+  // Bounded Pareto on [lo, hi] with shape alpha.
+  double pareto(double lo, double hi, double alpha);
+  // Zipf rank in [0, n) with exponent s.
+  std::size_t zipf(std::size_t n, double s);
+
+  // Pick an index from non-negative weights (must not all be zero).
+  std::size_t weighted(const std::vector<double>& weights);
+
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(v.size()) - 1))];
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+// FNV-1a hash of a string; used to derive stable per-entity sub-seeds.
+std::uint64_t stable_hash(const std::string& s);
+
+}  // namespace oak::util

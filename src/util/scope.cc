@@ -1,0 +1,73 @@
+#include "util/scope.h"
+
+#include "util/strings.h"
+
+namespace oak::util {
+
+namespace {
+
+bool match_impl(std::string_view pat, std::string_view text) {
+  // Iterative glob with single-star backtracking; alternation handled by
+  // recursion on each branch.
+  std::size_t p = 0, t = 0;
+  std::size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pat.size() && pat[p] == '{') {
+      std::size_t close = pat.find('}', p);
+      if (close == std::string_view::npos) return false;  // malformed
+      std::string_view body = pat.substr(p + 1, close - p - 1);
+      std::string_view rest = pat.substr(close + 1);
+      for (const auto& alt : split(body, ',')) {
+        std::string candidate = alt + std::string(rest);
+        if (match_impl(candidate, text.substr(t))) return true;
+      }
+      // Alternation failed at this position; try star backtracking below.
+      if (star_p == std::string_view::npos) return false;
+      p = star_p + 1;
+      t = ++star_t;
+      continue;
+    }
+    if (p < pat.size() && (pat[p] == '?' || pat[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pat.size() && pat[p] == '*') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pat.size() && pat[p] == '*') ++p;
+  if (p < pat.size() && pat[p] == '{') {
+    std::size_t close = pat.find('}', p);
+    if (close == std::string_view::npos) return false;
+    std::string_view body = pat.substr(p + 1, close - p - 1);
+    std::string_view rest = pat.substr(close + 1);
+    for (const auto& alt : split(body, ',')) {
+      std::string candidate = alt + std::string(rest);
+      if (match_impl(candidate, "")) return true;
+    }
+    return false;
+  }
+  return p == pat.size();
+}
+
+}  // namespace
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  return match_impl(pattern, text);
+}
+
+Scope::Scope(std::string pattern) : pattern_(std::move(pattern)) {
+  site_wide_ = pattern_.empty() || pattern_ == "*";
+}
+
+bool Scope::matches(std::string_view path) const {
+  if (site_wide_) return true;
+  return glob_match(pattern_, path);
+}
+
+}  // namespace oak::util

@@ -1,0 +1,32 @@
+// Rule scopes (paper §4.1): "the scope is a path or regular expression which
+// indicates to which pages within a site a rule should be applied."
+//
+// We implement a glob dialect that covers the paper's usage: "*" (site-wide),
+// exact paths, "?" single-char, "*" multi-char wildcards, and "{a,b}"
+// alternation. This is deliberately a glob and not std::regex: scope checks
+// run on every page request for every rule of the requesting user.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace oak::util {
+
+class Scope {
+ public:
+  // An empty pattern or "*" matches everything.
+  explicit Scope(std::string pattern = "*");
+
+  bool matches(std::string_view path) const;
+  const std::string& pattern() const { return pattern_; }
+  bool is_site_wide() const { return site_wide_; }
+
+ private:
+  std::string pattern_;
+  bool site_wide_ = false;
+};
+
+// Core glob matcher, exposed for tests. Supports '*', '?', '{a,b,c}'.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+}  // namespace oak::util

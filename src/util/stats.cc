@@ -1,0 +1,100 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace oak::util {
+
+namespace {
+
+double median_sorted(std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const std::size_t n = v.size();
+  const std::size_t mid = n / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double hi = v[mid];
+  if (n % 2 == 1) return hi;
+  double lo = *std::max_element(v.begin(), v.begin() + mid);
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace
+
+double median(std::span<const double> xs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  return median_sorted(v);
+}
+
+double mad(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double med = median(xs);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double x : xs) dev.push_back(std::fabs(x - med));
+  return median_sorted(dev);
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  if (p <= 0.0) return v.front();
+  if (p >= 100.0) return v.back();
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] + frac * (v[lo + 1] - v[lo]);
+}
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+MadSummary mad_summary(std::span<const double> xs) {
+  MadSummary s;
+  s.n = xs.size();
+  s.med = median(xs);
+  s.mad = mad(xs);
+  return s;
+}
+
+bool above_mad(double x, const MadSummary& s, double k) {
+  return x > s.med + k * s.mad;
+}
+
+bool below_mad(double x, const MadSummary& s, double k) {
+  return x < s.med - k * s.mad;
+}
+
+double mad_distance(double x, const MadSummary& s) {
+  const double delta = x - s.med;
+  if (s.mad > 0.0) return delta / s.mad;
+  if (delta == 0.0) return 0.0;
+  return delta > 0.0 ? std::numeric_limits<double>::infinity()
+                     : -std::numeric_limits<double>::infinity();
+}
+
+}  // namespace oak::util

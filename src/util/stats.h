@@ -1,0 +1,54 @@
+// Basic robust statistics used throughout Oak.
+//
+// Oak's violator detection (paper §4.2.1) is built on the median and the
+// Median Absolute Deviation (MAD): a server is a violator when its metric is
+// more than k·MAD on the wrong side of the median. These helpers are the
+// single implementation of those primitives for the whole code base.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace oak::util {
+
+// Median of a sample. Returns 0 for an empty sample. Uses the midpoint of the
+// two central elements for even-sized samples.
+double median(std::span<const double> xs);
+
+// Median absolute deviation: median_i(|x_i - median_j(x_j)|).
+// Returns 0 for samples of size < 2.
+double mad(std::span<const double> xs);
+
+// Arithmetic mean; 0 for empty samples.
+double mean(std::span<const double> xs);
+
+// Sample standard deviation (n-1 denominator); 0 for samples of size < 2.
+double stddev(std::span<const double> xs);
+
+// Linear-interpolated percentile, p in [0,100]. 0 for empty samples.
+double percentile(std::span<const double> xs, double p);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+// Combined location/spread summary for one report population.
+struct MadSummary {
+  double med = 0.0;
+  double mad = 0.0;
+  std::size_t n = 0;
+};
+
+MadSummary mad_summary(std::span<const double> xs);
+
+// True when `x` lies more than `k` MADs *above* the median (slow time).
+bool above_mad(double x, const MadSummary& s, double k);
+// True when `x` lies more than `k` MADs *below* the median (low throughput).
+bool below_mad(double x, const MadSummary& s, double k);
+
+// Signed distance from the median in units of MAD. When the MAD is zero the
+// distance is 0 for x == median and +/-infinity otherwise; callers that feed
+// degenerate populations should check MadSummary::mad first.
+double mad_distance(double x, const MadSummary& s);
+
+}  // namespace oak::util

@@ -1,0 +1,39 @@
+// Small string helpers shared by the HTML tokenizer, the rule matcher and
+// report handling. All operate on ASCII, which is all the substrate emits.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oak::util {
+
+std::vector<std::string> split(std::string_view s, char sep);
+// Split on `sep`, dropping empty fields.
+std::vector<std::string> split_nonempty(std::string_view s, char sep);
+
+std::string_view trim(std::string_view s);
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+bool contains(std::string_view haystack, std::string_view needle);
+// Case-insensitive containment (ASCII).
+bool icontains(std::string_view haystack, std::string_view needle);
+
+// Replace every occurrence of `from` (must be non-empty) with `to`.
+// Returns the number of replacements performed.
+std::size_t replace_all(std::string& s, std::string_view from,
+                        std::string_view to);
+
+// Count non-overlapping occurrences of `needle` in `haystack`.
+std::size_t count_occurrences(std::string_view haystack,
+                              std::string_view needle);
+
+// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Join elements with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace oak::util

@@ -1,0 +1,110 @@
+#include "util/url.h"
+
+#include <cctype>
+#include <set>
+
+#include "util/strings.h"
+
+namespace oak::util {
+
+std::string Url::to_string() const {
+  std::string out = scheme + "://" + host + path;
+  if (!query.empty()) {
+    out += '?';
+    out += query;
+  }
+  return out;
+}
+
+std::optional<Url> parse_url(std::string_view raw) {
+  Url u;
+  std::size_t scheme_end = raw.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) return {};
+  u.scheme = to_lower(raw.substr(0, scheme_end));
+  std::string_view rest = raw.substr(scheme_end + 3);
+  if (rest.empty()) return {};
+  std::size_t path_start = rest.find('/');
+  std::string_view host_part =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  if (host_part.empty()) return {};
+  for (char c : host_part) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-')) {
+      return {};
+    }
+  }
+  u.host = to_lower(host_part);
+  std::string_view tail =
+      path_start == std::string_view::npos ? "" : rest.substr(path_start);
+  std::size_t q = tail.find('?');
+  if (q == std::string_view::npos) {
+    u.path = tail.empty() ? "/" : std::string(tail);
+  } else {
+    u.path = q == 0 ? "/" : std::string(tail.substr(0, q));
+    u.query = std::string(tail.substr(q + 1));
+  }
+  return u;
+}
+
+std::string registrable_domain(std::string_view host) {
+  auto labels = split_nonempty(host, '.');
+  if (labels.size() <= 2) return std::string(host);
+  return labels[labels.size() - 2] + "." + labels[labels.size() - 1];
+}
+
+bool same_site(std::string_view host, std::string_view origin) {
+  if (host == origin) return true;
+  return registrable_domain(host) == registrable_domain(origin);
+}
+
+std::vector<std::string> extract_hostnames(std::string_view text) {
+  // A hostname token: [a-z0-9-]+ ('.' [a-z0-9-]+)+ with at least one dot and
+  // an alphabetic top-level label. We scan manually instead of std::regex —
+  // this is on the matcher hot path (every rule × every report).
+  std::vector<std::string> out;
+  const auto is_label_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '-';
+  };
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    if (!is_label_char(text[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t start = i;
+    std::size_t dots = 0;
+    while (i < n && (is_label_char(text[i]) || text[i] == '.')) {
+      if (text[i] == '.') ++dots;
+      ++i;
+    }
+    std::string_view token = text.substr(start, i - start);
+    // Trim trailing dots (sentence punctuation).
+    while (!token.empty() && token.back() == '.') {
+      token.remove_suffix(1);
+      --dots;
+    }
+    if (dots == 0 || token.empty()) continue;
+    // The last label must be a plausible TLD; this rejects version numbers
+    // ("1.2.3") and file names ("loader.js", "style.css").
+    std::size_t last_dot = token.rfind('.');
+    std::string tld = to_lower(token.substr(last_dot + 1));
+    static const std::set<std::string> kTlds = {
+        "com", "net",  "org", "io", "ru",   "me", "tv", "cc", "co",
+        "edu", "gov",  "uk",  "de", "fr",   "cn", "jp", "br", "in",
+        "us",  "info", "biz", "eu", "site", "app"};
+    if (!kTlds.count(tld)) continue;
+    out.push_back(to_lower(token));
+  }
+  return out;
+}
+
+std::optional<std::string> replace_host(std::string_view url,
+                                        std::string_view new_host) {
+  auto parsed = parse_url(url);
+  if (!parsed) return {};
+  parsed->host = to_lower(new_host);
+  return parsed->to_string();
+}
+
+}  // namespace oak::util

@@ -1,0 +1,48 @@
+// URL parsing and domain classification.
+//
+// Oak's grouping and matching logic works on hostnames: grouping report
+// entries by resolved server, deciding whether an object is "external"
+// (Fig. 1 counts non-origin hostnames, where sub-domains of the origin are
+// NOT external), and scanning rule text for domain mentions.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oak::util {
+
+struct Url {
+  std::string scheme;  // "http" / "https"
+  std::string host;    // lowercase hostname
+  std::string path;    // always starts with '/' (default "/")
+  std::string query;   // without '?', may be empty
+
+  std::string to_string() const;
+};
+
+// Parse an absolute URL. Returns nullopt for anything that does not look
+// like scheme://host[/path][?query]. Ports are not modeled (the simulated
+// web has none).
+std::optional<Url> parse_url(std::string_view raw);
+
+// Registrable domain, approximated as the last two labels ("a.b.c.com" ->
+// "c.com"). Good enough for the synthetic host universe, which never uses
+// multi-label public suffixes.
+std::string registrable_domain(std::string_view host);
+
+// True when `host` equals `origin` or is a sub-domain of `origin`'s
+// registrable domain. Fig. 1 explicitly treats sub-domains as non-external.
+bool same_site(std::string_view host, std::string_view origin);
+
+// Extract every hostname-looking token from free text (used for tier-2 rule
+// matching against inline scripts that build URLs programmatically).
+std::vector<std::string> extract_hostnames(std::string_view text);
+
+// Rewrite the host of an absolute URL; returns nullopt if `url` is not
+// parseable. "http://a.com/x?q" + "b.net" -> "http://b.net/x?q".
+std::optional<std::string> replace_host(std::string_view url,
+                                        std::string_view new_host);
+
+}  // namespace oak::util

@@ -1,0 +1,102 @@
+#include "workload/benchmark_site.h"
+
+#include "util/strings.h"
+
+namespace oak::workload {
+
+BenchmarkSiteScenario::BenchmarkSiteScenario(Options opt) {
+  net::NetworkConfig ncfg;
+  ncfg.seed = opt.seed;
+  ncfg.horizon_s = 7 * 86400.0;
+  universe_ = std::make_unique<page::WebUniverse>(ncfg);
+  net::Network& net = universe_->network();
+  util::Rng rng = util::Rng::forked(opt.seed, 0xbe9c);
+
+  auto node = [&](const std::string& name) {
+    net::ServerConfig cfg;
+    cfg.name = name;
+    cfg.region = net::Region::kNorthAmerica;
+    cfg.base_processing_s = rng.uniform(0.015, 0.030);
+    cfg.bandwidth_bps = rng.uniform(80e6, 140e6);
+    cfg.diurnal_amplitude = rng.uniform(0.2, 0.6);
+    return cfg;
+  };
+
+  net::ServerConfig origin_cfg = node("bench-origin");
+  origin_cfg.bandwidth_bps = 400e6;
+  origin_cfg.base_processing_s = 0.008;
+  origin_cfg.diurnal_amplitude = 0.1;
+  const net::ServerId origin = net.add_server(origin_cfg);
+
+  oak_host_ = "bench.example.com";
+  const std::string default_host = "bench-default.example.com";
+  universe_->dns().bind(oak_host_, net.server(origin).addr());
+  universe_->dns().bind(default_host, net.server(origin).addr());
+
+  // 5 default set servers; the first `degraded_servers` of a random
+  // permutation are the sick ones (the paper's two bad PlanetLab nodes).
+  std::vector<int> order = {0, 1, 2, 3, 4};
+  rng.shuffle(order);
+  for (int i = 0; i < 5; ++i) {
+    net::ServerConfig cfg = node(util::format("set%d", i + 1));
+    bool degraded = false;
+    for (int d = 0; d < opt.degraded_servers; ++d) {
+      if (order[static_cast<std::size_t>(d)] == i) degraded = true;
+    }
+    if (degraded) {
+      cfg.diurnal_amplitude = opt.degraded_diurnal;
+      cfg.chronic_degradation = opt.degraded_chronic;
+      degraded_sets_.push_back(i + 1);  // set index (origin is set 0)
+    }
+    const net::ServerId sid = net.add_server(cfg);
+    const std::string host = util::format("set%d.default.net", i + 1);
+    set_hosts_.push_back(host);
+    universe_->dns().bind(host, net.server(sid).addr());
+  }
+
+  // 5 alternate servers, randomly configured, no special handicap.
+  for (int i = 0; i < 5; ++i) {
+    const net::ServerId sid = net.add_server(node(util::format("alt%d", i + 1)));
+    const std::string host = util::format("set%d.alt.net", i + 1);
+    alt_hosts_.push_back(host);
+    universe_->dns().bind(host, net.server(sid).addr());
+  }
+
+  // Both site variants reference the 6 sets (origin set + 5 external).
+  auto build = [&](const std::string& site_host) {
+    page::SiteBuilder builder(*universe_, site_host, origin);
+    for (std::size_t s = 0; s < 4; ++s) {
+      builder.add_origin_object(util::format("/set0/f%zu.bin", s),
+                                html::RefKind::kImage, kSetSizes[s]);
+    }
+    for (std::size_t h = 0; h < set_hosts_.size(); ++h) {
+      for (std::size_t s = 0; s < 4; ++s) {
+        builder.add_direct(set_hosts_[h], util::format("/set/f%zu.bin", s),
+                           html::RefKind::kImage, kSetSizes[s],
+                           page::Category::kCdn);
+      }
+    }
+    return builder.finish();
+  };
+  page::Site oak_site = build(oak_host_);
+  build(default_host);
+  oak_site_url_ = oak_site.index_url();
+  default_site_url_ = "http://" + default_host + "/index.html";
+
+  // Replicate each set to its alternate host and pair them with a type-2
+  // domain rule.
+  core::OakConfig ocfg;
+  oak_ = std::make_unique<core::OakServer>(*universe_, oak_host_, ocfg);
+  for (std::size_t h = 0; h < set_hosts_.size(); ++h) {
+    for (std::size_t s = 0; s < 4; ++s) {
+      const std::string path = util::format("/set/f%zu.bin", s);
+      universe_->store().replicate("http://" + set_hosts_[h] + path,
+                                   "http://" + alt_hosts_[h] + path);
+    }
+    oak_->add_rule(core::make_domain_rule(util::format("set%zu", h + 1),
+                                          set_hosts_[h], {alt_hosts_[h]}));
+  }
+  oak_->install();
+}
+
+}  // namespace oak::workload

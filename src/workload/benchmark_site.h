@@ -1,0 +1,65 @@
+// The §5.2 benchmark-detection scenario (Figs. 10 & 11).
+//
+// "A simple website which consists of 6 sets of simple objects. Each set
+// consists of files sized 30, 50, 100, and 500KB. The first set ... hosted on
+// the same machine as the page index. Each of the remaining 5 sets are
+// hosted on different external servers ... An additional 5 sets of the same
+// objects are created on another randomly selected set of 5 servers. A rule
+// is created for each of the original sets that specifies one of the second
+// set as an alternative using only Type 2 rules."
+//
+// Matching the paper's accidental finding, two of the default servers are
+// markedly worse than the rest — with a strong diurnal component, so they
+// collapse during (their local) daytime and recover at night (Fig. 11).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oak_server.h"
+#include "page/site.h"
+
+namespace oak::workload {
+
+class BenchmarkSiteScenario {
+ public:
+  struct Options {
+    std::uint64_t seed = 11;
+    int degraded_servers = 2;        // how many default servers are sick
+    double degraded_diurnal = 40.0;  // their daytime load amplitude
+    double degraded_chronic = 2.0;   // their always-on handicap
+  };
+
+  explicit BenchmarkSiteScenario(Options opt);
+  BenchmarkSiteScenario() : BenchmarkSiteScenario(Options{}) {}
+
+  page::WebUniverse& universe() { return *universe_; }
+  core::OakServer& oak() { return *oak_; }
+
+  const std::string& oak_site_url() const { return oak_site_url_; }
+  const std::string& default_site_url() const { return default_site_url_; }
+
+  // Default external hosts, one per object set (5 of them).
+  const std::vector<std::string>& set_hosts() const { return set_hosts_; }
+  const std::vector<std::string>& alt_hosts() const { return alt_hosts_; }
+  // Which set indices are hosted on degraded servers.
+  const std::vector<int>& degraded_sets() const { return degraded_sets_; }
+  // The origin-hosted set uses this host (the site host itself).
+  const std::string& origin_host() const { return oak_host_; }
+
+  static constexpr std::uint64_t kSetSizes[4] = {30'000, 50'000, 100'000,
+                                                 500'000};
+
+ private:
+  std::unique_ptr<page::WebUniverse> universe_;
+  std::unique_ptr<core::OakServer> oak_;
+  std::string oak_host_;
+  std::string oak_site_url_;
+  std::string default_site_url_;
+  std::vector<std::string> set_hosts_;
+  std::vector<std::string> alt_hosts_;
+  std::vector<int> degraded_sets_;
+};
+
+}  // namespace oak::workload

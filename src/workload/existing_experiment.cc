@@ -1,0 +1,151 @@
+#include "workload/existing_experiment.h"
+
+#include "browser/browser.h"
+#include "util/strings.h"
+
+namespace oak::workload {
+
+std::string canonical_domain(const std::string& host, bool* was_mirror) {
+  for (net::Region r : kMirrorRegions) {
+    const std::string prefix = util::to_lower(net::region_code(r)) + ".mirror.";
+    if (util::starts_with(host, prefix)) {
+      if (was_mirror) *was_mirror = true;
+      return host.substr(prefix.size());
+    }
+  }
+  if (was_mirror) *was_mirror = false;
+  return host;
+}
+
+ExistingExperimentResult run_existing_experiment(
+    const ExistingExperimentOptions& opt) {
+  ExistingSitesScenario::Options sopt;
+  sopt.seed = opt.seed;
+  sopt.vantage_points = opt.vantage_points;
+  ExistingSitesScenario scenario(sopt);
+
+  ExistingExperimentResult result;
+  result.users_per_site = scenario.clients().size();
+
+  for (std::size_t si = 0; si < scenario.sites().size(); ++si) {
+    auto& sut = scenario.sites()[si];
+    result.table2_rows.push_back(
+        {sut.site->host, sut.h2 ? "H2" : "H1",
+         std::to_string(sut.site->external_host_count())});
+
+    // rule id -> domain, for reading profile activity.
+    std::map<int, std::string> rule_domain;
+    for (const auto& r : sut.oak->rules()) rule_domain[r.id] = r.default_text;
+
+    // Outcome slot per (client, domain).
+    std::map<std::pair<std::size_t, std::string>, std::size_t> slot;
+    auto outcome_for = [&](std::size_t ci,
+                           const std::string& domain) -> RuleOutcome& {
+      auto key = std::make_pair(ci, domain);
+      auto it = slot.find(key);
+      if (it == slot.end()) {
+        RuleOutcome o;
+        o.site_index = si;
+        o.client_index = ci;
+        o.domain = domain;
+        o.h2 = sut.h2;
+        o.close = scenario.is_close(scenario.clients()[ci], sut);
+        result.outcomes.push_back(std::move(o));
+        it = slot.emplace(key, result.outcomes.size() - 1).first;
+      }
+      return result.outcomes[it->second];
+    };
+    const std::set<std::string> rule_domains(sut.domains.begin(),
+                                             sut.domains.end());
+
+    for (Condition cond :
+         {Condition::kDefault, Condition::kForced, Condition::kOak}) {
+      // Configure the Oak server for this condition.
+      core::OakConfig& cfg = sut.oak->config();
+      switch (cond) {
+        case Condition::kDefault:
+          cfg.enabled = false;
+          cfg.force_all_rules = false;
+          break;
+        case Condition::kForced:
+          // Reports ignored (no activations logged); pages rewritten with
+          // every rule, using each client's closest mirror.
+          cfg.enabled = false;
+          cfg.force_all_rules = true;
+          break;
+        case Condition::kOak:
+          cfg.enabled = true;
+          cfg.force_all_rules = false;
+          break;
+      }
+
+      for (std::size_t ci = 0; ci < scenario.clients().size(); ++ci) {
+        browser::BrowserConfig bc;
+        bc.use_cache = false;
+        bc.send_report = true;
+        browser::Browser browser(scenario.universe(),
+                                 scenario.clients()[ci].client, bc);
+        for (int it = 0; it < opt.loads_per_condition; ++it) {
+          // Each site runs on its own day (weather is drawn per day), and
+          // each client starts its sequence an hour after the previous one
+          // — synchronized vantage points would turn every transient
+          // provider event into an apparent site-wide problem.
+          const double t = opt.start_time + double(si) * 86400.0 +
+                           double(ci) * 3600.0 + it * opt.interval_s;
+          auto res = browser.load(sut.site->index_url(), t);
+          for (const auto& e : res.report.entries) {
+            bool was_mirror = false;
+            const std::string domain = canonical_domain(e.host, &was_mirror);
+            if (!rule_domains.count(domain)) continue;
+            auto parsed = util::parse_url(e.url);
+            const std::string path = parsed ? parsed->path : e.url;
+            RuleOutcome& outcome = outcome_for(ci, domain);
+            // In the Oak condition, only the loads where the object was
+            // actually served from a mirror represent "the choice Oak
+            // made"; pre-activation loads are the default and would blur
+            // the Fig. 13 ratio.
+            if (cond != Condition::kOak || was_mirror) {
+              auto& bucket = outcome.sums[static_cast<int>(cond)][path];
+              bucket.first += e.time_s;
+              bucket.second += 1;
+            }
+            if (cond == Condition::kOak && was_mirror) {
+              outcome.moved_paths.insert(path);
+            }
+          }
+          if (cond == Condition::kOak) {
+            const core::UserProfile* profile =
+                sut.oak->profile(res.report.user_id);
+            std::set<std::string> active_domains;
+            if (profile) {
+              for (const auto& [rid, ar] : profile->active) {
+                auto it2 = rule_domain.find(rid);
+                if (it2 != rule_domain.end()) {
+                  active_domains.insert(it2->second);
+                }
+              }
+            }
+            for (const auto& d : sut.domains) {
+              RuleOutcome& o = outcome_for(ci, d);
+              const bool active = active_domains.count(d) > 0;
+              o.active_per_load.push_back(active);
+              if (active) o.activated_ever = true;
+            }
+          }
+        }
+      }
+    }
+
+    // Fig. 14 bookkeeping from the decision log (Oak condition only logged
+    // activations; the other conditions ran with enabled=false).
+    auto activated = sut.oak->decision_log().users_activating();
+    for (const auto& [rid, domain] : rule_domain) {
+      auto it = activated.find(rid);
+      result.activations[sut.site->host][domain] =
+          it == activated.end() ? std::set<std::string>{} : it->second;
+    }
+  }
+  return result;
+}
+
+}  // namespace oak::workload

@@ -1,0 +1,63 @@
+// Driver for the §5.3 evaluation on replicated existing sites.
+//
+// Loads each site-under-test from each vantage point 15 times under three
+// conditions — the default page (Oak off), Oak with all rules forced on,
+// and Oak with normal rule behaviour — at identical simulated times, and
+// aggregates per-(site, client, domain-rule) object timings plus per-load
+// rule activity. Figures 12, 13 and 14 and Tables 2 and 3 are all computed
+// from this record.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "workload/existing_sites.h"
+
+namespace oak::workload {
+
+enum class Condition { kDefault = 0, kForced = 1, kOak = 2 };
+
+// Accumulated timing for one (site, client, rule-domain).
+struct RuleOutcome {
+  std::size_t site_index = 0;
+  std::size_t client_index = 0;
+  std::string domain;
+  bool h2 = false;
+  bool close = false;
+  bool activated_ever = false;           // in the Oak condition
+  std::vector<bool> active_per_load;     // Oak condition, per iteration
+  // Per object path: (sum of times, count) under each condition.
+  std::map<std::string, std::pair<double, int>> sums[3];
+  // Paths that Oak actually served from a mirror at least once in the Oak
+  // condition — the "Oak protected objects" of Fig. 13. Rules whose rewrite
+  // is a textual no-op (dynamically-loaded objects) move nothing.
+  std::set<std::string> moved_paths;
+};
+
+struct ExistingExperimentResult {
+  std::vector<RuleOutcome> outcomes;
+  // Fig. 14: per site host, per rule domain, the users that activated it.
+  std::map<std::string, std::map<std::string, std::set<std::string>>>
+      activations;
+  std::size_t users_per_site = 0;
+  // Table 2 rows: site, group (H1/H2), external host count.
+  std::vector<std::vector<std::string>> table2_rows;
+};
+
+struct ExistingExperimentOptions {
+  std::uint64_t seed = 42;
+  int loads_per_condition = 15;
+  double interval_s = 1800.0;
+  double start_time = 6 * 3600.0;
+  std::size_t vantage_points = 25;
+};
+
+ExistingExperimentResult run_existing_experiment(
+    const ExistingExperimentOptions& opt);
+
+// Strip a mirror prefix ("na.mirror.<domain>") if present.
+std::string canonical_domain(const std::string& host, bool* was_mirror);
+
+}  // namespace oak::workload

@@ -1,0 +1,103 @@
+#include "workload/existing_sites.h"
+
+#include <set>
+
+#include "util/strings.h"
+#include "util/url.h"
+
+namespace oak::workload {
+
+std::string mirror_host(net::Region region, const std::string& domain) {
+  return util::to_lower(net::region_code(region)) + ".mirror." + domain;
+}
+
+std::size_t closest_mirror_index(const std::string& client_ip) {
+  auto ip = net::IpAddr::parse(client_ip);
+  if (!ip) return 0;
+  const std::uint32_t octet = ip->value() >> 24;
+  switch (octet) {
+    case 24: return 0;   // NA block
+    case 81: return 1;   // EU block
+    case 119: return 2;  // AS block
+    case 133: return 2;  // OC block -> AS mirror
+    default: return 0;   // SA and anything else -> NA mirror
+  }
+}
+
+ExistingSitesScenario::ExistingSitesScenario(Options opt) : opt_(opt) {
+  page::CorpusConfig ccfg;
+  ccfg.seed = opt.seed;
+  ccfg.num_sites = opt.corpus_sites;
+  corpus_ = std::make_unique<page::Corpus>(ccfg);
+  page::WebUniverse& uni = corpus_->universe();
+  net::Network& net = uni.network();
+
+  clients_ = make_vantage_points(net, opt.vantage_points);
+
+  // Three healthy replica servers, one per mirror region.
+  for (std::size_t i = 0; i < kMirrorRegions.size(); ++i) {
+    net::ServerConfig cfg;
+    cfg.name = "mirror-" + net::region_code(kMirrorRegions[i]);
+    cfg.region = kMirrorRegions[i];
+    cfg.base_processing_s = 0.012;
+    cfg.bandwidth_bps = 250e6;
+    cfg.diurnal_amplitude = 0.2;
+    mirror_servers_[i] = net.add_server(cfg);
+  }
+
+  core::OakConfig ocfg;
+  // §4.2.4 operator policy: require five violations before switching, so a
+  // single noisy load does not flip a provider.
+  ocfg.policy.default_min_violations = 5;
+  ocfg.policy.alternative_selector =
+      [](const std::string& client_ip, std::size_t n) {
+        const std::size_t idx = closest_mirror_index(client_ip);
+        return idx < n ? idx : 0;
+      };
+
+  // The first ten corpus sites are the paper's Table 2 selection.
+  const std::size_t n_sut = std::min<std::size_t>(10, corpus_->sites().size());
+  for (std::size_t i = 0; i < n_sut; ++i) {
+    const page::Site& site = corpus_->sites()[i];
+    SiteUnderTest sut;
+    sut.site = &site;
+    sut.h2 = site.external_host_count() > 15;
+    sut.origin_region = net.server(site.origin_server).region();
+
+    // Distinct external domains, in first-use order.
+    std::set<std::string> seen;
+    for (const auto& hu : site.external_hosts) {
+      if (seen.insert(hu.host).second) sut.domains.push_back(hu.host);
+    }
+
+    // Replicate every external object of this site to all three mirrors and
+    // bind the mirror hostnames.
+    for (const auto& hu : site.external_hosts) {
+      for (std::size_t r = 0; r < kMirrorRegions.size(); ++r) {
+        const std::string mhost = mirror_host(kMirrorRegions[r], hu.host);
+        if (!uni.dns().has(mhost)) {
+          uni.dns().bind(mhost, net.server(mirror_servers_[r]).addr());
+        }
+        for (const auto& obj_url : hu.object_urls) {
+          if (auto mirrored = util::replace_host(obj_url, mhost)) {
+            uni.store().replicate(obj_url, *mirrored);
+          }
+        }
+      }
+    }
+
+    auto oak = std::make_unique<core::OakServer>(uni, site.host, ocfg);
+    for (const auto& d : sut.domains) {
+      std::vector<std::string> alts;
+      alts.reserve(kMirrorRegions.size());
+      for (net::Region r : kMirrorRegions) alts.push_back(mirror_host(r, d));
+      oak->add_rule(core::make_domain_rule("switch-" + d, d, std::move(alts)));
+    }
+    oak->install();
+    sut.oak = oak.get();
+    oak_servers_.push_back(std::move(oak));
+    sites_.push_back(std::move(sut));
+  }
+}
+
+}  // namespace oak::workload

@@ -1,0 +1,76 @@
+// The §5.3 "performance on existing sites" scenario (Figs. 12–14, Tables
+// 2 & 3).
+//
+// Replicated versions of real sites run behind Oak; external objects stay on
+// their (simulated) production third parties. Rules: "a type 2 replacement
+// rule for every observed [external] domain". Alternatives: "we replicate all
+// external objects to 3 web servers: one in each of North America, Europe,
+// and Asia. Each client is then directed to its closest alternative when a
+// rule is activated" — expressed here through the client-aware
+// alternative-selector policy.
+//
+// Sites come from the corpus; the first ten carry the paper's Table 2
+// hostnames with H1 (5–15 external hosts) / H2 (>15) structure.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oak_server.h"
+#include "page/corpus.h"
+#include "workload/vantage.h"
+
+namespace oak::workload {
+
+// Region order of every rule's alternatives list: [NA, EU, AS].
+inline constexpr std::array<net::Region, 3> kMirrorRegions = {
+    net::Region::kNorthAmerica, net::Region::kEurope, net::Region::kAsia};
+
+std::string mirror_host(net::Region region, const std::string& domain);
+
+// Closest-mirror index for a client IP (derived from the per-region client
+// address blocks of oak::net::Network).
+std::size_t closest_mirror_index(const std::string& client_ip);
+
+class ExistingSitesScenario {
+ public:
+  struct Options {
+    std::uint64_t seed = 42;
+    // Corpus size; only needs to cover the ten paper sites plus context.
+    std::size_t corpus_sites = 20;
+    std::size_t vantage_points = 25;
+  };
+
+  struct SiteUnderTest {
+    const page::Site* site = nullptr;
+    core::OakServer* oak = nullptr;
+    std::vector<std::string> domains;  // external domains with rules
+    bool h2 = false;                   // >15 external hosts
+    net::Region origin_region = net::Region::kNorthAmerica;
+  };
+
+  explicit ExistingSitesScenario(Options opt);
+  ExistingSitesScenario() : ExistingSitesScenario(Options{}) {}
+
+  page::Corpus& corpus() { return *corpus_; }
+  page::WebUniverse& universe() { return corpus_->universe(); }
+  std::vector<SiteUnderTest>& sites() { return sites_; }
+  const std::vector<VantagePoint>& clients() const { return clients_; }
+
+  bool is_close(const VantagePoint& vp, const SiteUnderTest& s) const {
+    return vp.region == s.origin_region;
+  }
+
+ private:
+  Options opt_;
+  std::unique_ptr<page::Corpus> corpus_;
+  std::vector<std::unique_ptr<core::OakServer>> oak_servers_;
+  std::vector<SiteUnderTest> sites_;
+  std::vector<VantagePoint> clients_;
+  std::array<net::ServerId, 3> mirror_servers_{};
+};
+
+}  // namespace oak::workload

@@ -1,0 +1,58 @@
+#include "workload/harness.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace oak::workload {
+
+void print_banner(const std::string& experiment_id, const std::string& title) {
+  std::printf("\n==== %s: %s ====\n", experiment_id.c_str(), title.c_str());
+}
+
+void print_cdf(const std::string& series, const util::Cdf& cdf,
+               std::size_t max_points) {
+  std::printf("%s", cdf.to_table(series, max_points).c_str());
+  std::printf("# %s: median=%.4g p10=%.4g p90=%.4g n=%zu\n", series.c_str(),
+              cdf.quantile(0.5), cdf.quantile(0.1), cdf.quantile(0.9),
+              cdf.size());
+}
+
+void print_series(const std::string& series,
+                  const std::vector<std::pair<double, double>>& points,
+                  const std::string& x_label, const std::string& y_label) {
+  std::printf("# series: %s\n# %s\t%s\n", series.c_str(), x_label.c_str(),
+              y_label.c_str());
+  for (const auto& [x, y] : points) {
+    std::printf("%.6g\t%.6g\n", x, y);
+  }
+}
+
+void print_table(const std::string& title,
+                 const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::printf("# table: %s\n", title.c_str());
+  std::vector<std::size_t> width(header.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  widen(header);
+  for (const auto& r : rows) widen(r);
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(i < width.size() ? width[i] : 0),
+                  row[i].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header);
+  for (const auto& r : rows) print_row(r);
+}
+
+void print_stat(const std::string& name, double value) {
+  std::printf("# stat: %s = %.6g\n", name.c_str(), value);
+}
+
+}  // namespace oak::workload

@@ -1,0 +1,32 @@
+// Output helpers for the experiment harness: the bench binaries print the
+// same rows/series the paper's figures plot, in a uniform format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/cdf.h"
+
+namespace oak::workload {
+
+// Figure/table header banner.
+void print_banner(const std::string& experiment_id, const std::string& title);
+
+// A CDF series (one line of a figure).
+void print_cdf(const std::string& series, const util::Cdf& cdf,
+               std::size_t max_points = 40);
+
+// A labelled x/y series (Fig. 9 / Fig. 11 style).
+void print_series(const std::string& series,
+                  const std::vector<std::pair<double, double>>& points,
+                  const std::string& x_label, const std::string& y_label);
+
+// Simple aligned two/three-column table.
+void print_table(const std::string& title,
+                 const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows);
+
+// One-line summary statistic ("median external fraction: 0.74").
+void print_stat(const std::string& name, double value);
+
+}  // namespace oak::workload

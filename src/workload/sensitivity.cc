@@ -1,0 +1,93 @@
+#include "workload/sensitivity.h"
+
+#include "util/strings.h"
+
+namespace oak::workload {
+
+namespace {
+// All external servers and alternates are North American PlanetLab-style
+// nodes: stable and similar, so Oak's baseline MAD stays tight.
+net::ServerConfig planetlab_node(const std::string& name) {
+  net::ServerConfig cfg;
+  cfg.name = name;
+  cfg.region = net::Region::kNorthAmerica;
+  cfg.base_processing_s = 0.020;
+  cfg.bandwidth_bps = 100e6;
+  cfg.diurnal_amplitude = 0.2;
+  return cfg;
+}
+}  // namespace
+
+SensitivityScenario::SensitivityScenario(std::uint64_t seed) {
+  net::NetworkConfig ncfg;
+  ncfg.seed = seed;
+  universe_ = std::make_unique<page::WebUniverse>(ncfg);
+  net::Network& net = universe_->network();
+
+  net::ServerConfig origin_cfg = planetlab_node("origin");
+  origin_cfg.bandwidth_bps = 400e6;  // campus web server, full connection
+  origin_cfg.base_processing_s = 0.008;
+  const net::ServerId origin = net.add_server(origin_cfg);
+
+  const std::string oak_host = "sens.example.com";
+  const std::string default_host = "sens-default.example.com";
+  universe_->dns().bind(oak_host, net.server(origin).addr());
+  universe_->dns().bind(default_host, net.server(origin).addr());
+
+  // 5 default external servers + 1 alternate for the delayed target.
+  std::vector<core::Rule> rules;
+  std::vector<std::string> ext_hosts;
+  for (int i = 0; i < 5; ++i) {
+    const net::ServerId sid =
+        net.add_server(planetlab_node(util::format("ext%d", i)));
+    externals_.push_back(sid);
+    const std::string host = util::format("ext%d.sensnet.net", i);
+    ext_hosts.push_back(host);
+    universe_->dns().bind(host, net.server(sid).addr());
+  }
+  target_ = externals_[0];
+
+  const net::ServerId alt = net.add_server(planetlab_node("alt0"));
+  const std::string alt_host = "alt0.sensnet.net";
+  universe_->dns().bind(alt_host, net.server(alt).addr());
+
+  // Both sites reference identical external objects of varying sizes.
+  static constexpr std::uint64_t kSizes[] = {10'000, 25'000, 45'000, 120'000,
+                                             200'000};
+  auto build = [&](const std::string& host) {
+    page::SiteBuilder builder(*universe_, host, origin);
+    for (std::size_t i = 0; i < ext_hosts.size(); ++i) {
+      for (std::size_t s = 0; s < 4; ++s) {
+        builder.add_direct(ext_hosts[i],
+                           util::format("/obj%zu_%zu.bin", i, s),
+                           html::RefKind::kImage,
+                           kSizes[(i + s) % std::size(kSizes)],
+                           page::Category::kCdn);
+      }
+    }
+    return builder.finish();
+  };
+  page::Site oak_site = build(oak_host);
+  build(default_host);
+  oak_site_url_ = oak_site.index_url();
+  default_site_url_ = "http://" + default_host + "/index.html";
+
+  // Replicate the target's objects to the alternate host.
+  for (std::size_t s = 0; s < 4; ++s) {
+    const std::string path = util::format("/obj%d_%zu.bin", 0, s);
+    universe_->store().replicate("http://" + ext_hosts[0] + path,
+                                 "http://" + alt_host + path);
+  }
+
+  core::OakConfig ocfg;
+  oak_ = std::make_unique<core::OakServer>(*universe_, oak_host, ocfg);
+  oak_->add_rule(core::make_domain_rule("target-switch", ext_hosts[0],
+                                        {alt_host}));
+  oak_->install();
+}
+
+void SensitivityScenario::set_injected_delay(double seconds) {
+  universe_->network().server(target_).set_injected_delay(seconds);
+}
+
+}  // namespace oak::workload

@@ -1,0 +1,51 @@
+// The Fig. 9 sensitivity scenario.
+//
+// "We consider a scenario in which a page is loaded from a client who loads
+// objects of varying sizes from 5 external servers. ... With each subsequent
+// load, a single external host adds a small delay before responding. For
+// each iteration, we perform this process once with Oak configured with an
+// alternate for that server, and once with the default server."
+//
+// Two twin sites share the same external objects: one fronted by an
+// Oak-enabled server, one serving the default page verbatim. The target
+// external server exposes set_injected_delay().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oak_server.h"
+#include "page/site.h"
+
+namespace oak::workload {
+
+class SensitivityScenario {
+ public:
+  explicit SensitivityScenario(std::uint64_t seed = 7);
+
+  page::WebUniverse& universe() { return *universe_; }
+  core::OakServer& oak() { return *oak_; }
+
+  const std::string& oak_site_url() const { return oak_site_url_; }
+  const std::string& default_site_url() const { return default_site_url_; }
+
+  // The external server whose responses are delayed.
+  net::ServerId target_server() const { return target_; }
+  void set_injected_delay(double seconds);
+
+  // All five default external servers (target is index 0).
+  const std::vector<net::ServerId>& external_servers() const {
+    return externals_;
+  }
+
+ private:
+  std::unique_ptr<page::WebUniverse> universe_;
+  std::unique_ptr<core::OakServer> oak_;
+  std::string oak_site_url_;
+  std::string default_site_url_;
+  std::vector<net::ServerId> externals_;
+  net::ServerId target_ = net::kInvalidServer;
+};
+
+}  // namespace oak::workload

@@ -1,0 +1,34 @@
+#include "workload/survey.h"
+
+#include "browser/browser.h"
+
+namespace oak::workload {
+
+std::vector<SurveyLoad> run_outlier_survey(page::Corpus& corpus,
+                                           const std::vector<VantagePoint>& vps,
+                                           const SurveyOptions& opt) {
+  std::vector<SurveyLoad> out;
+  out.reserve(corpus.sites().size() * vps.size());
+  browser::BrowserConfig bcfg;
+  bcfg.use_cache = false;   // the survey measures the network, not the cache
+  bcfg.send_report = false; // sites are not Oak-enabled during the survey
+  std::size_t pair = 0;
+  for (std::size_t v = 0; v < vps.size(); ++v) {
+    browser::Browser browser(corpus.universe(), vps[v].client, bcfg);
+    for (std::size_t s = 0; s < corpus.sites().size(); ++s, ++pair) {
+      const double t = opt.start_time + double(pair) * opt.stagger_s;
+      browser::LoadResult res =
+          browser.load(corpus.sites()[s].index_url(), t);
+      SurveyLoad load;
+      load.site_index = s;
+      load.vp_index = v;
+      load.report_bytes = res.report_bytes;
+      load.detection = core::detect_violators(res.report, opt.detector);
+      load.report = std::move(res.report);
+      out.push_back(std::move(load));
+    }
+  }
+  return out;
+}
+
+}  // namespace oak::workload

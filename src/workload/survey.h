@@ -1,0 +1,38 @@
+// The §2 measurement study: load every corpus site from every vantage point
+// and run Oak's violator detection on each resulting report. Shared by the
+// Fig. 2 / Table 1 / Fig. 3 / Fig. 8 / Fig. 15 benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "browser/report.h"
+#include "core/violator.h"
+#include "page/corpus.h"
+#include "workload/vantage.h"
+
+namespace oak::workload {
+
+struct SurveyLoad {
+  std::size_t site_index = 0;
+  std::size_t vp_index = 0;
+  core::DetectionResult detection;
+  browser::PerfReport report;
+  std::size_t report_bytes = 0;
+};
+
+struct SurveyOptions {
+  double start_time = 0.0;
+  // Loads are staggered by this much so the survey spans realistic wall
+  // clock (congestion weather changes underneath it). Each (site, vp) pair
+  // keeps the same offset across surveys, so day-over-day comparisons
+  // (Fig. 3) are apples to apples.
+  double stagger_s = 0.5;
+  core::DetectorConfig detector;
+};
+
+std::vector<SurveyLoad> run_outlier_survey(page::Corpus& corpus,
+                                           const std::vector<VantagePoint>& vps,
+                                           const SurveyOptions& opt);
+
+}  // namespace oak::workload

@@ -1,0 +1,45 @@
+#include "workload/vantage.h"
+
+#include "util/strings.h"
+
+namespace oak::workload {
+
+std::vector<VantagePoint> make_vantage_points(net::Network& net,
+                                              std::size_t count) {
+  std::vector<VantagePoint> out;
+  out.reserve(count);
+  const std::size_t na = (count + 1) / 2;
+  const std::size_t rest = count - na;
+  const std::size_t eu = rest / 2;
+  for (std::size_t i = 0; i < count; ++i) {
+    net::Region region;
+    if (i < na) {
+      region = net::Region::kNorthAmerica;
+    } else if (i < na + eu) {
+      region = net::Region::kEurope;
+    } else {
+      // Asia "including Oceania": every fourth non-EU remainder is OC.
+      region = (i - na - eu) % 4 == 3 ? net::Region::kOceania
+                                      : net::Region::kAsia;
+    }
+    net::ClientConfig cfg;
+    cfg.name = util::format("vp%02zu-%s", i, net::region_code(region).c_str());
+    cfg.region = region;
+    out.push_back(VantagePoint{net.add_client(cfg), region});
+  }
+  return out;
+}
+
+std::vector<VantagePoint> make_region_trio(net::Network& net) {
+  std::vector<VantagePoint> out;
+  for (net::Region r : {net::Region::kNorthAmerica, net::Region::kEurope,
+                        net::Region::kAsia}) {
+    net::ClientConfig cfg;
+    cfg.name = "client-" + net::region_code(r);
+    cfg.region = r;
+    out.push_back(VantagePoint{net.add_client(cfg), r});
+  }
+  return out;
+}
+
+}  // namespace oak::workload

@@ -1,0 +1,27 @@
+// Vantage-point client sets.
+//
+// Paper §5 (Implementation): "Our clients consist of 25 Planet Lab nodes,
+// half of which are in North America, and the remainder evenly spread
+// between Europe and Asia (including Oceania)."
+#pragma once
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace oak::workload {
+
+struct VantagePoint {
+  net::ClientId client;
+  net::Region region;
+};
+
+// Create `count` clients on `net` with the paper's regional mix:
+// ~half NA, remainder split between EU and AS/OC.
+std::vector<VantagePoint> make_vantage_points(net::Network& net,
+                                              std::size_t count = 25);
+
+// One client per region from {NA, EU, AS} (the Fig. 9 trio).
+std::vector<VantagePoint> make_region_trio(net::Network& net);
+
+}  // namespace oak::workload

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "browser/browser.h"
+#include "browser/report.h"
+#include "page/site.h"
+
+namespace oak::browser {
+namespace {
+
+TEST(PerfReport, SerializeDeserializeRoundTrip) {
+  PerfReport r;
+  r.user_id = "u7";
+  r.page_url = "http://site.com/index.html";
+  r.plt_s = 1.25;
+  r.entries.push_back(
+      {"http://a.com/x.png", "a.com", "10.0.0.1", 12345, 0.1, 0.33});
+  r.entries.push_back(
+      {"http://b.com/y.js", "b.com", "10.0.1.1", 999, 0.0, 0.05});
+  PerfReport back = PerfReport::deserialize(r.serialize());
+  EXPECT_EQ(back.user_id, "u7");
+  EXPECT_EQ(back.page_url, r.page_url);
+  EXPECT_DOUBLE_EQ(back.plt_s, 1.25);
+  ASSERT_EQ(back.entries.size(), 2u);
+  EXPECT_EQ(back.entries[0].url, "http://a.com/x.png");
+  EXPECT_EQ(back.entries[0].ip, "10.0.0.1");
+  EXPECT_EQ(back.entries[0].size, 12345u);
+  EXPECT_DOUBLE_EQ(back.entries[1].time_s, 0.05);
+}
+
+TEST(PerfReport, MalformedInputThrows) {
+  EXPECT_THROW(PerfReport::deserialize("not json"), util::JsonError);
+  EXPECT_THROW(PerfReport::deserialize("{}"), util::JsonError);
+  EXPECT_THROW(PerfReport::deserialize(R"({"uid":"x"})"), util::JsonError);
+}
+
+TEST(PerfReport, EmptyEntriesAllowed) {
+  PerfReport r;
+  r.user_id = "u";
+  r.page_url = "p";
+  PerfReport back = PerfReport::deserialize(r.serialize());
+  EXPECT_TRUE(back.entries.empty());
+}
+
+class BrowserFixture : public ::testing::Test {
+ protected:
+  BrowserFixture() : universe_(net::NetworkConfig{.seed = 21, .horizon_s = 0}) {
+    net::ServerConfig origin_cfg;
+    origin_cfg.name = "origin";
+    origin_ = universe_.network().add_server(origin_cfg);
+    universe_.dns().bind("site.com",
+                         universe_.network().server(origin_).addr());
+
+    net::ServerConfig ext_cfg;
+    ext_cfg.name = "ext";
+    ext_ = universe_.network().add_server(ext_cfg);
+    universe_.dns().bind("cdn.ext.net",
+                         universe_.network().server(ext_).addr());
+    universe_.dns().bind("js.ext.net",
+                         universe_.network().server(ext_).addr());
+
+    page::SiteBuilder b(universe_, "site.com", origin_);
+    b.add_origin_object("/style.css", html::RefKind::kStylesheet, 2000);
+    b.add_direct("cdn.ext.net", "/big.png", html::RefKind::kImage, 80'000,
+                 page::Category::kCdn);
+    b.add_inline_loader("js.ext.net", "/m.js", 5'000,
+                        page::Category::kAnalytics);
+    b.add_script_with_induced("js.ext.net", "/agg.js", 4'000,
+                              page::Category::kAds,
+                              {{"cdn.ext.net", "/induced.png",
+                                html::RefKind::kImage, 9'000,
+                                page::Category::kAds}});
+    b.add_hidden("cdn.ext.net", "/hidden.gif", html::RefKind::kImage, 100,
+                 page::Category::kAnalytics);
+    site_ = b.finish();
+  }
+
+  page::WebUniverse universe_;
+  net::ServerId origin_ = net::kInvalidServer;
+  net::ServerId ext_ = net::kInvalidServer;
+  page::Site site_;
+};
+
+TEST_F(BrowserFixture, LoadsEveryReachableObject) {
+  net::ClientConfig cc;
+  cc.name = "c";
+  net::ClientId cid = universe_.network().add_client(cc);
+  Browser browser(universe_, cid);
+  LoadResult res = browser.load(site_.index_url(), 0.0);
+  EXPECT_EQ(res.page_status, 200);
+  EXPECT_EQ(res.missing_objects, 0u);
+  // index + css + big.png + m.js (inline loader) + agg.js + induced.png +
+  // hidden.gif = 7 entries.
+  EXPECT_EQ(res.report.entries.size(), 7u);
+  EXPECT_GT(res.plt_s, 0.0);
+  // Every entry carries a resolved IP and positive timing.
+  for (const auto& e : res.report.entries) {
+    EXPECT_FALSE(e.ip.empty());
+    EXPECT_GT(e.time_s, 0.0);
+    EXPECT_GE(e.start_s, 0.0);
+  }
+  // PLT >= finish of every object.
+  for (const auto& e : res.report.entries) {
+    EXPECT_LE(e.start_s + e.time_s, res.plt_s + 1e-9);
+  }
+}
+
+TEST_F(BrowserFixture, InducedLoadsStartAfterTheirScript) {
+  net::ClientId cid = universe_.network().add_client(net::ClientConfig{});
+  Browser browser(universe_, cid);
+  LoadResult res = browser.load(site_.index_url(), 0.0);
+  double script_done = -1, induced_start = -1;
+  for (const auto& e : res.report.entries) {
+    if (e.url == "http://js.ext.net/agg.js") script_done = e.start_s + e.time_s;
+    if (e.url == "http://cdn.ext.net/induced.png") induced_start = e.start_s;
+  }
+  ASSERT_GE(script_done, 0.0);
+  ASSERT_GE(induced_start, 0.0);
+  EXPECT_GE(induced_start, script_done - 1e-9);
+}
+
+TEST_F(BrowserFixture, CacheSuppressesRefetch) {
+  net::ClientId cid = universe_.network().add_client(net::ClientConfig{});
+  Browser browser(universe_, cid);
+  LoadResult first = browser.load(site_.index_url(), 0.0);
+  EXPECT_EQ(first.cache_hits, 0u);
+  LoadResult second = browser.load(site_.index_url(), 10.0);
+  EXPECT_GT(second.cache_hits, 0u);
+  EXPECT_LT(second.report.entries.size(), first.report.entries.size());
+}
+
+TEST_F(BrowserFixture, CacheDisabledFetchesEverything) {
+  net::ClientId cid = universe_.network().add_client(net::ClientConfig{});
+  BrowserConfig cfg;
+  cfg.use_cache = false;
+  Browser browser(universe_, cid, cfg);
+  LoadResult first = browser.load(site_.index_url(), 0.0);
+  LoadResult second = browser.load(site_.index_url(), 10.0);
+  EXPECT_EQ(second.cache_hits, 0u);
+  EXPECT_EQ(second.report.entries.size(), first.report.entries.size());
+}
+
+TEST_F(BrowserFixture, ReportBytesMatchSerialization) {
+  net::ClientId cid = universe_.network().add_client(net::ClientConfig{});
+  Browser browser(universe_, cid);
+  LoadResult res = browser.load(site_.index_url(), 0.0);
+  EXPECT_EQ(res.report_bytes, res.report.serialize().size());
+  // No handler registered -> nothing delivered.
+  EXPECT_FALSE(res.report_delivered);
+}
+
+TEST_F(BrowserFixture, HandlerReceivesReportPost) {
+  int posts = 0;
+  std::string last_body;
+  universe_.set_handler(
+      "site.com",
+      [&](const http::Request& req, double) -> http::Response {
+        if (req.method == http::Method::kPost) {
+          ++posts;
+          last_body = req.body;
+          return http::Response::text("", 204);
+        }
+        const page::WebObject* obj =
+            universe_.store().find("http://site.com/index.html");
+        return http::Response::html(obj->body);
+      });
+  net::ClientId cid = universe_.network().add_client(net::ClientConfig{});
+  Browser browser(universe_, cid);
+  LoadResult res = browser.load(site_.index_url(), 0.0);
+  EXPECT_TRUE(res.report_delivered);
+  EXPECT_EQ(posts, 1);
+  PerfReport posted = PerfReport::deserialize(last_body);
+  EXPECT_EQ(posted.entries.size(), res.report.entries.size());
+  EXPECT_GT(res.report_upload_s, 0.0);
+}
+
+TEST_F(BrowserFixture, MissingObjectsCounted) {
+  page::SiteBuilder b(universe_, "site.com", origin_);
+  b.add_direct("cdn.ext.net", "/exists.png", html::RefKind::kImage, 1000,
+               page::Category::kCdn);
+  b.add_markup("<img src=\"http://cdn.ext.net/never-stored.png\"/>");
+  b.add_markup("<img src=\"http://unbound-host.net/x.png\"/>");
+  page::Site site = b.finish();
+  net::ClientId cid = universe_.network().add_client(net::ClientConfig{});
+  Browser browser(universe_, cid);
+  LoadResult res = browser.load(site.index_url(), 0.0);
+  EXPECT_EQ(res.missing_objects, 2u);
+}
+
+TEST_F(BrowserFixture, DistantClientsLoadSlower) {
+  net::ClientConfig na;
+  na.region = net::Region::kNorthAmerica;
+  net::ClientConfig as;
+  as.region = net::Region::kAsia;
+  net::ClientId c_na = universe_.network().add_client(na);
+  net::ClientId c_as = universe_.network().add_client(as);
+  double plt_na = 0, plt_as = 0;
+  for (int i = 0; i < 5; ++i) {
+    BrowserConfig cfg;
+    cfg.use_cache = false;
+    Browser bn(universe_, c_na, cfg), ba(universe_, c_as, cfg);
+    plt_na += bn.load(site_.index_url(), i * 100.0).plt_s;
+    plt_as += ba.load(site_.index_url(), i * 100.0).plt_s;
+  }
+  EXPECT_LT(plt_na, plt_as);
+}
+
+TEST_F(BrowserFixture, BadUrlAndUnknownHost) {
+  net::ClientId cid = universe_.network().add_client(net::ClientConfig{});
+  Browser browser(universe_, cid);
+  EXPECT_EQ(browser.load("garbage", 0.0).page_status, 400);
+  EXPECT_EQ(browser.load("http://nxdomain.example/", 0.0).page_status, 502);
+}
+
+}  // namespace
+}  // namespace oak::browser

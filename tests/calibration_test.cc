@@ -1,0 +1,149 @@
+// Calibration guard-rails.
+//
+// The figure reproductions rest on corpus/network statistics that were
+// calibrated against the paper (EXPERIMENTS.md §Calibration). These tests
+// pin those statistics — on a reduced corpus for speed — with tolerances
+// wide enough for benign edits but tight enough that a change which would
+// bend a figure fails loudly here instead of silently in the bench output.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "page/corpus.h"
+#include "util/cdf.h"
+#include "util/stats.h"
+#include "workload/survey.h"
+
+namespace oak {
+namespace {
+
+page::Corpus& calibration_corpus() {
+  static page::Corpus* corpus = [] {
+    page::CorpusConfig cfg;
+    cfg.seed = 42;
+    cfg.num_sites = 150;
+    return new page::Corpus(cfg);
+  }();
+  return *corpus;
+}
+
+TEST(Calibration, ExternalObjectFraction) {
+  // Fig. 1: median ~0.75.
+  std::vector<double> fracs;
+  for (const auto& site : calibration_corpus().sites()) {
+    const double ext = double(site.external_object_count());
+    const double total = ext + double(site.origin_object_count);
+    if (total > 0) fracs.push_back(ext / total);
+  }
+  const double med = util::median(fracs);
+  EXPECT_GT(med, 0.65);
+  EXPECT_LT(med, 0.85);
+}
+
+TEST(Calibration, OutlierRatesAndPersistence) {
+  // Figs. 2 & 3: >60% of loads see >=1 outlier but well under 100%;
+  // 4+ outliers around 10-30%; about half of day-0 outliers vanish a day
+  // later.
+  page::Corpus& corpus = calibration_corpus();
+  auto vps = workload::make_vantage_points(corpus.universe().network(), 10);
+  workload::SurveyOptions opt;
+  opt.start_time = 12 * 3600.0;
+  auto day0 = workload::run_outlier_survey(corpus, vps, opt);
+  opt.start_time += 86400.0;
+  auto day1 = workload::run_outlier_survey(corpus, vps, opt);
+
+  util::Cdf counts;
+  util::Cdf vanish;
+  auto ips = [](const workload::SurveyLoad& l) {
+    std::set<std::string> out;
+    for (const auto& v : l.detection.violators) out.insert(v.ip);
+    return out;
+  };
+  for (std::size_t i = 0; i < day0.size(); ++i) {
+    counts.add(double(day0[i].detection.violators.size()));
+    auto before = ips(day0[i]);
+    if (before.empty()) continue;
+    auto after = ips(day1[i]);
+    std::size_t missing = 0;
+    for (const auto& ip : before) {
+      if (!after.count(ip)) ++missing;
+    }
+    vanish.add(double(missing) / double(before.size()));
+  }
+  const double at_least_one = counts.fraction_at_or_above(1.0);
+  EXPECT_GT(at_least_one, 0.55);
+  EXPECT_LT(at_least_one, 0.92);
+  const double at_least_four = counts.fraction_at_or_above(4.0);
+  EXPECT_GT(at_least_four, 0.05);
+  EXPECT_LT(at_least_four, 0.35);
+  const double median_vanish = vanish.quantile(0.5);
+  EXPECT_GT(median_vanish, 0.25);
+  EXPECT_LT(median_vanish, 0.75);
+}
+
+TEST(Calibration, MatcherTierMix) {
+  // Fig. 8 feedstock: the per-host tier distribution.
+  std::size_t direct = 0, inline_t = 0, script = 0, hidden = 0;
+  for (const auto& site : calibration_corpus().sites()) {
+    for (const auto& hu : site.external_hosts) {
+      switch (hu.tier) {
+        case page::RefTier::kDirect: ++direct; break;
+        case page::RefTier::kInlineScript: ++inline_t; break;
+        case page::RefTier::kViaExternalScript: ++script; break;
+        case page::RefTier::kHidden: ++hidden; break;
+      }
+    }
+  }
+  const double total = double(direct + inline_t + script + hidden);
+  ASSERT_GT(total, 0);
+  // Direct carries the aggregator bump; hidden must stay a real minority
+  // share or Fig. 8's unmatched residue disappears.
+  EXPECT_NEAR(direct / total, 0.47, 0.12);
+  EXPECT_GT(hidden / total, 0.10);
+  EXPECT_GT(inline_t / total, 0.05);
+  EXPECT_GT(script / total, 0.05);
+}
+
+TEST(Calibration, ProviderHealthMix) {
+  // Table 1 / Fig. 3 feedstock: some providers are sick, most are not, and
+  // the unhealthy mass sits in ads/analytics rather than CDNs/fonts.
+  std::size_t unhealthy = 0, unhealthy_adsish = 0;
+  const auto& providers = calibration_corpus().providers();
+  for (const auto& p : providers) {
+    if (p.chronically_degraded || p.has_blind_spot) {
+      ++unhealthy;
+      if (p.category == page::Category::kAds ||
+          p.category == page::Category::kAnalytics ||
+          p.category == page::Category::kSocial) {
+        ++unhealthy_adsish;
+      }
+    }
+  }
+  EXPECT_GT(unhealthy, providers.size() / 50);
+  EXPECT_LT(unhealthy, providers.size() / 2);
+  EXPECT_GE(unhealthy_adsish * 2, unhealthy);  // at least half ads-ish
+}
+
+TEST(Calibration, PaperSitesKeepTheirStructure) {
+  // Table 2 depends on exact host counts and home regions.
+  page::Corpus& corpus = calibration_corpus();
+  struct Expect {
+    const char* host;
+    std::size_t count;
+  };
+  for (const Expect& e : std::initializer_list<Expect>{
+           {"youtube.com", 9}, {"msn.com", 12}, {"ok.ru", 19},
+           {"flipkart.com", 24}, {"xhamster.com", 26}}) {
+    const page::Site* site = corpus.site_by_host(e.host);
+    ASSERT_NE(site, nullptr) << e.host;
+    EXPECT_EQ(site->external_host_count(), e.count) << e.host;
+  }
+  EXPECT_EQ(corpus.universe()
+                .network()
+                .server(corpus.site_by_host("qunar.com")->origin_server)
+                .region(),
+            net::Region::kAsia);
+}
+
+}  // namespace
+}  // namespace oak

@@ -1,0 +1,163 @@
+// Concurrency tests: many client threads hammering one Oak front — page
+// requests, report POSTs, audits and snapshots interleaved.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/concurrent_server.h"
+
+namespace oak::core {
+namespace {
+
+class ConcurrentFixture : public ::testing::Test {
+ protected:
+  ConcurrentFixture()
+      : universe_(net::NetworkConfig{.seed = 6, .horizon_s = 0}) {
+    net::Network& net = universe_.network();
+    origin_ = net.add_server(net::ServerConfig{.name = "origin"});
+    universe_.dns().bind("busy.com", net.server(origin_).addr());
+    for (int i = 0; i < 4; ++i) {
+      net::ServerId sid = net.add_server(net::ServerConfig{});
+      const std::string host = "x" + std::to_string(i) + ".net";
+      universe_.dns().bind(host, net.server(sid).addr());
+      ips_.push_back(net.server(sid).addr().to_string());
+    }
+    universe_.dns().bind(
+        "alt.net", net.server(net.add_server(net::ServerConfig{})).addr());
+
+    page::SiteBuilder b(universe_, "busy.com", origin_);
+    for (int i = 0; i < 4; ++i) {
+      b.add_direct("x" + std::to_string(i) + ".net", "/o.js",
+                   html::RefKind::kScript, 9000, page::Category::kCdn);
+    }
+    site_ = b.finish();
+    universe_.store().replicate("http://x0.net/o.js", "http://alt.net/o.js");
+
+    OakConfig cfg;
+    cfg.detector.min_population = 4;
+    server_ = std::make_unique<ConcurrentOakServer>(universe_, "busy.com",
+                                                    cfg);
+    server_->add_rule(make_domain_rule("r", "x0.net", {"alt.net"}));
+  }
+
+  std::string slow_report_wire(const std::string& uid) {
+    browser::PerfReport r;
+    r.user_id = uid;
+    r.page_url = site_.index_url();
+    r.entries.push_back(
+        {site_.index_url(), "busy.com", "10.0.0.1", 4000, 0, 0.09});
+    for (int i = 0; i < 4; ++i) {
+      r.entries.push_back({"http://x" + std::to_string(i) + ".net/o.js",
+                           "x" + std::to_string(i) + ".net",
+                           ips_[std::size_t(i)], 9000, 0.1,
+                           i == 0 ? 4.0 : 0.10 + 0.01 * i});
+    }
+    return r.serialize();
+  }
+
+  page::WebUniverse universe_;
+  net::ServerId origin_ = net::kInvalidServer;
+  std::vector<std::string> ips_;
+  page::Site site_;
+  std::unique_ptr<ConcurrentOakServer> server_;
+};
+
+TEST_F(ConcurrentFixture, ParallelUsersAllServedAndTracked) {
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string uid = "worker" + std::to_string(t);
+      const std::string cookie =
+          std::string(http::kOakUserCookie) + "=" + uid;
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        http::Request get = http::Request::get(site_.index_url());
+        get.headers.set("Cookie", cookie);
+        if (!server_->handle(get, double(i)).ok()) failures++;
+        http::Request post = http::Request::post(
+            "http://busy.com/oak/report", slow_report_wire(uid));
+        post.headers.set("Cookie", cookie);
+        if (server_->handle(post, double(i) + 0.5).status >= 400) failures++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server_->user_count(), std::size_t(kThreads));
+  EXPECT_EQ(server_->reports_processed(),
+            std::size_t(kThreads) * kRequestsPerThread);
+  // Every user ends with the rule active.
+  for (int t = 0; t < kThreads; ++t) {
+    const UserProfile* p =
+        server_->unsynchronized().profile("worker" + std::to_string(t));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->active.size(), 1u);
+  }
+}
+
+TEST_F(ConcurrentFixture, SnapshotsAndAuditsRaceWithTraffic) {
+  std::atomic<bool> stop{false};
+  std::atomic<int> snapshots{0};
+  std::thread auditor([&] {
+    while (!stop.load()) {
+      util::Json snap = server_->export_state();
+      SiteAnalytics audit = server_->audit();
+      // Snapshots must always be internally consistent and parseable.
+      util::Json reparsed = util::Json::parse(snap.dump());
+      EXPECT_EQ(reparsed.at("site").as_string(), "busy.com");
+      (void)audit.summary();
+      snapshots++;
+    }
+  });
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      const std::string uid = "c" + std::to_string(t);
+      for (int i = 0; i < 100; ++i) {
+        http::Request post = http::Request::post(
+            "http://busy.com/oak/report", slow_report_wire(uid));
+        post.headers.set("Cookie",
+                         std::string(http::kOakUserCookie) + "=" + uid);
+        server_->handle(post, double(i));
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  stop = true;
+  auditor.join();
+  EXPECT_GT(snapshots.load(), 0);
+  EXPECT_EQ(server_->user_count(), 4u);
+}
+
+TEST_F(ConcurrentFixture, RuleChurnDuringTraffic) {
+  std::atomic<bool> stop{false};
+  std::thread operator_thread([&] {
+    int next = 100;
+    while (!stop.load()) {
+      Rule r = make_domain_rule("tmp" + std::to_string(next), "x1.net",
+                                {"alt.net"});
+      r.id = next;
+      int id = server_->add_rule(std::move(r));
+      server_->remove_rule(id, 0.0);
+      ++next;
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    http::Request post = http::Request::post("http://busy.com/oak/report",
+                                             slow_report_wire("churn-user"));
+    post.headers.set("Cookie",
+                     std::string(http::kOakUserCookie) + "=churn-user");
+    EXPECT_LT(server_->handle(post, double(i)).status, 400);
+  }
+  stop = true;
+  operator_thread.join();
+  // The permanent rule is still configured and active for the user.
+  EXPECT_EQ(
+      server_->unsynchronized().profile("churn-user")->active.count(1), 1u);
+}
+
+}  // namespace
+}  // namespace oak::core

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "core/analytics.h"
+
+namespace oak::core {
+namespace {
+
+// Reuse the oak-server fixture shape: origin + 3 externals + alt.
+class AnalyticsFixture : public ::testing::Test {
+ protected:
+  AnalyticsFixture()
+      : universe_(net::NetworkConfig{.seed = 5, .horizon_s = 0}) {
+    net::Network& net = universe_.network();
+    origin_ = net.add_server(net::ServerConfig{.name = "origin"});
+    universe_.dns().bind("site.com", net.server(origin_).addr());
+    for (int i = 0; i < 3; ++i) {
+      net::ServerId sid = net.add_server(net::ServerConfig{});
+      const std::string host = "ext" + std::to_string(i) + ".net";
+      universe_.dns().bind(host, net.server(sid).addr());
+      hosts_.push_back(host);
+      ips_.push_back(net.server(sid).addr().to_string());
+    }
+    universe_.dns().bind("alt.net",
+                         net.server(net.add_server(net::ServerConfig{})).addr());
+
+    page::SiteBuilder b(universe_, "site.com", origin_);
+    for (const auto& h : hosts_) {
+      b.add_direct(h, "/o.js", html::RefKind::kScript, 9'000,
+                   page::Category::kCdn);
+    }
+    site_ = b.finish();
+    universe_.store().replicate("http://" + hosts_[0] + "/o.js",
+                                "http://alt.net/o.js");
+
+    OakConfig cfg;
+    cfg.detector.min_population = 4;
+    oak_ = std::make_unique<OakServer>(universe_, "site.com", cfg);
+    rule0_ = oak_->add_rule(make_domain_rule("r0", hosts_[0], {"alt.net"}));
+    rule1_ = oak_->add_rule(make_domain_rule("r1", hosts_[1], {"alt.net"}));
+  }
+
+  browser::PerfReport report_with_slow(std::size_t slow_index) {
+    browser::PerfReport r;
+    r.entries.push_back(
+        {site_.index_url(), "site.com", "10.0.0.1", 4000, 0, 0.09});
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      r.entries.push_back({"http://" + hosts_[i] + "/o.js", hosts_[i],
+                           ips_[i], 9'000, 0.1,
+                           i == slow_index ? 4.0 : 0.10 + 0.01 * double(i)});
+    }
+    return r;
+  }
+
+  page::WebUniverse universe_;
+  net::ServerId origin_ = net::kInvalidServer;
+  std::vector<std::string> hosts_;
+  std::vector<std::string> ips_;
+  page::Site site_;
+  std::unique_ptr<OakServer> oak_;
+  int rule0_ = 0, rule1_ = 0;
+};
+
+TEST_F(AnalyticsFixture, EmptyServerProducesZeroedAudit) {
+  SiteAnalytics a(*oak_);
+  EXPECT_EQ(a.summary().users, 0u);
+  EXPECT_EQ(a.summary().rules, 2u);
+  EXPECT_EQ(a.summary().rules_ever_activated, 0u);
+  ASSERT_EQ(a.rules().size(), 2u);
+  EXPECT_EQ(a.rules()[0].activations, 0u);
+  EXPECT_TRUE(a.violators().empty());
+  // Never-activated rules count as individual.
+  EXPECT_DOUBLE_EQ(a.summary().individual_rule_fraction, 1.0);
+}
+
+TEST_F(AnalyticsFixture, AggregatesActivationsPerRuleAndUser) {
+  // Three users hit ext0; one of them also hits ext1.
+  oak_->analyze("u1", report_with_slow(0), 0.0);
+  oak_->analyze("u2", report_with_slow(0), 1.0);
+  oak_->analyze("u3", report_with_slow(0), 2.0);
+  oak_->analyze("u3", report_with_slow(1), 3.0);
+
+  SiteAnalytics a(*oak_);
+  EXPECT_EQ(a.summary().users, 3u);
+  EXPECT_EQ(a.summary().reports, 4u);
+  EXPECT_EQ(a.summary().rules_ever_activated, 2u);
+  EXPECT_EQ(a.summary().total_activations, 4u);
+
+  const RuleStats* r0 = a.rule(rule0_);
+  ASSERT_NE(r0, nullptr);
+  EXPECT_EQ(r0->activations, 3u);
+  EXPECT_EQ(r0->distinct_users, 3u);
+  EXPECT_DOUBLE_EQ(r0->user_fraction, 1.0);
+  EXPECT_TRUE(r0->is_common());
+  EXPECT_EQ(r0->currently_active, 3u);
+  EXPECT_GT(r0->worst_distance, 0.0);
+
+  const RuleStats* r1 = a.rule(rule1_);
+  ASSERT_NE(r1, nullptr);
+  EXPECT_EQ(r1->distinct_users, 1u);
+  EXPECT_NEAR(r1->user_fraction, 1.0 / 3.0, 1e-9);
+
+  // Sorted most-activated first.
+  EXPECT_EQ(a.rules()[0].rule_id, rule0_);
+  EXPECT_EQ(a.rule(999), nullptr);
+}
+
+TEST_F(AnalyticsFixture, ViolatorsRankedByBlame) {
+  oak_->analyze("u1", report_with_slow(0), 0.0);
+  oak_->analyze("u2", report_with_slow(0), 1.0);
+  oak_->analyze("u2", report_with_slow(1), 2.0);
+  SiteAnalytics a(*oak_);
+  ASSERT_EQ(a.violators().size(), 2u);
+  EXPECT_EQ(a.violators()[0].ip, ips_[0]);
+  EXPECT_EQ(a.violators()[0].times_blamed, 2u);
+  EXPECT_EQ(a.violators()[0].rules_triggered,
+            (std::vector<int>{rule0_}));
+  EXPECT_EQ(a.violators()[1].times_blamed, 1u);
+}
+
+TEST_F(AnalyticsFixture, CommonIndividualSplit) {
+  for (int u = 0; u < 10; ++u) {
+    oak_->analyze("user" + std::to_string(u), report_with_slow(0), u);
+  }
+  oak_->analyze("user0", report_with_slow(1), 100.0);
+  SiteAnalytics a(*oak_);
+  auto common = a.common_rules();
+  auto individual = a.individual_rules();
+  ASSERT_EQ(common.size(), 1u);
+  EXPECT_EQ(common[0]->rule_id, rule0_);  // 100% of users
+  ASSERT_EQ(individual.size(), 1u);
+  EXPECT_EQ(individual[0]->rule_id, rule1_);  // 10% of users
+  EXPECT_DOUBLE_EQ(a.summary().individual_rule_fraction, 0.5);
+}
+
+TEST_F(AnalyticsFixture, JsonExportRoundTripsThroughParser) {
+  oak_->analyze("u1", report_with_slow(0), 0.0);
+  SiteAnalytics a(*oak_);
+  util::Json j = util::Json::parse(a.to_json().dump());
+  EXPECT_EQ(j.at("summary").at("site").as_string(), "site.com");
+  EXPECT_EQ(j.at("summary").at("users").as_int(), 1);
+  EXPECT_EQ(j.at("rules").as_array().size(), 2u);
+  EXPECT_EQ(j.at("violators").as_array().size(), 1u);
+}
+
+TEST_F(AnalyticsFixture, TextReportMentionsActivatedRules) {
+  oak_->analyze("u1", report_with_slow(0), 0.0);
+  SiteAnalytics a(*oak_);
+  std::string report = a.to_report();
+  EXPECT_NE(report.find("site.com"), std::string::npos);
+  EXPECT_NE(report.find("r0"), std::string::npos);
+  // Never-activated r1 is omitted from the activation list.
+  EXPECT_EQ(report.find("[  2] r1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oak::core

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "core/decision_log.h"
+
+namespace oak::core {
+namespace {
+
+Decision make(double t, const std::string& user, int rule, DecisionType type,
+              double distance = 1.0) {
+  return Decision{t, user, rule, type, "10.0.0.1", distance, 0};
+}
+
+TEST(DecisionLog, RecordAndQuery) {
+  DecisionLog log;
+  EXPECT_EQ(log.size(), 0u);
+  log.record(make(1, "u1", 1, DecisionType::kActivate));
+  log.record(make(2, "u1", 1, DecisionType::kDeactivate));
+  log.record(make(3, "u2", 1, DecisionType::kActivate));
+  log.record(make(4, "u2", 2, DecisionType::kActivate));
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.count(DecisionType::kActivate), 3u);
+  EXPECT_EQ(log.count(DecisionType::kDeactivate), 1u);
+  EXPECT_EQ(log.count(DecisionType::kExpire), 0u);
+  EXPECT_EQ(log.by_type(DecisionType::kActivate).size(), 3u);
+}
+
+TEST(DecisionLog, UsersActivatingDeduplicates) {
+  DecisionLog log;
+  log.record(make(1, "u1", 1, DecisionType::kActivate));
+  log.record(make(2, "u1", 1, DecisionType::kActivate));  // re-activation
+  log.record(make(3, "u2", 1, DecisionType::kActivate));
+  log.record(make(4, "u1", 1, DecisionType::kDeactivate));  // ignored
+  auto users = log.users_activating();
+  ASSERT_EQ(users.size(), 1u);
+  EXPECT_EQ(users[1], (std::set<std::string>{"u1", "u2"}));
+  auto counts = log.activations_per_rule();
+  EXPECT_EQ(counts[1], 3u);
+}
+
+TEST(DecisionLog, PreservesOrderAndClear) {
+  DecisionLog log;
+  for (int i = 0; i < 5; ++i) {
+    log.record(make(i, "u", i, DecisionType::kActivate));
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(log.entries()[std::size_t(i)].time, double(i));
+  }
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(DecisionLog, TypeNames) {
+  EXPECT_EQ(to_string(DecisionType::kActivate), "activate");
+  EXPECT_EQ(to_string(DecisionType::kDeactivate), "deactivate");
+  EXPECT_EQ(to_string(DecisionType::kAdvanceAlternative),
+            "advance-alternative");
+  EXPECT_EQ(to_string(DecisionType::kKeepAlternative), "keep-alternative");
+  EXPECT_EQ(to_string(DecisionType::kExpire), "expire");
+  EXPECT_EQ(to_string(DecisionType::kServeModified), "serve-modified");
+}
+
+}  // namespace
+}  // namespace oak::core

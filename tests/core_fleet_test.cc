@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "browser/browser.h"
+#include "core/fleet.h"
+
+namespace oak::core {
+namespace {
+
+class FleetFixture : public ::testing::Test {
+ protected:
+  FleetFixture() : universe_(net::NetworkConfig{.seed = 61, .horizon_s = 0}) {
+    net::Network& net = universe_.network();
+    net::ServerConfig sick;
+    sick.chronic_degradation = 20.0;
+    universe_.dns().bind("bad.net", net.server(net.add_server(sick)).addr());
+    universe_.dns().bind(
+        "good.net", net.server(net.add_server(net::ServerConfig{})).addr());
+    for (int i = 0; i < 4; ++i) {
+      universe_.dns().bind(
+          "p" + std::to_string(i) + ".net",
+          net.server(net.add_server(net::ServerConfig{})).addr());
+    }
+    for (const char* host : {"alpha.com", "beta.com"}) {
+      net::ServerId origin = net.add_server(net::ServerConfig{});
+      universe_.dns().bind(host, net.server(origin).addr());
+      page::SiteBuilder b(universe_, host, origin);
+      b.add_direct("bad.net", "/x.js", html::RefKind::kScript, 12'000,
+                   page::Category::kCdn);
+      for (int i = 0; i < 4; ++i) {
+        b.add_direct("p" + std::to_string(i) + ".net", "/x.js",
+                     html::RefKind::kScript, 12'000, page::Category::kCdn);
+      }
+      sites_.push_back(b.finish());
+    }
+    universe_.store().replicate("http://bad.net/x.js", "http://good.net/x.js");
+  }
+
+  page::WebUniverse universe_;
+  std::vector<page::Site> sites_;
+};
+
+TEST_F(FleetFixture, SitesAreCreatedOnDemandWithBaseConfig) {
+  OakConfig base;
+  base.detector.k = 3.0;
+  Fleet fleet(universe_, base);
+  EXPECT_FALSE(fleet.has("alpha.com"));
+  OakServer& alpha = fleet.site("alpha.com");
+  EXPECT_DOUBLE_EQ(alpha.config().detector.k, 3.0);
+  EXPECT_EQ(&alpha, &fleet.site("alpha.com"));  // idempotent
+  EXPECT_EQ(fleet.size(), 1u);
+  fleet.site("beta.com");
+  EXPECT_EQ(fleet.hosts(), (std::vector<std::string>{"alpha.com", "beta.com"}));
+  EXPECT_EQ(fleet.find("nope.com"), nullptr);
+}
+
+TEST_F(FleetFixture, ProfilesAreIsolatedPerSite) {
+  Fleet fleet(universe_);
+  for (const auto& site : sites_) {
+    fleet.site(site.host)
+        .add_rule(make_domain_rule("switch", "bad.net", {"good.net"}));
+  }
+  fleet.install_all();
+
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  browser::Browser user(universe_, universe_.network().add_client({}), bc);
+  // The user reports on alpha only.
+  user.load(sites_[0].index_url(), 0.0);
+  auto alpha2 = user.load(sites_[0].index_url(), 300.0);
+  EXPECT_NE(alpha2.page_html.find("good.net"), std::string::npos);
+  // beta, which shares the same sick provider, has learned nothing about
+  // this user — per-site identity, exactly like per-site cookies.
+  auto beta1 = user.load(sites_[1].index_url(), 600.0);
+  EXPECT_NE(beta1.page_html.find("bad.net"), std::string::npos);
+  EXPECT_EQ(fleet.find("alpha.com")->user_count(), 1u);
+  EXPECT_EQ(fleet.find("beta.com")->user_count(), 1u);
+}
+
+TEST_F(FleetFixture, SummaryAndAuditAggregate) {
+  Fleet fleet(universe_);
+  for (const auto& site : sites_) {
+    fleet.site(site.host)
+        .add_rule(make_domain_rule("switch", "bad.net", {"good.net"}));
+  }
+  fleet.install_all();
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  for (int u = 0; u < 3; ++u) {
+    browser::Browser b(universe_, universe_.network().add_client({}), bc);
+    for (const auto& site : sites_) b.load(site.index_url(), u * 100.0);
+  }
+  auto summary = fleet.summary();
+  EXPECT_EQ(summary.sites, 2u);
+  EXPECT_EQ(summary.users, 6u);    // 3 users x 2 sites
+  EXPECT_EQ(summary.reports, 6u);
+  EXPECT_EQ(summary.rules, 2u);
+  EXPECT_GT(summary.total_activations, 0u);
+
+  auto audits = fleet.audit_all();
+  ASSERT_EQ(audits.size(), 2u);
+  EXPECT_EQ(audits.at("alpha.com").summary().users, 3u);
+}
+
+TEST_F(FleetFixture, FleetSnapshotRoundTrips) {
+  auto build_fleet = [&](Fleet& fleet) {
+    for (const auto& site : sites_) {
+      fleet.site(site.host)
+          .add_rule(make_domain_rule("switch", "bad.net", {"good.net"}));
+    }
+  };
+  Fleet before(universe_);
+  build_fleet(before);
+  before.install_all();
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  browser::Browser user(universe_, universe_.network().add_client({}), bc);
+  for (const auto& site : sites_) user.load(site.index_url(), 0.0);
+
+  const std::string snapshot = before.export_state().dump();
+  Fleet after(universe_);
+  build_fleet(after);
+  after.import_state(util::Json::parse(snapshot));
+  EXPECT_EQ(after.summary().users, before.summary().users);
+  EXPECT_EQ(after.find("alpha.com")->decision_log().size(),
+            before.find("alpha.com")->decision_log().size());
+
+  // Unknown hosts are rejected before anything is applied.
+  Fleet partial(universe_);
+  partial.site("alpha.com")
+      .add_rule(make_domain_rule("switch", "bad.net", {"good.net"}));
+  EXPECT_THROW(partial.import_state(util::Json::parse(snapshot)),
+               util::JsonError);
+  EXPECT_EQ(partial.find("alpha.com")->user_count(), 0u);
+}
+
+}  // namespace
+}  // namespace oak::core

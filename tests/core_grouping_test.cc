@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/grouping.h"
+
+namespace oak::core {
+namespace {
+
+browser::ReportEntry entry(const std::string& url, const std::string& host,
+                           const std::string& ip, std::uint64_t size,
+                           double time) {
+  return browser::ReportEntry{url, host, ip, size, 0.0, time};
+}
+
+TEST(Grouping, GroupsByIpNotHost) {
+  // Two hostnames on one front-end IP must group together — "keeping track
+  // of all related domain names" (§4.2).
+  browser::PerfReport r;
+  r.entries.push_back(entry("http://a.com/1", "a.com", "10.0.0.1", 100, 0.1));
+  r.entries.push_back(entry("http://b.com/2", "b.com", "10.0.0.1", 100, 0.2));
+  r.entries.push_back(entry("http://c.com/3", "c.com", "10.0.0.2", 100, 0.3));
+  auto obs = group_by_server(r);
+  ASSERT_EQ(obs.size(), 2u);
+  EXPECT_EQ(obs[0].ip, "10.0.0.1");
+  EXPECT_EQ(obs[0].domains, (std::set<std::string>{"a.com", "b.com"}));
+  EXPECT_EQ(obs[0].object_count, 2u);
+  EXPECT_EQ(obs[1].domains, (std::set<std::string>{"c.com"}));
+}
+
+TEST(Grouping, SmallLargeSplitAtThreshold) {
+  browser::PerfReport r;
+  const std::uint64_t th = kDefaultSmallObjectBytes;  // 50 KB
+  r.entries.push_back(entry("u1", "a.com", "10.0.0.1", th - 1, 0.2));
+  r.entries.push_back(entry("u2", "a.com", "10.0.0.1", th, 2.0));
+  auto obs = group_by_server(r);
+  ASSERT_EQ(obs.size(), 1u);
+  ASSERT_EQ(obs[0].small_times.size(), 1u);  // strictly below threshold
+  ASSERT_EQ(obs[0].large_tputs.size(), 1u);
+  EXPECT_DOUBLE_EQ(obs[0].small_times[0], 0.2);
+  EXPECT_DOUBLE_EQ(obs[0].large_tputs[0], static_cast<double>(th) / 2.0);
+}
+
+TEST(Grouping, AveragesAreMeans) {
+  browser::PerfReport r;
+  r.entries.push_back(entry("u1", "a.com", "10.0.0.1", 100, 0.1));
+  r.entries.push_back(entry("u2", "a.com", "10.0.0.1", 100, 0.3));
+  r.entries.push_back(entry("u3", "a.com", "10.0.0.1", 100'000, 1.0));
+  r.entries.push_back(entry("u4", "a.com", "10.0.0.1", 200'000, 1.0));
+  auto obs = group_by_server(r);
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_DOUBLE_EQ(obs[0].avg_small_time(), 0.2);
+  EXPECT_DOUBLE_EQ(obs[0].avg_large_tput(), 150'000.0);
+  EXPECT_EQ(obs[0].byte_count, 300'200u);
+}
+
+TEST(Grouping, CustomThreshold) {
+  browser::PerfReport r;
+  r.entries.push_back(entry("u1", "a.com", "10.0.0.1", 500, 0.1));
+  auto obs = group_by_server(r, /*small_threshold_bytes=*/100);
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_TRUE(obs[0].small_times.empty());
+  EXPECT_EQ(obs[0].large_tputs.size(), 1u);
+}
+
+TEST(Grouping, ZeroTimeLargeObjectSkipped) {
+  browser::PerfReport r;
+  r.entries.push_back(entry("u1", "a.com", "10.0.0.1", 100'000, 0.0));
+  auto obs = group_by_server(r);
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_TRUE(obs[0].large_tputs.empty());  // no division by zero
+}
+
+TEST(Grouping, EmptyReport) {
+  browser::PerfReport r;
+  EXPECT_TRUE(group_by_server(r).empty());
+}
+
+TEST(Grouping, PreservesFirstAppearanceOrder) {
+  browser::PerfReport r;
+  r.entries.push_back(entry("u1", "z.com", "10.0.0.9", 1, 0.1));
+  r.entries.push_back(entry("u2", "a.com", "10.0.0.1", 1, 0.1));
+  r.entries.push_back(entry("u3", "z.com", "10.0.0.9", 1, 0.1));
+  auto obs = group_by_server(r);
+  ASSERT_EQ(obs.size(), 2u);
+  EXPECT_EQ(obs[0].ip, "10.0.0.9");
+  EXPECT_EQ(obs[1].ip, "10.0.0.1");
+}
+
+}  // namespace
+}  // namespace oak::core

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/matcher.h"
+
+namespace oak::core {
+namespace {
+
+// A matcher backed by an in-memory script universe.
+class MatcherFixture : public ::testing::Test {
+ protected:
+  MatcherFixture() {
+    scripts_["http://agg.adnet.com/loader.js"] =
+        "load(\"http://creative.cdn-x.net/banner.png\");";
+    scripts_["http://metrics.io/m.js"] = "var endpoint=\"beacon.metrics.io\";";
+    matcher_ = std::make_unique<Matcher>(
+        [this](const std::string& url) -> std::optional<std::string> {
+          auto it = scripts_.find(url);
+          if (it == scripts_.end()) return std::nullopt;
+          return it->second;
+        });
+  }
+  std::map<std::string, std::string> scripts_;
+  std::unique_ptr<Matcher> matcher_;
+};
+
+TEST_F(MatcherFixture, Tier1DirectInclude) {
+  const std::string rule = "<img src=\"http://cdn.a.net/x.png\"/>";
+  EXPECT_EQ(matcher_->match_text(rule, {"cdn.a.net"}), MatchTier::kDirect);
+  EXPECT_EQ(matcher_->match_text(rule, {"other.net"}), MatchTier::kNone);
+}
+
+TEST_F(MatcherFixture, Tier1RequiresExactHost) {
+  const std::string rule = "<img src=\"http://sub.cdn.a.net/x.png\"/>";
+  // Only the host the client actually resolved counts; sibling domains of
+  // the same provider do not short-circuit the match.
+  EXPECT_EQ(matcher_->match_text(rule, {"cdn.a.net"}), MatchTier::kText);
+}
+
+TEST_F(MatcherFixture, Tier2TextMention) {
+  // An inline script building the URL programmatically: no parseable src,
+  // but the hostname is present in text.
+  const std::string rule =
+      "<script>var h=\"beacon.metrics.io\";go(h+\"/p\");</script>";
+  EXPECT_EQ(matcher_->match_text(rule, {"beacon.metrics.io"}),
+            MatchTier::kText);
+}
+
+TEST_F(MatcherFixture, Tier2CanBeDisabled) {
+  MatcherConfig cfg;
+  cfg.enable_text = false;
+  cfg.enable_external_scripts = false;
+  Matcher strict(nullptr, cfg);
+  const std::string rule = "<script>var h=\"x.io\";</script>";
+  EXPECT_EQ(strict.match_text(rule, {"x.io"}), MatchTier::kNone);
+}
+
+TEST_F(MatcherFixture, Tier3ThroughExternalScript) {
+  // Fig. 6: the rule references the aggregator script; the violator is the
+  // downstream server only the script body names.
+  const std::string rule =
+      "<script src=\"http://agg.adnet.com/loader.js\"></script>";
+  EXPECT_EQ(matcher_->match_text(rule, {"creative.cdn-x.net"},
+                                 {"http://agg.adnet.com/loader.js"}),
+            MatchTier::kExternalScript);
+}
+
+TEST_F(MatcherFixture, Tier3RequiresScriptInReport) {
+  const std::string rule =
+      "<script src=\"http://agg.adnet.com/loader.js\"></script>";
+  // The client never reported loading the script -> no expansion.
+  EXPECT_EQ(matcher_->match_text(rule, {"creative.cdn-x.net"}, {}),
+            MatchTier::kNone);
+}
+
+TEST_F(MatcherFixture, Tier3RequiresRuleToReferenceScript) {
+  const std::string rule = "<img src=\"http://unrelated.com/x.png\"/>";
+  EXPECT_EQ(matcher_->match_text(rule, {"creative.cdn-x.net"},
+                                 {"http://agg.adnet.com/loader.js"}),
+            MatchTier::kNone);
+}
+
+TEST_F(MatcherFixture, Tier3UnfetchableScriptIsSkipped) {
+  const std::string rule =
+      "<script src=\"http://gone.example.com/x.js\"></script>";
+  EXPECT_EQ(matcher_->match_text(rule, {"creative.cdn-x.net"},
+                                 {"http://gone.example.com/x.js"}),
+            MatchTier::kNone);
+}
+
+TEST_F(MatcherFixture, LowestTierWins) {
+  // When a rule matches both directly and via script, report tier 1.
+  const std::string rule =
+      "<img src=\"http://creative.cdn-x.net/b.png\"/>"
+      "<script src=\"http://agg.adnet.com/loader.js\"></script>";
+  EXPECT_EQ(matcher_->match_text(rule, {"creative.cdn-x.net"},
+                                 {"http://agg.adnet.com/loader.js"}),
+            MatchTier::kDirect);
+}
+
+TEST_F(MatcherFixture, DomainRulesMatchByText) {
+  Rule r = make_domain_rule("switch", "slow.ads.net", {"fast.ads.net"});
+  EXPECT_EQ(matcher_->match_rule(r, {"slow.ads.net"}), MatchTier::kText);
+  EXPECT_EQ(matcher_->match_rule(r, {"unrelated.net"}), MatchTier::kNone);
+}
+
+TEST_F(MatcherFixture, EmptyDomainsNeverMatch) {
+  EXPECT_EQ(matcher_->match_text("anything", {}), MatchTier::kNone);
+}
+
+TEST(ReportScriptUrls, FiltersByPathExtension) {
+  auto scripts = report_script_urls({"http://a.com/x.js", "http://b.com/y.png",
+                                     "http://c.com/z.js?v=2", "not-a-url"});
+  EXPECT_EQ(scripts, (std::vector<std::string>{"http://a.com/x.js",
+                                               "http://c.com/z.js?v=2"}));
+}
+
+TEST(MatchTierNames, Strings) {
+  EXPECT_EQ(to_string(MatchTier::kNone), "none");
+  EXPECT_EQ(to_string(MatchTier::kDirect), "direct");
+  EXPECT_EQ(to_string(MatchTier::kText), "text");
+  EXPECT_EQ(to_string(MatchTier::kExternalScript), "external-script");
+}
+
+}  // namespace
+}  // namespace oak::core

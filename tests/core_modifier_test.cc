@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/modifier.h"
+
+namespace oak::core {
+namespace {
+
+TEST(Modifier, Type1RemovesBlock) {
+  Rule r = make_removal_rule("kill-ad",
+                             "<iframe src=\"http://ads.x.com/a\"></iframe>");
+  r.id = 1;
+  const std::string html =
+      "<p>before</p><iframe src=\"http://ads.x.com/a\"></iframe><p>after</p>";
+  ModifiedPage out = apply_rules(html, "/index.html", {{&r, 0}});
+  EXPECT_EQ(out.html, "<p>before</p><p>after</p>");
+  ASSERT_EQ(out.records.size(), 1u);
+  EXPECT_EQ(out.records[0].replacements, 1u);
+  EXPECT_TRUE(out.aliases.empty());
+}
+
+TEST(Modifier, Type2ReplacesAndEmitsUrlAlias) {
+  Rule r = make_source_rule(
+      "jquery", "<script src=\"http://s1.com/jquery.js\"></script>",
+      {"<script src=\"http://s2.net/jquery.js\"></script>"});
+  r.id = 2;
+  const std::string html =
+      "<head><script src=\"http://s1.com/jquery.js\"></script></head>";
+  ModifiedPage out = apply_rules(html, "/", {{&r, 0}});
+  EXPECT_NE(out.html.find("s2.net"), std::string::npos);
+  EXPECT_EQ(out.html.find("s1.com"), std::string::npos);
+  ASSERT_EQ(out.aliases.size(), 1u);
+  EXPECT_EQ(out.aliases[0],
+            "http://s2.net/jquery.js http://s1.com/jquery.js");
+}
+
+TEST(Modifier, DomainRuleRewritesEverywhereIncludingInlineScripts) {
+  Rule r = make_domain_rule("switch", "slow.cdn.net", {"na.mirror.slow.cdn.net"});
+  r.id = 3;
+  const std::string html =
+      "<img src=\"http://slow.cdn.net/a.png\"/>"
+      "<script>var h=\"slow.cdn.net\";load(h);</script>";
+  ModifiedPage out = apply_rules(html, "/", {{&r, 0}});
+  EXPECT_EQ(out.html.find("\"slow.cdn.net"), std::string::npos);
+  EXPECT_EQ(out.records[0].replacements, 2u);
+  ASSERT_EQ(out.aliases.size(), 1u);
+  EXPECT_EQ(out.aliases[0], "host:na.mirror.slow.cdn.net host:slow.cdn.net");
+}
+
+TEST(Modifier, Type3NoAliasEmitted) {
+  Rule r;
+  r.id = 4;
+  r.type = RuleType::kAlternativeObject;
+  r.default_text = "<img src=\"http://a.com/1.png\"/>";
+  r.alternatives = {"<img src=\"http://b.net/other.png\"/>"};
+  const std::string html = "<img src=\"http://a.com/1.png\"/>";
+  ModifiedPage out = apply_rules(html, "/", {{&r, 0}});
+  EXPECT_NE(out.html.find("b.net"), std::string::npos);
+  EXPECT_TRUE(out.aliases.empty());  // the object is NOT identical
+}
+
+TEST(Modifier, ScopeRestrictsApplication) {
+  Rule r = make_domain_rule("scoped", "x.com", {"y.com"}, 0.0, "/blog/*");
+  r.id = 5;
+  const std::string html = "<img src=\"http://x.com/a.png\"/>";
+  EXPECT_NE(apply_rules(html, "/index.html", {{&r, 0}}).html.find("x.com"),
+            std::string::npos);
+  EXPECT_EQ(apply_rules(html, "/blog/post1", {{&r, 0}}).html.find("x.com"),
+            std::string::npos);
+}
+
+TEST(Modifier, AlternativeIndexSelectsAndClamps) {
+  Rule r = make_domain_rule("multi", "x.com", {"alt0.com", "alt1.com"});
+  r.id = 6;
+  const std::string html = "<img src=\"http://x.com/a.png\"/>";
+  EXPECT_NE(apply_rules(html, "/", {{&r, 1}}).html.find("alt1.com"),
+            std::string::npos);
+  // Out-of-range index clamps to the last alternative.
+  EXPECT_NE(apply_rules(html, "/", {{&r, 9}}).html.find("alt1.com"),
+            std::string::npos);
+}
+
+TEST(Modifier, SubRulesOnlyFireWhenParentMatched) {
+  Rule r = make_domain_rule("parent", "x.com", {"y.com"});
+  r.id = 7;
+  r.sub_rules.push_back({"THEME", "dark"});
+  ModifiedPage hit = apply_rules("<img src=\"http://x.com/\"/> THEME", "/",
+                                 {{&r, 0}});
+  EXPECT_NE(hit.html.find("dark"), std::string::npos);
+  ModifiedPage miss = apply_rules("no match here THEME", "/", {{&r, 0}});
+  EXPECT_NE(miss.html.find("THEME"), std::string::npos);
+  EXPECT_EQ(miss.html.find("dark"), std::string::npos);
+}
+
+TEST(Modifier, MultipleRulesApplyInOrder) {
+  Rule a = make_domain_rule("a", "one.com", {"two.com"});
+  a.id = 8;
+  Rule b = make_domain_rule("b", "two.com", {"three.com"});
+  b.id = 9;
+  const std::string html = "<img src=\"http://one.com/x\"/>";
+  ModifiedPage out = apply_rules(html, "/", {{&a, 0}, {&b, 0}});
+  // Rule b sees rule a's output: one.com -> two.com -> three.com.
+  EXPECT_NE(out.html.find("three.com"), std::string::npos);
+  EXPECT_EQ(out.total_replacements(), 2u);
+}
+
+TEST(Modifier, NoMatchLeavesPageUntouched) {
+  Rule r = make_domain_rule("r", "absent.com", {"alt.com"});
+  r.id = 10;
+  const std::string html = "<p>static content</p>";
+  ModifiedPage out = apply_rules(html, "/", {{&r, 0}});
+  EXPECT_EQ(out.html, html);
+  EXPECT_EQ(out.total_replacements(), 0u);
+  EXPECT_TRUE(out.aliases.empty());
+}
+
+TEST(Modifier, MultiUrlBlockEmitsPairwiseAliases) {
+  Rule r = make_source_rule(
+      "block",
+      "<img src=\"http://d.com/1.png\"/><img src=\"http://d.com/2.png\"/>",
+      {"<img src=\"http://m.com/1.png\"/><img src=\"http://m.com/2.png\"/>"});
+  r.id = 11;
+  ModifiedPage out = apply_rules(
+      "<img src=\"http://d.com/1.png\"/><img src=\"http://d.com/2.png\"/>",
+      "/", {{&r, 0}});
+  ASSERT_EQ(out.aliases.size(), 2u);
+  EXPECT_EQ(out.aliases[0], "http://m.com/1.png http://d.com/1.png");
+  EXPECT_EQ(out.aliases[1], "http://m.com/2.png http://d.com/2.png");
+}
+
+}  // namespace
+}  // namespace oak::core

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "core/oak_server.h"
+
+namespace oak::core {
+namespace {
+
+class PersistenceFixture : public ::testing::Test {
+ protected:
+  PersistenceFixture()
+      : universe_(net::NetworkConfig{.seed = 8, .horizon_s = 0}) {
+    net::Network& net = universe_.network();
+    origin_ = net.add_server(net::ServerConfig{.name = "origin"});
+    universe_.dns().bind("persist.com", net.server(origin_).addr());
+    for (int i = 0; i < 3; ++i) {
+      net::ServerId sid = net.add_server(net::ServerConfig{});
+      const std::string host = "e" + std::to_string(i) + ".net";
+      universe_.dns().bind(host, net.server(sid).addr());
+      hosts_.push_back(host);
+      ips_.push_back(net.server(sid).addr().to_string());
+    }
+    universe_.dns().bind(
+        "alt.net", net.server(net.add_server(net::ServerConfig{})).addr());
+
+    page::SiteBuilder b(universe_, "persist.com", origin_);
+    for (const auto& h : hosts_) {
+      b.add_direct(h, "/o.js", html::RefKind::kScript, 9'000,
+                   page::Category::kCdn);
+    }
+    site_ = b.finish();
+    universe_.store().replicate("http://" + hosts_[0] + "/o.js",
+                                "http://alt.net/o.js");
+  }
+
+  std::unique_ptr<OakServer> make_server() {
+    OakConfig cfg;
+    cfg.detector.min_population = 4;
+    auto server = std::make_unique<OakServer>(universe_, "persist.com", cfg);
+    server->add_rule(make_domain_rule("switch", hosts_[0], {"alt.net"}));
+    return server;
+  }
+
+  browser::PerfReport slow_report() {
+    browser::PerfReport r;
+    r.entries.push_back(
+        {site_.index_url(), "persist.com", "10.0.0.1", 4000, 0, 0.09});
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      r.entries.push_back({"http://" + hosts_[i] + "/o.js", hosts_[i],
+                           ips_[i], 9'000, 0.1,
+                           i == 0 ? 4.0 : 0.10 + 0.01 * double(i)});
+    }
+    return r;
+  }
+
+  page::WebUniverse universe_;
+  net::ServerId origin_ = net::kInvalidServer;
+  std::vector<std::string> hosts_;
+  std::vector<std::string> ips_;
+  page::Site site_;
+};
+
+TEST_F(PersistenceFixture, SnapshotRoundTripsProfilesAndLog) {
+  auto before = make_server();
+  before->analyze("u1", slow_report(), 10.0);
+  before->analyze("u2", slow_report(), 20.0);
+  ASSERT_EQ(before->user_count(), 2u);
+  ASSERT_EQ(before->decision_log().count(DecisionType::kActivate), 2u);
+
+  // Serialize to text (what would be written to disk) and restore into a
+  // freshly-constructed server with the same rule configuration.
+  const std::string snapshot = before->export_state().dump();
+  auto after = make_server();
+  after->import_state(util::Json::parse(snapshot));
+
+  EXPECT_EQ(after->user_count(), 2u);
+  EXPECT_EQ(after->reports_processed(), 2u);
+  const UserProfile* u1 = after->profile("u1");
+  ASSERT_NE(u1, nullptr);
+  ASSERT_EQ(u1->active.size(), 1u);
+  const ActiveRule& ar = u1->active.begin()->second;
+  EXPECT_EQ(ar.violator_ip, ips_[0]);
+  EXPECT_GT(ar.violation_distance, 0.0);
+  EXPECT_DOUBLE_EQ(ar.activated_at, 10.0);
+  EXPECT_EQ(after->decision_log().size(), before->decision_log().size());
+}
+
+TEST_F(PersistenceFixture, RestoredServerKeepsServingRewrittenPages) {
+  auto before = make_server();
+  before->analyze("u1", slow_report(), 0.0);
+  const std::string snapshot = before->export_state().dump();
+
+  auto after = make_server();
+  after->import_state(util::Json::parse(snapshot));
+  http::Request req = http::Request::get(site_.index_url());
+  req.headers.set("Cookie", std::string(http::kOakUserCookie) + "=u1");
+  http::Response resp = after->handle(req, 100.0);
+  EXPECT_NE(resp.body.find("alt.net"), std::string::npos)
+      << "restored activation must still rewrite the page";
+}
+
+TEST_F(PersistenceFixture, UserIdCounterSurvivesRestart) {
+  auto before = make_server();
+  // Two anonymous users get issued cookies u1, u2.
+  before->handle(http::Request::get(site_.index_url()), 0.0);
+  before->handle(http::Request::get(site_.index_url()), 1.0);
+  const std::string snapshot = before->export_state().dump();
+
+  auto after = make_server();
+  after->import_state(util::Json::parse(snapshot));
+  http::Response resp =
+      after->handle(http::Request::get(site_.index_url()), 2.0);
+  auto cookies = resp.headers.get_all("Set-Cookie");
+  ASSERT_EQ(cookies.size(), 1u);
+  // A fresh visitor must not collide with a pre-restart identity.
+  EXPECT_NE(cookies[0].find("oak_uid=u3"), std::string::npos) << cookies[0];
+}
+
+TEST_F(PersistenceFixture, PendingViolationsAndBansSurvive) {
+  auto before = make_server();
+  before->config().policy.default_min_violations = 3;
+  before->analyze("u1", slow_report(), 0.0);
+  before->analyze("u1", slow_report(), 1.0);
+  ASSERT_TRUE(before->profile("u1")->active.empty());  // 2 of 3 violations
+  const std::string snapshot = before->export_state().dump();
+
+  auto after = make_server();
+  after->config().policy.default_min_violations = 3;
+  after->import_state(util::Json::parse(snapshot));
+  // The third violation lands after the restart and completes activation.
+  after->analyze("u1", slow_report(), 2.0);
+  EXPECT_EQ(after->profile("u1")->active.size(), 1u);
+}
+
+TEST_F(PersistenceFixture, MalformedSnapshotsRejected) {
+  auto server = make_server();
+  EXPECT_THROW(server->import_state(util::Json::parse("{}")),
+               util::JsonError);
+  EXPECT_THROW(server->import_state(util::Json::parse(
+                   R"({"version":99,"users":{},"log":[]})")),
+               util::JsonError);
+  // A failed import must not clobber existing state.
+  server->analyze("u1", slow_report(), 0.0);
+  try {
+    server->import_state(util::Json::parse(R"({"version":1})"));
+    FAIL() << "expected JsonError";
+  } catch (const util::JsonError&) {
+  }
+  EXPECT_EQ(server->user_count(), 1u);
+}
+
+TEST_F(PersistenceFixture, SnapshotIsDeterministic) {
+  auto a = make_server();
+  auto b = make_server();
+  a->analyze("u1", slow_report(), 0.0);
+  b->analyze("u1", slow_report(), 0.0);
+  EXPECT_EQ(a->export_state().dump(), b->export_state().dump());
+}
+
+}  // namespace
+}  // namespace oak::core

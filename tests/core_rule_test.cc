@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "core/rule.h"
+#include "core/rule_parser.h"
+
+namespace oak::core {
+namespace {
+
+TEST(Rule, ValidationAcceptsPaperExample) {
+  // The §4.1 example: a type-2 rule swapping a jquery source, TTL 0
+  // (never expire), site-wide scope.
+  Rule r = make_source_rule(
+      "jquery", "<script src=\"http://s1.com/jquery.js\"></script>",
+      {"<script src=\"http://s2.net/jquery.js\"></script>"}, 0.0, "*");
+  std::string why;
+  EXPECT_TRUE(r.validate(&why)) << why;
+  EXPECT_EQ(r.type, RuleType::kAlternativeSource);
+  EXPECT_TRUE(r.scope.is_site_wide());
+  EXPECT_FALSE(r.is_domain_rule());
+}
+
+TEST(Rule, ValidationRejections) {
+  std::string why;
+  Rule empty_default;
+  EXPECT_FALSE(empty_default.validate(&why));
+
+  Rule t1 = make_removal_rule("r", "<div>ad</div>");
+  t1.alternatives.push_back("x");
+  EXPECT_FALSE(t1.validate(&why));  // type-1 takes no alternatives
+
+  Rule t2 = make_source_rule("r", "a", {"b"});
+  t2.alternatives.clear();
+  EXPECT_FALSE(t2.validate(&why));  // type-2 needs alternatives
+
+  Rule same = make_source_rule("r", "a", {"a"});
+  EXPECT_FALSE(same.validate(&why));  // alternative must differ
+
+  Rule neg = make_source_rule("r", "a", {"b"}, -1.0);
+  EXPECT_FALSE(neg.validate(&why));
+
+  Rule minv = make_source_rule("r", "a", {"b"});
+  minv.min_violations = 0;
+  EXPECT_FALSE(minv.validate(&why));
+
+  Rule badsub = make_source_rule("r", "a", {"b"});
+  badsub.sub_rules.push_back({"", "x"});
+  EXPECT_FALSE(badsub.validate(&why));
+}
+
+TEST(Rule, DomainRuleDetection) {
+  EXPECT_TRUE(make_domain_rule("r", "cdn.a.net", {"alt.a.net"})
+                  .is_domain_rule());
+  EXPECT_FALSE(make_source_rule("r", "<img src=\"http://a/b\"/>", {"x"})
+                   .is_domain_rule());
+  EXPECT_FALSE(make_source_rule("r", "noDotsHere", {"x"}).is_domain_rule());
+}
+
+TEST(RuleParser, ParsesFullBlock) {
+  const std::string text = R"(
+    # switch jquery to the backup CDN
+    rule "jquery-cdn" {
+      type: 2
+      default: "<script src=\"http://s1.com/jquery.js\"></script>"
+      alt: "<script src=\"http://s2.net/jquery.js\"></script>"
+      alt: "<script src=\"http://s3.org/jquery.js\"></script>"
+      ttl: 3600
+      scope: "/blog/*"
+      min_violations: 3
+      sub: "s1.com/skin.css" -> "s2.net/skin.css"
+    }
+  )";
+  auto rules = parse_rules(text);
+  ASSERT_EQ(rules.size(), 1u);
+  const Rule& r = rules[0];
+  EXPECT_EQ(r.name, "jquery-cdn");
+  EXPECT_EQ(r.type, RuleType::kAlternativeSource);
+  EXPECT_EQ(r.default_text,
+            "<script src=\"http://s1.com/jquery.js\"></script>");
+  ASSERT_EQ(r.alternatives.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.ttl_s, 3600.0);
+  EXPECT_EQ(r.scope.pattern(), "/blog/*");
+  EXPECT_EQ(r.min_violations, 3);
+  ASSERT_EQ(r.sub_rules.size(), 1u);
+  EXPECT_EQ(r.sub_rules[0].from, "s1.com/skin.css");
+  EXPECT_EQ(r.sub_rules[0].to, "s2.net/skin.css");
+}
+
+TEST(RuleParser, MultipleRulesAndComments) {
+  const std::string text = R"(
+    rule "a" { type: 1 default: "<div>ad</div>" }  # remove the ad
+    rule "b" { type: 3 default: "x" alt: "y" }
+  )";
+  auto rules = parse_rules(text);
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].type, RuleType::kRemove);
+  EXPECT_TRUE(rules[0].alternatives.empty());
+  EXPECT_EQ(rules[1].type, RuleType::kAlternativeObject);
+}
+
+TEST(RuleParser, EmptyInputYieldsNoRules) {
+  EXPECT_TRUE(parse_rules("").empty());
+  EXPECT_TRUE(parse_rules("  # only a comment\n").empty());
+}
+
+TEST(RuleParser, StringEscapes) {
+  auto rules = parse_rules(R"(rule "r" { type: 1 default: "a\"b\\c\nd\te" })");
+  EXPECT_EQ(rules[0].default_text, "a\"b\\c\nd\te");
+}
+
+TEST(RuleParser, ErrorsCarryLineNumbers) {
+  try {
+    parse_rules("rule \"x\" {\n  type: 9\n}");
+    FAIL() << "expected RuleParseError";
+  } catch (const RuleParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(RuleParser, Rejections) {
+  EXPECT_THROW(parse_rules("notrule \"x\" {}"), RuleParseError);
+  EXPECT_THROW(parse_rules("rule \"x\" { type: 2 }"), RuleParseError);
+  EXPECT_THROW(parse_rules("rule \"x\" { default: \"d\" }"), RuleParseError);
+  EXPECT_THROW(parse_rules("rule \"x\" { type: 1 default: \"d\" "),
+               RuleParseError);
+  EXPECT_THROW(parse_rules("rule \"x\" { bogus: 1 }"), RuleParseError);
+  EXPECT_THROW(parse_rules(R"(rule "x" { type: 1 default: "a" sub: "f" "t" })"),
+               RuleParseError);
+  EXPECT_THROW(parse_rules("rule \"x\" { type: 1 default: \"unterminated"),
+               RuleParseError);
+}
+
+TEST(RuleParser, FormatRoundTrips) {
+  const std::string text = R"(
+    rule "r1" {
+      type: 2
+      default: "block with \"quotes\" and\nnewlines"
+      alt: "alt1"
+      alt: "alt2"
+      ttl: 60
+      scope: "/x/*"
+      min_violations: 2
+      sub: "a" -> "b"
+    }
+    rule "r2" { type: 1 default: "<iframe src=\"http://ads.x.com/\"></iframe>" }
+  )";
+  auto rules = parse_rules(text);
+  auto reparsed = parse_rules(format_rules(rules));
+  ASSERT_EQ(reparsed.size(), rules.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(reparsed[i].name, rules[i].name);
+    EXPECT_EQ(reparsed[i].type, rules[i].type);
+    EXPECT_EQ(reparsed[i].default_text, rules[i].default_text);
+    EXPECT_EQ(reparsed[i].alternatives, rules[i].alternatives);
+    EXPECT_DOUBLE_EQ(reparsed[i].ttl_s, rules[i].ttl_s);
+    EXPECT_EQ(reparsed[i].scope.pattern(), rules[i].scope.pattern());
+    EXPECT_EQ(reparsed[i].min_violations, rules[i].min_violations);
+    EXPECT_EQ(reparsed[i].sub_rules.size(), rules[i].sub_rules.size());
+  }
+}
+
+TEST(RuleTypeNames, Strings) {
+  EXPECT_EQ(to_string(RuleType::kRemove), "remove");
+  EXPECT_EQ(to_string(RuleType::kAlternativeSource), "alternative-source");
+  EXPECT_EQ(to_string(RuleType::kAlternativeObject), "alternative-object");
+}
+
+}  // namespace
+}  // namespace oak::core

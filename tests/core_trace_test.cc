@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "browser/browser.h"
+#include "core/trace.h"
+
+namespace oak::core {
+namespace {
+
+class TraceFixture : public ::testing::Test {
+ protected:
+  TraceFixture() : universe_(net::NetworkConfig{.seed = 55, .horizon_s = 0}) {
+    net::Network& net = universe_.network();
+    origin_ = net.add_server(net::ServerConfig{.name = "origin"});
+    universe_.dns().bind("traced.com", net.server(origin_).addr());
+    net::ServerConfig sick;
+    sick.chronic_degradation = 15.0;
+    universe_.dns().bind("bad.net", net.server(net.add_server(sick)).addr());
+    universe_.dns().bind(
+        "alt.net", net.server(net.add_server(net::ServerConfig{})).addr());
+    for (int i = 0; i < 4; ++i) {
+      universe_.dns().bind(
+          "p" + std::to_string(i) + ".net",
+          net.server(net.add_server(net::ServerConfig{})).addr());
+    }
+    page::SiteBuilder b(universe_, "traced.com", origin_);
+    b.add_direct("bad.net", "/x.js", html::RefKind::kScript, 12'000,
+                 page::Category::kCdn);
+    for (int i = 0; i < 4; ++i) {
+      b.add_direct("p" + std::to_string(i) + ".net", "/x.js",
+                   html::RefKind::kScript, 12'000, page::Category::kCdn);
+    }
+    site_ = b.finish();
+    universe_.store().replicate("http://bad.net/x.js", "http://alt.net/x.js");
+  }
+
+  std::unique_ptr<OakServer> make_server(double k = 2.0) {
+    OakConfig cfg;
+    cfg.detector.k = k;
+    auto server = std::make_unique<OakServer>(universe_, "traced.com", cfg);
+    server->add_rule(make_domain_rule("switch", "bad.net", {"alt.net"}));
+    return server;
+  }
+
+  page::WebUniverse universe_;
+  net::ServerId origin_ = net::kInvalidServer;
+  page::Site site_;
+};
+
+TEST_F(TraceFixture, RecordingHandlerCapturesLiveTraffic) {
+  auto server = make_server();
+  ReportTrace trace;
+  universe_.set_handler("traced.com", recording_handler(*server, trace));
+
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  browser::Browser alice(universe_, universe_.network().add_client({}), bc);
+  alice.load(site_.index_url(), 0.0);
+  alice.load(site_.index_url(), 60.0);
+
+  ASSERT_EQ(trace.size(), 2u);
+  // Reports upload after the load finishes, so the record is stamped later
+  // than navigation start.
+  EXPECT_GE(trace.records()[1].time, 60.0);
+  EXPECT_FALSE(trace.records()[0].user_id.empty());
+  EXPECT_FALSE(trace.records()[0].report.entries.empty());
+  // The server still processed the reports normally.
+  EXPECT_EQ(server->reports_processed(), 2u);
+}
+
+TEST_F(TraceFixture, JsonlRoundTrip) {
+  auto server = make_server();
+  ReportTrace trace;
+  universe_.set_handler("traced.com", recording_handler(*server, trace));
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  browser::Browser b(universe_, universe_.network().add_client({}), bc);
+  b.load(site_.index_url(), 0.0);
+
+  const std::string jsonl = trace.to_jsonl();
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 1);
+  ReportTrace back = ReportTrace::from_jsonl(jsonl);
+  ASSERT_EQ(back.size(), trace.size());
+  EXPECT_EQ(back.records()[0].user_id, trace.records()[0].user_id);
+  EXPECT_EQ(back.records()[0].report.entries.size(),
+            trace.records()[0].report.entries.size());
+  EXPECT_EQ(back.to_jsonl(), jsonl);
+  EXPECT_THROW(ReportTrace::from_jsonl("not json\n"), util::JsonError);
+}
+
+TEST_F(TraceFixture, ReplayReproducesDecisions) {
+  // Record a live run...
+  auto live = make_server();
+  ReportTrace trace;
+  universe_.set_handler("traced.com", recording_handler(*live, trace));
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  browser::Browser b(universe_, universe_.network().add_client({}), bc);
+  for (int i = 0; i < 3; ++i) b.load(site_.index_url(), i * 60.0);
+  const std::size_t live_activations =
+      live->decision_log().count(DecisionType::kActivate);
+  ASSERT_GT(live_activations, 0u);
+
+  // ...and replay it into a fresh server: identical decisions.
+  auto offline = make_server();
+  const std::size_t replay_activations = trace.replay_into(*offline);
+  EXPECT_EQ(replay_activations, live_activations);
+  const auto live_users = live->decision_log().users_activating();
+  const auto offline_users = offline->decision_log().users_activating();
+  EXPECT_EQ(live_users, offline_users);
+}
+
+TEST_F(TraceFixture, WhatIfReplayWithStricterDetector) {
+  auto live = make_server(/*k=*/2.0);
+  ReportTrace trace;
+  universe_.set_handler("traced.com", recording_handler(*live, trace));
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  browser::Browser b(universe_, universe_.network().add_client({}), bc);
+  for (int i = 0; i < 3; ++i) b.load(site_.index_url(), i * 60.0);
+
+  // An absurdly lax detector would never have activated anything.
+  auto what_if = make_server(/*k=*/10'000.0);
+  EXPECT_EQ(trace.replay_into(*what_if), 0u);
+}
+
+}  // namespace
+}  // namespace oak::core

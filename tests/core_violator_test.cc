@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "core/violator.h"
+
+#include <cmath>
+
+namespace oak::core {
+namespace {
+
+browser::ReportEntry entry(const std::string& ip, std::uint64_t size,
+                           double time) {
+  static int n = 0;
+  return browser::ReportEntry{"http://h" + std::to_string(n++) + ".com/x",
+                              "h.com", ip, size, 0.0, time};
+}
+
+// A report with 5 servers of small objects; server 0 takes `slow_time`,
+// the rest take ~0.1s.
+browser::PerfReport small_object_report(double slow_time) {
+  browser::PerfReport r;
+  r.entries.push_back(entry("10.0.0.1", 1000, slow_time));
+  r.entries.push_back(entry("10.0.0.2", 1000, 0.10));
+  r.entries.push_back(entry("10.0.0.3", 1000, 0.11));
+  r.entries.push_back(entry("10.0.0.4", 1000, 0.09));
+  r.entries.push_back(entry("10.0.0.5", 1000, 0.105));
+  return r;
+}
+
+TEST(Violator, DetectsSlowSmallObjectServer) {
+  auto res = detect_violators(small_object_report(1.0));
+  ASSERT_EQ(res.violators.size(), 1u);
+  EXPECT_EQ(res.violators[0].ip, "10.0.0.1");
+  EXPECT_TRUE(res.violators[0].by_time);
+  EXPECT_FALSE(res.violators[0].by_tput);
+  EXPECT_GT(res.violators[0].severity(), 2.0);
+}
+
+TEST(Violator, NoViolatorWhenAllSimilar) {
+  auto res = detect_violators(small_object_report(0.105));
+  EXPECT_TRUE(res.violators.empty());
+}
+
+TEST(Violator, ThresholdIsRelativeNotAbsolute) {
+  // Everything 10x slower but equally spread: still no violator. This is
+  // the property that keeps Oak quiet for clients on slow links (§4.2.1).
+  browser::PerfReport r;
+  r.entries.push_back(entry("10.0.0.1", 1000, 1.0));
+  r.entries.push_back(entry("10.0.0.2", 1000, 1.1));
+  r.entries.push_back(entry("10.0.0.3", 1000, 0.9));
+  r.entries.push_back(entry("10.0.0.4", 1000, 1.05));
+  EXPECT_TRUE(detect_violators(r).violators.empty());
+}
+
+TEST(Violator, DetectsLowThroughputServer) {
+  browser::PerfReport r;
+  // Large objects: 100 KB each. Server 1 gets 10 KB/s, others ~1 MB/s.
+  r.entries.push_back(entry("10.0.0.1", 100'000, 10.0));
+  r.entries.push_back(entry("10.0.0.2", 100'000, 0.10));
+  r.entries.push_back(entry("10.0.0.3", 100'000, 0.11));
+  r.entries.push_back(entry("10.0.0.4", 100'000, 0.09));
+  r.entries.push_back(entry("10.0.0.5", 100'000, 0.10));
+  auto res = detect_violators(r);
+  ASSERT_EQ(res.violators.size(), 1u);
+  EXPECT_EQ(res.violators[0].ip, "10.0.0.1");
+  EXPECT_TRUE(res.violators[0].by_tput);
+  EXPECT_FALSE(res.violators[0].by_time);
+}
+
+TEST(Violator, FastServersAreNotViolators) {
+  // Asymmetry: only the *worse* direction trips (longer time / lower
+  // throughput), never the better one.
+  browser::PerfReport r;
+  r.entries.push_back(entry("10.0.0.1", 1000, 0.001));  // unusually fast
+  r.entries.push_back(entry("10.0.0.2", 1000, 0.10));
+  r.entries.push_back(entry("10.0.0.3", 1000, 0.11));
+  r.entries.push_back(entry("10.0.0.4", 1000, 0.09));
+  r.entries.push_back(entry("10.0.0.5", 1000, 0.10));
+  for (const auto& v : detect_violators(r).violators) {
+    EXPECT_NE(v.ip, "10.0.0.1");
+  }
+}
+
+TEST(Violator, EitherMetricSufficient) {
+  // A server with fine small-object times but terrible throughput is a
+  // violator ("a violation of either type", §4.2.1).
+  browser::PerfReport r;
+  for (int i = 1; i <= 4; ++i) {
+    const std::string ip = "10.0.0." + std::to_string(i);
+    r.entries.push_back(entry(ip, 1000, 0.1));
+    r.entries.push_back(entry(ip, 100'000, 0.1));
+  }
+  r.entries.push_back(entry("10.0.0.5", 1000, 0.1));      // fine
+  r.entries.push_back(entry("10.0.0.5", 100'000, 50.0));  // terrible
+  auto res = detect_violators(r);
+  ASSERT_EQ(res.violators.size(), 1u);
+  EXPECT_EQ(res.violators[0].ip, "10.0.0.5");
+  EXPECT_TRUE(res.violators[0].by_tput);
+}
+
+TEST(Violator, MinPopulationSuppressesDetection) {
+  browser::PerfReport r;
+  r.entries.push_back(entry("10.0.0.1", 1000, 5.0));
+  r.entries.push_back(entry("10.0.0.2", 1000, 0.10));
+  r.entries.push_back(entry("10.0.0.3", 1000, 0.12));
+  DetectorConfig cfg;
+  cfg.min_population = 4;
+  EXPECT_TRUE(detect_violators(r, cfg).violators.empty());
+  cfg.min_population = 3;
+  EXPECT_FALSE(detect_violators(r, cfg).violators.empty());
+}
+
+TEST(Violator, KParameterWidensTolerance) {
+  auto report = small_object_report(0.13);
+  DetectorConfig loose;
+  loose.k = 8.0;
+  EXPECT_TRUE(detect_violators(report, loose).violators.empty());
+  DetectorConfig tight;
+  tight.k = 2.0;
+  EXPECT_FALSE(detect_violators(report, tight).violators.empty());
+}
+
+TEST(Violator, SeverityGrowsWithDeviation) {
+  auto mild = detect_violators(small_object_report(0.5));
+  auto severe = detect_violators(small_object_report(5.0));
+  ASSERT_EQ(mild.violators.size(), 1u);
+  ASSERT_EQ(severe.violators.size(), 1u);
+  EXPECT_GT(severe.violators[0].severity(), mild.violators[0].severity());
+}
+
+TEST(Violator, SeverityFiniteEvenWithZeroMad) {
+  browser::PerfReport r;
+  r.entries.push_back(entry("10.0.0.1", 1000, 0.1));
+  r.entries.push_back(entry("10.0.0.2", 1000, 0.1));
+  r.entries.push_back(entry("10.0.0.3", 1000, 0.1));
+  r.entries.push_back(entry("10.0.0.4", 1000, 0.1));
+  r.entries.push_back(entry("10.0.0.5", 1000, 9.0));
+  auto res = detect_violators(r);
+  ASSERT_EQ(res.violators.size(), 1u);
+  EXPECT_TRUE(std::isfinite(res.violators[0].severity()));
+  EXPECT_GT(res.violators[0].severity(), 0.0);
+}
+
+TEST(Violator, CarriesDomainsFromGrouping) {
+  browser::PerfReport r = small_object_report(2.0);
+  r.entries[0].host = "slow-a.com";
+  r.entries.push_back(browser::ReportEntry{"http://slow-b.com/y",
+                                           "slow-b.com", "10.0.0.1", 1000,
+                                           0.0, 2.0});
+  auto res = detect_violators(r);
+  ASSERT_EQ(res.violators.size(), 1u);
+  EXPECT_EQ(res.violators[0].domains,
+            (std::vector<std::string>{"slow-a.com", "slow-b.com"}));
+}
+
+TEST(Violator, SummariesExposed) {
+  auto res = detect_violators(small_object_report(1.0));
+  EXPECT_EQ(res.observations.size(), 5u);
+  EXPECT_GT(res.time_summary.med, 0.0);
+  EXPECT_GT(res.time_summary.mad, 0.0);
+  EXPECT_EQ(res.tput_summary.n, 0u);
+}
+
+TEST(Violator, AbsoluteModeUsesFixedBounds) {
+  browser::PerfReport r;
+  r.entries.push_back(entry("10.0.0.1", 1000, 0.5));
+  r.entries.push_back(entry("10.0.0.2", 1000, 1.5));
+  r.entries.push_back(entry("10.0.0.3", 100'000, 10.0));  // 10 KB/s
+  DetectorConfig cfg;
+  cfg.mode = DetectionMode::kAbsolute;
+  cfg.absolute_time_s = 1.0;
+  cfg.absolute_tput_bps = 50'000.0;
+  auto res = detect_violators(r, cfg);
+  ASSERT_EQ(res.violators.size(), 2u);
+  EXPECT_EQ(res.violators[0].ip, "10.0.0.2");
+  EXPECT_TRUE(res.violators[0].by_time);
+  EXPECT_EQ(res.violators[1].ip, "10.0.0.3");
+  EXPECT_TRUE(res.violators[1].by_tput);
+}
+
+TEST(Violator, AbsoluteModeIgnoresPopulationFloor) {
+  // Absolute bounds apply even to a single server — there is no MAD to
+  // degenerate (and no relativity to exploit).
+  browser::PerfReport r;
+  r.entries.push_back(entry("10.0.0.1", 1000, 5.0));
+  DetectorConfig cfg;
+  cfg.mode = DetectionMode::kAbsolute;
+  cfg.absolute_time_s = 1.0;
+  EXPECT_EQ(detect_violators(r, cfg).violators.size(), 1u);
+}
+
+TEST(Violator, AbsoluteModeIsNotScaleInvariant) {
+  // The §6 objection, as a test: scaling every observation (a slower
+  // client) changes the absolute verdicts but not the relative ones.
+  browser::PerfReport base = small_object_report(1.0);
+  browser::PerfReport scaled = base;
+  for (auto& e : scaled.entries) e.time_s *= 10.0;
+
+  DetectorConfig abs;
+  abs.mode = DetectionMode::kAbsolute;
+  abs.absolute_time_s = 0.5;
+  EXPECT_EQ(detect_violators(base, abs).violators.size(), 1u);
+  EXPECT_EQ(detect_violators(scaled, abs).violators.size(), 5u);  // all flagged
+
+  DetectorConfig rel;
+  EXPECT_EQ(detect_violators(base, rel).violators.size(),
+            detect_violators(scaled, rel).violators.size());
+}
+
+}  // namespace
+}  // namespace oak::core

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "page/corpus.h"
+#include "util/stats.h"
+#include "util/url.h"
+
+namespace oak::page {
+namespace {
+
+// One shared small corpus: construction is the expensive part.
+const Corpus& small_corpus() {
+  static Corpus* corpus = [] {
+    CorpusConfig cfg;
+    cfg.seed = 123;
+    cfg.num_sites = 40;
+    cfg.num_providers = 80;
+    return new Corpus(cfg);
+  }();
+  return *corpus;
+}
+
+TEST(Corpus, BuildsRequestedCounts) {
+  const Corpus& c = small_corpus();
+  EXPECT_EQ(c.sites().size(), 40u);
+  EXPECT_GE(c.providers().size(), 80u);
+}
+
+TEST(Corpus, PaperSitesPresentWithH1H2Structure) {
+  const Corpus& c = small_corpus();
+  const Site* youtube = c.site_by_host("youtube.com");
+  ASSERT_NE(youtube, nullptr);
+  EXPECT_GT(youtube->external_host_count(), 5u);
+  EXPECT_LT(youtube->external_host_count(), 15u);
+  const Site* flipkart = c.site_by_host("flipkart.com");
+  ASSERT_NE(flipkart, nullptr);
+  EXPECT_GT(flipkart->external_host_count(), 15u);
+  EXPECT_EQ(c.site_by_host("nonexistent.example"), nullptr);
+}
+
+TEST(Corpus, EveryReferencedHostResolves) {
+  const Corpus& c = small_corpus();
+  for (const auto& site : c.sites()) {
+    EXPECT_TRUE(c.universe().dns().resolve(site.host)) << site.host;
+    for (const auto& hu : site.external_hosts) {
+      EXPECT_TRUE(c.universe().dns().resolve(hu.host)) << hu.host;
+    }
+  }
+}
+
+TEST(Corpus, EveryObjectUrlBacked) {
+  const Corpus& c = small_corpus();
+  for (const auto& site : c.sites()) {
+    EXPECT_TRUE(c.universe().store().has(site.index_url()));
+    for (const auto& hu : site.external_hosts) {
+      for (const auto& url : hu.object_urls) {
+        EXPECT_TRUE(c.universe().store().has(url)) << url;
+      }
+    }
+  }
+}
+
+TEST(Corpus, ExternalFractionCentersNearPaperMedian) {
+  // Fig. 1: median external-object fraction ~= 0.75.
+  const Corpus& c = small_corpus();
+  std::vector<double> fracs;
+  for (const auto& site : c.sites()) {
+    const double ext = static_cast<double>(site.external_object_count());
+    const double total = ext + static_cast<double>(site.origin_object_count);
+    if (total > 0) fracs.push_back(ext / total);
+  }
+  const double med = util::median(fracs);
+  EXPECT_GT(med, 0.55);
+  EXPECT_LT(med, 0.9);
+}
+
+TEST(Corpus, TierMixRoughlyMatchesFig8Targets) {
+  const Corpus& c = small_corpus();
+  std::size_t direct = 0, inline_t = 0, script = 0, hidden = 0;
+  for (const auto& site : c.sites()) {
+    for (const auto& hu : site.external_hosts) {
+      switch (hu.tier) {
+        case RefTier::kDirect: ++direct; break;
+        case RefTier::kInlineScript: ++inline_t; break;
+        case RefTier::kViaExternalScript: ++script; break;
+        case RefTier::kHidden: ++hidden; break;
+      }
+    }
+  }
+  const double total = double(direct + inline_t + script + hidden);
+  ASSERT_GT(total, 0);
+  // Wide tolerances: per-site jitter is intentional.
+  EXPECT_NEAR(direct / total, 0.45, 0.20);
+  EXPECT_GT(inline_t / total, 0.05);
+  EXPECT_GT(script / total, 0.05);
+  EXPECT_GT(hidden / total, 0.05);
+}
+
+TEST(Corpus, ProvidersCarryCategoriesAndDomains) {
+  const Corpus& c = small_corpus();
+  EXPECT_EQ(c.category_of("stats.g.doubleclick.net"), Category::kAds);
+  EXPECT_EQ(c.category_of("fonts.googleapis.com"), Category::kFonts);
+  EXPECT_EQ(c.category_of("unknown.example"), Category::kOrigin);
+  const Provider* p = c.provider_of("insights.hotjar.com");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->category, Category::kAnalytics);
+  EXPECT_EQ(c.provider_of("youtube.com"), nullptr);  // site, not provider
+}
+
+TEST(Corpus, SomeProvidersAreUnhealthy) {
+  const Corpus& c = small_corpus();
+  std::size_t unhealthy = 0;
+  for (const auto& p : c.providers()) {
+    if (p.chronically_degraded || p.has_blind_spot) ++unhealthy;
+  }
+  // Failure draws are rank-scaled and rare, but a provider universe with
+  // nobody sick would make the outlier survey vacuous.
+  EXPECT_GT(unhealthy, 0u);
+  EXPECT_LT(unhealthy, c.providers().size() / 2);
+}
+
+TEST(Corpus, DeterministicForSameSeed) {
+  CorpusConfig cfg;
+  cfg.seed = 9;
+  cfg.num_sites = 12;
+  cfg.num_providers = 50;
+  Corpus a(cfg), b(cfg);
+  ASSERT_EQ(a.sites().size(), b.sites().size());
+  for (std::size_t i = 0; i < a.sites().size(); ++i) {
+    EXPECT_EQ(a.sites()[i].host, b.sites()[i].host);
+    EXPECT_EQ(a.sites()[i].external_host_count(),
+              b.sites()[i].external_host_count());
+    EXPECT_EQ(a.universe().store().find(a.sites()[i].index_url())->body,
+              b.universe().store().find(b.sites()[i].index_url())->body);
+  }
+}
+
+TEST(Corpus, DifferentSeedsDiffer) {
+  CorpusConfig cfg;
+  cfg.num_sites = 12;
+  cfg.num_providers = 50;
+  cfg.seed = 1;
+  Corpus a(cfg);
+  cfg.seed = 2;
+  Corpus b(cfg);
+  bool any_diff = false;
+  for (std::size_t i = 10; i < a.sites().size(); ++i) {  // skip paper sites
+    if (a.sites()[i].external_host_count() !=
+        b.sites()[i].external_host_count()) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Corpus, ExternalHostsAreTrulyExternal) {
+  const Corpus& c = small_corpus();
+  for (const auto& site : c.sites()) {
+    for (const auto& hu : site.external_hosts) {
+      EXPECT_FALSE(util::same_site(hu.host, site.host))
+          << hu.host << " vs " << site.host;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oak::page

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "util/cdf.h"
+#include "workload/harness.h"
+
+namespace oak::workload {
+namespace {
+
+std::string capture(const std::function<void()>& fn) {
+  ::testing::internal::CaptureStdout();
+  fn();
+  return ::testing::internal::GetCapturedStdout();
+}
+
+TEST(Harness, BannerFormat) {
+  std::string out = capture([] { print_banner("Figure 1", "a title"); });
+  EXPECT_NE(out.find("==== Figure 1: a title ===="), std::string::npos);
+}
+
+TEST(Harness, CdfOutputHasHeaderRowsAndSummary) {
+  util::Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  std::string out = capture([&] { print_cdf("series-x", cdf, 10); });
+  EXPECT_NE(out.find("# CDF: series-x (n=100)"), std::string::npos);
+  EXPECT_NE(out.find("# value\tfraction"), std::string::npos);
+  EXPECT_NE(out.find("median=50.5"), std::string::npos);
+  // Final row reaches fraction 1.0000.
+  EXPECT_NE(out.find("\t1.0000"), std::string::npos);
+}
+
+TEST(Harness, SeriesOutput) {
+  std::string out = capture([] {
+    print_series("s", {{1.0, 2.0}, {3.0, 4.5}}, "x", "y");
+  });
+  EXPECT_NE(out.find("# series: s"), std::string::npos);
+  EXPECT_NE(out.find("# x\ty"), std::string::npos);
+  EXPECT_NE(out.find("1\t2"), std::string::npos);
+  EXPECT_NE(out.find("3\t4.5"), std::string::npos);
+}
+
+TEST(Harness, TableAlignsColumns) {
+  std::string out = capture([] {
+    print_table("t", {"Col", "LongerHeader"},
+                {{"aaaa", "b"}, {"c", "dddd"}});
+  });
+  EXPECT_NE(out.find("# table: t"), std::string::npos);
+  // Header and rows present; column two begins at the same offset in each
+  // printed line (padded by the widest cell).
+  EXPECT_NE(out.find("Col   LongerHeader"), std::string::npos);
+  EXPECT_NE(out.find("aaaa  b"), std::string::npos);
+  EXPECT_NE(out.find("c     dddd"), std::string::npos);
+}
+
+TEST(Harness, StatLine) {
+  std::string out = capture([] { print_stat("answer", 42.0); });
+  EXPECT_EQ(out, "# stat: answer = 42\n");
+}
+
+}  // namespace
+}  // namespace oak::workload

@@ -1,0 +1,155 @@
+// A/B holdback policy and the treated-vs-holdback lift estimate.
+#include <gtest/gtest.h>
+
+#include "browser/browser.h"
+#include "core/analytics.h"
+#include "core/oak_server.h"
+
+namespace oak::core {
+namespace {
+
+TEST(HoldbackPolicy, StableAndProportional) {
+  Policy p;
+  p.holdback_fraction = 0.3;
+  std::size_t held = 0;
+  constexpr int kUsers = 4000;
+  for (int i = 0; i < kUsers; ++i) {
+    const std::string uid = "user" + std::to_string(i);
+    const bool h = p.in_holdback(uid);
+    EXPECT_EQ(h, p.in_holdback(uid));  // stable
+    if (h) ++held;
+  }
+  EXPECT_NEAR(double(held) / kUsers, 0.3, 0.03);
+
+  p.holdback_fraction = 0.0;
+  EXPECT_FALSE(p.in_holdback("anyone"));
+  p.holdback_fraction = 1.0;
+  EXPECT_TRUE(p.in_holdback("anyone"));
+}
+
+class HoldbackFixture : public ::testing::Test {
+ protected:
+  HoldbackFixture()
+      : universe_(net::NetworkConfig{.seed = 91, .horizon_s = 0}) {
+    net::Network& net = universe_.network();
+    origin_ = net.add_server(net::ServerConfig{.name = "origin"});
+    universe_.dns().bind("ab.example", net.server(origin_).addr());
+    net::ServerConfig sick;
+    sick.chronic_degradation = 25.0;
+    universe_.dns().bind("slow.net", net.server(net.add_server(sick)).addr());
+    universe_.dns().bind(
+        "fast.net", net.server(net.add_server(net::ServerConfig{})).addr());
+    for (int i = 0; i < 4; ++i) {
+      universe_.dns().bind(
+          "p" + std::to_string(i) + ".net",
+          net.server(net.add_server(net::ServerConfig{})).addr());
+    }
+    page::SiteBuilder b(universe_, "ab.example", origin_);
+    b.add_direct("slow.net", "/x.js", html::RefKind::kScript, 15'000,
+                 page::Category::kCdn);
+    for (int i = 0; i < 4; ++i) {
+      b.add_direct("p" + std::to_string(i) + ".net", "/x.js",
+                   html::RefKind::kScript, 15'000, page::Category::kCdn);
+    }
+    site_ = b.finish();
+    universe_.store().replicate("http://slow.net/x.js",
+                                "http://fast.net/x.js");
+  }
+
+  page::WebUniverse universe_;
+  net::ServerId origin_ = net::kInvalidServer;
+  page::Site site_;
+};
+
+TEST_F(HoldbackFixture, HeldBackUsersNeverGetRewrites) {
+  OakConfig cfg;
+  cfg.policy.holdback_fraction = 0.5;
+  OakServer oak(universe_, "ab.example", cfg);
+  oak.add_rule(make_domain_rule("switch", "slow.net", {"fast.net"}));
+  oak.install();
+
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  std::size_t rewritten = 0, held = 0;
+  for (int u = 0; u < 12; ++u) {
+    browser::Browser b(universe_, universe_.network().add_client({}), bc);
+    b.load(site_.index_url(), 0.0);
+    auto second = b.load(site_.index_url(), 300.0);
+    const bool got_rewrite =
+        second.page_html.find("fast.net") != std::string::npos;
+    const std::string uid = second.report.user_id;
+    if (cfg.policy.in_holdback(uid)) {
+      ++held;
+      EXPECT_FALSE(got_rewrite) << uid;
+    } else {
+      ++rewritten;
+      EXPECT_TRUE(got_rewrite) << uid;
+    }
+  }
+  EXPECT_GT(held, 0u);
+  EXPECT_GT(rewritten, 0u);
+}
+
+TEST_F(HoldbackFixture, LiftEstimateShowsOakFaster) {
+  OakConfig cfg;
+  cfg.policy.holdback_fraction = 0.5;
+  OakServer oak(universe_, "ab.example", cfg);
+  oak.add_rule(make_domain_rule("switch", "slow.net", {"fast.net"}));
+  oak.install();
+
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  for (int u = 0; u < 16; ++u) {
+    browser::Browser b(universe_, universe_.network().add_client({}), bc);
+    // Several loads so treated users spend most loads on the fast mirror.
+    for (int i = 0; i < 5; ++i) b.load(site_.index_url(), i * 300.0);
+  }
+  SiteAnalytics audit(oak);
+  const LiftEstimate& lift = audit.lift();
+  ASSERT_TRUE(lift.valid());
+  EXPECT_GT(lift.treated_users, 0u);
+  EXPECT_GT(lift.holdback_users, 0u);
+  // The held-back group keeps paying the 25x provider: their mean PLT must
+  // exceed the treated group's decisively.
+  EXPECT_GT(lift.ratio, 1.3);
+  // The lift block shows up in both export formats.
+  EXPECT_NE(audit.to_json().dump().find("\"lift\""), std::string::npos);
+  EXPECT_NE(audit.to_report().find("lift:"), std::string::npos);
+}
+
+TEST_F(HoldbackFixture, LiftAbsentWithoutHoldback) {
+  OakServer oak(universe_, "ab.example", OakConfig{});
+  oak.add_rule(make_domain_rule("switch", "slow.net", {"fast.net"}));
+  oak.install();
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  browser::Browser b(universe_, universe_.network().add_client({}), bc);
+  b.load(site_.index_url(), 0.0);
+  SiteAnalytics audit(oak);
+  EXPECT_FALSE(audit.lift().valid());
+  EXPECT_EQ(audit.to_json().find("lift"), nullptr);
+}
+
+TEST_F(HoldbackFixture, HoldbackFlagSurvivesSnapshot) {
+  OakConfig cfg;
+  cfg.policy.holdback_fraction = 1.0;  // everyone held back
+  OakServer oak(universe_, "ab.example", cfg);
+  oak.add_rule(make_domain_rule("switch", "slow.net", {"fast.net"}));
+  oak.install();
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  browser::Browser b(universe_, universe_.network().add_client({}), bc);
+  auto res = b.load(site_.index_url(), 0.0);
+
+  OakServer restored(universe_, "ab.example", cfg);
+  restored.add_rule(make_domain_rule("switch", "slow.net", {"fast.net"}));
+  restored.import_state(util::Json::parse(oak.export_state().dump()));
+  const UserProfile* p = restored.profile(res.report.user_id);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->holdback);
+  EXPECT_GT(p->plt_count, 0u);
+  EXPECT_GT(p->mean_plt_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace oak::core

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "html/build.h"
+#include "html/extract.h"
+#include "html/tokenizer.h"
+
+namespace oak::html {
+namespace {
+
+TEST(Tokenizer, TagsTextComments) {
+  const std::string doc = "<!DOCTYPE html><p class=\"x\">hi</p><!-- c -->";
+  auto tokens = tokenize(doc);
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].type, TokenType::kDoctype);
+  EXPECT_EQ(tokens[1].type, TokenType::kStartTag);
+  EXPECT_EQ(tokens[1].name, "p");
+  EXPECT_EQ(tokens[1].attr("class"), "x");
+  EXPECT_EQ(tokens[2].type, TokenType::kText);
+  EXPECT_EQ(tokens[2].raw(doc), "hi");
+  EXPECT_EQ(tokens[3].type, TokenType::kEndTag);
+  EXPECT_EQ(tokens[4].type, TokenType::kComment);
+}
+
+TEST(Tokenizer, AttributeQuotingVariants) {
+  auto tokens = tokenize("<img src='a.png' width=10 async data-x=\"q\"/>");
+  ASSERT_EQ(tokens.size(), 1u);
+  const Token& t = tokens[0];
+  EXPECT_TRUE(t.self_closing);
+  EXPECT_EQ(t.attr("src"), "a.png");
+  EXPECT_EQ(t.attr("width"), "10");
+  EXPECT_TRUE(t.has_attr("async"));
+  EXPECT_EQ(t.attr("async"), "");
+  EXPECT_EQ(t.attr("data-x"), "q");
+}
+
+TEST(Tokenizer, UppercaseNamesNormalized) {
+  auto tokens = tokenize("<IMG SRC=\"x\"><//  ");
+  EXPECT_EQ(tokens[0].name, "img");
+  EXPECT_EQ(tokens[0].attr("src"), "x");
+}
+
+TEST(Tokenizer, ScriptBodyIsCdata) {
+  const std::string doc =
+      "<script>if (a < b) { x(\"<img src='fake.png'>\"); }</script><p>t</p>";
+  auto tokens = tokenize(doc);
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].name, "script");
+  EXPECT_EQ(tokens[1].type, TokenType::kText);
+  EXPECT_TRUE(std::string(tokens[1].raw(doc)).find("fake.png") !=
+              std::string::npos);
+  EXPECT_EQ(tokens[2].type, TokenType::kEndTag);
+  // The fake img inside the script is NOT a tag.
+  for (const auto& t : tokens) EXPECT_NE(t.name, "img");
+}
+
+TEST(Tokenizer, BareLessThanIsText) {
+  auto tokens = tokenize("1 < 2");
+  for (const auto& t : tokens) EXPECT_EQ(t.type, TokenType::kText);
+}
+
+TEST(Tokenizer, UnterminatedTagDoesNotCrash) {
+  auto tokens = tokenize("<img src=\"x");
+  ASSERT_FALSE(tokens.empty());
+}
+
+TEST(Tokenizer, OffsetsCoverSource) {
+  const std::string doc = "<a href=\"x\">y</a>";
+  auto tokens = tokenize(doc);
+  std::size_t covered = 0;
+  for (const auto& t : tokens) covered += t.end - t.begin;
+  EXPECT_EQ(covered, doc.size());
+}
+
+TEST(InlineScripts, ExtractsBodiesAndSkipsExternal) {
+  const std::string doc =
+      "<script src=\"http://x.com/a.js\"></script>"
+      "<script>var inline1 = 1;</script>"
+      "<script>var inline2 = 2;</script>";
+  auto scripts = inline_scripts(doc);
+  ASSERT_EQ(scripts.size(), 2u);
+  EXPECT_EQ(scripts[0].body, "var inline1 = 1;");
+  EXPECT_EQ(scripts[1].body, "var inline2 = 2;");
+}
+
+TEST(InlineScripts, EmptyBody) {
+  auto scripts = inline_scripts("<script></script>");
+  ASSERT_EQ(scripts.size(), 1u);
+  EXPECT_EQ(scripts[0].body, "");
+}
+
+TEST(Extract, FindsAllReferenceKinds) {
+  const std::string doc =
+      "<img src=\"http://i.com/a.png\"/>"
+      "<script src=\"http://j.com/b.js\"></script>"
+      "<link rel=\"stylesheet\" href=\"http://c.com/s.css\"/>"
+      "<iframe src=\"http://f.com/ad\"></iframe>"
+      "<video src=\"http://v.com/m.mp4\"></video>"
+      "<source src=\"http://i2.com/p.png\"/>";
+  auto refs = extract_references(doc);
+  ASSERT_EQ(refs.size(), 6u);
+  EXPECT_EQ(refs[0].kind, RefKind::kImage);
+  EXPECT_EQ(refs[1].kind, RefKind::kScript);
+  EXPECT_EQ(refs[2].kind, RefKind::kStylesheet);
+  EXPECT_EQ(refs[3].kind, RefKind::kFrame);
+  EXPECT_EQ(refs[4].kind, RefKind::kMedia);
+  EXPECT_EQ(refs[5].url, "http://i2.com/p.png");
+}
+
+TEST(Extract, SkipsRelativeAndNonResourceLinks) {
+  const std::string doc =
+      "<img src=\"/local/a.png\"/>"
+      "<link rel=\"canonical\" href=\"http://x.com/\"/>"
+      "<a href=\"http://x.com/page\">link</a>";
+  EXPECT_TRUE(extract_references(doc).empty());
+}
+
+TEST(Extract, ScriptUrlsOnly) {
+  const std::string doc =
+      "<script src=\"http://j.com/b.js\"></script>"
+      "<img src=\"http://i.com/a.png\"/>";
+  EXPECT_EQ(external_script_urls(doc),
+            (std::vector<std::string>{"http://j.com/b.js"}));
+}
+
+TEST(Build, TagsRoundTripThroughExtraction) {
+  const std::string img = img_tag("http://i.com/a.png");
+  const std::string js = script_src_tag("http://j.com/b.js");
+  const std::string css = stylesheet_tag("http://c.com/s.css");
+  auto refs = extract_references(img + js + css);
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_EQ(refs[0].url, "http://i.com/a.png");
+  EXPECT_EQ(refs[1].url, "http://j.com/b.js");
+  EXPECT_EQ(refs[2].url, "http://c.com/s.css");
+}
+
+TEST(Build, AssembleIsParseable) {
+  PageSkeleton sk;
+  sk.title = "t";
+  sk.head_fragments = {stylesheet_tag("http://c.com/s.css")};
+  sk.body_fragments = {img_tag("http://i.com/a.png")};
+  const std::string doc = assemble(sk);
+  EXPECT_EQ(extract_references(doc).size(), 2u);
+  auto tokens = tokenize(doc);
+  EXPECT_GT(tokens.size(), 5u);
+}
+
+TEST(Build, ProgrammaticLoaderMentionsHostButNoUrl) {
+  const std::string s = programmatic_loader_script("cdn.x.com", "/a.js");
+  // The host appears in text (tier-2 matchable) but no absolute URL exists
+  // (tier-1 must fail).
+  EXPECT_NE(s.find("cdn.x.com"), std::string::npos);
+  EXPECT_TRUE(extract_references(s).empty());
+}
+
+}  // namespace
+}  // namespace oak::html

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "http/cache.h"
+#include "http/cookies.h"
+#include "http/headers.h"
+#include "http/message.h"
+
+namespace oak::http {
+namespace {
+
+TEST(Headers, CaseInsensitiveGet) {
+  Headers h;
+  h.add("Content-Type", "text/html");
+  EXPECT_EQ(h.get("content-type"), "text/html");
+  EXPECT_EQ(h.get("CONTENT-TYPE"), "text/html");
+  EXPECT_FALSE(h.get("Other"));
+  EXPECT_TRUE(h.has("Content-type"));
+}
+
+TEST(Headers, AddKeepsDuplicatesSetReplaces) {
+  Headers h;
+  h.add("X-Oak-Alias", "a b");
+  h.add("X-Oak-Alias", "c d");
+  EXPECT_EQ(h.get_all("x-oak-alias").size(), 2u);
+  h.set("X-Oak-Alias", "only");
+  EXPECT_EQ(h.get_all("X-Oak-Alias"), (std::vector<std::string>{"only"}));
+}
+
+TEST(Headers, RemoveAndWireSize) {
+  Headers h;
+  h.add("A", "1");
+  h.add("B", "22");
+  EXPECT_EQ(h.wire_size(), (1 + 2 + 1 + 2) + (1 + 2 + 2 + 2));
+  h.remove("a");
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(Cookies, ParseHeader) {
+  auto jar = parse_cookie_header("a=1; b = 2 ;c=three");
+  EXPECT_EQ(jar["a"], "1");
+  EXPECT_EQ(jar["b"], "2");
+  EXPECT_EQ(jar["c"], "three");
+  EXPECT_TRUE(parse_cookie_header("garbage").empty());
+}
+
+TEST(Cookies, RoundTrip) {
+  std::map<std::string, std::string> jar = {{"x", "1"}, {"y", "2"}};
+  EXPECT_EQ(parse_cookie_header(to_cookie_header(jar)), jar);
+}
+
+TEST(CookieJar, IngestAndAttachPerSite) {
+  CookieJar jar;
+  Headers resp;
+  resp.add("Set-Cookie", "oak_uid=u42; Path=/");
+  jar.ingest("site.com", resp);
+  EXPECT_EQ(jar.get("site.com", "oak_uid"), "u42");
+  EXPECT_FALSE(jar.get("other.com", "oak_uid"));
+
+  Headers req;
+  jar.attach("site.com", req);
+  EXPECT_EQ(req.get("Cookie"), "oak_uid=u42");
+  Headers req2;
+  jar.attach("other.com", req2);
+  EXPECT_FALSE(req2.has("Cookie"));
+}
+
+TEST(Request, Factories) {
+  Request g = Request::get("http://a.com/x");
+  EXPECT_EQ(g.method, Method::kGet);
+  EXPECT_EQ(g.url.host, "a.com");
+  Request p = Request::post("http://a.com/oak/report", "{}");
+  EXPECT_EQ(p.method, Method::kPost);
+  EXPECT_EQ(p.body, "{}");
+  EXPECT_EQ(p.headers.get("Content-Type"), "application/json");
+  EXPECT_THROW(Request::get("bogus"), std::invalid_argument);
+}
+
+TEST(Response, Factories) {
+  EXPECT_EQ(Response::not_found().status, 404);
+  EXPECT_FALSE(Response::not_found().ok());
+  Response h = Response::html("<html/>");
+  EXPECT_TRUE(h.ok());
+  EXPECT_EQ(h.headers.get("Content-Type"), "text/html");
+}
+
+TEST(BrowserCache, StoreLookupFreshness) {
+  BrowserCache cache;
+  cache.store("http://a.com/x.png", 1000, /*now=*/100.0, /*max_age=*/60.0);
+  EXPECT_TRUE(cache.lookup("http://a.com/x.png", 120.0));
+  EXPECT_FALSE(cache.lookup("http://a.com/x.png", 161.0));  // expired
+  EXPECT_FALSE(cache.lookup("http://a.com/other.png", 120.0));
+}
+
+TEST(BrowserCache, UncacheableNeverStored) {
+  BrowserCache cache;
+  cache.store("http://a.com/x", 10, 0.0, 0.0);
+  EXPECT_FALSE(cache.lookup("http://a.com/x", 0.0));
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(BrowserCache, UrlAliasServesRewrittenUrl) {
+  // The §4.3 pathological case: a type-2 rewrite must not defeat the cache.
+  BrowserCache cache;
+  cache.store("http://s1.com/jquery.js", 30000, 0.0, 600.0);
+  cache.add_alias("http://s2.net/jquery.js", "http://s1.com/jquery.js");
+  auto hit = cache.lookup("http://s2.net/jquery.js", 10.0);
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->size, 30000u);
+  // Alias does not outlive the canonical entry's freshness.
+  EXPECT_FALSE(cache.lookup("http://s2.net/jquery.js", 700.0));
+}
+
+TEST(BrowserCache, HostAliasMapsWholeDomain) {
+  BrowserCache cache;
+  cache.store("http://cdn.a.com/img/1.png", 5, 0.0, 600.0);
+  cache.add_host_alias("na.mirror.cdn.a.com", "cdn.a.com");
+  EXPECT_TRUE(cache.lookup("http://na.mirror.cdn.a.com/img/1.png", 1.0));
+  EXPECT_FALSE(cache.lookup("http://na.mirror.cdn.a.com/img/2.png", 1.0));
+}
+
+TEST(BrowserCache, SelfAliasIgnoredAndClear) {
+  BrowserCache cache;
+  cache.add_alias("http://x/1", "http://x/1");
+  EXPECT_EQ(cache.alias_count(), 0u);
+  cache.store("http://x/1", 1, 0, 60);
+  cache.clear();
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_FALSE(cache.lookup("http://x/1", 0));
+}
+
+}  // namespace
+}  // namespace oak::http

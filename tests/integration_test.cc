@@ -1,0 +1,191 @@
+// End-to-end integration tests: the full Oak loop of Figs. 4 & 5 —
+// load -> report -> violator detection -> rule activation -> modified page
+// -> faster subsequent loads — driven through the real browser, network and
+// server components together.
+#include <gtest/gtest.h>
+
+#include "browser/browser.h"
+#include "core/oak_server.h"
+#include "util/stats.h"
+
+namespace oak {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  EndToEnd() : universe_(net::NetworkConfig{.seed = 77, .horizon_s = 0}) {
+    net::Network& net = universe_.network();
+
+    net::ServerConfig ocfg;
+    ocfg.name = "origin";
+    ocfg.bandwidth_bps = 300e6;
+    ocfg.base_processing_s = 0.008;
+    origin_ = net.add_server(ocfg);
+    universe_.dns().bind("news.com", net.server(origin_).addr());
+
+    // Four healthy externals plus one chronically slow one, plus an
+    // alternative for the slow provider.
+    for (int i = 0; i < 4; ++i) {
+      net::ServerConfig cfg;
+      cfg.name = "healthy" + std::to_string(i);
+      net::ServerId sid = net.add_server(cfg);
+      const std::string host = "cdn" + std::to_string(i) + ".fast.net";
+      universe_.dns().bind(host, net.server(sid).addr());
+      healthy_hosts_.push_back(host);
+    }
+    net::ServerConfig sick;
+    sick.name = "sick";
+    sick.chronic_degradation = 30.0;
+    universe_.dns().bind("slow.ads.net",
+                         net.server(net.add_server(sick)).addr());
+    net::ServerConfig altc;
+    altc.name = "alt";
+    universe_.dns().bind("fast.ads.net",
+                         net.server(net.add_server(altc)).addr());
+
+    page::SiteBuilder b(universe_, "news.com", origin_);
+    for (const auto& h : healthy_hosts_) {
+      b.add_direct(h, "/lib.js", html::RefKind::kScript, 20'000,
+                   page::Category::kCdn);
+    }
+    // kCdn keeps the script cacheable, which the alias test relies on.
+    b.add_direct("slow.ads.net", "/ad.js", html::RefKind::kScript, 20'000,
+                 page::Category::kCdn);
+    site_ = b.finish();
+    universe_.store().replicate("http://slow.ads.net/ad.js",
+                                "http://fast.ads.net/ad.js");
+
+    oak_ = std::make_unique<core::OakServer>(universe_, "news.com",
+                                             core::OakConfig{});
+    oak_->add_rule(
+        core::make_domain_rule("ads", "slow.ads.net", {"fast.ads.net"}));
+    oak_->install();
+  }
+
+  browser::Browser make_browser(net::Region region = net::Region::kNorthAmerica,
+                                bool cache = false) {
+    net::ClientConfig cc;
+    cc.region = region;
+    browser::BrowserConfig bc;
+    bc.use_cache = cache;
+    return browser::Browser(universe_, universe_.network().add_client(cc), bc);
+  }
+
+  page::WebUniverse universe_;
+  net::ServerId origin_ = net::kInvalidServer;
+  std::vector<std::string> healthy_hosts_;
+  page::Site site_;
+  std::unique_ptr<core::OakServer> oak_;
+};
+
+TEST_F(EndToEnd, FullLoopSwitchesProviderAndImprovesLoadTime) {
+  auto browser = make_browser();
+  auto first = browser.load(site_.index_url(), 0.0);
+  ASSERT_EQ(first.page_status, 200);
+  ASSERT_TRUE(first.report_delivered);
+
+  // Oak saw the report and flagged the sick provider for this user.
+  ASSERT_EQ(oak_->user_count(), 1u);
+  const core::UserProfile& profile =
+      *oak_->profile(first.report.user_id);
+  EXPECT_EQ(profile.active.size(), 1u);
+
+  auto second = browser.load(site_.index_url(), 300.0);
+  bool saw_alt = false;
+  for (const auto& e : second.report.entries) {
+    EXPECT_NE(e.host, "slow.ads.net");
+    if (e.host == "fast.ads.net") saw_alt = true;
+  }
+  EXPECT_TRUE(saw_alt);
+  EXPECT_EQ(second.missing_objects, 0u);
+  // Dropping a 30x-degraded provider must shorten the load decisively.
+  EXPECT_LT(second.plt_s, first.plt_s * 0.7);
+}
+
+TEST_F(EndToEnd, CookieIdentityPersistsAcrossLoads) {
+  auto browser = make_browser();
+  auto first = browser.load(site_.index_url(), 0.0);
+  auto second = browser.load(site_.index_url(), 100.0);
+  // The cookie arrives with the first response, before the report is built,
+  // so even the first report carries the identity.
+  EXPECT_FALSE(first.report.user_id.empty());
+  EXPECT_EQ(first.report.user_id, second.report.user_id);
+  EXPECT_EQ(oak_->user_count(), 1u);
+}
+
+TEST_F(EndToEnd, UsersAreIsolated) {
+  auto alice = make_browser();
+  auto bob = make_browser(net::Region::kEurope);
+  alice.load(site_.index_url(), 0.0);
+  // Bob never reported; his page must stay on the default provider.
+  auto bob_load = bob.load(site_.index_url(), 10.0);
+  bool bob_sees_default = false;
+  for (const auto& e : bob_load.report.entries) {
+    if (e.host == "slow.ads.net") bob_sees_default = true;
+  }
+  EXPECT_TRUE(bob_sees_default);
+  EXPECT_EQ(oak_->user_count(), 2u);
+}
+
+TEST_F(EndToEnd, Type2AliasFeedsBrowserCache) {
+  // With caching on: load once (cache fills, incl. slow provider's script),
+  // Oak activates the switch, and the rewritten URL is satisfied from cache
+  // via the alias instead of re-downloading.
+  auto browser = make_browser(net::Region::kNorthAmerica, /*cache=*/true);
+  auto first = browser.load(site_.index_url(), 0.0);
+  ASSERT_TRUE(first.report_delivered);
+  auto second = browser.load(site_.index_url(), 60.0);
+  bool fetched_alt = false;
+  for (const auto& e : second.report.entries) {
+    if (e.host == "fast.ads.net") fetched_alt = true;
+  }
+  EXPECT_FALSE(fetched_alt) << "aliased object should come from cache";
+  EXPECT_GT(second.cache_hits, 0u);
+}
+
+TEST_F(EndToEnd, ReportsAreOffCriticalPath) {
+  auto browser = make_browser();
+  auto res = browser.load(site_.index_url(), 0.0);
+  EXPECT_GT(res.report_upload_s, 0.0);
+  // PLT is computed before the report upload begins.
+  EXPECT_GT(res.plt_s, 0.0);
+  EXPECT_LT(res.report_bytes, 10 * 1024u);  // Fig. 15 territory
+}
+
+TEST_F(EndToEnd, DecisionLogRecordsTheSwitch) {
+  auto browser = make_browser();
+  browser.load(site_.index_url(), 0.0);
+  browser.load(site_.index_url(), 60.0);
+  const auto& log = oak_->decision_log();
+  EXPECT_EQ(log.count(core::DecisionType::kActivate), 1u);
+  EXPECT_GE(log.count(core::DecisionType::kServeModified), 1u);
+  auto activations = log.by_type(core::DecisionType::kActivate);
+  ASSERT_EQ(activations.size(), 1u);
+  EXPECT_FALSE(activations[0].violator_ip.empty());
+  EXPECT_GT(activations[0].distance, 0.0);
+}
+
+TEST_F(EndToEnd, RelativeDetectionSparesSlowClients) {
+  // A client behind a terrible last mile sees *every* server as slow;
+  // relative detection must not flag the ad provider more eagerly for them.
+  net::ClientConfig cc;
+  cc.region = net::Region::kAsia;
+  cc.downlink_bps = 2e6;
+  cc.last_mile_rtt_s = 0.300;
+  cc.jitter_sigma = 0.30;
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  browser::Browser slow_client(universe_,
+                               universe_.network().add_client(cc), bc);
+  auto res = slow_client.load(site_.index_url(), 0.0);
+  EXPECT_EQ(res.page_status, 200);
+  EXPECT_TRUE(res.report_delivered);
+  // Whatever the verdict for the sick server, none of the healthy
+  // providers may be flagged for this client.
+  const core::UserProfile* p = oak_->profile(res.report.user_id);
+  ASSERT_NE(p, nullptr);
+  EXPECT_LE(p->active.size(), 1u);
+}
+
+}  // namespace
+}  // namespace oak

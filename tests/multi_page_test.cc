@@ -1,0 +1,107 @@
+// Multi-page sites and rule scopes end-to-end (paper §4.1 scope field and
+// §4.2.4 "rules can be set with very wide scope ... the information Oak
+// learns when a user first navigates to a site could be effectively
+// implemented on all subsequent pages").
+#include <gtest/gtest.h>
+
+#include "browser/browser.h"
+#include "core/oak_server.h"
+
+namespace oak {
+namespace {
+
+class MultiPageFixture : public ::testing::Test {
+ protected:
+  MultiPageFixture()
+      : universe_(net::NetworkConfig{.seed = 44, .horizon_s = 0}) {
+    net::Network& net = universe_.network();
+    origin_ = net.add_server(net::ServerConfig{.name = "origin"});
+    universe_.dns().bind("paper.news", net.server(origin_).addr());
+
+    net::ServerConfig sick;
+    sick.chronic_degradation = 20.0;
+    universe_.dns().bind("widgets.slow.net",
+                         net.server(net.add_server(sick)).addr());
+    universe_.dns().bind(
+        "widgets.fast.net",
+        net.server(net.add_server(net::ServerConfig{})).addr());
+    for (int i = 0; i < 4; ++i) {
+      universe_.dns().bind(
+          "p" + std::to_string(i) + ".peer.net",
+          net.server(net.add_server(net::ServerConfig{})).addr());
+    }
+
+    // Two pages on the same site, both pulling the slow widget.
+    for (const char* path : {"/index.html", "/article.html"}) {
+      page::SiteBuilder b(universe_, "paper.news", origin_, path);
+      b.add_direct("widgets.slow.net", "/w.js", html::RefKind::kScript,
+                   15'000, page::Category::kCdn);
+      for (int i = 0; i < 4; ++i) {
+        b.add_direct("p" + std::to_string(i) + ".peer.net", "/lib.js",
+                     html::RefKind::kScript, 15'000, page::Category::kCdn);
+      }
+      pages_.push_back(b.finish());
+    }
+    universe_.store().replicate("http://widgets.slow.net/w.js",
+                                "http://widgets.fast.net/w.js");
+  }
+
+  browser::Browser make_browser() {
+    browser::BrowserConfig bc;
+    bc.use_cache = false;
+    return browser::Browser(
+        universe_, universe_.network().add_client(net::ClientConfig{}), bc);
+  }
+
+  bool page_uses(const std::string& html, const std::string& host) {
+    return html.find(host) != std::string::npos;
+  }
+
+  page::WebUniverse universe_;
+  net::ServerId origin_ = net::kInvalidServer;
+  std::vector<page::Site> pages_;
+};
+
+TEST_F(MultiPageFixture, SiteWideRuleLearnedOnIndexAppliesToArticle) {
+  core::OakServer oak(universe_, "paper.news", core::OakConfig{});
+  oak.add_rule(core::make_domain_rule("widgets", "widgets.slow.net",
+                                      {"widgets.fast.net"}, 0.0, "*"));
+  oak.install();
+  auto browser = make_browser();
+  // Learn on the index...
+  browser.load("http://paper.news/index.html", 0.0);
+  // ...benefit on the article the user never reported about.
+  auto article = browser.load("http://paper.news/article.html", 60.0);
+  EXPECT_TRUE(page_uses(article.page_html, "widgets.fast.net"));
+  EXPECT_FALSE(page_uses(article.page_html, "widgets.slow.net"));
+}
+
+TEST_F(MultiPageFixture, NarrowScopeOnlyRewritesMatchingPaths) {
+  core::OakServer oak(universe_, "paper.news", core::OakConfig{});
+  oak.add_rule(core::make_domain_rule("widgets", "widgets.slow.net",
+                                      {"widgets.fast.net"}, 0.0,
+                                      "/article*"));
+  oak.install();
+  auto browser = make_browser();
+  browser.load("http://paper.news/index.html", 0.0);  // activates the rule
+  auto index = browser.load("http://paper.news/index.html", 60.0);
+  auto article = browser.load("http://paper.news/article.html", 120.0);
+  // The index stays on the default (out of scope) even though the rule is
+  // active; the article is rewritten.
+  EXPECT_TRUE(page_uses(index.page_html, "widgets.slow.net"));
+  EXPECT_TRUE(page_uses(article.page_html, "widgets.fast.net"));
+}
+
+TEST_F(MultiPageFixture, BothPagesServeIndependently) {
+  auto browser = make_browser();
+  auto a = browser.load("http://paper.news/index.html", 0.0);
+  auto b = browser.load("http://paper.news/article.html", 1.0);
+  EXPECT_EQ(a.page_status, 200);
+  EXPECT_EQ(b.page_status, 200);
+  EXPECT_EQ(a.missing_objects, 0u);
+  EXPECT_EQ(b.missing_objects, 0u);
+  EXPECT_EQ(pages_[1].index_path, "/article.html");
+}
+
+}  // namespace
+}  // namespace oak

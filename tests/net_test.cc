@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "net/address.h"
+#include "net/dns.h"
+#include "net/geo.h"
+#include "net/network.h"
+#include "net/server.h"
+
+namespace oak::net {
+namespace {
+
+TEST(Geo, RttSymmetricAndLocalSmallest) {
+  for (Region a : all_regions()) {
+    for (Region b : all_regions()) {
+      EXPECT_DOUBLE_EQ(base_rtt(a, b), base_rtt(b, a));
+      if (a != b) {
+        EXPECT_LT(base_rtt(a, a), base_rtt(a, b));
+      }
+    }
+    EXPECT_GT(base_rtt(a, a), 0.0);
+  }
+}
+
+TEST(Geo, Codes) {
+  EXPECT_EQ(region_code(Region::kNorthAmerica), "NA");
+  EXPECT_EQ(region_code(Region::kAsia), "AS");
+  EXPECT_EQ(to_string(Region::kEurope), "Europe");
+}
+
+TEST(IpAddr, FormatAndParseRoundTrip) {
+  IpAddr a(10, 1, 2, 3);
+  EXPECT_EQ(a.to_string(), "10.1.2.3");
+  EXPECT_EQ(IpAddr::parse("10.1.2.3"), a);
+  EXPECT_EQ(IpAddr::parse("255.255.255.255")->to_string(), "255.255.255.255");
+}
+
+TEST(IpAddr, ParseRejections) {
+  EXPECT_FALSE(IpAddr::parse(""));
+  EXPECT_FALSE(IpAddr::parse("1.2.3"));
+  EXPECT_FALSE(IpAddr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(IpAddr::parse("256.1.1.1"));
+  EXPECT_FALSE(IpAddr::parse("a.b.c.d"));
+}
+
+TEST(IpAddr, Subnets) {
+  IpAddr base(24, 0, 0, 0);
+  EXPECT_TRUE(IpAddr(24, 5, 6, 7).in_subnet(base, 8));
+  EXPECT_FALSE(IpAddr(25, 0, 0, 1).in_subnet(base, 8));
+  EXPECT_TRUE(IpAddr(25, 0, 0, 1).in_subnet(base, 0));
+  EXPECT_TRUE(base.in_subnet(base, 32));
+  EXPECT_FALSE(IpAddr(24, 0, 0, 1).in_subnet(base, 32));
+}
+
+TEST(Dns, BindResolveReverse) {
+  Dns dns;
+  dns.bind("a.com", IpAddr(1, 2, 3, 4));
+  dns.bind("b.com", IpAddr(1, 2, 3, 4));
+  dns.bind("c.com", IpAddr(9, 9, 9, 9));
+  EXPECT_EQ(dns.resolve("a.com"), IpAddr(1, 2, 3, 4));
+  EXPECT_FALSE(dns.resolve("missing.com"));
+  // Grouping "keeping track of all related domain names": two hosts on one
+  // front-end IP reverse-resolve together.
+  EXPECT_EQ(dns.reverse(IpAddr(1, 2, 3, 4)),
+            (std::vector<std::string>{"a.com", "b.com"}));
+  EXPECT_TRUE(dns.has("c.com"));
+  dns.unbind("c.com");
+  EXPECT_FALSE(dns.has("c.com"));
+}
+
+TEST(Dns, RebindReplaces) {
+  Dns dns;
+  dns.bind("a.com", IpAddr(1, 1, 1, 1));
+  dns.bind("a.com", IpAddr(2, 2, 2, 2));
+  EXPECT_EQ(dns.resolve("a.com"), IpAddr(2, 2, 2, 2));
+  EXPECT_TRUE(dns.reverse(IpAddr(1, 1, 1, 1)).empty());
+}
+
+TEST(Diurnal, ShapePeaksMiddayZeroAtNight) {
+  EXPECT_DOUBLE_EQ(diurnal_shape(14.0), 1.0);
+  EXPECT_EQ(diurnal_shape(2.0), 0.0);
+  EXPECT_GT(diurnal_shape(10.0), 0.0);
+  EXPECT_LT(diurnal_shape(10.0), 1.0);
+}
+
+TEST(Diurnal, LocalHourUsesRegionOffset) {
+  // t = 0 is UTC midnight; NA local is in the evening of the prior day,
+  // Asia is morning.
+  const double na = local_hour(Region::kNorthAmerica, 0.0);
+  const double as = local_hour(Region::kAsia, 0.0);
+  EXPECT_NEAR(na, 18.0, 1e-9);
+  EXPECT_NEAR(as, 8.0, 1e-9);
+}
+
+ServerConfig basic_server(Region r = Region::kNorthAmerica) {
+  ServerConfig cfg;
+  cfg.name = "s";
+  cfg.region = r;
+  cfg.base_processing_s = 0.020;
+  cfg.bandwidth_bps = 100e6;
+  cfg.diurnal_amplitude = 1.0;
+  return cfg;
+}
+
+TEST(Server, DiurnalLoadVaries) {
+  Server s(0, IpAddr(10, 0, 0, 1), basic_server(), /*seed=*/1,
+           /*horizon=*/86400.0);
+  // NA local 14:00 == UTC 20:00.
+  const double midday = 20 * 3600.0;
+  const double night = 8 * 3600.0;  // NA local 02:00
+  EXPECT_GT(s.load(midday), s.load(night));
+  EXPECT_DOUBLE_EQ(s.load(night), 0.0);
+}
+
+TEST(Server, InjectedDelayAddsToProcessing) {
+  Server s(0, IpAddr(10, 0, 0, 1), basic_server(), 1, 0.0);
+  const double base = s.processing_delay(0.0, Region::kNorthAmerica);
+  s.set_injected_delay(0.75);
+  EXPECT_NEAR(s.processing_delay(0.0, Region::kNorthAmerica), base + 0.75,
+              1e-12);
+}
+
+TEST(Server, ChronicDegradationScalesBoth) {
+  ServerConfig cfg = basic_server();
+  cfg.diurnal_amplitude = 0.0;
+  Server healthy(0, IpAddr(10, 0, 0, 1), cfg, 1, 0.0);
+  cfg.chronic_degradation = 4.0;
+  Server sick(1, IpAddr(10, 0, 0, 2), cfg, 1, 0.0);
+  EXPECT_NEAR(sick.processing_delay(0, Region::kNorthAmerica),
+              4.0 * healthy.processing_delay(0, Region::kNorthAmerica), 1e-12);
+  EXPECT_NEAR(sick.effective_bandwidth_bps(0),
+              healthy.effective_bandwidth_bps(0) / 4.0, 1e-3);
+}
+
+TEST(Server, BlindSpotOnlyHitsListedRegions) {
+  ServerConfig cfg = basic_server();
+  cfg.diurnal_amplitude = 0.0;
+  cfg.blind_spot_regions = {Region::kAsia};
+  cfg.blind_spot_penalty = 5.0;
+  Server s(0, IpAddr(10, 0, 0, 1), cfg, 1, 0.0);
+  EXPECT_DOUBLE_EQ(s.rtt_multiplier(Region::kAsia), 5.0);
+  EXPECT_DOUBLE_EQ(s.rtt_multiplier(Region::kEurope), 1.0);
+  EXPECT_GT(s.processing_delay(0, Region::kAsia),
+            s.processing_delay(0, Region::kEurope));
+}
+
+TEST(Server, CongestionScheduleDeterministicAndBounded) {
+  ServerConfig cfg = basic_server();
+  cfg.congestion_rate_per_day = 2.0;
+  cfg.congestion_mean_duration_s = 3600.0;
+  const double horizon = 5 * 86400.0;
+  Server a(3, IpAddr(10, 0, 0, 3), cfg, 99, horizon);
+  Server b(3, IpAddr(10, 0, 0, 3), cfg, 99, horizon);
+  ASSERT_EQ(a.congestion_schedule().size(), b.congestion_schedule().size());
+  ASSERT_FALSE(a.congestion_schedule().empty());
+  for (std::size_t i = 0; i < a.congestion_schedule().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.congestion_schedule()[i].start,
+                     b.congestion_schedule()[i].start);
+    EXPECT_LT(a.congestion_schedule()[i].start, horizon);
+    EXPECT_GT(a.congestion_schedule()[i].end,
+              a.congestion_schedule()[i].start);
+  }
+  // Load is elevated inside an event.
+  const auto& ev = a.congestion_schedule().front();
+  EXPECT_TRUE(a.congested((ev.start + ev.end) / 2));
+  EXPECT_GE(a.load((ev.start + ev.end) / 2), ev.severity);
+}
+
+TEST(Network, AddressesAreUniqueAndResolvable) {
+  Network net;
+  ServerId s1 = net.add_server(basic_server());
+  ServerId s2 = net.add_server(basic_server());
+  EXPECT_NE(net.server(s1).addr(), net.server(s2).addr());
+  EXPECT_EQ(net.server_by_ip(net.server(s2).addr()), s2);
+  EXPECT_EQ(net.server_by_ip(IpAddr(9, 9, 9, 9)), kInvalidServer);
+}
+
+TEST(Network, ClientBlocksByRegion) {
+  Network net;
+  ClientConfig na;
+  na.region = Region::kNorthAmerica;
+  ClientConfig eu;
+  eu.region = Region::kEurope;
+  ClientId c1 = net.add_client(na);
+  ClientId c2 = net.add_client(eu);
+  EXPECT_TRUE(net.client(c1).addr.in_subnet(IpAddr(24, 0, 0, 0), 8));
+  EXPECT_TRUE(net.client(c2).addr.in_subnet(IpAddr(81, 0, 0, 0), 8));
+}
+
+TEST(Network, PathRttGrowsWithDistance) {
+  NetworkConfig cfg;
+  cfg.seed = 5;
+  Network net(cfg);
+  ServerId s = net.add_server(basic_server(Region::kNorthAmerica));
+  ClientConfig na, as;
+  na.region = Region::kNorthAmerica;
+  as.region = Region::kAsia;
+  ClientId cn = net.add_client(na);
+  ClientId ca = net.add_client(as);
+  EXPECT_LT(net.path_rtt(cn, s), net.path_rtt(ca, s));
+}
+
+TEST(Network, FetchComponentsBehave) {
+  NetworkConfig cfg;
+  cfg.seed = 5;
+  Network net(cfg);
+  ServerId s = net.add_server(basic_server());
+  ClientConfig cc;
+  cc.region = Region::kNorthAmerica;
+  cc.jitter_sigma = 0.0;  // deterministic components
+  ClientId c = net.add_client(cc);
+  util::Rng rng(1);
+  FetchTiming cold = net.fetch(c, s, 10'000, 0.0, rng, true, true);
+  EXPECT_GT(cold.dns, 0.0);
+  EXPECT_GT(cold.connect, 0.0);
+  EXPECT_GT(cold.ttfb, 0.0);
+  EXPECT_GT(cold.download, 0.0);
+  FetchTiming warm = net.fetch(c, s, 10'000, 0.0, rng, false, false);
+  EXPECT_EQ(warm.dns, 0.0);
+  EXPECT_EQ(warm.connect, 0.0);
+  EXPECT_LT(warm.total(), cold.total());
+}
+
+TEST(Network, LargerObjectsTakeLonger) {
+  NetworkConfig cfg;
+  cfg.seed = 6;
+  Network net(cfg);
+  ServerId s = net.add_server(basic_server());
+  ClientConfig cc;
+  cc.jitter_sigma = 0.0;
+  ClientId c = net.add_client(cc);
+  util::Rng rng(1);
+  FetchTiming small = net.fetch(c, s, 10'000, 0, rng, false, false);
+  FetchTiming large = net.fetch(c, s, 1'000'000, 0, rng, false, false);
+  EXPECT_LT(small.download, large.download);
+}
+
+TEST(Network, InjectedDelayRaisesTtfb) {
+  NetworkConfig cfg;
+  Network net(cfg);
+  ServerId s = net.add_server(basic_server());
+  ClientConfig cc;
+  cc.jitter_sigma = 0.0;
+  ClientId c = net.add_client(cc);
+  // Identical rng state for both fetches isolates the injected delay from
+  // per-request service-time noise.
+  util::Rng rng_before(1), rng_after(1);
+  FetchTiming before = net.fetch(c, s, 1000, 0, rng_before, false, false);
+  net.server(s).set_injected_delay(2.0);
+  FetchTiming after = net.fetch(c, s, 1000, 0, rng_after, false, false);
+  EXPECT_NEAR(after.ttfb - before.ttfb, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace oak::net

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "html/build.h"
+#include "html/extract.h"
+#include "page/inline_eval.h"
+#include "page/object.h"
+#include "page/site.h"
+
+namespace oak::page {
+namespace {
+
+TEST(ObjectStore, PutFindReplace) {
+  ObjectStore store;
+  WebObject o;
+  o.url = "http://a.com/x.png";
+  o.size = 100;
+  store.put(o);
+  ASSERT_TRUE(store.has("http://a.com/x.png"));
+  EXPECT_EQ(store.find("http://a.com/x.png")->size, 100u);
+  o.size = 200;
+  store.put(o);  // replace
+  EXPECT_EQ(store.find("http://a.com/x.png")->size, 200u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.find("http://missing/"), nullptr);
+}
+
+TEST(ObjectStore, ReplicatePreservesBodyAndInduction) {
+  ObjectStore store;
+  WebObject o;
+  o.url = "http://a.com/s.js";
+  o.body = "load(\"http://b.com/x.png\")";
+  o.induced = {"http://b.com/x.png"};
+  store.put(o);
+  ASSERT_TRUE(store.replicate("http://a.com/s.js", "http://alt.com/s.js"));
+  const WebObject* copy = store.find("http://alt.com/s.js");
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->url, "http://alt.com/s.js");
+  EXPECT_EQ(copy->body, o.body);
+  EXPECT_EQ(copy->induced, o.induced);
+  EXPECT_FALSE(store.replicate("http://missing/", "http://x/"));
+}
+
+TEST(MakeScriptBody, MentionsUrlsAndPads) {
+  auto body = make_script_body({"http://a.com/1.png", "http://b.com/2.png"},
+                               4000);
+  EXPECT_NE(body.find("http://a.com/1.png"), std::string::npos);
+  EXPECT_NE(body.find("http://b.com/2.png"), std::string::npos);
+  EXPECT_GE(body.size(), 4000u);
+}
+
+TEST(InlineEval, RecognizesLoaderIdiom) {
+  const std::string html =
+      html::programmatic_loader_script("metrics.x.io", "/ping.js");
+  auto loads = evaluate_inline_scripts(html);
+  ASSERT_EQ(loads.size(), 1u);
+  EXPECT_EQ(loads[0].host, "metrics.x.io");
+  EXPECT_EQ(loads[0].path, "/ping.js");
+  EXPECT_EQ(loads[0].url(), "http://metrics.x.io/ping.js");
+}
+
+TEST(InlineEval, FollowsRewrittenHost) {
+  // The critical property: Oak's text rewrite changes what the browser
+  // loads, exactly as executing the modified script would.
+  std::string html =
+      html::programmatic_loader_script("slow.ads.net", "/a.js");
+  std::size_t pos;
+  while ((pos = html.find("slow.ads.net")) != std::string::npos) {
+    html.replace(pos, 12, "fast.ads.net");
+  }
+  auto loads = evaluate_inline_scripts(html);
+  ASSERT_EQ(loads.size(), 1u);
+  EXPECT_EQ(loads[0].host, "fast.ads.net");
+}
+
+TEST(InlineEval, IgnoresPlainScripts) {
+  EXPECT_TRUE(evaluate_inline_scripts("<script>var x=1;</script>").empty());
+  EXPECT_FALSE(evaluate_loader("var h=\"\"; +h+\"/x\""));
+  EXPECT_FALSE(evaluate_loader("var h=\"a.com\"; no path"));
+  EXPECT_FALSE(evaluate_loader("var h=\"a.com\";e.src=x+h+\"nopath\""));
+}
+
+TEST(DefaultMaxAge, ByKindAndCategory) {
+  EXPECT_EQ(default_max_age(html::RefKind::kScript, Category::kAds), 0.0);
+  EXPECT_EQ(default_max_age(html::RefKind::kScript, Category::kAnalytics),
+            0.0);
+  EXPECT_GT(default_max_age(html::RefKind::kImage, Category::kCdn), 0.0);
+  EXPECT_GT(default_max_age(html::RefKind::kScript, Category::kCdn), 0.0);
+}
+
+class SiteBuilderTest : public ::testing::Test {
+ protected:
+  SiteBuilderTest() : universe_(net::NetworkConfig{}) {
+    origin_ = universe_.network().add_server(net::ServerConfig{});
+    universe_.dns().bind("test.com",
+                         universe_.network().server(origin_).addr());
+  }
+  WebUniverse universe_;
+  net::ServerId origin_;
+};
+
+TEST_F(SiteBuilderTest, AllTiersAppearCorrectly) {
+  SiteBuilder b(universe_, "test.com", origin_);
+  b.add_direct("cdn.a.net", "/1.png", html::RefKind::kImage, 1000,
+               Category::kCdn);
+  b.add_inline_loader("metrics.b.io", "/m.js", 2000, Category::kAnalytics);
+  b.add_script_with_induced(
+      "ads.c.net", "/loader.js", 3000, Category::kAds,
+      {{"img.d.com", "/banner.png", html::RefKind::kImage, 4000,
+        Category::kAds}});
+  b.add_hidden("track.e.com", "/px.gif", html::RefKind::kImage, 50,
+               Category::kAnalytics);
+  Site site = b.finish();
+
+  EXPECT_EQ(site.host, "test.com");
+  ASSERT_EQ(site.external_hosts.size(), 5u);  // incl. the aggregator host
+  EXPECT_EQ(site.external_object_count(), 5u);
+
+  const WebObject* index = universe_.store().find(site.index_url());
+  ASSERT_NE(index, nullptr);
+  const std::string& html_text = index->body;
+
+  // Tier 1 visible as explicit refs.
+  auto refs = html::extract_references(html_text);
+  bool saw_direct = false, saw_aggregator = false;
+  for (const auto& r : refs) {
+    if (r.url == "http://cdn.a.net/1.png") saw_direct = true;
+    if (r.url == "http://ads.c.net/loader.js") saw_aggregator = true;
+  }
+  EXPECT_TRUE(saw_direct);
+  EXPECT_TRUE(saw_aggregator);
+
+  // Tier 2 host in text but not as a URL ref.
+  EXPECT_NE(html_text.find("metrics.b.io"), std::string::npos);
+  for (const auto& r : refs) {
+    EXPECT_EQ(r.url.find("metrics.b.io"), std::string::npos);
+  }
+
+  // Tier 3: induced object in the aggregator's body, not the page.
+  EXPECT_EQ(html_text.find("img.d.com"), std::string::npos);
+  const WebObject* loader =
+      universe_.store().find("http://ads.c.net/loader.js");
+  ASSERT_NE(loader, nullptr);
+  EXPECT_NE(loader->body.find("http://img.d.com/banner.png"),
+            std::string::npos);
+  EXPECT_EQ(loader->induced,
+            (std::vector<std::string>{"http://img.d.com/banner.png"}));
+
+  // Hidden: neither in page text nor any script body; only on the index
+  // object's hidden list.
+  EXPECT_EQ(html_text.find("track.e.com"), std::string::npos);
+  EXPECT_EQ(index->hidden_induced,
+            (std::vector<std::string>{"http://track.e.com/px.gif"}));
+}
+
+TEST_F(SiteBuilderTest, OriginObjectsAreNotExternal) {
+  SiteBuilder b(universe_, "test.com", origin_);
+  b.add_origin_object("/a.css", html::RefKind::kStylesheet, 500);
+  b.add_origin_object("/b.png", html::RefKind::kImage, 500, "static.test.com");
+  Site site = b.finish();
+  EXPECT_EQ(site.origin_object_count, 2u);
+  EXPECT_TRUE(site.external_hosts.empty());
+}
+
+TEST_F(SiteBuilderTest, HandlerRegistryWorks) {
+  EXPECT_EQ(universe_.handler("test.com"), nullptr);
+  universe_.set_handler("test.com", [](const http::Request&, double) {
+    return http::Response::text("ok");
+  });
+  const auto* h = universe_.handler("test.com");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ((*h)(http::Request::get("http://test.com/"), 0.0).body, "ok");
+}
+
+TEST_F(SiteBuilderTest, RefTierToString) {
+  EXPECT_EQ(to_string(RefTier::kDirect), "direct");
+  EXPECT_EQ(to_string(RefTier::kHidden), "hidden");
+  EXPECT_EQ(to_string(Category::kSocial), "Social Networking");
+}
+
+}  // namespace
+}  // namespace oak::page

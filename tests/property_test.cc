@@ -1,0 +1,456 @@
+// Property-style tests over randomized inputs (parameterized gtest):
+// invariants that must hold for *every* seed, not just crafted examples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "browser/browser.h"
+#include "core/modifier.h"
+#include "core/rule_parser.h"
+#include "core/violator.h"
+#include "http/cookies.h"
+#include "util/scope.h"
+#include "html/tokenizer.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workload/sensitivity.h"
+
+namespace oak {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+// --- MAD detector invariants -------------------------------------------
+
+TEST_P(SeededProperty, MadScaleInvariance) {
+  // Scaling all observations by a constant must not change who violates:
+  // the criterion is relative (§4.2.1). This is the property behind Oak's
+  // indifference to slow access links.
+  util::Rng rng(GetParam());
+  std::vector<core::ServerObservation> base;
+  for (int i = 0; i < 8; ++i) {
+    core::ServerObservation o;
+    o.ip = "10.0.0." + std::to_string(i + 1);
+    o.domains = {"h" + std::to_string(i) + ".com"};
+    const int n = 1 + int(rng.uniform_int(0, 3));
+    for (int j = 0; j < n; ++j) {
+      o.small_times.push_back(rng.uniform(0.05, 0.3) *
+                              (i == 0 ? rng.uniform(3.0, 20.0) : 1.0));
+    }
+    base.push_back(o);
+  }
+  const double scale = rng.uniform(2.0, 50.0);
+  std::vector<core::ServerObservation> scaled = base;
+  for (auto& o : scaled) {
+    for (auto& t : o.small_times) t *= scale;
+  }
+  auto v1 = core::detect_violators(base);
+  auto v2 = core::detect_violators(scaled);
+  ASSERT_EQ(v1.violators.size(), v2.violators.size());
+  for (std::size_t i = 0; i < v1.violators.size(); ++i) {
+    EXPECT_EQ(v1.violators[i].ip, v2.violators[i].ip);
+  }
+}
+
+TEST_P(SeededProperty, MadMonotoneInK) {
+  // A larger k can only shrink the violator set.
+  util::Rng rng(GetParam() * 31);
+  std::vector<core::ServerObservation> obs;
+  for (int i = 0; i < 10; ++i) {
+    core::ServerObservation o;
+    o.ip = "10.0.0." + std::to_string(i + 1);
+    o.small_times.push_back(rng.pareto(0.05, 5.0, 0.9));
+    obs.push_back(o);
+  }
+  std::size_t prev = SIZE_MAX;
+  for (double k : {1.0, 2.0, 3.0, 4.0, 6.0}) {
+    core::DetectorConfig cfg;
+    cfg.k = k;
+    auto res = core::detect_violators(obs, cfg);
+    EXPECT_LE(res.violators.size(), prev);
+    prev = res.violators.size();
+  }
+}
+
+TEST_P(SeededProperty, MedianBetweenMinAndMax) {
+  util::Rng rng(GetParam() * 7);
+  std::vector<double> v;
+  for (int i = 0; i < 25; ++i) v.push_back(rng.normal(10, 5));
+  const double med = util::median(v);
+  EXPECT_GE(med, util::min_of(v));
+  EXPECT_LE(med, util::max_of(v));
+  EXPECT_GE(util::mad(v), 0.0);
+}
+
+// --- Rewrite engine invariants ------------------------------------------
+
+TEST_P(SeededProperty, DomainRewriteIsCompleteAndReversible) {
+  util::Rng rng(GetParam() * 101);
+  // Build a page mentioning the default domain in several contexts.
+  std::string html;
+  const std::string def = "slow.cdn-x.net";
+  const std::string alt = "mirror.cdn-y.org";
+  const int mentions = 1 + int(rng.uniform_int(0, 9));
+  for (int i = 0; i < mentions; ++i) {
+    switch (rng.uniform_int(0, 2)) {
+      case 0: html += "<img src=\"http://" + def + "/i.png\"/>"; break;
+      case 1: html += "<script>var h=\"" + def + "\";</script>"; break;
+      default: html += "<p>text " + def + " more</p>"; break;
+    }
+  }
+  core::Rule r = core::make_domain_rule("r", def, {alt});
+  r.id = 1;
+  auto out = core::apply_rules(html, "/", {{&r, 0}});
+  EXPECT_EQ(out.html.find(def), std::string::npos);
+  EXPECT_EQ(out.records[0].replacements, static_cast<std::size_t>(mentions));
+  // Applying the inverse rule restores the original byte-for-byte.
+  core::Rule inverse = core::make_domain_rule("inv", alt, {def});
+  inverse.id = 2;
+  auto back = core::apply_rules(out.html, "/", {{&inverse, 0}});
+  EXPECT_EQ(back.html, html);
+}
+
+TEST_P(SeededProperty, RemovalIsIdempotent) {
+  util::Rng rng(GetParam() * 211);
+  std::string block = "<iframe src=\"http://ads.example.net/u" +
+                      std::to_string(rng.uniform_int(0, 999)) +
+                      "\"></iframe>";
+  std::string html = "<p>a</p>" + block + "<p>b</p>" + block;
+  core::Rule r = core::make_removal_rule("kill", block);
+  r.id = 1;
+  auto once = core::apply_rules(html, "/", {{&r, 0}});
+  auto twice = core::apply_rules(once.html, "/", {{&r, 0}});
+  EXPECT_EQ(once.html, twice.html);
+  EXPECT_EQ(twice.records[0].replacements, 0u);
+}
+
+// --- Serialization round trips -------------------------------------------
+
+TEST_P(SeededProperty, ReportSerializationRoundTrips) {
+  util::Rng rng(GetParam() * 307);
+  browser::PerfReport r;
+  r.user_id = "u" + std::to_string(rng.uniform_int(0, 1 << 20));
+  r.page_url = "http://site" + std::to_string(rng.uniform_int(0, 99)) +
+               ".com/index.html";
+  r.plt_s = rng.uniform(0.01, 30.0);
+  const int n = int(rng.uniform_int(0, 40));
+  for (int i = 0; i < n; ++i) {
+    browser::ReportEntry e;
+    e.url = "http://h" + std::to_string(i) + ".net/o" +
+            std::to_string(rng.uniform_int(0, 999));
+    e.host = "h" + std::to_string(i) + ".net";
+    e.ip = net::IpAddr(static_cast<std::uint32_t>(
+                           rng.uniform_int(0, 0xffffffffll)))
+               .to_string();
+    e.size = static_cast<std::uint64_t>(rng.pareto(100, 1e6, 1.1));
+    e.start_s = rng.uniform(0, 5);
+    e.time_s = rng.uniform(0.001, 10);
+    r.entries.push_back(e);
+  }
+  browser::PerfReport back = browser::PerfReport::deserialize(r.serialize());
+  ASSERT_EQ(back.entries.size(), r.entries.size());
+  EXPECT_EQ(back.user_id, r.user_id);
+  for (std::size_t i = 0; i < r.entries.size(); ++i) {
+    EXPECT_EQ(back.entries[i].url, r.entries[i].url);
+    EXPECT_EQ(back.entries[i].ip, r.entries[i].ip);
+    EXPECT_EQ(back.entries[i].size, r.entries[i].size);
+    EXPECT_NEAR(back.entries[i].time_s, r.entries[i].time_s, 1e-9);
+  }
+}
+
+TEST_P(SeededProperty, RuleFileRoundTrips) {
+  util::Rng rng(GetParam() * 401);
+  std::vector<core::Rule> rules;
+  const int n = 1 + int(rng.uniform_int(0, 5));
+  for (int i = 0; i < n; ++i) {
+    core::Rule r;
+    r.name = "rule" + std::to_string(i);
+    const int type = 1 + int(rng.uniform_int(0, 2));
+    r.type = static_cast<core::RuleType>(type);
+    r.default_text = "block \"" + std::to_string(rng.uniform_int(0, 999)) +
+                     "\"\nwith newline\tand tab";
+    if (type != 1) {
+      r.alternatives.push_back("alt-" + std::to_string(i));
+    }
+    r.ttl_s = rng.chance(0.5) ? 0.0 : double(rng.uniform_int(1, 86400));
+    r.min_violations = 1 + int(rng.uniform_int(0, 4));
+    rules.push_back(r);
+  }
+  auto reparsed = core::parse_rules(core::format_rules(rules));
+  ASSERT_EQ(reparsed.size(), rules.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(reparsed[i].default_text, rules[i].default_text);
+    EXPECT_EQ(reparsed[i].type, rules[i].type);
+    EXPECT_EQ(reparsed[i].alternatives, rules[i].alternatives);
+    EXPECT_EQ(reparsed[i].min_violations, rules[i].min_violations);
+  }
+}
+
+// --- Tokenizer totality ---------------------------------------------------
+
+TEST_P(SeededProperty, TokenizerNeverLosesBytes) {
+  // Token ranges partition the source for arbitrary (even broken) input.
+  util::Rng rng(GetParam() * 503);
+  static const char* kPieces[] = {
+      "<div>", "</div>", "text ", "<img src=\"u\"/>", "<", ">", "\"",
+      "<script>x<y</script>", "<!-- c -->", "<!doctype html>", "&amp;",
+      "<a href='q'>", "=", " ", "<broken", "attr=val"};
+  std::string doc;
+  const int n = int(rng.uniform_int(0, 60));
+  for (int i = 0; i < n; ++i) {
+    doc += kPieces[rng.uniform_int(0, std::size(kPieces) - 1)];
+  }
+  auto tokens = html::tokenize(doc);
+  std::size_t covered = 0;
+  std::size_t prev_end = 0;
+  for (const auto& t : tokens) {
+    EXPECT_EQ(t.begin, prev_end);
+    EXPECT_GE(t.end, t.begin);
+    covered += t.end - t.begin;
+    prev_end = t.end;
+  }
+  EXPECT_EQ(covered, doc.size());
+}
+
+// --- Detection monotonicity in injected delay -----------------------------
+
+TEST_P(SeededProperty, SensitivityDetectionMonotoneInDelay) {
+  // If Oak switches at delay d, it must also switch at 4d (same seed).
+  const std::uint64_t seed = GetParam();
+  auto switched_at = [&](double delay) {
+    workload::SensitivityScenario scenario(seed);
+    scenario.set_injected_delay(delay);
+    net::ClientConfig cc;
+    cc.region = net::Region::kNorthAmerica;
+    net::ClientId cid = scenario.universe().network().add_client(cc);
+    browser::BrowserConfig bc;
+    bc.use_cache = false;
+    browser::Browser b(scenario.universe(), cid, bc);
+    b.load(scenario.oak_site_url(), 0.0);
+    auto second = b.load(scenario.oak_site_url(), 60.0);
+    for (const auto& e : second.report.entries) {
+      if (e.host == "alt0.sensnet.net") return true;
+    }
+    return false;
+  };
+  if (switched_at(1.0)) {
+    EXPECT_TRUE(switched_at(4.0));
+  }
+  EXPECT_TRUE(switched_at(8.0));  // an 8s stall must always be caught
+}
+
+// --- JSON fuzz round trip ---------------------------------------------
+
+util::Json random_json(util::Rng& rng, int depth) {
+  const int kind = int(rng.uniform_int(0, depth > 0 ? 5 : 3));
+  switch (kind) {
+    case 0: return util::Json(nullptr);
+    case 1: return util::Json(rng.chance(0.5));
+    case 2: return util::Json(rng.uniform(-1e6, 1e6));
+    case 3: {
+      std::string s;
+      const int len = int(rng.uniform_int(0, 12));
+      for (int i = 0; i < len; ++i) {
+        s += static_cast<char>(rng.uniform_int(1, 126));
+      }
+      return util::Json(std::move(s));
+    }
+    case 4: {
+      util::JsonArray a;
+      const int n = int(rng.uniform_int(0, 4));
+      for (int i = 0; i < n; ++i) a.push_back(random_json(rng, depth - 1));
+      return util::Json(std::move(a));
+    }
+    default: {
+      util::JsonObject o;
+      const int n = int(rng.uniform_int(0, 4));
+      for (int i = 0; i < n; ++i) {
+        o["k" + std::to_string(i)] = random_json(rng, depth - 1);
+      }
+      return util::Json(std::move(o));
+    }
+  }
+}
+
+TEST_P(SeededProperty, JsonFuzzRoundTrips) {
+  util::Rng rng(GetParam() * 601);
+  for (int i = 0; i < 50; ++i) {
+    util::Json j = random_json(rng, 4);
+    const std::string wire = j.dump();
+    util::Json back = util::Json::parse(wire);
+    EXPECT_EQ(back.dump(), wire);
+    // Pretty form parses to the same value.
+    EXPECT_EQ(util::Json::parse(j.dump_pretty()).dump(), wire);
+  }
+}
+
+// --- Glob properties -------------------------------------------------
+
+TEST_P(SeededProperty, GlobLiteralAndWildcardProperties) {
+  util::Rng rng(GetParam() * 701);
+  for (int i = 0; i < 100; ++i) {
+    std::string path = "/";
+    const int len = int(rng.uniform_int(1, 14));
+    for (int c = 0; c < len; ++c) {
+      path += static_cast<char>('a' + rng.uniform_int(0, 25));
+    }
+    // A literal matches itself; '*' matches everything; a prefix glob
+    // matches; a wrong-prefix glob does not.
+    EXPECT_TRUE(util::glob_match(path, path));
+    EXPECT_TRUE(util::glob_match("*", path));
+    EXPECT_TRUE(util::glob_match(path.substr(0, 3) + "*", path));
+    EXPECT_FALSE(util::glob_match("/zzz-nope/*", path));
+    // Replacing any single character with '?' still matches.
+    std::string q = path;
+    q[std::size_t(rng.uniform_int(0, std::int64_t(path.size()) - 1))] = '?';
+    EXPECT_TRUE(util::glob_match(q, path));
+  }
+}
+
+// --- Cookie round trips ------------------------------------------------
+
+TEST_P(SeededProperty, CookieHeaderRoundTrips) {
+  util::Rng rng(GetParam() * 801);
+  std::map<std::string, std::string> jar;
+  const int n = int(rng.uniform_int(1, 6));
+  for (int i = 0; i < n; ++i) {
+    std::string key = "k" + std::to_string(rng.uniform_int(0, 1 << 16));
+    std::string value;
+    const int len = int(rng.uniform_int(1, 20));
+    for (int c = 0; c < len; ++c) {
+      value += static_cast<char>('0' + rng.uniform_int(0, 9));
+    }
+    jar[key] = value;
+  }
+  EXPECT_EQ(http::parse_cookie_header(http::to_cookie_header(jar)), jar);
+}
+
+// --- MAD against a reference implementation ---------------------------
+
+TEST_P(SeededProperty, MadMatchesNaiveReference) {
+  util::Rng rng(GetParam() * 901);
+  std::vector<double> xs;
+  const int n = int(rng.uniform_int(2, 60));
+  for (int i = 0; i < n; ++i) xs.push_back(rng.pareto(0.01, 100.0, 0.8));
+
+  // Reference: full sorts, textbook definition.
+  auto ref_median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    const std::size_t m = v.size() / 2;
+    return v.size() % 2 ? v[m] : (v[m - 1] + v[m]) / 2.0;
+  };
+  const double med = ref_median(xs);
+  std::vector<double> dev;
+  for (double x : xs) dev.push_back(std::fabs(x - med));
+  EXPECT_NEAR(util::median(xs), med, 1e-12 * std::max(1.0, med));
+  EXPECT_NEAR(util::mad(xs), ref_median(dev), 1e-9);
+}
+
+// --- Parser robustness: arbitrary bytes never crash ---------------------
+
+std::string random_bytes(util::Rng& rng, int max_len) {
+  std::string s;
+  const int len = int(rng.uniform_int(0, max_len));
+  for (int i = 0; i < len; ++i) {
+    s += static_cast<char>(rng.uniform_int(1, 255));
+  }
+  return s;
+}
+
+// Fragments that steer the fuzz toward interesting parser states.
+std::string random_rule_soup(util::Rng& rng) {
+  static const char* kPieces[] = {
+      "rule", "\"name\"", "{", "}", "type:", "1", "2", "99", "default:",
+      "\"text\"", "alt:", "ttl:", "-3", "scope:", "sub:", "->", "#c\n",
+      "\"unterminated", "\\", "\"\\q\"", "min_violations:", "0.5"};
+  std::string s;
+  const int n = int(rng.uniform_int(0, 30));
+  for (int i = 0; i < n; ++i) {
+    s += kPieces[rng.uniform_int(0, std::size(kPieces) - 1)];
+    s += ' ';
+  }
+  return s;
+}
+
+TEST_P(SeededProperty, RuleParserNeverCrashesOnGarbage) {
+  util::Rng rng(GetParam() * 1009);
+  for (int i = 0; i < 200; ++i) {
+    const std::string input =
+        rng.chance(0.5) ? random_rule_soup(rng) : random_bytes(rng, 120);
+    try {
+      auto rules = core::parse_rules(input);
+      for (const auto& r : rules) EXPECT_TRUE(r.validate());
+    } catch (const core::RuleParseError&) {
+      // The only acceptable failure mode.
+    }
+  }
+}
+
+TEST_P(SeededProperty, JsonParserNeverCrashesOnGarbage) {
+  util::Rng rng(GetParam() * 1103);
+  static const char* kPieces[] = {"{", "}", "[", "]", "\"", ":", ",",
+                                  "null", "true", "1e", "-", "\\u12",
+                                  "\\", "0.5", "x"};
+  for (int i = 0; i < 300; ++i) {
+    std::string input;
+    if (rng.chance(0.5)) {
+      const int n = int(rng.uniform_int(0, 25));
+      for (int p = 0; p < n; ++p) {
+        input += kPieces[rng.uniform_int(0, std::size(kPieces) - 1)];
+      }
+    } else {
+      input = random_bytes(rng, 80);
+    }
+    try {
+      util::Json j = util::Json::parse(input);
+      // Whatever parsed must re-serialize and re-parse to itself.
+      EXPECT_EQ(util::Json::parse(j.dump()), j);
+    } catch (const util::JsonError&) {
+    }
+  }
+}
+
+TEST_P(SeededProperty, ReportDeserializeNeverCrashesOnGarbage) {
+  util::Rng rng(GetParam() * 1201);
+  // Mutate a valid report wire image: flip bytes, truncate, duplicate.
+  browser::PerfReport r;
+  r.user_id = "u";
+  r.page_url = "http://x.com/";
+  r.entries.push_back({"http://h.net/o", "h.net", "10.0.0.1", 100, 0, 0.1});
+  const std::string wire = r.serialize();
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = wire;
+    const int mutations = 1 + int(rng.uniform_int(0, 4));
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng.uniform_int(0, 2)) {
+        case 0: {  // flip a byte
+          std::size_t at = std::size_t(
+              rng.uniform_int(0, std::int64_t(mutated.size()) - 1));
+          mutated[at] = static_cast<char>(rng.uniform_int(1, 255));
+          break;
+        }
+        case 1:  // truncate
+          mutated.resize(std::size_t(
+              rng.uniform_int(0, std::int64_t(mutated.size()))));
+          break;
+        default:  // duplicate a chunk
+          mutated += mutated.substr(
+              std::size_t(rng.uniform_int(0, std::int64_t(mutated.size()))));
+          break;
+      }
+      if (mutated.empty()) mutated = "x";
+    }
+    try {
+      auto parsed = browser::PerfReport::deserialize(mutated);
+      (void)parsed;
+    } catch (const util::JsonError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oak

@@ -1,0 +1,97 @@
+// Tests for the §6 Resource Timing API fallback: cross-origin entries are
+// visible only when the provider opted in with Timing-Allow-Origin.
+#include <gtest/gtest.h>
+
+#include "browser/browser.h"
+#include "page/corpus.h"
+#include "page/site.h"
+
+namespace oak::browser {
+namespace {
+
+class MechanismFixture : public ::testing::Test {
+ protected:
+  MechanismFixture()
+      : universe_(net::NetworkConfig{.seed = 31, .horizon_s = 0}) {
+    net::Network& net = universe_.network();
+    origin_ = net.add_server(net::ServerConfig{.name = "origin"});
+    universe_.dns().bind("rta.com", net.server(origin_).addr());
+    universe_.dns().bind("static.rta.com", net.server(origin_).addr());
+    for (const char* host : {"optin.cdn.net", "silent.ads.net"}) {
+      universe_.dns().bind(
+          host, net.server(net.add_server(net::ServerConfig{})).addr());
+    }
+
+    page::SiteBuilder b(universe_, "rta.com", origin_);
+    b.add_origin_object("/main.css", html::RefKind::kStylesheet, 3000);
+    b.add_origin_object("/logo.png", html::RefKind::kImage, 3000,
+                        "static.rta.com");
+    b.add_direct("optin.cdn.net", "/lib.js", html::RefKind::kScript, 8000,
+                 page::Category::kCdn);
+    b.add_direct("silent.ads.net", "/ad.js", html::RefKind::kScript, 8000,
+                 page::Category::kAds);
+    site_ = b.finish();
+    universe_.store().find_mutable("http://optin.cdn.net/lib.js")
+        ->timing_allow_origin = true;
+  }
+
+  LoadResult load_with(ReportMechanism mechanism) {
+    net::ClientId cid = universe_.network().add_client(net::ClientConfig{});
+    BrowserConfig cfg;
+    cfg.use_cache = false;
+    cfg.send_report = false;
+    cfg.report_mechanism = mechanism;
+    Browser b(universe_, cid, cfg);
+    return b.load(site_.index_url(), 0.0);
+  }
+
+  page::WebUniverse universe_;
+  net::ServerId origin_ = net::kInvalidServer;
+  page::Site site_;
+};
+
+TEST_F(MechanismFixture, ModifiedClientSeesEverything) {
+  auto res = load_with(ReportMechanism::kModifiedClient);
+  EXPECT_EQ(res.report.entries.size(), 5u);  // index + 4 objects
+}
+
+TEST_F(MechanismFixture, RtaHidesNonOptedInThirdParties) {
+  auto res = load_with(ReportMechanism::kResourceTimingApi);
+  std::set<std::string> hosts;
+  for (const auto& e : res.report.entries) hosts.insert(e.host);
+  // Same-origin (incl. sub-domain) always visible; opted-in CDN visible;
+  // the silent ad network is not.
+  EXPECT_TRUE(hosts.count("rta.com"));
+  EXPECT_TRUE(hosts.count("static.rta.com"));
+  EXPECT_TRUE(hosts.count("optin.cdn.net"));
+  EXPECT_FALSE(hosts.count("silent.ads.net"));
+  EXPECT_EQ(res.report.entries.size(), 4u);
+  // The page load itself is unaffected — only the report shrinks.
+  EXPECT_EQ(res.missing_objects, 0u);
+  auto full = load_with(ReportMechanism::kModifiedClient);
+  EXPECT_NEAR(res.plt_s, full.plt_s, full.plt_s);  // same order of magnitude
+}
+
+TEST(CorpusOptIn, CategoriesDifferInAdoption) {
+  page::CorpusConfig cfg;
+  cfg.seed = 77;
+  cfg.num_sites = 1;
+  cfg.num_providers = 200;
+  page::Corpus corpus(cfg);
+  std::map<page::Category, std::pair<int, int>> counts;  // opted, total
+  for (const auto& p : corpus.providers()) {
+    auto& [opted, total] = counts[p.category];
+    ++total;
+    if (p.timing_opt_in) ++opted;
+  }
+  auto rate = [&](page::Category c) {
+    auto [opted, total] = counts[c];
+    return total == 0 ? 0.0 : double(opted) / double(total);
+  };
+  // Fonts/CDNs opt in far more than ad networks — the §6 argument.
+  EXPECT_GT(rate(page::Category::kCdn), rate(page::Category::kAds));
+  EXPECT_LT(rate(page::Category::kAds), 0.35);
+}
+
+}  // namespace
+}  // namespace oak::browser

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/cdf.h"
+#include "util/rng.h"
+
+namespace oak::util {
+namespace {
+
+TEST(Cdf, FractionsAndQuantiles) {
+  Cdf c;
+  for (int i = 1; i <= 100; ++i) c.add(i);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(50), 0.5);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(100), 1.0);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_above(51), 0.5);
+  EXPECT_NEAR(c.quantile(0.5), 50.5, 1e-9);
+  EXPECT_DOUBLE_EQ(c.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 100.0);
+}
+
+TEST(Cdf, EmptyIsSafe) {
+  Cdf c;
+  EXPECT_EQ(c.fraction_at_or_below(1), 0.0);
+  EXPECT_EQ(c.quantile(0.5), 0.0);
+  EXPECT_TRUE(c.points().empty());
+}
+
+TEST(Cdf, PointsMonotoneAndComplete) {
+  Cdf c;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) c.add(rng.uniform(0, 10));
+  auto pts = c.points(40);
+  ASSERT_FALSE(pts.empty());
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].value, pts[i - 1].value);
+    EXPECT_GT(pts[i].fraction, pts[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().fraction, 1.0);
+}
+
+TEST(Cdf, AddAllAndInterleavedReads) {
+  Cdf c;
+  c.add_all({3, 1, 2});
+  EXPECT_DOUBLE_EQ(c.quantile(0.5), 2.0);
+  c.add(0);  // must invalidate sorted state
+  EXPECT_DOUBLE_EQ(c.quantile(0.0), 0.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, ForkIndependentOfDrawCount) {
+  Rng a(7), b(7);
+  (void)a.uniform(0, 1);  // consume from one parent only
+  Rng fa = a.fork(3), fb = b.fork(3);
+  EXPECT_DOUBLE_EQ(fa.uniform(0, 1), fb.uniform(0, 1));
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng a = Rng::forked(7, 1);
+  Rng b = Rng::forked(7, 2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.uniform(0, 1) != b.uniform(0, 1)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.uniform_int(1, 3);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 1;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceEdges) {
+  Rng r(5);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(Rng, LognormalMedianIsCalibrated) {
+  Rng r(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(r.lognormal_median(2.0, 0.5));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], 2.0, 0.05);
+}
+
+TEST(Rng, ParetoWithinBounds) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    double x = r.pareto(10.0, 100.0, 1.2);
+    EXPECT_GE(x, 10.0 * 0.999);
+    EXPECT_LE(x, 100.0 * 1.001);
+  }
+}
+
+TEST(Rng, ZipfSkewsLow) {
+  Rng r(13);
+  int low = 0, high = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::size_t z = r.zipf(100, 1.0);
+    EXPECT_LT(z, 100u);
+    if (z < 10) ++low;
+    if (z >= 90) ++high;
+  }
+  EXPECT_GT(low, high * 3);
+}
+
+TEST(Rng, WeightedRespectsZeros) {
+  Rng r(17);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(r.weighted(w), 1u);
+  }
+}
+
+TEST(StableHash, DistinctAndStable) {
+  EXPECT_EQ(stable_hash("abc"), stable_hash("abc"));
+  EXPECT_NE(stable_hash("abc"), stable_hash("abd"));
+  EXPECT_NE(stable_hash(""), stable_hash("a"));
+}
+
+}  // namespace
+}  // namespace oak::util

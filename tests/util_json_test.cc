@@ -1,0 +1,117 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace oak::util {
+namespace {
+
+TEST(JsonDump, Scalars) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-3.5).dump(), "-3.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonDump, IntegralNumbersHaveNoFraction) {
+  EXPECT_EQ(Json(1000000.0).dump(), "1000000");
+  EXPECT_EQ(Json(0.0).dump(), "0");
+}
+
+TEST(JsonDump, EscapesStrings) {
+  EXPECT_EQ(Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(JsonDump, ArraysAndObjects) {
+  JsonArray a = {Json(1), Json("x"), Json(nullptr)};
+  EXPECT_EQ(Json(a).dump(), "[1,\"x\",null]");
+  JsonObject o;
+  o["b"] = Json(2);
+  o["a"] = Json(1);
+  // std::map sorts keys -> deterministic output.
+  EXPECT_EQ(Json(o).dump(), "{\"a\":1,\"b\":2}");
+}
+
+TEST(JsonDump, EmptyContainers) {
+  EXPECT_EQ(Json(JsonArray{}).dump(), "[]");
+  EXPECT_EQ(Json(JsonObject{}).dump(), "{}");
+}
+
+TEST(JsonParse, RoundTripsNested) {
+  const std::string text =
+      R"({"a":[1,2,{"b":"x"}],"c":null,"d":true,"e":-1.25e2})";
+  Json j = Json::parse(text);
+  EXPECT_EQ(j.at("c"), Json(nullptr));
+  EXPECT_EQ(j.at("d"), Json(true));
+  EXPECT_DOUBLE_EQ(j.at("e").as_number(), -125.0);
+  EXPECT_EQ(j.at("a").as_array()[2].at("b").as_string(), "x");
+  // Round trip.
+  EXPECT_EQ(Json::parse(j.dump()), j);
+}
+
+TEST(JsonParse, Whitespace) {
+  Json j = Json::parse("  { \"a\" :\n[ 1 , 2 ]\t} ");
+  EXPECT_EQ(j.at("a").as_array().size(), 2u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  Json j = Json::parse(R"("a\"\\\/\n\tA")");
+  EXPECT_EQ(j.as_string(), "a\"\\/\n\tA");
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");       // é
+  EXPECT_EQ(Json::parse(R"("中")").as_string(), "\xe4\xb8\xad");   // 中
+  EXPECT_EQ(Json::parse(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");  // 😀 via surrogate pair
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("{} extra"), JsonError);
+  EXPECT_THROW(Json::parse("{1:2}"), JsonError);
+}
+
+TEST(JsonAccess, TypeMismatchThrows) {
+  Json j(42);
+  EXPECT_THROW(j.as_string(), JsonError);
+  EXPECT_THROW(j.as_array(), JsonError);
+  EXPECT_THROW(j.at("k"), JsonError);
+  EXPECT_EQ(j.find("k"), nullptr);
+}
+
+TEST(JsonAccess, FindAndAt) {
+  Json j = Json::parse(R"({"x":1})");
+  EXPECT_NE(j.find("x"), nullptr);
+  EXPECT_EQ(j.find("y"), nullptr);
+  EXPECT_THROW(j.at("y"), JsonError);
+  EXPECT_EQ(j.at("x").as_int(), 1);
+}
+
+TEST(JsonAccess, SubscriptBuildsObjects) {
+  Json j;
+  j["a"] = Json(1);
+  j["b"]["c"] = Json("deep");
+  EXPECT_EQ(j.dump(), R"({"a":1,"b":{"c":"deep"}})");
+}
+
+TEST(JsonDump, PrettyIsReparsable) {
+  Json j = Json::parse(R"({"a":[1,2],"b":{"c":null}})");
+  Json j2 = Json::parse(j.dump_pretty());
+  EXPECT_EQ(j, j2);
+}
+
+TEST(JsonDump, NanBecomesNull) {
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+}  // namespace
+}  // namespace oak::util

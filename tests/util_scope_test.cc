@@ -1,0 +1,70 @@
+#include "util/scope.h"
+
+#include <gtest/gtest.h>
+
+namespace oak::util {
+namespace {
+
+TEST(GlobMatch, Literals) {
+  EXPECT_TRUE(glob_match("/index.html", "/index.html"));
+  EXPECT_FALSE(glob_match("/index.html", "/other.html"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+}
+
+TEST(GlobMatch, Star) {
+  EXPECT_TRUE(glob_match("*", "/anything/at/all"));
+  EXPECT_TRUE(glob_match("/news/*", "/news/2016/06/01"));
+  EXPECT_FALSE(glob_match("/news/*", "/sports/x"));
+  EXPECT_TRUE(glob_match("*.html", "/a/b/c.html"));
+  EXPECT_TRUE(glob_match("/a*z", "/az"));
+  EXPECT_TRUE(glob_match("/a*z", "/a-middle-z"));
+}
+
+TEST(GlobMatch, MultipleStars) {
+  EXPECT_TRUE(glob_match("/a/*/c/*", "/a/b/c/d/e"));
+  EXPECT_FALSE(glob_match("/a/*/c/*", "/a/b/d/e"));
+}
+
+TEST(GlobMatch, QuestionMark) {
+  EXPECT_TRUE(glob_match("/p?ge", "/page"));
+  EXPECT_FALSE(glob_match("/p?ge", "/pge"));
+}
+
+TEST(GlobMatch, Alternation) {
+  EXPECT_TRUE(glob_match("/{news,sports}/*", "/news/today"));
+  EXPECT_TRUE(glob_match("/{news,sports}/*", "/sports/today"));
+  EXPECT_FALSE(glob_match("/{news,sports}/*", "/weather/today"));
+  EXPECT_TRUE(glob_match("*.{js,css}", "/x/app.css"));
+  EXPECT_FALSE(glob_match("*.{js,css}", "/x/app.png"));
+}
+
+TEST(GlobMatch, AlternationAtEnd) {
+  EXPECT_TRUE(glob_match("/a/{x,y}", "/a/x"));
+  EXPECT_FALSE(glob_match("/a/{x,y}", "/a/z"));
+}
+
+TEST(GlobMatch, MalformedBraceFailsClosed) {
+  EXPECT_FALSE(glob_match("/{unclosed", "/x"));
+}
+
+TEST(Scope, SiteWide) {
+  // The paper's example rule uses scope "*" for "site wide".
+  Scope s("*");
+  EXPECT_TRUE(s.is_site_wide());
+  EXPECT_TRUE(s.matches("/index.html"));
+  EXPECT_TRUE(s.matches("/any/sub/page"));
+  Scope empty("");
+  EXPECT_TRUE(empty.is_site_wide());
+  EXPECT_TRUE(empty.matches("/x"));
+}
+
+TEST(Scope, PathRestricted) {
+  Scope s("/articles/*");
+  EXPECT_FALSE(s.is_site_wide());
+  EXPECT_TRUE(s.matches("/articles/2016/june"));
+  EXPECT_FALSE(s.matches("/index.html"));
+}
+
+}  // namespace
+}  // namespace oak::util

@@ -1,0 +1,127 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace oak::util {
+namespace {
+
+TEST(Median, EmptyIsZero) {
+  EXPECT_EQ(median({}), 0.0);
+}
+
+TEST(Median, SingleElement) {
+  std::vector<double> v = {3.5};
+  EXPECT_DOUBLE_EQ(median(v), 3.5);
+}
+
+TEST(Median, OddCount) {
+  std::vector<double> v = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median(v), 5.0);
+}
+
+TEST(Median, EvenCountAveragesMiddle) {
+  std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Median, DoesNotMutateInput) {
+  std::vector<double> v = {3.0, 1.0, 2.0};
+  (void)median(v);
+  EXPECT_EQ(v, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(Median, HandlesDuplicates) {
+  std::vector<double> v = {2.0, 2.0, 2.0, 7.0};
+  EXPECT_DOUBLE_EQ(median(v), 2.0);
+}
+
+TEST(Mad, PaperDefinition) {
+  // MAD = median_i(|x_i - median_j(x_j)|)
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 100.0};
+  // median = 3; deviations = {2,1,0,1,97}; MAD = 1.
+  EXPECT_DOUBLE_EQ(mad(v), 1.0);
+}
+
+TEST(Mad, RobustToSingleOutlierMagnitude) {
+  std::vector<double> a = {1, 2, 3, 4, 5, 6, 7, 8, 1000};
+  std::vector<double> b = {1, 2, 3, 4, 5, 6, 7, 8, 1e9};
+  EXPECT_DOUBLE_EQ(mad(a), mad(b));
+}
+
+TEST(Mad, TooFewSamplesIsZero) {
+  std::vector<double> v = {42.0};
+  EXPECT_EQ(mad(v), 0.0);
+  EXPECT_EQ(mad({}), 0.0);
+}
+
+TEST(Mad, ConstantSampleIsZero) {
+  std::vector<double> v = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_EQ(mad(v), 0.0);
+}
+
+TEST(MeanStddev, Basic) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), 2.138089935299395, 1e-12);
+}
+
+TEST(MeanStddev, DegenerateCases) {
+  EXPECT_EQ(mean({}), 0.0);
+  std::vector<double> one = {3.0};
+  EXPECT_EQ(stddev(one), 0.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+}
+
+TEST(MinMax, Basic) {
+  std::vector<double> v = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_of(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(v), 7.0);
+  EXPECT_EQ(min_of({}), 0.0);
+}
+
+TEST(MadSummary, MatchesComponents) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 100.0};
+  MadSummary s = mad_summary(v);
+  EXPECT_DOUBLE_EQ(s.med, median(v));
+  EXPECT_DOUBLE_EQ(s.mad, mad(v));
+  EXPECT_EQ(s.n, v.size());
+}
+
+TEST(MadThreshold, AboveAndBelow) {
+  // The paper's violator criterion with k = 2.
+  std::vector<double> v = {1.0, 1.1, 0.9, 1.05, 0.95};
+  MadSummary s = mad_summary(v);
+  EXPECT_TRUE(above_mad(s.med + 2.0 * s.mad + 0.001, s, 2.0));
+  EXPECT_FALSE(above_mad(s.med + 2.0 * s.mad, s, 2.0));  // strict inequality
+  EXPECT_TRUE(below_mad(s.med - 2.0 * s.mad - 0.001, s, 2.0));
+  EXPECT_FALSE(below_mad(s.med - 2.0 * s.mad, s, 2.0));
+}
+
+TEST(MadDistance, SignedAndNormalized) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  MadSummary s = mad_summary(v);  // median 3, MAD 1
+  EXPECT_DOUBLE_EQ(mad_distance(5.0, s), 2.0);
+  EXPECT_DOUBLE_EQ(mad_distance(1.0, s), -2.0);
+  EXPECT_DOUBLE_EQ(mad_distance(3.0, s), 0.0);
+}
+
+TEST(MadDistance, ZeroMadDegenerates) {
+  std::vector<double> v = {2.0, 2.0, 2.0};
+  MadSummary s = mad_summary(v);
+  EXPECT_EQ(mad_distance(2.0, s), 0.0);
+  EXPECT_TRUE(std::isinf(mad_distance(3.0, s)));
+  EXPECT_GT(mad_distance(3.0, s), 0.0);
+  EXPECT_LT(mad_distance(1.0, s), 0.0);
+}
+
+}  // namespace
+}  // namespace oak::util

@@ -1,0 +1,93 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace oak::util {
+namespace {
+
+TEST(Split, Basic) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitNonempty, DropsEmpties) {
+  EXPECT_EQ(split_nonempty("a,,b,", ','),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split_nonempty(",,,", ',').empty());
+}
+
+TEST(Trim, Basic) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(ToLower, Ascii) {
+  EXPECT_EQ(to_lower("AbC-123"), "abc-123");
+}
+
+TEST(StartsEndsWith, Basic) {
+  EXPECT_TRUE(starts_with("http://x", "http://"));
+  EXPECT_FALSE(starts_with("x", "http://"));
+  EXPECT_TRUE(ends_with("file.js", ".js"));
+  EXPECT_FALSE(ends_with("js", "file.js"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_TRUE(ends_with("abc", ""));
+}
+
+TEST(Contains, CaseSensitivity) {
+  EXPECT_TRUE(contains("Hello World", "o W"));
+  EXPECT_FALSE(contains("Hello", "hello"));
+  EXPECT_TRUE(icontains("Hello", "hello"));
+  EXPECT_TRUE(icontains("xScRiPtx", "script"));
+  EXPECT_FALSE(icontains("scrip", "script"));
+  EXPECT_TRUE(icontains("anything", ""));
+}
+
+TEST(ReplaceAll, CountsAndReplaces) {
+  std::string s = "aXbXc";
+  EXPECT_EQ(replace_all(s, "X", "--"), 2u);
+  EXPECT_EQ(s, "a--b--c");
+}
+
+TEST(ReplaceAll, NoRecursionOnExpandedText) {
+  std::string s = "aa";
+  EXPECT_EQ(replace_all(s, "a", "aa"), 2u);
+  EXPECT_EQ(s, "aaaa");
+}
+
+TEST(ReplaceAll, EmptyNeedleIsNoop) {
+  std::string s = "abc";
+  EXPECT_EQ(replace_all(s, "", "x"), 0u);
+  EXPECT_EQ(s, "abc");
+}
+
+TEST(ReplaceAll, RemovalViaEmptyReplacement) {
+  std::string s = "<b>x</b>";
+  EXPECT_EQ(replace_all(s, "<b>", ""), 1u);
+  EXPECT_EQ(s, "x</b>");
+}
+
+TEST(CountOccurrences, NonOverlapping) {
+  EXPECT_EQ(count_occurrences("aaaa", "aa"), 2u);
+  EXPECT_EQ(count_occurrences("abc", "d"), 0u);
+  EXPECT_EQ(count_occurrences("abc", ""), 0u);
+}
+
+TEST(Format, Printf) {
+  EXPECT_EQ(format("x=%d s=%s", 42, "hi"), "x=42 s=hi");
+  EXPECT_EQ(format("%.2f", 1.5), "1.50");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"one"}, ","), "one");
+}
+
+}  // namespace
+}  // namespace oak::util

@@ -1,0 +1,85 @@
+#include "util/url.h"
+
+#include <gtest/gtest.h>
+
+namespace oak::util {
+namespace {
+
+TEST(ParseUrl, Basic) {
+  auto u = parse_url("http://example.com/path/to?x=1");
+  ASSERT_TRUE(u);
+  EXPECT_EQ(u->scheme, "http");
+  EXPECT_EQ(u->host, "example.com");
+  EXPECT_EQ(u->path, "/path/to");
+  EXPECT_EQ(u->query, "x=1");
+}
+
+TEST(ParseUrl, DefaultsPathToSlash) {
+  auto u = parse_url("https://Example.COM");
+  ASSERT_TRUE(u);
+  EXPECT_EQ(u->host, "example.com");  // lowercased
+  EXPECT_EQ(u->path, "/");
+  EXPECT_EQ(u->query, "");
+}
+
+TEST(ParseUrl, QueryAtRoot) {
+  auto u = parse_url("http://a.com/?q=1");
+  ASSERT_TRUE(u);
+  EXPECT_EQ(u->path, "/");
+  EXPECT_EQ(u->query, "q=1");
+}
+
+TEST(ParseUrl, Rejections) {
+  EXPECT_FALSE(parse_url("not a url"));
+  EXPECT_FALSE(parse_url("://missing-scheme.com"));
+  EXPECT_FALSE(parse_url("http://"));
+  EXPECT_FALSE(parse_url("http://bad host/"));
+  EXPECT_FALSE(parse_url("/relative/path"));
+}
+
+TEST(ParseUrl, RoundTrip) {
+  const std::string s = "http://a.b.c/p/q?r=s";
+  EXPECT_EQ(parse_url(s)->to_string(), s);
+  EXPECT_EQ(parse_url("http://a.com")->to_string(), "http://a.com/");
+}
+
+TEST(RegistrableDomain, LastTwoLabels) {
+  EXPECT_EQ(registrable_domain("a.b.c.com"), "c.com");
+  EXPECT_EQ(registrable_domain("x.com"), "x.com");
+  EXPECT_EQ(registrable_domain("com"), "com");
+}
+
+TEST(SameSite, SubdomainsAreInternal) {
+  // Fig. 1: "We do not consider sub-domains of the original domain to be
+  // outside hosts."
+  EXPECT_TRUE(same_site("static.example.com", "example.com"));
+  EXPECT_TRUE(same_site("example.com", "example.com"));
+  EXPECT_TRUE(same_site("www.example.com", "static.example.com"));
+  EXPECT_FALSE(same_site("cdn.other.net", "example.com"));
+}
+
+TEST(ExtractHostnames, FindsInFreeText) {
+  auto hosts = extract_hostnames(
+      "var h=\"cdn.foo.net\"; load('http://a.b.org/x.js') // ver 1.2.3");
+  EXPECT_EQ(hosts, (std::vector<std::string>{"cdn.foo.net", "a.b.org"}));
+}
+
+TEST(ExtractHostnames, RejectsVersionNumbersAndBareWords) {
+  EXPECT_TRUE(extract_hostnames("version 10.2.33 of thing").empty());
+  EXPECT_TRUE(extract_hostnames("no hostnames here").empty());
+}
+
+TEST(ExtractHostnames, LowercasesAndTrimsPunctuation) {
+  auto hosts = extract_hostnames("Visit WWW.Example.COM.");
+  ASSERT_EQ(hosts.size(), 1u);
+  EXPECT_EQ(hosts[0], "www.example.com");
+}
+
+TEST(ReplaceHost, SwapsHostOnly) {
+  EXPECT_EQ(*replace_host("http://a.com/x?q=1", "b.net"),
+            "http://b.net/x?q=1");
+  EXPECT_FALSE(replace_host("nonsense", "b.net"));
+}
+
+}  // namespace
+}  // namespace oak::util

@@ -1,0 +1,157 @@
+// Tests for the survey driver, the §5.3 experiment driver, runtime rule
+// removal, and network weather determinism — the pieces the figure benches
+// stand on.
+#include <gtest/gtest.h>
+
+#include "core/oak_server.h"
+#include "workload/existing_experiment.h"
+#include "workload/survey.h"
+
+namespace oak {
+namespace {
+
+TEST(Survey, ProducesOneLoadPerSitePerVantagePoint) {
+  page::CorpusConfig cfg;
+  cfg.seed = 3;
+  cfg.num_sites = 12;
+  cfg.num_providers = 60;
+  page::Corpus corpus(cfg);
+  auto vps = workload::make_vantage_points(corpus.universe().network(), 4);
+  workload::SurveyOptions opt;
+  auto loads = workload::run_outlier_survey(corpus, vps, opt);
+  ASSERT_EQ(loads.size(), 12u * 4u);
+  for (const auto& l : loads) {
+    EXPECT_LT(l.site_index, 12u);
+    EXPECT_LT(l.vp_index, 4u);
+    EXPECT_FALSE(l.report.entries.empty());
+    EXPECT_GT(l.report_bytes, 0u);
+    // Detection ran: observations mirror the report grouping.
+    EXPECT_FALSE(l.detection.observations.empty());
+  }
+}
+
+TEST(Survey, DeterministicForSameSeedAndTime) {
+  auto run = [] {
+    page::CorpusConfig cfg;
+    cfg.seed = 9;
+    cfg.num_sites = 8;
+    cfg.num_providers = 50;
+    page::Corpus corpus(cfg);
+    auto vps = workload::make_vantage_points(corpus.universe().network(), 3);
+    workload::SurveyOptions opt;
+    opt.start_time = 7 * 3600.0;
+    auto loads = workload::run_outlier_survey(corpus, vps, opt);
+    std::vector<std::size_t> violator_counts;
+    for (const auto& l : loads) {
+      violator_counts.push_back(l.detection.violators.size());
+    }
+    return violator_counts;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(RouteWeather, DeterministicAndDayGranular) {
+  net::NetworkConfig cfg;
+  cfg.seed = 5;
+  net::Network net(cfg);
+  net::ServerId s = net.add_server(net::ServerConfig{});
+  const double w1 = net.route_weather(0, s, 1000.0);
+  EXPECT_DOUBLE_EQ(w1, net.route_weather(0, s, 2000.0));   // same day
+  EXPECT_DOUBLE_EQ(w1, net.route_weather(0, s, 86399.0));  // still day 0
+  EXPECT_GT(w1, 0.0);
+  // Different clients see different weather to the same server.
+  bool differs = false;
+  for (net::ClientId c = 1; c < 8; ++c) {
+    if (net.route_weather(c, s, 1000.0) != w1) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ExistingExperiment, SmallRunProducesConsistentRecord) {
+  workload::ExistingExperimentOptions opt;
+  opt.loads_per_condition = 2;
+  opt.vantage_points = 4;
+  auto result = workload::run_existing_experiment(opt);
+  EXPECT_EQ(result.users_per_site, 4u);
+  EXPECT_EQ(result.table2_rows.size(), 10u);
+  EXPECT_FALSE(result.outcomes.empty());
+  for (const auto& o : result.outcomes) {
+    EXPECT_LT(o.site_index, 10u);
+    EXPECT_LT(o.client_index, 4u);
+    // Oak-condition activity was sampled once per load.
+    if (!o.active_per_load.empty()) {
+      EXPECT_EQ(o.active_per_load.size(), 2u);
+    }
+    // moved paths only exist for outcomes whose rule actually activated.
+    if (!o.moved_paths.empty()) {
+      EXPECT_TRUE(o.activated_ever);
+    }
+  }
+  // Fig. 14 bookkeeping covers every rule of every site, activated or not.
+  std::size_t rules = 0;
+  for (const auto& [site, domains] : result.activations) {
+    rules += domains.size();
+  }
+  EXPECT_GT(rules, 50u);
+}
+
+TEST(ExistingExperiment, CanonicalDomainStripsMirrors) {
+  bool was_mirror = false;
+  EXPECT_EQ(workload::canonical_domain("na.mirror.cdn.x.com", &was_mirror),
+            "cdn.x.com");
+  EXPECT_TRUE(was_mirror);
+  EXPECT_EQ(workload::canonical_domain("cdn.x.com", &was_mirror), "cdn.x.com");
+  EXPECT_FALSE(was_mirror);
+  EXPECT_EQ(workload::canonical_domain("eu.mirror.a.b", nullptr), "a.b");
+}
+
+TEST(RemoveRule, RetiresRuleEverywhere) {
+  page::WebUniverse universe(net::NetworkConfig{.seed = 2, .horizon_s = 0});
+  net::Network& net = universe.network();
+  net::ServerId origin = net.add_server(net::ServerConfig{});
+  universe.dns().bind("rm.com", net.server(origin).addr());
+  std::vector<std::string> ips;
+  for (int i = 0; i < 4; ++i) {
+    net::ServerId sid = net.add_server(net::ServerConfig{});
+    universe.dns().bind("h" + std::to_string(i) + ".net",
+                        net.server(sid).addr());
+    ips.push_back(net.server(sid).addr().to_string());
+  }
+  universe.dns().bind("alt.net",
+                      net.server(net.add_server(net::ServerConfig{})).addr());
+  page::SiteBuilder b(universe, "rm.com", origin);
+  for (int i = 0; i < 4; ++i) {
+    b.add_direct("h" + std::to_string(i) + ".net", "/o.js",
+                 html::RefKind::kScript, 9000, page::Category::kCdn);
+  }
+  page::Site site = b.finish();
+  universe.store().replicate("http://h0.net/o.js", "http://alt.net/o.js");
+
+  core::OakConfig cfg;
+  cfg.detector.min_population = 4;
+  core::OakServer oak(universe, "rm.com", cfg);
+  int rid = oak.add_rule(core::make_domain_rule("r", "h0.net", {"alt.net"}));
+
+  browser::PerfReport r;
+  r.entries.push_back({site.index_url(), "rm.com", "10.0.0.1", 4000, 0, 0.09});
+  for (int i = 0; i < 4; ++i) {
+    r.entries.push_back({"http://h" + std::to_string(i) + ".net/o.js",
+                         "h" + std::to_string(i) + ".net", ips[std::size_t(i)],
+                         9000, 0.1, i == 0 ? 4.0 : 0.10 + 0.01 * i});
+  }
+  oak.analyze("u1", r, 0.0);
+  ASSERT_EQ(oak.profile("u1")->active.count(rid), 1u);
+
+  EXPECT_TRUE(oak.remove_rule(rid, 10.0));
+  EXPECT_EQ(oak.rules().size(), 0u);
+  EXPECT_TRUE(oak.profile("u1")->active.empty());
+  EXPECT_EQ(oak.decision_log().count(core::DecisionType::kExpire), 1u);
+  // Pages served afterwards are the default again.
+  http::Request req = http::Request::get(site.index_url());
+  req.headers.set("Cookie", std::string(http::kOakUserCookie) + "=u1");
+  EXPECT_NE(oak.handle(req, 11.0).body.find("h0.net"), std::string::npos);
+  EXPECT_FALSE(oak.remove_rule(999, 12.0));
+}
+
+}  // namespace
+}  // namespace oak

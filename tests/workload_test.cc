@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "browser/browser.h"
+#include "workload/benchmark_site.h"
+#include "workload/existing_sites.h"
+#include "workload/sensitivity.h"
+#include "workload/vantage.h"
+
+namespace oak::workload {
+namespace {
+
+TEST(Vantage, PaperMix) {
+  net::Network net;
+  auto vps = make_vantage_points(net, 25);
+  ASSERT_EQ(vps.size(), 25u);
+  std::size_t na = 0, eu = 0, as_oc = 0;
+  for (const auto& vp : vps) {
+    switch (vp.region) {
+      case net::Region::kNorthAmerica: ++na; break;
+      case net::Region::kEurope: ++eu; break;
+      case net::Region::kAsia:
+      case net::Region::kOceania: ++as_oc; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(na, 13u);  // "half of which are in North America"
+  EXPECT_GT(eu, 4u);
+  EXPECT_GT(as_oc, 4u);
+  EXPECT_EQ(na + eu + as_oc, 25u);
+}
+
+TEST(Vantage, RegionTrio) {
+  net::Network net;
+  auto trio = make_region_trio(net);
+  ASSERT_EQ(trio.size(), 3u);
+  EXPECT_EQ(trio[0].region, net::Region::kNorthAmerica);
+  EXPECT_EQ(trio[1].region, net::Region::kEurope);
+  EXPECT_EQ(trio[2].region, net::Region::kAsia);
+}
+
+TEST(Sensitivity, OakSwitchesAwayFromDelayedServer) {
+  SensitivityScenario scenario(71);
+  scenario.set_injected_delay(3.0);
+  net::ClientConfig cc;
+  cc.region = net::Region::kNorthAmerica;
+  net::ClientId cid = scenario.universe().network().add_client(cc);
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  browser::Browser b(scenario.universe(), cid, bc);
+  // First load sees the delay and reports it; second load is rewritten.
+  b.load(scenario.oak_site_url(), 0.0);
+  auto second = b.load(scenario.oak_site_url(), 60.0);
+  bool uses_alt = false;
+  for (const auto& e : second.report.entries) {
+    if (e.host == "alt0.sensnet.net") uses_alt = true;
+    EXPECT_NE(e.host, "ext0.sensnet.net");
+  }
+  EXPECT_TRUE(uses_alt);
+  EXPECT_EQ(second.missing_objects, 0u);
+}
+
+TEST(Sensitivity, NoDelayNoSwitch) {
+  SensitivityScenario scenario(72);
+  net::ClientConfig cc;
+  net::ClientId cid = scenario.universe().network().add_client(cc);
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  browser::Browser b(scenario.universe(), cid, bc);
+  b.load(scenario.oak_site_url(), 0.0);
+  auto second = b.load(scenario.oak_site_url(), 60.0);
+  bool uses_default = false;
+  for (const auto& e : second.report.entries) {
+    if (e.host == "ext0.sensnet.net") uses_default = true;
+  }
+  EXPECT_TRUE(uses_default);
+}
+
+TEST(BenchmarkSite, StructureMatchesPaper) {
+  BenchmarkSiteScenario s;
+  EXPECT_EQ(s.set_hosts().size(), 5u);
+  EXPECT_EQ(s.alt_hosts().size(), 5u);
+  EXPECT_EQ(s.degraded_sets().size(), 2u);
+  EXPECT_EQ(s.oak().rules().size(), 5u);
+  // All 24 external objects exist plus replicas.
+  for (const auto& h : s.set_hosts()) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_TRUE(s.universe().store().has(
+          "http://" + h + "/set/f" + std::to_string(i) + ".bin"));
+    }
+  }
+  for (const auto& h : s.alt_hosts()) {
+    EXPECT_TRUE(s.universe().store().has("http://" + h + "/set/f0.bin"));
+  }
+}
+
+TEST(BenchmarkSite, DefaultAndOakPagesLoadFully) {
+  BenchmarkSiteScenario s;
+  net::ClientId cid = s.universe().network().add_client(net::ClientConfig{});
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  browser::Browser b(s.universe(), cid, bc);
+  auto oak_load = b.load(s.oak_site_url(), 0.0);
+  auto def_load = b.load(s.default_site_url(), 0.0);
+  EXPECT_EQ(oak_load.missing_objects, 0u);
+  EXPECT_EQ(def_load.missing_objects, 0u);
+  // 1 index + 24 objects.
+  EXPECT_EQ(def_load.report.entries.size(), 25u);
+}
+
+TEST(ExistingSites, BuildsTenPaperSites) {
+  ExistingSitesScenario scenario;
+  ASSERT_EQ(scenario.sites().size(), 10u);
+  std::size_t h1 = 0, h2 = 0;
+  for (const auto& s : scenario.sites()) {
+    (s.h2 ? h2 : h1)++;
+    EXPECT_FALSE(s.domains.empty());
+    EXPECT_NE(s.oak, nullptr);
+    EXPECT_EQ(s.oak->rules().size(), s.domains.size());
+  }
+  EXPECT_EQ(h1, 5u);
+  EXPECT_EQ(h2, 5u);
+  EXPECT_EQ(scenario.clients().size(), 25u);
+}
+
+TEST(ExistingSites, MirrorsResolvableAndReplicated) {
+  ExistingSitesScenario scenario;
+  auto& uni = scenario.universe();
+  for (const auto& s : scenario.sites()) {
+    for (const auto& hu : s.site->external_hosts) {
+      for (net::Region r : kMirrorRegions) {
+        const std::string mhost = mirror_host(r, hu.host);
+        EXPECT_TRUE(uni.dns().resolve(mhost)) << mhost;
+        for (const auto& url : hu.object_urls) {
+          auto mirrored = util::replace_host(url, mhost);
+          ASSERT_TRUE(mirrored);
+          EXPECT_TRUE(uni.store().has(*mirrored)) << *mirrored;
+        }
+      }
+    }
+  }
+}
+
+TEST(ExistingSites, ClosestMirrorSelection) {
+  EXPECT_EQ(closest_mirror_index("24.1.2.3"), 0u);
+  EXPECT_EQ(closest_mirror_index("81.1.2.3"), 1u);
+  EXPECT_EQ(closest_mirror_index("119.1.2.3"), 2u);
+  EXPECT_EQ(closest_mirror_index("133.1.2.3"), 2u);
+  EXPECT_EQ(closest_mirror_index("not-an-ip"), 0u);
+}
+
+TEST(ExistingSites, OakEnabledLoadWorksEndToEnd) {
+  ExistingSitesScenario scenario;
+  const auto& sut = scenario.sites()[0];
+  net::ClientId cid = scenario.clients()[0].client;
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  browser::Browser b(scenario.universe(), cid, bc);
+  auto res = b.load(sut.site->index_url(), 0.0);
+  EXPECT_EQ(res.page_status, 200);
+  EXPECT_EQ(res.missing_objects, 0u);
+  EXPECT_TRUE(res.report_delivered);
+  EXPECT_GT(sut.oak->reports_processed(), 0u);
+}
+
+}  // namespace
+}  // namespace oak::workload
