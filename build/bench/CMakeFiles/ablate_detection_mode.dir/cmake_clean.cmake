@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_detection_mode.dir/ablate_detection_mode.cc.o"
+  "CMakeFiles/ablate_detection_mode.dir/ablate_detection_mode.cc.o.d"
+  "ablate_detection_mode"
+  "ablate_detection_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_detection_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

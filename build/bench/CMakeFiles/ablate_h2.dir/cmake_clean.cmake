@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_h2.dir/ablate_h2.cc.o"
+  "CMakeFiles/ablate_h2.dir/ablate_h2.cc.o.d"
+  "ablate_h2"
+  "ablate_h2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_h2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_history.dir/ablate_history.cc.o"
+  "CMakeFiles/ablate_history.dir/ablate_history.cc.o.d"
+  "ablate_history"
+  "ablate_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_mad_threshold.dir/ablate_mad_threshold.cc.o"
+  "CMakeFiles/ablate_mad_threshold.dir/ablate_mad_threshold.cc.o.d"
+  "ablate_mad_threshold"
+  "ablate_mad_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_mad_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

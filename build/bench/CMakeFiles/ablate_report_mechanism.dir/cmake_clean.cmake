@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_report_mechanism.dir/ablate_report_mechanism.cc.o"
+  "CMakeFiles/ablate_report_mechanism.dir/ablate_report_mechanism.cc.o.d"
+  "ablate_report_mechanism"
+  "ablate_report_mechanism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_report_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_size_split.dir/ablate_size_split.cc.o"
+  "CMakeFiles/ablate_size_split.dir/ablate_size_split.cc.o.d"
+  "ablate_size_split"
+  "ablate_size_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_size_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_external_fraction.dir/fig01_external_fraction.cc.o"
+  "CMakeFiles/fig01_external_fraction.dir/fig01_external_fraction.cc.o.d"
+  "fig01_external_fraction"
+  "fig01_external_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_external_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_outlier_count.dir/fig02_outlier_count.cc.o"
+  "CMakeFiles/fig02_outlier_count.dir/fig02_outlier_count.cc.o.d"
+  "fig02_outlier_count"
+  "fig02_outlier_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_outlier_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_outlier_persistence.dir/fig03_outlier_persistence.cc.o"
+  "CMakeFiles/fig03_outlier_persistence.dir/fig03_outlier_persistence.cc.o.d"
+  "fig03_outlier_persistence"
+  "fig03_outlier_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_outlier_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_min_median.dir/fig10_min_median.cc.o"
+  "CMakeFiles/fig10_min_median.dir/fig10_min_median.cc.o.d"
+  "fig10_min_median"
+  "fig10_min_median.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_min_median.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

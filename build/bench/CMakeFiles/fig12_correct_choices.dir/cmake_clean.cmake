@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_correct_choices.dir/fig12_correct_choices.cc.o"
+  "CMakeFiles/fig12_correct_choices.dir/fig12_correct_choices.cc.o.d"
+  "fig12_correct_choices"
+  "fig12_correct_choices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_correct_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

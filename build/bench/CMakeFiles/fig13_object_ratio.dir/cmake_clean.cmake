@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_object_ratio.dir/fig13_object_ratio.cc.o"
+  "CMakeFiles/fig13_object_ratio.dir/fig13_object_ratio.cc.o.d"
+  "fig13_object_ratio"
+  "fig13_object_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_object_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_activation_cdf.dir/fig14_activation_cdf.cc.o"
+  "CMakeFiles/fig14_activation_cdf.dir/fig14_activation_cdf.cc.o.d"
+  "fig14_activation_cdf"
+  "fig14_activation_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_activation_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_replacement.dir/ad_replacement.cpp.o"
+  "CMakeFiles/ad_replacement.dir/ad_replacement.cpp.o.d"
+  "ad_replacement"
+  "ad_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_tool.dir/audit_tool.cpp.o"
+  "CMakeFiles/audit_tool.dir/audit_tool.cpp.o.d"
+  "audit_tool"
+  "audit_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

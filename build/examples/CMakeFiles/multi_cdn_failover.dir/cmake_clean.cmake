@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cdn_failover.dir/multi_cdn_failover.cpp.o"
+  "CMakeFiles/multi_cdn_failover.dir/multi_cdn_failover.cpp.o.d"
+  "multi_cdn_failover"
+  "multi_cdn_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cdn_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_tool.dir/rule_tool.cpp.o"
+  "CMakeFiles/rule_tool.dir/rule_tool.cpp.o.d"
+  "rule_tool"
+  "rule_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_browser.dir/browser.cc.o"
+  "CMakeFiles/oak_browser.dir/browser.cc.o.d"
+  "CMakeFiles/oak_browser.dir/report.cc.o"
+  "CMakeFiles/oak_browser.dir/report.cc.o.d"
+  "liboak_browser.a"
+  "liboak_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytics.cc" "src/core/CMakeFiles/oak_core.dir/analytics.cc.o" "gcc" "src/core/CMakeFiles/oak_core.dir/analytics.cc.o.d"
+  "/root/repo/src/core/decision_log.cc" "src/core/CMakeFiles/oak_core.dir/decision_log.cc.o" "gcc" "src/core/CMakeFiles/oak_core.dir/decision_log.cc.o.d"
+  "/root/repo/src/core/fleet.cc" "src/core/CMakeFiles/oak_core.dir/fleet.cc.o" "gcc" "src/core/CMakeFiles/oak_core.dir/fleet.cc.o.d"
+  "/root/repo/src/core/grouping.cc" "src/core/CMakeFiles/oak_core.dir/grouping.cc.o" "gcc" "src/core/CMakeFiles/oak_core.dir/grouping.cc.o.d"
+  "/root/repo/src/core/matcher.cc" "src/core/CMakeFiles/oak_core.dir/matcher.cc.o" "gcc" "src/core/CMakeFiles/oak_core.dir/matcher.cc.o.d"
+  "/root/repo/src/core/modifier.cc" "src/core/CMakeFiles/oak_core.dir/modifier.cc.o" "gcc" "src/core/CMakeFiles/oak_core.dir/modifier.cc.o.d"
+  "/root/repo/src/core/oak_server.cc" "src/core/CMakeFiles/oak_core.dir/oak_server.cc.o" "gcc" "src/core/CMakeFiles/oak_core.dir/oak_server.cc.o.d"
+  "/root/repo/src/core/persistence.cc" "src/core/CMakeFiles/oak_core.dir/persistence.cc.o" "gcc" "src/core/CMakeFiles/oak_core.dir/persistence.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/oak_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/oak_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/rule.cc" "src/core/CMakeFiles/oak_core.dir/rule.cc.o" "gcc" "src/core/CMakeFiles/oak_core.dir/rule.cc.o.d"
+  "/root/repo/src/core/rule_parser.cc" "src/core/CMakeFiles/oak_core.dir/rule_parser.cc.o" "gcc" "src/core/CMakeFiles/oak_core.dir/rule_parser.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/oak_core.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/oak_core.dir/trace.cc.o.d"
+  "/root/repo/src/core/violator.cc" "src/core/CMakeFiles/oak_core.dir/violator.cc.o" "gcc" "src/core/CMakeFiles/oak_core.dir/violator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oak_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oak_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/oak_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/oak_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/oak_page.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/oak_browser.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

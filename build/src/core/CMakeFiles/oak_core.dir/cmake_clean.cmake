@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_core.dir/analytics.cc.o"
+  "CMakeFiles/oak_core.dir/analytics.cc.o.d"
+  "CMakeFiles/oak_core.dir/decision_log.cc.o"
+  "CMakeFiles/oak_core.dir/decision_log.cc.o.d"
+  "CMakeFiles/oak_core.dir/fleet.cc.o"
+  "CMakeFiles/oak_core.dir/fleet.cc.o.d"
+  "CMakeFiles/oak_core.dir/grouping.cc.o"
+  "CMakeFiles/oak_core.dir/grouping.cc.o.d"
+  "CMakeFiles/oak_core.dir/matcher.cc.o"
+  "CMakeFiles/oak_core.dir/matcher.cc.o.d"
+  "CMakeFiles/oak_core.dir/modifier.cc.o"
+  "CMakeFiles/oak_core.dir/modifier.cc.o.d"
+  "CMakeFiles/oak_core.dir/oak_server.cc.o"
+  "CMakeFiles/oak_core.dir/oak_server.cc.o.d"
+  "CMakeFiles/oak_core.dir/persistence.cc.o"
+  "CMakeFiles/oak_core.dir/persistence.cc.o.d"
+  "CMakeFiles/oak_core.dir/policy.cc.o"
+  "CMakeFiles/oak_core.dir/policy.cc.o.d"
+  "CMakeFiles/oak_core.dir/rule.cc.o"
+  "CMakeFiles/oak_core.dir/rule.cc.o.d"
+  "CMakeFiles/oak_core.dir/rule_parser.cc.o"
+  "CMakeFiles/oak_core.dir/rule_parser.cc.o.d"
+  "CMakeFiles/oak_core.dir/trace.cc.o"
+  "CMakeFiles/oak_core.dir/trace.cc.o.d"
+  "CMakeFiles/oak_core.dir/violator.cc.o"
+  "CMakeFiles/oak_core.dir/violator.cc.o.d"
+  "liboak_core.a"
+  "liboak_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboak_core.a"
+)

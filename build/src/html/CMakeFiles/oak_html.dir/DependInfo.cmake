@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/html/build.cc" "src/html/CMakeFiles/oak_html.dir/build.cc.o" "gcc" "src/html/CMakeFiles/oak_html.dir/build.cc.o.d"
+  "/root/repo/src/html/extract.cc" "src/html/CMakeFiles/oak_html.dir/extract.cc.o" "gcc" "src/html/CMakeFiles/oak_html.dir/extract.cc.o.d"
+  "/root/repo/src/html/tokenizer.cc" "src/html/CMakeFiles/oak_html.dir/tokenizer.cc.o" "gcc" "src/html/CMakeFiles/oak_html.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

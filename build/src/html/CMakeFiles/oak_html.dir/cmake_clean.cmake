@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_html.dir/build.cc.o"
+  "CMakeFiles/oak_html.dir/build.cc.o.d"
+  "CMakeFiles/oak_html.dir/extract.cc.o"
+  "CMakeFiles/oak_html.dir/extract.cc.o.d"
+  "CMakeFiles/oak_html.dir/tokenizer.cc.o"
+  "CMakeFiles/oak_html.dir/tokenizer.cc.o.d"
+  "liboak_html.a"
+  "liboak_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

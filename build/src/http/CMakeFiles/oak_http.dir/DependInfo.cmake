@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/cache.cc" "src/http/CMakeFiles/oak_http.dir/cache.cc.o" "gcc" "src/http/CMakeFiles/oak_http.dir/cache.cc.o.d"
+  "/root/repo/src/http/cookies.cc" "src/http/CMakeFiles/oak_http.dir/cookies.cc.o" "gcc" "src/http/CMakeFiles/oak_http.dir/cookies.cc.o.d"
+  "/root/repo/src/http/headers.cc" "src/http/CMakeFiles/oak_http.dir/headers.cc.o" "gcc" "src/http/CMakeFiles/oak_http.dir/headers.cc.o.d"
+  "/root/repo/src/http/message.cc" "src/http/CMakeFiles/oak_http.dir/message.cc.o" "gcc" "src/http/CMakeFiles/oak_http.dir/message.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oak_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oak_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_http.dir/cache.cc.o"
+  "CMakeFiles/oak_http.dir/cache.cc.o.d"
+  "CMakeFiles/oak_http.dir/cookies.cc.o"
+  "CMakeFiles/oak_http.dir/cookies.cc.o.d"
+  "CMakeFiles/oak_http.dir/headers.cc.o"
+  "CMakeFiles/oak_http.dir/headers.cc.o.d"
+  "CMakeFiles/oak_http.dir/message.cc.o"
+  "CMakeFiles/oak_http.dir/message.cc.o.d"
+  "liboak_http.a"
+  "liboak_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cc" "src/net/CMakeFiles/oak_net.dir/address.cc.o" "gcc" "src/net/CMakeFiles/oak_net.dir/address.cc.o.d"
+  "/root/repo/src/net/dns.cc" "src/net/CMakeFiles/oak_net.dir/dns.cc.o" "gcc" "src/net/CMakeFiles/oak_net.dir/dns.cc.o.d"
+  "/root/repo/src/net/geo.cc" "src/net/CMakeFiles/oak_net.dir/geo.cc.o" "gcc" "src/net/CMakeFiles/oak_net.dir/geo.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/oak_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/oak_net.dir/network.cc.o.d"
+  "/root/repo/src/net/server.cc" "src/net/CMakeFiles/oak_net.dir/server.cc.o" "gcc" "src/net/CMakeFiles/oak_net.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_net.dir/address.cc.o"
+  "CMakeFiles/oak_net.dir/address.cc.o.d"
+  "CMakeFiles/oak_net.dir/dns.cc.o"
+  "CMakeFiles/oak_net.dir/dns.cc.o.d"
+  "CMakeFiles/oak_net.dir/geo.cc.o"
+  "CMakeFiles/oak_net.dir/geo.cc.o.d"
+  "CMakeFiles/oak_net.dir/network.cc.o"
+  "CMakeFiles/oak_net.dir/network.cc.o.d"
+  "CMakeFiles/oak_net.dir/server.cc.o"
+  "CMakeFiles/oak_net.dir/server.cc.o.d"
+  "liboak_net.a"
+  "liboak_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/page/corpus.cc" "src/page/CMakeFiles/oak_page.dir/corpus.cc.o" "gcc" "src/page/CMakeFiles/oak_page.dir/corpus.cc.o.d"
+  "/root/repo/src/page/inline_eval.cc" "src/page/CMakeFiles/oak_page.dir/inline_eval.cc.o" "gcc" "src/page/CMakeFiles/oak_page.dir/inline_eval.cc.o.d"
+  "/root/repo/src/page/object.cc" "src/page/CMakeFiles/oak_page.dir/object.cc.o" "gcc" "src/page/CMakeFiles/oak_page.dir/object.cc.o.d"
+  "/root/repo/src/page/site.cc" "src/page/CMakeFiles/oak_page.dir/site.cc.o" "gcc" "src/page/CMakeFiles/oak_page.dir/site.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oak_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oak_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/oak_html.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_page.dir/corpus.cc.o"
+  "CMakeFiles/oak_page.dir/corpus.cc.o.d"
+  "CMakeFiles/oak_page.dir/inline_eval.cc.o"
+  "CMakeFiles/oak_page.dir/inline_eval.cc.o.d"
+  "CMakeFiles/oak_page.dir/object.cc.o"
+  "CMakeFiles/oak_page.dir/object.cc.o.d"
+  "CMakeFiles/oak_page.dir/site.cc.o"
+  "CMakeFiles/oak_page.dir/site.cc.o.d"
+  "liboak_page.a"
+  "liboak_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

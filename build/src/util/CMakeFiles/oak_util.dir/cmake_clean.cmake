@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_util.dir/cdf.cc.o"
+  "CMakeFiles/oak_util.dir/cdf.cc.o.d"
+  "CMakeFiles/oak_util.dir/json.cc.o"
+  "CMakeFiles/oak_util.dir/json.cc.o.d"
+  "CMakeFiles/oak_util.dir/rng.cc.o"
+  "CMakeFiles/oak_util.dir/rng.cc.o.d"
+  "CMakeFiles/oak_util.dir/scope.cc.o"
+  "CMakeFiles/oak_util.dir/scope.cc.o.d"
+  "CMakeFiles/oak_util.dir/stats.cc.o"
+  "CMakeFiles/oak_util.dir/stats.cc.o.d"
+  "CMakeFiles/oak_util.dir/strings.cc.o"
+  "CMakeFiles/oak_util.dir/strings.cc.o.d"
+  "CMakeFiles/oak_util.dir/url.cc.o"
+  "CMakeFiles/oak_util.dir/url.cc.o.d"
+  "liboak_util.a"
+  "liboak_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmark_site.cc" "src/workload/CMakeFiles/oak_workload.dir/benchmark_site.cc.o" "gcc" "src/workload/CMakeFiles/oak_workload.dir/benchmark_site.cc.o.d"
+  "/root/repo/src/workload/existing_experiment.cc" "src/workload/CMakeFiles/oak_workload.dir/existing_experiment.cc.o" "gcc" "src/workload/CMakeFiles/oak_workload.dir/existing_experiment.cc.o.d"
+  "/root/repo/src/workload/existing_sites.cc" "src/workload/CMakeFiles/oak_workload.dir/existing_sites.cc.o" "gcc" "src/workload/CMakeFiles/oak_workload.dir/existing_sites.cc.o.d"
+  "/root/repo/src/workload/harness.cc" "src/workload/CMakeFiles/oak_workload.dir/harness.cc.o" "gcc" "src/workload/CMakeFiles/oak_workload.dir/harness.cc.o.d"
+  "/root/repo/src/workload/sensitivity.cc" "src/workload/CMakeFiles/oak_workload.dir/sensitivity.cc.o" "gcc" "src/workload/CMakeFiles/oak_workload.dir/sensitivity.cc.o.d"
+  "/root/repo/src/workload/survey.cc" "src/workload/CMakeFiles/oak_workload.dir/survey.cc.o" "gcc" "src/workload/CMakeFiles/oak_workload.dir/survey.cc.o.d"
+  "/root/repo/src/workload/vantage.cc" "src/workload/CMakeFiles/oak_workload.dir/vantage.cc.o" "gcc" "src/workload/CMakeFiles/oak_workload.dir/vantage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oak_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oak_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/oak_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/oak_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/oak_page.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/oak_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/oak_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

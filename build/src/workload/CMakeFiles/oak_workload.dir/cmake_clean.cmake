@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_workload.dir/benchmark_site.cc.o"
+  "CMakeFiles/oak_workload.dir/benchmark_site.cc.o.d"
+  "CMakeFiles/oak_workload.dir/existing_experiment.cc.o"
+  "CMakeFiles/oak_workload.dir/existing_experiment.cc.o.d"
+  "CMakeFiles/oak_workload.dir/existing_sites.cc.o"
+  "CMakeFiles/oak_workload.dir/existing_sites.cc.o.d"
+  "CMakeFiles/oak_workload.dir/harness.cc.o"
+  "CMakeFiles/oak_workload.dir/harness.cc.o.d"
+  "CMakeFiles/oak_workload.dir/sensitivity.cc.o"
+  "CMakeFiles/oak_workload.dir/sensitivity.cc.o.d"
+  "CMakeFiles/oak_workload.dir/survey.cc.o"
+  "CMakeFiles/oak_workload.dir/survey.cc.o.d"
+  "CMakeFiles/oak_workload.dir/vantage.cc.o"
+  "CMakeFiles/oak_workload.dir/vantage.cc.o.d"
+  "liboak_workload.a"
+  "liboak_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_decision_log_test.dir/core_decision_log_test.cc.o"
+  "CMakeFiles/core_decision_log_test.dir/core_decision_log_test.cc.o.d"
+  "core_decision_log_test"
+  "core_decision_log_test.pdb"
+  "core_decision_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_decision_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fleet_test.dir/core_fleet_test.cc.o"
+  "CMakeFiles/core_fleet_test.dir/core_fleet_test.cc.o.d"
+  "core_fleet_test"
+  "core_fleet_test.pdb"
+  "core_fleet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fleet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

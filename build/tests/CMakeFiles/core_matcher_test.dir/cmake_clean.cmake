@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_matcher_test.dir/core_matcher_test.cc.o"
+  "CMakeFiles/core_matcher_test.dir/core_matcher_test.cc.o.d"
+  "core_matcher_test"
+  "core_matcher_test.pdb"
+  "core_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

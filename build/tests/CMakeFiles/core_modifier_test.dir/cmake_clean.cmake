@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_modifier_test.dir/core_modifier_test.cc.o"
+  "CMakeFiles/core_modifier_test.dir/core_modifier_test.cc.o.d"
+  "core_modifier_test"
+  "core_modifier_test.pdb"
+  "core_modifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_modifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_oak_server_test.dir/core_oak_server_test.cc.o"
+  "CMakeFiles/core_oak_server_test.dir/core_oak_server_test.cc.o.d"
+  "core_oak_server_test"
+  "core_oak_server_test.pdb"
+  "core_oak_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_oak_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

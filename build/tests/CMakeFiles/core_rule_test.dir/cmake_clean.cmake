@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rule_test.dir/core_rule_test.cc.o"
+  "CMakeFiles/core_rule_test.dir/core_rule_test.cc.o.d"
+  "core_rule_test"
+  "core_rule_test.pdb"
+  "core_rule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

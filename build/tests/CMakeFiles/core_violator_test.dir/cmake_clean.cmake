@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_violator_test.dir/core_violator_test.cc.o"
+  "CMakeFiles/core_violator_test.dir/core_violator_test.cc.o.d"
+  "core_violator_test"
+  "core_violator_test.pdb"
+  "core_violator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_violator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

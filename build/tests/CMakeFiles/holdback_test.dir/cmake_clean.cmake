@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holdback_test.dir/holdback_test.cc.o"
+  "CMakeFiles/holdback_test.dir/holdback_test.cc.o.d"
+  "holdback_test"
+  "holdback_test.pdb"
+  "holdback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holdback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_page_test.dir/multi_page_test.cc.o"
+  "CMakeFiles/multi_page_test.dir/multi_page_test.cc.o.d"
+  "multi_page_test"
+  "multi_page_test.pdb"
+  "multi_page_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/net_test.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/oak_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/oak_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/oak_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/oak_page.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/oak_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/oak_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oak_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

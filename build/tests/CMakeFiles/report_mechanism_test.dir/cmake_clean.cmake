@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_mechanism_test.dir/report_mechanism_test.cc.o"
+  "CMakeFiles/report_mechanism_test.dir/report_mechanism_test.cc.o.d"
+  "report_mechanism_test"
+  "report_mechanism_test.pdb"
+  "report_mechanism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_mechanism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_scope_test.dir/util_scope_test.cc.o"
+  "CMakeFiles/util_scope_test.dir/util_scope_test.cc.o.d"
+  "util_scope_test"
+  "util_scope_test.pdb"
+  "util_scope_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_scope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

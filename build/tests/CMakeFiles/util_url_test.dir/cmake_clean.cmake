@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_url_test.dir/util_url_test.cc.o"
+  "CMakeFiles/util_url_test.dir/util_url_test.cc.o.d"
+  "util_url_test"
+  "util_url_test.pdb"
+  "util_url_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_url_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_survey_test.dir/workload_survey_test.cc.o"
+  "CMakeFiles/workload_survey_test.dir/workload_survey_test.cc.o.d"
+  "workload_survey_test"
+  "workload_survey_test.pdb"
+  "workload_survey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_survey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
