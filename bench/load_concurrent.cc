@@ -1,0 +1,266 @@
+// Report-ingestion throughput: sharded + memoized serving plane vs the
+// single-mutex baseline.
+//
+// M client threads POST performance reports at one site. Each report names
+// several MAD violators, so ingestion pays the full §4.2.2 bill: grouping,
+// detection, and a three-tier connection-dependency probe of every
+// configured rule against every violator — including tier-3 script fetches
+// and a rule set padded with realistic multi-KB rule bodies that never
+// match (the worst case: each probe scans the whole text).
+//
+// Configurations:
+//   single-mutex-nocache   ConcurrentOakServer, match cache disabled — the
+//                          pre-sharding seed behavior, the baseline.
+//   sharded-{1,4,8,16}     ShardedOakServer with the per-shard match cache.
+//
+// Emits BENCH_concurrency.json (reports/sec, cache hit rates, contention
+// counts per run) and prints the acceptance line: sharded-8 at 8 threads
+// must clear 3x the baseline. On a single-core host the win comes almost
+// entirely from memoization; sharding adds headroom with real cores.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/concurrent_server.h"
+#include "core/sharded_server.h"
+#include "http/cookies.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace oak;
+
+constexpr const char* kViolators[] = {"v0.net", "v1.net", "v2.net"};
+constexpr const char* kHealthy[] = {"ok0.net", "ok1.net", "ok2.net",
+                                    "ok3.net", "ok4.net"};
+constexpr std::size_t kFillerRules = 20;
+constexpr std::size_t kFillerBytes = 8 * 1024;
+
+// A multi-KB rule body with URL-shaped references that resolve to hosts no
+// report ever blames — every probe tokenizes and scans all of it for
+// nothing, exactly like a real operator's big template rules.
+std::string filler_text(std::size_t index) {
+  util::Rng rng(1000 + index);
+  std::string text = "<div class=\"widget-" + std::to_string(index) + "\">\n";
+  while (text.size() < kFillerBytes) {
+    const std::string h = "asset" + std::to_string(rng.uniform_int(0, 500)) +
+                          ".static" + std::to_string(index) + ".example";
+    text += "<script src=\"http://" + h + "/w" +
+            std::to_string(rng.uniform_int(0, 99)) + ".js\"></script>\n"
+            "<p>module " + std::to_string(rng.uniform_int(0, 1 << 20)) +
+            " configuration block</p>\n";
+  }
+  text += "</div>\n";
+  return text;
+}
+
+std::vector<core::Rule> build_rules() {
+  std::vector<core::Rule> rules;
+  // Rules that actually fire: one per violator (tier 1/2) and one reached
+  // only through the aggregator script body (tier 3).
+  for (const char* v : kViolators) {
+    rules.push_back(core::make_domain_rule(std::string("switch-") + v, v,
+                                           {"alt." + std::string(v)}));
+  }
+  rules.push_back(
+      core::make_domain_rule("via-script", "agg.net", {"alt.agg.net"}));
+  for (std::size_t i = 0; i < kFillerRules; ++i) {
+    rules.push_back(core::make_source_rule(
+        "filler" + std::to_string(i), filler_text(i),
+        {"<!-- widget " + std::to_string(i) + " disabled -->"}));
+  }
+  return rules;
+}
+
+struct Workload {
+  page::WebUniverse universe{net::NetworkConfig{.seed = 29, .horizon_s = 0}};
+  std::string wire;  // one report: 3 direct violators + a tier-3 one
+
+  Workload() {
+    net::Network& net = universe.network();
+    net::ServerId origin = net.add_server(net::ServerConfig{.name = "origin"});
+    universe.dns().bind("busy.com", net.server(origin).addr());
+    std::map<std::string, std::string> ips;
+    auto bind = [&](const std::string& host) {
+      net::ServerId sid = net.add_server(net::ServerConfig{});
+      universe.dns().bind(host, net.server(sid).addr());
+      ips[host] = net.server(sid).addr().to_string();
+    };
+    for (const char* h : kViolators) bind(h);
+    for (const char* h : kHealthy) bind(h);
+    bind("agg.net");
+    bind("hidden.cdn.net");
+
+    page::SiteBuilder b(universe, "busy.com", origin);
+    for (const char* h : kViolators) {
+      b.add_direct(h, "/o.js", html::RefKind::kScript, 9000,
+                   page::Category::kCdn);
+    }
+    for (const char* h : kHealthy) {
+      b.add_direct(h, "/o.js", html::RefKind::kScript, 9000,
+                   page::Category::kCdn);
+    }
+    b.add_script_with_induced(
+        "agg.net", "/loader.js", 4000, page::Category::kAds,
+        {{"hidden.cdn.net", "/pix.png", html::RefKind::kImage, 7000,
+          page::Category::kAds}});
+    page::Site site = b.finish();
+
+    browser::PerfReport r;
+    r.page_url = site.index_url();
+    r.entries.push_back(
+        {site.index_url(), "busy.com", "10.0.0.1", 4000, 0, 0.09});
+    double slow = 4.0;
+    for (const char* h : kViolators) {
+      r.entries.push_back(
+          {"http://" + std::string(h) + "/o.js", h, ips[h], 9000, 0.1, slow});
+      slow -= 0.4;
+    }
+    for (const char* h : kHealthy) {
+      r.entries.push_back(
+          {"http://" + std::string(h) + "/o.js", h, ips[h], 9000, 0.1, 0.11});
+    }
+    r.entries.push_back({"http://agg.net/loader.js", "agg.net", ips["agg.net"],
+                         4000, 0.1, 0.12});
+    r.entries.push_back({"http://hidden.cdn.net/pix.png", "hidden.cdn.net",
+                         ips["hidden.cdn.net"], 7000, 0.1, 3.2});
+    wire = r.serialize();
+  }
+};
+
+struct RunResult {
+  std::string config;
+  std::size_t shards = 0;  // 0 = single-mutex baseline
+  double seconds = 0.0;
+  double reports_per_sec = 0.0;
+  double memo_hit_rate = 0.0;
+  double script_hit_rate = 0.0;
+  std::uint64_t contentions = 0;
+};
+
+// Drive `threads` client threads, each POSTing `reports` reports under its
+// own user id, against any server exposing handle(). Returns wall seconds.
+template <typename ServerT>
+double drive(ServerT& server, const Workload& w, int threads, int reports) {
+  std::vector<std::thread> pool;
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      const std::string cookie =
+          std::string(http::kOakUserCookie) + "=bench-u" + std::to_string(t);
+      for (int i = 0; i < reports; ++i) {
+        http::Request post =
+            http::Request::post("http://busy.com/oak/report", w.wire);
+        post.headers.set("Cookie", cookie);
+        http::Response resp = server.handle(post, double(i));
+        if (resp.status >= 400) {
+          std::fprintf(stderr, "report rejected: %d\n", resp.status);
+          std::abort();
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+RunResult run_baseline(int threads, int reports) {
+  Workload w;
+  core::OakConfig cfg;
+  cfg.matcher.enable_cache = false;  // the seed's matcher: no memoization
+  core::ConcurrentOakServer server(w.universe, "busy.com", cfg);
+  for (auto& r : build_rules()) server.add_rule(std::move(r));
+  RunResult res;
+  res.config = "single-mutex-nocache";
+  res.seconds = drive(server, w, threads, reports);
+  res.reports_per_sec = double(threads) * reports / res.seconds;
+  return res;
+}
+
+RunResult run_sharded(std::size_t shards, int threads, int reports) {
+  Workload w;
+  core::ShardedOakServer server(w.universe, "busy.com", core::OakConfig{},
+                                shards);
+  server.add_rules(build_rules());
+  RunResult res;
+  res.config = "sharded-" + std::to_string(shards);
+  res.shards = shards;
+  res.seconds = drive(server, w, threads, reports);
+  res.reports_per_sec = double(threads) * reports / res.seconds;
+  const core::MatchCacheStats cache = server.match_cache_stats();
+  res.memo_hit_rate = cache.memo_hit_rate();
+  res.script_hit_rate = cache.script_hit_rate();
+  res.contentions = server.shard_stats().contentions;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 8;
+  int reports = 250;
+  if (argc > 1) threads = std::max(1, std::atoi(argv[1]));
+  if (argc > 2) reports = std::max(1, std::atoi(argv[2]));
+
+  std::printf("report ingestion: %d threads x %d reports, %zu rules "
+              "(%zu x %zuKB filler)\n\n",
+              threads, reports, 4 + kFillerRules, kFillerRules,
+              kFillerBytes / 1024);
+  std::printf("%-22s %10s %12s %10s %10s %12s\n", "config", "seconds",
+              "reports/s", "memo-hit", "script-hit", "contentions");
+
+  std::vector<RunResult> runs;
+  runs.push_back(run_baseline(threads, reports));
+  for (std::size_t shards : {1u, 4u, 8u, 16u}) {
+    runs.push_back(run_sharded(shards, threads, reports));
+  }
+
+  const double baseline_rps = runs[0].reports_per_sec;
+  util::JsonArray out_runs;
+  double sharded8_speedup = 0.0;
+  for (const RunResult& r : runs) {
+    std::printf("%-22s %10.3f %12.0f %9.1f%% %9.1f%% %12llu\n",
+                r.config.c_str(), r.seconds, r.reports_per_sec,
+                100.0 * r.memo_hit_rate, 100.0 * r.script_hit_rate,
+                static_cast<unsigned long long>(r.contentions));
+    util::JsonObject o;
+    o["config"] = r.config;
+    o["shards"] = r.shards;
+    o["threads"] = threads;
+    o["reports_per_thread"] = reports;
+    o["seconds"] = r.seconds;
+    o["reports_per_sec"] = r.reports_per_sec;
+    o["speedup_vs_baseline"] = r.reports_per_sec / baseline_rps;
+    o["memo_hit_rate"] = r.memo_hit_rate;
+    o["script_cache_hit_rate"] = r.script_hit_rate;
+    o["shard_contentions"] = r.contentions;
+    out_runs.push_back(util::Json(std::move(o)));
+    if (r.shards == 8) sharded8_speedup = r.reports_per_sec / baseline_rps;
+  }
+
+  util::JsonObject root;
+  root["bench"] = std::string("load_concurrent");
+  root["threads"] = threads;
+  root["reports_per_thread"] = reports;
+  root["runs"] = std::move(out_runs);
+  util::JsonObject acceptance;
+  acceptance["sharded8_speedup"] = sharded8_speedup;
+  acceptance["required"] = 3.0;
+  acceptance["pass"] = sharded8_speedup >= 3.0;
+  root["acceptance"] = std::move(acceptance);
+
+  std::ofstream("BENCH_concurrency.json")
+      << util::Json(std::move(root)).dump_pretty(2) << "\n";
+
+  std::printf("\nsharded-8 speedup vs single-mutex baseline: %.2fx "
+              "(required >= 3.00x) -> %s\n",
+              sharded8_speedup, sharded8_speedup >= 3.0 ? "PASS" : "FAIL");
+  std::printf("wrote BENCH_concurrency.json\n");
+  return sharded8_speedup >= 3.0 ? 0 : 1;
+}

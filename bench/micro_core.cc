@@ -76,7 +76,9 @@ BENCHMARK(BM_ReportParse)->Arg(8)->Arg(64);
 
 void BM_MatcherTiers(benchmark::State& state) {
   static const std::string page = corpus_page();
-  core::Matcher matcher(nullptr);
+  core::MatcherConfig cfg;
+  cfg.enable_cache = false;  // every iteration pays the full 3-tier scan
+  core::Matcher matcher(nullptr, cfg);
   const std::vector<std::string> domains = {"stats.g.doubleclick.net"};
   for (auto _ : state) {
     auto tier = matcher.match_text(page, domains);
@@ -85,6 +87,21 @@ void BM_MatcherTiers(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * page.size());
 }
 BENCHMARK(BM_MatcherTiers);
+
+// Same question through the memo: after the first iteration every answer is
+// a hash lookup. The gap to BM_MatcherTiers is what the sharded server's
+// per-shard cache saves on repeated reports.
+void BM_MatcherTiersMemoized(benchmark::State& state) {
+  static const std::string page = corpus_page();
+  core::Matcher matcher(nullptr);
+  const std::vector<std::string> domains = {"stats.g.doubleclick.net"};
+  for (auto _ : state) {
+    auto tier = matcher.match_text(page, domains);
+    benchmark::DoNotOptimize(tier);
+  }
+  state.SetBytesProcessed(state.iterations() * page.size());
+}
+BENCHMARK(BM_MatcherTiersMemoized);
 
 void BM_PageRewrite(benchmark::State& state) {
   static const std::string page = corpus_page();

@@ -172,6 +172,20 @@ util::Json SiteAnalytics::to_json() const {
     root["lift"] = std::move(lift);
   }
 
+  if (concurrency_.valid()) {
+    util::JsonObject conc;
+    conc["shards"] = concurrency_.shards;
+    conc["requests_handled"] = concurrency_.requests_handled;
+    conc["shard_contentions"] = concurrency_.shard_contentions;
+    conc["match_memo_hits"] = concurrency_.match_memo_hits;
+    conc["match_memo_misses"] = concurrency_.match_memo_misses;
+    conc["match_memo_hit_rate"] = concurrency_.memo_hit_rate();
+    conc["script_cache_hits"] = concurrency_.script_cache_hits;
+    conc["script_fetches"] = concurrency_.script_fetches;
+    conc["script_cache_hit_rate"] = concurrency_.script_hit_rate();
+    root["concurrency"] = std::move(conc);
+  }
+
   util::JsonArray rules;
   for (const auto& s : rules_) {
     util::JsonObject o;
@@ -223,6 +237,18 @@ std::string SiteAnalytics::to_report() const {
         "users)\n\n",
         lift_.treated_mean_plt_s * 1000.0, lift_.holdback_mean_plt_s * 1000.0,
         lift_.ratio, lift_.treated_users, lift_.holdback_users);
+  }
+  if (concurrency_.valid()) {
+    out += util::format(
+        "  serving: %zu shards, %llu requests (%llu lock waits)\n"
+        "  match cache: %.0f%% memo hits, %.0f%% script-body hits "
+        "(%llu fetches)\n\n",
+        concurrency_.shards,
+        static_cast<unsigned long long>(concurrency_.requests_handled),
+        static_cast<unsigned long long>(concurrency_.shard_contentions),
+        concurrency_.memo_hit_rate() * 100.0,
+        concurrency_.script_hit_rate() * 100.0,
+        static_cast<unsigned long long>(concurrency_.script_fetches));
   }
   out += "rules by activations:\n";
   for (const auto& s : rules_) {

@@ -64,6 +64,30 @@ struct LiftEstimate {
   bool valid() const { return treated_users > 0 && holdback_users > 0; }
 };
 
+// Serving-plane counters from the sharded front (core/sharded_server.h):
+// how requests spread over lock shards and how much matcher work the memo
+// layer absorbed. All-zero (valid() == false) when auditing a plain
+// single-threaded OakServer.
+struct ConcurrencyCounters {
+  std::size_t shards = 0;
+  std::uint64_t requests_handled = 0;
+  std::uint64_t shard_contentions = 0;  // lock waits on the request plane
+  std::uint64_t match_memo_hits = 0;
+  std::uint64_t match_memo_misses = 0;
+  std::uint64_t script_cache_hits = 0;
+  std::uint64_t script_fetches = 0;
+
+  bool valid() const { return shards > 0; }
+  double memo_hit_rate() const {
+    const std::uint64_t total = match_memo_hits + match_memo_misses;
+    return total == 0 ? 0.0 : double(match_memo_hits) / double(total);
+  }
+  double script_hit_rate() const {
+    const std::uint64_t total = script_cache_hits + script_fetches;
+    return total == 0 ? 0.0 : double(script_cache_hits) / double(total);
+  }
+};
+
 struct SiteSummary {
   std::string site_host;
   std::size_t users = 0;
@@ -95,6 +119,13 @@ class SiteAnalytics {
 
   const LiftEstimate& lift() const { return lift_; }
 
+  // Attached by ShardedOakServer::audit(); defaults to invalid (absent from
+  // the JSON/report output) for single-threaded servers.
+  void set_concurrency(ConcurrencyCounters counters) {
+    concurrency_ = counters;
+  }
+  const ConcurrencyCounters& concurrency() const { return concurrency_; }
+
   // A machine-readable export of the whole audit (stable key order).
   util::Json to_json() const;
   // A human-readable report.
@@ -105,6 +136,7 @@ class SiteAnalytics {
   std::vector<RuleStats> rules_;
   std::vector<ViolatorStats> violators_;
   LiftEstimate lift_;
+  ConcurrencyCounters concurrency_;
 };
 
 }  // namespace oak::core

@@ -1,4 +1,4 @@
-// Thread-safe front for an OakServer.
+// Thread-safe front for an OakServer — the single-mutex baseline.
 //
 // The paper's prototype is "a multi-threaded server in Python" (§5): page
 // requests and report POSTs arrive concurrently. OakServer itself is a
@@ -6,11 +6,12 @@
 // deterministic for the experiments); ConcurrentOakServer adds the locking
 // needed to drive one from many request threads.
 //
-// Locking model: one mutex over all mutable state. Oak's per-request work is
-// microseconds (see bench/micro_core) and orders of magnitude below the
-// network time of the requests themselves, so a single lock is the right
-// trade — no lock ordering to get wrong, no torn profiles. Read-mostly
-// introspection (snapshotting, audits) shares the same lock.
+// Locking model: one mutex over all mutable state — no lock ordering to get
+// wrong, no torn profiles, and no scaling either: every core funnels
+// through the same lock. Production serving uses ShardedOakServer
+// (core/sharded_server.h), which partitions profiles into lock shards; this
+// wrapper is retained as the baseline that bench/load_concurrent measures
+// the sharded path against.
 #pragma once
 
 #include <mutex>
@@ -43,11 +44,11 @@ class ConcurrentOakServer {
 
   // Register this server as the universe handler. The handler captures
   // `this`; the wrapper must outlive the universe's use of it.
-  void install(page::WebUniverse& universe) {
-    universe.set_handler(server_.site_host(),
-                         [this](const http::Request& req, double now) {
-                           return handle(req, now);
-                         });
+  void install() {
+    server_.universe().set_handler(
+        server_.site_host(), [this](const http::Request& req, double now) {
+          return handle(req, now);
+        });
   }
 
   // Consistent point-in-time snapshot (for persistence or failover).

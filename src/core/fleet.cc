@@ -2,18 +2,20 @@
 
 namespace oak::core {
 
-OakServer& Fleet::site(const std::string& site_host) {
+ShardedOakServer& Fleet::site(const std::string& site_host) {
   auto it = servers_.find(site_host);
   if (it == servers_.end()) {
     it = servers_
-             .emplace(site_host, std::make_unique<OakServer>(
-                                     universe_, site_host, base_config_))
+             .emplace(site_host,
+                      std::make_unique<ShardedOakServer>(
+                          universe_, site_host, base_config_,
+                          shards_per_site_))
              .first;
   }
   return *it->second;
 }
 
-const OakServer* Fleet::find(const std::string& site_host) const {
+const ShardedOakServer* Fleet::find(const std::string& site_host) const {
   auto it = servers_.find(site_host);
   return it == servers_.end() ? nullptr : it->second.get();
 }
@@ -36,8 +38,7 @@ Fleet::FleetSummary Fleet::summary() const {
     s.users += server->user_count();
     s.reports += server->reports_processed();
     s.rules += server->rules().size();
-    s.total_activations +=
-        server->decision_log().count(DecisionType::kActivate);
+    s.total_activations += server->decision_count(DecisionType::kActivate);
   }
   return s;
 }
@@ -45,7 +46,7 @@ Fleet::FleetSummary Fleet::summary() const {
 std::map<std::string, SiteAnalytics> Fleet::audit_all() const {
   std::map<std::string, SiteAnalytics> out;
   for (const auto& [host, server] : servers_) {
-    out.emplace(host, SiteAnalytics(*server));
+    out.emplace(host, server->audit());
   }
   return out;
 }

@@ -2,10 +2,15 @@
 //
 // The paper evaluates Oak per site, but an operator (or a hosting platform)
 // runs it for a portfolio — the §5.3 experiment itself manages ten sites.
-// Fleet owns one OakServer per site host, applies a shared base
+// Fleet owns one ShardedOakServer per site host, applies a shared base
 // configuration, installs every handler, and aggregates auditing and
 // persistence across the portfolio. Profiles remain strictly per site:
 // Oak's identity cookie is scoped to the origin, exactly as in the paper.
+//
+// install_all() registers the *sharded* (thread-safe) handlers, so a fleet
+// can be driven from request threads directly — there is no unsynchronized
+// side door on the request plane. Single-threaded phases (tests, harness
+// setup) may still reach a specific shard via ShardedOakServer::shard().
 #pragma once
 
 #include <map>
@@ -14,26 +19,29 @@
 #include <vector>
 
 #include "core/analytics.h"
-#include "core/oak_server.h"
+#include "core/sharded_server.h"
 
 namespace oak::core {
 
 class Fleet {
  public:
-  Fleet(page::WebUniverse& universe, OakConfig base_config = {})
-      : universe_(universe), base_config_(std::move(base_config)) {}
+  Fleet(page::WebUniverse& universe, OakConfig base_config = {},
+        std::size_t shards_per_site = ShardedOakServer::kDefaultShards)
+      : universe_(universe),
+        base_config_(std::move(base_config)),
+        shards_per_site_(shards_per_site) {}
 
   // Create (or fetch) the server for `site_host`. New servers start from
   // the fleet's base configuration.
-  OakServer& site(const std::string& site_host);
-  const OakServer* find(const std::string& site_host) const;
+  ShardedOakServer& site(const std::string& site_host);
+  const ShardedOakServer* find(const std::string& site_host) const;
   bool has(const std::string& site_host) const {
     return servers_.count(site_host) > 0;
   }
   std::size_t size() const { return servers_.size(); }
   std::vector<std::string> hosts() const;
 
-  // Register every site's handler on the universe.
+  // Register every site's thread-safe handler on the universe.
   void install_all();
 
   // Portfolio roll-up of the per-site audits.
@@ -59,7 +67,8 @@ class Fleet {
  private:
   page::WebUniverse& universe_;
   OakConfig base_config_;
-  std::map<std::string, std::unique_ptr<OakServer>> servers_;
+  std::size_t shards_per_site_;
+  std::map<std::string, std::unique_ptr<ShardedOakServer>> servers_;
 };
 
 }  // namespace oak::core

@@ -1,0 +1,109 @@
+#include "core/match_cache.h"
+
+#include "core/matcher.h"
+
+namespace oak::core {
+
+MatchCacheStats& MatchCacheStats::operator+=(const MatchCacheStats& o) {
+  memo_hits += o.memo_hits;
+  memo_misses += o.memo_misses;
+  script_hits += o.script_hits;
+  script_fetches += o.script_fetches;
+  script_refreshes += o.script_refreshes;
+  invalidations += o.invalidations;
+  return *this;
+}
+
+std::uint64_t fnv1a(const std::string& s, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(const std::vector<std::string>& strings) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& s : strings) {
+    h = fnv1a(s, h);
+    // Separator so {"ab","c"} and {"a","bc"} hash apart.
+    h ^= 0x1f;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+MatchCache::MatchCache(MatchCacheConfig cfg) : cfg_(cfg) {
+  // A zero-capacity cache would evict the entry being returned.
+  if (cfg_.script_capacity == 0) cfg_.script_capacity = 1;
+  if (cfg_.memo_capacity == 0) cfg_.memo_capacity = 1;
+}
+
+std::optional<MatchTier> MatchCache::memo_lookup(const MemoKey& key,
+                                                 double now) {
+  auto it = memo_.find(key);
+  const bool fresh =
+      it != memo_.end() && (cfg_.script_ttl_s <= 0.0 ||
+                            now - it->second.computed_at < cfg_.script_ttl_s);
+  if (!fresh) {
+    ++stats_.memo_misses;
+    return std::nullopt;
+  }
+  ++stats_.memo_hits;
+  return it->second.tier;
+}
+
+void MatchCache::memo_store(const MemoKey& key, MatchTier tier, double now) {
+  // Wholesale reset at capacity: the memo is rebuilt from the hot working
+  // set within a handful of reports, which beats tracking per-entry LRU on
+  // the fast path.
+  if (memo_.size() >= cfg_.memo_capacity) memo_.clear();
+  memo_[key] = MemoEntry{tier, now};
+}
+
+void MatchCache::invalidate_memo() {
+  if (memo_.empty()) return;
+  memo_.clear();
+  ++stats_.invalidations;
+}
+
+const std::optional<std::string>& MatchCache::script_body(
+    const std::string& url, double now, const ScriptFetcher& fetch) {
+  auto it = scripts_.find(url);
+  if (it != scripts_.end()) {
+    ScriptEntry& e = *it->second;
+    const bool fresh =
+        cfg_.script_ttl_s <= 0.0 || now - e.fetched_at < cfg_.script_ttl_s;
+    if (fresh) {
+      ++stats_.script_hits;
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      return e.body;
+    }
+    // TTL lapsed: refresh in place. A changed body means memoized tier-3
+    // verdicts may be stale.
+    ++stats_.script_fetches;
+    ++stats_.script_refreshes;
+    std::optional<std::string> body = fetch ? fetch(url) : std::nullopt;
+    if (body != e.body) invalidate_memo();
+    e.body = std::move(body);
+    e.fetched_at = now;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return e.body;
+  }
+
+  ++stats_.script_fetches;
+  ScriptEntry e;
+  e.url = url;
+  e.body = fetch ? fetch(url) : std::nullopt;
+  e.fetched_at = now;
+  lru_.push_front(std::move(e));
+  scripts_[url] = lru_.begin();
+  if (scripts_.size() > cfg_.script_capacity) {
+    scripts_.erase(lru_.back().url);
+    lru_.pop_back();
+  }
+  return lru_.front().body;
+}
+
+}  // namespace oak::core

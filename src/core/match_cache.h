@@ -1,0 +1,129 @@
+// Memoization layer for the §4.2.2 connection-dependency matcher.
+//
+// Per-report matching is O(rules × violators), and every tier-3 probe
+// re-fetches and re-scans an external script body. Third-party object
+// populations are heavy-tailed but highly repetitive across page loads
+// (adPerf, Web View), so the same (rule text, violator domains) questions —
+// and the same script bodies — recur on almost every report. MatchCache
+// turns that repeated work into hash lookups:
+//
+//  * a script-body LRU with TTL: external scripts are configuration-stable
+//    within a session, so a fetched body is reused until its TTL lapses
+//    (negative results — unfetchable scripts — are cached too);
+//  * a memo table keyed by (rule-text hash, violator-domain hash, reported-
+//    script-set hash) → MatchTier. Including the reported script set in the
+//    key keeps the memo exact: tier 3 depends on which scripts the client
+//    reported, and reports from the same page load carry the same set.
+//
+// Invalidation: the owner clears the memo whenever the rule set changes
+// (add_rule / remove_rule), and the cache clears it itself when a TTL
+// refresh observes a script body that actually changed.
+//
+// MatchCache is NOT thread-safe; in the sharded server each shard's matcher
+// owns its own cache, so lookups never contend across shards.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace oak::core {
+
+enum class MatchTier;  // core/matcher.h
+
+struct MatchCacheConfig {
+  std::size_t script_capacity = 256;   // LRU entries (positive or negative)
+  double script_ttl_s = 300.0;         // 0 = bodies never expire
+  std::size_t memo_capacity = 1 << 16; // memo entries before wholesale reset
+};
+
+struct MatchCacheStats {
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  std::uint64_t script_hits = 0;      // body served from cache
+  std::uint64_t script_fetches = 0;   // fetcher actually invoked
+  std::uint64_t script_refreshes = 0; // fetches caused by TTL expiry
+  std::uint64_t invalidations = 0;    // memo clears (rule churn, body change)
+
+  double memo_hit_rate() const {
+    const std::uint64_t total = memo_hits + memo_misses;
+    return total == 0 ? 0.0 : double(memo_hits) / double(total);
+  }
+  double script_hit_rate() const {
+    const std::uint64_t total = script_hits + script_fetches;
+    return total == 0 ? 0.0 : double(script_hits) / double(total);
+  }
+  MatchCacheStats& operator+=(const MatchCacheStats& o);
+};
+
+// FNV-1a over a string; the building block for memo keys.
+std::uint64_t fnv1a(const std::string& s, std::uint64_t seed = 1469598103934665603ull);
+std::uint64_t fnv1a(const std::vector<std::string>& strings);
+
+class MatchCache {
+ public:
+  using ScriptFetcher =
+      std::function<std::optional<std::string>(const std::string& url)>;
+
+  explicit MatchCache(MatchCacheConfig cfg = {});
+
+  // --- Memo table.
+  struct MemoKey {
+    std::uint64_t text_hash = 0;
+    std::uint64_t domains_hash = 0;
+    std::uint64_t scripts_hash = 0;
+    bool operator==(const MemoKey&) const = default;
+  };
+  // Memo entries share the script TTL: a verdict older than script_ttl_s is
+  // treated as a miss, so tier-3 questions re-consult (and re-fetch, when
+  // expired) the underlying script bodies instead of pinning a stale answer.
+  std::optional<MatchTier> memo_lookup(const MemoKey& key, double now);
+  void memo_store(const MemoKey& key, MatchTier tier, double now);
+  // Rule set changed: every memoized verdict is suspect.
+  void invalidate_memo();
+
+  // --- Script-body cache. Returns the cached body (nullopt = known
+  // unfetchable), fetching through `fetch` on miss or TTL expiry. A refresh
+  // that observes a changed body invalidates the memo table.
+  const std::optional<std::string>& script_body(const std::string& url,
+                                                double now,
+                                                const ScriptFetcher& fetch);
+
+  const MatchCacheStats& stats() const { return stats_; }
+  const MatchCacheConfig& config() const { return cfg_; }
+  std::size_t memo_size() const { return memo_.size(); }
+  std::size_t script_cache_size() const { return scripts_.size(); }
+
+ private:
+  struct MemoKeyHash {
+    std::size_t operator()(const MemoKey& k) const {
+      std::uint64_t h = k.text_hash;
+      h = (h ^ k.domains_hash) * 0x100000001b3ull;
+      h = (h ^ k.scripts_hash) * 0x100000001b3ull;
+      return std::size_t(h);
+    }
+  };
+  struct ScriptEntry {
+    std::string url;
+    std::optional<std::string> body;
+    double fetched_at = 0.0;
+  };
+
+  struct MemoEntry {
+    MatchTier tier;
+    double computed_at = 0.0;
+  };
+
+  MatchCacheConfig cfg_;
+  std::unordered_map<MemoKey, MemoEntry, MemoKeyHash> memo_;
+  // LRU: most-recently-used at the front; map values point into the list.
+  std::list<ScriptEntry> lru_;
+  std::unordered_map<std::string, std::list<ScriptEntry>::iterator> scripts_;
+  MatchCacheStats stats_;
+};
+
+}  // namespace oak::core

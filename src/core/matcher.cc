@@ -17,7 +17,20 @@ std::string to_string(MatchTier t) {
 }
 
 Matcher::Matcher(ScriptFetcher fetch_script, MatcherConfig cfg)
-    : fetch_script_(std::move(fetch_script)), cfg_(cfg) {}
+    : fetch_script_(std::move(fetch_script)), cfg_(cfg) {
+  if (cfg_.enable_cache) cache_ = std::make_unique<MatchCache>(cfg_.cache);
+}
+
+Matcher::~Matcher() = default;
+
+void Matcher::invalidate_memo() {
+  if (cache_) cache_->invalidate_memo();
+  rule_text_hash_.clear();
+}
+
+const MatchCacheStats* Matcher::cache_stats() const {
+  return cache_ ? &cache_->stats() : nullptr;
+}
 
 bool Matcher::direct_include(const std::string& text,
                              const std::vector<std::string>& domains) const {
@@ -41,11 +54,16 @@ bool Matcher::text_mention(const std::string& text,
   return false;
 }
 
-MatchTier Matcher::match_text(
-    const std::string& rule_text,
-    const std::vector<std::string>& violator_domains,
-    const std::vector<std::string>& scripts) const {
-  if (violator_domains.empty()) return MatchTier::kNone;
+std::optional<std::string> Matcher::fetch_body(const std::string& url,
+                                               double now) const {
+  if (cache_) return cache_->script_body(url, now, fetch_script_);
+  return fetch_script_(url);
+}
+
+MatchTier Matcher::compute(const std::string& rule_text,
+                           const std::vector<std::string>& violator_domains,
+                           const std::vector<std::string>& scripts,
+                           double now) const {
   if (direct_include(rule_text, violator_domains)) return MatchTier::kDirect;
   if (cfg_.enable_text && text_mention(rule_text, violator_domains)) {
     return MatchTier::kText;
@@ -59,7 +77,7 @@ MatchTier Matcher::match_text(
       const bool labeled = direct_include(rule_text, script_domain) ||
                            text_mention(rule_text, script_domain);
       if (!labeled) continue;
-      auto body = fetch_script_(script_url);
+      auto body = fetch_body(script_url, now);
       if (!body) continue;
       if (direct_include(*body, violator_domains) ||
           text_mention(*body, violator_domains)) {
@@ -70,10 +88,47 @@ MatchTier Matcher::match_text(
   return MatchTier::kNone;
 }
 
+MatchTier Matcher::match_hashed(std::uint64_t text_hash,
+                                const std::string& rule_text,
+                                const std::vector<std::string>& violator_domains,
+                                const std::vector<std::string>& scripts,
+                                double now) const {
+  // The reported script set is part of the key: tier 3 depends on which
+  // scripts the client loaded, and including it keeps the memo exact.
+  const MatchCache::MemoKey key{text_hash, fnv1a(violator_domains),
+                                fnv1a(scripts)};
+  if (auto memo = cache_->memo_lookup(key, now)) return *memo;
+  // compute() may invalidate the memo (TTL refresh with a changed body);
+  // the store below then records the verdict under the fresh body.
+  const MatchTier tier = compute(rule_text, violator_domains, scripts, now);
+  cache_->memo_store(key, tier, now);
+  return tier;
+}
+
+MatchTier Matcher::match_text(const std::string& rule_text,
+                              const std::vector<std::string>& violator_domains,
+                              const std::vector<std::string>& scripts,
+                              double now) const {
+  if (violator_domains.empty()) return MatchTier::kNone;
+  if (!cache_) return compute(rule_text, violator_domains, scripts, now);
+  return match_hashed(fnv1a(rule_text), rule_text, violator_domains, scripts,
+                      now);
+}
+
 MatchTier Matcher::match_rule(const Rule& rule,
                               const std::vector<std::string>& violator_domains,
-                              const std::vector<std::string>& scripts) const {
-  return match_text(rule.default_text, violator_domains, scripts);
+                              const std::vector<std::string>& scripts,
+                              double now) const {
+  if (violator_domains.empty()) return MatchTier::kNone;
+  if (!cache_ || rule.id == 0) {
+    return match_text(rule.default_text, violator_domains, scripts, now);
+  }
+  auto it = rule_text_hash_.find(rule.id);
+  if (it == rule_text_hash_.end()) {
+    it = rule_text_hash_.emplace(rule.id, fnv1a(rule.default_text)).first;
+  }
+  return match_hashed(it->second, rule.default_text, violator_domains,
+                      scripts, now);
 }
 
 std::vector<std::string> report_script_urls(

@@ -16,13 +16,23 @@
 //
 // Oak is explicitly *not* tracking execution/ordering dependencies; it only
 // answers "did this block cause a connection to that server?" (Fig. 6).
+//
+// Matching is memoized through an optional MatchCache (on by default):
+// script bodies are fetched once per TTL window instead of per report, and
+// repeated (rule text, violator domains, reported scripts) questions are
+// answered from a memo table. Owners must call invalidate_memo() whenever
+// rule text they match against changes (the Oak server does this on
+// add_rule/remove_rule). A Matcher instance is not thread-safe.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "core/match_cache.h"
 #include "core/rule.h"
 
 namespace oak::core {
@@ -39,6 +49,8 @@ std::string to_string(MatchTier t);
 struct MatcherConfig {
   bool enable_text = true;             // tier 2
   bool enable_external_scripts = true; // tier 3
+  bool enable_cache = true;            // memo + script-body cache
+  MatchCacheConfig cache;
 };
 
 class Matcher {
@@ -50,22 +62,40 @@ class Matcher {
 
   explicit Matcher(ScriptFetcher fetch_script = nullptr,
                    MatcherConfig cfg = {});
+  ~Matcher();
 
   // The best (lowest) tier connecting `rule_text` to a server reachable via
   // `violator_domains`. `report_script_urls` are the external scripts the
-  // client reported loading — the tier-3 candidates.
-  MatchTier match_text(
-      const std::string& rule_text,
-      const std::vector<std::string>& violator_domains,
-      const std::vector<std::string>& report_script_urls = {}) const;
+  // client reported loading — the tier-3 candidates. `now` drives the
+  // script cache's TTL (pass the report timestamp).
+  MatchTier match_text(const std::string& rule_text,
+                       const std::vector<std::string>& violator_domains,
+                       const std::vector<std::string>& report_script_urls = {},
+                       double now = 0.0) const;
 
-  MatchTier match_rule(
-      const Rule& rule, const std::vector<std::string>& violator_domains,
-      const std::vector<std::string>& report_script_urls = {}) const;
+  MatchTier match_rule(const Rule& rule,
+                       const std::vector<std::string>& violator_domains,
+                       const std::vector<std::string>& report_script_urls = {},
+                       double now = 0.0) const;
+
+  // Rule set changed: drop memoized verdicts (script bodies stay cached —
+  // they belong to the web, not to the rule set).
+  void invalidate_memo();
 
   const MatcherConfig& config() const { return cfg_; }
+  // Nullptr when the cache is disabled.
+  const MatchCacheStats* cache_stats() const;
 
  private:
+  MatchTier match_hashed(std::uint64_t text_hash, const std::string& text,
+                         const std::vector<std::string>& domains,
+                         const std::vector<std::string>& scripts,
+                         double now) const;
+  MatchTier compute(const std::string& text,
+                    const std::vector<std::string>& domains,
+                    const std::vector<std::string>& scripts, double now) const;
+  std::optional<std::string> fetch_body(const std::string& url,
+                                        double now) const;
   bool direct_include(const std::string& text,
                       const std::vector<std::string>& domains) const;
   bool text_mention(const std::string& text,
@@ -73,6 +103,10 @@ class Matcher {
 
   ScriptFetcher fetch_script_;
   MatcherConfig cfg_;
+  mutable std::unique_ptr<MatchCache> cache_;  // null when disabled
+  // rule id → hash of its default text, so the hot match_rule path does not
+  // rehash multi-KB rule bodies per violator. Cleared with the memo.
+  mutable std::unordered_map<int, std::uint64_t> rule_text_hash_;
 };
 
 // External-script URLs among a report's entries (candidates for tier 3).

@@ -28,6 +28,7 @@ int OakServer::add_rule(Rule rule) {
   if (rule.id == 0) rule.id = next_rule_id_;
   next_rule_id_ = std::max(next_rule_id_, rule.id + 1);
   rules_.push_back(std::move(rule));
+  matcher_->invalidate_memo();
   return rules_.back().id;
 }
 
@@ -40,6 +41,7 @@ bool OakServer::remove_rule(int rule_id, double now) {
                          [&](const Rule& r) { return r.id == rule_id; });
   if (it == rules_.end()) return false;
   rules_.erase(it);
+  matcher_->invalidate_memo();
   for (auto& [uid, profile] : profiles_) {
     auto active = profile.active.find(rule_id);
     if (active != profile.active.end()) {
@@ -234,7 +236,7 @@ void OakServer::review_active_rules(UserProfile& user,
 
     const Violation* alt_violation = nullptr;
     for (const auto& v : detection.violators) {
-      if (matcher_->match_text(alt_text, v.domains, scripts) !=
+      if (matcher_->match_text(alt_text, v.domains, scripts, now) !=
           MatchTier::kNone) {
         alt_violation = &v;
         break;
@@ -283,7 +285,8 @@ void OakServer::consider_activations(UserProfile& user,
 
     const Violation* hit = nullptr;
     for (const auto& v : detection.violators) {
-      if (matcher_->match_rule(r, v.domains, scripts) != MatchTier::kNone) {
+      if (matcher_->match_rule(r, v.domains, scripts, now) !=
+          MatchTier::kNone) {
         hit = &v;
         break;
       }

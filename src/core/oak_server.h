@@ -122,6 +122,9 @@ class OakServer {
   std::size_t user_count() const { return profiles_.size(); }
   std::size_t reports_processed() const { return reports_processed_; }
   const std::string& site_host() const { return site_host_; }
+  page::WebUniverse& universe() { return universe_; }
+  // The §4.2.2 matcher (and its memoization counters, when enabled).
+  const Matcher& matcher() const { return *matcher_; }
 
   // Run one report through the analysis pipeline directly (harness entry
   // point that skips HTTP framing).

@@ -1,0 +1,284 @@
+#include "core/sharded_server.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "http/cookies.h"
+#include "util/strings.h"
+
+namespace oak::core {
+
+ShardedOakServer::ShardedOakServer(page::WebUniverse& universe,
+                                   std::string site_host, OakConfig cfg,
+                                   std::size_t num_shards)
+    : universe_(universe), site_host_(std::move(site_host)), cfg_(cfg) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->server = std::make_unique<OakServer>(universe_, site_host_, cfg_);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::size_t ShardedOakServer::shard_for(const std::string& user_id) const {
+  return std::hash<std::string>{}(user_id) % shards_.size();
+}
+
+std::unique_lock<std::mutex> ShardedOakServer::lock_shard(Shard& s) const {
+  std::unique_lock<std::mutex> lock(s.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    s.contended.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
+int ShardedOakServer::add_rule(Rule rule) {
+  std::unique_lock<std::shared_mutex> rules_lock(rules_mu_);
+  // The first shard validates and (for id 0) assigns the id; the others
+  // receive the rule with the id pinned, keeping the sets identical. A
+  // validation failure throws before any shard is touched.
+  const int id = shards_[0]->server->add_rule(rule);
+  rule.id = id;
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    shards_[i]->server->add_rule(rule);
+  }
+  return id;
+}
+
+void ShardedOakServer::add_rules(std::vector<Rule> rules) {
+  for (auto& r : rules) add_rule(std::move(r));
+}
+
+bool ShardedOakServer::remove_rule(int rule_id, double now) {
+  std::unique_lock<std::shared_mutex> rules_lock(rules_mu_);
+  bool removed = false;
+  for (auto& shard : shards_) {
+    removed = shard->server->remove_rule(rule_id, now) || removed;
+  }
+  return removed;
+}
+
+http::Response ShardedOakServer::handle(const http::Request& req, double now) {
+  std::string uid;
+  if (auto cookie = req.headers.get("Cookie")) {
+    auto jar = http::parse_cookie_header(*cookie);
+    auto it = jar.find(http::kOakUserCookie);
+    if (it != jar.end()) uid = it->second;
+  }
+
+  // Mint the identity here (one atomic counter, no shard involvement) and
+  // hand the core a request that already carries it; the Set-Cookie is
+  // attached on the way out, exactly as the single-threaded server does.
+  const bool fresh = uid.empty();
+  http::Request with_cookie;
+  const http::Request* effective = &req;
+  if (fresh) {
+    uid = util::format("u%zu",
+                       next_user_.fetch_add(1, std::memory_order_relaxed));
+    with_cookie = req;
+    const std::string pair = std::string(http::kOakUserCookie) + "=" + uid;
+    if (auto cookie = req.headers.get("Cookie")) {
+      with_cookie.headers.set("Cookie", *cookie + "; " + pair);
+    } else {
+      with_cookie.headers.set("Cookie", pair);
+    }
+    effective = &with_cookie;
+  }
+
+  std::shared_lock<std::shared_mutex> rules_lock(rules_mu_);
+  Shard& shard = *shards_[shard_for(uid)];
+  auto shard_lock = lock_shard(shard);
+  shard.handled.fetch_add(1, std::memory_order_relaxed);
+  http::Response resp = shard.server->handle(*effective, now);
+  // Only advertise the minted id if the core actually kept a profile (a 404
+  // or a disabled Oak tracks nobody and should set no cookie).
+  if (fresh && shard.server->profile(uid) != nullptr) {
+    resp.headers.add("Set-Cookie",
+                     std::string(http::kOakUserCookie) + "=" + uid);
+  }
+  return resp;
+}
+
+void ShardedOakServer::install() {
+  universe_.set_handler(site_host_,
+                        [this](const http::Request& req, double now) {
+                          return handle(req, now);
+                        });
+}
+
+std::size_t ShardedOakServer::user_count() const {
+  std::shared_lock<std::shared_mutex> rules_lock(rules_mu_);
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    auto lock = lock_shard(*shard);
+    total += shard->server->user_count();
+  }
+  return total;
+}
+
+std::size_t ShardedOakServer::reports_processed() const {
+  std::shared_lock<std::shared_mutex> rules_lock(rules_mu_);
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    auto lock = lock_shard(*shard);
+    total += shard->server->reports_processed();
+  }
+  return total;
+}
+
+std::vector<Rule> ShardedOakServer::rules() const {
+  std::shared_lock<std::shared_mutex> rules_lock(rules_mu_);
+  return shards_[0]->server->rules();
+}
+
+std::optional<UserProfile> ShardedOakServer::profile(
+    const std::string& user_id) const {
+  std::shared_lock<std::shared_mutex> rules_lock(rules_mu_);
+  Shard& shard = *shards_[shard_for(user_id)];
+  auto lock = lock_shard(shard);
+  const UserProfile* p = shard.server->profile(user_id);
+  if (!p) return std::nullopt;
+  return *p;
+}
+
+DecisionLog ShardedOakServer::merged_decision_log() const {
+  std::shared_lock<std::shared_mutex> rules_lock(rules_mu_);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.push_back(lock_shard(*shard));
+
+  std::vector<Decision> merged;
+  for (const auto& shard : shards_) {
+    const auto& entries = shard->server->decision_log().entries();
+    merged.insert(merged.end(), entries.begin(), entries.end());
+  }
+  // Stable by timestamp: same-time decisions keep shard-index order, which
+  // is deterministic for a given user→shard mapping.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Decision& a, const Decision& b) {
+                     return a.time < b.time;
+                   });
+  DecisionLog log;
+  for (auto& d : merged) log.record(std::move(d));
+  return log;
+}
+
+std::size_t ShardedOakServer::decision_count(DecisionType t) const {
+  std::shared_lock<std::shared_mutex> rules_lock(rules_mu_);
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    auto lock = lock_shard(*shard);
+    total += shard->server->decision_log().count(t);
+  }
+  return total;
+}
+
+util::Json ShardedOakServer::export_state() const {
+  std::shared_lock<std::shared_mutex> rules_lock(rules_mu_);
+  // Lock every shard (index order) for one consistent cut, then merge the
+  // per-shard snapshots into OakServer's schema.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.push_back(lock_shard(*shard));
+
+  util::Json merged = shards_[0]->server->export_state();
+  util::JsonObject& users = merged["users"].as_object();
+  util::JsonArray& log = merged["log"].as_array();
+  std::size_t reports = shards_[0]->server->reports_processed();
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    util::Json part = shards_[i]->server->export_state();
+    for (auto& [uid, u] : part["users"].as_object()) {
+      users[uid] = std::move(u);
+    }
+    for (auto& d : part["log"].as_array()) log.push_back(std::move(d));
+    reports += shards_[i]->server->reports_processed();
+  }
+  std::stable_sort(log.begin(), log.end(),
+                   [](const util::Json& a, const util::Json& b) {
+                     return a.at("t").as_number() < b.at("t").as_number();
+                   });
+  merged["reports_processed"] = reports;
+  merged["next_user"] = next_user_.load();
+  return merged;
+}
+
+void ShardedOakServer::import_state(const util::Json& snapshot) {
+  std::unique_lock<std::shared_mutex> rules_lock(rules_mu_);
+  // Partition the snapshot by user hash. All reads of `snapshot` (and thus
+  // all schema validation that could throw here) happen before any shard
+  // commits.
+  const auto& users = snapshot.at("users").as_object();
+  const auto& log = snapshot.at("log").as_array();
+  const std::size_t next_user =
+      static_cast<std::size_t>(snapshot.at("next_user").as_int());
+  const auto total_reports = snapshot.at("reports_processed").as_int();
+
+  std::vector<util::JsonObject> shard_users(shards_.size());
+  std::vector<util::JsonArray> shard_logs(shards_.size());
+  for (const auto& [uid, u] : users) shard_users[shard_for(uid)][uid] = u;
+  for (const auto& d : log) {
+    shard_logs[shard_for(d.at("user").as_string())].push_back(d);
+  }
+
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    util::JsonObject part;
+    part["version"] = snapshot.at("version");
+    part["site"] = site_host_;
+    part["next_user"] = next_user;
+    // The aggregate counter lives on shard 0 so the fleet-wide sum is exact.
+    part["reports_processed"] = i == 0 ? total_reports : 0;
+    part["users"] = std::move(shard_users[i]);
+    part["log"] = std::move(shard_logs[i]);
+    shards_[i]->server->import_state(util::Json(std::move(part)));
+  }
+  next_user_.store(next_user);
+}
+
+SiteAnalytics ShardedOakServer::audit() const {
+  // Materialize the merged state into a scratch single-threaded server and
+  // audit that — SiteAnalytics stays a pure function of one OakServer.
+  util::Json snapshot = export_state();
+  OakServer scratch(universe_, site_host_, cfg_);
+  for (const Rule& r : rules()) scratch.add_rule(r);
+  scratch.import_state(snapshot);
+  SiteAnalytics analytics(scratch);
+
+  ConcurrencyCounters counters;
+  const ShardStats shard_counts = shard_stats();
+  counters.shards = shard_counts.shards;
+  counters.requests_handled = shard_counts.requests_handled;
+  counters.shard_contentions = shard_counts.contentions;
+  const MatchCacheStats cache = match_cache_stats();
+  counters.match_memo_hits = cache.memo_hits;
+  counters.match_memo_misses = cache.memo_misses;
+  counters.script_cache_hits = cache.script_hits;
+  counters.script_fetches = cache.script_fetches;
+  analytics.set_concurrency(counters);
+  return analytics;
+}
+
+MatchCacheStats ShardedOakServer::match_cache_stats() const {
+  std::shared_lock<std::shared_mutex> rules_lock(rules_mu_);
+  MatchCacheStats total;
+  for (const auto& shard : shards_) {
+    auto lock = lock_shard(*shard);
+    if (const MatchCacheStats* s = shard->server->matcher().cache_stats()) {
+      total += *s;
+    }
+  }
+  return total;
+}
+
+ShardedOakServer::ShardStats ShardedOakServer::shard_stats() const {
+  ShardStats s;
+  s.shards = shards_.size();
+  for (const auto& shard : shards_) {
+    s.requests_handled += shard->handled.load(std::memory_order_relaxed);
+    s.contentions += shard->contended.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace oak::core

@@ -1,0 +1,121 @@
+// Sharded, thread-safe front for Oak — the concurrent entry point.
+//
+// ConcurrentOakServer (core/concurrent_server.h) funnels every page serve
+// and report POST through one global mutex, so adding cores buys nothing.
+// But Oak's mutable state is almost perfectly partitionable: every request
+// touches exactly one user profile (identified by the oak_uid cookie), and
+// the §4.2.3/§4.2.4 machinery never reads across users. ShardedOakServer
+// exploits that:
+//
+//  * N lock shards, each a full single-threaded OakServer owning the
+//    profiles whose user-id hash lands on it (plus that shard's DecisionLog
+//    and memoized Matcher). A request locks only its shard.
+//  * The rule set is read-mostly configuration. Rule churn takes a
+//    std::shared_mutex exclusively and replicates the change to every shard
+//    (ids stay identical across shards); requests hold it shared.
+//  * Users are minted here: a cookie-less request draws a fresh id from one
+//    atomic counter, is routed by its hash, and the Set-Cookie is attached
+//    on the way out — so shards never race on id allocation.
+//  * Audits, snapshots and the merged decision log are assembled by locking
+//    the shards (all of them, in index order, for a consistent cut) and
+//    merging per-shard state; import partitions a snapshot the same way.
+//
+// Lock order, everywhere: rules_mu_ before any shard mutex, shard mutexes
+// in ascending index order. OakServer stays the single-threaded core; this
+// wrapper adds routing and locking only.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/analytics.h"
+#include "core/oak_server.h"
+
+namespace oak::core {
+
+class ShardedOakServer {
+ public:
+  static constexpr std::size_t kDefaultShards = 8;
+
+  ShardedOakServer(page::WebUniverse& universe, std::string site_host,
+                   OakConfig cfg = {},
+                   std::size_t num_shards = kDefaultShards);
+
+  // --- Rule configuration (exclusive over the rule set; replicated to all
+  // shards with identical ids).
+  int add_rule(Rule rule);
+  void add_rules(std::vector<Rule> rules);
+  bool remove_rule(int rule_id, double now);
+
+  // --- Request plane (shared rule lock + one shard lock).
+  http::Response handle(const http::Request& req, double now);
+
+  // Register this server as the universe's handler for the site host. The
+  // handler captures `this` and is safe to drive from many request threads.
+  void install();
+
+  // --- Introspection / aggregation.
+  const std::string& site_host() const { return site_host_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_for(const std::string& user_id) const;
+  std::size_t user_count() const;
+  std::size_t reports_processed() const;
+  // A copy of the rule set (identical on every shard).
+  std::vector<Rule> rules() const;
+  const OakConfig& config() const { return cfg_; }
+  // Profile lookup crosses a lock boundary, so it returns a copy.
+  std::optional<UserProfile> profile(const std::string& user_id) const;
+
+  // Per-shard decision logs merged into one, stably ordered by timestamp.
+  DecisionLog merged_decision_log() const;
+  std::size_t decision_count(DecisionType t) const;
+
+  // Consistent point-in-time snapshot in OakServer's schema — importable by
+  // a single OakServer or by a ShardedOakServer with any shard count.
+  util::Json export_state() const;
+  void import_state(const util::Json& snapshot);
+
+  // Consistent audit over all shards, including concurrency counters.
+  SiteAnalytics audit() const;
+
+  // Aggregated matcher-cache counters across shards.
+  MatchCacheStats match_cache_stats() const;
+
+  struct ShardStats {
+    std::size_t shards = 0;
+    std::uint64_t requests_handled = 0;
+    // A request found its shard lock held and had to block.
+    std::uint64_t contentions = 0;
+  };
+  ShardStats shard_stats() const;
+
+  // Escape hatch for single-threaded phases (setup, assertions in tests).
+  // Callers must guarantee no concurrent handle() calls while using it.
+  OakServer& shard(std::size_t i) { return *shards_[i]->server; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unique_ptr<OakServer> server;
+    std::atomic<std::uint64_t> handled{0};
+    std::atomic<std::uint64_t> contended{0};
+  };
+
+  std::unique_lock<std::mutex> lock_shard(Shard& s) const;
+
+  page::WebUniverse& universe_;
+  std::string site_host_;
+  OakConfig cfg_;
+  // Guards the replicated rule set (and shard topology invariants): shared
+  // for requests and reads, exclusive for add_rule/remove_rule.
+  mutable std::shared_mutex rules_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> next_user_{1};
+};
+
+}  // namespace oak::core

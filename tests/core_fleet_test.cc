@@ -44,8 +44,9 @@ TEST_F(FleetFixture, SitesAreCreatedOnDemandWithBaseConfig) {
   base.detector.k = 3.0;
   Fleet fleet(universe_, base);
   EXPECT_FALSE(fleet.has("alpha.com"));
-  OakServer& alpha = fleet.site("alpha.com");
+  ShardedOakServer& alpha = fleet.site("alpha.com");
   EXPECT_DOUBLE_EQ(alpha.config().detector.k, 3.0);
+  EXPECT_EQ(alpha.shard_count(), ShardedOakServer::kDefaultShards);
   EXPECT_EQ(&alpha, &fleet.site("alpha.com"));  // idempotent
   EXPECT_EQ(fleet.size(), 1u);
   fleet.site("beta.com");
@@ -121,8 +122,8 @@ TEST_F(FleetFixture, FleetSnapshotRoundTrips) {
   build_fleet(after);
   after.import_state(util::Json::parse(snapshot));
   EXPECT_EQ(after.summary().users, before.summary().users);
-  EXPECT_EQ(after.find("alpha.com")->decision_log().size(),
-            before.find("alpha.com")->decision_log().size());
+  EXPECT_EQ(after.find("alpha.com")->merged_decision_log().size(),
+            before.find("alpha.com")->merged_decision_log().size());
 
   // Unknown hosts are rejected before anything is applied.
   Fleet partial(universe_);

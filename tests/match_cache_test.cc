@@ -1,0 +1,274 @@
+// Correctness of the matcher's memoization layer: a cached matcher must be
+// observationally identical to an uncached one (across all three tiers),
+// memoized verdicts must die with the rule set, and TTL expiry must reach
+// back through the memo to the underlying script bodies.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/matcher.h"
+#include "core/oak_server.h"
+
+namespace oak::core {
+namespace {
+
+// Two matchers over the same mutable script universe — one memoized, one
+// not — plus per-URL fetch counters.
+class MatchCacheFixture : public ::testing::Test {
+ protected:
+  MatchCacheFixture() { rebuild(); }
+
+  void rebuild(MatchCacheConfig cache_cfg = {}) {
+    auto fetcher = [this](const std::string& url) -> std::optional<std::string> {
+      ++fetches_[url];
+      auto it = scripts_.find(url);
+      if (it == scripts_.end()) return std::nullopt;
+      return it->second;
+    };
+    MatcherConfig cached_cfg;
+    cached_cfg.cache = cache_cfg;
+    cached_ = std::make_unique<Matcher>(fetcher, cached_cfg);
+    MatcherConfig plain_cfg;
+    plain_cfg.enable_cache = false;
+    plain_ = std::make_unique<Matcher>(fetcher, plain_cfg);
+  }
+
+  std::size_t total_fetches() const {
+    std::size_t n = 0;
+    for (const auto& [url, c] : fetches_) n += c;
+    return n;
+  }
+
+  std::map<std::string, std::string> scripts_ = {
+      {"http://agg.adnet.com/loader.js",
+       "load(\"http://creative.cdn-x.net/banner.png\");"},
+      {"http://metrics.io/m.js", "var endpoint=\"beacon.metrics.io\";"},
+  };
+  std::map<std::string, std::size_t> fetches_;
+  std::unique_ptr<Matcher> cached_;
+  std::unique_ptr<Matcher> plain_;
+};
+
+TEST_F(MatchCacheFixture, CachedEqualsUncachedAcrossAllTiers) {
+  struct Query {
+    std::string rule;
+    std::vector<std::string> domains;
+    std::vector<std::string> scripts;
+  };
+  const std::vector<Query> queries = {
+      // Tier 1.
+      {"<img src=\"http://cdn.a.net/x.png\"/>", {"cdn.a.net"}, {}},
+      // Tier 2.
+      {"<script>var h=\"beacon.metrics.io\";</script>",
+       {"beacon.metrics.io"},
+       {"http://metrics.io/m.js"}},
+      // Tier 3.
+      {"<script src=\"http://agg.adnet.com/loader.js\"></script>",
+       {"creative.cdn-x.net"},
+       {"http://agg.adnet.com/loader.js"}},
+      // Tier 3 candidate that the rule never references.
+      {"<img src=\"http://unrelated.com/x.png\"/>",
+       {"creative.cdn-x.net"},
+       {"http://agg.adnet.com/loader.js"}},
+      // Unfetchable script.
+      {"<script src=\"http://gone.example.com/x.js\"></script>",
+       {"creative.cdn-x.net"},
+       {"http://gone.example.com/x.js"}},
+      // No violators.
+      {"<img src=\"http://cdn.a.net/x.png\"/>", {}, {}},
+  };
+  // Two passes: the second answers from the memo and must not diverge.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& q : queries) {
+      EXPECT_EQ(cached_->match_text(q.rule, q.domains, q.scripts, 1.0),
+                plain_->match_text(q.rule, q.domains, q.scripts, 1.0))
+          << "pass " << pass << " rule: " << q.rule;
+    }
+  }
+  const MatchCacheStats* stats = cached_->cache_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->memo_hits, queries.size() - 1);  // all but the empty-domain
+  EXPECT_EQ(plain_->cache_stats(), nullptr);
+}
+
+TEST_F(MatchCacheFixture, MemoAbsorbsRepeatedTier3Work) {
+  const std::string rule =
+      "<script src=\"http://agg.adnet.com/loader.js\"></script>";
+  const std::vector<std::string> scripts = {"http://agg.adnet.com/loader.js"};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cached_->match_text(rule, {"creative.cdn-x.net"}, scripts,
+                                  double(i)),
+              MatchTier::kExternalScript);
+  }
+  // One real fetch; nine answers straight from the memo.
+  EXPECT_EQ(fetches_["http://agg.adnet.com/loader.js"], 1u);
+  EXPECT_EQ(cached_->cache_stats()->memo_hits, 9u);
+  EXPECT_EQ(cached_->cache_stats()->memo_misses, 1u);
+}
+
+TEST_F(MatchCacheFixture, InvalidateMemoRecomputesButKeepsScriptBodies) {
+  const std::string rule =
+      "<script src=\"http://agg.adnet.com/loader.js\"></script>";
+  const std::vector<std::string> scripts = {"http://agg.adnet.com/loader.js"};
+  cached_->match_text(rule, {"creative.cdn-x.net"}, scripts, 0.0);
+  cached_->invalidate_memo();
+  EXPECT_EQ(cached_->cache_stats()->invalidations, 1u);
+  // Recomputed — but the script body survives the memo flush (it belongs to
+  // the web, not to the rule set), so no second fetch.
+  EXPECT_EQ(cached_->match_text(rule, {"creative.cdn-x.net"}, scripts, 1.0),
+            MatchTier::kExternalScript);
+  EXPECT_EQ(cached_->cache_stats()->memo_misses, 2u);
+  EXPECT_EQ(fetches_["http://agg.adnet.com/loader.js"], 1u);
+  EXPECT_EQ(cached_->cache_stats()->script_hits, 1u);
+}
+
+TEST_F(MatchCacheFixture, TtlExpiryRefetchesAndChangedBodyFlipsVerdict) {
+  MatchCacheConfig cfg;
+  cfg.script_ttl_s = 300.0;
+  rebuild(cfg);
+  const std::string rule =
+      "<script src=\"http://agg.adnet.com/loader.js\"></script>";
+  const std::vector<std::string> scripts = {"http://agg.adnet.com/loader.js"};
+  const std::vector<std::string> violator = {"creative.cdn-x.net"};
+
+  EXPECT_EQ(cached_->match_text(rule, violator, scripts, 0.0),
+            MatchTier::kExternalScript);
+  EXPECT_EQ(cached_->match_text(rule, violator, scripts, 100.0),
+            MatchTier::kExternalScript);
+  EXPECT_EQ(fetches_["http://agg.adnet.com/loader.js"], 1u);
+
+  // The aggregator stops serving the creative. Within the TTL window the
+  // memoized verdict stands (bounded staleness, by design)…
+  scripts_["http://agg.adnet.com/loader.js"] = "load(\"http://other.net/\");";
+  EXPECT_EQ(cached_->match_text(rule, violator, scripts, 200.0),
+            MatchTier::kExternalScript);
+  EXPECT_EQ(fetches_["http://agg.adnet.com/loader.js"], 1u);
+
+  // …but past it, the memo entry expires with the body: re-fetch, observe
+  // the change, and flip the verdict.
+  EXPECT_EQ(cached_->match_text(rule, violator, scripts, 400.0),
+            MatchTier::kNone);
+  EXPECT_EQ(fetches_["http://agg.adnet.com/loader.js"], 2u);
+  EXPECT_EQ(cached_->cache_stats()->script_refreshes, 1u);
+  // The changed body also flushed the memo.
+  EXPECT_GE(cached_->cache_stats()->invalidations, 1u);
+}
+
+TEST_F(MatchCacheFixture, UnchangedBodyRefreshKeepsVerdict) {
+  MatchCacheConfig cfg;
+  cfg.script_ttl_s = 300.0;
+  rebuild(cfg);
+  const std::string rule =
+      "<script src=\"http://agg.adnet.com/loader.js\"></script>";
+  const std::vector<std::string> scripts = {"http://agg.adnet.com/loader.js"};
+  cached_->match_text(rule, {"creative.cdn-x.net"}, scripts, 0.0);
+  EXPECT_EQ(cached_->match_text(rule, {"creative.cdn-x.net"}, scripts, 400.0),
+            MatchTier::kExternalScript);
+  EXPECT_EQ(fetches_["http://agg.adnet.com/loader.js"], 2u);
+  EXPECT_EQ(cached_->cache_stats()->script_refreshes, 1u);
+  // Same body came back: memoized verdicts stay valid.
+  EXPECT_EQ(cached_->cache_stats()->invalidations, 0u);
+}
+
+TEST_F(MatchCacheFixture, UnfetchableScriptsAreNegativelyCached) {
+  const std::vector<std::string> scripts = {"http://gone.example.com/x.js"};
+  // Two different rules both reference the dead script; the failed fetch is
+  // remembered, not repeated.
+  EXPECT_EQ(cached_->match_text(
+                "<script src=\"http://gone.example.com/x.js\"></script>",
+                {"creative.cdn-x.net"}, scripts, 0.0),
+            MatchTier::kNone);
+  EXPECT_EQ(cached_->match_text(
+                "<a href=\"http://gone.example.com/x.js\">dead</a>",
+                {"creative.cdn-x.net"}, scripts, 1.0),
+            MatchTier::kNone);
+  EXPECT_EQ(fetches_["http://gone.example.com/x.js"], 1u);
+}
+
+TEST_F(MatchCacheFixture, ScriptLruEvictsOldestBody) {
+  MatchCacheConfig cfg;
+  cfg.script_capacity = 2;
+  rebuild(cfg);
+  scripts_["http://s1.net/a.js"] = "ref(\"http://v.net/\");";
+  scripts_["http://s2.net/b.js"] = "ref(\"http://v.net/\");";
+  scripts_["http://s3.net/c.js"] = "ref(\"http://v.net/\");";
+  auto rule = [](const std::string& url) {
+    return "<script src=\"" + url + "\"></script>";
+  };
+  for (const char* url :
+       {"http://s1.net/a.js", "http://s2.net/b.js", "http://s3.net/c.js"}) {
+    EXPECT_EQ(cached_->match_text(rule(url), {"v.net"}, {url}, 0.0),
+              MatchTier::kExternalScript);
+  }
+  // s3 evicted s1. A fresh question about s1 (new domains → memo miss) must
+  // refetch it; s3 is still resident.
+  EXPECT_EQ(cached_->match_text(rule("http://s1.net/a.js"), {"w.net"},
+                                {"http://s1.net/a.js"}, 0.0),
+            MatchTier::kNone);
+  EXPECT_EQ(fetches_["http://s1.net/a.js"], 2u);
+  EXPECT_EQ(cached_->match_text(rule("http://s3.net/c.js"), {"w.net"},
+                                {"http://s3.net/c.js"}, 0.0),
+            MatchTier::kNone);
+  EXPECT_EQ(fetches_["http://s3.net/c.js"], 1u);
+}
+
+TEST(MatchCacheMemo, CapacityResetIsWholesale) {
+  MatchCacheConfig cfg;
+  cfg.memo_capacity = 2;
+  MatchCache cache(cfg);
+  const MatchCache::MemoKey k1{1, 1, 1}, k2{2, 2, 2}, k3{3, 3, 3};
+  cache.memo_store(k1, MatchTier::kDirect, 0.0);
+  cache.memo_store(k2, MatchTier::kText, 0.0);
+  EXPECT_EQ(cache.memo_size(), 2u);
+  cache.memo_store(k3, MatchTier::kNone, 0.0);  // hits capacity → reset
+  EXPECT_EQ(cache.memo_size(), 1u);
+  EXPECT_FALSE(cache.memo_lookup(k1, 0.0).has_value());
+  EXPECT_EQ(cache.memo_lookup(k3, 0.0), MatchTier::kNone);
+}
+
+TEST(MatchCacheHash, VectorHashSeparatesElementBoundaries) {
+  EXPECT_NE(fnv1a(std::vector<std::string>{"ab", "c"}),
+            fnv1a(std::vector<std::string>{"a", "bc"}));
+  EXPECT_NE(fnv1a(std::vector<std::string>{}),
+            fnv1a(std::vector<std::string>{""}));
+}
+
+// The server owns the invalidation contract: rule churn flushes the memo.
+TEST(MatchCacheServer, RuleChurnInvalidatesMemo) {
+  page::WebUniverse universe(net::NetworkConfig{.seed = 3, .horizon_s = 0});
+  OakConfig cfg;
+  cfg.detector.min_population = 4;
+  OakServer server(universe, "t.com", cfg);
+  const int keep = server.add_rule(make_domain_rule("keep", "slow.net",
+                                                    {"alt.net"}));
+  const int churn = server.add_rule(make_domain_rule("churn", "other.net",
+                                                     {"alt.net"}));
+
+  browser::PerfReport report;
+  report.page_url = "http://t.com/index.html";
+  report.entries.push_back(
+      {"http://t.com/index.html", "t.com", "10.0.0.1", 4000, 0, 0.09});
+  for (int i = 0; i < 3; ++i) {
+    const std::string host = "ok" + std::to_string(i) + ".net";
+    report.entries.push_back({"http://" + host + "/x.js", host,
+                              "10.0.1." + std::to_string(i), 9000, 0.1, 0.1});
+  }
+  report.entries.push_back(
+      {"http://slow.net/x.js", "slow.net", "10.0.2.1", 9000, 0.1, 5.0});
+
+  const MatchCacheStats* stats = server.matcher().cache_stats();
+  ASSERT_NE(stats, nullptr);
+
+  // Warm the memo, then churn the rule set: each change flushes it.
+  server.analyze("u1", report, 0.0);
+  EXPECT_GT(stats->memo_misses, 0u);
+  server.add_rule(make_domain_rule("new", "third.net", {"alt.net"}));
+  EXPECT_EQ(stats->invalidations, 1u);
+  server.analyze("u1", report, 1.0);  // re-warm
+  ASSERT_TRUE(server.remove_rule(churn, 2.0));
+  EXPECT_EQ(stats->invalidations, 2u);
+  (void)keep;
+}
+
+}  // namespace
+}  // namespace oak::core
