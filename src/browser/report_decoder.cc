@@ -1,0 +1,213 @@
+#include "browser/report_decoder.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/json_stream.h"
+
+namespace oak::browser {
+
+namespace {
+
+using util::JsonEvent;
+using util::JsonScanner;
+
+// Last-seen value of one report field. The DOM path stores members in a
+// std::map, so a duplicate key silently replaces the earlier value — even
+// one of the wrong type. The decoder mirrors that by recording only the
+// last occurrence and validating at end-of-object.
+struct Slot {
+  enum Kind : unsigned char { kAbsent, kString, kNumber, kOther };
+  Kind kind = kAbsent;
+  std::string_view sv;  // kString payload; stable (wire or arena bytes)
+  double num = 0.0;     // kNumber payload
+};
+
+// Drive the scanner past the rest of a container whose Begin event was
+// already consumed.
+void drain_container(JsonScanner& s) {
+  const std::size_t base = s.depth() - 1;
+  while (s.depth() > base) s.next();
+}
+
+// Consume one value and record it. String payloads that escaped decoding
+// placed in the scanner's scratch buffer are copied into the arena so they
+// survive later events; clean ones stay views into the wire. `intern`
+// dedups hosts/IPs, which repeat across most entries of a report.
+Slot read_value(JsonScanner& s, util::StringArena& arena, bool intern) {
+  Slot slot;
+  switch (s.next()) {
+    case JsonEvent::kString:
+      slot.kind = Slot::kString;
+      if (intern) {
+        slot.sv = arena.intern(s.text());
+      } else {
+        slot.sv = s.string_escaped() ? arena.store(s.text()) : s.text();
+      }
+      break;
+    case JsonEvent::kNumber:
+      slot.kind = Slot::kNumber;
+      slot.num = s.number();
+      break;
+    case JsonEvent::kBeginObject:
+    case JsonEvent::kBeginArray:
+      slot.kind = Slot::kOther;
+      drain_container(s);
+      break;
+    default:  // bool / null
+      slot.kind = Slot::kOther;
+      break;
+  }
+  return slot;
+}
+
+// Error-code-style field checks (errors must be *recorded*, not thrown: a
+// later duplicate "entries" array can still supersede a bad candidate).
+// Messages mirror Json::at/as_* so both decoders read the same.
+bool take_string(const Slot& slot, const char* key, std::string_view* out,
+                 std::string* err) {
+  if (slot.kind == Slot::kAbsent) {
+    *err = std::string("json: missing key '") + key + "'";
+    return false;
+  }
+  if (slot.kind != Slot::kString) {
+    *err = "json: not a string";
+    return false;
+  }
+  *out = slot.sv;
+  return true;
+}
+
+bool take_number(const Slot& slot, const char* key, double* out,
+                 std::string* err) {
+  if (slot.kind == Slot::kAbsent) {
+    *err = std::string("json: missing key '") + key + "'";
+    return false;
+  }
+  if (slot.kind != Slot::kNumber) {
+    *err = "json: not a number";
+    return false;
+  }
+  *out = slot.num;
+  return true;
+}
+
+// Parse one entry object (Begin event already consumed). On success pushes
+// the entry; on the first semantic error records it in `err` (and still
+// finishes consuming the object, keeping the scanner in sync).
+void parse_entry(JsonScanner& s, util::StringArena& arena,
+                 std::vector<ReportEntryView>* out, std::string* err) {
+  Slot url, host, ip, size, start, time;
+  while (true) {
+    JsonEvent e = s.next();
+    if (e == JsonEvent::kEndObject) break;
+    // Only kKey is possible here; compare before the next event recycles
+    // the scratch buffer.
+    const std::string_view key = s.text();
+    if (key == "url") url = read_value(s, arena, /*intern=*/false);
+    else if (key == "host") host = read_value(s, arena, /*intern=*/true);
+    else if (key == "ip") ip = read_value(s, arena, /*intern=*/true);
+    else if (key == "size") size = read_value(s, arena, false);
+    else if (key == "start") start = read_value(s, arena, false);
+    else if (key == "time") time = read_value(s, arena, false);
+    else s.skip_value();
+  }
+  if (!err->empty()) return;  // an earlier element already decided the verdict
+
+  // Field validation in the DOM path's order (report.cc) so the first
+  // error matches.
+  ReportEntryView entry;
+  double num = 0.0;
+  if (!take_string(url, "url", &entry.url, err)) return;
+  if (!take_string(host, "host", &entry.host, err)) return;
+  if (!take_string(ip, "ip", &entry.ip, err)) return;
+  if (!take_number(size, "size", &num, err)) return;
+  // Exactly as_int()'s conversion: llround, then unsigned cast.
+  entry.size = static_cast<std::uint64_t>(std::llround(num));
+  if (!take_number(start, "start", &entry.start_s, err)) return;
+  if (!take_number(time, "time", &entry.time_s, err)) return;
+  out->push_back(entry);
+}
+
+}  // namespace
+
+ReportView decode_report_view(std::string_view wire,
+                              util::StringArena& arena) {
+  JsonScanner s(wire);
+  const bool is_object = s.next() == JsonEvent::kBeginObject;
+
+  Slot uid, page, plt;
+  bool entries_seen = false;
+  std::string entries_err;  // last "entries" value was not an array
+  std::string entry_err;    // first bad element/field in the last candidate
+  std::vector<ReportEntryView> entries;
+
+  if (is_object) {
+    while (true) {
+      JsonEvent e = s.next();
+      if (e == JsonEvent::kEndObject) break;
+      const std::string_view key = s.text();
+      if (key == "uid") {
+        uid = read_value(s, arena, false);
+      } else if (key == "page") {
+        page = read_value(s, arena, false);
+      } else if (key == "plt") {
+        plt = read_value(s, arena, false);
+      } else if (key == "entries") {
+        // Last occurrence wins wholesale: reset any earlier candidate.
+        entries_seen = true;
+        entries.clear();
+        entries_err.clear();
+        entry_err.clear();
+        JsonEvent v = s.next();
+        if (v == JsonEvent::kBeginArray) {
+          entries.reserve(16);
+          while (true) {
+            JsonEvent el = s.next();
+            if (el == JsonEvent::kEndArray) break;
+            if (el == JsonEvent::kBeginObject) {
+              parse_entry(s, arena, &entries, &entry_err);
+            } else {
+              if (entry_err.empty()) entry_err = "json: not an object";
+              if (el == JsonEvent::kBeginArray) drain_container(s);
+            }
+          }
+        } else {
+          entries_err = "json: not an array";
+          if (v == JsonEvent::kBeginObject) drain_container(s);
+        }
+      } else {
+        s.skip_value();
+      }
+    }
+  } else {
+    // The DOM path still parses the whole document (and checks trailing
+    // bytes) before at("uid") rejects a non-object root; do the same so
+    // syntax errors win on exactly the same inputs. A scalar root is
+    // already fully consumed; an array root still needs draining.
+    while (s.depth() > 0) s.next();
+  }
+  s.next();  // consume kEnd — rejects trailing bytes like Json::parse
+
+  if (!is_object) throw util::JsonError("json: not an object");
+
+  ReportView view;
+  std::string err;
+  if (!take_string(uid, "uid", &view.user_id, &err) ||
+      !take_string(page, "page", &view.page_url, &err) ||
+      !take_number(plt, "plt", &view.plt_s, &err)) {
+    throw util::JsonError(err);
+  }
+  if (!entries_seen) throw util::JsonError("json: missing key 'entries'");
+  if (!entries_err.empty()) throw util::JsonError(entries_err);
+  if (!entry_err.empty()) throw util::JsonError(entry_err);
+  view.entries = std::move(entries);
+  return view;
+}
+
+PerfReport decode_report(std::string_view wire) {
+  util::StringArena arena;
+  return decode_report_view(wire, arena).materialize();
+}
+
+}  // namespace oak::browser

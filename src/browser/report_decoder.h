@@ -1,0 +1,40 @@
+// Zero-copy streaming report decoder — the ingestion fast path.
+//
+// PerfReport::deserialize parses the wire bytes into a util::Json DOM (a
+// std::map node and a heap key string per object member) and then copies
+// every field out of it. For the server, which ingests millions of these,
+// that DOM is pure overhead. decode_report_view walks the bytes once with
+// util::JsonScanner and materializes a ReportView directly: URL/uid/page
+// strings are views into the wire buffer (or into the arena when they
+// contained escapes), and host/ip strings are interned in the arena so the
+// dozens of entries a real page load reports collapse onto one stored copy
+// per server — which also gives grouping pointer-identity fast paths.
+//
+// Contract (held by tests/report_decoder_test.cc against the DOM oracle):
+// for every byte string, decode_report() and PerfReport::deserialize()
+// either both throw util::JsonError or both produce bit-identical
+// PerfReports. That includes the DOM path's std::map semantics — duplicate
+// keys resolve to the last occurrence, unknown keys are ignored (but still
+// validated), key order is irrelevant — so the decoder defers type checks
+// to end-of-object instead of failing on the first occurrence.
+#pragma once
+
+#include <string_view>
+
+#include "browser/report_view.h"
+#include "util/arena.h"
+
+namespace oak::browser {
+
+// Decode wire bytes into a view without constructing the Json DOM. The
+// returned view aliases `wire` and `arena`; it is valid while both live and
+// the arena is not clear()ed. Throws util::JsonError on exactly the inputs
+// PerfReport::deserialize rejects.
+ReportView decode_report_view(std::string_view wire,
+                              util::StringArena& arena);
+
+// Streaming decode to an owned PerfReport. Same accept/reject behavior and
+// bit-identical fields vs PerfReport::deserialize, without the DOM.
+PerfReport decode_report(std::string_view wire);
+
+}  // namespace oak::browser

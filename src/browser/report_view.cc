@@ -1,0 +1,37 @@
+#include "browser/report_view.h"
+
+namespace oak::browser {
+
+ReportView ReportView::of(const PerfReport& report) {
+  ReportView view;
+  view.user_id = report.user_id;
+  view.page_url = report.page_url;
+  view.plt_s = report.plt_s;
+  view.entries.reserve(report.entries.size());
+  for (const auto& e : report.entries) {
+    view.entries.push_back(
+        ReportEntryView{e.url, e.host, e.ip, e.size, e.start_s, e.time_s});
+  }
+  return view;
+}
+
+PerfReport ReportView::materialize() const {
+  PerfReport report;
+  report.user_id = std::string(user_id);
+  report.page_url = std::string(page_url);
+  report.plt_s = plt_s;
+  report.entries.reserve(entries.size());
+  for (const auto& e : entries) {
+    ReportEntry entry;
+    entry.url = std::string(e.url);
+    entry.host = std::string(e.host);
+    entry.ip = std::string(e.ip);
+    entry.size = e.size;
+    entry.start_s = e.start_s;
+    entry.time_s = e.time_s;
+    report.entries.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace oak::browser

@@ -1,0 +1,45 @@
+// Non-owning view of one performance report — the ingestion currency.
+//
+// PerfReport (browser/report.h) owns its strings and is what clients build
+// and serialize. The server side never needs ownership: grouping, violator
+// detection and matching only read the fields, and the few strings that
+// survive ingestion (violator IPs/domains, script URLs) are copied at the
+// point they are retained. ReportView carries std::string_view fields that
+// alias either the POSTed wire buffer or the ingest arena (zero-copy path,
+// browser/report_decoder.h) or an owned PerfReport (ReportView::of, used by
+// replay/analyze entry points) — so the whole pipeline downstream of the
+// decoder is one implementation either way.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "browser/report.h"
+
+namespace oak::browser {
+
+struct ReportEntryView {
+  std::string_view url;
+  std::string_view host;
+  std::string_view ip;
+  std::uint64_t size = 0;
+  double start_s = 0.0;
+  double time_s = 0.0;
+};
+
+struct ReportView {
+  std::string_view user_id;
+  std::string_view page_url;
+  double plt_s = 0.0;
+  std::vector<ReportEntryView> entries;
+
+  // View over an owned report; valid while `report` is.
+  static ReportView of(const PerfReport& report);
+
+  // Owned copy (the inverse of `of`; used to compare the zero-copy decoder
+  // against the DOM oracle bit for bit).
+  PerfReport materialize() const;
+};
+
+}  // namespace oak::browser

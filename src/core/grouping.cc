@@ -1,5 +1,7 @@
 #include "core/grouping.h"
 
+#include <algorithm>
+
 #include "util/stats.h"
 
 namespace oak::core {
@@ -12,20 +14,82 @@ double ServerObservation::avg_large_tput() const {
   return util::mean(large_tputs);
 }
 
-std::vector<ServerObservation> group_by_server(
-    const browser::PerfReport& report, std::uint64_t small_threshold_bytes) {
-  std::vector<ServerObservation> out;
-  auto find = [&](const std::string& ip) -> ServerObservation& {
-    for (auto& o : out) {
-      if (o.ip == ip) return o;
+namespace {
+
+// Open-addressing index from IP bytes to observation slot. Replaces the
+// seed's linear scan over observations (O(servers) string compares per
+// entry). Interned decoder output makes the pointer fast path hit for every
+// repeated IP; byte equality keeps PerfReport-backed views correct too.
+class IpIndex {
+ public:
+  IpIndex() : slots_(16, kEmpty), mask_(15) {}
+
+  // Returns the observation index for `ip`, or `size` (== "append a new
+  // observation") after reserving the slot.
+  std::size_t find_or_insert(std::string_view ip,
+                             const std::vector<ServerObservation>& out) {
+    if (out.size() * 10 >= slots_.size() * 7) grow(out);
+    std::size_t i = hash(ip) & mask_;
+    while (slots_[i] != kEmpty) {
+      const ServerObservation& o = out[slots_[i]];
+      if (o.ip.data() == ip.data() || o.ip == ip) return slots_[i];
+      i = (i + 1) & mask_;
     }
-    out.push_back(ServerObservation{});
-    out.back().ip = ip;
-    return out.back();
-  };
+    slots_[i] = out.size();
+    return out.size();
+  }
+
+ private:
+  static constexpr std::size_t kEmpty = std::size_t(-1);
+
+  static std::size_t hash(std::string_view s) {
+    std::size_t h = 1469598103934665603ull;  // FNV-1a
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  void grow(const std::vector<ServerObservation>& out) {
+    mask_ = slots_.size() * 2 - 1;
+    std::fill(slots_.begin(), slots_.end(), kEmpty);
+    slots_.resize(mask_ + 1, kEmpty);
+    for (std::size_t idx = 0; idx < out.size(); ++idx) {
+      std::size_t i = hash(out[idx].ip) & mask_;
+      while (slots_[i] != kEmpty) i = (i + 1) & mask_;
+      slots_[i] = idx;
+    }
+  }
+
+  std::vector<std::size_t> slots_;
+  std::size_t mask_;
+};
+
+// Sorted-unique insert — byte-identical to the old std::set<std::string>
+// iteration order, without the node allocations.
+void insert_domain(std::vector<std::string>& domains, std::string_view host) {
+  auto it = std::lower_bound(
+      domains.begin(), domains.end(), host,
+      [](const std::string& a, std::string_view b) { return a.compare(b) < 0; });
+  if (it != domains.end() && it->compare(host) == 0) return;
+  domains.insert(it, std::string(host));
+}
+
+}  // namespace
+
+std::vector<ServerObservation> group_by_server(
+    const browser::ReportView& report, std::uint64_t small_threshold_bytes) {
+  std::vector<ServerObservation> out;
+  IpIndex index;
   for (const auto& e : report.entries) {
-    ServerObservation& obs = find(e.ip);
-    obs.domains.insert(e.host);
+    const std::size_t idx = index.find_or_insert(e.ip, out);
+    if (idx == out.size()) {
+      out.push_back(ServerObservation{});
+      out.back().ip = std::string(e.ip);
+    }
+    ServerObservation& obs = out[idx];
+    insert_domain(obs.domains, e.host);
     obs.object_count += 1;
     obs.byte_count += e.size;
     if (e.size < small_threshold_bytes) {
@@ -35,6 +99,12 @@ std::vector<ServerObservation> group_by_server(
     }
   }
   return out;
+}
+
+std::vector<ServerObservation> group_by_server(
+    const browser::PerfReport& report, std::uint64_t small_threshold_bytes) {
+  return group_by_server(browser::ReportView::of(report),
+                         small_threshold_bytes);
 }
 
 }  // namespace oak::core

@@ -8,11 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "browser/report.h"
+#include "browser/report_view.h"
 
 namespace oak::core {
 
@@ -20,7 +20,10 @@ inline constexpr std::uint64_t kDefaultSmallObjectBytes = 50 * 1024;
 
 struct ServerObservation {
   std::string ip;
-  std::set<std::string> domains;
+  // Sorted, unique. Was a std::set; a flat sorted vector serializes in the
+  // identical order with none of the per-node allocation (reports name a
+  // handful of domains per server).
+  std::vector<std::string> domains;
   std::vector<double> small_times;  // seconds per small object
   std::vector<double> large_tputs;  // bytes/second per large object
   std::size_t object_count = 0;
@@ -33,7 +36,13 @@ struct ServerObservation {
 };
 
 // Group a report's entries by contacted IP. Observation order follows first
-// appearance in the report (deterministic).
+// appearance in the report (deterministic); domains within an observation
+// are sorted (the old std::set order). The IP lookup is a flat hash table,
+// not a linear scan — third-party-heavy pages contact dozens of servers.
+std::vector<ServerObservation> group_by_server(
+    const browser::ReportView& report,
+    std::uint64_t small_threshold_bytes = kDefaultSmallObjectBytes);
+
 std::vector<ServerObservation> group_by_server(
     const browser::PerfReport& report,
     std::uint64_t small_threshold_bytes = kDefaultSmallObjectBytes);

@@ -141,4 +141,16 @@ std::vector<std::string> report_script_urls(
   return out;
 }
 
+std::vector<std::string> report_script_urls(
+    std::span<const std::string_view> entry_urls) {
+  std::vector<std::string> out;
+  for (const auto& u : entry_urls) {
+    auto parsed = util::parse_url(u);
+    if (parsed && util::ends_with(parsed->path, ".js")) {
+      out.push_back(std::string(u));
+    }
+  }
+  return out;
+}
+
 }  // namespace oak::core

@@ -28,7 +28,9 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -112,5 +114,9 @@ class Matcher {
 // External-script URLs among a report's entries (candidates for tier 3).
 std::vector<std::string> report_script_urls(
     const std::vector<std::string>& entry_urls);
+// View-based variant for the zero-copy ingest path: only the .js survivors
+// are copied into owned strings.
+std::vector<std::string> report_script_urls(
+    std::span<const std::string_view> entry_urls);
 
 }  // namespace oak::core

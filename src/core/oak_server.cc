@@ -1,7 +1,9 @@
 #include "core/oak_server.h"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "browser/report_decoder.h"
 #include "http/cookies.h"
 #include "util/strings.h"
 
@@ -174,13 +176,52 @@ http::Response OakServer::ingest_report(const http::Request& req, double now) {
   if (!cfg_.policy.applies_to(req.client_ip)) {
     return resp;  // accepted, ignored
   }
-  browser::PerfReport report;
-  try {
-    report = browser::PerfReport::deserialize(req.body);
-  } catch (const util::JsonError&) {
-    return http::Response::text("malformed report", 400);
+  // Decode per cfg_.ingest_decode. The view aliases req.body plus the
+  // ingest arena; both outlive process_report(), which copies anything it
+  // retains (violator IPs/domains, decision-log entries) into owned strings.
+  ingest_arena_.clear();
+  browser::ReportView view;
+  browser::PerfReport dom_report;  // backs `view` in the DOM modes
+  switch (cfg_.ingest_decode) {
+    case IngestDecode::kStreaming:
+      try {
+        view = browser::decode_report_view(req.body, ingest_arena_);
+      } catch (const util::JsonError&) {
+        return http::Response::text("malformed report", 400);
+      }
+      break;
+    case IngestDecode::kDom:
+      try {
+        dom_report = browser::PerfReport::deserialize(req.body);
+      } catch (const util::JsonError&) {
+        return http::Response::text("malformed report", 400);
+      }
+      view = browser::ReportView::of(dom_report);
+      break;
+    case IngestDecode::kDifferential: {
+      bool stream_ok = true;
+      bool dom_ok = true;
+      try {
+        view = browser::decode_report_view(req.body, ingest_arena_);
+      } catch (const util::JsonError&) {
+        stream_ok = false;
+      }
+      try {
+        dom_report = browser::PerfReport::deserialize(req.body);
+      } catch (const util::JsonError&) {
+        dom_ok = false;
+      }
+      if (stream_ok != dom_ok ||
+          (stream_ok &&
+           view.materialize().serialize() != dom_report.serialize())) {
+        throw std::logic_error(
+            "ingest decoder divergence: streaming vs DOM disagree on report");
+      }
+      if (!stream_ok) return http::Response::text("malformed report", 400);
+      break;
+    }
   }
-  process_report(user, report, now, nullptr);
+  process_report(user, view, now, nullptr);
   return resp;
 }
 
@@ -189,12 +230,13 @@ DetectionResult OakServer::analyze(const std::string& user_id,
                                    double now) {
   profiles_[user_id].user_id = user_id;
   DetectionResult detection;
-  process_report(profiles_[user_id], report, now, &detection);
+  process_report(profiles_[user_id], browser::ReportView::of(report), now,
+                 &detection);
   return detection;
 }
 
 void OakServer::process_report(UserProfile& user,
-                               const browser::PerfReport& report, double now,
+                               const browser::ReportView& report, double now,
                                DetectionResult* out_detection) {
   ++user.reports_received;
   ++reports_processed_;
@@ -205,7 +247,7 @@ void OakServer::process_report(UserProfile& user,
 
   DetectionResult detection = detect_violators(report, cfg_.detector);
 
-  std::vector<std::string> urls;
+  std::vector<std::string_view> urls;
   urls.reserve(report.entries.size());
   for (const auto& e : report.entries) urls.push_back(e.url);
   const std::vector<std::string> scripts = report_script_urls(urls);

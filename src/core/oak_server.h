@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "browser/report_view.h"
 #include "core/decision_log.h"
 #include "core/matcher.h"
 #include "core/modifier.h"
@@ -30,6 +31,7 @@
 #include "core/rule.h"
 #include "core/violator.h"
 #include "http/message.h"
+#include "util/arena.h"
 #include "util/json.h"
 #include "page/site.h"
 
@@ -45,11 +47,20 @@ enum class HistoryMode {
   kAlwaysRevert,  // any violation of the alternative reverts/advances
 };
 
+// How ingest_report() turns wire bytes into a report.
+//   kStreaming     zero-copy SAX decode into the ingest arena (fast path);
+//   kDom           legacy Json-DOM decode (PerfReport::deserialize);
+//   kDifferential  run both, demand bit-identical reports and identical
+//                  accept/reject verdicts — the CI oracle. Divergence is a
+//                  decoder bug, reported by throwing std::logic_error.
+enum class IngestDecode { kStreaming, kDom, kDifferential };
+
 struct OakConfig {
   DetectorConfig detector;
   MatcherConfig matcher;
   Policy policy;
   HistoryMode history = HistoryMode::kMinDistance;
+  IngestDecode ingest_decode = IngestDecode::kStreaming;
   std::string report_path = "/oak/report";
   // Master switch: when false Oak serves default pages and ignores reports
   // (the paper's baseline condition).
@@ -143,7 +154,7 @@ class OakServer {
  private:
   http::Response serve_page(const http::Request& req, double now);
   http::Response ingest_report(const http::Request& req, double now);
-  void process_report(UserProfile& user, const browser::PerfReport& report,
+  void process_report(UserProfile& user, const browser::ReportView& report,
                       double now, DetectionResult* out_detection);
   void review_active_rules(UserProfile& user, const DetectionResult& detection,
                            const std::vector<std::string>& scripts,
@@ -165,6 +176,9 @@ class OakServer {
   std::size_t next_user_ = 1;
   std::size_t reports_processed_ = 0;
   DecisionLog log_;
+  // Backs the string_views of the report being ingested; cleared per report.
+  // Anything retained past process_report() is copied into owned strings.
+  util::StringArena ingest_arena_;
 };
 
 }  // namespace oak::core

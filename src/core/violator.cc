@@ -22,8 +22,11 @@ DetectionResult detect_violators(std::vector<ServerObservation> observations,
     if (o.has_small()) times.push_back(o.avg_small_time());
     if (o.has_large()) tputs.push_back(o.avg_large_tput());
   }
-  result.time_summary = util::mad_summary(times);
-  result.tput_summary = util::mad_summary(tputs);
+  // The metric vectors are scratch — summarize them in place (selection,
+  // no copy) rather than through the copying mad_summary(). Sizes are
+  // untouched; only the element order/values are consumed.
+  result.time_summary = util::mad_summary_inplace(times);
+  result.tput_summary = util::mad_summary_inplace(tputs);
 
   if (cfg.mode == DetectionMode::kAbsolute) {
     // Fixed bounds, no population requirement — exactly the parameter-
@@ -81,6 +84,12 @@ DetectionResult detect_violators(std::vector<ServerObservation> observations,
 }
 
 DetectionResult detect_violators(const browser::PerfReport& report,
+                                 const DetectorConfig& cfg) {
+  return detect_violators(group_by_server(report, cfg.small_threshold_bytes),
+                          cfg);
+}
+
+DetectionResult detect_violators(const browser::ReportView& report,
                                  const DetectorConfig& cfg) {
   return detect_violators(group_by_server(report, cfg.small_threshold_bytes),
                           cfg);

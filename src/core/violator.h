@@ -65,6 +65,10 @@ struct DetectionResult {
 DetectionResult detect_violators(const browser::PerfReport& report,
                                  const DetectorConfig& cfg = {});
 
+// Detection straight off a decoded view — the zero-copy ingest path.
+DetectionResult detect_violators(const browser::ReportView& report,
+                                 const DetectorConfig& cfg = {});
+
 // Detection over pre-grouped observations (used when the caller already has
 // them or synthesizes them in tests).
 DetectionResult detect_violators(std::vector<ServerObservation> observations,

@@ -1,0 +1,94 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace oak::util {
+
+namespace {
+
+constexpr std::size_t kInitialTableSlots = 64;  // power of two
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+StringArena::StringArena(std::size_t block_bytes)
+    : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+char* StringArena::allocate(std::size_t n) {
+  if (blocks_.empty() || blocks_.back().used + n > blocks_.back().capacity) {
+    Block b;
+    b.capacity = n > block_bytes_ ? n : block_bytes_;
+    b.data = std::make_unique<char[]>(b.capacity);
+    blocks_.push_back(std::move(b));
+  }
+  Block& b = blocks_.back();
+  char* out = b.data.get() + b.used;
+  b.used += n;
+  bytes_used_ += n;
+  return out;
+}
+
+std::string_view StringArena::store(std::string_view s) {
+  if (s.empty()) return std::string_view();
+  char* dst = allocate(s.size());
+  std::memcpy(dst, s.data(), s.size());
+  return std::string_view(dst, s.size());
+}
+
+void StringArena::grow_table() {
+  std::vector<std::string_view> old = std::move(interned_);
+  interned_.assign(old.empty() ? kInitialTableSlots : old.size() * 2,
+                   std::string_view());
+  const std::size_t mask = interned_.size() - 1;
+  for (std::string_view v : old) {
+    if (v.data() == nullptr) continue;
+    std::size_t i = fnv1a(v) & mask;
+    while (interned_[i].data() != nullptr) i = (i + 1) & mask;
+    interned_[i] = v;
+  }
+}
+
+std::string_view StringArena::intern(std::string_view s) {
+  // Load factor under 1/2: the +1 accounts for the slot we may take.
+  if ((interned_count_ + 1) * 2 > interned_.size()) grow_table();
+  const std::size_t mask = interned_.size() - 1;
+  std::size_t i = fnv1a(s) & mask;
+  while (interned_[i].data() != nullptr) {
+    if (interned_[i] == s) {
+      ++intern_hits_;
+      return interned_[i];
+    }
+    i = (i + 1) & mask;
+  }
+  std::string_view stored = store(s);
+  // Empty strings store() as null views, which would read as a vacant slot;
+  // give them a stable non-null data pointer inside the arena instead.
+  if (stored.data() == nullptr) stored = std::string_view(allocate(1), 0);
+  interned_[i] = stored;
+  ++interned_count_;
+  return stored;
+}
+
+void StringArena::clear() {
+  if (interned_count_ > 0) {
+    std::fill(interned_.begin(), interned_.end(), std::string_view());
+  }
+  interned_count_ = 0;
+  bytes_used_ = 0;
+  intern_hits_ = 0;
+  if (blocks_.size() > 1) {
+    blocks_.erase(blocks_.begin() + 1, blocks_.end());
+  }
+  if (!blocks_.empty()) blocks_.front().used = 0;
+}
+
+}  // namespace oak::util

@@ -1,0 +1,77 @@
+// Interning string arena for report ingestion.
+//
+// A performance report names the same handful of IPs, hostnames and URL
+// prefixes over and over (every object served by one CDN front-end repeats
+// its IP; every object of one provider repeats its domain). The streaming
+// decoder (browser/report_decoder.h) parks every string that survives
+// ingestion in one of these arenas: each distinct string is stored once in
+// a chunked buffer and handed out as a std::string_view.
+//
+// Lifetime rules (DESIGN.md §7): views returned by store()/intern() stay
+// valid until clear() or destruction — the arena never reallocates stored
+// bytes. A ReportView decoded into an arena is therefore valid exactly as
+// long as (a) the wire buffer and (b) the arena are; OakServer keeps both
+// alive for the duration of one process_report call and then drops them.
+// Nothing that outlives ingestion (UserProfile fields, Violations, decision
+// log rows) may hold arena views — survivors are copied into owned strings
+// at the point they are retained.
+//
+// Not thread-safe; each ingesting thread (shard) uses its own arena.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace oak::util {
+
+class StringArena {
+ public:
+  explicit StringArena(std::size_t block_bytes = kDefaultBlockBytes);
+
+  // Copy `s` into the arena (no dedup). The returned view is stable until
+  // clear()/destruction.
+  std::string_view store(std::string_view s);
+
+  // Copy `s` into the arena unless an identical string was interned before,
+  // in which case the existing view is returned. Equal interned strings
+  // therefore share identical .data() pointers, which downstream grouping
+  // exploits for O(1) identity checks.
+  std::string_view intern(std::string_view s);
+
+  // Drop all stored strings and the intern table; keeps the first block for
+  // reuse so a per-report arena settles into zero steady-state allocation.
+  void clear();
+
+  std::size_t bytes_used() const { return bytes_used_; }
+  std::size_t unique_strings() const { return interned_count_; }
+  std::uint64_t intern_hits() const { return intern_hits_; }
+
+ private:
+  static constexpr std::size_t kDefaultBlockBytes = 16 * 1024;
+
+  char* allocate(std::size_t n);
+  void grow_table();
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  // Intern table: open-addressing, linear probing, power-of-two size, empty
+  // slots hold default (null-data) views. Per-report ingestion clears the
+  // arena constantly, and a node-based set pays one heap node per insert
+  // plus a free per node on clear(); a flat table of views costs nothing to
+  // insert into and clears with a fill.
+  std::vector<std::string_view> interned_;
+  std::size_t interned_count_ = 0;
+  std::size_t bytes_used_ = 0;
+  std::uint64_t intern_hits_ = 0;
+};
+
+}  // namespace oak::util

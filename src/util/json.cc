@@ -225,12 +225,18 @@ class Parser {
     }
   }
 
+  void enter() {
+    if (++depth_ > kMaxJsonDepth) fail("nesting too deep");
+  }
+
   Json object() {
     expect('{');
+    enter();
     JsonObject o;
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return Json(std::move(o));
     }
     while (true) {
@@ -247,6 +253,7 @@ class Parser {
       }
       if (c == '}') {
         ++pos_;
+        --depth_;
         return Json(std::move(o));
       }
       fail("expected ',' or '}'");
@@ -255,10 +262,12 @@ class Parser {
 
   Json array() {
     expect('[');
+    enter();
     JsonArray a;
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return Json(std::move(a));
     }
     while (true) {
@@ -271,6 +280,7 @@ class Parser {
       }
       if (c == ']') {
         ++pos_;
+        --depth_;
         return Json(std::move(a));
       }
       fail("expected ',' or ']'");
@@ -360,12 +370,15 @@ class Parser {
     if (pos_ == start) fail("expected value");
     double d = 0.0;
     auto res = std::from_chars(text_.data() + start, text_.data() + pos_, d);
+    if (res.ec == std::errc::result_out_of_range) fail("non-finite number");
     if (res.ec != std::errc{}) fail("bad number");
+    if (!std::isfinite(d)) fail("non-finite number");
     return Json(d);
   }
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

@@ -29,6 +29,13 @@ class JsonError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// Maximum container nesting accepted by both JSON decoders (the DOM parser
+// below and the streaming scanner in util/json_stream.h). Adversarial
+// reports like "[[[[..." otherwise recurse or grow the container stack
+// without bound; real Oak reports nest 3 deep. Both decoders enforce the
+// same limit so they agree on what is malformed.
+inline constexpr std::size_t kMaxJsonDepth = 96;
+
 class Json {
  public:
   Json() : value_(nullptr) {}

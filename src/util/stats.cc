@@ -7,33 +7,40 @@
 
 namespace oak::util {
 
-namespace {
-
-double median_sorted(std::vector<double>& v) {
-  if (v.empty()) return 0.0;
-  const std::size_t n = v.size();
+// Selection-based median: O(n) via nth_element instead of a full sort, and
+// exactly the value a sort-based implementation yields (the same order
+// statistics are read either way).
+double median_inplace(std::span<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t n = xs.size();
   const std::size_t mid = n / 2;
-  std::nth_element(v.begin(), v.begin() + mid, v.end());
-  double hi = v[mid];
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double hi = xs[mid];
   if (n % 2 == 1) return hi;
-  double lo = *std::max_element(v.begin(), v.begin() + mid);
+  double lo = *std::max_element(xs.begin(), xs.begin() + mid);
   return (lo + hi) / 2.0;
 }
 
-}  // namespace
+MadSummary mad_summary_inplace(std::span<double> xs) {
+  MadSummary s;
+  s.n = xs.size();
+  s.med = median_inplace(xs);
+  if (xs.size() < 2) return s;  // MAD of <2 samples is defined as 0
+  // Reuse the sample buffer for the deviations — no allocation at all.
+  for (double& x : xs) x = std::fabs(x - s.med);
+  s.mad = median_inplace(xs);
+  return s;
+}
 
 double median(std::span<const double> xs) {
   std::vector<double> v(xs.begin(), xs.end());
-  return median_sorted(v);
+  return median_inplace(v);
 }
 
 double mad(std::span<const double> xs) {
   if (xs.size() < 2) return 0.0;
-  const double med = median(xs);
-  std::vector<double> dev;
-  dev.reserve(xs.size());
-  for (double x : xs) dev.push_back(std::fabs(x - med));
-  return median_sorted(dev);
+  std::vector<double> v(xs.begin(), xs.end());
+  return mad_summary_inplace(v).mad;
 }
 
 double mean(std::span<const double> xs) {
@@ -52,15 +59,20 @@ double stddev(std::span<const double> xs) {
 
 double percentile(std::span<const double> xs, double p) {
   if (xs.empty()) return 0.0;
+  if (p <= 0.0) return *std::min_element(xs.begin(), xs.end());
+  if (p >= 100.0) return *std::max_element(xs.begin(), xs.end());
   std::vector<double> v(xs.begin(), xs.end());
-  std::sort(v.begin(), v.end());
-  if (p <= 0.0) return v.front();
-  if (p >= 100.0) return v.back();
   const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);
   const double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= v.size()) return v.back();
-  return v[lo] + frac * (v[lo + 1] - v[lo]);
+  // Select the lo-th order statistic; its upper neighbour is the minimum of
+  // the partition nth_element leaves above it. Two O(n) passes instead of
+  // one O(n log n) sort, same interpolated value.
+  std::nth_element(v.begin(), v.begin() + lo, v.end());
+  const double at_lo = v[lo];
+  if (lo + 1 >= v.size()) return at_lo;
+  const double at_hi = *std::min_element(v.begin() + lo + 1, v.end());
+  return at_lo + frac * (at_hi - at_lo);
 }
 
 double min_of(std::span<const double> xs) {
@@ -74,11 +86,8 @@ double max_of(std::span<const double> xs) {
 }
 
 MadSummary mad_summary(std::span<const double> xs) {
-  MadSummary s;
-  s.n = xs.size();
-  s.med = median(xs);
-  s.mad = mad(xs);
-  return s;
+  std::vector<double> v(xs.begin(), xs.end());
+  return mad_summary_inplace(v);
 }
 
 bool above_mad(double x, const MadSummary& s, double k) {

@@ -20,6 +20,11 @@ double median(std::span<const double> xs);
 // Returns 0 for samples of size < 2.
 double mad(std::span<const double> xs);
 
+// In-place selection median for hot paths that own their sample buffer:
+// O(n) via std::nth_element, allocates nothing, partially reorders `xs`,
+// and agrees bit-for-bit with median() above.
+double median_inplace(std::span<double> xs);
+
 // Arithmetic mean; 0 for empty samples.
 double mean(std::span<const double> xs);
 
@@ -40,6 +45,12 @@ struct MadSummary {
 };
 
 MadSummary mad_summary(std::span<const double> xs);
+
+// In-place variant for callers that own their sample buffer (per-report
+// violator detection builds its metric vectors fresh each time): two
+// nth_element selections, zero allocation, identical result. Partially
+// reorders `xs` and then overwrites it with deviations.
+MadSummary mad_summary_inplace(std::span<double> xs);
 
 // True when `x` lies more than `k` MADs *above* the median (slow time).
 bool above_mad(double x, const MadSummary& s, double k);

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <random>
+#include <set>
+#include <sstream>
+
 #include "core/grouping.h"
 
 namespace oak::core {
@@ -21,9 +26,9 @@ TEST(Grouping, GroupsByIpNotHost) {
   auto obs = group_by_server(r);
   ASSERT_EQ(obs.size(), 2u);
   EXPECT_EQ(obs[0].ip, "10.0.0.1");
-  EXPECT_EQ(obs[0].domains, (std::set<std::string>{"a.com", "b.com"}));
+  EXPECT_EQ(obs[0].domains, (std::vector<std::string>{"a.com", "b.com"}));
   EXPECT_EQ(obs[0].object_count, 2u);
-  EXPECT_EQ(obs[1].domains, (std::set<std::string>{"c.com"}));
+  EXPECT_EQ(obs[1].domains, (std::vector<std::string>{"c.com"}));
 }
 
 TEST(Grouping, SmallLargeSplitAtThreshold) {
@@ -83,6 +88,111 @@ TEST(Grouping, PreservesFirstAppearanceOrder) {
   ASSERT_EQ(obs.size(), 2u);
   EXPECT_EQ(obs[0].ip, "10.0.0.9");
   EXPECT_EQ(obs[1].ip, "10.0.0.1");
+}
+
+TEST(Grouping, FirstAppearanceOrderUnderInterleavedIps) {
+  // Heavily interleaved IPs: observation order must equal the order in which
+  // each IP first appears, regardless of how entries alternate afterwards.
+  browser::PerfReport r;
+  const char* ips[] = {"10.0.0.3", "10.0.0.1", "10.0.0.2"};
+  for (int round = 0; round < 4; ++round) {
+    for (const char* ip : ips) {
+      r.entries.push_back(entry("u", "h.com", ip, 10, 0.1));
+    }
+  }
+  auto obs = group_by_server(r);
+  ASSERT_EQ(obs.size(), 3u);
+  EXPECT_EQ(obs[0].ip, "10.0.0.3");
+  EXPECT_EQ(obs[1].ip, "10.0.0.1");
+  EXPECT_EQ(obs[2].ip, "10.0.0.2");
+}
+
+// ---------------------------------------------------------------------------
+// Regression: byte-compare the flat-structure grouping against the seed
+// implementation (linear scan + std::set<std::string> domains) over a corpus
+// of randomized reports with heavy IP/domain sharing.
+
+namespace seed {
+
+struct Observation {
+  std::string ip;
+  std::set<std::string> domains;
+  std::vector<double> small_times;
+  std::vector<double> large_tputs;
+  std::size_t object_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+// Verbatim port of the seed group_by_server (commit e79ae42).
+std::vector<Observation> group(const browser::PerfReport& report,
+                               std::uint64_t small_threshold_bytes) {
+  std::vector<Observation> out;
+  auto find = [&](const std::string& ip) -> Observation& {
+    for (auto& o : out) {
+      if (o.ip == ip) return o;
+    }
+    out.push_back(Observation{});
+    out.back().ip = ip;
+    return out.back();
+  };
+  for (const auto& e : report.entries) {
+    Observation& obs = find(e.ip);
+    obs.domains.insert(e.host);
+    obs.object_count += 1;
+    obs.byte_count += e.size;
+    if (e.size < small_threshold_bytes) {
+      obs.small_times.push_back(e.time_s);
+    } else if (e.time_s > 0.0) {
+      obs.large_tputs.push_back(static_cast<double>(e.size) / e.time_s);
+    }
+  }
+  return out;
+}
+
+}  // namespace seed
+
+// One canonical byte encoding shared by both shapes; domains are emitted in
+// iteration order, so set-vs-vector ordering differences would show up here.
+template <typename Obs>
+std::string serialize_observations(const std::vector<Obs>& obs) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& o : obs) {
+    os << "ip=" << o.ip << ";domains=";
+    for (const auto& d : o.domains) os << d << ",";
+    os << ";n=" << o.object_count << ";bytes=" << o.byte_count << ";small=";
+    for (double t : o.small_times) os << t << ",";
+    os << ";large=";
+    for (double t : o.large_tputs) os << t << ",";
+    os << "\n";
+  }
+  return os.str();
+}
+
+TEST(Grouping, ByteIdenticalToSeedImplementation) {
+  std::mt19937 rng(20260805);
+  std::uniform_int_distribution<int> ip_pick(0, 7);
+  std::uniform_int_distribution<int> host_pick(0, 11);
+  std::uniform_int_distribution<std::uint64_t> size_pick(0, 200'000);
+  std::uniform_real_distribution<double> time_pick(0.0, 3.0);
+  std::uniform_int_distribution<int> len_pick(0, 40);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    browser::PerfReport r;
+    const int n = len_pick(rng);
+    for (int i = 0; i < n; ++i) {
+      // Many hosts per IP and many IPs per host: the shared-front-end case
+      // the domain set exists for.
+      const std::string ip = "10.0.0." + std::to_string(ip_pick(rng));
+      const std::string host = "h" + std::to_string(host_pick(rng)) + ".com";
+      r.entries.push_back(
+          entry("http://" + host + "/o" + std::to_string(i), host, ip,
+                size_pick(rng), time_pick(rng)));
+    }
+    ASSERT_EQ(serialize_observations(group_by_server(r)),
+              serialize_observations(seed::group(r, kDefaultSmallObjectBytes)))
+        << "trial " << trial;
+  }
 }
 
 }  // namespace

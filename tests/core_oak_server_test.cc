@@ -238,6 +238,34 @@ TEST_F(OakServerFixture, MalformedReportRejected) {
   EXPECT_EQ(oak_->handle(post, 0.0).status, 400);
 }
 
+// All three ingest decode modes must accept the same wire bytes, reject the
+// same malformed bodies, and leave the user profile in the same state; the
+// differential mode additionally cross-checks both decoders on every body.
+TEST_F(OakServerFixture, IngestDecodeModesAgree) {
+  const std::string body = make_report(ext_hosts_[0], "").serialize();
+  const IngestDecode modes[] = {IngestDecode::kStreaming, IngestDecode::kDom,
+                                IngestDecode::kDifferential};
+  int n = 0;
+  for (IngestDecode mode : modes) {
+    oak_->config().ingest_decode = mode;
+    const std::string uid = "decode-u" + std::to_string(n++);
+    const std::string cookie = std::string(http::kOakUserCookie) + "=" + uid;
+
+    http::Request post = http::Request::post("http://shop.com/oak/report",
+                                             body);
+    post.headers.set("Cookie", cookie);
+    EXPECT_EQ(oak_->handle(post, 0.0).status, 204);
+    const UserProfile* p = oak_->profile(uid);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->active.count(rule_id_), 1u);
+
+    http::Request bad = http::Request::post("http://shop.com/oak/report",
+                                            "{broken");
+    bad.headers.set("Cookie", cookie);
+    EXPECT_EQ(oak_->handle(bad, 0.0).status, 400);
+  }
+}
+
 TEST_F(OakServerFixture, UnknownPathIs404) {
   http::Request req = http::Request::get("http://shop.com/missing.html");
   EXPECT_EQ(oak_->handle(req, 0.0).status, 404);

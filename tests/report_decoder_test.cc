@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "browser/report.h"
+#include "browser/report_decoder.h"
+#include "util/arena.h"
+#include "util/json.h"
+
+namespace oak::browser {
+namespace {
+
+// The contract under test: for every byte string, the streaming decoder and
+// the DOM decoder either both throw util::JsonError or both produce
+// bit-identical PerfReports (compared via the canonical wire encoding).
+// Returns true when the input was accepted.
+bool differential(const std::string& wire) {
+  bool dom_ok = true;
+  PerfReport dom;
+  try {
+    dom = PerfReport::deserialize(wire);
+  } catch (const util::JsonError&) {
+    dom_ok = false;
+  }
+
+  bool stream_ok = true;
+  util::StringArena arena;
+  ReportView view;
+  try {
+    view = decode_report_view(wire, arena);
+  } catch (const util::JsonError&) {
+    stream_ok = false;
+  }
+
+  EXPECT_EQ(dom_ok, stream_ok) << "verdict divergence on: " << wire;
+  if (dom_ok && stream_ok) {
+    EXPECT_EQ(view.materialize().serialize(), dom.serialize())
+        << "field divergence on: " << wire;
+    // The owned-PerfReport convenience path must agree too.
+    EXPECT_EQ(decode_report(wire).serialize(), dom.serialize());
+  }
+  return dom_ok && stream_ok;
+}
+
+TEST(ReportDecoder, RoundTripsOwnSerialization) {
+  PerfReport r;
+  r.user_id = "u42";
+  r.page_url = "http://site.com/index.html";
+  r.plt_s = 1.75;
+  r.entries.push_back({"http://site.com/a.js", "site.com", "10.0.0.1", 1234,
+                       0.1, 0.25});
+  r.entries.push_back({"http://cdn.net/big.png", "cdn.net", "10.0.0.2",
+                       400'000, 0.2, 1.5});
+  EXPECT_TRUE(differential(r.serialize()));
+
+  const PerfReport decoded = decode_report(r.serialize());
+  EXPECT_EQ(decoded.user_id, "u42");
+  EXPECT_EQ(decoded.page_url, "http://site.com/index.html");
+  EXPECT_DOUBLE_EQ(decoded.plt_s, 1.75);
+  ASSERT_EQ(decoded.entries.size(), 2u);
+  EXPECT_EQ(decoded.entries[0].url, "http://site.com/a.js");
+  EXPECT_EQ(decoded.entries[1].size, 400'000u);
+}
+
+TEST(ReportDecoder, InternsHostAndIp) {
+  PerfReport r;
+  r.user_id = "u";
+  r.page_url = "p";
+  for (int i = 0; i < 20; ++i) {
+    r.entries.push_back({"http://h.com/o" + std::to_string(i), "h.com",
+                         "10.0.0.1", 10, 0.0, 0.1});
+  }
+  util::StringArena arena;
+  const ReportView view = decode_report_view(r.serialize(), arena);
+  ASSERT_EQ(view.entries.size(), 20u);
+  for (const auto& e : view.entries) {
+    // Pointer identity, not just equality: one arena copy per distinct
+    // host/ip is what gives grouping its fast path.
+    EXPECT_EQ(e.host.data(), view.entries[0].host.data());
+    EXPECT_EQ(e.ip.data(), view.entries[0].ip.data());
+  }
+  EXPECT_EQ(arena.intern_hits(), 2u * 19u);
+}
+
+TEST(ReportDecoder, EscapedAndUnicodeStrings) {
+  const char* wires[] = {
+      // Escapes in every string field.
+      R"({"uid":"u\n1","page":"http://s.com/\"q\"","plt":1,"entries":[)"
+      R"({"url":"http://s.com/a\tb","host":"s.com","ip":"10.0.0.1",)"
+      R"("size":10,"start":0,"time":0.1}]})",
+      // Unicode escapes incl. a surrogate pair (spelled \uXXXX on the wire).
+      "{\"uid\":\"\\u0041\\u00e9\\ud83d\\ude00\",\"page\":\"p\","
+      "\"plt\":0,\"entries\":[]}",
+      // NUL escape inside a string.
+      "{\"uid\":\"a\\u0000b\",\"page\":\"p\",\"plt\":0,\"entries\":[]}",
+  };
+  for (const char* w : wires) EXPECT_TRUE(differential(w)) << w;
+
+  const PerfReport r = decode_report(wires[1]);
+  EXPECT_EQ(r.user_id, "A\xc3\xa9\xf0\x9f\x98\x80");
+  const PerfReport nul = decode_report(wires[2]);
+  EXPECT_EQ(nul.user_id, std::string("a\0b", 3));
+}
+
+TEST(ReportDecoder, NumericEdgeCases) {
+  const char* accepted[] = {
+      // Large-but-finite values, exponents, negatives, fractional sizes.
+      R"({"uid":"u","page":"p","plt":1e300,"entries":[]})",
+      R"({"uid":"u","page":"p","plt":-2.5e-3,"entries":[]})",
+      R"({"uid":"u","page":"p","plt":0,"entries":[{"url":"u","host":"h",)"
+      R"("ip":"i","size":1.7e9,"start":0,"time":3}]})",
+      R"({"uid":"u","page":"p","plt":0,"entries":[{"url":"u","host":"h",)"
+      R"("ip":"i","size":2.5,"start":0,"time":3}]})",
+  };
+  for (const char* w : accepted) EXPECT_TRUE(differential(w)) << w;
+
+  const char* rejected[] = {
+      // Non-finite plt — both decoders reject.
+      R"({"uid":"u","page":"p","plt":1e999,"entries":[]})",
+      R"({"uid":"u","page":"p","plt":-1e999,"entries":[]})",
+  };
+  for (const char* w : rejected) EXPECT_FALSE(differential(w)) << w;
+
+  // size uses the DOM's llround conversion — 2.5 rounds to 3, not 2.
+  const PerfReport r = decode_report(accepted[3]);
+  EXPECT_EQ(r.entries[0].size, 3u);
+}
+
+TEST(ReportDecoder, DuplicateKeysLastWins) {
+  // std::map semantics: the DOM keeps the last occurrence, even when an
+  // earlier occurrence had the wrong type. The streaming decoder must agree.
+  const char* wires[] = {
+      R"({"uid":"first","uid":"second","page":"p","plt":0,"entries":[]})",
+      R"({"uid":5,"uid":"ok","page":"p","plt":0,"entries":[]})",
+      R"({"entries":[5],"uid":"u","page":"p","plt":0,"entries":[]})",
+      R"({"uid":"u","page":"p","plt":"no","plt":2,"entries":[]})",
+      R"({"uid":"u","page":"p","plt":0,"entries":[{"url":"a","url":"b",)"
+      R"("host":"h","ip":"i","size":1,"start":0,"time":1}]})",
+  };
+  for (const char* w : wires) EXPECT_TRUE(differential(w)) << w;
+  EXPECT_EQ(decode_report(wires[0]).user_id, "second");
+  EXPECT_EQ(decode_report(wires[4]).entries[0].url, "b");
+}
+
+TEST(ReportDecoder, UnknownKeysIgnoredButValidated) {
+  EXPECT_TRUE(differential(
+      R"({"uid":"u","page":"p","plt":0,"extra":{"deep":[1,{"x":null}]},)"
+      R"("entries":[]})"));
+  // Unknown key with malformed value: still rejected by both.
+  EXPECT_FALSE(differential(
+      R"({"uid":"u","page":"p","plt":0,"extra":[1,,2],"entries":[]})"));
+}
+
+TEST(ReportDecoder, MissingAndMistypedFieldsRejected) {
+  const char* wires[] = {
+      R"({"page":"p","plt":0,"entries":[]})",                  // no uid
+      R"({"uid":"u","plt":0,"entries":[]})",                   // no page
+      R"({"uid":"u","page":"p","entries":[]})",                // no plt
+      R"({"uid":"u","page":"p","plt":0})",                     // no entries
+      R"({"uid":7,"page":"p","plt":0,"entries":[]})",          // uid not str
+      R"({"uid":"u","page":"p","plt":"x","entries":[]})",      // plt not num
+      R"({"uid":"u","page":"p","plt":0,"entries":{}})",        // not array
+      R"({"uid":"u","page":"p","plt":0,"entries":[7]})",       // not object
+      R"({"uid":"u","page":"p","plt":0,"entries":[{"url":"u","host":"h",)"
+      R"("ip":"i","size":1,"start":0}]})",                     // entry no time
+      R"([])",                                                 // root not obj
+      R"("report")",                                           // root scalar
+  };
+  for (const char* w : wires) EXPECT_FALSE(differential(w)) << w;
+}
+
+// Randomized differential sweep: valid reports with adversarial strings and
+// numbers, then byte-level mutations of their wire images. Both decoders
+// must agree on every input.
+TEST(ReportDecoder, DifferentialOnRandomizedReports) {
+  std::mt19937 rng(987654);
+  std::uniform_int_distribution<int> entry_count(0, 30);
+  std::uniform_int_distribution<int> str_len(0, 24);
+  std::uniform_int_distribution<int> char_pick(0, 255);
+  std::uniform_real_distribution<double> small_d(0.0, 10.0);
+  std::uniform_int_distribution<std::uint64_t> size_pick(0, 1'000'000);
+
+  auto random_string = [&](int max_len) {
+    std::string s;
+    const int n = str_len(rng) % (max_len + 1);
+    for (int i = 0; i < n; ++i) {
+      // Full byte range: forces escape paths (control chars, quotes,
+      // backslashes) and non-ASCII through serialize().
+      s.push_back(static_cast<char>(char_pick(rng)));
+    }
+    return s;
+  };
+
+  for (int trial = 0; trial < 300; ++trial) {
+    PerfReport r;
+    r.user_id = random_string(12);
+    r.page_url = random_string(24);
+    r.plt_s = small_d(rng);
+    const int n = entry_count(rng);
+    for (int i = 0; i < n; ++i) {
+      ReportEntry e;
+      e.url = random_string(24);
+      e.host = "h" + std::to_string(trial % 5) + ".com";
+      e.ip = "10.0.0." + std::to_string(trial % 7);
+      e.size = size_pick(rng);
+      e.start_s = small_d(rng);
+      e.time_s = small_d(rng);
+      r.entries.push_back(std::move(e));
+    }
+    const std::string wire = r.serialize();
+    EXPECT_TRUE(differential(wire));
+
+    // Mutations: flip a byte / truncate / duplicate a chunk. Whatever the
+    // DOM decoder says about the damaged bytes, the scanner must echo.
+    std::string mutated = wire;
+    switch (trial % 3) {
+      case 0:
+        if (!mutated.empty()) {
+          mutated[std::size_t(trial * 7) % mutated.size()] =
+              static_cast<char>(char_pick(rng));
+        }
+        break;
+      case 1:
+        mutated.resize(mutated.size() / 2);
+        break;
+      default:
+        mutated += mutated.substr(mutated.size() / 3);
+        break;
+    }
+    differential(mutated);  // EXPECTs inside check agreement either way
+  }
+}
+
+TEST(ReportDecoder, TruncationsAllAgree) {
+  PerfReport r;
+  r.user_id = "user\t1";
+  r.page_url = "http://s.com/p";
+  r.plt_s = 2.0;
+  r.entries.push_back({"http://s.com/a", "s.com", "10.0.0.1", 99, 0.0, 0.5});
+  const std::string wire = r.serialize();
+  // Every prefix of a valid wire image: both decoders must reject all of
+  // them (except the full string) with identical verdicts.
+  for (std::size_t len = 0; len <= wire.size(); ++len) {
+    const bool ok = differential(wire.substr(0, len));
+    EXPECT_EQ(ok, len == wire.size()) << "prefix length " << len;
+  }
+}
+
+TEST(ReportDecoder, ArenaClearInvalidatesButReusesMemory) {
+  util::StringArena arena;
+  PerfReport r;
+  r.user_id = "u";
+  r.page_url = "p";
+  r.entries.push_back({"http://h.com/x", "h.com", "10.0.0.1", 5, 0.0, 0.1});
+  const std::string wire = r.serialize();
+
+  (void)decode_report_view(wire, arena);
+  const std::size_t bytes_after_first = arena.bytes_used();
+  EXPECT_GT(bytes_after_first, 0u);
+  for (int i = 0; i < 100; ++i) {
+    arena.clear();
+    (void)decode_report_view(wire, arena);
+  }
+  // Steady-state ingestion reuses the first block: same footprint every
+  // report, no growth across clear() cycles.
+  EXPECT_EQ(arena.bytes_used(), bytes_after_first);
+}
+
+}  // namespace
+}  // namespace oak::browser

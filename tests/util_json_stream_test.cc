@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/json_stream.h"
+
+namespace oak::util {
+namespace {
+
+// Flatten a document into a readable event trace for whole-document checks.
+std::string trace(std::string_view doc) {
+  JsonScanner s(doc);
+  std::string out;
+  for (;;) {
+    switch (s.next()) {
+      case JsonEvent::kBeginObject: out += "{"; break;
+      case JsonEvent::kEndObject: out += "}"; break;
+      case JsonEvent::kBeginArray: out += "["; break;
+      case JsonEvent::kEndArray: out += "]"; break;
+      case JsonEvent::kKey:
+        out += "K(" + std::string(s.text()) + ")";
+        break;
+      case JsonEvent::kString:
+        out += "S(" + std::string(s.text()) + ")";
+        break;
+      case JsonEvent::kNumber:
+        out += "N(" + std::to_string(s.number()) + ")";
+        break;
+      case JsonEvent::kBool: out += s.boolean() ? "T" : "F"; break;
+      case JsonEvent::kNull: out += "0"; break;
+      case JsonEvent::kEnd: return out;
+    }
+  }
+}
+
+TEST(JsonScanner, ScalarDocuments) {
+  EXPECT_EQ(trace("42"), "N(42.000000)");
+  EXPECT_EQ(trace("\"hi\""), "S(hi)");
+  EXPECT_EQ(trace("true"), "T");
+  EXPECT_EQ(trace("false"), "F");
+  EXPECT_EQ(trace("null"), "0");
+}
+
+TEST(JsonScanner, NestedDocument) {
+  EXPECT_EQ(trace(R"({"a":[1,{"b":"c"}],"d":null})"),
+            "{K(a)[N(1.000000){K(b)S(c)}]K(d)0}");
+}
+
+TEST(JsonScanner, EmptyContainers) {
+  EXPECT_EQ(trace("{}"), "{}");
+  EXPECT_EQ(trace("[]"), "[]");
+  EXPECT_EQ(trace(R"({"a":{},"b":[]})"), "{K(a){}K(b)[]}");
+}
+
+TEST(JsonScanner, EndIsSticky) {
+  JsonScanner s("1");
+  EXPECT_EQ(s.next(), JsonEvent::kNumber);
+  EXPECT_EQ(s.next(), JsonEvent::kEnd);
+  EXPECT_EQ(s.next(), JsonEvent::kEnd);
+}
+
+TEST(JsonScanner, UnescapedStringsAreViewsIntoInput) {
+  const std::string doc = R"({"key":"value"})";
+  JsonScanner s(doc);
+  ASSERT_EQ(s.next(), JsonEvent::kBeginObject);
+  ASSERT_EQ(s.next(), JsonEvent::kKey);
+  EXPECT_FALSE(s.string_escaped());
+  EXPECT_GE(s.text().data(), doc.data());
+  EXPECT_LT(s.text().data(), doc.data() + doc.size());
+  ASSERT_EQ(s.next(), JsonEvent::kString);
+  EXPECT_FALSE(s.string_escaped());
+  EXPECT_EQ(s.text(), "value");
+  EXPECT_GE(s.text().data(), doc.data());
+  EXPECT_LT(s.text().data(), doc.data() + doc.size());
+}
+
+TEST(JsonScanner, EscapedStringsDecodeIntoScratch) {
+  const std::string doc = R"(["a\nb","tab\tend","q\"q","u\u0041\u00e9"])";
+  JsonScanner s(doc);
+  ASSERT_EQ(s.next(), JsonEvent::kBeginArray);
+  ASSERT_EQ(s.next(), JsonEvent::kString);
+  EXPECT_TRUE(s.string_escaped());
+  EXPECT_EQ(s.text(), "a\nb");
+  // Decoded payload must NOT alias the input buffer.
+  EXPECT_TRUE(s.text().data() < doc.data() ||
+              s.text().data() >= doc.data() + doc.size());
+  ASSERT_EQ(s.next(), JsonEvent::kString);
+  EXPECT_EQ(s.text(), "tab\tend");
+  ASSERT_EQ(s.next(), JsonEvent::kString);
+  EXPECT_EQ(s.text(), "q\"q");
+  ASSERT_EQ(s.next(), JsonEvent::kString);
+  EXPECT_EQ(s.text(), "uA\xc3\xa9");  // \u0041='A', \u00e9=é in UTF-8
+  ASSERT_EQ(s.next(), JsonEvent::kEndArray);
+  ASSERT_EQ(s.next(), JsonEvent::kEnd);
+}
+
+TEST(JsonScanner, SurrogatePairDecodes) {
+  JsonScanner s(R"("\ud83d\ude00")");  // U+1F600
+  ASSERT_EQ(s.next(), JsonEvent::kString);
+  EXPECT_EQ(s.text(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonScanner, SkipValueSkipsWholeSubtrees) {
+  JsonScanner s(R"({"skip":[{"deep":[1,2,{"x":null}]},"s"],"keep":7})");
+  ASSERT_EQ(s.next(), JsonEvent::kBeginObject);
+  ASSERT_EQ(s.next(), JsonEvent::kKey);
+  EXPECT_EQ(s.text(), "skip");
+  s.skip_value();
+  ASSERT_EQ(s.next(), JsonEvent::kKey);
+  EXPECT_EQ(s.text(), "keep");
+  ASSERT_EQ(s.next(), JsonEvent::kNumber);
+  EXPECT_EQ(s.number(), 7.0);
+  ASSERT_EQ(s.next(), JsonEvent::kEndObject);
+  ASSERT_EQ(s.next(), JsonEvent::kEnd);
+}
+
+TEST(JsonScanner, SkipValueValidates) {
+  JsonScanner s(R"({"skip":[1,)");
+  ASSERT_EQ(s.next(), JsonEvent::kBeginObject);
+  ASSERT_EQ(s.next(), JsonEvent::kKey);
+  EXPECT_THROW(s.skip_value(), JsonError);
+}
+
+TEST(JsonScanner, DepthTracksNesting) {
+  JsonScanner s(R"([[{"a":[]}]])");
+  EXPECT_EQ(s.depth(), 0u);
+  s.next();  // [
+  EXPECT_EQ(s.depth(), 1u);
+  s.next();  // [
+  s.next();  // {
+  EXPECT_EQ(s.depth(), 3u);
+  s.next();  // key
+  s.next();  // [
+  EXPECT_EQ(s.depth(), 4u);
+  s.next();  // ]
+  s.next();  // }
+  EXPECT_EQ(s.depth(), 2u);
+}
+
+// --- Hardening limits, mirrored between scanner and DOM parser.
+
+std::string nested_arrays(std::size_t depth) {
+  return std::string(depth, '[') + "1" + std::string(depth, ']');
+}
+
+TEST(JsonScanner, DepthLimitMatchesDomParser) {
+  const std::string ok = nested_arrays(kMaxJsonDepth);
+  const std::string too_deep = nested_arrays(kMaxJsonDepth + 1);
+  EXPECT_NO_THROW(trace(ok));
+  EXPECT_NO_THROW(Json::parse(ok));
+  EXPECT_THROW(trace(too_deep), JsonError);
+  EXPECT_THROW(Json::parse(too_deep), JsonError);
+}
+
+TEST(JsonScanner, RejectsNonFiniteNumbersLikeDomParser) {
+  for (const char* doc : {"1e999", "-1e999", "[1e400]"}) {
+    EXPECT_THROW(trace(doc), JsonError) << doc;
+    EXPECT_THROW(Json::parse(doc), JsonError) << doc;
+  }
+}
+
+TEST(JsonScanner, ErrorsMirrorDomParser) {
+  // Every malformed document the DOM parser rejects must be rejected by the
+  // scanner too (and vice versa for these accept cases).
+  const char* bad[] = {
+      "",       "{",       "[",         "{\"a\"}",  "{\"a\":}",
+      "[1,]",   "{,}",     "tru",       "nul",      "\"unterminated",
+      "\"\\q\"", "\"\\u12\"", "[1 2]",  "{\"a\":1,}", "1 trailing",
+      "[]]",    "\x01",
+  };
+  for (const char* doc : bad) {
+    EXPECT_THROW(trace(doc), JsonError) << doc;
+    EXPECT_THROW(Json::parse(doc), JsonError) << doc;
+  }
+  const char* good[] = {
+      "  1  ", "[1+2]",  // from_chars prefix parse quirk, kept bit-compatible
+      R"({"a":1,"a":2})", "-0.5e2", "\"\\u0000\"",
+      // The DOM parser is lenient about lone/dangling surrogates; the
+      // scanner mirrors that too — agreement, not strictness, is the
+      // contract.
+      "\"\\ud800\"", "\"\\ud83d\\u0041\"",
+  };
+  for (const char* doc : good) {
+    EXPECT_NO_THROW(trace(doc)) << doc;
+    EXPECT_NO_THROW(Json::parse(doc)) << doc;
+  }
+}
+
+// --- JsonSink push API.
+
+class Collector : public JsonSink {
+ public:
+  void on_begin_object() override { events.push_back("{"); }
+  void on_end_object() override { events.push_back("}"); }
+  void on_begin_array() override { events.push_back("["); }
+  void on_end_array() override { events.push_back("]"); }
+  void on_key(std::string_view k) override {
+    events.push_back("K:" + std::string(k));
+  }
+  void on_string(std::string_view v) override {
+    events.push_back("S:" + std::string(v));
+  }
+  void on_number(double d) override {
+    events.push_back("N:" + std::to_string(d));
+  }
+  void on_bool(bool b) override { events.push_back(b ? "T" : "F"); }
+  void on_null() override { events.push_back("0"); }
+
+  std::vector<std::string> events;
+};
+
+TEST(JsonSink, ReceivesAllEvents) {
+  Collector c;
+  scan_json(R"({"a":[1,true,null],"b":"x"})", c);
+  const std::vector<std::string> want = {"{", "K:a", "[", "N:1.000000", "T",
+                                         "0", "]", "K:b", "S:x", "}"};
+  EXPECT_EQ(c.events, want);
+}
+
+TEST(JsonSink, PropagatesErrors) {
+  Collector c;
+  EXPECT_THROW(scan_json("[1,", c), JsonError);
+}
+
+}  // namespace
+}  // namespace oak::util

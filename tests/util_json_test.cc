@@ -113,5 +113,39 @@ TEST(JsonDump, NanBecomesNull) {
   EXPECT_EQ(Json(std::nan("")).dump(), "null");
 }
 
+// --- Parser hardening (shared limits with util::JsonScanner).
+
+TEST(JsonHardening, AcceptsNestingUpToLimit) {
+  std::string doc(kMaxJsonDepth, '[');
+  doc += "0";
+  doc += std::string(kMaxJsonDepth, ']');
+  EXPECT_NO_THROW(Json::parse(doc));
+
+  std::string objs;
+  for (std::size_t i = 0; i < kMaxJsonDepth; ++i) objs += "{\"k\":";
+  objs += "1";
+  objs += std::string(kMaxJsonDepth, '}');
+  EXPECT_NO_THROW(Json::parse(objs));
+}
+
+TEST(JsonHardening, RejectsNestingBeyondLimit) {
+  std::string doc(kMaxJsonDepth + 1, '[');
+  doc += "0";
+  doc += std::string(kMaxJsonDepth + 1, ']');
+  EXPECT_THROW(Json::parse(doc), JsonError);
+  // Unbalanced runaway nesting fails on depth, not on end-of-input.
+  EXPECT_THROW(Json::parse(std::string(100'000, '[')), JsonError);
+}
+
+TEST(JsonHardening, RejectsNonFiniteNumbers) {
+  for (const char* doc :
+       {"1e999", "-1e999", "1e99999999", "[1e400]", "{\"x\":-1e400}"}) {
+    EXPECT_THROW(Json::parse(doc), JsonError) << doc;
+  }
+  // Large but finite still parses.
+  EXPECT_NO_THROW(Json::parse("1e308"));
+  EXPECT_NO_THROW(Json::parse("-1.5e-300"));
+}
+
 }  // namespace
 }  // namespace oak::util

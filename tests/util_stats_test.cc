@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <random>
 #include <vector>
 
 namespace oak::util {
@@ -112,6 +114,94 @@ TEST(MadDistance, SignedAndNormalized) {
   EXPECT_DOUBLE_EQ(mad_distance(5.0, s), 2.0);
   EXPECT_DOUBLE_EQ(mad_distance(1.0, s), -2.0);
   EXPECT_DOUBLE_EQ(mad_distance(3.0, s), 0.0);
+}
+
+// --- Selection-based (nth_element) summaries vs a sort-based reference.
+
+double median_by_sort(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t mid = xs.size() / 2;
+  if (xs.size() % 2 == 1) return xs[mid];
+  return (xs[mid - 1] + xs[mid]) / 2.0;
+}
+
+double mad_by_sort(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double med = median_by_sort(xs);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double x : xs) dev.push_back(std::fabs(x - med));
+  return median_by_sort(dev);
+}
+
+TEST(SelectionStats, MedianInplaceMatchesSortReference) {
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> val(-100.0, 100.0);
+  std::uniform_int_distribution<int> len(1, 200);
+  std::uniform_int_distribution<int> dup(0, 3);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<double> xs;
+    const int n = len(rng);
+    for (int i = 0; i < n; ++i) {
+      // Duplicate-heavy mixes: most values snapped to a coarse grid.
+      const double x = val(rng);
+      xs.push_back(dup(rng) == 0 ? x : std::round(x / 10.0) * 10.0);
+    }
+    const double want = median_by_sort(xs);
+    std::vector<double> scratch = xs;
+    EXPECT_DOUBLE_EQ(median_inplace(scratch), want) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(median(xs), want);
+  }
+}
+
+TEST(SelectionStats, OddEvenAndDuplicateHeavyCases) {
+  // Odd, even, all-equal, two-element, and adversarial even splits where a
+  // naive "both middles via one nth_element" would go wrong.
+  const std::vector<std::vector<double>> cases = {
+      {1.0},
+      {2.0, 1.0},
+      {3.0, 1.0, 2.0},
+      {4.0, 1.0, 3.0, 2.0},
+      {5.0, 5.0, 5.0, 5.0},
+      {1.0, 1.0, 1.0, 9.0},
+      {9.0, 1.0, 9.0, 1.0},
+      {2.0, 2.0, 1.0, 3.0, 2.0, 2.0},
+  };
+  for (const auto& xs : cases) {
+    std::vector<double> scratch = xs;
+    EXPECT_DOUBLE_EQ(median_inplace(scratch), median_by_sort(xs));
+  }
+}
+
+TEST(SelectionStats, MadSummaryInplaceMatchesReference) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> val(0.0, 5.0);
+  std::uniform_int_distribution<int> len(0, 60);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> xs;
+    const int n = len(rng);
+    for (int i = 0; i < n; ++i) xs.push_back(val(rng));
+
+    std::vector<double> scratch = xs;
+    const MadSummary s = mad_summary_inplace(scratch);
+    EXPECT_EQ(s.n, xs.size());
+    EXPECT_DOUBLE_EQ(s.med, median_by_sort(xs)) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(s.mad, mad_by_sort(xs)) << "trial " << trial;
+
+    // And the copying wrappers agree with the in-place core.
+    const MadSummary c = mad_summary(xs);
+    EXPECT_DOUBLE_EQ(c.med, s.med);
+    EXPECT_DOUBLE_EQ(c.mad, s.mad);
+  }
+}
+
+TEST(SelectionStats, InplaceConsumesButDoesNotResize) {
+  std::vector<double> xs = {5.0, 1.0, 4.0, 2.0, 3.0};
+  const MadSummary s = mad_summary_inplace(xs);
+  EXPECT_DOUBLE_EQ(s.med, 3.0);
+  EXPECT_DOUBLE_EQ(s.mad, 1.0);
+  EXPECT_EQ(xs.size(), 5u);  // contents are scratch now, size preserved
 }
 
 TEST(MadDistance, ZeroMadDegenerates) {
