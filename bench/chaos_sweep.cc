@@ -1,0 +1,220 @@
+// Chaos sweep: Oak-enabled vs vanilla fleets under injected faults.
+//
+// Four runs over the ChaosScenario, all deterministic in the seed:
+//
+//   outage-refused    10% of third parties refuse connections for 2h;
+//   outage-stall      same outage, but transfers hang until the browser
+//                     timeout fires (the expensive failure mode);
+//   outage-truncate   same outage, transfers reset mid-body;
+//   origin-flap       the *origin* flaps (30% duty); providers stay
+//                     healthy. Measures report-upload loss: reports die
+//                     with the origin, never retried off the critical path.
+//
+// Per outage run: median PLT degradation (outage window vs pre-onset
+// baseline) for both fleets, and Oak's time-to-mitigation (first rule
+// activation after onset). The origin-flap run reports the report-loss
+// rate during the flap window.
+//
+// Emits BENCH_chaos.json. Acceptance: on every provider-outage run the Oak
+// fleet's median PLT degradation is strictly smaller than the vanilla
+// fleet's, and mitigation happened. Two same-seed invocations write
+// byte-identical JSON (pinned by tests/chaos_test.cc at scenario level).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "browser/browser.h"
+#include "core/decision_log.h"
+#include "util/json.h"
+#include "util/stats.h"
+#include "workload/chaos.h"
+#include "workload/harness.h"
+#include "workload/vantage.h"
+
+namespace {
+
+using namespace oak;
+
+struct RunSpec {
+  const char* name;
+  net::FaultType fault;
+  double flap_period_s;
+  double flap_duty;
+  bool fault_origin;
+  double outage_fraction;
+};
+
+struct RunResult {
+  util::JsonObject json;
+  double oak_degradation = 0.0;
+  double vanilla_degradation = 0.0;
+  double time_to_mitigation_s = -1.0;
+  double report_loss_rate = 0.0;
+  bool provider_outage = false;
+};
+
+RunResult run_one(const RunSpec& spec) {
+  workload::ChaosScenario::Options opt;
+  opt.fault = spec.fault;
+  opt.flap_period_s = spec.flap_period_s;
+  opt.flap_duty = spec.flap_duty;
+  opt.fault_origin = spec.fault_origin;
+  opt.outage_fraction = spec.outage_fraction;
+  workload::ChaosScenario scenario(opt);
+
+  auto vps =
+      workload::make_vantage_points(scenario.universe().network(), 16);
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  // A tight budget keeps stalled transfers from dominating the sweep while
+  // still dwarfing any healthy fetch.
+  bc.fetch_timeout_s = 5.0;
+
+  struct Pair {
+    std::unique_ptr<browser::Browser> oak, def;
+  };
+  std::vector<Pair> fleet;
+  for (const auto& vp : vps) {
+    Pair p;
+    p.oak = std::make_unique<browser::Browser>(scenario.universe(),
+                                               vp.client, bc);
+    p.def = std::make_unique<browser::Browser>(scenario.universe(),
+                                               vp.client, bc);
+    fleet.push_back(std::move(p));
+  }
+
+  const double onset = opt.onset_s;
+  const double offset_end = opt.onset_s + opt.duration_s;
+  constexpr double kInterval = 300.0;
+  const double horizon = offset_end + 1800.0;
+
+  std::vector<double> oak_base, oak_outage, def_base, def_outage;
+  std::size_t outage_loads = 0, outage_lost = 0;
+  std::size_t base_loads = 0, base_lost = 0;
+  std::size_t oak_failed_objects = 0, def_failed_objects = 0;
+
+  for (double t = 0.0; t < horizon; t += kInterval) {
+    const bool in_outage = t >= onset && t < offset_end;
+    const bool in_base = t < onset;
+    for (auto& p : fleet) {
+      browser::LoadResult ro = p.oak->load(scenario.oak_site_url(), t);
+      browser::LoadResult rd = p.def->load(scenario.default_site_url(), t);
+      oak_failed_objects += ro.failed_objects;
+      def_failed_objects += rd.failed_objects;
+      if (in_outage) {
+        oak_outage.push_back(ro.plt_s);
+        def_outage.push_back(rd.plt_s);
+        ++outage_loads;
+        if (!ro.report_delivered) ++outage_lost;
+      } else if (in_base) {
+        oak_base.push_back(ro.plt_s);
+        def_base.push_back(rd.plt_s);
+        ++base_loads;
+        if (!ro.report_delivered) ++base_lost;
+      }
+    }
+  }
+
+  RunResult r;
+  r.provider_outage = !scenario.faulted_providers().empty();
+  const double oak_base_med = util::median_inplace(oak_base);
+  const double def_base_med = util::median_inplace(def_base);
+  const double oak_out_med = util::median_inplace(oak_outage);
+  const double def_out_med = util::median_inplace(def_outage);
+  r.oak_degradation = oak_base_med > 0.0 ? oak_out_med / oak_base_med : 0.0;
+  r.vanilla_degradation =
+      def_base_med > 0.0 ? def_out_med / def_base_med : 0.0;
+
+  for (const auto& d : scenario.oak().decision_log().entries()) {
+    if (d.type == core::DecisionType::kActivate && d.time >= onset) {
+      r.time_to_mitigation_s = d.time - onset;
+      break;
+    }
+  }
+  r.report_loss_rate =
+      outage_loads == 0
+          ? 0.0
+          : static_cast<double>(outage_lost) /
+                static_cast<double>(outage_loads);
+
+  util::JsonObject j;
+  j["name"] = std::string(spec.name);
+  j["fault"] = std::string(net::to_string(spec.fault));
+  j["faulted_providers"] =
+      static_cast<std::int64_t>(scenario.faulted_providers().size());
+  j["oak_plt_baseline_median_s"] = oak_base_med;
+  j["oak_plt_outage_median_s"] = oak_out_med;
+  j["vanilla_plt_baseline_median_s"] = def_base_med;
+  j["vanilla_plt_outage_median_s"] = def_out_med;
+  j["oak_degradation"] = r.oak_degradation;
+  j["vanilla_degradation"] = r.vanilla_degradation;
+  j["time_to_mitigation_s"] = r.time_to_mitigation_s;
+  j["oak_failed_objects"] = static_cast<std::int64_t>(oak_failed_objects);
+  j["vanilla_failed_objects"] =
+      static_cast<std::int64_t>(def_failed_objects);
+  j["report_loss_rate_baseline"] =
+      base_loads == 0 ? 0.0
+                      : static_cast<double>(base_lost) /
+                            static_cast<double>(base_loads);
+  j["report_loss_rate_outage"] = r.report_loss_rate;
+  r.json = std::move(j);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  workload::print_banner("Chaos sweep",
+                         "Oak vs vanilla under injected faults");
+
+  const RunSpec specs[] = {
+      {"outage-refused", net::FaultType::kConnectRefused, 0.0, 1.0, false,
+       0.1},
+      {"outage-stall", net::FaultType::kStall, 0.0, 1.0, false, 0.1},
+      {"outage-truncate", net::FaultType::kTruncate, 0.0, 1.0, false, 0.1},
+      {"origin-flap", net::FaultType::kConnectRefused, 900.0, 0.3, true,
+       0.0},
+  };
+
+  util::JsonArray runs;
+  bool degradation_pass = true;
+  bool mitigated_pass = true;
+  double origin_flap_loss = 0.0;
+  for (const RunSpec& spec : specs) {
+    RunResult r = run_one(spec);
+    std::printf("%-16s oak x%.3f  vanilla x%.3f  mitigation %.0fs  "
+                "report-loss %.2f\n",
+                spec.name, r.oak_degradation, r.vanilla_degradation,
+                r.time_to_mitigation_s, r.report_loss_rate);
+    if (r.provider_outage) {
+      degradation_pass =
+          degradation_pass && r.oak_degradation < r.vanilla_degradation;
+      mitigated_pass = mitigated_pass && r.time_to_mitigation_s >= 0.0;
+    } else {
+      origin_flap_loss = r.report_loss_rate;
+    }
+    runs.emplace_back(std::move(r.json));
+  }
+
+  util::JsonObject root;
+  root["bench"] = std::string("chaos_sweep");
+  root["runs"] = std::move(runs);
+  util::JsonObject acceptance;
+  acceptance["oak_degrades_less_than_vanilla"] = degradation_pass;
+  acceptance["mitigation_observed"] = mitigated_pass;
+  acceptance["origin_flap_report_loss_rate"] = origin_flap_loss;
+  acceptance["origin_flap_reports_lost"] = origin_flap_loss > 0.0;
+  const bool pass =
+      degradation_pass && mitigated_pass && origin_flap_loss > 0.0;
+  acceptance["pass"] = pass;
+  root["acceptance"] = std::move(acceptance);
+
+  std::ofstream("BENCH_chaos.json")
+      << util::Json(std::move(root)).dump_pretty(2) << "\n";
+  std::printf("\nacceptance: %s\nwrote BENCH_chaos.json\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -35,6 +35,44 @@ Browser::Browser(page::WebUniverse& universe, net::ClientId client,
       rng_(util::Rng::forked(universe.network().seed(),
                              0xb0b0ull + client)) {}
 
+net::FetchOutcome Browser::fetch_with_retries(
+    const std::string& url, const std::string& host, std::uint64_t bytes,
+    double now, Resolved* res, double* start, bool new_connection,
+    LoadResult* out) {
+  for (int attempt = 0;; ++attempt) {
+    net::FetchOutcome oc = universe_.network().fetch_outcome(
+        client_, res->server, bytes, now + *start, rng_, res->was_cold,
+        new_connection, cfg_.fetch_timeout_s);
+    if (!oc.failed()) return oc;
+    // Every failed attempt becomes its own report entry (size 0, typed
+    // code): a flaky server accumulates failure samples server-side even
+    // when a retry eventually succeeds.
+    out->report.entries.push_back(
+        ReportEntry{url, host, res->ip.to_string(), 0, *start,
+                    oc.error.elapsed_s,
+                    std::string(net::error_code(oc.error.type))});
+    if (attempt >= cfg_.max_retries) return oc;
+    ++out->fetch_retries;
+    const double base =
+        cfg_.retry_backoff_s * static_cast<double>(1 << attempt);
+    *start += oc.error.elapsed_s + base + rng_.uniform(0.0, base);
+    // The failure may mean the cached address went stale (the provider
+    // moved front-ends): drop it and resolve afresh before retrying.
+    dns_cache_.erase(host);
+    auto fresh = resolve(host, now + *start);
+    if (!fresh) {
+      out->report.entries.push_back(ReportEntry{
+          url, host, "", 0, *start, 0.0,
+          std::string(net::error_code(net::FetchErrorType::kDns))});
+      net::FetchOutcome fail;
+      fail.error = net::FetchError{net::FetchErrorType::kDns, 0.0};
+      return fail;
+    }
+    *res = *fresh;
+    new_connection = true;
+  }
+}
+
 std::optional<Browser::Resolved> Browser::resolve(const std::string& host,
                                                   double now) {
   auto it = dns_cache_.find(host);
@@ -89,13 +127,29 @@ LoadResult Browser::load(const std::string& url, double now) {
   if (!resp.ok()) return out;
   out.page_html = resp.body;
 
-  net::FetchTiming index_timing = universe_.network().fetch(
-      client_, origin_res->server, resp.body.size(), now, rng_,
-      origin_res->was_cold, /*new_connection=*/true);
-  const double t_index = index_timing.total();
+  Resolved origin = *origin_res;
+  double index_start = 0.0;
+  net::FetchOutcome index_oc =
+      fetch_with_retries(url, origin_host, resp.body.size(), now, &origin,
+                         &index_start, /*new_connection=*/true, &out);
+  if (index_oc.failed()) {
+    // Navigation failed: no page, no discovery — and nothing to upload to,
+    // so the report dies with the load (report loss under origin outages).
+    out.page_status = 504;
+    out.page_html.clear();
+    out.plt_s = index_start + index_oc.elapsed();
+    out.report.page_url = url;
+    out.report.plt_s = out.plt_s;
+    if (auto uid = cookies_.get(origin_host, http::kOakUserCookie)) {
+      out.report.user_id = *uid;
+    }
+    ++out.failed_objects;
+    return out;
+  }
+  const double t_index = index_start + index_oc.timing.total();
   out.report.entries.push_back(ReportEntry{
-      url, origin_host, origin_res->ip.to_string(), resp.body.size(), 0.0,
-      t_index});
+      url, origin_host, origin.ip.to_string(), resp.body.size(), index_start,
+      index_oc.timing.total()});
 
   // --- 2. Resource discovery from the returned HTML text.
   struct Pending {
@@ -151,7 +205,13 @@ LoadResult Browser::load(const std::string& url, double now) {
     }
     auto res = resolve(obj_url->host, now + p.at);
     if (!res) {
+      // NXDOMAIN: a failure the report should still carry even though no
+      // server was ever contacted (ip stays empty, zero time burned).
+      out.report.entries.push_back(ReportEntry{
+          p.url, obj_url->host, "", 0, p.at, 0.0,
+          std::string(net::error_code(net::FetchErrorType::kDns))});
       ++out.missing_objects;
+      ++out.failed_objects;
       continue;
     }
 
@@ -194,28 +254,37 @@ LoadResult Browser::load(const std::string& url, double now) {
       }
       new_conn = !hs.connected[slot];
       start = std::max(p.at, hs.free_at[slot]);
-      // Reserve the slot; its availability is patched after timing below.
-      hs.connected[slot] = true;
       h1_slot = {&hs, slot};
     }
-    net::FetchTiming timing =
-        universe_.network().fetch(client_, res->server, obj->size,
-                                  now + start, rng_, res->was_cold, new_conn);
-    const double done = start + timing.total();
+    Resolved robj = *res;
+    net::FetchOutcome oc = fetch_with_retries(
+        p.url, obj_url->host, obj->size, now, &robj, &start, new_conn, &out);
+    const double done = start + oc.elapsed();
     if (cfg_.use_h2) {
       H2Conn& conn = h2_conns[obj_url->host];
-      if (!conn.open) {
+      if (!oc.failed() && !conn.open) {
         conn.open = true;
-        conn.setup_done = start + timing.dns + timing.connect;
+        conn.setup_done = start + oc.timing.dns + oc.timing.connect;
       }
     } else {
       h1_slot.first->free_at[h1_slot.second] = done;
+      // A refused/broken attempt leaves no connection behind.
+      h1_slot.first->connected[h1_slot.second] = !oc.failed();
     }
     plt = std::max(plt, done);
 
+    if (oc.failed()) {
+      // Graceful degradation: the time burned counts against PLT, the
+      // failed attempts are already in the report, and the load carries on
+      // without this object (its induced children are never discovered —
+      // a dead aggregator takes its dependents with it).
+      ++out.failed_objects;
+      continue;
+    }
+
     out.report.entries.push_back(ReportEntry{p.url, obj_url->host,
-                                             res->ip.to_string(), obj->size,
-                                             start, timing.total()});
+                                             robj.ip.to_string(), obj->size,
+                                             start, oc.timing.total()});
     if (cfg_.use_cache && obj->max_age_s > 0.0) {
       cache_.store(p.url, obj->size, now + done, obj->max_age_s);
     }
@@ -245,16 +314,22 @@ LoadResult Browser::load(const std::string& url, double now) {
   const std::string wire = out.report.serialize();
   out.report_bytes = wire.size();
   if (cfg_.send_report && handler) {
-    http::Request post = http::Request::post(
-        "http://" + origin_host + "/oak/report", wire);
-    post.client_ip = universe_.network().client(client_).addr.to_string();
-    cookies_.attach(origin_host, post.headers);
-    http::Response rr = (*handler)(post, now + plt);
-    net::FetchTiming upload = universe_.network().fetch(
-        client_, origin_res->server, wire.size(), now + plt, rng_,
-        /*cold_dns=*/false, /*new_connection=*/true);
-    out.report_upload_s = upload.total();
-    out.report_delivered = rr.ok();
+    // One attempt, never retried: reports are advisory and strictly off
+    // the critical path (§6) — burning user time re-uploading telemetry
+    // would invert the tool's purpose. The origin only sees the POST when
+    // the transfer actually completed.
+    net::FetchOutcome upload = universe_.network().fetch_outcome(
+        client_, origin.server, wire.size(), now + plt, rng_,
+        /*cold_dns=*/false, /*new_connection=*/true, cfg_.fetch_timeout_s);
+    out.report_upload_s = upload.elapsed();
+    if (!upload.failed()) {
+      http::Request post = http::Request::post(
+          "http://" + origin_host + "/oak/report", wire);
+      post.client_ip = universe_.network().client(client_).addr.to_string();
+      cookies_.attach(origin_host, post.headers);
+      http::Response rr = (*handler)(post, now + plt);
+      out.report_delivered = rr.ok();
+    }
   }
   return out;
 }

@@ -53,6 +53,13 @@ struct BrowserConfig {
   // — reports look the same — but PLTs and the relative cost of connection
   // setup change (see bench/ablate_h2).
   bool use_h2 = false;
+  // Resilience. Each fetch gets a wall-clock budget (0 = unlimited) and on
+  // failure is retried up to max_retries times with exponential backoff
+  // plus jitter; between attempts the cached DNS entry is dropped and the
+  // name re-resolved, so a provider that moved front-ends is found again.
+  double fetch_timeout_s = 60.0;
+  int max_retries = 2;
+  double retry_backoff_s = 0.1;  // attempt i waits base·2^i + U(0, base·2^i)
 };
 
 struct LoadResult {
@@ -62,6 +69,8 @@ struct LoadResult {
   int page_status = 200;
   std::size_t cache_hits = 0;
   std::size_t missing_objects = 0;  // URLs with no backing object (404s)
+  std::size_t failed_objects = 0;   // fetches that failed every attempt
+  std::size_t fetch_retries = 0;    // failed attempts that were retried
   std::size_t report_bytes = 0;     // serialized report size (Fig. 15)
   double report_upload_s = 0.0;     // upload duration, not part of PLT
   bool report_delivered = false;
@@ -88,6 +97,17 @@ class Browser {
   };
   // Resolve through the client DNS cache; nullopt for unknown hosts.
   std::optional<Resolved> resolve(const std::string& host, double now);
+
+  // One logical fetch: bounded retries with backoff, DNS re-resolution
+  // between attempts, and one failed-attempt report entry per error (size
+  // 0, typed code) so the server sees every failure sample. On return
+  // *start is the start of the final attempt and *res names the server it
+  // contacted.
+  net::FetchOutcome fetch_with_retries(const std::string& url,
+                                       const std::string& host,
+                                       std::uint64_t bytes, double now,
+                                       Resolved* res, double* start,
+                                       bool new_connection, LoadResult* out);
 
   // Per-host connection slots used by the scheduler during one load.
   struct HostSlots {

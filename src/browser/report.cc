@@ -17,6 +17,7 @@ util::Json PerfReport::to_json() const {
     o["size"] = e.size;
     o["start"] = e.start_s;
     o["time"] = e.time_s;
+    if (!e.error.empty()) o["err"] = e.error;
     entries_json.emplace_back(std::move(o));
   }
   root["entries"] = std::move(entries_json);
@@ -39,6 +40,7 @@ PerfReport PerfReport::deserialize(const std::string& text) {
     entry.size = static_cast<std::uint64_t>(e.at("size").as_int());
     entry.start_s = e.at("start").as_number();
     entry.time_s = e.at("time").as_number();
+    if (const util::Json* err = e.find("err")) entry.error = err->as_string();
     r.entries.push_back(std::move(entry));
   }
   return r;

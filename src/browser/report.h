@@ -18,10 +18,19 @@ namespace oak::browser {
 struct ReportEntry {
   std::string url;
   std::string host;  // hostname the URL named
-  std::string ip;    // address actually contacted (dotted quad)
+  std::string ip;    // address actually contacted (dotted quad); empty when
+                     // resolution itself failed
   std::uint64_t size = 0;
   double start_s = 0.0;  // offset from navigation start
-  double time_s = 0.0;   // full fetch duration (dns+connect+ttfb+download)
+  double time_s = 0.0;   // full fetch duration (dns+connect+ttfb+download),
+                         // or the time burned before the fetch failed
+  // Failure code ("dns", "dns_timeout", "refused", "timeout", "trunc" — see
+  // net::error_code); empty for a successful fetch. On the wire the "err"
+  // member is emitted only when non-empty, so reports without failures are
+  // byte-identical to the pre-failure format (Fig. 15 sizes unchanged).
+  std::string error;
+
+  bool failed() const { return !error.empty(); }
 };
 
 struct PerfReport {

@@ -97,7 +97,7 @@ bool take_number(const Slot& slot, const char* key, double* out,
 // finishes consuming the object, keeping the scanner in sync).
 void parse_entry(JsonScanner& s, util::StringArena& arena,
                  std::vector<ReportEntryView>* out, std::string* err) {
-  Slot url, host, ip, size, start, time;
+  Slot url, host, ip, size, start, time, errc;
   while (true) {
     JsonEvent e = s.next();
     if (e == JsonEvent::kEndObject) break;
@@ -110,6 +110,7 @@ void parse_entry(JsonScanner& s, util::StringArena& arena,
     else if (key == "size") size = read_value(s, arena, false);
     else if (key == "start") start = read_value(s, arena, false);
     else if (key == "time") time = read_value(s, arena, false);
+    else if (key == "err") errc = read_value(s, arena, /*intern=*/true);
     else s.skip_value();
   }
   if (!err->empty()) return;  // an earlier element already decided the verdict
@@ -126,6 +127,15 @@ void parse_entry(JsonScanner& s, util::StringArena& arena,
   entry.size = static_cast<std::uint64_t>(std::llround(num));
   if (!take_number(start, "start", &entry.start_s, err)) return;
   if (!take_number(time, "time", &entry.time_s, err)) return;
+  // "err" is optional on the wire (emitted only for failed fetches); when
+  // present it must be a string, mirroring find("err")->as_string().
+  if (errc.kind != Slot::kAbsent) {
+    if (errc.kind != Slot::kString) {
+      *err = "json: not a string";
+      return;
+    }
+    entry.error = errc.sv;
+  }
   out->push_back(entry);
 }
 

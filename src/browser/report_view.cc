@@ -9,8 +9,8 @@ ReportView ReportView::of(const PerfReport& report) {
   view.plt_s = report.plt_s;
   view.entries.reserve(report.entries.size());
   for (const auto& e : report.entries) {
-    view.entries.push_back(
-        ReportEntryView{e.url, e.host, e.ip, e.size, e.start_s, e.time_s});
+    view.entries.push_back(ReportEntryView{e.url, e.host, e.ip, e.size,
+                                           e.start_s, e.time_s, e.error});
   }
   return view;
 }
@@ -29,6 +29,7 @@ PerfReport ReportView::materialize() const {
     entry.size = e.size;
     entry.start_s = e.start_s;
     entry.time_s = e.time_s;
+    entry.error = std::string(e.error);
     report.entries.push_back(std::move(entry));
   }
   return report;

@@ -26,6 +26,9 @@ struct ReportEntryView {
   std::uint64_t size = 0;
   double start_s = 0.0;
   double time_s = 0.0;
+  std::string_view error;  // failure code; empty for a successful fetch
+
+  bool failed() const { return !error.empty(); }
 };
 
 struct ReportView {

@@ -83,6 +83,8 @@ std::vector<ServerObservation> group_by_server(
   std::vector<ServerObservation> out;
   IpIndex index;
   for (const auto& e : report.entries) {
+    // Resolution failures contacted no server: there is no IP to group by.
+    if (e.ip.empty()) continue;
     const std::size_t idx = index.find_or_insert(e.ip, out);
     if (idx == out.size()) {
       out.push_back(ServerObservation{});
@@ -92,7 +94,11 @@ std::vector<ServerObservation> group_by_server(
     insert_domain(obs.domains, e.host);
     obs.object_count += 1;
     obs.byte_count += e.size;
-    if (e.size < small_threshold_bytes) {
+    if (e.failed()) {
+      // Time burned before the failure is not a service-time sample; the
+      // attempt is tallied for the hard-failure rate instead.
+      obs.failure_count += 1;
+    } else if (e.size < small_threshold_bytes) {
       obs.small_times.push_back(e.time_s);
     } else if (e.time_s > 0.0) {
       obs.large_tputs.push_back(static_cast<double>(e.size) / e.time_s);

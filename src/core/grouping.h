@@ -26,13 +26,24 @@ struct ServerObservation {
   std::vector<std::string> domains;
   std::vector<double> small_times;  // seconds per small object
   std::vector<double> large_tputs;  // bytes/second per large object
-  std::size_t object_count = 0;
+  std::size_t object_count = 0;     // fetch attempts, failed ones included
   std::uint64_t byte_count = 0;
+  // Attempts that failed outright (entry carried an error code). Failed
+  // attempts contribute no timing sample — the time burned before a refused
+  // connection is not a service time — but a dead server must still be
+  // visible: it is counted here and judged by rate, not by MAD.
+  std::size_t failure_count = 0;
 
   bool has_small() const { return !small_times.empty(); }
   bool has_large() const { return !large_tputs.empty(); }
   double avg_small_time() const;
   double avg_large_tput() const;
+  double failure_rate() const {
+    return object_count == 0
+               ? 0.0
+               : static_cast<double>(failure_count) /
+                     static_cast<double>(object_count);
+  }
 };
 
 // Group a report's entries by contacted IP. Observation order follows first

@@ -9,6 +9,19 @@ namespace {
 // severities finite so history comparisons stay well-ordered.
 constexpr double kMaxDistance = 1e9;
 double clamp_distance(double d) { return std::min(d, kMaxDistance); }
+
+// Hard-failure check (independent of mode and of the MAD population
+// floor): flags the observation when enough attempts failed outright.
+void check_hard_failures(const ServerObservation& o, const DetectorConfig& cfg,
+                         Violation* v) {
+  if (o.failure_count >= cfg.min_hard_failures &&
+      o.failure_rate() >= cfg.hard_failure_rate) {
+    v->by_failure = true;
+    v->failure_count = o.failure_count;
+    v->failure_rate = o.failure_rate();
+    v->failure_distance = kMaxDistance;
+  }
+}
 }  // namespace
 
 DetectionResult detect_violators(std::vector<ServerObservation> observations,
@@ -35,6 +48,7 @@ DetectionResult detect_violators(std::vector<ServerObservation> observations,
       Violation v;
       v.ip = o.ip;
       v.domains.assign(o.domains.begin(), o.domains.end());
+      check_hard_failures(o, cfg, &v);
       if (o.has_small() && o.avg_small_time() > cfg.absolute_time_s) {
         v.by_time = true;
         v.time_distance = clamp_distance(
@@ -45,7 +59,9 @@ DetectionResult detect_violators(std::vector<ServerObservation> observations,
         v.tput_distance = clamp_distance(
             -util::mad_distance(o.avg_large_tput(), result.tput_summary));
       }
-      if (v.by_time || v.by_tput) result.violators.push_back(std::move(v));
+      if (v.by_time || v.by_tput || v.by_failure) {
+        result.violators.push_back(std::move(v));
+      }
     }
     return result;
   }
@@ -57,6 +73,7 @@ DetectionResult detect_violators(std::vector<ServerObservation> observations,
     Violation v;
     v.ip = o.ip;
     v.domains.assign(o.domains.begin(), o.domains.end());
+    check_hard_failures(o, cfg, &v);
     if (check_time && o.has_small()) {
       const double x = o.avg_small_time();
       if (util::above_mad(x, result.time_summary, cfg.k)) {
@@ -76,7 +93,7 @@ DetectionResult detect_violators(std::vector<ServerObservation> observations,
     }
     // "a violation of either type will result in the server being labeled
     // as a violator" (§4.2.1).
-    if (v.by_time || v.by_tput) {
+    if (v.by_time || v.by_tput || v.by_failure) {
       result.violators.push_back(std::move(v));
     }
   }

@@ -37,6 +37,12 @@ struct DetectorConfig {
   // median absolute deviation is dominated by one or two samples and the
   // 2-MAD rule misfires in both directions.
   std::size_t min_population = 5;
+  // Hard failures: a server whose fetch attempts fail outright at or above
+  // this rate is a violator regardless of MAD statistics, detection mode or
+  // population floor — a dead server contributes no timing sample at all,
+  // which is exactly the case the relative rule cannot see.
+  double hard_failure_rate = 0.5;
+  std::size_t min_hard_failures = 1;
 };
 
 struct Violation {
@@ -44,14 +50,22 @@ struct Violation {
   std::vector<std::string> domains;
   bool by_time = false;
   bool by_tput = false;
+  bool by_failure = false;  // hard failures, not statistics, flagged it
   // Positive MAD distances beyond the median in the "worse" direction
   // (0 when that metric did not trip). This is what rule history records:
   // "Oak records the difference between the median performance and the
   // performance of the violator" (§4.2.3).
   double time_distance = 0.0;
   double tput_distance = 0.0;
+  // Saturated to the distance ceiling when by_failure: a dead server is
+  // strictly worse than any merely-slow one, so the history rule always
+  // prefers the statistical violator's side over the hard-failing one.
+  double failure_distance = 0.0;
+  std::size_t failure_count = 0;
+  double failure_rate = 0.0;
   double severity() const {
-    return time_distance > tput_distance ? time_distance : tput_distance;
+    double d = time_distance > tput_distance ? time_distance : tput_distance;
+    return failure_distance > d ? failure_distance : d;
   }
 };
 

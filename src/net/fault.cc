@@ -1,0 +1,74 @@
+#include "net/fault.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace oak::net {
+
+std::string_view to_string(FaultType t) {
+  switch (t) {
+    case FaultType::kConnectRefused: return "connect-refused";
+    case FaultType::kDnsNxdomain: return "dns-nxdomain";
+    case FaultType::kDnsBlackhole: return "dns-blackhole";
+    case FaultType::kStall: return "stall";
+    case FaultType::kTruncate: return "truncate";
+  }
+  return "?";
+}
+
+std::string_view error_code(FetchErrorType t) {
+  switch (t) {
+    case FetchErrorType::kNone: return "";
+    case FetchErrorType::kDns: return "dns";
+    case FetchErrorType::kDnsTimeout: return "dns_timeout";
+    case FetchErrorType::kRefused: return "refused";
+    case FetchErrorType::kTimeout: return "timeout";
+    case FetchErrorType::kTruncated: return "trunc";
+  }
+  return "";
+}
+
+FetchErrorType error_from_code(std::string_view code) {
+  if (code == "dns") return FetchErrorType::kDns;
+  if (code == "dns_timeout") return FetchErrorType::kDnsTimeout;
+  if (code == "refused") return FetchErrorType::kRefused;
+  if (code == "timeout") return FetchErrorType::kTimeout;
+  if (code == "trunc") return FetchErrorType::kTruncated;
+  return FetchErrorType::kNone;
+}
+
+std::size_t FaultInjector::add_window(FaultWindow w) {
+  windows_.push_back(w);
+  return windows_.size() - 1;
+}
+
+bool FaultInjector::affects(const FaultWindow& w, std::size_t window_index,
+                            ClientId c) const {
+  if (w.client_fraction >= 1.0) return true;
+  if (w.client_fraction <= 0.0) return false;
+  // A stable membership draw: pure function of (seed, window, client), so a
+  // window torments the same clients for its entire lifetime.
+  util::Rng rng = util::Rng::forked(
+      seed_, 0xfa071ull + window_index * 2654435761ull +
+                 static_cast<std::uint64_t>(c) * 40503ull);
+  return rng.uniform(0.0, 1.0) < w.client_fraction;
+}
+
+const FaultWindow* FaultInjector::active(ServerId s, ClientId c,
+                                         double t) const {
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const FaultWindow& w = windows_[i];
+    if (w.server != s) continue;
+    if (t < w.start || t >= w.end) continue;
+    if (w.flap_period_s > 0.0) {
+      const double phase = std::fmod(t - w.start, w.flap_period_s);
+      if (phase >= w.flap_duty * w.flap_period_s) continue;
+    }
+    if (!affects(w, i, c)) continue;
+    return &w;
+  }
+  return nullptr;
+}
+
+}  // namespace oak::net

@@ -1,0 +1,131 @@
+// Deterministic fault injection for the simulated network.
+//
+// The base network model makes every fetch *complete*; real third parties
+// also *fail* — outages, DNS breakage, stalled or reset transfers — and a
+// dead server blocks a page far worse than a slow one while producing no
+// timing sample at all for the MAD detector to see. The injector attaches a
+// seed-driven fault schedule to the Network: windows scoped per server, per
+// time interval, optionally per client (mirroring the paper's Fig. 14
+// finding that most trouble is individual, not common) and optionally
+// flapping (periodic up/down inside the window). Everything is a pure
+// function of (seed, server, client, time), so two runs of the same
+// schedule produce byte-identical results.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "net/server.h"
+
+namespace oak::net {
+
+using ClientId = std::uint32_t;
+
+// Timing decomposition of one object fetch, in seconds.
+struct FetchTiming {
+  double dns = 0.0;       // 0 when resolved from the client's cache
+  double connect = 0.0;   // 0 when a connection was reused
+  double ttfb = 0.0;      // request RTT + server processing
+  double download = 0.0;  // body transfer
+  double total() const { return dns + connect + ttfb + download; }
+};
+
+// What the operator schedules (the cause).
+enum class FaultType : unsigned char {
+  kConnectRefused,  // nothing listening: SYN answered with RST
+  kDnsNxdomain,     // authoritative NXDOMAIN (fast, definite)
+  kDnsBlackhole,    // resolver queries dropped; burns the resolver timeout
+  kStall,           // transfer begins, then no further bytes ever arrive
+  kTruncate,        // connection reset partway through the body
+};
+
+std::string_view to_string(FaultType t);
+
+// What the client observes (the symptom). A stall and a merely-slow fetch
+// are indistinguishable from the browser's side: both surface as kTimeout.
+enum class FetchErrorType : unsigned char {
+  kNone = 0,
+  kDns,        // definite resolution failure (NXDOMAIN)
+  kDnsTimeout, // resolution never answered
+  kRefused,    // connection refused
+  kTimeout,    // fetch exceeded the caller's budget (stall or just slow)
+  kTruncated,  // transfer ended before the full body arrived
+};
+
+// Wire code carried in report entries ("dns", "refused", "timeout", ...).
+std::string_view error_code(FetchErrorType t);
+// Inverse of error_code; kNone for empty or unknown codes.
+FetchErrorType error_from_code(std::string_view code);
+
+struct FetchError {
+  FetchErrorType type = FetchErrorType::kNone;
+  double elapsed_s = 0.0;  // time burned before the failure surfaced
+};
+
+// Result of one fetch attempt: a timing decomposition or a typed error.
+struct FetchOutcome {
+  FetchTiming timing;  // meaningful only when !failed()
+  FetchError error;
+  bool failed() const { return error.type != FetchErrorType::kNone; }
+  // Wall-clock the attempt consumed, success or not.
+  double elapsed() const {
+    return failed() ? error.elapsed_s : timing.total();
+  }
+};
+
+// One scheduled fault interval on one server.
+struct FaultWindow {
+  ServerId server = kInvalidServer;
+  FaultType type = FaultType::kConnectRefused;
+  double start = 0.0;
+  double end = 0.0;  // exclusive
+  // Fraction of clients affected in [0,1]. Membership is a stable draw per
+  // (seed, window, client): the same clients suffer for the window's whole
+  // lifetime — individual trouble, not common (Fig. 14).
+  double client_fraction = 1.0;
+  // Flapping: when period > 0, the fault is only active during the first
+  // `duty` fraction of each period inside [start, end).
+  double flap_period_s = 0.0;
+  double flap_duty = 1.0;
+};
+
+struct FaultInjectorConfig {
+  double resolver_timeout_s = 5.0;  // burned by a blackholed resolution
+  // Body fraction delivered before a stall stops or a truncation resets.
+  double cut_fraction = 0.5;
+  // A stall with no caller timeout budget still ends eventually (the OS
+  // gives up); bounds the burn when timeout_s == 0.
+  double max_stall_s = 300.0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(FaultInjectorConfig cfg, std::uint64_t seed)
+      : cfg_(cfg), seed_(seed) {}
+
+  // Returns the index of the added window (usable as a stable id).
+  std::size_t add_window(FaultWindow w);
+  void clear() { windows_.clear(); }
+  bool empty() const { return windows_.empty(); }
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+  const FaultInjectorConfig& config() const { return cfg_; }
+  FaultInjectorConfig& config() { return cfg_; }
+
+  // The fault active for (server, client, t), or nullptr. Earliest-added
+  // window wins when several overlap (deterministic).
+  const FaultWindow* active(ServerId s, ClientId c, double t) const;
+
+  // True when the stable per-(seed, window, client) draw puts `c` in the
+  // window's affected set.
+  bool affects(const FaultWindow& w, std::size_t window_index,
+               ClientId c) const;
+
+ private:
+  FaultInjectorConfig cfg_;
+  std::uint64_t seed_ = 0;
+  std::vector<FaultWindow> windows_;
+};
+
+}  // namespace oak::net

@@ -20,7 +20,8 @@ IpAddr client_block(Region r) {
 }
 }  // namespace
 
-Network::Network(NetworkConfig cfg) : cfg_(cfg) {}
+Network::Network(NetworkConfig cfg)
+    : cfg_(cfg), faults_(FaultInjectorConfig{}, cfg.seed) {}
 
 ServerId Network::add_server(ServerConfig scfg) {
   const ServerId id = static_cast<ServerId>(servers_.size());
@@ -135,6 +136,100 @@ FetchTiming Network::fetch(ClientId c, ServerId s, std::uint64_t bytes,
       std::log2(1.0 + static_cast<double>(bytes) / (10.0 * 1460.0));
   ft.download = bulk + rtt * window_rtts * 0.10;
   return ft;
+}
+
+FetchOutcome Network::fetch_outcome(ClientId c, ServerId s,
+                                    std::uint64_t bytes, double t,
+                                    util::Rng& rng, bool cold_dns,
+                                    bool new_connection,
+                                    double timeout_s) const {
+  FetchOutcome out;
+  const FaultWindow* fault = faults_.active(s, c, t);
+  // DNS-class faults only bite when the name actually needs resolving; a
+  // warm client cache sails past a broken resolver chain.
+  if (fault != nullptr &&
+      (fault->type == FaultType::kDnsNxdomain ||
+       fault->type == FaultType::kDnsBlackhole) &&
+      !cold_dns) {
+    fault = nullptr;
+  }
+
+  if (fault == nullptr) {
+    out.timing = fetch(c, s, bytes, t, rng, cold_dns, new_connection);
+    if (timeout_s > 0.0 && out.timing.total() > timeout_s) {
+      out.error = FetchError{FetchErrorType::kTimeout, timeout_s};
+    }
+    return out;
+  }
+
+  const Client& cl = clients_.at(c);
+  const double sigma = cl.cfg.jitter_sigma;
+  const FaultInjectorConfig& fcfg = faults_.config();
+  const auto cap = [&](double elapsed, FetchErrorType type) {
+    if (timeout_s > 0.0 && elapsed > timeout_s) {
+      return FetchError{FetchErrorType::kTimeout, timeout_s};
+    }
+    return FetchError{type, elapsed};
+  };
+
+  switch (fault->type) {
+    case FaultType::kDnsNxdomain: {
+      // NXDOMAIN is definite and cheap: the resolver answers at its normal
+      // cost, just with an error.
+      const double elapsed =
+          cl.cfg.last_mile_rtt_s + 0.025 * rng.lognormal_median(1.0, sigma);
+      out.error = cap(elapsed, FetchErrorType::kDns);
+      return out;
+    }
+    case FaultType::kDnsBlackhole: {
+      // Queries vanish; the client burns the full resolver timeout (or its
+      // own smaller budget).
+      const double elapsed = timeout_s > 0.0
+                                 ? std::min(fcfg.resolver_timeout_s, timeout_s)
+                                 : fcfg.resolver_timeout_s;
+      out.error = FetchError{elapsed >= timeout_s && timeout_s > 0.0
+                                 ? FetchErrorType::kTimeout
+                                 : FetchErrorType::kDnsTimeout,
+                             elapsed};
+      return out;
+    }
+    case FaultType::kConnectRefused: {
+      // SYN answered with RST: one RTT (plus resolution when cold).
+      const double rtt = path_rtt(c, s) * route_weather(c, s, t) *
+                         rng.lognormal_median(1.0, sigma);
+      double elapsed = rtt;
+      if (cold_dns) {
+        elapsed +=
+            cl.cfg.last_mile_rtt_s + 0.025 * rng.lognormal_median(1.0, sigma);
+      }
+      out.error = cap(elapsed, FetchErrorType::kRefused);
+      return out;
+    }
+    case FaultType::kStall: {
+      // The transfer starts normally and then nothing more ever arrives;
+      // the client waits out its whole budget.
+      const FetchTiming ft = fetch(c, s, bytes, t, rng, cold_dns,
+                                   new_connection);
+      const double surfaced = ft.dns + ft.connect + ft.ttfb +
+                              fcfg.cut_fraction * ft.download;
+      const double elapsed = timeout_s > 0.0
+                                 ? timeout_s
+                                 : surfaced + fcfg.max_stall_s;
+      out.error = FetchError{FetchErrorType::kTimeout, elapsed};
+      return out;
+    }
+    case FaultType::kTruncate: {
+      // Connection reset partway through the body: fails at the cut point.
+      const FetchTiming ft = fetch(c, s, bytes, t, rng, cold_dns,
+                                   new_connection);
+      const double elapsed = ft.dns + ft.connect + ft.ttfb +
+                             fcfg.cut_fraction * ft.download;
+      out.error = cap(elapsed, FetchErrorType::kTruncated);
+      return out;
+    }
+  }
+  out.timing = fetch(c, s, bytes, t, rng, cold_dns, new_connection);
+  return out;
 }
 
 }  // namespace oak::net

@@ -17,13 +17,12 @@
 
 #include "net/address.h"
 #include "net/dns.h"
+#include "net/fault.h"
 #include "net/geo.h"
 #include "net/server.h"
 #include "util/rng.h"
 
 namespace oak::net {
-
-using ClientId = std::uint32_t;
 
 struct ClientConfig {
   std::string name;
@@ -37,15 +36,6 @@ struct Client {
   ClientId id = 0;
   IpAddr addr;
   ClientConfig cfg;
-};
-
-// Timing decomposition of one object fetch, in seconds.
-struct FetchTiming {
-  double dns = 0.0;       // 0 when resolved from the client's cache
-  double connect = 0.0;   // 0 when a connection was reused
-  double ttfb = 0.0;      // request RTT + server processing
-  double download = 0.0;  // body transfer
-  double total() const { return dns + connect + ttfb + download; }
 };
 
 struct NetworkConfig {
@@ -71,6 +61,11 @@ class Network {
   Dns& dns() { return dns_; }
   const Dns& dns() const { return dns_; }
 
+  // The fault schedule consulted by fetch_outcome(). Deterministic in
+  // (network seed, server, client, time); empty by default.
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
+
   // Server lookup by IP; kInvalidServer when unknown.
   ServerId server_by_ip(IpAddr addr) const;
 
@@ -84,6 +79,17 @@ class Network {
   FetchTiming fetch(ClientId c, ServerId s, std::uint64_t bytes, double t,
                     util::Rng& rng, bool cold_dns = true,
                     bool new_connection = true) const;
+
+  // Failure-aware fetch: consults the fault schedule and the caller's
+  // per-fetch budget, returning either the timing or a typed error with the
+  // time burned before failing. With no active fault and `timeout_s` not
+  // exceeded, the timing (and the rng stream consumed) is identical to
+  // fetch(). `timeout_s` == 0 disables the budget. DNS-class faults only
+  // apply when `cold_dns` (a cached name needs no resolution).
+  FetchOutcome fetch_outcome(ClientId c, ServerId s, std::uint64_t bytes,
+                             double t, util::Rng& rng, bool cold_dns = true,
+                             bool new_connection = true,
+                             double timeout_s = 0.0) const;
 
   std::uint64_t seed() const { return cfg_.seed; }
 
@@ -99,6 +105,7 @@ class Network {
 
   NetworkConfig cfg_;
   Dns dns_;
+  FaultInjector faults_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<Client> clients_;
 };

@@ -8,7 +8,12 @@
 namespace oak::util {
 
 std::string Url::to_string() const {
-  std::string out = scheme + "://" + host + path;
+  std::string out = scheme + "://" + host;
+  if (port != 0) {
+    out += ':';
+    out += std::to_string(port);
+  }
+  out += path;
   if (!query.empty()) {
     out += '?';
     out += query;
@@ -24,16 +29,34 @@ std::optional<Url> parse_url(std::string_view raw) {
   std::string_view rest = raw.substr(scheme_end + 3);
   if (rest.empty()) return {};
   std::size_t path_start = rest.find('/');
-  std::string_view host_part =
+  std::string_view authority =
       path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
-  if (host_part.empty()) return {};
-  for (char c : host_part) {
+  // Userinfo is stripped, not kept: the last '@' delimits it (WHATWG), so
+  // "u:pw@h.com" and even "a@b@h.com" leave "h.com".
+  std::size_t at = authority.rfind('@');
+  if (at != std::string_view::npos) authority = authority.substr(at + 1);
+  std::size_t colon = authority.find(':');
+  if (colon != std::string_view::npos) {
+    std::string_view port_str = authority.substr(colon + 1);
+    authority = authority.substr(0, colon);
+    long val = 0;
+    for (char c : port_str) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return {};
+      val = val * 10 + (c - '0');
+      if (val > 65535) return {};
+    }
+    u.port = static_cast<int>(val);
+  }
+  // An authority that is empty once userinfo and port are gone ("http://",
+  // "http:///x", "http://:8080/", "http://u@/") names no server.
+  if (authority.empty()) return {};
+  for (char c : authority) {
     if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
           c == '-')) {
       return {};
     }
   }
-  u.host = to_lower(host_part);
+  u.host = to_lower(authority);
   std::string_view tail =
       path_start == std::string_view::npos ? "" : rest.substr(path_start);
   std::size_t q = tail.find('?');

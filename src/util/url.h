@@ -16,15 +16,19 @@ namespace oak::util {
 struct Url {
   std::string scheme;  // "http" / "https"
   std::string host;    // lowercase hostname
+  int port = 0;        // 0 = unspecified (also ":0" and ":", normalized away)
   std::string path;    // always starts with '/' (default "/")
   std::string query;   // without '?', may be empty
 
   std::string to_string() const;
 };
 
-// Parse an absolute URL. Returns nullopt for anything that does not look
-// like scheme://host[/path][?query]. Ports are not modeled (the simulated
-// web has none).
+// Parse an absolute URL of the form
+//   scheme://[userinfo@]host[:port][/path][?query]
+// Returns nullopt for anything else. Userinfo is stripped (the simulated
+// web has no credentials; the last '@' delimits it, as in WHATWG parsing);
+// an authority that is empty after stripping — "http://", "http:///x",
+// "http://:8080/" — is rejected, as is a non-numeric or > 65535 port.
 std::optional<Url> parse_url(std::string_view raw);
 
 // Registrable domain, approximated as the last two labels ("a.b.c.com" ->

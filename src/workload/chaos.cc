@@ -1,0 +1,114 @@
+#include "workload/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace oak::workload {
+
+ChaosScenario::ChaosScenario(Options opt) : opt_(opt) {
+  net::NetworkConfig ncfg;
+  ncfg.seed = opt.seed;
+  ncfg.horizon_s = 7 * 86400.0;
+  universe_ = std::make_unique<page::WebUniverse>(ncfg);
+  net::Network& net = universe_->network();
+  util::Rng rng = util::Rng::forked(opt.seed, 0xc4a05);
+
+  auto node = [&](const std::string& name) {
+    net::ServerConfig cfg;
+    cfg.name = name;
+    cfg.region = net::Region::kNorthAmerica;
+    cfg.base_processing_s = rng.uniform(0.012, 0.025);
+    cfg.bandwidth_bps = rng.uniform(90e6, 150e6);
+    cfg.diurnal_amplitude = rng.uniform(0.1, 0.3);
+    return cfg;
+  };
+
+  net::ServerConfig origin_cfg = node("chaos-origin");
+  origin_cfg.bandwidth_bps = 400e6;
+  origin_cfg.base_processing_s = 0.008;
+  origin_server_ = net.add_server(origin_cfg);
+
+  oak_host_ = "chaos.example.com";
+  const std::string default_host = "chaos-default.example.com";
+  universe_->dns().bind(oak_host_, net.server(origin_server_).addr());
+  universe_->dns().bind(default_host, net.server(origin_server_).addr());
+
+  for (int i = 0; i < opt.providers; ++i) {
+    const net::ServerId sid = net.add_server(node(util::format("tp%d", i)));
+    const std::string host = util::format("tp%d.provider.net", i);
+    provider_servers_.push_back(sid);
+    provider_hosts_.push_back(host);
+    universe_->dns().bind(host, net.server(sid).addr());
+
+    const net::ServerId mid =
+        net.add_server(node(util::format("mirror%d", i)));
+    const std::string mirror = util::format("tp%d.mirror.net", i);
+    mirror_hosts_.push_back(mirror);
+    universe_->dns().bind(mirror, net.server(mid).addr());
+  }
+
+  // Both site variants reference the same provider object sets.
+  auto build = [&](const std::string& site_host) {
+    page::SiteBuilder builder(*universe_, site_host, origin_server_);
+    builder.add_origin_object("/app.css", html::RefKind::kStylesheet, 15'000);
+    for (int i = 0; i < opt.providers; ++i) {
+      for (int s = 0; s < opt.objects_per_provider; ++s) {
+        builder.add_direct(provider_hosts_[static_cast<std::size_t>(i)],
+                           util::format("/obj%d.bin", s),
+                           html::RefKind::kImage, kObjectSizes[s % 3],
+                           page::Category::kCdn);
+      }
+    }
+    return builder.finish();
+  };
+  page::Site oak_site = build(oak_host_);
+  build(default_host);
+  oak_site_url_ = oak_site.index_url();
+  default_site_url_ = "http://" + default_host + "/index.html";
+
+  // Mirror every provider object and pair each provider with a type-2
+  // domain rule pointing at its mirror.
+  oak_ = std::make_unique<core::OakServer>(*universe_, oak_host_,
+                                           core::OakConfig{});
+  for (int i = 0; i < opt.providers; ++i) {
+    for (int s = 0; s < opt.objects_per_provider; ++s) {
+      const std::string path = util::format("/obj%d.bin", s);
+      universe_->store().replicate(
+          "http://" + provider_hosts_[static_cast<std::size_t>(i)] + path,
+          "http://" + mirror_hosts_[static_cast<std::size_t>(i)] + path);
+    }
+    oak_->add_rule(core::make_domain_rule(
+        util::format("tp%d", i),
+        provider_hosts_[static_cast<std::size_t>(i)],
+        {mirror_hosts_[static_cast<std::size_t>(i)]}));
+  }
+  oak_->install();
+
+  // Fault schedule: a random (seeded) subset of providers goes down.
+  const int down =
+      opt.outage_fraction <= 0.0
+          ? 0
+          : std::max(1, static_cast<int>(std::lround(opt.outage_fraction *
+                                                     opt.providers)));
+  std::vector<int> order;
+  for (int i = 0; i < opt.providers; ++i) order.push_back(i);
+  rng.shuffle(order);
+  for (int d = 0; d < down && d < opt.providers; ++d) {
+    const int idx = order[static_cast<std::size_t>(d)];
+    faulted_providers_.push_back(idx);
+    net.faults().add_window(net::FaultWindow{
+        provider_servers_[static_cast<std::size_t>(idx)], opt.fault,
+        opt.onset_s, opt.onset_s + opt.duration_s,
+        /*client_fraction=*/1.0, opt.flap_period_s, opt.flap_duty});
+  }
+  std::sort(faulted_providers_.begin(), faulted_providers_.end());
+  if (opt.fault_origin) {
+    net.faults().add_window(net::FaultWindow{
+        origin_server_, opt.fault, opt.onset_s, opt.onset_s + opt.duration_s,
+        /*client_fraction=*/1.0, opt.flap_period_s, opt.flap_duty});
+  }
+}
+
+}  // namespace oak::workload

@@ -1,0 +1,85 @@
+// Chaos workload: the fault-injection counterpart of the §5.2 benchmark
+// site.
+//
+// A page referencing N third-party providers, each mirrored on a healthy
+// alternate host and paired with a type-2 domain rule. A configurable
+// fraction of the providers is taken down for a scheduled window (or the
+// origin itself is flapped, for the report-loss experiment). Two site
+// variants share the object sets: the Oak-managed one (reports flow to an
+// OakServer that can activate the mirror rules) and a vanilla one (no
+// handler, no reports, no mitigation). Everything — topology, schedule,
+// fault windows — is a pure function of the seed, so two runs with the
+// same options are byte-identical.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oak_server.h"
+#include "net/fault.h"
+#include "page/site.h"
+
+namespace oak::workload {
+
+class ChaosScenario {
+ public:
+  struct Options {
+    std::uint64_t seed = 23;
+    int providers = 10;            // third-party providers on the page
+    int objects_per_provider = 3;  // small + medium + large mix
+    // Fraction of providers taken down (rounded, min 1 when > 0).
+    double outage_fraction = 0.1;
+    net::FaultType fault = net::FaultType::kConnectRefused;
+    double onset_s = 1800.0;
+    double duration_s = 7200.0;
+    // Flapping inside the outage window (0 = solid outage).
+    double flap_period_s = 0.0;
+    double flap_duty = 1.0;
+    // Fault the origin server instead of providers — the report-upload
+    // loss experiment (reports die when the origin is unreachable).
+    bool fault_origin = false;
+  };
+
+  explicit ChaosScenario(Options opt);
+  ChaosScenario() : ChaosScenario(Options{}) {}
+
+  page::WebUniverse& universe() { return *universe_; }
+  core::OakServer& oak() { return *oak_; }
+  const Options& options() const { return opt_; }
+
+  const std::string& oak_site_url() const { return oak_site_url_; }
+  const std::string& default_site_url() const { return default_site_url_; }
+
+  const std::vector<std::string>& provider_hosts() const {
+    return provider_hosts_;
+  }
+  const std::vector<std::string>& mirror_hosts() const {
+    return mirror_hosts_;
+  }
+  const std::vector<net::ServerId>& provider_servers() const {
+    return provider_servers_;
+  }
+  // Indices (into provider_hosts()) of the providers under outage.
+  const std::vector<int>& faulted_providers() const {
+    return faulted_providers_;
+  }
+  net::ServerId origin_server() const { return origin_server_; }
+
+  static constexpr std::uint64_t kObjectSizes[3] = {20'000, 45'000, 120'000};
+
+ private:
+  Options opt_;
+  std::unique_ptr<page::WebUniverse> universe_;
+  std::unique_ptr<core::OakServer> oak_;
+  std::string oak_host_;
+  std::string oak_site_url_;
+  std::string default_site_url_;
+  net::ServerId origin_server_ = net::kInvalidServer;
+  std::vector<std::string> provider_hosts_;
+  std::vector<std::string> mirror_hosts_;
+  std::vector<net::ServerId> provider_servers_;
+  std::vector<int> faulted_providers_;
+};
+
+}  // namespace oak::workload

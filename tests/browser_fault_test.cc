@@ -1,0 +1,259 @@
+// Browser resilience under injected faults: timeouts, bounded retries with
+// DNS re-resolution, graceful degradation, failure-aware reports, and the
+// report-upload failure path.
+#include <gtest/gtest.h>
+
+#include "browser/browser.h"
+#include "core/violator.h"
+#include "net/fault.h"
+#include "page/site.h"
+
+namespace oak::browser {
+namespace {
+
+class FaultBrowserFixture : public ::testing::Test {
+ protected:
+  FaultBrowserFixture()
+      : universe_(net::NetworkConfig{.seed = 31, .horizon_s = 0}) {
+    net::ServerConfig origin_cfg;
+    origin_cfg.name = "origin";
+    origin_ = universe_.network().add_server(origin_cfg);
+    universe_.dns().bind("site.com",
+                         universe_.network().server(origin_).addr());
+
+    net::ServerConfig a_cfg;
+    a_cfg.name = "ext-a";
+    ext_a_ = universe_.network().add_server(a_cfg);
+    universe_.dns().bind("cdn.ext.net",
+                         universe_.network().server(ext_a_).addr());
+
+    net::ServerConfig b_cfg;
+    b_cfg.name = "ext-b";
+    ext_b_ = universe_.network().add_server(b_cfg);
+
+    page::SiteBuilder b(universe_, "site.com", origin_);
+    b.add_direct("cdn.ext.net", "/small.png", html::RefKind::kImage, 4'000,
+                 page::Category::kCdn);
+    b.add_direct("cdn.ext.net", "/big.bin", html::RefKind::kImage, 90'000,
+                 page::Category::kCdn);
+    b.add_script_with_induced("cdn.ext.net", "/agg.js", 3'000,
+                              page::Category::kAds,
+                              {{"cdn.ext.net", "/induced.png",
+                                html::RefKind::kImage, 6'000,
+                                page::Category::kAds}});
+    site_ = b.finish();
+  }
+
+  net::ClientId make_client() {
+    return universe_.network().add_client(net::ClientConfig{});
+  }
+
+  page::WebUniverse universe_;
+  net::ServerId origin_ = net::kInvalidServer;
+  net::ServerId ext_a_ = net::kInvalidServer;
+  net::ServerId ext_b_ = net::kInvalidServer;
+  page::Site site_;
+};
+
+TEST_F(FaultBrowserFixture, GracefulDegradationUnderProviderOutage) {
+  universe_.network().faults().add_window(
+      net::FaultWindow{ext_a_, net::FaultType::kConnectRefused, 0.0, 1e9});
+  Browser browser(universe_, make_client());
+  LoadResult res = browser.load(site_.index_url(), 0.0);
+
+  // The page still completes: the dead provider degrades, never blocks.
+  EXPECT_EQ(res.page_status, 200);
+  EXPECT_EQ(res.missing_objects, 0u);
+  EXPECT_EQ(res.failed_objects, 3u);  // small + big + script
+  EXPECT_GT(res.fetch_retries, 0u);
+  EXPECT_GT(res.plt_s, 0.0);
+
+  std::size_t refused = 0;
+  bool induced_seen = false;
+  for (const auto& e : res.report.entries) {
+    if (e.url == "http://cdn.ext.net/induced.png") induced_seen = true;
+    if (e.failed()) {
+      ++refused;
+      EXPECT_EQ(e.error, "refused");
+      EXPECT_EQ(e.size, 0u);
+      EXPECT_FALSE(e.ip.empty());
+    }
+  }
+  // 3 objects x (1 attempt + 2 retries) failure samples, and the dead
+  // script's induced child was never discovered.
+  EXPECT_EQ(refused, 9u);
+  EXPECT_FALSE(induced_seen);
+}
+
+TEST_F(FaultBrowserFixture, FailedEntriesSurviveTheWire) {
+  universe_.network().faults().add_window(
+      net::FaultWindow{ext_a_, net::FaultType::kConnectRefused, 0.0, 1e9});
+  Browser browser(universe_, make_client());
+  LoadResult res = browser.load(site_.index_url(), 0.0);
+  const std::string wire = res.report.serialize();
+  EXPECT_NE(wire.find("\"err\""), std::string::npos);
+  PerfReport back = PerfReport::deserialize(wire);
+  ASSERT_EQ(back.entries.size(), res.report.entries.size());
+  for (std::size_t i = 0; i < back.entries.size(); ++i) {
+    EXPECT_EQ(back.entries[i].error, res.report.entries[i].error);
+  }
+}
+
+TEST_F(FaultBrowserFixture, StallRespectsFetchTimeoutBudget) {
+  universe_.network().faults().add_window(
+      net::FaultWindow{ext_a_, net::FaultType::kStall, 0.0, 1e9});
+  BrowserConfig cfg;
+  cfg.fetch_timeout_s = 2.0;
+  Browser browser(universe_, make_client(), cfg);
+  LoadResult res = browser.load(site_.index_url(), 0.0);
+  EXPECT_EQ(res.page_status, 200);
+  EXPECT_EQ(res.failed_objects, 3u);
+  for (const auto& e : res.report.entries) {
+    if (!e.failed()) continue;
+    EXPECT_EQ(e.error, "timeout");
+    EXPECT_DOUBLE_EQ(e.time_s, 2.0);
+  }
+  // Each failed object burned its attempts' budgets.
+  EXPECT_GT(res.plt_s, 2.0);
+}
+
+TEST_F(FaultBrowserFixture, DnsChurnStaleIpRecoversViaRetry) {
+  BrowserConfig cfg;
+  cfg.use_cache = false;
+  Browser browser(universe_, make_client(), cfg);
+  LoadResult first = browser.load(site_.index_url(), 0.0);
+  EXPECT_EQ(first.failed_objects, 0u);
+
+  // The provider moves to a new front-end; the old one stops answering.
+  const net::IpAddr old_ip = universe_.network().server(ext_a_).addr();
+  const net::IpAddr new_ip = universe_.network().server(ext_b_).addr();
+  universe_.dns().unbind("cdn.ext.net");
+  universe_.dns().bind("cdn.ext.net", new_ip);
+  EXPECT_TRUE(universe_.dns().reverse(old_ip).empty());
+  ASSERT_EQ(universe_.dns().reverse(new_ip),
+            std::vector<std::string>{"cdn.ext.net"});
+  universe_.network().faults().add_window(
+      net::FaultWindow{ext_a_, net::FaultType::kConnectRefused, 5.0, 1e9});
+
+  // Within the browser's DNS TTL: the stale cached IP surfaces a *typed*
+  // failure (not a crash, not a silent hit on the wrong server), then the
+  // retry re-resolves and lands on the new front-end.
+  LoadResult second = browser.load(site_.index_url(), 10.0);
+  EXPECT_EQ(second.page_status, 200);
+  EXPECT_EQ(second.failed_objects, 0u);
+  EXPECT_GT(second.fetch_retries, 0u);
+  bool stale_failure = false, fresh_success = false;
+  for (const auto& e : second.report.entries) {
+    if (e.host != "cdn.ext.net") continue;
+    if (e.failed() && e.ip == old_ip.to_string()) stale_failure = true;
+    if (!e.failed() && e.ip == new_ip.to_string()) fresh_success = true;
+  }
+  EXPECT_TRUE(stale_failure);
+  EXPECT_TRUE(fresh_success);
+}
+
+TEST_F(FaultBrowserFixture, UnresolvableHostRecordsTypedDnsFailure) {
+  page::SiteBuilder b(universe_, "site.com", origin_);
+  // Stored object whose hostname has no DNS record: discovery finds it,
+  // resolution fails.
+  b.add_direct("unbound-host.net", "/x.png", html::RefKind::kImage, 1000,
+               page::Category::kCdn);
+  page::Site site = b.finish();
+  Browser browser(universe_, make_client());
+  LoadResult res = browser.load(site.index_url(), 0.0);
+  EXPECT_EQ(res.missing_objects, 1u);
+  EXPECT_EQ(res.failed_objects, 1u);
+  bool found = false;
+  for (const auto& e : res.report.entries) {
+    if (e.host != "unbound-host.net") continue;
+    found = true;
+    EXPECT_EQ(e.error, "dns");
+    EXPECT_TRUE(e.ip.empty());
+    EXPECT_DOUBLE_EQ(e.time_s, 0.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FaultBrowserFixture, ReportUploadFailureIsNotRetried) {
+  int posts = 0;
+  universe_.set_handler(
+      "site.com", [&](const http::Request& req, double) -> http::Response {
+        if (req.method == http::Method::kPost) {
+          ++posts;
+          return http::Response::text("", 204);
+        }
+        const page::WebObject* obj =
+            universe_.store().find("http://site.com/index.html");
+        return http::Response::html(obj->body);
+      });
+  // The origin dies just after the navigation instant: the index fetch (at
+  // t = 0) sails through, the report upload (at t = plt > 0) is refused.
+  universe_.network().faults().add_window(
+      net::FaultWindow{origin_, net::FaultType::kConnectRefused, 1e-6, 1e9});
+  Browser browser(universe_, make_client());
+  LoadResult res = browser.load(site_.index_url(), 0.0);
+  EXPECT_EQ(res.page_status, 200);
+  EXPECT_FALSE(res.report_delivered);
+  EXPECT_EQ(posts, 0);  // the handler never saw the POST
+  EXPECT_GT(res.report_upload_s, 0.0);  // the one attempt burned real time
+  // Telemetry is never worth user time: the upload is one attempt, outside
+  // the retry machinery (no retry was recorded for it).
+  EXPECT_EQ(res.fetch_retries, 0u);
+}
+
+TEST_F(FaultBrowserFixture, IndexOutageFailsThePageGracefully) {
+  universe_.network().faults().add_window(
+      net::FaultWindow{origin_, net::FaultType::kConnectRefused, 0.0, 1e9});
+  Browser browser(universe_, make_client());
+  LoadResult res = browser.load(site_.index_url(), 0.0);
+  EXPECT_EQ(res.page_status, 504);
+  EXPECT_TRUE(res.page_html.empty());
+  EXPECT_FALSE(res.report_delivered);
+  EXPECT_GE(res.failed_objects, 1u);
+  EXPECT_GT(res.plt_s, 0.0);
+  // All three index attempts are in the report as failure samples.
+  std::size_t refused = 0;
+  for (const auto& e : res.report.entries) {
+    if (e.failed()) ++refused;
+  }
+  EXPECT_EQ(refused, 3u);
+}
+
+TEST_F(FaultBrowserFixture, ResourceTimingApiMissesCrossOriginFailures) {
+  universe_.network().faults().add_window(
+      net::FaultWindow{ext_a_, net::FaultType::kConnectRefused, 0.0, 1e9});
+
+  BrowserConfig modified;
+  modified.report_mechanism = ReportMechanism::kModifiedClient;
+  Browser mc(universe_, make_client(), modified);
+  LoadResult mc_res = mc.load(site_.index_url(), 0.0);
+  auto mc_det = core::detect_violators(mc_res.report);
+  bool mc_flags_ext = false;
+  const std::string ext_ip =
+      universe_.network().server(ext_a_).addr().to_string();
+  for (const auto& v : mc_det.violators) {
+    if (v.ip == ext_ip) {
+      mc_flags_ext = true;
+      EXPECT_TRUE(v.by_failure);
+    }
+  }
+  EXPECT_TRUE(mc_flags_ext);
+
+  // Resource Timing: the failing provider never sent Timing-Allow-Origin,
+  // so its entries (failures included) are invisible to page script — Oak
+  // detects nothing there. The asymmetry the paper's §6 warns about.
+  BrowserConfig rta;
+  rta.report_mechanism = ReportMechanism::kResourceTimingApi;
+  Browser rb(universe_, make_client(), rta);
+  LoadResult rta_res = rb.load(site_.index_url(), 0.0);
+  for (const auto& e : rta_res.report.entries) {
+    EXPECT_NE(e.host, "cdn.ext.net");
+  }
+  auto rta_det = core::detect_violators(rta_res.report);
+  for (const auto& v : rta_det.violators) {
+    EXPECT_NE(v.ip, ext_ip);
+  }
+}
+
+}  // namespace
+}  // namespace oak::browser

@@ -79,6 +79,48 @@ TEST(Grouping, EmptyReport) {
   EXPECT_TRUE(group_by_server(r).empty());
 }
 
+TEST(Grouping, FailedEntriesCountAsFailuresNotTimings) {
+  browser::PerfReport r;
+  r.entries.push_back(entry("u1", "a.com", "10.0.0.1", 1000, 0.1));
+  browser::ReportEntry dead =
+      entry("u2", "a.com", "10.0.0.1", 0, 1.5);  // burned 1.5s, no bytes
+  dead.error = "refused";
+  r.entries.push_back(dead);
+  browser::ReportEntry slow_dead =
+      entry("u3", "a.com", "10.0.0.1", 100'000, 5.0);
+  slow_dead.error = "timeout";
+  r.entries.push_back(slow_dead);
+  auto obs = group_by_server(r);
+  ASSERT_EQ(obs.size(), 1u);
+  // Failures are attempts (object_count) and failures (failure_count), but
+  // never timing samples — a burned budget is not a measurement of the
+  // server's speed.
+  EXPECT_EQ(obs[0].object_count, 3u);
+  EXPECT_EQ(obs[0].failure_count, 2u);
+  ASSERT_EQ(obs[0].small_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(obs[0].small_times[0], 0.1);
+  EXPECT_TRUE(obs[0].large_tputs.empty());
+  EXPECT_DOUBLE_EQ(obs[0].failure_rate(), 2.0 / 3.0);
+}
+
+TEST(Grouping, ResolutionFailuresNameNoServer) {
+  // An entry with an empty ip (DNS never resolved) has no server to group
+  // under; it must not fabricate an "" observation.
+  browser::PerfReport r;
+  browser::ReportEntry nx = entry("u1", "gone.com", "", 0, 0.0);
+  nx.error = "dns";
+  r.entries.push_back(nx);
+  r.entries.push_back(entry("u2", "a.com", "10.0.0.1", 10, 0.1));
+  auto obs = group_by_server(r);
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_EQ(obs[0].ip, "10.0.0.1");
+}
+
+TEST(Grouping, FailureRateZeroWhenNoAttempts) {
+  ServerObservation o;
+  EXPECT_DOUBLE_EQ(o.failure_rate(), 0.0);
+}
+
 TEST(Grouping, PreservesFirstAppearanceOrder) {
   browser::PerfReport r;
   r.entries.push_back(entry("u1", "z.com", "10.0.0.9", 1, 0.1));

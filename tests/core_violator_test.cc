@@ -188,6 +188,91 @@ TEST(Violator, AbsoluteModeIgnoresPopulationFloor) {
   EXPECT_EQ(detect_violators(r, cfg).violators.size(), 1u);
 }
 
+browser::ReportEntry failed_entry(const std::string& ip,
+                                  const std::string& code,
+                                  double burned = 1.0) {
+  browser::ReportEntry e = entry(ip, 0, burned);
+  e.error = code;
+  return e;
+}
+
+// 5 servers with *identical* small-object times: statistically silent, so
+// only the hard-failure rule can add violators. 1.0 (not 0.1) so that
+// per-server means stay bit-exact — mean({0.1,0.1,0.1}) lands one ulp above
+// the median and trips the zero-MAD check.
+browser::PerfReport flat_report() {
+  browser::PerfReport r;
+  for (int i = 1; i <= 5; ++i) {
+    r.entries.push_back(entry("10.0.0." + std::to_string(i), 1000, 1.0));
+  }
+  return r;
+}
+
+TEST(Violator, HardFailuresFlagDeadServer) {
+  // The case MAD cannot see: a dead server contributes no timing sample.
+  browser::PerfReport r = flat_report();
+  r.entries.push_back(failed_entry("10.0.0.6", "refused"));
+  r.entries.push_back(failed_entry("10.0.0.6", "refused"));
+  auto res = detect_violators(r);
+  ASSERT_EQ(res.violators.size(), 1u);
+  EXPECT_EQ(res.violators[0].ip, "10.0.0.6");
+  EXPECT_TRUE(res.violators[0].by_failure);
+  EXPECT_FALSE(res.violators[0].by_time);
+  EXPECT_EQ(res.violators[0].failure_count, 2u);
+  EXPECT_DOUBLE_EQ(res.violators[0].failure_rate, 1.0);
+}
+
+TEST(Violator, HardFailureSeverityDominatesStatisticalOnes) {
+  // A dead server must always lose history comparisons against a merely
+  // slow one: its severity saturates above any finite MAD distance.
+  browser::PerfReport r = small_object_report(50.0);  // huge time distance
+  r.entries.push_back(failed_entry("10.0.0.6", "timeout"));
+  auto res = detect_violators(r);
+  ASSERT_EQ(res.violators.size(), 2u);
+  const auto& slow = res.violators[0];
+  const auto& dead = res.violators[1];
+  ASSERT_TRUE(slow.by_time);
+  ASSERT_TRUE(dead.by_failure);
+  EXPECT_GT(dead.severity(), slow.severity());
+}
+
+TEST(Violator, HardFailuresIgnorePopulationFloorAndMode) {
+  // One server, one failure: no MAD population, yet still flagged — in both
+  // detection modes.
+  browser::PerfReport r;
+  r.entries.push_back(failed_entry("10.0.0.1", "refused"));
+  DetectorConfig rel;
+  rel.min_population = 100;
+  auto res = detect_violators(r, rel);
+  ASSERT_EQ(res.violators.size(), 1u);
+  EXPECT_TRUE(res.violators[0].by_failure);
+  DetectorConfig abs;
+  abs.mode = DetectionMode::kAbsolute;
+  ASSERT_EQ(detect_violators(r, abs).violators.size(), 1u);
+  EXPECT_TRUE(detect_violators(r, abs).violators[0].by_failure);
+}
+
+TEST(Violator, FailureRateBelowThresholdDoesNotFire) {
+  // 1 failure out of 4 attempts = 25% < the 50% default: a flaky-but-alive
+  // server is left to the statistical rules.
+  browser::PerfReport r = flat_report();
+  r.entries.push_back(entry("10.0.0.6", 1000, 1.0));
+  r.entries.push_back(entry("10.0.0.6", 1000, 1.0));
+  r.entries.push_back(entry("10.0.0.6", 1000, 1.0));
+  r.entries.push_back(failed_entry("10.0.0.6", "trunc"));
+  EXPECT_TRUE(detect_violators(r).violators.empty());
+}
+
+TEST(Violator, MinHardFailuresFloor) {
+  browser::PerfReport r = flat_report();
+  r.entries.push_back(failed_entry("10.0.0.6", "refused"));
+  DetectorConfig cfg;
+  cfg.min_hard_failures = 2;
+  EXPECT_TRUE(detect_violators(r, cfg).violators.empty());
+  cfg.min_hard_failures = 1;
+  EXPECT_EQ(detect_violators(r, cfg).violators.size(), 1u);
+}
+
 TEST(Violator, AbsoluteModeIsNotScaleInvariant) {
   // The §6 objection, as a test: scaling every observation (a slower
   // client) changes the absolute verdicts but not the relative ones.

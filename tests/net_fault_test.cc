@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "net/fault.h"
+#include "net/network.h"
+
+namespace oak::net {
+namespace {
+
+TEST(FaultCodes, ErrorCodeRoundTrip) {
+  for (FetchErrorType t :
+       {FetchErrorType::kDns, FetchErrorType::kDnsTimeout,
+        FetchErrorType::kRefused, FetchErrorType::kTimeout,
+        FetchErrorType::kTruncated}) {
+    EXPECT_EQ(error_from_code(error_code(t)), t);
+    EXPECT_FALSE(error_code(t).empty());
+  }
+  EXPECT_TRUE(error_code(FetchErrorType::kNone).empty());
+  EXPECT_EQ(error_from_code(""), FetchErrorType::kNone);
+  EXPECT_EQ(error_from_code("no-such-code"), FetchErrorType::kNone);
+}
+
+TEST(FaultInjector, WindowActivation) {
+  FaultInjector inj(FaultInjectorConfig{}, 7);
+  inj.add_window(FaultWindow{2, FaultType::kConnectRefused, 100.0, 200.0});
+  EXPECT_NE(inj.active(2, 0, 100.0), nullptr);
+  EXPECT_NE(inj.active(2, 0, 150.0), nullptr);
+  EXPECT_EQ(inj.active(2, 0, 99.9), nullptr);
+  EXPECT_EQ(inj.active(2, 0, 200.0), nullptr);  // end is exclusive
+  EXPECT_EQ(inj.active(1, 0, 150.0), nullptr);  // other server
+}
+
+TEST(FaultInjector, EarliestAddedWindowWins) {
+  FaultInjector inj(FaultInjectorConfig{}, 7);
+  inj.add_window(FaultWindow{2, FaultType::kStall, 0.0, 500.0});
+  inj.add_window(FaultWindow{2, FaultType::kConnectRefused, 0.0, 500.0});
+  const FaultWindow* w = inj.active(2, 0, 10.0);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->type, FaultType::kStall);
+}
+
+TEST(FaultInjector, FlappingDutyCycle) {
+  FaultInjector inj(FaultInjectorConfig{}, 7);
+  FaultWindow w{3, FaultType::kConnectRefused, 1000.0, 2000.0};
+  w.flap_period_s = 10.0;
+  w.flap_duty = 0.3;
+  inj.add_window(w);
+  // First 3s of every 10s period are faulted.
+  EXPECT_NE(inj.active(3, 0, 1001.0), nullptr);
+  EXPECT_EQ(inj.active(3, 0, 1005.0), nullptr);
+  EXPECT_NE(inj.active(3, 0, 1012.0), nullptr);
+  EXPECT_EQ(inj.active(3, 0, 1019.0), nullptr);
+}
+
+TEST(FaultInjector, ClientFractionMembershipIsStableAndSeeded) {
+  FaultInjector a(FaultInjectorConfig{}, 42);
+  FaultInjector b(FaultInjectorConfig{}, 42);
+  FaultWindow w{0, FaultType::kConnectRefused, 0.0, 100.0};
+  w.client_fraction = 0.5;
+  a.add_window(w);
+  b.add_window(w);
+  int affected = 0;
+  for (ClientId c = 0; c < 200; ++c) {
+    const bool hit = a.affects(a.windows()[0], 0, c);
+    // Stable across repeated queries and across same-seed injectors.
+    EXPECT_EQ(hit, a.affects(a.windows()[0], 0, c));
+    EXPECT_EQ(hit, b.affects(b.windows()[0], 0, c));
+    EXPECT_EQ(hit, a.active(0, c, 50.0) != nullptr);
+    if (hit) ++affected;
+  }
+  EXPECT_GT(affected, 60);   // ~100 expected out of 200
+  EXPECT_LT(affected, 140);
+}
+
+class FaultyNetworkFixture : public ::testing::Test {
+ protected:
+  FaultyNetworkFixture() : net_(NetworkConfig{.seed = 5}) {
+    ServerConfig sc;
+    sc.name = "s";
+    server_ = net_.add_server(sc);
+    client_ = net_.add_client(ClientConfig{});
+  }
+  Network net_;
+  ServerId server_ = kInvalidServer;
+  ClientId client_ = 0;
+};
+
+TEST_F(FaultyNetworkFixture, NoFaultPreservesFetchAndRngStream) {
+  util::Rng r1(99), r2(99);
+  FetchTiming plain = net_.fetch(client_, server_, 40'000, 10.0, r1);
+  FetchOutcome oc = net_.fetch_outcome(client_, server_, 40'000, 10.0, r2);
+  ASSERT_FALSE(oc.failed());
+  EXPECT_DOUBLE_EQ(oc.timing.total(), plain.total());
+  EXPECT_DOUBLE_EQ(oc.timing.dns, plain.dns);
+  EXPECT_DOUBLE_EQ(oc.timing.download, plain.download);
+  // Both paths consumed the identical rng sequence.
+  EXPECT_DOUBLE_EQ(r1.uniform(0.0, 1.0), r2.uniform(0.0, 1.0));
+}
+
+TEST_F(FaultyNetworkFixture, TimeoutBudgetConvertsSlowFetchToError) {
+  util::Rng rng(3);
+  FetchOutcome oc = net_.fetch_outcome(client_, server_, 1'000'000, 0.0, rng,
+                                       true, true, /*timeout_s=*/1e-4);
+  ASSERT_TRUE(oc.failed());
+  EXPECT_EQ(oc.error.type, FetchErrorType::kTimeout);
+  EXPECT_DOUBLE_EQ(oc.error.elapsed_s, 1e-4);
+}
+
+TEST_F(FaultyNetworkFixture, RefusedBurnsRoughlyOneRtt) {
+  net_.faults().add_window(
+      FaultWindow{server_, FaultType::kConnectRefused, 0.0, 1e9});
+  util::Rng rng(3);
+  FetchOutcome oc = net_.fetch_outcome(client_, server_, 40'000, 5.0, rng);
+  ASSERT_TRUE(oc.failed());
+  EXPECT_EQ(oc.error.type, FetchErrorType::kRefused);
+  EXPECT_GT(oc.error.elapsed_s, 0.0);
+  EXPECT_LT(oc.error.elapsed_s, 2.0);
+}
+
+TEST_F(FaultyNetworkFixture, NxdomainOnlyBitesColdResolution) {
+  net_.faults().add_window(
+      FaultWindow{server_, FaultType::kDnsNxdomain, 0.0, 1e9});
+  util::Rng rng(3);
+  FetchOutcome cold = net_.fetch_outcome(client_, server_, 1000, 5.0, rng);
+  ASSERT_TRUE(cold.failed());
+  EXPECT_EQ(cold.error.type, FetchErrorType::kDns);
+  // A warm client cache never touches the resolver.
+  FetchOutcome warm = net_.fetch_outcome(client_, server_, 1000, 5.0, rng,
+                                         /*cold_dns=*/false);
+  EXPECT_FALSE(warm.failed());
+}
+
+TEST_F(FaultyNetworkFixture, BlackholeBurnsResolverTimeout) {
+  net_.faults().add_window(
+      FaultWindow{server_, FaultType::kDnsBlackhole, 0.0, 1e9});
+  util::Rng rng(3);
+  FetchOutcome oc = net_.fetch_outcome(client_, server_, 1000, 5.0, rng);
+  ASSERT_TRUE(oc.failed());
+  EXPECT_EQ(oc.error.type, FetchErrorType::kDnsTimeout);
+  EXPECT_DOUBLE_EQ(oc.error.elapsed_s,
+                   net_.faults().config().resolver_timeout_s);
+  // A caller budget tighter than the resolver's surfaces as a timeout.
+  FetchOutcome budgeted = net_.fetch_outcome(client_, server_, 1000, 5.0,
+                                             rng, true, true, 2.0);
+  ASSERT_TRUE(budgeted.failed());
+  EXPECT_EQ(budgeted.error.type, FetchErrorType::kTimeout);
+  EXPECT_DOUBLE_EQ(budgeted.error.elapsed_s, 2.0);
+}
+
+TEST_F(FaultyNetworkFixture, StallBurnsWholeBudget) {
+  net_.faults().add_window(FaultWindow{server_, FaultType::kStall, 0.0, 1e9});
+  util::Rng rng(3);
+  FetchOutcome oc = net_.fetch_outcome(client_, server_, 40'000, 5.0, rng,
+                                       true, true, /*timeout_s=*/3.0);
+  ASSERT_TRUE(oc.failed());
+  EXPECT_EQ(oc.error.type, FetchErrorType::kTimeout);
+  EXPECT_DOUBLE_EQ(oc.error.elapsed_s, 3.0);
+  // Without a budget the OS-level stall bound applies.
+  FetchOutcome unbudgeted =
+      net_.fetch_outcome(client_, server_, 40'000, 5.0, rng);
+  ASSERT_TRUE(unbudgeted.failed());
+  EXPECT_GT(unbudgeted.error.elapsed_s,
+            net_.faults().config().max_stall_s);
+}
+
+TEST_F(FaultyNetworkFixture, TruncateFailsPartwayThroughBody) {
+  net_.faults().add_window(
+      FaultWindow{server_, FaultType::kTruncate, 0.0, 1e9});
+  util::Rng r1(3), r2(3);
+  FetchTiming full = net_.fetch(client_, server_, 400'000, 5.0, r1);
+  FetchOutcome oc = net_.fetch_outcome(client_, server_, 400'000, 5.0, r2);
+  ASSERT_TRUE(oc.failed());
+  EXPECT_EQ(oc.error.type, FetchErrorType::kTruncated);
+  EXPECT_GT(oc.error.elapsed_s, full.dns + full.connect + full.ttfb);
+  EXPECT_LT(oc.error.elapsed_s, full.total());
+}
+
+TEST_F(FaultyNetworkFixture, FaultedOutcomesAreDeterministic) {
+  net_.faults().add_window(
+      FaultWindow{server_, FaultType::kConnectRefused, 0.0, 1e9});
+  util::Rng r1(17), r2(17);
+  FetchOutcome a = net_.fetch_outcome(client_, server_, 9000, 42.0, r1);
+  FetchOutcome b = net_.fetch_outcome(client_, server_, 9000, 42.0, r2);
+  ASSERT_TRUE(a.failed());
+  ASSERT_TRUE(b.failed());
+  EXPECT_EQ(a.error.type, b.error.type);
+  EXPECT_DOUBLE_EQ(a.error.elapsed_s, b.error.elapsed_s);
+}
+
+}  // namespace
+}  // namespace oak::net

@@ -128,6 +128,76 @@ TEST(ReportDecoder, NumericEdgeCases) {
   EXPECT_EQ(r.entries[0].size, 3u);
 }
 
+TEST(ReportDecoder, ErrorFieldRoundTrips) {
+  PerfReport r;
+  r.user_id = "u";
+  r.page_url = "p";
+  r.entries.push_back({"http://h.com/ok", "h.com", "10.0.0.1", 9, 0.0, 0.1});
+  r.entries.push_back(
+      {"http://h.com/dead", "h.com", "10.0.0.1", 0, 0.2, 1.5, "refused"});
+  r.entries.push_back({"http://x.net/gone", "x.net", "", 0, 0.3, 0.0, "dns"});
+  const std::string wire = r.serialize();
+  // Backward compat: "err" appears once per *failed* entry only, so a
+  // failure-free report stays byte-identical to the old format.
+  std::size_t err_keys = 0;
+  for (std::size_t pos = wire.find("\"err\""); pos != std::string::npos;
+       pos = wire.find("\"err\"", pos + 1)) {
+    ++err_keys;
+  }
+  EXPECT_EQ(err_keys, 2u);
+  EXPECT_TRUE(differential(wire));
+  const PerfReport back = decode_report(wire);
+  ASSERT_EQ(back.entries.size(), 3u);
+  EXPECT_FALSE(back.entries[0].failed());
+  EXPECT_EQ(back.entries[1].error, "refused");
+  EXPECT_EQ(back.entries[2].error, "dns");
+
+  PerfReport clean;
+  clean.user_id = "u";
+  clean.page_url = "p";
+  clean.entries.push_back(
+      {"http://h.com/ok", "h.com", "10.0.0.1", 9, 0.0, 0.1});
+  EXPECT_EQ(clean.serialize().find("err"), std::string::npos);
+}
+
+TEST(ReportDecoder, ErrorFieldValidation) {
+  // Mistyped err: both decoders reject.
+  EXPECT_FALSE(differential(
+      R"({"uid":"u","page":"p","plt":0,"entries":[{"url":"u","host":"h",)"
+      R"("ip":"i","size":1,"start":0,"time":1,"err":7}]})"));
+  EXPECT_FALSE(differential(
+      R"({"uid":"u","page":"p","plt":0,"entries":[{"url":"u","host":"h",)"
+      R"("ip":"i","size":1,"start":0,"time":1,"err":null}]})"));
+  // Duplicate err keys: last occurrence wins, matching the DOM.
+  const char* dup =
+      R"({"uid":"u","page":"p","plt":0,"entries":[{"url":"u","host":"h",)"
+      R"("ip":"i","size":1,"start":0,"time":1,"err":"dns","err":"timeout"}]})";
+  EXPECT_TRUE(differential(dup));
+  EXPECT_EQ(decode_report(dup).entries[0].error, "timeout");
+  // An explicit empty err is legal and means "not failed".
+  const char* empty =
+      R"({"uid":"u","page":"p","plt":0,"entries":[{"url":"u","host":"h",)"
+      R"("ip":"i","size":1,"start":0,"time":1,"err":""}]})";
+  EXPECT_TRUE(differential(empty));
+  EXPECT_FALSE(decode_report(empty).entries[0].failed());
+}
+
+TEST(ReportDecoder, ErrorCodesAreInterned) {
+  PerfReport r;
+  r.user_id = "u";
+  r.page_url = "p";
+  for (int i = 0; i < 10; ++i) {
+    r.entries.push_back({"http://h.com/o" + std::to_string(i), "h.com",
+                         "10.0.0.1", 0, 0.0, 0.1, "timeout"});
+  }
+  util::StringArena arena;
+  const ReportView view = decode_report_view(r.serialize(), arena);
+  ASSERT_EQ(view.entries.size(), 10u);
+  for (const auto& e : view.entries) {
+    EXPECT_EQ(e.error.data(), view.entries[0].error.data());
+  }
+}
+
 TEST(ReportDecoder, DuplicateKeysLastWins) {
   // std::map semantics: the DOM keeps the last occurrence, even when an
   // earlier occurrence had the wrong type. The streaming decoder must agree.

@@ -37,6 +37,55 @@ TEST(ParseUrl, Rejections) {
   EXPECT_FALSE(parse_url("/relative/path"));
 }
 
+TEST(ParseUrl, AuthorityEdgeCases) {
+  struct Case {
+    const char* input;
+    bool ok;
+    const char* host;   // when ok
+    int port;           // when ok
+    const char* path;   // when ok
+  };
+  const Case cases[] = {
+      // Userinfo is stripped; the *last* '@' delimits it (WHATWG).
+      {"http://user@h.com/x", true, "h.com", 0, "/x"},
+      {"http://u:pw@h.com/", true, "h.com", 0, "/"},
+      {"http://a@b@h.com/", true, "h.com", 0, "/"},
+      {"http://u:pw@h.com:8080/x", true, "h.com", 8080, "/x"},
+      // Ports parse, bound-check, and normalize.
+      {"http://h.com:80/x", true, "h.com", 80, "/x"},
+      {"http://h.com:65535/", true, "h.com", 65535, "/"},
+      {"http://h.com:0/", true, "h.com", 0, "/"},   // ":0" == unspecified
+      {"http://h.com:/", true, "h.com", 0, "/"},    // bare ":" too
+      {"http://h.com:65536/", false, "", 0, ""},    // out of range
+      {"http://h.com:8a/", false, "", 0, ""},       // non-numeric
+      {"http://h.com:-1/", false, "", 0, ""},
+      // An authority that is empty once userinfo/port are gone names no
+      // server.
+      {"http:///x", false, "", 0, ""},
+      {"http://:8080/", false, "", 0, ""},
+      {"http://u@/", false, "", 0, ""},
+      {"http://u@:80/x", false, "", 0, ""},
+      // Case-folding still applies after stripping.
+      {"http://U@H.COM:90", true, "h.com", 90, "/"},
+  };
+  for (const Case& c : cases) {
+    auto u = parse_url(c.input);
+    EXPECT_EQ(bool(u), c.ok) << c.input;
+    if (!u || !c.ok) continue;
+    EXPECT_EQ(u->host, c.host) << c.input;
+    EXPECT_EQ(u->port, c.port) << c.input;
+    EXPECT_EQ(u->path, c.path) << c.input;
+  }
+}
+
+TEST(ParseUrl, PortRoundTrips) {
+  EXPECT_EQ(parse_url("http://h.com:8080/a?b=c")->to_string(),
+            "http://h.com:8080/a?b=c");
+  // Unspecified and explicit-zero ports normalize away.
+  EXPECT_EQ(parse_url("http://h.com:0/a")->to_string(), "http://h.com/a");
+  EXPECT_EQ(parse_url("http://h.com/a")->to_string(), "http://h.com/a");
+}
+
 TEST(ParseUrl, RoundTrip) {
   const std::string s = "http://a.b.c/p/q?r=s";
   EXPECT_EQ(parse_url(s)->to_string(), s);
@@ -79,6 +128,12 @@ TEST(ReplaceHost, SwapsHostOnly) {
   EXPECT_EQ(*replace_host("http://a.com/x?q=1", "b.net"),
             "http://b.net/x?q=1");
   EXPECT_FALSE(replace_host("nonsense", "b.net"));
+}
+
+TEST(ReplaceHost, PreservesPortAndDropsUserinfo) {
+  EXPECT_EQ(*replace_host("http://a.com:9090/x?q=1", "b.net"),
+            "http://b.net:9090/x?q=1");
+  EXPECT_EQ(*replace_host("http://me@a.com/x", "b.net"), "http://b.net/x");
 }
 
 }  // namespace
