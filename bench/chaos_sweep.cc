@@ -17,8 +17,10 @@
 //
 // Emits BENCH_chaos.json. Acceptance: on every provider-outage run the Oak
 // fleet's median PLT degradation is strictly smaller than the vanilla
-// fleet's, and mitigation happened. Two same-seed invocations write
-// byte-identical JSON (pinned by tests/chaos_test.cc at scenario level).
+// fleet's, and mitigation happened. The simulated outcome of two same-seed
+// invocations is identical (pinned by tests/chaos_test.cc at scenario
+// level); only each run's "metrics" exposition varies, since its stage
+// histograms record wall-clock timings.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -28,6 +30,7 @@
 
 #include "browser/browser.h"
 #include "core/decision_log.h"
+#include "obs/metrics.h"
 #include "util/json.h"
 #include "util/stats.h"
 #include "workload/chaos.h"
@@ -67,11 +70,17 @@ RunResult run_one(const RunSpec& spec) {
 
   auto vps =
       workload::make_vantage_points(scenario.universe().network(), 16);
+  // One client-side registry per run: browser PLT/retry/report-loss
+  // instruments plus the network's fetch/fault counters, exported alongside
+  // the server's ingest metrics in the BENCH file.
+  auto client_metrics = std::make_unique<obs::MetricsRegistry>();
+  scenario.universe().network().set_metrics(client_metrics.get());
   browser::BrowserConfig bc;
   bc.use_cache = false;
   // A tight budget keeps stalled transfers from dominating the sweep while
   // still dwarfing any healthy fetch.
   bc.fetch_timeout_s = 5.0;
+  bc.metrics = client_metrics.get();
 
   struct Pair {
     std::unique_ptr<browser::Browser> oak, def;
@@ -160,6 +169,12 @@ RunResult run_one(const RunSpec& spec) {
                       : static_cast<double>(base_lost) /
                             static_cast<double>(base_loads);
   j["report_loss_rate_outage"] = r.report_loss_rate;
+  // Client-plane (browser PLT/retries/report-loss, net fetch/fault counters)
+  // and server-plane (ingest stages, activations) metrics in one exposition.
+  obs::MetricsSnapshot metrics = client_metrics->snapshot();
+  metrics.merge(scenario.oak().metrics_snapshot());
+  j["metrics"] = metrics.to_json();
+  scenario.universe().network().set_metrics(nullptr);
   r.json = std::move(j);
   return r;
 }

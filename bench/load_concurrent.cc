@@ -183,7 +183,8 @@ RunResult run_baseline(int threads, int reports) {
   return res;
 }
 
-RunResult run_sharded(std::size_t shards, int threads, int reports) {
+RunResult run_sharded(std::size_t shards, int threads, int reports,
+                      util::Json* metrics_out = nullptr) {
   Workload w;
   core::ShardedOakServer server(w.universe, "busy.com", core::OakConfig{},
                                 shards);
@@ -197,6 +198,9 @@ RunResult run_sharded(std::size_t shards, int threads, int reports) {
   res.memo_hit_rate = cache.memo_hit_rate();
   res.script_hit_rate = cache.script_hit_rate();
   res.contentions = server.shard_stats().contentions;
+  // Merged per-shard obs snapshot: stage latency histograms plus ingest
+  // counters for exactly the traffic this run timed.
+  if (metrics_out != nullptr) *metrics_out = server.metrics_json();
   return res;
 }
 
@@ -216,9 +220,13 @@ int main(int argc, char** argv) {
               "reports/s", "memo-hit", "script-hit", "contentions");
 
   std::vector<RunResult> runs;
+  util::Json stage_metrics;
   runs.push_back(run_baseline(threads, reports));
   for (std::size_t shards : {1u, 4u, 8u, 16u}) {
-    runs.push_back(run_sharded(shards, threads, reports));
+    // The acceptance configuration (8 shards) also exports its merged obs
+    // snapshot into the BENCH file.
+    runs.push_back(run_sharded(shards, threads, reports,
+                               shards == 8 ? &stage_metrics : nullptr));
   }
 
   const double baseline_rps = runs[0].reports_per_sec;
@@ -249,6 +257,7 @@ int main(int argc, char** argv) {
   root["threads"] = threads;
   root["reports_per_thread"] = reports;
   root["runs"] = std::move(out_runs);
+  root["metrics"] = std::move(stage_metrics);
   util::JsonObject acceptance;
   acceptance["sharded8_speedup"] = sharded8_speedup;
   acceptance["required"] = 3.0;

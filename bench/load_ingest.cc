@@ -111,7 +111,8 @@ RunResult time_decode(const std::string& config, const Corpus& corpus,
 
 RunResult run_server(const std::string& config, const Corpus& corpus,
                      int passes, std::size_t shards,
-                     core::IngestDecode decode) {
+                     core::IngestDecode decode,
+                     util::Json* metrics_out = nullptr) {
   page::WebUniverse universe{net::NetworkConfig{.seed = 7, .horizon_s = 0}};
   core::OakConfig cfg;
   cfg.ingest_decode = decode;
@@ -142,6 +143,9 @@ RunResult run_server(const std::string& config, const Corpus& corpus,
   res.reports_per_sec = n / res.seconds;
   res.mb_per_sec =
       double(passes) * double(corpus.bytes) / res.seconds / (1024.0 * 1024.0);
+  // Per-stage latency distributions for the whole run (decode/group/detect/
+  // match histograms, ingest counters) — merged across shards.
+  if (metrics_out != nullptr) *metrics_out = server.metrics_json();
   return res;
 }
 
@@ -191,12 +195,16 @@ int main(int argc, char** argv) {
   // Server-level ingest (decode + grouping + detection), both decoders, at
   // 1 and 8 shards. Fewer passes: each report runs the whole pipeline.
   const int server_passes = std::max(1, passes / 10);
+  util::Json stage_metrics;
   for (std::size_t shards : {std::size_t(1), std::size_t(8)}) {
     const std::string tag = "-s" + std::to_string(shards);
     runs.push_back(run_server("server-dom" + tag, mixed, server_passes, shards,
                               core::IngestDecode::kDom));
+    // The 8-shard streaming run also contributes its obs exposition: stage
+    // histograms for the exact traffic the throughput number describes.
     runs.push_back(run_server("server-stream" + tag, mixed, server_passes,
-                              shards, core::IngestDecode::kStreaming));
+                              shards, core::IngestDecode::kStreaming,
+                              shards == 8 ? &stage_metrics : nullptr));
   }
 
   double dom_mixed_rps = 0.0;
@@ -227,6 +235,7 @@ int main(int argc, char** argv) {
   root["bench"] = std::string("load_ingest");
   root["passes"] = passes;
   root["runs"] = std::move(out_runs);
+  root["metrics"] = std::move(stage_metrics);
   util::JsonObject acceptance;
   acceptance["streaming_decode_speedup"] = speedup;
   acceptance["required"] = 3.0;

@@ -194,6 +194,40 @@ void BM_OakServePersonalizedPage(benchmark::State& state) {
 }
 BENCHMARK(BM_OakServePersonalizedPage);
 
+// The obs overhead case: one full report ingest through handle(), with the
+// per-server registry recording (metrics=true) vs runtime-disabled
+// (metrics=false, all instrument pointers null). The pair bounds what the
+// five stage timers + counters cost on the hot path; tests/obs_overhead_test
+// enforces the ratio in CI.
+void BM_IngestObs(benchmark::State& state) {
+  static page::WebUniverse universe(net::NetworkConfig{.seed = 9,
+                                                       .horizon_s = 0});
+  static bool bound = [] {
+    universe.dns().bind("obs.com",
+                        universe.network()
+                            .server(universe.network().add_server({}))
+                            .addr());
+    return true;
+  }();
+  (void)bound;
+  core::OakConfig cfg;
+  cfg.metrics = state.range(0) != 0;
+  core::OakServer server(universe, "obs.com", cfg);
+  server.add_rule(core::make_domain_rule("r", "host0.cdn.net", {"alt.net"}));
+  const std::string wire = make_report(8, 2).serialize();
+  http::Request post = http::Request::post("http://obs.com/oak/report", wire);
+  post.headers.set("Cookie", std::string(http::kOakUserCookie) + "=bench");
+  double t = 0.0;
+  for (auto _ : state) {
+    auto resp = server.handle(post, t);
+    benchmark::DoNotOptimize(resp.status);
+    t += 0.001;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(cfg.metrics ? "metrics-on" : "metrics-off");
+}
+BENCHMARK(BM_IngestObs)->Arg(0)->Arg(1);
+
 void BM_StateSnapshot(benchmark::State& state) {
   static page::WebUniverse universe(net::NetworkConfig{.seed = 3,
                                                        .horizon_s = 0});

@@ -1,6 +1,7 @@
 #include "browser/browser.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 
 #include "html/extract.h"
@@ -33,7 +34,20 @@ Browser::Browser(page::WebUniverse& universe, net::ClientId client,
       client_(client),
       cfg_(cfg),
       rng_(util::Rng::forked(universe.network().seed(),
-                             0xb0b0ull + client)) {}
+                             0xb0b0ull + client)) {
+  if (cfg_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *cfg_.metrics;
+    metrics_.plt = &m.histogram("oak_browser_plt_seconds");
+    metrics_.report_bytes =
+        &m.histogram("oak_browser_report_bytes", obs::HistogramSpec::bytes());
+    metrics_.loads = &m.counter("oak_browser_loads_total");
+    metrics_.fetch_retries = &m.counter("oak_browser_fetch_retries_total");
+    metrics_.failed_objects = &m.counter("oak_browser_failed_objects_total");
+    metrics_.reports_delivered =
+        &m.counter("oak_browser_reports_delivered_total");
+    metrics_.reports_lost = &m.counter("oak_browser_reports_lost_total");
+  }
+}
 
 net::FetchOutcome Browser::fetch_with_retries(
     const std::string& url, const std::string& host, std::uint64_t bytes,
@@ -53,8 +67,12 @@ net::FetchOutcome Browser::fetch_with_retries(
                     std::string(net::error_code(oc.error.type))});
     if (attempt >= cfg_.max_retries) return oc;
     ++out->fetch_retries;
-    const double base =
-        cfg_.retry_backoff_s * static_cast<double>(1 << attempt);
+    // Backoff doubles per attempt but with the exponent clamped (1 << 31 is
+    // undefined, and 2^30 seconds already exceeds any plausible budget) and
+    // the deterministic term capped at max_backoff_s, so a generous retry
+    // budget degrades into steady polling rather than geometric waits.
+    double base = std::ldexp(cfg_.retry_backoff_s, std::min(attempt, 30));
+    if (cfg_.max_backoff_s > 0.0) base = std::min(base, cfg_.max_backoff_s);
     *start += oc.error.elapsed_s + base + rng_.uniform(0.0, base);
     // The failure may mean the cached address went stale (the provider
     // moved front-ends): drop it and resolve afresh before retrying.
@@ -92,6 +110,7 @@ std::optional<Browser::Resolved> Browser::resolve(const std::string& host,
 
 LoadResult Browser::load(const std::string& url, double now) {
   LoadResult out;
+  if (metrics_.loads != nullptr) metrics_.loads->inc();
   auto parsed = util::parse_url(url);
   if (!parsed) {
     out.page_status = 400;
@@ -144,6 +163,12 @@ LoadResult Browser::load(const std::string& url, double now) {
       out.report.user_id = *uid;
     }
     ++out.failed_objects;
+    if (metrics_.loads != nullptr) {
+      metrics_.plt->observe(out.plt_s);
+      metrics_.fetch_retries->inc(out.fetch_retries);
+      metrics_.failed_objects->inc(out.failed_objects);
+      if (cfg_.send_report && handler) metrics_.reports_lost->inc();
+    }
     return out;
   }
   const double t_index = index_start + index_oc.timing.total();
@@ -329,6 +354,17 @@ LoadResult Browser::load(const std::string& url, double now) {
       cookies_.attach(origin_host, post.headers);
       http::Response rr = (*handler)(post, now + plt);
       out.report_delivered = rr.ok();
+    }
+  }
+  if (metrics_.loads != nullptr) {
+    metrics_.plt->observe(out.plt_s);
+    metrics_.report_bytes->observe(static_cast<double>(out.report_bytes));
+    metrics_.fetch_retries->inc(out.fetch_retries);
+    metrics_.failed_objects->inc(out.failed_objects);
+    if (cfg_.send_report && handler) {
+      (out.report_delivered ? metrics_.reports_delivered
+                            : metrics_.reports_lost)
+          ->inc();
     }
   }
   return out;

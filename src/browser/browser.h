@@ -28,6 +28,7 @@
 #include "http/cache.h"
 #include "http/cookies.h"
 #include "http/message.h"
+#include "obs/metrics.h"
 #include "page/site.h"
 #include "util/rng.h"
 
@@ -60,6 +61,13 @@ struct BrowserConfig {
   double fetch_timeout_s = 60.0;
   int max_retries = 2;
   double retry_backoff_s = 0.1;  // attempt i waits base·2^i + U(0, base·2^i)
+  // Ceiling on the deterministic backoff term (the jitter adds at most the
+  // same again), so a long retry budget degrades into steady polling rather
+  // than hour-long waits. 0 disables the cap.
+  double max_backoff_s = 30.0;
+  // Optional fleet-side instrumentation: PLT / report-size distributions,
+  // load, retry and report-delivery counters. Must outlive the browser.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct LoadResult {
@@ -120,9 +128,22 @@ class Browser {
     double setup_done = 0.0;  // when the connection became usable
   };
 
+  // Instrument pointers resolved once at construction (null when
+  // cfg_.metrics is null, which also skips the per-load recording).
+  struct BrowserMetrics {
+    obs::Histogram* plt = nullptr;
+    obs::Histogram* report_bytes = nullptr;
+    obs::Counter* loads = nullptr;
+    obs::Counter* fetch_retries = nullptr;
+    obs::Counter* failed_objects = nullptr;
+    obs::Counter* reports_delivered = nullptr;
+    obs::Counter* reports_lost = nullptr;
+  };
+
   page::WebUniverse& universe_;
   net::ClientId client_;
   BrowserConfig cfg_;
+  BrowserMetrics metrics_;
   util::Rng rng_;
   http::CookieJar cookies_;
   http::BrowserCache cache_;

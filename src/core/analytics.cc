@@ -14,7 +14,21 @@ std::string preview(const std::string& text, std::size_t max_len = 60) {
 }
 }  // namespace
 
-SiteAnalytics::SiteAnalytics(const OakServer& server) {
+ConcurrencyCounters ConcurrencyCounters::from_metrics(
+    const obs::MetricsSnapshot& snap, std::size_t shards) {
+  ConcurrencyCounters c;
+  c.shards = shards;
+  c.requests_handled = snap.counter("oak_requests_total");
+  c.shard_contentions = snap.counter("oak_shard_contentions_total");
+  c.match_memo_hits = snap.counter("oak_match_memo_hits_total");
+  c.match_memo_misses = snap.counter("oak_match_memo_misses_total");
+  c.script_cache_hits = snap.counter("oak_match_script_hits_total");
+  c.script_fetches = snap.counter("oak_match_script_fetches_total");
+  return c;
+}
+
+SiteAnalytics::SiteAnalytics(const OakServer& server,
+                             std::optional<double> now) {
   const DecisionLog& log = server.decision_log();
 
   summary_.site_host = server.site_host();
@@ -69,7 +83,17 @@ SiteAnalytics::SiteAnalytics(const OakServer& server) {
   for (const auto& [uid, profile] : server.profiles()) {
     for (const auto& [rule_id, ar] : profile.active) {
       auto it = by_rule.find(rule_id);
-      if (it != by_rule.end()) it->second.currently_active++;
+      if (it == by_rule.end()) continue;
+      // Same half-open boundary as OakServer::expire_rules: at exactly
+      // now == expires_at the rule is expired. The server reaps lazily (on
+      // the user's next serve/report), so an audit taken in between must
+      // classify the entry by what the server would do, not by what the
+      // profile map still holds.
+      if (now.has_value() && ar.expires_at > 0.0 && *now >= ar.expires_at) {
+        it->second.expirations++;
+      } else {
+        it->second.currently_active++;
+      }
     }
     if (profile.plt_count > 0) {
       if (profile.holdback) {

@@ -13,7 +13,9 @@
 // mutates server state.
 #pragma once
 
+#include <cmath>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,15 +55,23 @@ struct ViolatorStats {
 };
 
 // Treated-vs-holdback lift (§6): valid only when a holdback_fraction is
-// configured and both groups have PLT samples.
+// configured, both groups have PLT samples, and the resulting means are
+// finite. PLT values come off the wire — the ingest accumulator rejects
+// non-finite samples, and this guard keeps an overflowed or corrupted sum
+// (Inf mean → Inf or NaN ratio) out of the JSON/report expositions.
 struct LiftEstimate {
   std::size_t treated_users = 0;
   std::size_t holdback_users = 0;
   double treated_mean_plt_s = 0.0;
   double holdback_mean_plt_s = 0.0;
-  // holdback/treated mean PLT; > 1 means Oak made pages faster.
+  // holdback/treated mean PLT; > 1 means Oak made pages faster. Stays 0.0
+  // (not NaN/Inf) whenever the quotient would be meaningless.
   double ratio = 0.0;
-  bool valid() const { return treated_users > 0 && holdback_users > 0; }
+  bool valid() const {
+    return treated_users > 0 && holdback_users > 0 &&
+           std::isfinite(treated_mean_plt_s) &&
+           std::isfinite(holdback_mean_plt_s);
+  }
 };
 
 // Serving-plane counters from the sharded front (core/sharded_server.h):
@@ -86,6 +96,12 @@ struct ConcurrencyCounters {
     const std::uint64_t total = script_cache_hits + script_fetches;
     return total == 0 ? 0.0 : double(script_cache_hits) / double(total);
   }
+
+  // View over a merged oak::obs snapshot — the sharded server's counters
+  // now live in the per-shard registries, and this is how audit() projects
+  // them back into the legacy struct.
+  static ConcurrencyCounters from_metrics(const obs::MetricsSnapshot& snap,
+                                          std::size_t shards);
 };
 
 struct SiteSummary {
@@ -102,7 +118,14 @@ struct SiteSummary {
 
 class SiteAnalytics {
  public:
-  explicit SiteAnalytics(const OakServer& server);
+  // `now` is the audit time. When provided, an active rule whose TTL has
+  // already lapsed (now >= expires_at, the half-open convention of rule.h)
+  // is counted as an expiration rather than currently_active — the server
+  // only reaps on its next interaction with that user, but it would never
+  // apply the rule again, and the audit must agree with the serving plane.
+  // Without `now` (timeless audit) every profile entry counts as active.
+  explicit SiteAnalytics(const OakServer& server,
+                         std::optional<double> now = std::nullopt);
 
   const SiteSummary& summary() const { return summary_; }
   // Per-rule stats, most-activated first. Includes never-activated rules.

@@ -43,12 +43,29 @@ Fleet::FleetSummary Fleet::summary() const {
   return s;
 }
 
-std::map<std::string, SiteAnalytics> Fleet::audit_all() const {
+std::map<std::string, SiteAnalytics> Fleet::audit_all(
+    std::optional<double> now) const {
   std::map<std::string, SiteAnalytics> out;
   for (const auto& [host, server] : servers_) {
-    out.emplace(host, server->audit());
+    out.emplace(host, server->audit(now));
   }
   return out;
+}
+
+obs::MetricsSnapshot Fleet::metrics_snapshot() const {
+  obs::MetricsSnapshot merged = metrics_.snapshot();
+  for (const auto& [host, server] : servers_) {
+    merged.merge(server->metrics_snapshot());
+  }
+  return merged;
+}
+
+std::string Fleet::metrics_text() const {
+  return metrics_snapshot().to_prometheus();
+}
+
+util::Json Fleet::metrics_json() const {
+  return metrics_snapshot().to_json();
 }
 
 util::Json Fleet::export_state() const {

@@ -53,8 +53,20 @@ class Fleet {
     std::size_t total_activations = 0;
   };
   FleetSummary summary() const;
-  // Per-site audits, keyed by host.
-  std::map<std::string, SiteAnalytics> audit_all() const;
+  // Per-site audits, keyed by host. `now` is the audit time (see
+  // SiteAnalytics: it classifies expired-but-unreaped rules correctly).
+  std::map<std::string, SiteAnalytics> audit_all(
+      std::optional<double> now = std::nullopt) const;
+
+  // --- Observability. The fleet-side registry is shared by the browsers
+  // and the network harness (see BrowserConfig::metrics and
+  // net::Network::set_metrics); the server planes live in the per-site
+  // shard registries. metrics_snapshot() merges everything — fleet registry
+  // plus every site's merged shard snapshot — into one exposition.
+  obs::MetricsRegistry& metrics_registry() { return metrics_; }
+  obs::MetricsSnapshot metrics_snapshot() const;
+  std::string metrics_text() const;
+  util::Json metrics_json() const;
 
   // One snapshot covering every site ({"sites": {host: snapshot}}).
   util::Json export_state() const;
@@ -69,6 +81,7 @@ class Fleet {
   OakConfig base_config_;
   std::size_t shards_per_site_;
   std::map<std::string, std::unique_ptr<ShardedOakServer>> servers_;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace oak::core

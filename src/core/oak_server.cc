@@ -1,6 +1,7 @@
 #include "core/oak_server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "browser/report_decoder.h"
@@ -20,6 +21,41 @@ OakServer::OakServer(page::WebUniverse& universe, std::string site_host,
     return obj->body;
   };
   matcher_ = std::make_unique<Matcher>(fetcher, cfg_.matcher);
+  if (cfg_.metrics) {
+    obs_.decode = &metrics_.histogram("oak_ingest_decode_seconds");
+    obs_.group = &metrics_.histogram("oak_ingest_group_seconds");
+    obs_.detect = &metrics_.histogram("oak_ingest_detect_seconds");
+    obs_.match = &metrics_.histogram("oak_ingest_match_seconds");
+    obs_.modify = &metrics_.histogram("oak_serve_modify_seconds");
+    obs_.report_bytes = &metrics_.histogram("oak_ingest_report_bytes",
+                                            obs::HistogramSpec::bytes());
+    obs_.reports_ingested = &metrics_.counter("oak_reports_ingested_total");
+    obs_.reports_rejected = &metrics_.counter("oak_reports_rejected_total");
+    obs_.pages_served = &metrics_.counter("oak_pages_served_total");
+    obs_.pages_modified = &metrics_.counter("oak_pages_modified_total");
+    obs_.activations = &metrics_.counter("oak_rule_activations_total");
+    obs_.expirations = &metrics_.counter("oak_rule_expirations_total");
+    obs_.deactivations = &metrics_.counter("oak_rule_deactivations_total");
+  }
+}
+
+obs::MetricsSnapshot OakServer::metrics_snapshot() const {
+  obs::MetricsSnapshot snap = metrics_.snapshot();
+  // The match cache tallies with plain integers (it is shard-local and
+  // single-threaded by contract), so its counters are folded in at snapshot
+  // time rather than double-counted on the hot path.
+  if (cfg_.metrics) {
+    if (const MatchCacheStats* cs = matcher_->cache_stats()) {
+      snap.counters["oak_match_memo_hits_total"] += cs->memo_hits;
+      snap.counters["oak_match_memo_misses_total"] += cs->memo_misses;
+      snap.counters["oak_match_script_hits_total"] += cs->script_hits;
+      snap.counters["oak_match_script_fetches_total"] += cs->script_fetches;
+      snap.counters["oak_match_script_refreshes_total"] +=
+          cs->script_refreshes;
+      snap.counters["oak_match_invalidations_total"] += cs->invalidations;
+    }
+  }
+  return snap;
 }
 
 int OakServer::add_rule(Rule rule) {
@@ -49,6 +85,7 @@ bool OakServer::remove_rule(int rule_id, double now) {
     if (active != profile.active.end()) {
       log_.record(Decision{now, uid, rule_id, DecisionType::kExpire, "", 0.0,
                            active->second.alternative_index});
+      if (obs_.expirations != nullptr) obs_.expirations->inc();
       profile.active.erase(active);
     }
     profile.pending_violations.erase(rule_id);
@@ -107,9 +144,14 @@ UserProfile& OakServer::user_for(const http::Request& req,
 
 void OakServer::expire_rules(UserProfile& user, double now) {
   for (auto it = user.active.begin(); it != user.active.end();) {
+    // Half-open lifetime [activated_at, expires_at): a rule is already
+    // expired at exactly now == expires_at (see the ttl_s contract in
+    // rule.h). SiteAnalytics applies the same comparison when counting
+    // expired-but-unreaped actives.
     if (it->second.expires_at > 0.0 && now >= it->second.expires_at) {
       log_.record(Decision{now, user.user_id, it->first, DecisionType::kExpire,
                            "", 0.0, it->second.alternative_index});
+      if (obs_.expirations != nullptr) obs_.expirations->inc();
       it = user.active.erase(it);
     } else {
       ++it;
@@ -127,13 +169,18 @@ http::Response OakServer::serve_page(const http::Request& req, double now) {
   UserProfile& user = user_for(req, resp);
   user.pages_served++;
   user.holdback = cfg_.policy.in_holdback(user.user_id);
+  if (obs_.pages_served != nullptr) obs_.pages_served->inc();
+
+  // Reap expired rules on every serve while Oak is on — including for
+  // holdback or policy-filtered users, whose profiles would otherwise carry
+  // stale "active" rules indefinitely (the server never applies an expired
+  // rule, but the audit plane would keep counting it as live).
+  if (cfg_.enabled) expire_rules(user, now);
 
   const bool oak_applies = cfg_.enabled &&
                            cfg_.policy.applies_to(req.client_ip) &&
                            !user.holdback;
   if (!oak_applies && !cfg_.force_all_rules) return resp;
-
-  expire_rules(user, now);
 
   std::vector<AppliedRule> applied;
   if (cfg_.force_all_rules) {
@@ -155,10 +202,13 @@ http::Response OakServer::serve_page(const http::Request& req, double now) {
   }
   if (applied.empty()) return resp;
 
+  obs::ScopedTimer modify_timer(obs_.modify);
   ModifiedPage modified = apply_rules(resp.body, path, applied);
+  modify_timer.stop();
   if (modified.total_replacements() > 0) {
     log_.record(Decision{now, user.user_id, 0, DecisionType::kServeModified,
                          "", 0.0, 0});
+    if (obs_.pages_modified != nullptr) obs_.pages_modified->inc();
   }
   resp.body = std::move(modified.html);
   for (const auto& alias : modified.aliases) {
@@ -180,6 +230,10 @@ http::Response OakServer::ingest_report(const http::Request& req, double now) {
   // ingest arena; both outlive process_report(), which copies anything it
   // retains (violator IPs/domains, decision-log entries) into owned strings.
   ingest_arena_.clear();
+  if (obs_.report_bytes != nullptr) {
+    obs_.report_bytes->observe(static_cast<double>(req.body.size()));
+  }
+  obs::ScopedTimer decode_timer(obs_.decode);
   browser::ReportView view;
   browser::PerfReport dom_report;  // backs `view` in the DOM modes
   switch (cfg_.ingest_decode) {
@@ -187,6 +241,7 @@ http::Response OakServer::ingest_report(const http::Request& req, double now) {
       try {
         view = browser::decode_report_view(req.body, ingest_arena_);
       } catch (const util::JsonError&) {
+        if (obs_.reports_rejected != nullptr) obs_.reports_rejected->inc();
         return http::Response::text("malformed report", 400);
       }
       break;
@@ -194,6 +249,7 @@ http::Response OakServer::ingest_report(const http::Request& req, double now) {
       try {
         dom_report = browser::PerfReport::deserialize(req.body);
       } catch (const util::JsonError&) {
+        if (obs_.reports_rejected != nullptr) obs_.reports_rejected->inc();
         return http::Response::text("malformed report", 400);
       }
       view = browser::ReportView::of(dom_report);
@@ -217,10 +273,14 @@ http::Response OakServer::ingest_report(const http::Request& req, double now) {
         throw std::logic_error(
             "ingest decoder divergence: streaming vs DOM disagree on report");
       }
-      if (!stream_ok) return http::Response::text("malformed report", 400);
+      if (!stream_ok) {
+        if (obs_.reports_rejected != nullptr) obs_.reports_rejected->inc();
+        return http::Response::text("malformed report", 400);
+      }
       break;
     }
   }
+  decode_timer.stop();
   process_report(user, view, now, nullptr);
   return resp;
 }
@@ -240,12 +300,25 @@ void OakServer::process_report(UserProfile& user,
                                DetectionResult* out_detection) {
   ++user.reports_received;
   ++reports_processed_;
-  if (report.plt_s > 0.0) {
+  if (obs_.reports_ingested != nullptr) obs_.reports_ingested->inc();
+  // Reject non-finite and negative PLTs at the accumulator: plt_s comes off
+  // the wire, and a single 1e308 sample would push plt_sum_s to +Inf, from
+  // where every derived mean (and the treated/holdback lift ratio) becomes
+  // Inf or NaN forever.
+  if (std::isfinite(report.plt_s) && report.plt_s > 0.0) {
     user.plt_sum_s += report.plt_s;
     ++user.plt_count;
   }
 
-  DetectionResult detection = detect_violators(report, cfg_.detector);
+  obs::ScopedTimer group_timer(obs_.group);
+  std::vector<ServerObservation> observations =
+      group_by_server(report, cfg_.detector.small_threshold_bytes);
+  group_timer.stop();
+
+  obs::ScopedTimer detect_timer(obs_.detect);
+  DetectionResult detection =
+      detect_violators(std::move(observations), cfg_.detector);
+  detect_timer.stop();
 
   std::vector<std::string_view> urls;
   urls.reserve(report.entries.size());
@@ -253,8 +326,11 @@ void OakServer::process_report(UserProfile& user,
   const std::vector<std::string> scripts = report_script_urls(urls);
 
   expire_rules(user, now);
-  review_active_rules(user, detection, scripts, now);
-  consider_activations(user, detection, scripts, now);
+  {
+    obs::ScopedTimer match_timer(obs_.match);
+    review_active_rules(user, detection, scripts, now);
+    consider_activations(user, detection, scripts, now);
+  }
 
   if (out_detection) *out_detection = std::move(detection);
 }
@@ -310,6 +386,7 @@ void OakServer::review_active_rules(UserProfile& user,
       log_.record(Decision{now, user.user_id, ar.rule_id,
                            DecisionType::kDeactivate, alt_violation->ip,
                            alt_distance, idx});
+      if (obs_.deactivations != nullptr) obs_.deactivations->inc();
       if (!cfg_.policy.allow_reactivation) user.banned.insert(ar.rule_id);
       user.pending_violations.erase(ar.rule_id);
       it = user.active.erase(it);
@@ -370,6 +447,7 @@ void OakServer::consider_activations(UserProfile& user,
     user.active[r.id] = ar;
     log_.record(Decision{now, user.user_id, r.id, DecisionType::kActivate,
                          hit->ip, ar.violation_distance, alt_idx});
+    if (obs_.activations != nullptr) obs_.activations->inc();
   }
 }
 

@@ -31,6 +31,7 @@
 #include "core/rule.h"
 #include "core/violator.h"
 #include "http/message.h"
+#include "obs/metrics.h"
 #include "util/arena.h"
 #include "util/json.h"
 #include "page/site.h"
@@ -68,6 +69,11 @@ struct OakConfig {
   // Evaluation mode: every rule applied for every user regardless of
   // reports (the paper's "Oak with all rules activated" condition, §5.3).
   bool force_all_rules = false;
+  // Runtime switch for the oak::obs instrumentation. When false the stage
+  // timers never read the clock and no counters are touched; the registry
+  // still exists (snapshots are simply empty). Compile-time removal is
+  // -DOAK_OBS_DISABLED (see src/obs/metrics.h).
+  bool metrics = true;
 };
 
 // One activated rule inside a user profile.
@@ -137,6 +143,16 @@ class OakServer {
   // The §4.2.2 matcher (and its memoization counters, when enabled).
   const Matcher& matcher() const { return *matcher_; }
 
+  // --- Observability (src/obs). Per-server registry: counters for the
+  // serve/ingest planes, latency histograms for the five ingest stages
+  // (decode → group → detect → match → modify). In ShardedOakServer each
+  // shard's registry is merged into one fleet view on snapshot.
+  obs::MetricsRegistry& metrics_registry() { return metrics_; }
+  const obs::MetricsRegistry& metrics_registry() const { return metrics_; }
+  // Registry snapshot with the match-cache counters folded in (the cache
+  // keeps plain tallies, not atomics — it is shard-local by design).
+  obs::MetricsSnapshot metrics_snapshot() const;
+
   // Run one report through the analysis pipeline directly (harness entry
   // point that skips HTTP framing).
   DetectionResult analyze(const std::string& user_id,
@@ -166,6 +182,25 @@ class OakServer {
   void expire_rules(UserProfile& user, double now);
   UserProfile& user_for(const http::Request& req, http::Response& resp);
 
+  // Instrument pointers resolved once in the constructor; all null when
+  // cfg_.metrics is false, which a null-histogram ScopedTimer turns into a
+  // no-clock-read no-op.
+  struct Instruments {
+    obs::Histogram* decode = nullptr;
+    obs::Histogram* group = nullptr;
+    obs::Histogram* detect = nullptr;
+    obs::Histogram* match = nullptr;
+    obs::Histogram* modify = nullptr;
+    obs::Histogram* report_bytes = nullptr;
+    obs::Counter* reports_ingested = nullptr;
+    obs::Counter* reports_rejected = nullptr;
+    obs::Counter* pages_served = nullptr;
+    obs::Counter* pages_modified = nullptr;
+    obs::Counter* activations = nullptr;
+    obs::Counter* expirations = nullptr;
+    obs::Counter* deactivations = nullptr;
+  };
+
   page::WebUniverse& universe_;
   std::string site_host_;
   OakConfig cfg_;
@@ -176,6 +211,8 @@ class OakServer {
   std::size_t next_user_ = 1;
   std::size_t reports_processed_ = 0;
   DecisionLog log_;
+  obs::MetricsRegistry metrics_;
+  Instruments obs_;
   // Backs the string_views of the report being ingested; cleared per report.
   // Anything retained past process_report() is copied into owned strings.
   util::StringArena ingest_arena_;

@@ -236,27 +236,53 @@ void ShardedOakServer::import_state(const util::Json& snapshot) {
   next_user_.store(next_user);
 }
 
-SiteAnalytics ShardedOakServer::audit() const {
+SiteAnalytics ShardedOakServer::audit(std::optional<double> now) const {
   // Materialize the merged state into a scratch single-threaded server and
   // audit that — SiteAnalytics stays a pure function of one OakServer.
   util::Json snapshot = export_state();
   OakServer scratch(universe_, site_host_, cfg_);
   for (const Rule& r : rules()) scratch.add_rule(r);
   scratch.import_state(snapshot);
-  SiteAnalytics analytics(scratch);
+  SiteAnalytics analytics(scratch, now);
 
-  ConcurrencyCounters counters;
-  const ShardStats shard_counts = shard_stats();
-  counters.shards = shard_counts.shards;
-  counters.requests_handled = shard_counts.requests_handled;
-  counters.shard_contentions = shard_counts.contentions;
-  const MatchCacheStats cache = match_cache_stats();
-  counters.match_memo_hits = cache.memo_hits;
-  counters.match_memo_misses = cache.memo_misses;
-  counters.script_cache_hits = cache.script_hits;
-  counters.script_fetches = cache.script_fetches;
-  analytics.set_concurrency(counters);
+  // The legacy counters struct is now a projection of the merged registry.
+  analytics.set_concurrency(
+      ConcurrencyCounters::from_metrics(metrics_snapshot(), shards_.size()));
   return analytics;
+}
+
+obs::MetricsSnapshot ShardedOakServer::metrics_snapshot() const {
+  std::shared_lock<std::shared_mutex> rules_lock(rules_mu_);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.push_back(lock_shard(*shard));
+
+  obs::MetricsSnapshot merged;
+  for (const auto& shard : shards_) {
+    merged.merge(shard->server->metrics_snapshot());
+  }
+  if (cfg_.metrics) {
+    // The wrapper's own serving-plane tallies are plain atomics, not
+    // registry instruments (they predate oak::obs and feed shard_stats());
+    // fold them in here so one exposition carries the whole story.
+    std::uint64_t handled = 0, contended = 0;
+    for (const auto& shard : shards_) {
+      handled += shard->handled.load(std::memory_order_relaxed);
+      contended += shard->contended.load(std::memory_order_relaxed);
+    }
+    merged.counters["oak_requests_total"] += handled;
+    merged.counters["oak_shard_contentions_total"] += contended;
+    merged.gauges["oak_shards"] += static_cast<double>(shards_.size());
+  }
+  return merged;
+}
+
+std::string ShardedOakServer::metrics_text() const {
+  return metrics_snapshot().to_prometheus();
+}
+
+util::Json ShardedOakServer::metrics_json() const {
+  return metrics_snapshot().to_json();
 }
 
 MatchCacheStats ShardedOakServer::match_cache_stats() const {

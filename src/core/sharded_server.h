@@ -81,7 +81,19 @@ class ShardedOakServer {
   void import_state(const util::Json& snapshot);
 
   // Consistent audit over all shards, including concurrency counters.
-  SiteAnalytics audit() const;
+  // `now` (audit time) makes the expired-vs-active classification agree
+  // with the serving plane; see SiteAnalytics.
+  SiteAnalytics audit(std::optional<double> now = std::nullopt) const;
+
+  // --- Observability. One consistent cut over every shard's registry
+  // (identical histogram specs merge by addition), with the wrapper's own
+  // serving-plane tallies (requests, lock contentions, shard count) and the
+  // per-shard match-cache counters folded in. metrics_text() is the
+  // Prometheus exposition; metrics_json() the JSON one (reused by the
+  // bench emitters).
+  obs::MetricsSnapshot metrics_snapshot() const;
+  std::string metrics_text() const;
+  util::Json metrics_json() const;
 
   // Aggregated matcher-cache counters across shards.
   MatchCacheStats match_cache_stats() const;

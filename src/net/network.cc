@@ -42,6 +42,29 @@ ClientId Network::add_client(ClientConfig ccfg) {
   return id;
 }
 
+void Network::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = NetMetrics{};
+  if (registry == nullptr) return;
+  metrics_.fetches = &registry->counter("oak_net_fetches_total");
+  // Suffix the per-cause counters with the wire strings, '-' mapped to '_'
+  // to stay inside the Prometheus name grammar.
+  const auto sanitized = [](std::string_view s) {
+    std::string out(s);
+    std::replace(out.begin(), out.end(), '-', '_');
+    return out;
+  };
+  for (unsigned char e = 1; e <= 5; ++e) {
+    const auto type = static_cast<FetchErrorType>(e);
+    metrics_.failures[e] = &registry->counter(
+        "oak_net_fetch_failures_total_" + sanitized(error_code(type)));
+  }
+  for (unsigned char f = 0; f < 5; ++f) {
+    const auto type = static_cast<FaultType>(f);
+    metrics_.fault_activations[f] = &registry->counter(
+        "oak_net_fault_activations_total_" + sanitized(to_string(type)));
+  }
+}
+
 ServerId Network::server_by_ip(IpAddr addr) const {
   for (const auto& s : servers_) {
     if (s->addr() == addr) return s->id();
@@ -153,6 +176,25 @@ FetchOutcome Network::fetch_outcome(ClientId c, ServerId s,
       !cold_dns) {
     fault = nullptr;
   }
+
+  if (metrics_.fetches != nullptr) {
+    metrics_.fetches->inc();
+    if (fault != nullptr) {
+      metrics_.fault_activations[static_cast<unsigned char>(fault->type)]
+          ->inc();
+    }
+  }
+  // Count the per-cause failure once the outcome is known, whichever return
+  // path produced it.
+  struct FailureCount {
+    const NetMetrics& m;
+    const FetchOutcome& o;
+    ~FailureCount() {
+      if (o.failed() && m.fetches != nullptr) {
+        m.failures[static_cast<unsigned char>(o.error.type)]->inc();
+      }
+    }
+  } count_failure{metrics_, out};
 
   if (fault == nullptr) {
     out.timing = fetch(c, s, bytes, t, rng, cold_dns, new_connection);

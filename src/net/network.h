@@ -20,6 +20,7 @@
 #include "net/fault.h"
 #include "net/geo.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace oak::net {
@@ -93,6 +94,13 @@ class Network {
 
   std::uint64_t seed() const { return cfg_.seed; }
 
+  // Attach a metrics registry: every fetch_outcome() then counts attempts,
+  // per-cause failures ("oak_net_fetch_failures_total_<code>") and fault
+  // activations by scheduled type ("oak_net_fault_activations_total_<type>").
+  // The registry must outlive the network; counters are atomic, so fetches
+  // from many browser threads record safely. Pass nullptr to detach.
+  void set_metrics(obs::MetricsRegistry* registry);
+
   // Day-scale multiplicative route weather between a client's access
   // network and a server (deterministic in (seed, server, client, day)).
   // Client-level, not region-level: most routing trouble is specific to one eyeball network, which is why most of Oak's rule activations are
@@ -103,11 +111,20 @@ class Network {
   // Stable per-(client, server) path quality multiplier >= ~0.7.
   double path_factor(ClientId c, ServerId s) const;
 
+  // Instrument pointers resolved once in set_metrics(); null when detached.
+  // Indexed by the enum values, which are dense from 0.
+  struct NetMetrics {
+    obs::Counter* fetches = nullptr;
+    obs::Counter* failures[6] = {};           // FetchErrorType (kNone unused)
+    obs::Counter* fault_activations[5] = {};  // FaultType
+  };
+
   NetworkConfig cfg_;
   Dns dns_;
   FaultInjector faults_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<Client> clients_;
+  NetMetrics metrics_;
 };
 
 }  // namespace oak::net

@@ -219,6 +219,50 @@ TEST_F(FaultBrowserFixture, IndexOutageFailsThePageGracefully) {
   EXPECT_EQ(refused, 3u);
 }
 
+TEST_F(FaultBrowserFixture, RetryBackoffIsClampedUnderLongRetryBudgets) {
+  // Regression: the backoff used to be retry_backoff_s * (1 << attempt) —
+  // undefined for attempt >= 31 (UBSan aborted here) and astronomically
+  // large well before that (attempt 30 waits ~3.4 simulated years). With
+  // the exponent clamped and max_backoff_s capping the deterministic term,
+  // a 40-retry budget against a persistently dead provider degrades into
+  // steady ~max_backoff polling and a bounded PLT.
+  universe_.network().faults().add_window(
+      net::FaultWindow{ext_a_, net::FaultType::kConnectRefused, 0.0, 1e12});
+  BrowserConfig cfg;
+  cfg.max_retries = 40;
+  cfg.retry_backoff_s = 0.1;
+  cfg.max_backoff_s = 30.0;
+  Browser browser(universe_, make_client(), cfg);
+  LoadResult res = browser.load(site_.index_url(), 0.0);
+
+  EXPECT_EQ(res.page_status, 200);
+  EXPECT_EQ(res.failed_objects, 3u);
+  EXPECT_EQ(res.fetch_retries, 3u * 40u);
+  // Worst case per object: 41 attempts, each <= ~1 RTT + 2*max_backoff.
+  // The unclamped shift put this over 1e8 simulated seconds.
+  EXPECT_GT(res.plt_s, 0.0);
+  EXPECT_LT(res.plt_s, 41.0 * 61.0);
+}
+
+TEST_F(FaultBrowserFixture, UncappedBackoffStillGrowsExponentially) {
+  // max_backoff_s = 0 disables the cap but the exponent clamp must still
+  // hold: attempts past 30 reuse the 2^30 factor instead of shifting into
+  // undefined behaviour.
+  universe_.network().faults().add_window(
+      net::FaultWindow{ext_a_, net::FaultType::kConnectRefused, 0.0, 1e12});
+  BrowserConfig cfg;
+  cfg.max_retries = 34;
+  cfg.retry_backoff_s = 1e-9;
+  cfg.max_backoff_s = 0.0;
+  Browser browser(universe_, make_client(), cfg);
+  LoadResult res = browser.load(site_.index_url(), 0.0);
+  EXPECT_EQ(res.failed_objects, 3u);
+  EXPECT_EQ(res.fetch_retries, 3u * 34u);
+  // Deterministic terms sum to ~2^35 * 1e-9 ≈ 34s per object (plus jitter
+  // up to the same again); finite either way.
+  EXPECT_LT(res.plt_s, 1e4);
+}
+
 TEST_F(FaultBrowserFixture, ResourceTimingApiMissesCrossOriginFailures) {
   universe_.network().faults().add_window(
       net::FaultWindow{ext_a_, net::FaultType::kConnectRefused, 0.0, 1e9});

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/analytics.h"
+#include "http/cookies.h"
 
 namespace oak::core {
 namespace {
@@ -130,6 +134,105 @@ TEST_F(AnalyticsFixture, CommonIndividualSplit) {
   ASSERT_EQ(individual.size(), 1u);
   EXPECT_EQ(individual[0]->rule_id, rule1_);  // 10% of users
   EXPECT_DOUBLE_EQ(a.summary().individual_rule_fraction, 0.5);
+}
+
+// Regression: a single wire report carrying plt_s = Inf/NaN/0 used to poison
+// plt_sum_s, after which every derived mean — and the holdback/treated lift
+// ratio — became Inf or NaN and leaked into the JSON export. The ingest
+// accumulator now drops non-finite and non-positive samples.
+TEST_F(AnalyticsFixture, NonFinitePltSamplesNeverReachLift) {
+  oak_->config().policy.holdback_fraction = 0.5;
+  const Policy& pol = oak_->config().policy;
+  std::string hold, treated;
+  for (int i = 0; i < 1000 && (hold.empty() || treated.empty()); ++i) {
+    const std::string uid = "user" + std::to_string(i);
+    (pol.in_holdback(uid) ? hold : treated) = uid;
+  }
+  ASSERT_FALSE(hold.empty());
+  ASSERT_FALSE(treated.empty());
+
+  // The holdback flag is stamped on serve; give the holdback user a page.
+  http::Request get = http::Request::get(site_.index_url());
+  get.headers.set("Cookie", std::string(http::kOakUserCookie) + "=" + hold);
+  oak_->handle(get, 0.0);
+  browser::PerfReport hr = report_with_slow(0);
+  hr.plt_s = 2.0;
+  oak_->analyze(hold, hr, 0.5);
+
+  // Treated user first sends only garbage PLTs: all dropped, so the user
+  // contributes no samples and the lift stays invalid.
+  for (double bad : {std::numeric_limits<double>::infinity(),
+                     std::nan(""), 0.0, -3.0}) {
+    browser::PerfReport r = report_with_slow(0);
+    r.plt_s = bad;
+    oak_->analyze(treated, r, 1.0);
+  }
+  {
+    SiteAnalytics a(*oak_);
+    EXPECT_EQ(a.lift().treated_users, 0u);
+    EXPECT_EQ(a.lift().holdback_users, 1u);
+    EXPECT_FALSE(a.lift().valid());
+    const std::string dump = a.to_json().dump();
+    EXPECT_EQ(dump.find("\"lift\""), std::string::npos);
+    EXPECT_EQ(dump.find("inf"), std::string::npos);
+    EXPECT_EQ(dump.find("nan"), std::string::npos);
+    EXPECT_EQ(dump.find("null"), std::string::npos);
+  }
+
+  // One finite sample later the lift is well-defined and finite.
+  browser::PerfReport tr = report_with_slow(0);
+  tr.plt_s = 1.0;
+  oak_->analyze(treated, tr, 2.0);
+  SiteAnalytics a(*oak_);
+  ASSERT_TRUE(a.lift().valid());
+  EXPECT_DOUBLE_EQ(a.lift().treated_mean_plt_s, 1.0);
+  EXPECT_DOUBLE_EQ(a.lift().holdback_mean_plt_s, 2.0);
+  EXPECT_DOUBLE_EQ(a.lift().ratio, 2.0);
+  util::Json j = util::Json::parse(a.to_json().dump());
+  EXPECT_DOUBLE_EQ(j.at("lift").at("ratio").as_number(), 2.0);
+}
+
+// Regression: two *finite* but huge samples (1e308 each) can still overflow
+// the running sum to +Inf. LiftEstimate::valid() now requires finite means,
+// so an overflowed group invalidates the estimate instead of exporting
+// "ratio": inf (which util::Json would render as null or garbage).
+TEST_F(AnalyticsFixture, OverflowedPltSumInvalidatesLiftInsteadOfEmittingInf) {
+  oak_->config().policy.holdback_fraction = 0.5;
+  const Policy& pol = oak_->config().policy;
+  std::string hold, treated;
+  for (int i = 0; i < 1000 && (hold.empty() || treated.empty()); ++i) {
+    const std::string uid = "user" + std::to_string(i);
+    (pol.in_holdback(uid) ? hold : treated) = uid;
+  }
+  ASSERT_FALSE(hold.empty());
+  ASSERT_FALSE(treated.empty());
+
+  http::Request get = http::Request::get(site_.index_url());
+  get.headers.set("Cookie", std::string(http::kOakUserCookie) + "=" + hold);
+  oak_->handle(get, 0.0);
+  browser::PerfReport hr = report_with_slow(0);
+  hr.plt_s = 2.0;
+  oak_->analyze(hold, hr, 0.5);
+
+  for (int i = 0; i < 2; ++i) {
+    browser::PerfReport r = report_with_slow(0);
+    r.plt_s = 1e308;  // finite — passes the ingest guard
+    oak_->analyze(treated, r, 1.0 + i);
+  }
+
+  SiteAnalytics a(*oak_);
+  EXPECT_EQ(a.lift().treated_users, 1u);
+  EXPECT_EQ(a.lift().holdback_users, 1u);
+  EXPECT_FALSE(std::isfinite(a.lift().treated_mean_plt_s));
+  EXPECT_FALSE(a.lift().valid());
+  EXPECT_DOUBLE_EQ(a.lift().ratio, 0.0);  // never Inf/NaN
+  const std::string dump = a.to_json().dump();
+  EXPECT_EQ(dump.find("\"lift\""), std::string::npos);
+  EXPECT_EQ(dump.find("inf"), std::string::npos);
+  EXPECT_EQ(dump.find("nan"), std::string::npos);
+  EXPECT_EQ(dump.find("null"), std::string::npos);
+  // The human-readable report also omits the lift line.
+  EXPECT_EQ(a.to_report().find("lift:"), std::string::npos);
 }
 
 TEST_F(AnalyticsFixture, JsonExportRoundTripsThroughParser) {

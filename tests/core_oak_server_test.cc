@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/analytics.h"
 #include "core/oak_server.h"
 #include "http/cookies.h"
 
@@ -153,6 +154,130 @@ TEST_F(OakServerFixture, TtlExpiresActivation) {
   oak_->handle(req, 150.0);
   EXPECT_EQ(oak_->profile("u1")->active.count(id), 0u);
   EXPECT_EQ(oak_->decision_log().count(DecisionType::kExpire), 1u);
+}
+
+// Regression: the TTL lifetime is half-open [activated_at, expires_at) — at
+// exactly now == expires_at the rule is already expired (rule.h). The serve
+// plane used to apply the rule at the boundary instant while the audit plane
+// counted it expired; both now agree on >=.
+TEST_F(OakServerFixture, TtlBoundaryIsHalfOpenAtExactExpiry) {
+  Rule r = make_domain_rule("ttl-rule", ext_hosts_[1], {"alt.cdn.net"});
+  r.ttl_s = 100.0;
+  int id = oak_->add_rule(r);
+  oak_->analyze("u1", make_report(ext_hosts_[1], ""), 0.0);
+  ASSERT_EQ(oak_->profile("u1")->active.count(id), 1u);
+  ASSERT_DOUBLE_EQ(oak_->profile("u1")->active.at(id).expires_at, 100.0);
+
+  http::Request req = http::Request::get(site_.index_url());
+  req.headers.set("Cookie", std::string(http::kOakUserCookie) + "=u1");
+
+  // Strictly inside the lifetime the rewrite applies.
+  http::Response before = oak_->handle(req, 99.0);
+  EXPECT_NE(before.body.find("alt.cdn.net"), std::string::npos);
+  EXPECT_EQ(oak_->profile("u1")->active.count(id), 1u);
+
+  // At exactly expires_at the rule must NOT apply and must be reaped.
+  http::Response at = oak_->handle(req, 100.0);
+  EXPECT_EQ(at.body.find("alt.cdn.net"), std::string::npos);
+  EXPECT_NE(at.body.find(ext_hosts_[1]), std::string::npos);
+  EXPECT_EQ(oak_->profile("u1")->active.count(id), 0u);
+  EXPECT_EQ(oak_->decision_log().count(DecisionType::kExpire), 1u);
+}
+
+// Regression: expired rules were only reaped on the oak-applies serve path,
+// so holdback (and policy-filtered) users carried stale "active" entries
+// forever — the audit kept counting them as live. expire_rules now runs on
+// every serve while Oak is enabled, before the holdback early-return.
+TEST_F(OakServerFixture, ExpiredRulesReapedForHoldbackUsers) {
+  Rule r = make_domain_rule("ttl-rule", ext_hosts_[1], {"alt.cdn.net"});
+  r.ttl_s = 100.0;
+  int id = oak_->add_rule(r);
+  oak_->analyze("u1", make_report(ext_hosts_[1], ""), 0.0);
+  ASSERT_EQ(oak_->profile("u1")->active.count(id), 1u);
+
+  // From now on every user is in the holdback group.
+  oak_->config().policy.holdback_fraction = 1.0;
+  http::Request req = http::Request::get(site_.index_url());
+  req.headers.set("Cookie", std::string(http::kOakUserCookie) + "=u1");
+  http::Response resp = oak_->handle(req, 150.0);
+  // Holdback users get the default page...
+  EXPECT_EQ(resp.body.find("alt.cdn.net"), std::string::npos);
+  // ...and their expired rules are still reaped.
+  EXPECT_EQ(oak_->profile("u1")->active.count(id), 0u);
+  EXPECT_EQ(oak_->decision_log().count(DecisionType::kExpire), 1u);
+}
+
+// The audit plane must classify an expired-but-unreaped rule exactly as the
+// server would: expired at the audit instant, active strictly before it.
+TEST_F(OakServerFixture, AuditAgreesWithServerAtTtlBoundary) {
+  Rule r = make_domain_rule("ttl-rule", ext_hosts_[1], {"alt.cdn.net"});
+  r.ttl_s = 100.0;
+  int id = oak_->add_rule(r);
+  oak_->analyze("u1", make_report(ext_hosts_[1], ""), 0.0);
+  ASSERT_EQ(oak_->profile("u1")->active.count(id), 1u);
+  // No serve happens, so the server never reaps the entry itself.
+
+  SiteAnalytics timeless(*oak_);
+  EXPECT_EQ(timeless.rule(id)->currently_active, 1u);
+  EXPECT_EQ(timeless.rule(id)->expirations, 0u);
+
+  SiteAnalytics just_before(*oak_, 99.999);
+  EXPECT_EQ(just_before.rule(id)->currently_active, 1u);
+  EXPECT_EQ(just_before.rule(id)->expirations, 0u);
+
+  SiteAnalytics at_boundary(*oak_, 100.0);
+  EXPECT_EQ(at_boundary.rule(id)->currently_active, 0u);
+  EXPECT_EQ(at_boundary.rule(id)->expirations, 1u);
+}
+
+// One report + one rejected body + one rewritten serve must light up every
+// stage of the obs pipeline: all five stage histograms and the serve/ingest
+// counters (compile-time disabled builds keep the names but record zeros).
+TEST_F(OakServerFixture, MetricsCoverAllFiveIngestStages) {
+  const std::string cookie = std::string(http::kOakUserCookie) + "=u1";
+  http::Request post = http::Request::post(
+      "http://shop.com/oak/report", make_report(ext_hosts_[0], "").serialize());
+  post.headers.set("Cookie", cookie);
+  ASSERT_EQ(oak_->handle(post, 0.0).status, 204);
+
+  http::Request bad = http::Request::post("http://shop.com/oak/report",
+                                          "{broken");
+  bad.headers.set("Cookie", cookie);
+  ASSERT_EQ(oak_->handle(bad, 0.5).status, 400);
+
+  http::Request get = http::Request::get(site_.index_url());
+  get.headers.set("Cookie", cookie);
+  http::Response page = oak_->handle(get, 1.0);
+  ASSERT_TRUE(page.ok());
+  ASSERT_NE(page.body.find("alt.cdn.net"), std::string::npos);
+
+  obs::MetricsSnapshot snap = oak_->metrics_snapshot();
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(snap.counter("oak_reports_ingested_total"), 1u);
+    EXPECT_EQ(snap.counter("oak_reports_rejected_total"), 1u);
+    EXPECT_EQ(snap.counter("oak_rule_activations_total"), 1u);
+    EXPECT_EQ(snap.counter("oak_pages_served_total"), 1u);
+    EXPECT_EQ(snap.counter("oak_pages_modified_total"), 1u);
+    for (const char* name :
+         {"oak_ingest_decode_seconds", "oak_ingest_group_seconds",
+          "oak_ingest_detect_seconds", "oak_ingest_match_seconds",
+          "oak_serve_modify_seconds"}) {
+      const obs::HistogramSnapshot* h = snap.histogram(name);
+      ASSERT_NE(h, nullptr) << name;
+      EXPECT_GE(h->count(), 1u) << name;
+    }
+    // Both bodies (valid + malformed) are sized before decoding.
+    ASSERT_NE(snap.histogram("oak_ingest_report_bytes"), nullptr);
+    EXPECT_EQ(snap.histogram("oak_ingest_report_bytes")->count(), 2u);
+    // The match-cache counters are folded into the same snapshot.
+    EXPECT_GT(snap.counter("oak_match_memo_misses_total") +
+                  snap.counter("oak_match_memo_hits_total"),
+              0u);
+    const std::string text = snap.to_prometheus();
+    EXPECT_NE(text.find("# TYPE oak_ingest_decode_seconds histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("oak_reports_ingested_total 1"), std::string::npos);
+  }
 }
 
 TEST_F(OakServerFixture, HistoryKeepsBetterAlternative) {

@@ -1,0 +1,114 @@
+// Bounds the cost of the oak::obs instrumentation on the ingest hot path:
+// the same reports pushed through a metrics-on and a metrics-off server,
+// timed as min-of-several-runs (minimum is the noise-robust statistic for
+// "how fast can this go"). The bound is deliberately loose — four timer
+// pairs and a dozen relaxed atomic ops against a full decode+detect+match
+// pipeline should cost a few percent, and anything past the bound means an
+// accidental lock or allocation crept onto the hot path.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "browser/report.h"
+#include "core/oak_server.h"
+#include "page/site.h"
+
+namespace oak::core {
+namespace {
+
+class ObsOverheadFixture : public ::testing::Test {
+ protected:
+  ObsOverheadFixture()
+      : universe_(net::NetworkConfig{.seed = 11, .horizon_s = 0}) {
+    net::Network& net = universe_.network();
+    origin_ = net.add_server(net::ServerConfig{.name = "origin"});
+    universe_.dns().bind("shop.com", net.server(origin_).addr());
+    page::SiteBuilder b(universe_, "shop.com", origin_);
+    for (int i = 0; i < 6; ++i) {
+      const std::string host = "ext" + std::to_string(i) + ".cdn.net";
+      net::ServerId sid = net.add_server(net::ServerConfig{});
+      universe_.dns().bind(host, net.server(sid).addr());
+      hosts_.push_back(host);
+      ips_.push_back(net.server(sid).addr().to_string());
+      b.add_direct(host, "/obj.png", html::RefKind::kImage, 10'000,
+                   page::Category::kCdn);
+    }
+    site_ = b.finish();
+
+    browser::PerfReport r;
+    r.user_id = "u1";
+    r.page_url = site_.index_url();
+    r.plt_s = 1.2;
+    r.entries.push_back(
+        {site_.index_url(), "shop.com", "10.0.0.1", 5000, 0, 0.09});
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      r.entries.push_back({"http://" + hosts_[i] + "/obj.png", hosts_[i],
+                           ips_[i], 10'000, 0.1, 0.10 + 0.01 * double(i)});
+    }
+    wire_ = r.serialize();
+  }
+
+  // Wall time for `reports` POSTs into a fresh server with the given config.
+  double run_once(bool metrics_on, int reports) {
+    OakConfig cfg;
+    cfg.metrics = metrics_on;
+    OakServer server(universe_, "shop.com", cfg);
+    server.add_rule(make_domain_rule("r", hosts_[0], {"ext1.cdn.net"}));
+    http::Request post =
+        http::Request::post("http://shop.com/oak/report", wire_);
+    post.headers.set("Cookie", std::string(http::kOakUserCookie) + "=u1");
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reports; ++i) {
+      server.handle(post, 0.001 * i);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+  }
+
+  double best_of(bool metrics_on, int runs, int reports) {
+    double best = 1e9;
+    for (int i = 0; i < runs; ++i) {
+      best = std::min(best, run_once(metrics_on, reports));
+    }
+    return best;
+  }
+
+  page::WebUniverse universe_;
+  net::ServerId origin_ = net::kInvalidServer;
+  std::vector<std::string> hosts_;
+  std::vector<std::string> ips_;
+  page::Site site_;
+  std::string wire_;
+};
+
+TEST_F(ObsOverheadFixture, InstrumentedIngestWithinNoiseOfDisabled) {
+  constexpr int kReports = 400;
+  constexpr int kRuns = 5;
+  // Warm up allocators and caches on both configurations.
+  run_once(true, 50);
+  run_once(false, 50);
+  const double with_obs = best_of(true, kRuns, kReports);
+  const double without = best_of(false, kRuns, kReports);
+  // CI-recorded bound: instrumented may not exceed 1.5x the runtime-disabled
+  // floor (expected delta is single-digit percent; 1.5x absorbs scheduler
+  // noise on shared runners without ever masking an O(ingest) regression).
+  EXPECT_LT(with_obs, without * 1.5 + 1e-3)
+      << "instrumented=" << with_obs << "s disabled=" << without << "s";
+}
+
+TEST_F(ObsOverheadFixture, RuntimeDisabledRecordsNothing) {
+  OakConfig cfg;
+  cfg.metrics = false;
+  OakServer server(universe_, "shop.com", cfg);
+  http::Request post =
+      http::Request::post("http://shop.com/oak/report", wire_);
+  post.headers.set("Cookie", std::string(http::kOakUserCookie) + "=u1");
+  server.handle(post, 0.0);
+  obs::MetricsSnapshot snap = server.metrics_snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+}  // namespace
+}  // namespace oak::core

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <thread>
 
 #include "core/concurrent_server.h"
@@ -291,6 +292,71 @@ TEST_F(ShardedFixture, AuditExposesConcurrencyCounters) {
   EXPECT_TRUE(audit.to_json().find("concurrency") != nullptr);
   // Summary still reflects the merged traffic.
   EXPECT_EQ(audit.summary().users, std::size_t(kThreads) * 2);
+}
+
+// The merged snapshot must cover every pipeline stage with the exact event
+// totals from all 8 shards — nothing lost, nothing double-counted — and the
+// wrapper-level serving-plane tallies fold into the same exposition. Runs
+// under TSan in CI: concurrent snapshots race against live recording.
+TEST_F(ShardedFixture, MergedMetricsCoverAllStagesUnderConcurrency) {
+  ShardedOakServer sharded(universe_, "busy.com", cfg_, 8);
+  sharded.add_rules(rules());
+
+  // Snapshot while traffic is in flight (the exposure TSan cares about).
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load()) {
+      obs::MetricsSnapshot s = sharded.metrics_snapshot();
+      (void)s.to_prometheus();
+    }
+  });
+  run_concurrent(sharded);
+  stop = true;
+  snapshotter.join();
+
+  constexpr std::uint64_t kUsers = std::uint64_t(kThreads) * 2;
+  constexpr std::uint64_t kReports = kUsers * kIterations;
+  obs::MetricsSnapshot snap = sharded.metrics_snapshot();
+
+  // The wrapper tallies are plain atomics folded in at snapshot time; they
+  // hold with or without compiled-in obs.
+  EXPECT_EQ(snap.counter("oak_requests_total"), kReports * 2);
+  EXPECT_DOUBLE_EQ(snap.gauge("oak_shards"), 8.0);
+
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(snap.counter("oak_reports_ingested_total"), kReports);
+    EXPECT_EQ(snap.counter("oak_pages_served_total"), kReports);
+    EXPECT_GT(snap.counter("oak_rule_activations_total"), 0u);
+    // All five stages, merged across the per-shard registries. decode,
+    // group, detect, and match run once per report; modify once per serve
+    // that actually rewrote the page.
+    for (const char* name :
+         {"oak_ingest_decode_seconds", "oak_ingest_group_seconds",
+          "oak_ingest_detect_seconds", "oak_ingest_match_seconds"}) {
+      const obs::HistogramSnapshot* h = snap.histogram(name);
+      ASSERT_NE(h, nullptr) << name;
+      EXPECT_EQ(h->count(), kReports) << name;
+    }
+    const obs::HistogramSnapshot* modify =
+        snap.histogram("oak_serve_modify_seconds");
+    ASSERT_NE(modify, nullptr);
+    EXPECT_GT(modify->count(), 0u);
+    EXPECT_EQ(snap.histogram("oak_ingest_report_bytes")->count(), kReports);
+    // Match-cache counters ride in the same snapshot, and the legacy view
+    // projects from it without disagreement.
+    const ConcurrencyCounters c =
+        ConcurrencyCounters::from_metrics(snap, 8);
+    EXPECT_EQ(c.requests_handled, kReports * 2);
+    EXPECT_GT(c.memo_hit_rate(), 0.5);
+    // Both expositions render the merged data.
+    const std::string text = sharded.metrics_text();
+    EXPECT_NE(text.find("# TYPE oak_ingest_decode_seconds histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("oak_shards 8"), std::string::npos);
+    const util::Json j = util::Json::parse(sharded.metrics_json().dump());
+    EXPECT_EQ(j.at("counters").at("oak_reports_ingested_total").as_int(),
+              static_cast<std::int64_t>(kReports));
+  }
 }
 
 }  // namespace

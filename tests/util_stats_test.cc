@@ -196,6 +196,53 @@ TEST(SelectionStats, MadSummaryInplaceMatchesReference) {
   }
 }
 
+double percentile_by_sort(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  if (p >= 100.0) return xs.back();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs[lo];
+  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+}
+
+TEST(SelectionStats, PercentileMatchesSortReference) {
+  // The selection-based percentile (nth_element + min-of-upper-partition)
+  // must agree bit-for-bit with the textbook sort-then-interpolate version,
+  // across sizes, duplicate-heavy mixes, and the full p range including the
+  // exact-integer ranks where frac == 0.
+  std::mt19937 rng(123);
+  std::uniform_real_distribution<double> val(-50.0, 50.0);
+  std::uniform_int_distribution<int> len(1, 150);
+  std::uniform_int_distribution<int> dup(0, 2);
+  std::uniform_real_distribution<double> pct(0.0, 100.0);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<double> xs;
+    const int n = len(rng);
+    for (int i = 0; i < n; ++i) {
+      const double x = val(rng);
+      xs.push_back(dup(rng) == 0 ? x : std::round(x));
+    }
+    const double ps[] = {0.0,   pct(rng), 25.0, 50.0,
+                         90.0,  99.0,     pct(rng), 100.0};
+    for (double p : ps) {
+      EXPECT_DOUBLE_EQ(percentile(xs, p), percentile_by_sort(xs, p))
+          << "trial " << trial << " p=" << p << " n=" << n;
+    }
+    // Exact-integer ranks (frac == 0) hit every order statistic directly.
+    if (xs.size() > 1) {
+      const std::size_t k = trial % xs.size();
+      const double p_exact =
+          100.0 * static_cast<double>(k) / static_cast<double>(xs.size() - 1);
+      EXPECT_DOUBLE_EQ(percentile(xs, p_exact),
+                       percentile_by_sort(xs, p_exact))
+          << "trial " << trial << " exact rank " << k;
+    }
+  }
+}
+
 TEST(SelectionStats, InplaceConsumesButDoesNotResize) {
   std::vector<double> xs = {5.0, 1.0, 4.0, 2.0, 3.0};
   const MadSummary s = mad_summary_inplace(xs);
