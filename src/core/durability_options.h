@@ -1,0 +1,49 @@
+// Configuration knobs for oak::durability (core/durability.h), split out so
+// OakConfig can embed them without pulling the journal machinery into every
+// core header.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace oak::durability {
+
+class AppendFile;
+
+// Opens the file at `path` for appending. The default (a null factory)
+// opens a real PosixFile; tests substitute FaultFile-wrapped files to
+// inject short writes and mid-record crashes (the storage-side sibling of
+// net::FaultInjector).
+using FileFactory =
+    std::function<std::unique_ptr<AppendFile>(const std::string& path)>;
+
+struct Options {
+  // Master switch. Off (the default) leaves ShardedOakServer exactly as it
+  // was: in-memory state, explicit export_state()/import_state() only.
+  bool enabled = false;
+
+  // Directory holding MANIFEST, snapshot-<epoch>.json and the wal-*.log
+  // journals. Created on first use. One directory per server instance —
+  // two live servers sharing a directory corrupt each other.
+  std::string dir;
+
+  // Journal bytes appended since the last snapshot that trigger an
+  // automatic compaction (snapshot + journal reset). Compaction locks every
+  // shard for one consistent cut, so this trades recovery replay time
+  // against compaction pause frequency.
+  std::uint64_t compact_threshold_bytes = 8ull << 20;
+
+  // fsync (flush + fdatasync proxy) after every appended record. Default
+  // off: appends reach the OS page cache immediately (surviving a process
+  // crash, the fuzzed failure mode) and are fsynced at each compaction;
+  // turning it on extends the guarantee to machine crashes at a large
+  // per-record cost. The oak_journal_sync_seconds histogram prices it.
+  bool fsync_each_append = false;
+
+  // Test seam for storage fault injection; null means real files.
+  FileFactory file_factory;
+};
+
+}  // namespace oak::durability

@@ -25,6 +25,7 @@
 
 #include "browser/report_view.h"
 #include "core/decision_log.h"
+#include "core/durability_options.h"
 #include "core/matcher.h"
 #include "core/modifier.h"
 #include "core/policy.h"
@@ -74,6 +75,11 @@ struct OakConfig {
   // still exists (snapshots are simply empty). Compile-time removal is
   // -DOAK_OBS_DISABLED (see src/obs/metrics.h).
   bool metrics = true;
+  // Crash-consistent persistence (core/durability.h): per-shard write-ahead
+  // journal + periodic snapshot, honoured by ShardedOakServer (the
+  // single-threaded OakServer ignores it; durability is a property of the
+  // concurrent entry point). Off by default.
+  durability::Options durability;
 };
 
 // One activated rule inside a user profile.
@@ -138,6 +144,13 @@ class OakServer {
   }
   std::size_t user_count() const { return profiles_.size(); }
   std::size_t reports_processed() const { return reports_processed_; }
+  // Rule-id allocation state, exposed so the durability snapshot can
+  // preserve it: after recovery a fresh rule must not reuse the id of one
+  // retired before the crash (stale per-profile bans would attach to it).
+  int next_rule_id() const { return next_rule_id_; }
+  void reserve_rule_ids(int next) {
+    next_rule_id_ = std::max(next_rule_id_, next);
+  }
   const std::string& site_host() const { return site_host_; }
   page::WebUniverse& universe() { return universe_; }
   // The §4.2.2 matcher (and its memoization counters, when enabled).
@@ -158,10 +171,19 @@ class OakServer {
   DetectionResult analyze(const std::string& user_id,
                           const browser::PerfReport& report, double now);
 
-  // --- State persistence (core/persistence.cc). A production Oak restarts
-  // without forgetting who its users are or which rules it activated for
-  // them. Rules themselves are configuration, not state, and are NOT part
-  // of the snapshot; import expects the same rule set to be configured.
+  // --- State persistence (core/persistence.cc). export_state/import_state
+  // produce and consume the versioned JSON snapshot document — the unit of
+  // backup, migration and audit. A production deployment does not rely on
+  // snapshots alone: ShardedOakServer layers the oak::durability contract
+  // on top (core/durability.h) — every state-mutating request is appended
+  // to a checksummed per-shard write-ahead journal, compaction periodically
+  // folds the journal into a snapshot-<epoch>.json + MANIFEST pair, and
+  // recovery after a crash loads the latest committed snapshot and replays
+  // the journal suffix (torn tail records dropped by design), reproducing
+  // this document byte-for-byte. Rules themselves are configuration, not
+  // state, and are NOT part of *this* snapshot; import expects the same
+  // rule set to be configured (the durability envelope carries the rules
+  // separately so recovery can rebuild them).
   util::Json export_state() const;
   // Replaces all user state and the decision log. Throws util::JsonError on
   // malformed input.

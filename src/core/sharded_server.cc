@@ -1,12 +1,77 @@
 #include "core/sharded_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
+#include <thread>
 
+#include "core/rule_parser.h"
 #include "http/cookies.h"
 #include "util/strings.h"
 
 namespace oak::core {
+
+namespace {
+
+// Rebuild the HTTP request a journaled record described and run it through
+// the shard's core. Only the fields OakServer's state machine reads are
+// restored (method, url, oak_uid cookie, body, client_ip); response-only
+// details are irrelevant to replay.
+void replay_record(OakServer& server, const durability::Record& rec) {
+  switch (rec.kind) {
+    case durability::RecordKind::kRequest: {
+      http::Request req;
+      req.method =
+          rec.request.post ? http::Method::kPost : http::Method::kGet;
+      // The journaled URL is the to_string() of a URL that parsed at admit
+      // time, so it parses back; a failure would mean journal corruption
+      // that survived the CRC, which scan_journal_file rules out.
+      auto url = util::parse_url(rec.request.path);
+      if (!url) return;
+      req.url = *url;
+      req.body = rec.request.body;
+      req.client_ip = rec.request.client_ip;
+      req.headers.set("Cookie", std::string(http::kOakUserCookie) + "=" +
+                                    rec.request.uid);
+      server.handle(req, rec.request.now);
+      break;
+    }
+    case durability::RecordKind::kAddRule: {
+      std::vector<Rule> rules = parse_rules(rec.add_rule.rule_text);
+      for (Rule& r : rules) {
+        r.id = static_cast<int>(rec.add_rule.rule_id);
+        server.add_rule(std::move(r));
+      }
+      break;
+    }
+    case durability::RecordKind::kRemoveRule:
+      server.remove_rule(static_cast<int>(rec.remove_rule.rule_id),
+                         rec.remove_rule.now);
+      break;
+  }
+}
+
+// Control records apply to every shard; request records to one. Merge the
+// two seq-ascending streams so each shard replays its mutations in the
+// order they originally happened.
+std::vector<const durability::Record*> merge_for_shard(
+    const std::vector<durability::Record>& ctl,
+    const std::vector<durability::Record>& mine) {
+  std::vector<const durability::Record*> out;
+  out.reserve(ctl.size() + mine.size());
+  std::size_t a = 0, b = 0;
+  while (a < ctl.size() || b < mine.size()) {
+    if (b == mine.size() ||
+        (a < ctl.size() && ctl[a].seq() < mine[b].seq())) {
+      out.push_back(&ctl[a++]);
+    } else {
+      out.push_back(&mine[b++]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 ShardedOakServer::ShardedOakServer(page::WebUniverse& universe,
                                    std::string site_host, OakConfig cfg,
@@ -19,6 +84,86 @@ ShardedOakServer::ShardedOakServer(page::WebUniverse& universe,
     shard->server = std::make_unique<OakServer>(universe_, site_host_, cfg_);
     shards_.push_back(std::move(shard));
   }
+  if (cfg_.durability.enabled) enable_durability_();
+}
+
+void ShardedOakServer::enable_durability_() {
+  dur_ = std::make_unique<durability::Manager>(cfg_.durability, shards_.size(),
+                                               cfg_.metrics);
+  durability::Manager::Startup su = dur_->startup();
+
+  // 1. Rules the journal suffix was written against, with their pinned ids.
+  int next_rule_id = 1;
+  if (su.have_snapshot && !su.legacy) {
+    for (const auto& entry : su.snapshot.rules) {
+      std::vector<Rule> parsed = parse_rules(entry.text);
+      for (Rule& r : parsed) {
+        r.id = static_cast<int>(entry.id);
+        for (auto& shard : shards_) shard->server->add_rule(r);
+      }
+    }
+    next_rule_id = static_cast<int>(su.snapshot.next_rule_id);
+  }
+  for (const auto& rec : su.ctl) {
+    if (rec.kind == durability::RecordKind::kAddRule) {
+      next_rule_id =
+          std::max(next_rule_id, static_cast<int>(rec.add_rule.rule_id) + 1);
+    }
+  }
+
+  // 2. Snapshot state (legacy: a bare pre-journal export_state document —
+  // state restored, no suffix to replay, rules are operator configuration).
+  if (su.have_snapshot && !su.legacy) {
+    import_state(su.snapshot.state);
+  } else if (su.legacy) {
+    import_state(su.legacy_state);
+  }
+
+  // 3. Parallel per-shard replay. Construction is single-threaded and each
+  // replay thread touches only its own shard's OakServer, so no locks.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t replayed = su.ctl.size();
+  for (const auto& list : su.shards) replayed += list.size();
+  if (replayed > 0) {
+    std::vector<std::thread> threads;
+    threads.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      threads.emplace_back([this, i, &su] {
+        for (const durability::Record* rec :
+             merge_for_shard(su.ctl, su.shards[i])) {
+          replay_record(*shards_[i]->server, *rec);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double replay_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // 4. Counter restoration. next_user_ must clear every uid ever minted —
+  // including those whose request left no profile (a fresh mint that 404'd),
+  // which is exactly why the minted value rides in the record.
+  std::size_t next_user = next_user_.load();
+  for (const auto& list : su.shards) {
+    for (const auto& rec : list) {
+      if (rec.kind == durability::RecordKind::kRequest &&
+          rec.request.minted != 0) {
+        next_user = std::max(
+            next_user, static_cast<std::size_t>(rec.request.minted) + 1);
+      }
+    }
+  }
+  next_user_.store(next_user);
+  for (auto& shard : shards_) shard->server->reserve_rule_ids(next_rule_id);
+  dur_->seed_seq(su.max_seq);
+
+  // 5. Go live. A bootstrap (no manifest yet, including the legacy upgrade)
+  // commits its baseline via an initial compaction *before* serving, so a
+  // crash at any later point recovers from a committed snapshot.
+  dur_->start_recording();
+  dur_->note_recovery(replayed, replay_s);
+  if (su.bootstrap) compact();
 }
 
 std::size_t ShardedOakServer::shard_for(const std::string& user_id) const {
@@ -44,6 +189,17 @@ int ShardedOakServer::add_rule(Rule rule) {
   for (std::size_t i = 1; i < shards_.size(); ++i) {
     shards_[i]->server->add_rule(rule);
   }
+  if (dur_ && dur_->recording()) {
+    // One control record under the exclusive rule lock: rule churn is a
+    // cross-shard mutation, and a single record can never tear across
+    // shards the way N per-shard copies could.
+    durability::Record rec;
+    rec.kind = durability::RecordKind::kAddRule;
+    rec.add_rule.seq = dur_->next_seq();
+    rec.add_rule.rule_id = id;
+    rec.add_rule.rule_text = format_rules({rule});
+    dur_->append_control(rec);
+  }
   return id;
 }
 
@@ -56,6 +212,14 @@ bool ShardedOakServer::remove_rule(int rule_id, double now) {
   bool removed = false;
   for (auto& shard : shards_) {
     removed = shard->server->remove_rule(rule_id, now) || removed;
+  }
+  if (removed && dur_ && dur_->recording()) {
+    durability::Record rec;
+    rec.kind = durability::RecordKind::kRemoveRule;
+    rec.remove_rule.seq = dur_->next_seq();
+    rec.remove_rule.now = now;
+    rec.remove_rule.rule_id = rule_id;
+    dur_->append_control(rec);
   }
   return removed;
 }
@@ -72,11 +236,12 @@ http::Response ShardedOakServer::handle(const http::Request& req, double now) {
   // hand the core a request that already carries it; the Set-Cookie is
   // attached on the way out, exactly as the single-threaded server does.
   const bool fresh = uid.empty();
+  std::uint64_t minted = 0;
   http::Request with_cookie;
   const http::Request* effective = &req;
   if (fresh) {
-    uid = util::format("u%zu",
-                       next_user_.fetch_add(1, std::memory_order_relaxed));
+    minted = next_user_.fetch_add(1, std::memory_order_relaxed);
+    uid = util::format("u%zu", static_cast<std::size_t>(minted));
     with_cookie = req;
     const std::string pair = std::string(http::kOakUserCookie) + "=" + uid;
     if (auto cookie = req.headers.get("Cookie")) {
@@ -87,16 +252,44 @@ http::Response ShardedOakServer::handle(const http::Request& req, double now) {
     effective = &with_cookie;
   }
 
-  std::shared_lock<std::shared_mutex> rules_lock(rules_mu_);
-  Shard& shard = *shards_[shard_for(uid)];
-  auto shard_lock = lock_shard(shard);
-  shard.handled.fetch_add(1, std::memory_order_relaxed);
-  http::Response resp = shard.server->handle(*effective, now);
-  // Only advertise the minted id if the core actually kept a profile (a 404
-  // or a disabled Oak tracks nobody and should set no cookie).
-  if (fresh && shard.server->profile(uid) != nullptr) {
-    resp.headers.add("Set-Cookie",
-                     std::string(http::kOakUserCookie) + "=" + uid);
+  http::Response resp;
+  {
+    std::shared_lock<std::shared_mutex> rules_lock(rules_mu_);
+    const std::size_t shard_index = shard_for(uid);
+    Shard& shard = *shards_[shard_index];
+    auto shard_lock = lock_shard(shard);
+    shard.handled.fetch_add(1, std::memory_order_relaxed);
+    resp = shard.server->handle(*effective, now);
+    const bool tracked = shard.server->profile(uid) != nullptr;
+    // Only advertise the minted id if the core actually kept a profile (a
+    // 404 or a disabled Oak tracks nobody and should set no cookie).
+    if (fresh && tracked) {
+      resp.headers.add("Set-Cookie",
+                       std::string(http::kOakUserCookie) + "=" + uid);
+    }
+    // Journal under the shard lock already held. `fresh` requests are
+    // journaled even when untracked: the minted counter value must survive a
+    // crash or recovery would re-issue the same uid to a different user.
+    if (dur_ && dur_->recording() && (fresh || tracked)) {
+      const std::string path = effective->url.to_string();
+      durability::RequestRecordView rec;
+      rec.seq = dur_->next_seq();
+      rec.now = now;
+      rec.post = effective->method == http::Method::kPost;
+      rec.minted = minted;
+      rec.uid = uid;
+      rec.client_ip = effective->client_ip;
+      rec.path = path;
+      rec.body = effective->body;
+      dur_->append_request(shard_index, rec);
+    }
+  }
+  // Threshold compaction runs outside the serving locks; one thread wins
+  // the flag and pays the pause, the rest keep serving.
+  if (dur_ && dur_->should_compact() &&
+      !compacting_.exchange(true, std::memory_order_acq_rel)) {
+    compact();
+    compacting_.store(false, std::memory_order_release);
   }
   return resp;
 }
@@ -182,7 +375,10 @@ util::Json ShardedOakServer::export_state() const {
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(shards_.size());
   for (const auto& shard : shards_) locks.push_back(lock_shard(*shard));
+  return export_state_locked();
+}
 
+util::Json ShardedOakServer::export_state_locked() const {
   util::Json merged = shards_[0]->server->export_state();
   util::JsonObject& users = merged["users"].as_object();
   util::JsonArray& log = merged["log"].as_array();
@@ -202,6 +398,27 @@ util::Json ShardedOakServer::export_state() const {
   merged["reports_processed"] = reports;
   merged["next_user"] = next_user_.load();
   return merged;
+}
+
+durability::SnapshotEnvelope ShardedOakServer::make_envelope_locked() const {
+  durability::SnapshotEnvelope env;
+  for (const Rule& r : shards_[0]->server->rules()) {
+    env.rules.push_back({r.id, format_rules({r})});
+  }
+  env.next_rule_id = shards_[0]->server->next_rule_id();
+  env.state = export_state_locked();
+  return env;
+}
+
+void ShardedOakServer::compact() {
+  if (!dur_ || !dur_->recording()) return;
+  // Shared on the rule lock is enough to freeze the rule set (churn is
+  // exclusive); all shard locks give the consistent cut.
+  std::shared_lock<std::shared_mutex> rules_lock(rules_mu_);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.push_back(lock_shard(*shard));
+  dur_->compact(make_envelope_locked());
 }
 
 void ShardedOakServer::import_state(const util::Json& snapshot) {
@@ -261,6 +478,7 @@ obs::MetricsSnapshot ShardedOakServer::metrics_snapshot() const {
   for (const auto& shard : shards_) {
     merged.merge(shard->server->metrics_snapshot());
   }
+  if (dur_) merged.merge(dur_->metrics_snapshot());
   if (cfg_.metrics) {
     // The wrapper's own serving-plane tallies are plain atomics, not
     // registry instruments (they predate oak::obs and feed shard_stats());

@@ -23,6 +23,13 @@
 // Lock order, everywhere: rules_mu_ before any shard mutex, shard mutexes
 // in ascending index order. OakServer stays the single-threaded core; this
 // wrapper adds routing and locking only.
+//
+// Durability (core/durability.h): when cfg.durability.enabled, construction
+// first recovers — snapshot import, then parallel per-shard replay of the
+// journal suffixes — and every subsequent state-mutating request is
+// journaled under the shard lock it already holds (rule churn under the
+// exclusive rule lock). Compaction runs opportunistically off the request
+// path once the journal suffix crosses the configured threshold.
 #pragma once
 
 #include <atomic>
@@ -34,6 +41,7 @@
 #include <vector>
 
 #include "core/analytics.h"
+#include "core/durability.h"
 #include "core/oak_server.h"
 
 namespace oak::core {
@@ -110,6 +118,15 @@ class ShardedOakServer {
   // Callers must guarantee no concurrent handle() calls while using it.
   OakServer& shard(std::size_t i) { return *shards_[i]->server; }
 
+  // --- Durability (no-ops unless cfg.durability.enabled).
+  // Snapshot + journal truncation under a consistent all-shard cut. Safe to
+  // call concurrently with the request plane; redundant calls coalesce.
+  void compact();
+  // What recovery did at construction (performed=false when disabled).
+  durability::RecoveryReport recovery_report() const {
+    return dur_ ? dur_->report() : durability::RecoveryReport{};
+  }
+
  private:
   struct Shard {
     mutable std::mutex mu;
@@ -119,6 +136,13 @@ class ShardedOakServer {
   };
 
   std::unique_lock<std::mutex> lock_shard(Shard& s) const;
+  // Recovery at construction: startup() → rules + state import → parallel
+  // per-shard replay → start_recording() (+ baseline compact on bootstrap).
+  void enable_durability_();
+  // Merge bodies for callers that already hold the shared rule lock and
+  // every shard lock in index order.
+  util::Json export_state_locked() const;
+  durability::SnapshotEnvelope make_envelope_locked() const;
 
   page::WebUniverse& universe_;
   std::string site_host_;
@@ -128,6 +152,11 @@ class ShardedOakServer {
   mutable std::shared_mutex rules_mu_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::size_t> next_user_{1};
+  // Null unless cfg_.durability.enabled.
+  std::unique_ptr<durability::Manager> dur_;
+  // Coalesces threshold-triggered compactions: the request thread that wins
+  // the exchange runs compact(); everyone else keeps serving.
+  std::atomic<bool> compacting_{false};
 };
 
 }  // namespace oak::core

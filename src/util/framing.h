@@ -1,0 +1,71 @@
+// Checksummed, length-prefixed record framing for the durability journal.
+//
+// A journal is a flat byte stream of frames:
+//
+//   frame := [uvarint payload_len] [fixed32 crc32(payload)] [payload bytes]
+//
+// The format is designed so a torn tail — a frame whose bytes were only
+// partially written before a crash — is *detected*, never misparsed:
+// a frame is accepted only when the whole header fits, the whole payload
+// fits, and the CRC matches. Anything else stops the scan at the last good
+// frame boundary (read_frame distinguishes "ran off the end" from "bytes
+// present but wrong" so callers can tell torn tails from corruption).
+//
+// Integers are LEB128 varints (canonical-length not required on read) and
+// little-endian fixed-width words; doubles travel as their IEEE-754 bit
+// pattern via fixed64, so replayed timestamps are bit-exact — the recovery
+// contract ("byte-identical export_state") does not survive a lossy
+// decimal round-trip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace oak::util {
+
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over `data`.
+// `seed` chains multi-buffer checksums: crc32(b, crc32(a)) == crc32(a+b).
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+// --- LEB128 unsigned varints (1–10 bytes for a uint64).
+void put_uvarint(std::string& out, std::uint64_t v);
+// Reads at `pos`, advancing it on success. False when the buffer ends
+// mid-varint or the encoding exceeds 10 bytes (corrupt).
+bool get_uvarint(std::string_view in, std::size_t& pos, std::uint64_t& out);
+
+// --- Little-endian fixed-width words.
+void put_fixed32(std::string& out, std::uint32_t v);
+bool get_fixed32(std::string_view in, std::size_t& pos, std::uint32_t& out);
+void put_fixed64(std::string& out, std::uint64_t v);
+bool get_fixed64(std::string_view in, std::size_t& pos, std::uint64_t& out);
+
+// Doubles as IEEE-754 bit patterns (bit-exact round trip, NaNs included).
+void put_double_bits(std::string& out, double v);
+bool get_double_bits(std::string_view in, std::size_t& pos, double& out);
+
+// --- Length-prefixed byte strings: [uvarint len][bytes].
+void put_lv(std::string& out, std::string_view bytes);
+bool get_lv(std::string_view in, std::size_t& pos, std::string_view& out);
+
+// Frames longer than this are rejected as corrupt rather than truncated: no
+// legitimate record approaches it, and treating a garbage length as "wait
+// for more bytes" would make a flipped length byte look like a torn tail
+// the size of the address space.
+inline constexpr std::uint64_t kMaxFramePayload = 1ull << 30;  // 1 GiB
+
+void append_frame(std::string& out, std::string_view payload);
+
+enum class FrameStatus {
+  kOk,         // payload extracted, pos advanced past the frame
+  kTruncated,  // buffer ends before the frame completes (torn tail)
+  kCorrupt,    // CRC mismatch, malformed varint, or absurd length
+};
+
+// Scans one frame at `pos`. On kOk, `payload` views into `buf` and `pos`
+// lands on the next frame. On kTruncated/kCorrupt, `pos` is unchanged —
+// it marks the last clean frame boundary.
+FrameStatus read_frame(std::string_view buf, std::size_t& pos,
+                       std::string_view& payload);
+
+}  // namespace oak::util

@@ -1,0 +1,257 @@
+// Crash-recovery fuzz: kill the journaling server at a randomized byte
+// offset, recover, and demand the recovered export_state() be byte-identical
+// to the state an uninterrupted oracle had after exactly the operations
+// whose journal records were fully written. Torn tail records must be
+// dropped, never misparsed.
+//
+// Mechanics: every operation (page serve, report POST, rule churn) appends
+// exactly one journal record, and FaultFile burns a CrashPlan's global byte
+// budget in append order — so `plan->complete_appends` after the run IS the
+// index of the oracle state the disk must recover to. Budgets are drawn
+// uniformly over the full journal byte range, which lands kills in varint
+// headers, CRC words and payload bodies alike.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/durability.h"
+#include "core/sharded_server.h"
+#include "http/cookies.h"
+#include "util/rng.h"
+
+namespace oak::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kShards = 4;
+constexpr int kTrialsPerCase = 110;  // two cases ⇒ 220 randomized kill points
+
+class FuzzFixture : public ::testing::Test {
+ protected:
+  FuzzFixture() : universe_(net::NetworkConfig{.seed = 23, .horizon_s = 0}) {
+    root_ = fs::path(::testing::TempDir()) /
+            ("oak_fuzz_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+    fs::remove_all(root_);
+
+    net::Network& net = universe_.network();
+    origin_ = net.add_server(net::ServerConfig{.name = "origin"});
+    universe_.dns().bind("busy.com", net.server(origin_).addr());
+    for (const char* host : {"x0.net", "x1.net", "x2.net", "x3.net",
+                             "alt.net"}) {
+      net::ServerId sid = net.add_server(net::ServerConfig{});
+      universe_.dns().bind(host, net.server(sid).addr());
+      ips_[host] = net.server(sid).addr().to_string();
+    }
+    page::SiteBuilder b(universe_, "busy.com", origin_);
+    for (int i = 0; i < 4; ++i) {
+      b.add_direct("x" + std::to_string(i) + ".net", "/o.js",
+                   html::RefKind::kScript, 9000, page::Category::kCdn);
+    }
+    site_ = b.finish();
+    universe_.store().replicate("http://x0.net/o.js", "http://alt.net/o.js");
+    cfg_.detector.min_population = 4;
+    wire_ = report_wire();
+  }
+
+  ~FuzzFixture() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  std::string report_wire() {
+    browser::PerfReport r;
+    r.page_url = site_.index_url();
+    r.entries.push_back(
+        {site_.index_url(), "busy.com", "10.0.0.1", 4000, 0, 0.09});
+    for (int i = 0; i < 4; ++i) {
+      const std::string host = "x" + std::to_string(i) + ".net";
+      r.entries.push_back({"http://" + host + "/o.js", host, ips_[host], 9000,
+                           0.1, i == 0 ? 4.0 : 0.10 + 0.01 * i});
+    }
+    return r.serialize();
+  }
+
+  // The mixed workload, one journal append per op. Stops early when the
+  // op budget runs out (used to split phases).
+  void apply_ops(ShardedOakServer& s, std::size_t first, std::size_t count) {
+    for (std::size_t i = first; i < first + count; ++i) {
+      const std::size_t kind = i % 10;
+      const double t = double(i) * 0.25;
+      if (kind == 3 && rule_id_ == 0) {
+        rule_id_ = s.add_rule(make_domain_rule("direct", "x0.net",
+                                               {"alt.net"}));
+      } else if (kind == 8 && rule_id_ != 0) {
+        s.remove_rule(rule_id_, t);
+        rule_id_ = 0;
+      } else if (kind == 6) {
+        // Cookie-less fresh request (mints a uid, sometimes 404s).
+        http::Request req = http::Request::get(
+            i % 20 == 6 ? "http://busy.com/absent" : site_.index_url());
+        s.handle(req, t);
+      } else if (kind % 2 == 0) {
+        http::Request get = http::Request::get(site_.index_url());
+        get.headers.set("Cookie", cookie(i));
+        s.handle(get, t);
+      } else {
+        http::Request post =
+            http::Request::post("http://busy.com/oak/report", wire_);
+        post.headers.set("Cookie", cookie(i));
+        s.handle(post, t);
+      }
+    }
+  }
+
+  static std::string cookie(std::size_t i) {
+    return std::string(http::kOakUserCookie) + "=fz" +
+           std::to_string(i % 7);
+  }
+
+  OakConfig durable_config(const fs::path& dir,
+                           std::shared_ptr<durability::CrashPlan> plan) {
+    OakConfig cfg = cfg_;
+    cfg.durability.enabled = true;
+    cfg.durability.dir = dir.string();
+    if (plan) {
+      cfg.durability.file_factory = [plan](const std::string& path) {
+        return std::make_unique<durability::FaultFile>(
+            durability::PosixFile::open_append(path), plan);
+      };
+    }
+    return cfg;
+  }
+
+  // Oracle states: export_state().dump() after op 0..count, from an
+  // uninterrupted non-durable run of the identical stream.
+  std::vector<std::string> oracle_states(std::size_t count) {
+    rule_id_ = 0;
+    ShardedOakServer plain(universe_, "busy.com", cfg_, kShards);
+    std::vector<std::string> states;
+    states.reserve(count + 1);
+    states.push_back(plain.export_state().dump());
+    for (std::size_t i = 0; i < count; ++i) {
+      apply_ops(plain, i, 1);
+      states.push_back(plain.export_state().dump());
+    }
+    return states;
+  }
+
+  page::WebUniverse universe_;
+  net::ServerId origin_ = net::kInvalidServer;
+  std::map<std::string, std::string> ips_;
+  page::Site site_;
+  OakConfig cfg_;
+  std::string wire_;
+  fs::path root_;
+  int rule_id_ = 0;
+};
+
+TEST_F(FuzzFixture, KillAtRandomOffsetRecoversToOracleState) {
+  constexpr std::size_t kOps = 60;
+  const std::vector<std::string> oracle = oracle_states(kOps);
+
+  // Dry run to learn the total journal byte volume (no kill).
+  std::uint64_t total_bytes = 0;
+  {
+    auto plan = std::make_shared<durability::CrashPlan>(~0ull);
+    rule_id_ = 0;
+    ShardedOakServer s(universe_, "busy.com",
+                       durable_config(root_ / "dry", plan), kShards);
+    apply_ops(s, 0, kOps);
+    total_bytes = plan->written;
+    ASSERT_EQ(plan->complete_appends, kOps);  // 1:1 ops-to-appends invariant
+    EXPECT_EQ(s.export_state().dump(), oracle.back());
+  }
+  ASSERT_GT(total_bytes, 0u);
+
+  util::Rng rng(0xDEAD5EED);
+  for (int trial = 0; trial < kTrialsPerCase; ++trial) {
+    const fs::path dir = root_ / ("t" + std::to_string(trial));
+    // +16 occasionally overshoots the workload: the no-crash path must
+    // round-trip through the same machinery too.
+    const std::uint64_t budget = std::uint64_t(
+        rng.uniform_int(1, std::int64_t(total_bytes) + 16));
+    auto plan = std::make_shared<durability::CrashPlan>(budget);
+    {
+      rule_id_ = 0;
+      ShardedOakServer s(universe_, "busy.com", durable_config(dir, plan),
+                         kShards);
+      apply_ops(s, 0, kOps);
+    }  // dtor = the kill: in-memory state beyond the budget dies here
+
+    const std::uint64_t survived = plan->complete_appends;
+    ASSERT_LE(survived, kOps);
+    ShardedOakServer recovered(universe_, "busy.com",
+                               durable_config(dir, nullptr), kShards);
+    const auto report = recovered.recovery_report();
+    EXPECT_TRUE(report.performed);
+    EXPECT_EQ(recovered.export_state().dump(), oracle[survived])
+        << "budget=" << budget << " survived=" << survived;
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+}
+
+// Same contract across a compaction: phase 1, an explicit compact() (fsync,
+// snapshot, truncated journals), then phase 2 killed at a random offset.
+// Recovery must stitch snapshot + phase-2 journal suffix back together.
+TEST_F(FuzzFixture, KillAfterCompactionRecoversToOracleState) {
+  constexpr std::size_t kPhase1 = 30;
+  constexpr std::size_t kPhase2 = 30;
+  const std::vector<std::string> oracle = oracle_states(kPhase1 + kPhase2);
+
+  std::uint64_t phase1_bytes = 0, total_bytes = 0;
+  {
+    auto plan = std::make_shared<durability::CrashPlan>(~0ull);
+    rule_id_ = 0;
+    ShardedOakServer s(universe_, "busy.com",
+                       durable_config(root_ / "dry", plan), kShards);
+    apply_ops(s, 0, kPhase1);
+    phase1_bytes = plan->written;
+    s.compact();
+    apply_ops(s, kPhase1, kPhase2);
+    total_bytes = plan->written;
+    ASSERT_EQ(plan->complete_appends, kPhase1 + kPhase2);
+    EXPECT_EQ(s.export_state().dump(), oracle.back());
+  }
+  ASSERT_GT(total_bytes, phase1_bytes);
+
+  util::Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < kTrialsPerCase; ++trial) {
+    const fs::path dir = root_ / ("t" + std::to_string(trial));
+    // Kill strictly after the compaction point: a dead process cannot run
+    // compact(), so budgets below phase1_bytes would be simulating one.
+    const std::uint64_t budget =
+        phase1_bytes +
+        std::uint64_t(rng.uniform_int(
+            1, std::int64_t(total_bytes - phase1_bytes) + 16));
+    auto plan = std::make_shared<durability::CrashPlan>(budget);
+    {
+      rule_id_ = 0;
+      ShardedOakServer s(universe_, "busy.com", durable_config(dir, plan),
+                         kShards);
+      apply_ops(s, 0, kPhase1);
+      s.compact();
+      apply_ops(s, kPhase1, kPhase2);
+    }
+
+    const std::uint64_t survived = plan->complete_appends;
+    ASSERT_GE(survived, kPhase1);
+    ShardedOakServer recovered(universe_, "busy.com",
+                               durable_config(dir, nullptr), kShards);
+    EXPECT_EQ(recovered.export_state().dump(), oracle[survived])
+        << "budget=" << budget << " survived=" << survived;
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+}
+
+}  // namespace
+}  // namespace oak::core

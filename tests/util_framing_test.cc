@@ -1,0 +1,198 @@
+// util/framing.h: CRC-32, varints and the length+checksum frame format the
+// durability journal is built on. The load-bearing property is the torn-tail
+// contract: a frame prefix cut at ANY byte must read back as kTruncated (or
+// kCorrupt), never as a shorter valid frame — and flipping any byte must
+// never produce a silently different payload.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "util/framing.h"
+
+namespace oak::util {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // The standard IEEE CRC-32 check values.
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32, SeedChainsIncrementally) {
+  const std::string data = "hello, journal";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    // crc32 exposes the pre/post-conditioned value, so chaining re-seeds
+    // with the previous output.
+    const std::uint32_t whole = crc32(data);
+    const std::uint32_t part =
+        crc32(std::string_view(data).substr(split),
+              crc32(std::string_view(data).substr(0, split)));
+    EXPECT_EQ(part, whole) << "split at " << split;
+  }
+}
+
+TEST(Varint, RoundTripsEdgeValues) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 (1ull << 32) - 1,
+                                 1ull << 32,
+                                 ~0ull};
+  for (std::uint64_t v : cases) {
+    std::string buf;
+    put_uvarint(buf, v);
+    std::size_t pos = 0;
+    std::uint64_t out = 0;
+    ASSERT_TRUE(get_uvarint(buf, pos, out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Varint, TruncatedAndOverlongFail) {
+  std::string buf;
+  put_uvarint(buf, ~0ull);  // 10 bytes
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    std::size_t pos = 0;
+    std::uint64_t out = 0;
+    EXPECT_FALSE(get_uvarint(buf.substr(0, cut), pos, out)) << cut;
+    EXPECT_EQ(pos, 0u);  // pos untouched on failure
+  }
+  // 10 continuation bytes can never complete a uint64.
+  std::string overlong(10, char(0x80));
+  std::size_t pos = 0;
+  std::uint64_t out = 0;
+  EXPECT_FALSE(get_uvarint(overlong, pos, out));
+}
+
+TEST(Fixed, RoundTripsAndBounds) {
+  std::string buf;
+  put_fixed32(buf, 0xDEADBEEFu);
+  put_fixed64(buf, 0x0123456789ABCDEFull);
+  put_double_bits(buf, -0.0);
+  std::size_t pos = 0;
+  std::uint32_t w32 = 0;
+  std::uint64_t w64 = 0;
+  double d = 1.0;
+  ASSERT_TRUE(get_fixed32(buf, pos, w32));
+  ASSERT_TRUE(get_fixed64(buf, pos, w64));
+  ASSERT_TRUE(get_double_bits(buf, pos, d));
+  EXPECT_EQ(w32, 0xDEADBEEFu);
+  EXPECT_EQ(w64, 0x0123456789ABCDEFull);
+  EXPECT_TRUE(std::signbit(d));  // -0.0 survives bit-exactly
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_FALSE(get_fixed32(buf, pos, w32));  // nothing left
+}
+
+TEST(LengthValue, RoundTripAndOverflowSafety) {
+  std::string buf;
+  put_lv(buf, "abc");
+  put_lv(buf, "");
+  put_lv(buf, std::string(300, 'x'));
+  std::size_t pos = 0;
+  std::string_view a, b, c;
+  ASSERT_TRUE(get_lv(buf, pos, a));
+  ASSERT_TRUE(get_lv(buf, pos, b));
+  ASSERT_TRUE(get_lv(buf, pos, c));
+  EXPECT_EQ(a, "abc");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c.size(), 300u);
+  EXPECT_EQ(pos, buf.size());
+
+  // A length claiming more bytes than remain must fail, including the
+  // huge-length case where `pos + len` would wrap.
+  std::string evil;
+  put_uvarint(evil, ~0ull);
+  pos = 0;
+  std::string_view out;
+  EXPECT_FALSE(get_lv(evil, pos, out));
+}
+
+TEST(Frame, RoundTripsMultipleFrames) {
+  std::string buf;
+  append_frame(buf, "first");
+  append_frame(buf, "");
+  append_frame(buf, std::string(1000, 'z'));
+  std::size_t pos = 0;
+  std::string_view p;
+  ASSERT_EQ(read_frame(buf, pos, p), FrameStatus::kOk);
+  EXPECT_EQ(p, "first");
+  ASSERT_EQ(read_frame(buf, pos, p), FrameStatus::kOk);
+  EXPECT_EQ(p, "");
+  ASSERT_EQ(read_frame(buf, pos, p), FrameStatus::kOk);
+  EXPECT_EQ(p.size(), 1000u);
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_EQ(read_frame(buf, pos, p), FrameStatus::kTruncated);  // clean EOF
+}
+
+// The crash contract: cutting a valid frame at EVERY possible byte must
+// report truncation (or, where the cut leaves a self-inconsistent prefix,
+// corruption) — never a valid frame, and pos must stay at the cut frame's
+// start so the journal resumes appending there.
+TEST(Frame, EveryPrefixIsTornNeverMisparsed) {
+  std::string frame;
+  append_frame(frame, "payload with some length to cut at many offsets");
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    const std::string prefix = frame.substr(0, cut);
+    std::size_t pos = 0;
+    std::string_view p;
+    const FrameStatus st = read_frame(prefix, pos, p);
+    EXPECT_NE(st, FrameStatus::kOk) << "cut at " << cut;
+    EXPECT_EQ(pos, 0u) << "cut at " << cut;
+  }
+}
+
+// Same, with a complete frame in front: the first frame must still parse,
+// the torn second must not consume bytes.
+TEST(Frame, TornTailAfterValidFrame) {
+  std::string buf;
+  append_frame(buf, "intact");
+  const std::size_t intact_end = buf.size();
+  std::string tail;
+  append_frame(tail, "about to be torn");
+  for (std::size_t cut = 0; cut < tail.size(); ++cut) {
+    const std::string whole = buf + tail.substr(0, cut);
+    std::size_t pos = 0;
+    std::string_view p;
+    ASSERT_EQ(read_frame(whole, pos, p), FrameStatus::kOk);
+    EXPECT_EQ(p, "intact");
+    EXPECT_EQ(pos, intact_end);
+    EXPECT_NE(read_frame(whole, pos, p), FrameStatus::kOk) << cut;
+    EXPECT_EQ(pos, intact_end) << cut;
+  }
+}
+
+// Flip every byte of a frame: the reader must flag the damage (truncated
+// headers or corrupt body), never return a different payload as kOk.
+TEST(Frame, EveryBitflipIsDetected) {
+  std::string frame;
+  append_frame(frame, "checksummed payload");
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    std::string bad = frame;
+    bad[i] = static_cast<char>(bad[i] ^ 0x41);
+    std::size_t pos = 0;
+    std::string_view p;
+    // CRC covers every payload byte and the length byte pins the frame
+    // extent, so no single-byte flip can read back as a valid frame.
+    EXPECT_NE(read_frame(bad, pos, p), FrameStatus::kOk) << "flip at " << i;
+  }
+}
+
+TEST(Frame, InsaneLengthIsCorruptNotTruncated) {
+  // A length beyond kMaxFramePayload can't be satisfied by more data
+  // arriving; recovery must classify it as corruption, not wait for bytes.
+  std::string buf;
+  put_uvarint(buf, kMaxFramePayload + 1);
+  std::size_t pos = 0;
+  std::string_view p;
+  EXPECT_EQ(read_frame(buf, pos, p), FrameStatus::kCorrupt);
+}
+
+}  // namespace
+}  // namespace oak::util

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fail CI on broken relative links in the repo's markdown docs.
+
+Scans README.md, DESIGN.md and docs/*.md for markdown links and images.
+External links (http/https/mailto) are out of scope — this catches the
+common failure mode where a doc is renamed or moved and a relative link
+quietly rots. Anchors are stripped before the existence check; a bare
+"#section" link is accepted as-is.
+
+Usage: python3 tools/check_links.py [repo_root]
+Exit status: 0 when every relative link resolves, 1 otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+# [text](target) and ![alt](target); target ends at the first unescaped ')'.
+# Reference-style definitions `[id]: target` are matched separately.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: pathlib.Path):
+    for name in ("README.md", "DESIGN.md"):
+        path = root / name
+        if path.is_file():
+            yield path
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def targets_in(text: str):
+    for match in INLINE_LINK.finditer(text):
+        yield match.group(1)
+    for match in REF_DEF.finditer(text):
+        yield match.group(1)
+
+
+def check(root: pathlib.Path) -> int:
+    broken = []
+    for doc in doc_files(root):
+        text = doc.read_text(encoding="utf-8")
+        for target in targets_in(text):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (doc.parent / rel).resolve()
+            if not resolved.exists():
+                broken.append((doc.relative_to(root), target))
+    for doc, target in broken:
+        print(f"BROKEN  {doc}: {target}")
+    if broken:
+        print(f"{len(broken)} broken relative link(s)")
+        return 1
+    print("all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    repo_root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    sys.exit(check(repo_root.resolve()))
