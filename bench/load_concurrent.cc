@@ -1,22 +1,34 @@
-// Report-ingestion throughput: sharded + memoized serving plane vs the
-// single-mutex baseline.
+// Report-ingestion throughput: the multi-core scaling matrix.
 //
 // M client threads POST performance reports at one site. Each report names
 // several MAD violators, so ingestion pays the full §4.2.2 bill: grouping,
 // detection, and a three-tier connection-dependency probe of every
 // configured rule against every violator — including tier-3 script fetches
 // and a rule set padded with realistic multi-KB rule bodies that never
-// match (the worst case: each probe scans the whole text).
+// match (the worst case for an unmemoized matcher).
 //
 // Configurations:
 //   single-mutex-nocache   ConcurrentOakServer, match cache disabled — the
-//                          pre-sharding seed behavior, the baseline.
-//   sharded-{1,4,8,16}     ShardedOakServer with the per-shard match cache.
+//                          pre-sharding seed behavior, the legacy baseline
+//                          (run at the top thread count only).
+//   sharded-{1,4,8,16}     ShardedOakServer with the per-shard match cache
+//                          and the batched ingest queue, swept over
+//                          {1,2,4,8} client threads (the matrix).
+//   sharded-8-direct       queue disabled (one lock acquisition per
+//                          request) at the top thread count — isolates what
+//                          batching buys.
 //
-// Emits BENCH_concurrency.json (reports/sec, cache hit rates, contention
-// counts per run) and prints the acceptance line: sharded-8 at 8 threads
-// must clear 3x the baseline. On a single-core host the win comes almost
-// entirely from memoization; sharding adds headroom with real cores.
+// Every cell is best-of-REPS wall time. Emits BENCH_concurrency.json with
+// the matrix, the merged obs snapshot of the acceptance configuration
+// (including oak_ingest_queue_* health), and three acceptance gates:
+//
+//   legacy      sharded-8 >= 3x the single-mutex baseline (top threads);
+//   multicore   sharded-8 >= 3x sharded-1 at 8 threads — enforced only
+//               when the host has >= 4 real cores (scaling needs cores;
+//               on fewer the gate is recorded as skipped);
+//   floor       sharded-N at least 0.9x sharded-1 at EVERY thread count
+//               (sharding must never lose; 0.9 is the measured run-to-run
+//               noise floor of this bench, see docs/OPERATIONS.md).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -39,6 +51,7 @@ constexpr const char* kHealthy[] = {"ok0.net", "ok1.net", "ok2.net",
                                     "ok3.net", "ok4.net"};
 constexpr std::size_t kFillerRules = 20;
 constexpr std::size_t kFillerBytes = 8 * 1024;
+constexpr int kReps = 2;  // best-of per cell
 
 // A multi-KB rule body with URL-shaped references that resolve to hosts no
 // report ever blames — every probe tokenizes and scans all of it for
@@ -135,11 +148,19 @@ struct Workload {
 struct RunResult {
   std::string config;
   std::size_t shards = 0;  // 0 = single-mutex baseline
+  int threads = 0;
   double seconds = 0.0;
   double reports_per_sec = 0.0;
   double memo_hit_rate = 0.0;
   double script_hit_rate = 0.0;
   std::uint64_t contentions = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t backpressure = 0;
+
+  double mean_batch() const {
+    return batches == 0 ? 0.0 : double(enqueued) / double(batches);
+  }
 };
 
 // Drive `threads` client threads, each POSTing `reports` reports under its
@@ -170,106 +191,250 @@ double drive(ServerT& server, const Workload& w, int threads, int reports) {
       .count();
 }
 
+// Untimed reports per thread before each timed window. Steady-state
+// ingestion is what the gates mean: per-shard memo/digest warmup is a
+// fixed cost that amortizes to nothing in production but would dominate a
+// short timed run (and would punish high shard counts for having N cold
+// caches instead of one).
+constexpr int kWarmup = 100;
+
 RunResult run_baseline(int threads, int reports) {
-  Workload w;
-  core::OakConfig cfg;
-  cfg.matcher.enable_cache = false;  // the seed's matcher: no memoization
-  core::ConcurrentOakServer server(w.universe, "busy.com", cfg);
-  for (auto& r : build_rules()) server.add_rule(std::move(r));
-  RunResult res;
-  res.config = "single-mutex-nocache";
-  res.seconds = drive(server, w, threads, reports);
-  res.reports_per_sec = double(threads) * reports / res.seconds;
-  return res;
+  RunResult best;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Workload w;
+    core::OakConfig cfg;
+    cfg.matcher.enable_cache = false;  // the seed's matcher: no memoization
+    core::ConcurrentOakServer server(w.universe, "busy.com", cfg);
+    for (auto& r : build_rules()) server.add_rule(std::move(r));
+    RunResult res;
+    res.config = "single-mutex-nocache";
+    res.threads = threads;
+    // No cache to warm, but keep the phases symmetric with the sharded runs
+    // (profiles exist, rules activated) so the timed windows compare alike.
+    drive(server, w, threads, std::min(kWarmup, 10));
+    res.seconds = drive(server, w, threads, reports);
+    res.reports_per_sec = double(threads) * reports / res.seconds;
+    if (rep == 0 || res.reports_per_sec > best.reports_per_sec) best = res;
+  }
+  return best;
+}
+
+std::uint64_t counter_or_zero(const obs::MetricsSnapshot& snap,
+                              const std::string& name) {
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
 }
 
 RunResult run_sharded(std::size_t shards, int threads, int reports,
-                      util::Json* metrics_out = nullptr) {
-  Workload w;
-  core::ShardedOakServer server(w.universe, "busy.com", core::OakConfig{},
-                                shards);
-  server.add_rules(build_rules());
-  RunResult res;
-  res.config = "sharded-" + std::to_string(shards);
-  res.shards = shards;
-  res.seconds = drive(server, w, threads, reports);
-  res.reports_per_sec = double(threads) * reports / res.seconds;
-  const core::MatchCacheStats cache = server.match_cache_stats();
-  res.memo_hit_rate = cache.memo_hit_rate();
-  res.script_hit_rate = cache.script_hit_rate();
-  res.contentions = server.shard_stats().contentions;
-  // Merged per-shard obs snapshot: stage latency histograms plus ingest
-  // counters for exactly the traffic this run timed.
-  if (metrics_out != nullptr) *metrics_out = server.metrics_json();
-  return res;
+                      bool queue_enabled, util::Json* metrics_out = nullptr) {
+  RunResult best;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Workload w;
+    core::OakConfig cfg;
+    cfg.ingest_queue.enabled = queue_enabled;
+    core::ShardedOakServer server(w.universe, "busy.com", cfg, shards);
+    server.add_rules(build_rules());
+    RunResult res;
+    res.config = "sharded-" + std::to_string(shards) +
+                 (queue_enabled ? "" : "-direct");
+    res.shards = shards;
+    res.threads = threads;
+    drive(server, w, threads, kWarmup);  // warm per-shard memos, untimed
+    res.seconds = drive(server, w, threads, reports);
+    res.reports_per_sec = double(threads) * reports / res.seconds;
+    const core::MatchCacheStats cache = server.match_cache_stats();
+    res.memo_hit_rate = cache.memo_hit_rate();
+    res.script_hit_rate = cache.script_hit_rate();
+    res.contentions = server.shard_stats().contentions;
+    const obs::MetricsSnapshot snap = server.metrics_snapshot();
+    res.enqueued = counter_or_zero(snap, "oak_ingest_enqueued_total");
+    res.batches = counter_or_zero(snap, "oak_ingest_batches_total");
+    res.backpressure = counter_or_zero(snap, "oak_ingest_backpressure_total");
+    const bool better =
+        rep == 0 || res.reports_per_sec > best.reports_per_sec;
+    if (better) {
+      best = res;
+      // Merged per-shard obs snapshot: stage latency histograms plus the
+      // ingest-queue health counters for exactly the traffic this run timed.
+      if (metrics_out != nullptr) *metrics_out = server.metrics_json();
+    }
+  }
+  return best;
+}
+
+util::Json run_to_json(const RunResult& r, int reports, double rel_to) {
+  util::JsonObject o;
+  o["config"] = r.config;
+  o["shards"] = r.shards;
+  o["threads"] = r.threads;
+  o["reports_per_thread"] = reports;
+  o["seconds"] = r.seconds;
+  o["reports_per_sec"] = r.reports_per_sec;
+  if (rel_to > 0.0) o["speedup_vs_baseline"] = r.reports_per_sec / rel_to;
+  o["memo_hit_rate"] = r.memo_hit_rate;
+  o["script_cache_hit_rate"] = r.script_hit_rate;
+  o["shard_contentions"] = r.contentions;
+  o["queue_enqueued"] = r.enqueued;
+  o["queue_batches"] = r.batches;
+  o["queue_mean_batch"] = r.mean_batch();
+  o["queue_backpressure"] = r.backpressure;
+  return util::Json(std::move(o));
+}
+
+void print_run(const RunResult& r) {
+  std::printf("%-18s %3dT %10.3f %12.0f %9.1f%% %11.1f %12llu %12llu\n",
+              r.config.c_str(), r.threads, r.seconds, r.reports_per_sec,
+              100.0 * r.memo_hit_rate, r.mean_batch(),
+              static_cast<unsigned long long>(r.contentions),
+              static_cast<unsigned long long>(r.backpressure));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  int threads = 8;
-  int reports = 250;
-  if (argc > 1) threads = std::max(1, std::atoi(argv[1]));
-  if (argc > 2) reports = std::max(1, std::atoi(argv[2]));
+  int reports = 250;  // per thread, per cell
+  if (argc > 1) reports = std::max(1, std::atoi(argv[1]));
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
 
-  std::printf("report ingestion: %d threads x %d reports, %zu rules "
-              "(%zu x %zuKB filler)\n\n",
-              threads, reports, 4 + kFillerRules, kFillerRules,
-              kFillerBytes / 1024);
-  std::printf("%-22s %10s %12s %10s %10s %12s\n", "config", "seconds",
-              "reports/s", "memo-hit", "script-hit", "contentions");
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const std::vector<std::size_t> shard_counts = {1, 4, 8, 16};
+  const int max_threads = thread_counts.back();
 
-  std::vector<RunResult> runs;
+  std::printf("report ingestion matrix: {1,2,4,8} threads x sharded "
+              "{1,4,8,16}, %d reports/thread, %zu rules (%zu x %zuKB "
+              "filler), best of %d, %u core(s)\n\n",
+              reports, 4 + kFillerRules, kFillerRules, kFillerBytes / 1024,
+              kReps, cores);
+  std::printf("%-18s %4s %10s %12s %10s %11s %12s %12s\n", "config", "thr",
+              "seconds", "reports/s", "memo-hit", "mean-batch", "contentions",
+              "backpressure");
+
+  // Legacy baseline (top thread count only; it is ~20x slower per report).
+  const RunResult baseline = run_baseline(max_threads, reports);
+  print_run(baseline);
+
+  // The matrix. rps[threads][shards] drives the gates below.
+  std::vector<RunResult> matrix;
   util::Json stage_metrics;
-  runs.push_back(run_baseline(threads, reports));
-  for (std::size_t shards : {1u, 4u, 8u, 16u}) {
-    // The acceptance configuration (8 shards) also exports its merged obs
-    // snapshot into the BENCH file.
-    runs.push_back(run_sharded(shards, threads, reports,
-                               shards == 8 ? &stage_metrics : nullptr));
+  double sharded1_at[9] = {0.0};  // indexed by thread count
+  double sharded8_at8 = 0.0, sharded8_at_max = 0.0;
+  for (int threads : thread_counts) {
+    for (std::size_t shards : shard_counts) {
+      const bool acceptance_cell = threads == max_threads && shards == 8;
+      RunResult r = run_sharded(shards, threads, reports, /*queue=*/true,
+                                acceptance_cell ? &stage_metrics : nullptr);
+      print_run(r);
+      if (shards == 1) sharded1_at[threads] = r.reports_per_sec;
+      if (shards == 8 && threads == 8) sharded8_at8 = r.reports_per_sec;
+      if (shards == 8 && threads == max_threads) {
+        sharded8_at_max = r.reports_per_sec;
+      }
+      matrix.push_back(std::move(r));
+    }
   }
 
-  const double baseline_rps = runs[0].reports_per_sec;
-  util::JsonArray out_runs;
-  double sharded8_speedup = 0.0;
-  for (const RunResult& r : runs) {
-    std::printf("%-22s %10.3f %12.0f %9.1f%% %9.1f%% %12llu\n",
-                r.config.c_str(), r.seconds, r.reports_per_sec,
-                100.0 * r.memo_hit_rate, 100.0 * r.script_hit_rate,
-                static_cast<unsigned long long>(r.contentions));
-    util::JsonObject o;
-    o["config"] = r.config;
-    o["shards"] = r.shards;
-    o["threads"] = threads;
-    o["reports_per_thread"] = reports;
-    o["seconds"] = r.seconds;
-    o["reports_per_sec"] = r.reports_per_sec;
-    o["speedup_vs_baseline"] = r.reports_per_sec / baseline_rps;
-    o["memo_hit_rate"] = r.memo_hit_rate;
-    o["script_cache_hit_rate"] = r.script_hit_rate;
-    o["shard_contentions"] = r.contentions;
-    out_runs.push_back(util::Json(std::move(o)));
-    if (r.shards == 8) sharded8_speedup = r.reports_per_sec / baseline_rps;
+  // Queue-off comparison: what batching buys at the contended corner.
+  const RunResult direct =
+      run_sharded(8, max_threads, reports, /*queue=*/false);
+  print_run(direct);
+
+  // --- Gates.
+  const double legacy_speedup = sharded8_at_max / baseline.reports_per_sec;
+  const bool legacy_pass = legacy_speedup >= 3.0;
+
+  const bool multicore_enforced = cores >= 4;
+  const double multicore_ratio =
+      sharded1_at[8] > 0.0 ? sharded8_at8 / sharded1_at[8] : 0.0;
+  const bool multicore_pass = !multicore_enforced || multicore_ratio >= 3.0;
+
+  constexpr double kFloor = 0.9;
+  bool floor_pass = true;
+  std::string floor_worst = "none";
+  double floor_worst_ratio = 1e9;
+  for (const RunResult& r : matrix) {
+    if (r.shards == 1) continue;
+    const double base = sharded1_at[r.threads];
+    if (base <= 0.0) continue;
+    const double ratio = r.reports_per_sec / base;
+    if (ratio < floor_worst_ratio) {
+      floor_worst_ratio = ratio;
+      floor_worst = r.config + "@" + std::to_string(r.threads) + "T";
+    }
+    if (ratio < kFloor) floor_pass = false;
   }
+
+  util::JsonArray out_runs;
+  out_runs.push_back(run_to_json(baseline, reports, 0.0));
+  for (const RunResult& r : matrix) {
+    out_runs.push_back(run_to_json(r, reports, baseline.reports_per_sec));
+  }
+  out_runs.push_back(run_to_json(direct, reports, baseline.reports_per_sec));
 
   util::JsonObject root;
   root["bench"] = std::string("load_concurrent");
-  root["threads"] = threads;
+  root["hardware_concurrency"] = static_cast<std::size_t>(cores);
   root["reports_per_thread"] = reports;
+  root["reps_best_of"] = static_cast<std::size_t>(kReps);
+  {
+    core::OakConfig defaults;
+    util::JsonObject q;
+    q["enabled"] = defaults.ingest_queue.enabled;
+    q["depth"] = defaults.ingest_queue.depth;
+    q["max_batch"] = defaults.ingest_queue.max_batch;
+    q["handoff_after"] = defaults.ingest_queue.handoff_after;
+    root["queue"] = std::move(q);
+  }
   root["runs"] = std::move(out_runs);
   root["metrics"] = std::move(stage_metrics);
+
   util::JsonObject acceptance;
-  acceptance["sharded8_speedup"] = sharded8_speedup;
-  acceptance["required"] = 3.0;
-  acceptance["pass"] = sharded8_speedup >= 3.0;
+  {
+    util::JsonObject g;
+    g["speedup"] = legacy_speedup;
+    g["required"] = 3.0;
+    g["pass"] = legacy_pass;
+    acceptance["legacy_vs_single_mutex"] = std::move(g);
+  }
+  {
+    util::JsonObject g;
+    g["cores"] = static_cast<std::size_t>(cores);
+    g["enforced"] = multicore_enforced;
+    g["sharded8_vs_sharded1_at_8t"] = multicore_ratio;
+    g["required"] = 3.0;
+    g["pass"] = multicore_pass;
+    acceptance["multicore_scaling"] = std::move(g);
+  }
+  {
+    util::JsonObject g;
+    g["floor"] = kFloor;
+    g["worst_cell"] = floor_worst;
+    g["worst_ratio"] = floor_worst_ratio;
+    g["pass"] = floor_pass;
+    acceptance["sharding_never_loses"] = std::move(g);
+  }
   root["acceptance"] = std::move(acceptance);
 
   std::ofstream("BENCH_concurrency.json")
       << util::Json(std::move(root)).dump_pretty(2) << "\n";
 
-  std::printf("\nsharded-8 speedup vs single-mutex baseline: %.2fx "
-              "(required >= 3.00x) -> %s\n",
-              sharded8_speedup, sharded8_speedup >= 3.0 ? "PASS" : "FAIL");
+  std::printf("\nlegacy: sharded-8 vs single-mutex at %dT: %.2fx "
+              "(>= 3.00x) -> %s\n",
+              max_threads, legacy_speedup, legacy_pass ? "PASS" : "FAIL");
+  if (multicore_enforced) {
+    std::printf("multicore: sharded-8 vs sharded-1 at 8T: %.2fx (>= 3.00x, "
+                "%u cores) -> %s\n",
+                multicore_ratio, cores, multicore_pass ? "PASS" : "FAIL");
+  } else {
+    std::printf("multicore: sharded-8 vs sharded-1 at 8T: %.2fx — gate "
+                "SKIPPED (%u core(s) < 4; scaling needs real cores)\n",
+                multicore_ratio, cores);
+  }
+  std::printf("floor: worst sharded-N vs sharded-1 = %.2fx at %s "
+              "(>= %.2fx) -> %s\n",
+              floor_worst_ratio, floor_worst.c_str(), kFloor,
+              floor_pass ? "PASS" : "FAIL");
   std::printf("wrote BENCH_concurrency.json\n");
-  return sharded8_speedup >= 3.0 ? 0 : 1;
+
+  const bool ok = legacy_pass && multicore_pass && floor_pass;
+  return ok ? 0 : 1;
 }

@@ -141,8 +141,14 @@ void parse_entry(JsonScanner& s, util::StringArena& arena,
 
 }  // namespace
 
-ReportView decode_report_view(std::string_view wire,
-                              util::StringArena& arena) {
+void decode_report_view(std::string_view wire, util::StringArena& arena,
+                        ReportView& out) {
+  // Recycle the caller's entries vector: steady-state ingest re-decodes
+  // same-shaped reports into the same capacity without touching the heap.
+  std::vector<ReportEntryView> entries = std::move(out.entries);
+  entries.clear();
+  out = ReportView{};
+
   JsonScanner s(wire);
   const bool is_object = s.next() == JsonEvent::kBeginObject;
 
@@ -150,7 +156,6 @@ ReportView decode_report_view(std::string_view wire,
   bool entries_seen = false;
   std::string entries_err;  // last "entries" value was not an array
   std::string entry_err;    // first bad element/field in the last candidate
-  std::vector<ReportEntryView> entries;
 
   if (is_object) {
     while (true) {
@@ -201,17 +206,22 @@ ReportView decode_report_view(std::string_view wire,
 
   if (!is_object) throw util::JsonError("json: not an object");
 
-  ReportView view;
   std::string err;
-  if (!take_string(uid, "uid", &view.user_id, &err) ||
-      !take_string(page, "page", &view.page_url, &err) ||
-      !take_number(plt, "plt", &view.plt_s, &err)) {
+  if (!take_string(uid, "uid", &out.user_id, &err) ||
+      !take_string(page, "page", &out.page_url, &err) ||
+      !take_number(plt, "plt", &out.plt_s, &err)) {
     throw util::JsonError(err);
   }
   if (!entries_seen) throw util::JsonError("json: missing key 'entries'");
   if (!entries_err.empty()) throw util::JsonError(entries_err);
   if (!entry_err.empty()) throw util::JsonError(entry_err);
-  view.entries = std::move(entries);
+  out.entries = std::move(entries);
+}
+
+ReportView decode_report_view(std::string_view wire,
+                              util::StringArena& arena) {
+  ReportView view;
+  decode_report_view(wire, arena, view);
   return view;
 }
 

@@ -33,6 +33,13 @@ namespace oak::browser {
 ReportView decode_report_view(std::string_view wire,
                               util::StringArena& arena);
 
+// Recycling variant: decodes into `out`, reusing its entries vector's
+// capacity across reports (pairs with StringArena::clear()'s block
+// retention for allocation-free steady-state ingest). On throw `out` is
+// left default-constructed.
+void decode_report_view(std::string_view wire, util::StringArena& arena,
+                        ReportView& out);
+
 // Streaming decode to an owned PerfReport. Same accept/reject behavior and
 // bit-identical fields vs PerfReport::deserialize, without the DOM.
 PerfReport decode_report(std::string_view wire);

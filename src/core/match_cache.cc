@@ -42,16 +42,15 @@ MatchCache::MatchCache(MatchCacheConfig cfg) : cfg_(cfg) {
 
 std::optional<MatchTier> MatchCache::memo_lookup(const MemoKey& key,
                                                  double now) {
-  auto it = memo_.find(key);
-  const bool fresh =
-      it != memo_.end() && (cfg_.script_ttl_s <= 0.0 ||
-                            now - it->second.computed_at < cfg_.script_ttl_s);
+  const MemoEntry* e = memo_.find(key);
+  const bool fresh = e != nullptr && (cfg_.script_ttl_s <= 0.0 ||
+                                      now - e->computed_at < cfg_.script_ttl_s);
   if (!fresh) {
     ++stats_.memo_misses;
     return std::nullopt;
   }
   ++stats_.memo_hits;
-  return it->second.tier;
+  return e->tier;
 }
 
 void MatchCache::memo_store(const MemoKey& key, MatchTier tier, double now) {

@@ -31,6 +31,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/flat_map.h"
+
 namespace oak::core {
 
 enum class MatchTier;  // core/matcher.h
@@ -119,7 +121,11 @@ class MatchCache {
   };
 
   MatchCacheConfig cfg_;
-  std::unordered_map<MemoKey, MemoEntry, MemoKeyHash> memo_;
+  // Open-addressed: the memo never erases single entries (wholesale clear at
+  // capacity or on invalidation), which is exactly the discipline
+  // util::FlatHashMap requires — and probe locality beats the node-based
+  // unordered_map on the per-(rule × violator) hot path.
+  util::FlatHashMap<MemoKey, MemoEntry, MemoKeyHash> memo_;
   // LRU: most-recently-used at the front; map values point into the list.
   std::list<ScriptEntry> lru_;
   std::unordered_map<std::string, std::list<ScriptEntry>::iterator> scripts_;

@@ -1,5 +1,7 @@
 #include "core/matcher.h"
 
+#include <algorithm>
+
 #include "html/extract.h"
 #include "util/strings.h"
 #include "util/url.h"
@@ -26,22 +28,44 @@ Matcher::~Matcher() = default;
 void Matcher::invalidate_memo() {
   if (cache_) cache_->invalidate_memo();
   rule_text_hash_.clear();
+  text_digest_.clear();
+  // Body digests are keyed by body hash and stay correct across rule churn,
+  // but clearing here bounds their growth at no correctness cost.
+  body_digest_.clear();
 }
 
 const MatchCacheStats* Matcher::cache_stats() const {
   return cache_ ? &cache_->stats() : nullptr;
 }
 
-bool Matcher::direct_include(const std::string& text,
-                             const std::vector<std::string>& domains) const {
+Matcher::RuleDigest Matcher::build_digest(std::uint64_t text_hash,
+                                          const std::string& text) {
+  RuleDigest d;
+  d.text_hash = text_hash;
   for (const auto& ref : html::extract_references(text)) {
     auto parsed = util::parse_url(ref.url);
-    if (!parsed) continue;
-    for (const auto& d : domains) {
-      if (parsed->host == d) return true;
-    }
+    if (parsed && !parsed->host.empty()) d.ref_hosts.push_back(parsed->host);
   }
-  return false;
+  std::sort(d.ref_hosts.begin(), d.ref_hosts.end());
+  d.ref_hosts.erase(std::unique(d.ref_hosts.begin(), d.ref_hosts.end()),
+                    d.ref_hosts.end());
+  return d;
+}
+
+const Matcher::RuleDigest& Matcher::digest_for(std::uint64_t text_hash,
+                                               const std::string& text) const {
+  if (const RuleDigest* d = text_digest_.find(text_hash)) return *d;
+  RuleDigest& slot = text_digest_[text_hash];
+  slot = build_digest(text_hash, text);
+  return slot;
+}
+
+const Matcher::RuleDigest& Matcher::body_digest_for(
+    std::uint64_t body_hash, const std::string& body) const {
+  if (const RuleDigest* d = body_digest_.find(body_hash)) return *d;
+  RuleDigest& slot = body_digest_[body_hash];
+  slot = build_digest(body_hash, body);
+  return slot;
 }
 
 bool Matcher::text_mention(const std::string& text,
@@ -60,27 +84,42 @@ std::optional<std::string> Matcher::fetch_body(const std::string& url,
   return fetch_script_(url);
 }
 
-MatchTier Matcher::compute(const std::string& rule_text,
+MatchTier Matcher::compute(const RuleDigest& digest,
+                           const std::string& rule_text,
                            const std::vector<std::string>& violator_domains,
                            const std::vector<std::string>& scripts,
                            double now) const {
-  if (direct_include(rule_text, violator_domains)) return MatchTier::kDirect;
+  // Tier 1: explicit reference to a violator domain. The digest has already
+  // paid the extract_references() pass; this is domains × log(ref_hosts).
+  for (const auto& d : violator_domains) {
+    if (std::binary_search(digest.ref_hosts.begin(), digest.ref_hosts.end(),
+                           d)) {
+      return MatchTier::kDirect;
+    }
+  }
   if (cfg_.enable_text && text_mention(rule_text, violator_domains)) {
     return MatchTier::kText;
   }
   if (cfg_.enable_external_scripts && fetch_script_) {
     for (const auto& script_url : scripts) {
       auto parsed = util::parse_url(script_url);
-      if (!parsed) continue;
+      if (!parsed || parsed->host.empty()) continue;
       // Is this script referenced by the rule (tier 1/2 on its own domain)?
-      const std::vector<std::string> script_domain = {parsed->host};
-      const bool labeled = direct_include(rule_text, script_domain) ||
-                           text_mention(rule_text, script_domain);
+      const bool labeled =
+          std::binary_search(digest.ref_hosts.begin(), digest.ref_hosts.end(),
+                             parsed->host) ||
+          util::contains(rule_text, parsed->host);
       if (!labeled) continue;
       auto body = fetch_body(script_url, now);
       if (!body) continue;
-      if (direct_include(*body, violator_domains) ||
-          text_mention(*body, violator_domains)) {
+      const RuleDigest& body_digest = body_digest_for(fnv1a(*body), *body);
+      for (const auto& d : violator_domains) {
+        if (std::binary_search(body_digest.ref_hosts.begin(),
+                               body_digest.ref_hosts.end(), d)) {
+          return MatchTier::kExternalScript;
+        }
+      }
+      if (text_mention(*body, violator_domains)) {
         return MatchTier::kExternalScript;
       }
     }
@@ -91,16 +130,21 @@ MatchTier Matcher::compute(const std::string& rule_text,
 MatchTier Matcher::match_hashed(std::uint64_t text_hash,
                                 const std::string& rule_text,
                                 const std::vector<std::string>& violator_domains,
+                                std::uint64_t domains_hash,
                                 const std::vector<std::string>& scripts,
-                                double now) const {
+                                std::uint64_t scripts_hash, double now) const {
+  if (!cache_) {
+    return compute(digest_for(text_hash, rule_text), rule_text,
+                   violator_domains, scripts, now);
+  }
   // The reported script set is part of the key: tier 3 depends on which
   // scripts the client loaded, and including it keeps the memo exact.
-  const MatchCache::MemoKey key{text_hash, fnv1a(violator_domains),
-                                fnv1a(scripts)};
+  const MatchCache::MemoKey key{text_hash, domains_hash, scripts_hash};
   if (auto memo = cache_->memo_lookup(key, now)) return *memo;
   // compute() may invalidate the memo (TTL refresh with a changed body);
   // the store below then records the verdict under the fresh body.
-  const MatchTier tier = compute(rule_text, violator_domains, scripts, now);
+  const MatchTier tier = compute(digest_for(text_hash, rule_text), rule_text,
+                                 violator_domains, scripts, now);
   cache_->memo_store(key, tier, now);
   return tier;
 }
@@ -110,25 +154,44 @@ MatchTier Matcher::match_text(const std::string& rule_text,
                               const std::vector<std::string>& scripts,
                               double now) const {
   if (violator_domains.empty()) return MatchTier::kNone;
-  if (!cache_) return compute(rule_text, violator_domains, scripts, now);
-  return match_hashed(fnv1a(rule_text), rule_text, violator_domains, scripts,
-                      now);
+  return match_hashed(fnv1a(rule_text), rule_text, violator_domains,
+                      fnv1a(violator_domains), scripts, fnv1a(scripts), now);
+}
+
+MatchTier Matcher::match_text(const std::string& rule_text,
+                              const std::vector<std::string>& violator_domains,
+                              std::uint64_t domains_hash,
+                              const std::vector<std::string>& scripts,
+                              std::uint64_t scripts_hash, double now) const {
+  if (violator_domains.empty()) return MatchTier::kNone;
+  return match_hashed(fnv1a(rule_text), rule_text, violator_domains,
+                      domains_hash, scripts, scripts_hash, now);
 }
 
 MatchTier Matcher::match_rule(const Rule& rule,
                               const std::vector<std::string>& violator_domains,
                               const std::vector<std::string>& scripts,
                               double now) const {
+  return match_rule(rule, violator_domains, fnv1a(violator_domains), scripts,
+                    fnv1a(scripts), now);
+}
+
+MatchTier Matcher::match_rule(const Rule& rule,
+                              const std::vector<std::string>& violator_domains,
+                              std::uint64_t domains_hash,
+                              const std::vector<std::string>& scripts,
+                              std::uint64_t scripts_hash, double now) const {
   if (violator_domains.empty()) return MatchTier::kNone;
-  if (!cache_ || rule.id == 0) {
-    return match_text(rule.default_text, violator_domains, scripts, now);
+  if (rule.id == 0) {
+    return match_text(rule.default_text, violator_domains, domains_hash,
+                      scripts, scripts_hash, now);
   }
-  auto it = rule_text_hash_.find(rule.id);
-  if (it == rule_text_hash_.end()) {
-    it = rule_text_hash_.emplace(rule.id, fnv1a(rule.default_text)).first;
-  }
-  return match_hashed(it->second, rule.default_text, violator_domains,
-                      scripts, now);
+  std::uint64_t* cached = rule_text_hash_.find(rule.id);
+  const std::uint64_t text_hash =
+      cached ? *cached
+             : (rule_text_hash_[rule.id] = fnv1a(rule.default_text));
+  return match_hashed(text_hash, rule.default_text, violator_domains,
+                      domains_hash, scripts, scripts_hash, now);
 }
 
 std::vector<std::string> report_script_urls(
@@ -151,6 +214,23 @@ std::vector<std::string> report_script_urls(
     }
   }
   return out;
+}
+
+void report_script_urls(std::span<const std::string_view> entry_urls,
+                        std::vector<std::string>& out) {
+  // Overwrite-in-place so surviving slots reuse their string capacity.
+  std::size_t n = 0;
+  for (const auto& u : entry_urls) {
+    auto parsed = util::parse_url(u);
+    if (!parsed || !util::ends_with(parsed->path, ".js")) continue;
+    if (n < out.size()) {
+      out[n].assign(u.data(), u.size());
+    } else {
+      out.emplace_back(u);
+    }
+    ++n;
+  }
+  out.resize(n);
 }
 
 }  // namespace oak::core

@@ -31,11 +31,11 @@
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "core/match_cache.h"
 #include "core/rule.h"
+#include "util/flat_map.h"
 
 namespace oak::core {
 
@@ -80,6 +80,22 @@ class Matcher {
                        const std::vector<std::string>& report_script_urls = {},
                        double now = 0.0) const;
 
+  // Hash-hoisted variants for the hot ingest loop: the caller computes
+  // fnv1a(violator_domains) once per violator and fnv1a(report_script_urls)
+  // once per report instead of per (rule × violator) probe. The hashes MUST
+  // be fnv1a of the exact vectors passed alongside them (see
+  // match_cache.h::fnv1a) — they key the memo table.
+  MatchTier match_rule(const Rule& rule,
+                       const std::vector<std::string>& violator_domains,
+                       std::uint64_t domains_hash,
+                       const std::vector<std::string>& report_script_urls,
+                       std::uint64_t scripts_hash, double now) const;
+  MatchTier match_text(const std::string& rule_text,
+                       const std::vector<std::string>& violator_domains,
+                       std::uint64_t domains_hash,
+                       const std::vector<std::string>& report_script_urls,
+                       std::uint64_t scripts_hash, double now) const;
+
   // Rule set changed: drop memoized verdicts (script bodies stay cached —
   // they belong to the web, not to the rule set).
   void invalidate_memo();
@@ -89,17 +105,36 @@ class Matcher {
   const MatchCacheStats* cache_stats() const;
 
  private:
+  // Everything expensive about one rule text, computed once per text and
+  // reused across every (violator × report) probe. Tier 1 drops from an
+  // html::extract_references() pass over a multi-KB body to a binary search
+  // in ref_hosts; tier-3 script labeling reuses the same host list instead
+  // of re-extracting per reported script URL. Cleared with the memo — the
+  // digest is a function of rule text, which rule churn rewrites.
+  struct RuleDigest {
+    std::uint64_t text_hash = 0;
+    // Sorted, deduplicated hostnames of the text's explicit src/href
+    // references (the tier-1 edge set).
+    std::vector<std::string> ref_hosts;
+  };
+
+  const RuleDigest& digest_for(std::uint64_t text_hash,
+                               const std::string& text) const;
+  const RuleDigest& body_digest_for(std::uint64_t body_hash,
+                                    const std::string& body) const;
+  static RuleDigest build_digest(std::uint64_t text_hash,
+                                 const std::string& text);
+
   MatchTier match_hashed(std::uint64_t text_hash, const std::string& text,
                          const std::vector<std::string>& domains,
+                         std::uint64_t domains_hash,
                          const std::vector<std::string>& scripts,
-                         double now) const;
-  MatchTier compute(const std::string& text,
+                         std::uint64_t scripts_hash, double now) const;
+  MatchTier compute(const RuleDigest& digest, const std::string& text,
                     const std::vector<std::string>& domains,
                     const std::vector<std::string>& scripts, double now) const;
   std::optional<std::string> fetch_body(const std::string& url,
                                         double now) const;
-  bool direct_include(const std::string& text,
-                      const std::vector<std::string>& domains) const;
   bool text_mention(const std::string& text,
                     const std::vector<std::string>& domains) const;
 
@@ -108,7 +143,15 @@ class Matcher {
   mutable std::unique_ptr<MatchCache> cache_;  // null when disabled
   // rule id → hash of its default text, so the hot match_rule path does not
   // rehash multi-KB rule bodies per violator. Cleared with the memo.
-  mutable std::unordered_map<int, std::uint64_t> rule_text_hash_;
+  mutable util::FlatHashMap<int, std::uint64_t> rule_text_hash_;
+  // text hash → digest. Keyed by hash rather than rule id because
+  // match_text() (alternative texts, ad-hoc probes) has no id; collisions
+  // carry the same (accepted) risk as the memo table itself. Script-body
+  // digests live in their own table: compute() holds a reference into
+  // text_digest_ while it runs, and inserting body digests there could
+  // rehash it out from under that reference.
+  mutable util::FlatHashMap<std::uint64_t, RuleDigest> text_digest_;
+  mutable util::FlatHashMap<std::uint64_t, RuleDigest> body_digest_;
 };
 
 // External-script URLs among a report's entries (candidates for tier 3).
@@ -118,5 +161,10 @@ std::vector<std::string> report_script_urls(
 // are copied into owned strings.
 std::vector<std::string> report_script_urls(
     std::span<const std::string_view> entry_urls);
+// Recycling variant: clears and refills `out`, reusing both the vector and
+// its strings' capacity across reports (steady-state ingest allocates
+// nothing here).
+void report_script_urls(std::span<const std::string_view> entry_urls,
+                        std::vector<std::string>& out);
 
 }  // namespace oak::core

@@ -110,8 +110,20 @@ const Rule* OakServer::rule(int id) const {
 }
 
 const UserProfile* OakServer::profile(const std::string& user_id) const {
-  auto it = profiles_.find(user_id);
-  return it == profiles_.end() ? nullptr : &it->second;
+  UserProfile* const* p = profile_index_.find(std::string_view(user_id));
+  return p == nullptr ? nullptr : *p;
+}
+
+UserProfile& OakServer::profile_ref(const std::string& user_id) {
+  if (UserProfile** p = profile_index_.find(std::string_view(user_id))) {
+    return **p;
+  }
+  auto [it, inserted] = profiles_.try_emplace(user_id);
+  // Key the index by a view of the map's own key string: map nodes never
+  // move, so both the view and the value pointer are stable for the
+  // profile's lifetime.
+  profile_index_[std::string_view(it->first)] = &it->second;
+  return it->second;
 }
 
 http::Response OakServer::handle(const http::Request& req, double now) {
@@ -129,15 +141,13 @@ UserProfile& OakServer::user_for(const http::Request& req,
     auto it = jar.find(http::kOakUserCookie);
     if (it != jar.end()) uid = it->second;
   }
-  if (uid.empty() || !profiles_.count(uid)) {
-    if (uid.empty()) {
-      uid = util::format("u%zu", next_user_++);
-      resp.headers.add("Set-Cookie",
-                       std::string(http::kOakUserCookie) + "=" + uid);
-    }
-    profiles_[uid].user_id = uid;
+  if (uid.empty()) {
+    uid = util::format("u%zu", next_user_++);
+    resp.headers.add("Set-Cookie",
+                     std::string(http::kOakUserCookie) + "=" + uid);
   }
-  UserProfile& user = profiles_[uid];
+  UserProfile& user = profile_ref(uid);
+  if (user.user_id.empty()) user.user_id = uid;
   if (!req.client_ip.empty()) user.client_ip = req.client_ip;
   return user;
 }
@@ -234,12 +244,15 @@ http::Response OakServer::ingest_report(const http::Request& req, double now) {
     obs_.report_bytes->observe(static_cast<double>(req.body.size()));
   }
   obs::ScopedTimer decode_timer(obs_.decode);
-  browser::ReportView view;
+  // Decode into the recycled scratch view: its entries capacity (like the
+  // arena's blocks) survives across reports. The views it holds dangle as
+  // soon as this request ends — nothing reads it between ingests.
+  browser::ReportView& view = view_scratch_;
   browser::PerfReport dom_report;  // backs `view` in the DOM modes
   switch (cfg_.ingest_decode) {
     case IngestDecode::kStreaming:
       try {
-        view = browser::decode_report_view(req.body, ingest_arena_);
+        browser::decode_report_view(req.body, ingest_arena_, view);
       } catch (const util::JsonError&) {
         if (obs_.reports_rejected != nullptr) obs_.reports_rejected->inc();
         return http::Response::text("malformed report", 400);
@@ -258,7 +271,7 @@ http::Response OakServer::ingest_report(const http::Request& req, double now) {
       bool stream_ok = true;
       bool dom_ok = true;
       try {
-        view = browser::decode_report_view(req.body, ingest_arena_);
+        browser::decode_report_view(req.body, ingest_arena_, view);
       } catch (const util::JsonError&) {
         stream_ok = false;
       }
@@ -288,10 +301,10 @@ http::Response OakServer::ingest_report(const http::Request& req, double now) {
 DetectionResult OakServer::analyze(const std::string& user_id,
                                    const browser::PerfReport& report,
                                    double now) {
-  profiles_[user_id].user_id = user_id;
+  UserProfile& user = profile_ref(user_id);
+  if (user.user_id.empty()) user.user_id = user_id;
   DetectionResult detection;
-  process_report(profiles_[user_id], browser::ReportView::of(report), now,
-                 &detection);
+  process_report(user, browser::ReportView::of(report), now, &detection);
   return detection;
 }
 
@@ -320,25 +333,38 @@ void OakServer::process_report(UserProfile& user,
       detect_violators(std::move(observations), cfg_.detector);
   detect_timer.stop();
 
-  std::vector<std::string_view> urls;
-  urls.reserve(report.entries.size());
-  for (const auto& e : report.entries) urls.push_back(e.url);
-  const std::vector<std::string> scripts = report_script_urls(urls);
+  urls_scratch_.clear();
+  urls_scratch_.reserve(report.entries.size());
+  for (const auto& e : report.entries) urls_scratch_.push_back(e.url);
+  report_script_urls(urls_scratch_, scripts_scratch_);
+  // Hash hoisting: the matcher memoizes on (text, domains, scripts) hashes.
+  // The script set is fixed per report and each violator's domain set is
+  // fixed per detection, so hash them once here instead of once per
+  // (rule × violator) probe inside the matcher.
+  const std::uint64_t scripts_hash = fnv1a(scripts_scratch_);
+  domain_hash_scratch_.clear();
+  domain_hash_scratch_.reserve(detection.violators.size());
+  for (const auto& v : detection.violators) {
+    domain_hash_scratch_.push_back(fnv1a(v.domains));
+  }
 
   expire_rules(user, now);
   {
     obs::ScopedTimer match_timer(obs_.match);
-    review_active_rules(user, detection, scripts, now);
-    consider_activations(user, detection, scripts, now);
+    review_active_rules(user, detection, scripts_scratch_,
+                        domain_hash_scratch_, scripts_hash, now);
+    consider_activations(user, detection, scripts_scratch_,
+                         domain_hash_scratch_, scripts_hash, now);
   }
 
   if (out_detection) *out_detection = std::move(detection);
 }
 
-void OakServer::review_active_rules(UserProfile& user,
-                                    const DetectionResult& detection,
-                                    const std::vector<std::string>& scripts,
-                                    double now) {
+void OakServer::review_active_rules(
+    UserProfile& user, const DetectionResult& detection,
+    const std::vector<std::string>& scripts,
+    const std::vector<std::uint64_t>& domain_hashes,
+    std::uint64_t scripts_hash, double now) {
   if (detection.violators.empty()) return;
   if (cfg_.history == HistoryMode::kAlwaysKeep) return;
   for (auto it = user.active.begin(); it != user.active.end();) {
@@ -353,8 +379,10 @@ void OakServer::review_active_rules(UserProfile& user,
     const std::string& alt_text = r->alternatives[idx];
 
     const Violation* alt_violation = nullptr;
-    for (const auto& v : detection.violators) {
-      if (matcher_->match_text(alt_text, v.domains, scripts, now) !=
+    for (std::size_t vi = 0; vi < detection.violators.size(); ++vi) {
+      const Violation& v = detection.violators[vi];
+      if (matcher_->match_text(alt_text, v.domains, domain_hashes[vi],
+                               scripts, scripts_hash, now) !=
           MatchTier::kNone) {
         alt_violation = &v;
         break;
@@ -394,18 +422,20 @@ void OakServer::review_active_rules(UserProfile& user,
   }
 }
 
-void OakServer::consider_activations(UserProfile& user,
-                                     const DetectionResult& detection,
-                                     const std::vector<std::string>& scripts,
-                                     double now) {
+void OakServer::consider_activations(
+    UserProfile& user, const DetectionResult& detection,
+    const std::vector<std::string>& scripts,
+    const std::vector<std::uint64_t>& domain_hashes,
+    std::uint64_t scripts_hash, double now) {
   if (detection.violators.empty()) return;
   for (const auto& r : rules_) {
     if (user.active.count(r.id) || user.banned.count(r.id)) continue;
 
     const Violation* hit = nullptr;
-    for (const auto& v : detection.violators) {
-      if (matcher_->match_rule(r, v.domains, scripts, now) !=
-          MatchTier::kNone) {
+    for (std::size_t vi = 0; vi < detection.violators.size(); ++vi) {
+      const Violation& v = detection.violators[vi];
+      if (matcher_->match_rule(r, v.domains, domain_hashes[vi], scripts,
+                               scripts_hash, now) != MatchTier::kNone) {
         hit = &v;
         break;
       }

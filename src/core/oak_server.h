@@ -34,6 +34,7 @@
 #include "http/message.h"
 #include "obs/metrics.h"
 #include "util/arena.h"
+#include "util/flat_map.h"
 #include "util/json.h"
 #include "page/site.h"
 
@@ -56,6 +57,27 @@ enum class HistoryMode {
 //                  accept/reject verdicts — the CI oracle. Divergence is a
 //                  decoder bug, reported by throwing std::logic_error.
 enum class IngestDecode { kStreaming, kDom, kDifferential };
+
+// Batched hand-off between request threads and a shard's single-threaded
+// core (ShardedOakServer; the single-threaded OakServer ignores this).
+// Instead of every thread fighting for the shard mutex per request, requests
+// park in a small per-shard queue and one thread — the combiner — drains
+// them in batches while holding the shard lock once per batch. See
+// DESIGN.md §6.
+struct IngestQueueConfig {
+  bool enabled = true;
+  // Pending (unclaimed) ops per shard before producers block — the
+  // back-pressure bound. Memory is not the concern (ops live on producer
+  // stacks); this bounds batch latency and combiner turn length.
+  std::size_t depth = 128;
+  // Ops executed per shard-lock acquisition. The amortization unit: one
+  // lock + one batch of reports.
+  std::size_t max_batch = 32;
+  // A combiner whose own request is done hands the role off after this many
+  // ops in one turn, so sustained load rotates the combining work across
+  // threads instead of pinning it on whoever arrived first.
+  std::size_t handoff_after = 256;
+};
 
 struct OakConfig {
   DetectorConfig detector;
@@ -80,6 +102,9 @@ struct OakConfig {
   // single-threaded OakServer ignores it; durability is a property of the
   // concurrent entry point). Off by default.
   durability::Options durability;
+  // Batched MPSC hand-off for the sharded request plane (ShardedOakServer
+  // only).
+  IngestQueueConfig ingest_queue;
 };
 
 // One activated rule inside a user profile.
@@ -97,10 +122,14 @@ struct ActiveRule {
 struct UserProfile {
   std::string user_id;
   std::string client_ip;
-  std::map<int, ActiveRule> active;          // keyed by rule id
-  std::map<int, int> pending_violations;     // toward min_violations
-  std::map<int, std::size_t> next_alternative;
-  std::set<int> banned;  // never re-activate (policy.allow_reactivation=false)
+  // Per-user rule state. Flat sorted containers (util/flat_map.h): a user
+  // holds a handful of entries, touched on every report — contiguous
+  // storage beats one heap node per entry, and sorted iteration keeps
+  // snapshot/export byte-compatibility with the std::map originals.
+  util::SmallFlatMap<int, ActiveRule> active;       // keyed by rule id
+  util::SmallFlatMap<int, int> pending_violations;  // toward min_violations
+  util::SmallFlatMap<int, std::size_t> next_alternative;
+  util::SmallFlatSet<int> banned;  // never re-activate (allow_reactivation=false)
   std::size_t reports_received = 0;
   std::size_t pages_served = 0;
   // Rolling page-load-time statistics from this user's reports; the
@@ -194,15 +223,24 @@ class OakServer {
   http::Response ingest_report(const http::Request& req, double now);
   void process_report(UserProfile& user, const browser::ReportView& report,
                       double now, DetectionResult* out_detection);
+  // `domain_hashes[i]` is fnv1a(detection.violators[i].domains) and
+  // `scripts_hash` is fnv1a(scripts) — computed once per report in
+  // process_report and threaded through so the matcher's memo probes skip
+  // rehashing per (rule × violator).
   void review_active_rules(UserProfile& user, const DetectionResult& detection,
                            const std::vector<std::string>& scripts,
-                           double now);
+                           const std::vector<std::uint64_t>& domain_hashes,
+                           std::uint64_t scripts_hash, double now);
   void consider_activations(UserProfile& user,
                             const DetectionResult& detection,
                             const std::vector<std::string>& scripts,
-                            double now);
+                            const std::vector<std::uint64_t>& domain_hashes,
+                            std::uint64_t scripts_hash, double now);
   void expire_rules(UserProfile& user, double now);
   UserProfile& user_for(const http::Request& req, http::Response& resp);
+  // Find-or-create through profile_index_ (one hash probe on the hot path;
+  // the std::map insert only runs for genuinely new users).
+  UserProfile& profile_ref(const std::string& user_id);
 
   // Instrument pointers resolved once in the constructor; all null when
   // cfg_.metrics is false, which a null-histogram ScopedTimer turns into a
@@ -230,6 +268,11 @@ class OakServer {
   std::vector<Rule> rules_;
   int next_rule_id_ = 1;
   std::map<std::string, UserProfile> profiles_;
+  // Open-addressed index over profiles_: views alias the map's keys and
+  // pointers its values (both stable — node-based map, nodes never move).
+  // Every request does a profile lookup; the index turns the O(log n)
+  // string-compare walk into one hash probe. Rebuilt by import_state.
+  util::FlatHashMap<std::string_view, UserProfile*> profile_index_;
   std::size_t next_user_ = 1;
   std::size_t reports_processed_ = 0;
   DecisionLog log_;
@@ -238,6 +281,13 @@ class OakServer {
   // Backs the string_views of the report being ingested; cleared per report.
   // Anything retained past process_report() is copied into owned strings.
   util::StringArena ingest_arena_;
+  // Per-report scratch recycled across ingests (capacity survives clear();
+  // with the arena's block retention, steady-state ingest allocates
+  // nothing). Valid only inside one ingest_report/process_report call.
+  browser::ReportView view_scratch_;
+  std::vector<std::string_view> urls_scratch_;
+  std::vector<std::string> scripts_scratch_;
+  std::vector<std::uint64_t> domain_hash_scratch_;
 };
 
 }  // namespace oak::core

@@ -137,6 +137,12 @@ void OakServer::import_state(const util::Json& snapshot) {
   }
   // Commit only after the whole snapshot parsed (strong exception safety).
   profiles_ = std::move(profiles);
+  // The index aliases the replaced map's keys/values; rebuild it over the
+  // new nodes before anything looks a profile up.
+  profile_index_.clear();
+  for (auto& [uid, p] : profiles_) {
+    profile_index_[std::string_view(uid)] = &p;
+  }
   log_ = std::move(log);
   next_user_ = static_cast<std::size_t>(snapshot.at("next_user").as_int());
   reports_processed_ =

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -128,14 +129,55 @@ class ShardedOakServer {
   }
 
  private:
+  // One queued request, living on its producer's stack until done. The
+  // combiner fills `resp` while holding the shard lock; `done` flips (and
+  // the producer wakes) only under the queue mutex, so the producer reads a
+  // fully published response.
+  struct PendingOp {
+    const http::Request* req = nullptr;  // effective request (cookie attached)
+    double now = 0.0;
+    const std::string* uid = nullptr;
+    bool fresh = false;
+    std::uint64_t minted = 0;
+    http::Response resp;
+    bool done = false;
+  };
+
   struct Shard {
     mutable std::mutex mu;
     std::unique_ptr<OakServer> server;
     std::atomic<std::uint64_t> handled{0};
     std::atomic<std::uint64_t> contended{0};
+
+    // --- Batched ingest hand-off (flat combining; DESIGN.md §6).
+    // qmu is a leaf lock: never held together with mu or rules_mu_ — the
+    // combiner claims a batch under qmu, releases it, takes mu to execute,
+    // releases mu, then retakes qmu to publish completions.
+    std::mutex qmu;
+    std::condition_variable qcv;
+    std::vector<PendingOp*> queue;  // unclaimed ops, enqueue order
+    bool combiner_active = false;
+
+    // Queue health instruments (registered in this shard's server registry
+    // so metrics_snapshot() merges them fleet-wide). Null when metrics or
+    // the queue are disabled.
+    obs::Gauge* q_depth = nullptr;
+    obs::Histogram* q_batch_size = nullptr;
+    obs::Counter* q_enqueued = nullptr;
+    obs::Counter* q_batches = nullptr;
+    obs::Counter* q_backpressure = nullptr;
   };
 
   std::unique_lock<std::mutex> lock_shard(Shard& s) const;
+  // Run one request against its shard's core + journal; caller holds the
+  // shard lock (directly, or as the combiner).
+  void execute_op(std::size_t shard_index, Shard& shard, PendingOp& op);
+  // Combiner loop: drain `shard.queue` in batches of at most
+  // cfg_.ingest_queue.max_batch, one shard-lock acquisition per batch.
+  // Entered and exited with `ql` (shard.qmu) held and combiner_active true;
+  // resets combiner_active before returning. Guarantees own.done on return.
+  void combine(std::size_t shard_index, Shard& shard,
+               std::unique_lock<std::mutex>& ql, PendingOp& own);
   // Recovery at construction: startup() → rules + state import → parallel
   // per-shard replay → start_recording() (+ baseline compact on bootstrap).
   void enable_durability_();
@@ -157,6 +199,10 @@ class ShardedOakServer {
   // Coalesces threshold-triggered compactions: the request thread that wins
   // the exchange runs compact(); everyone else keeps serving.
   std::atomic<bool> compacting_{false};
+  // Compactions that threw (disk full, fsync failure). The flag reset is
+  // RAII-scoped so a throwing compaction can't wedge compacting_ true and
+  // silently disable compaction for the rest of the process.
+  std::atomic<std::uint64_t> compact_failures_{0};
 };
 
 }  // namespace oak::core

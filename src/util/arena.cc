@@ -24,13 +24,21 @@ StringArena::StringArena(std::size_t block_bytes)
     : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
 
 char* StringArena::allocate(std::size_t n) {
-  if (blocks_.empty() || blocks_.back().used + n > blocks_.back().capacity) {
+  // Advance the cursor past blocks that cannot take n more bytes. Blocks
+  // retained by clear() are empty, so this only skips when n exceeds a
+  // whole block's capacity (an oversized string); the skipped blocks come
+  // back into play at the next clear().
+  while (active_ < blocks_.size() &&
+         blocks_[active_].used + n > blocks_[active_].capacity) {
+    ++active_;
+  }
+  if (active_ == blocks_.size()) {
     Block b;
     b.capacity = n > block_bytes_ ? n : block_bytes_;
     b.data = std::make_unique<char[]>(b.capacity);
     blocks_.push_back(std::move(b));
   }
-  Block& b = blocks_.back();
+  Block& b = blocks_[active_];
   char* out = b.data.get() + b.used;
   b.used += n;
   bytes_used_ += n;
@@ -85,10 +93,21 @@ void StringArena::clear() {
   interned_count_ = 0;
   bytes_used_ = 0;
   intern_hits_ = 0;
-  if (blocks_.size() > 1) {
-    blocks_.erase(blocks_.begin() + 1, blocks_.end());
-  }
-  if (!blocks_.empty()) blocks_.front().used = 0;
+  for (Block& b : blocks_) b.used = 0;
+  active_ = 0;
+}
+
+void StringArena::release() {
+  clear();
+  blocks_.clear();
+  interned_.clear();
+  interned_.shrink_to_fit();
+}
+
+std::size_t StringArena::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.capacity;
+  return total;
 }
 
 }  // namespace oak::util

@@ -41,13 +41,24 @@ class StringArena {
   // exploits for O(1) identity checks.
   std::string_view intern(std::string_view s);
 
-  // Drop all stored strings and the intern table; keeps the first block for
-  // reuse so a per-report arena settles into zero steady-state allocation.
+  // Drop all stored strings and the intern table; keeps every allocated
+  // block (rewound to empty) and the intern table's capacity, so an arena
+  // recycled per report settles into zero steady-state allocation even when
+  // a report spans several blocks. Memory stays pinned at the high-water
+  // mark of the largest report seen; call release() to give it back.
   void clear();
+
+  // clear(), then drop every block and shrink the intern table — the
+  // cold-start footprint. For long-idle shards or tests.
+  void release();
 
   std::size_t bytes_used() const { return bytes_used_; }
   std::size_t unique_strings() const { return interned_count_; }
   std::uint64_t intern_hits() const { return intern_hits_; }
+  // Retention telemetry: total block capacity held (the recycled high-water
+  // mark) and the number of blocks holding it.
+  std::size_t capacity_bytes() const;
+  std::size_t block_count() const { return blocks_.size(); }
 
  private:
   static constexpr std::size_t kDefaultBlockBytes = 16 * 1024;
@@ -63,6 +74,10 @@ class StringArena {
 
   std::size_t block_bytes_;
   std::vector<Block> blocks_;
+  // Index of the block the next allocation tries first. Blocks before it
+  // are full (or skipped by an oversized request); blocks after it are
+  // empty, retained by clear() for reuse.
+  std::size_t active_ = 0;
   // Intern table: open-addressing, linear probing, power-of-two size, empty
   // slots hold default (null-data) views. Per-report ingestion clears the
   // arena constantly, and a node-based set pays one heap node per insert

@@ -1,0 +1,232 @@
+// Flat containers for the ingest hot path.
+//
+// Report ingestion consults a handful of small per-user tables (active
+// rules, pending violation counts) and two large memo tables (the match
+// cache, the per-rule digest index) on every report. Node-based std::map /
+// std::unordered_map pay a heap allocation per insert, a pointer chase per
+// lookup, and a free per node on clear — all of which show up at the top of
+// the ingest profile once decode is zero-copy. Two shapes cover every use:
+//
+//  * SmallFlatMap / SmallFlatSet — a sorted std::vector. Lookup is binary
+//    search, iteration is in key order (bit-compatible with the std::map /
+//    std::set serialization the snapshot format pins), and the whole table
+//    lives in one allocation. Right for per-user state: a profile holds a
+//    handful of active rules, not thousands.
+//
+//  * FlatHashMap — open addressing, linear probing, power-of-two capacity,
+//    load factor <= 1/2. No per-entry erase (the owners clear wholesale:
+//    rule churn invalidates whole memos), which keeps probes tombstone-free.
+//    clear() keeps capacity, so steady-state use allocates nothing. Right
+//    for memo tables and the uid -> profile index.
+//
+// None of these are thread-safe; every owner is shard-local by design.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace oak::util {
+
+template <typename K, typename V, typename Compare = std::less<K>>
+class SmallFlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using storage = std::vector<value_type>;
+  using iterator = typename storage::iterator;
+  using const_iterator = typename storage::const_iterator;
+
+  iterator begin() { return v_.begin(); }
+  iterator end() { return v_.end(); }
+  const_iterator begin() const { return v_.begin(); }
+  const_iterator end() const { return v_.end(); }
+
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+  void clear() { v_.clear(); }
+
+  iterator find(const K& key) {
+    iterator it = lower_bound(key);
+    return it != v_.end() && !Compare{}(key, it->first) ? it : v_.end();
+  }
+  const_iterator find(const K& key) const {
+    const_iterator it = lower_bound(key);
+    return it != v_.end() && !Compare{}(key, it->first) ? it : v_.end();
+  }
+  std::size_t count(const K& key) const {
+    return find(key) == v_.end() ? 0 : 1;
+  }
+  const V* at_ptr(const K& key) const {
+    const_iterator it = find(key);
+    return it == v_.end() ? nullptr : &it->second;
+  }
+
+  // std::map::at parity (tests and audit paths index known-present keys).
+  V& at(const K& key) {
+    iterator it = find(key);
+    if (it == v_.end()) throw std::out_of_range("SmallFlatMap::at");
+    return it->second;
+  }
+  const V& at(const K& key) const {
+    const_iterator it = find(key);
+    if (it == v_.end()) throw std::out_of_range("SmallFlatMap::at");
+    return it->second;
+  }
+
+  V& operator[](const K& key) {
+    iterator it = lower_bound(key);
+    if (it == v_.end() || Compare{}(key, it->first)) {
+      it = v_.emplace(it, key, V{});
+    }
+    return it->second;
+  }
+
+  std::pair<iterator, bool> insert_or_assign(const K& key, V value) {
+    iterator it = lower_bound(key);
+    if (it != v_.end() && !Compare{}(key, it->first)) {
+      it->second = std::move(value);
+      return {it, false};
+    }
+    return {v_.emplace(it, key, std::move(value)), true};
+  }
+
+  iterator erase(iterator it) { return v_.erase(it); }
+  std::size_t erase(const K& key) {
+    iterator it = find(key);
+    if (it == v_.end()) return 0;
+    v_.erase(it);
+    return 1;
+  }
+
+ private:
+  iterator lower_bound(const K& key) {
+    return std::lower_bound(
+        v_.begin(), v_.end(), key,
+        [](const value_type& a, const K& b) { return Compare{}(a.first, b); });
+  }
+  const_iterator lower_bound(const K& key) const {
+    return std::lower_bound(
+        v_.begin(), v_.end(), key,
+        [](const value_type& a, const K& b) { return Compare{}(a.first, b); });
+  }
+
+  storage v_;
+};
+
+template <typename K, typename Compare = std::less<K>>
+class SmallFlatSet {
+ public:
+  using storage = std::vector<K>;
+  using iterator = typename storage::const_iterator;
+
+  iterator begin() const { return v_.begin(); }
+  iterator end() const { return v_.end(); }
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+  void clear() { v_.clear(); }
+
+  std::size_t count(const K& key) const {
+    auto it = std::lower_bound(v_.begin(), v_.end(), key, Compare{});
+    return it != v_.end() && !Compare{}(key, *it) ? 1 : 0;
+  }
+
+  std::pair<iterator, bool> insert(K key) {
+    auto it = std::lower_bound(v_.begin(), v_.end(), key, Compare{});
+    if (it != v_.end() && !Compare{}(key, *it)) return {it, false};
+    return {v_.insert(it, std::move(key)), true};
+  }
+
+  std::size_t erase(const K& key) {
+    auto it = std::lower_bound(v_.begin(), v_.end(), key, Compare{});
+    if (it == v_.end() || Compare{}(key, *it)) return 0;
+    v_.erase(it);
+    return 1;
+  }
+
+ private:
+  storage v_;
+};
+
+// Open-addressed hash map without per-entry erase. Owners that need to
+// forget entries clear the whole table (capacity is kept), which is exactly
+// the lifecycle of a memo: valid until an invalidation event, then rebuilt.
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<K>>
+class FlatHashMap {
+ public:
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    for (Slot& s : slots_) s.used = false;
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinSlots;
+    while (cap < n * 2) cap *= 2;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  V* find(const K& key) {
+    if (slots_.empty()) return nullptr;
+    std::size_t i = probe_start(key);
+    while (slots_[i].used) {
+      if (Eq{}(slots_[i].key, key)) return &slots_[i].value;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    return nullptr;
+  }
+  const V* find(const K& key) const {
+    return const_cast<FlatHashMap*>(this)->find(key);
+  }
+
+  // Find-or-default-construct (the std::map operator[] contract).
+  V& operator[](const K& key) {
+    if ((size_ + 1) * 2 > slots_.size()) {
+      rehash(slots_.empty() ? kMinSlots : slots_.size() * 2);
+    }
+    std::size_t i = probe_start(key);
+    while (slots_[i].used) {
+      if (Eq{}(slots_[i].key, key)) return slots_[i].value;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    slots_[i].used = true;
+    slots_[i].key = key;
+    slots_[i].value = V{};
+    ++size_;
+    return slots_[i].value;
+  }
+
+ private:
+  static constexpr std::size_t kMinSlots = 16;
+
+  struct Slot {
+    K key{};
+    V value{};
+    bool used = false;
+  };
+
+  std::size_t probe_start(const K& key) const {
+    // Multiply-shift mix: std::hash of an integral type is often identity,
+    // which clusters badly under power-of-two masking.
+    return (Hash{}(key) * 0x9e3779b97f4a7c15ull) & (slots_.size() - 1);
+  }
+
+  void rehash(std::size_t cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.used) (*this)[s.key] = std::move(s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace oak::util

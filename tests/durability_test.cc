@@ -463,5 +463,45 @@ TEST_F(DurabilityFixture, JournalMetricsAreExported) {
             silent.export_state().dump());
 }
 
+// A compaction that throws (disk trouble mid-snapshot) must not wedge the
+// compacting_ flag: the failure is counted, serving continues, and a later
+// pass — once the disk recovers — compacts successfully. The fault is a
+// directory squatting on the snapshot's tmp path, which makes the atomic
+// write's fopen fail deterministically.
+TEST_F(DurabilityFixture, ThrowingCompactionDoesNotWedgeCompaction) {
+  OakConfig cfg = durable_config();
+  cfg.durability.compact_threshold_bytes = 1;  // every report trips a pass
+
+  ShardedOakServer durable(universe_, "busy.com", cfg, 4);
+  durable.add_rule(the_rule());
+  // Bootstrap compaction already ran: epoch 1 on disk. The next pass will
+  // try to stage snapshot-2.json.tmp — block it.
+  ASSERT_TRUE(fs::exists(dir_ / "snapshot-1.json"));
+  fs::create_directories(dir_ / "snapshot-2.json.tmp");
+
+  run_workload(durable);
+  const auto broken = durable.metrics_snapshot();
+  EXPECT_GE(broken.counter("oak_compact_failures_total"), 1u);
+  // Still epoch 1: no pass succeeded while the tmp path was blocked.
+  EXPECT_FALSE(fs::exists(dir_ / "snapshot-2.json"));
+
+  // "Disk" recovers. If a throwing pass had left compacting_ stuck true,
+  // no further compaction could ever run; instead the next report's pass
+  // succeeds and the epoch advances.
+  fs::remove_all(dir_ / "snapshot-2.json.tmp");
+  const std::string wire = report_wire();
+  drive(durable, "user0", 100.0, wire);
+  const auto manifest = durability::Manifest::from_json(
+      util::Json::parse(read_file((dir_ / "MANIFEST").string())));
+  EXPECT_GE(manifest.epoch, 2u);
+  EXPECT_TRUE(fs::exists(dir_ / manifest.snapshot_file));
+  const auto healed = durable.metrics_snapshot();
+  EXPECT_GE(healed.counter("oak_journal_compactions_total"), 2u);
+
+  // The failed passes never corrupted recovery state.
+  ShardedOakServer recovered(universe_, "busy.com", cfg, 4);
+  EXPECT_EQ(recovered.export_state().dump(), durable.export_state().dump());
+}
+
 }  // namespace
 }  // namespace oak::core

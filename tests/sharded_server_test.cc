@@ -359,5 +359,119 @@ TEST_F(ShardedFixture, MergedMetricsCoverAllStagesUnderConcurrency) {
   }
 }
 
+// --- Ingest-queue variants. The batched hand-off (DESIGN.md §6) must be
+// invisible to state: per-shard FIFO execution plus one-request-in-flight
+// per user means every queue shape below produces the byte-identical
+// profiles of a sequential replay.
+
+// depth=2 / max_batch=1 maximizes contention on the queue itself: producers
+// hit the backpressure wait constantly and every op is its own batch.
+TEST_F(ShardedFixture, TinyQueueBackpressureMatchesReplay) {
+  OakConfig cfg = cfg_;
+  cfg.ingest_queue.depth = 2;
+  cfg.ingest_queue.max_batch = 1;
+  ShardedOakServer sharded(universe_, "busy.com", cfg, 8);
+  sharded.add_rules(rules());
+  run_concurrent(sharded);
+
+  OakServer replay(universe_, "busy.com", cfg_);
+  replay.add_rules(rules());
+  run_replay(replay);
+  EXPECT_TRUE(sharded.export_state().at("users") ==
+              replay.export_state().at("users"));
+
+  if constexpr (obs::kEnabled) {
+    constexpr std::uint64_t kRequests =
+        std::uint64_t(kThreads) * 2 * kIterations * 2;
+    obs::MetricsSnapshot snap = sharded.metrics_snapshot();
+    EXPECT_EQ(snap.counter("oak_ingest_enqueued_total"), kRequests);
+    // max_batch=1: the combiner claims exactly one op per batch.
+    EXPECT_EQ(snap.counter("oak_ingest_batches_total"), kRequests);
+  }
+}
+
+// One shard funnels all 16 users through a single queue with wide batches —
+// the shape where the combiner actually amortizes: many ops per shard-lock
+// acquisition.
+TEST_F(ShardedFixture, LargeBatchSingleShardMatchesReplay) {
+  OakConfig cfg = cfg_;
+  cfg.ingest_queue.depth = 512;
+  cfg.ingest_queue.max_batch = 64;
+  ShardedOakServer sharded(universe_, "busy.com", cfg, 1);
+  sharded.add_rules(rules());
+  run_concurrent(sharded);
+
+  OakServer replay(universe_, "busy.com", cfg_);
+  replay.add_rules(rules());
+  run_replay(replay);
+  EXPECT_TRUE(sharded.export_state().at("users") ==
+              replay.export_state().at("users"));
+
+  if constexpr (obs::kEnabled) {
+    constexpr std::uint64_t kRequests =
+        std::uint64_t(kThreads) * 2 * kIterations * 2;
+    obs::MetricsSnapshot snap = sharded.metrics_snapshot();
+    EXPECT_EQ(snap.counter("oak_ingest_enqueued_total"), kRequests);
+    const std::uint64_t batches = snap.counter("oak_ingest_batches_total");
+    EXPECT_GE(batches, 1u);
+    EXPECT_LE(batches, kRequests);
+    // Every enqueued op lands in exactly one batch.
+    const obs::HistogramSnapshot* sizes =
+        snap.histogram("oak_ingest_batch_size");
+    ASSERT_NE(sizes, nullptr);
+    EXPECT_EQ(sizes->count(), batches);
+    EXPECT_DOUBLE_EQ(sizes->sum, double(kRequests));
+  }
+}
+
+// Kill switch: ingest_queue.enabled=false reverts to lock-per-request and
+// must still match the replay — and register no queue instruments.
+TEST_F(ShardedFixture, QueueDisabledDirectModeMatchesReplay) {
+  OakConfig cfg = cfg_;
+  cfg.ingest_queue.enabled = false;
+  ShardedOakServer sharded(universe_, "busy.com", cfg, 8);
+  sharded.add_rules(rules());
+  run_concurrent(sharded);
+
+  OakServer replay(universe_, "busy.com", cfg_);
+  replay.add_rules(rules());
+  run_replay(replay);
+  EXPECT_TRUE(sharded.export_state().at("users") ==
+              replay.export_state().at("users"));
+
+  obs::MetricsSnapshot snap = sharded.metrics_snapshot();
+  EXPECT_EQ(snap.counter("oak_ingest_enqueued_total"), 0u);
+  EXPECT_EQ(snap.histogram("oak_ingest_batch_size"), nullptr);
+}
+
+// Default queue configuration: every request is accounted for exactly once
+// across the queue-health instruments, and the depth gauge drains to zero
+// once the fleet goes quiet.
+TEST_F(ShardedFixture, QueueMetricsAccountForEveryRequest) {
+  ShardedOakServer sharded(universe_, "busy.com", cfg_, 8);
+  sharded.add_rules(rules());
+  run_concurrent(sharded);
+
+  if constexpr (obs::kEnabled) {
+    constexpr std::uint64_t kRequests =
+        std::uint64_t(kThreads) * 2 * kIterations * 2;
+    obs::MetricsSnapshot snap = sharded.metrics_snapshot();
+    EXPECT_EQ(snap.counter("oak_ingest_enqueued_total"), kRequests);
+    const std::uint64_t batches = snap.counter("oak_ingest_batches_total");
+    EXPECT_GE(batches, 1u);
+    EXPECT_LE(batches, kRequests);
+    const obs::HistogramSnapshot* sizes =
+        snap.histogram("oak_ingest_batch_size");
+    ASSERT_NE(sizes, nullptr);
+    EXPECT_EQ(sizes->count(), batches);
+    EXPECT_DOUBLE_EQ(sizes->sum, double(kRequests));
+    // All queues are empty at rest (per-shard gauges merge by addition).
+    EXPECT_DOUBLE_EQ(snap.gauge("oak_ingest_queue_depth"), 0.0);
+    // Backpressure is workload-dependent; the counter just has to exist and
+    // render (it does, at zero or more).
+    EXPECT_LE(snap.counter("oak_ingest_backpressure_total"), kRequests);
+  }
+}
+
 }  // namespace
 }  // namespace oak::core

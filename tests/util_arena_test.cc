@@ -1,0 +1,136 @@
+// StringArena recycling semantics (util/arena.h). The per-shard ingest
+// arena is cleared before every report; the contract that makes that safe
+// and fast is (a) views handed out during one report stay stable until the
+// next clear(), (b) clear() retains every block so steady-state ingest
+// allocates nothing, and (c) the intern table forgets its entries but keeps
+// its capacity.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/arena.h"
+
+namespace oak::util {
+namespace {
+
+// One "report" worth of traffic: a mix of store()s and duplicate intern()s
+// spanning several blocks at the test's small block size.
+void simulate_report(StringArena& arena, int salt) {
+  // Fixed-width salt: same-shaped reports must cost the same bytes, or the
+  // no-growth assertion would be comparing different workloads.
+  char salt_str[8];
+  std::snprintf(salt_str, sizeof salt_str, "%05d", salt % 100000);
+  std::vector<std::string_view> views;
+  for (int i = 0; i < 40; ++i) {
+    const std::string host = "host-" + std::to_string(i % 8) + ".example";
+    const std::string url = "http://" + host + "/obj-" + std::to_string(i) +
+                            "-" + salt_str + ".js";
+    views.push_back(arena.intern(host));
+    views.push_back(arena.store(url));
+  }
+  // Within the report every view must still read back what was written.
+  for (std::string_view v : views) {
+    ASSERT_FALSE(v.empty());
+    ASSERT_TRUE(v.find("host-") != std::string_view::npos ||
+                v.find("http://") != std::string_view::npos);
+  }
+}
+
+TEST(StringArena, PointerStabilityWithinReport) {
+  StringArena arena(/*block_bytes=*/64);  // force multi-block reports
+  std::vector<std::pair<std::string_view, std::string>> stored;
+  for (int i = 0; i < 100; ++i) {
+    const std::string s = "payload-" + std::to_string(i) + std::string(i % 37, 'x');
+    stored.emplace_back(arena.store(s), s);
+  }
+  ASSERT_GT(arena.block_count(), 1u);
+  // Later allocations (including block appends) never move earlier bytes.
+  for (const auto& [view, owned] : stored) EXPECT_EQ(view, owned);
+}
+
+TEST(StringArena, InternDedupsByPointerWithinReport) {
+  StringArena arena(64);
+  const std::string_view a = arena.intern("cdn.example");
+  const std::string_view b = arena.intern("cdn.example");
+  EXPECT_EQ(a.data(), b.data());  // pointer identity, not just equality
+  EXPECT_EQ(arena.unique_strings(), 1u);
+  EXPECT_EQ(arena.intern_hits(), 1u);
+}
+
+TEST(StringArena, NoCapacityGrowthAcross10kClearedReports) {
+  StringArena arena(64);
+  // Warm up: the first report establishes the high-water mark.
+  simulate_report(arena, 0);
+  arena.clear();
+  simulate_report(arena, 1);
+  const std::size_t blocks = arena.block_count();
+  const std::size_t capacity = arena.capacity_bytes();
+  ASSERT_GT(blocks, 1u);
+
+  for (int r = 2; r < 10'000; ++r) {
+    arena.clear();
+    simulate_report(arena, r);
+    ASSERT_EQ(arena.block_count(), blocks) << "report " << r;
+    ASSERT_EQ(arena.capacity_bytes(), capacity) << "report " << r;
+  }
+}
+
+TEST(StringArena, ClearResetsInternTable) {
+  StringArena arena(64);
+  const std::string_view before = arena.intern("stable.example");
+  arena.intern("stable.example");
+  EXPECT_EQ(arena.intern_hits(), 1u);
+
+  arena.clear();
+  EXPECT_EQ(arena.unique_strings(), 0u);
+  EXPECT_EQ(arena.intern_hits(), 0u);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+
+  // Re-interning after clear() is a fresh store (no stale hit against the
+  // wiped table), and dedup works anew within the new report.
+  const std::string_view again = arena.intern("stable.example");
+  EXPECT_EQ(arena.unique_strings(), 1u);
+  EXPECT_EQ(arena.intern_hits(), 0u);
+  EXPECT_EQ(again, before);  // same bytes, recycled storage
+  const std::string_view dup = arena.intern("stable.example");
+  EXPECT_EQ(dup.data(), again.data());
+  EXPECT_EQ(arena.intern_hits(), 1u);
+}
+
+TEST(StringArena, OversizedStringsRecycleToo) {
+  StringArena arena(64);
+  const std::string big(1000, 'b');
+  arena.store(big);
+  arena.store("tail");  // lands after the oversized block
+  arena.clear();
+  const std::size_t capacity = arena.capacity_bytes();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(arena.store(big), big);
+    arena.clear();
+  }
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+}
+
+TEST(StringArena, EmptyStringInternHasStablePointer) {
+  StringArena arena;
+  const std::string_view e1 = arena.intern("");
+  EXPECT_NE(e1.data(), nullptr);
+  EXPECT_TRUE(e1.empty());
+  const std::string_view e2 = arena.intern("");
+  EXPECT_EQ(e1.data(), e2.data());
+}
+
+TEST(StringArena, ReleaseDropsRetention) {
+  StringArena arena(64);
+  simulate_report(arena, 0);
+  ASSERT_GT(arena.capacity_bytes(), 0u);
+  arena.release();
+  EXPECT_EQ(arena.block_count(), 0u);
+  EXPECT_EQ(arena.capacity_bytes(), 0u);
+  // Still usable afterwards.
+  EXPECT_EQ(arena.intern("back"), "back");
+}
+
+}  // namespace
+}  // namespace oak::util

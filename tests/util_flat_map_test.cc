@@ -1,0 +1,138 @@
+// Flat container semantics (util/flat_map.h): these back per-user state and
+// the matcher memo, so map-parity — sorted iteration, erase-during-iteration,
+// operator[] default construction — is load-bearing for snapshot stability.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+
+#include "util/flat_map.h"
+
+namespace oak::util {
+namespace {
+
+TEST(FlatMap, SortedIterationMatchesStdMap) {
+  SmallFlatMap<int, std::string> flat;
+  std::map<int, std::string> ref;
+  std::mt19937 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const int k = int(rng() % 64);
+    const std::string v = "v" + std::to_string(i);
+    flat[k] = v;
+    ref[k] = v;
+  }
+  ASSERT_EQ(flat.size(), ref.size());
+  auto it = ref.begin();
+  for (const auto& [k, v] : flat) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+TEST(FlatMap, FindCountErase) {
+  SmallFlatMap<int, int> m;
+  m[3] = 30;
+  m[1] = 10;
+  m[2] = 20;
+  EXPECT_EQ(m.count(2), 1u);
+  EXPECT_EQ(m.find(2)->second, 20);
+  EXPECT_EQ(m.find(9), m.end());
+  EXPECT_EQ(m.erase(2), 1u);
+  EXPECT_EQ(m.erase(2), 0u);
+  EXPECT_EQ(m.count(2), 0u);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatMap, EraseDuringIteration) {
+  // The expire-rules pattern: it = m.erase(it) must yield the next element
+  // in key order.
+  SmallFlatMap<int, int> m;
+  for (int k : {5, 1, 4, 2, 3}) m[k] = k * 10;
+  std::vector<int> kept;
+  for (auto it = m.begin(); it != m.end();) {
+    if (it->first % 2 == 0) {
+      it = m.erase(it);
+    } else {
+      kept.push_back(it->first);
+      ++it;
+    }
+  }
+  EXPECT_EQ(kept, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(FlatMap, InsertOrAssign) {
+  SmallFlatMap<int, int> m;
+  auto [it1, fresh1] = m.insert_or_assign(7, 70);
+  EXPECT_TRUE(fresh1);
+  auto [it2, fresh2] = m.insert_or_assign(7, 71);
+  EXPECT_FALSE(fresh2);
+  EXPECT_EQ(m.find(7)->second, 71);
+}
+
+TEST(FlatSet, SortedDedupInsertErase) {
+  SmallFlatSet<int> s;
+  std::set<int> ref;
+  std::mt19937 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const int k = int(rng() % 32);
+    EXPECT_EQ(s.insert(k).second, ref.insert(k).second);
+  }
+  ASSERT_EQ(s.size(), ref.size());
+  auto it = ref.begin();
+  for (int k : s) EXPECT_EQ(k, *it++);
+  const int victim = *ref.begin();
+  EXPECT_EQ(s.erase(victim), 1u);
+  EXPECT_EQ(s.erase(victim), 0u);
+  EXPECT_EQ(s.count(victim), 0u);
+}
+
+TEST(FlatHashMap, BehavesLikeUnorderedMap) {
+  FlatHashMap<int, int> flat;
+  std::map<int, int> ref;
+  std::mt19937 rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const int k = int(rng() % 1024);
+    flat[k] = i;
+    ref[k] = i;
+  }
+  EXPECT_EQ(flat.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(flat.find(k), nullptr) << k;
+    EXPECT_EQ(*flat.find(k), v) << k;
+  }
+  EXPECT_EQ(flat.find(99999), nullptr);
+}
+
+TEST(FlatHashMap, ClearKeepsWorkingAndFindOnEmptyIsSafe) {
+  FlatHashMap<std::string, int> m;
+  EXPECT_EQ(m.find("nothing"), nullptr);  // pre-first-insert lookup
+  for (int i = 0; i < 100; ++i) m["k" + std::to_string(i)] = i;
+  EXPECT_EQ(m.size(), 100u);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find("k5"), nullptr);
+  m["again"] = 1;
+  EXPECT_EQ(*m.find("again"), 1);
+}
+
+TEST(FlatHashMap, StringViewKeysAndReserve) {
+  FlatHashMap<std::string_view, int> m;
+  m.reserve(64);
+  std::vector<std::string> owners;
+  owners.reserve(32);
+  for (int i = 0; i < 32; ++i) {
+    owners.push_back("user-" + std::to_string(i));
+    m[std::string_view(owners.back())] = i;
+  }
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_NE(m.find(std::string_view(owners[i])), nullptr);
+    EXPECT_EQ(*m.find(std::string_view(owners[i])), i);
+  }
+}
+
+}  // namespace
+}  // namespace oak::util
