@@ -51,7 +51,8 @@ constexpr const char* kHealthy[] = {"ok0.net", "ok1.net", "ok2.net",
                                     "ok3.net", "ok4.net"};
 constexpr std::size_t kFillerRules = 20;
 constexpr std::size_t kFillerBytes = 8 * 1024;
-constexpr int kReps = 2;  // best-of per cell
+constexpr int kReps = 3;  // best-of per cell (absorbs scheduler outliers,
+                          // which dominate contended cells on small hosts)
 
 // A multi-KB rule body with URL-shaped references that resolve to hosts no
 // report ever blames — every probe tokenizes and scans all of it for
@@ -387,21 +388,27 @@ int main(int argc, char** argv) {
   root["runs"] = std::move(out_runs);
   root["metrics"] = std::move(stage_metrics);
 
+  // Each gate carries an explicit status: "pass", "fail", or "skipped".
+  // A skipped gate (e.g. multicore scaling on a small host) must be
+  // distinguishable from a passing one in the checked-in JSON — readers
+  // should never mistake "could not measure" for "measured and fine".
   util::JsonObject acceptance;
+  acceptance["hardware_concurrency"] = static_cast<std::size_t>(cores);
   {
     util::JsonObject g;
     g["speedup"] = legacy_speedup;
     g["required"] = 3.0;
-    g["pass"] = legacy_pass;
+    g["status"] = std::string(legacy_pass ? "pass" : "fail");
     acceptance["legacy_vs_single_mutex"] = std::move(g);
   }
   {
     util::JsonObject g;
-    g["cores"] = static_cast<std::size_t>(cores);
     g["enforced"] = multicore_enforced;
     g["sharded8_vs_sharded1_at_8t"] = multicore_ratio;
     g["required"] = 3.0;
-    g["pass"] = multicore_pass;
+    g["status"] = std::string(!multicore_enforced    ? "skipped"
+                              : multicore_ratio >= 3.0 ? "pass"
+                                                       : "fail");
     acceptance["multicore_scaling"] = std::move(g);
   }
   {
@@ -409,7 +416,7 @@ int main(int argc, char** argv) {
     g["floor"] = kFloor;
     g["worst_cell"] = floor_worst;
     g["worst_ratio"] = floor_worst_ratio;
-    g["pass"] = floor_pass;
+    g["status"] = std::string(floor_pass ? "pass" : "fail");
     acceptance["sharding_never_loses"] = std::move(g);
   }
   root["acceptance"] = std::move(acceptance);

@@ -80,7 +80,7 @@ SiteAnalytics::SiteAnalytics(const OakServer& server,
 
   double treated_sum = 0.0, holdback_sum = 0.0;
   std::size_t treated_n = 0, holdback_n = 0;
-  for (const auto& [uid, profile] : server.profiles()) {
+  server.for_each_profile([&](const UserProfile& profile) {
     for (const auto& [rule_id, ar] : profile.active) {
       auto it = by_rule.find(rule_id);
       if (it == by_rule.end()) continue;
@@ -106,7 +106,7 @@ SiteAnalytics::SiteAnalytics(const OakServer& server,
         ++lift_.treated_users;
       }
     }
-  }
+  });
   if (treated_n > 0) lift_.treated_mean_plt_s = treated_sum / treated_n;
   if (holdback_n > 0) lift_.holdback_mean_plt_s = holdback_sum / holdback_n;
   if (lift_.valid() && lift_.treated_mean_plt_s > 0.0) {

@@ -12,7 +12,10 @@ namespace oak::core {
 
 OakServer::OakServer(page::WebUniverse& universe, std::string site_host,
                      OakConfig cfg)
-    : universe_(universe), site_host_(std::move(site_host)), cfg_(cfg) {
+    : universe_(universe),
+      site_host_(std::move(site_host)),
+      cfg_(cfg),
+      users_(cfg_.user_store) {
   // Server-side script fetcher: Oak loads externally referenced scripts
   // "directly from the external sources" to widen the match surface.
   auto fetcher = [this](const std::string& url) -> std::optional<std::string> {
@@ -54,6 +57,15 @@ obs::MetricsSnapshot OakServer::metrics_snapshot() const {
           cs->script_refreshes;
       snap.counters["oak_match_invalidations_total"] += cs->invalidations;
     }
+    // User-store tallies, same pattern: the store counts with plain
+    // integers under the shard lock; snapshot time folds them in.
+    const UserStoreStats& us = users_.stats();
+    snap.gauges["oak_users_hot"] += double(users_.hot_count());
+    snap.gauges["oak_users_cold"] += double(users_.cold_count());
+    snap.gauges["oak_users_cold_file_bytes"] += double(users_.cold_file_bytes());
+    snap.counters["oak_user_demotions_total"] += us.demotions;
+    snap.counters["oak_user_faultins_total"] += us.faultins;
+    snap.counters["oak_user_cold_compactions_total"] += us.cold_compactions;
   }
   return snap;
 }
@@ -80,18 +92,24 @@ bool OakServer::remove_rule(int rule_id, double now) {
   if (it == rules_.end()) return false;
   rules_.erase(it);
   matcher_->invalidate_memo();
-  for (auto& [uid, profile] : profiles_) {
+  // Sorted sweep over every profile, hot and cold — the per-user expiration
+  // records must land in the decision log in the same (uid-ascending) order
+  // the old std::map iteration produced, tiered or not.
+  users_.for_each_sorted_mut([&](UserProfile& profile) {
+    bool changed = false;
     auto active = profile.active.find(rule_id);
     if (active != profile.active.end()) {
-      log_.record(Decision{now, uid, rule_id, DecisionType::kExpire, "", 0.0,
-                           active->second.alternative_index});
+      log_.record(Decision{now, profile.user_id, rule_id, DecisionType::kExpire,
+                           "", 0.0, active->second.alternative_index});
       if (obs_.expirations != nullptr) obs_.expirations->inc();
       profile.active.erase(active);
+      changed = true;
     }
-    profile.pending_violations.erase(rule_id);
-    profile.next_alternative.erase(rule_id);
-    profile.banned.erase(rule_id);
-  }
+    changed |= profile.pending_violations.erase(rule_id) > 0;
+    changed |= profile.next_alternative.erase(rule_id) > 0;
+    changed |= profile.banned.erase(rule_id) > 0;
+    return changed;
+  });
   return true;
 }
 
@@ -110,20 +128,14 @@ const Rule* OakServer::rule(int id) const {
 }
 
 const UserProfile* OakServer::profile(const std::string& user_id) const {
-  UserProfile* const* p = profile_index_.find(std::string_view(user_id));
-  return p == nullptr ? nullptr : *p;
+  // Logically const: a cold hit faults the profile back into the hot tier,
+  // but the observable state is identical to it never having been demoted.
+  // touch=false keeps introspection from feeding the LRU clock.
+  return const_cast<TieredUserStore&>(users_).find(user_id, 0.0, false);
 }
 
-UserProfile& OakServer::profile_ref(const std::string& user_id) {
-  if (UserProfile** p = profile_index_.find(std::string_view(user_id))) {
-    return **p;
-  }
-  auto [it, inserted] = profiles_.try_emplace(user_id);
-  // Key the index by a view of the map's own key string: map nodes never
-  // move, so both the view and the value pointer are stable for the
-  // profile's lifetime.
-  profile_index_[std::string_view(it->first)] = &it->second;
-  return it->second;
+UserProfile& OakServer::profile_ref(const std::string& user_id, double now) {
+  return users_.get_or_create(user_id, now);
 }
 
 http::Response OakServer::handle(const http::Request& req, double now) {
@@ -134,7 +146,7 @@ http::Response OakServer::handle(const http::Request& req, double now) {
 }
 
 UserProfile& OakServer::user_for(const http::Request& req,
-                                 http::Response& resp) {
+                                 http::Response& resp, double now) {
   std::string uid;
   if (auto cookie = req.headers.get("Cookie")) {
     auto jar = http::parse_cookie_header(*cookie);
@@ -146,8 +158,7 @@ UserProfile& OakServer::user_for(const http::Request& req,
     resp.headers.add("Set-Cookie",
                      std::string(http::kOakUserCookie) + "=" + uid);
   }
-  UserProfile& user = profile_ref(uid);
-  if (user.user_id.empty()) user.user_id = uid;
+  UserProfile& user = profile_ref(uid, now);
   if (!req.client_ip.empty()) user.client_ip = req.client_ip;
   return user;
 }
@@ -176,7 +187,7 @@ http::Response OakServer::serve_page(const http::Request& req, double now) {
   if (!obj) return http::Response::not_found();
 
   http::Response resp = http::Response::html(obj->body);
-  UserProfile& user = user_for(req, resp);
+  UserProfile& user = user_for(req, resp, now);
   user.pages_served++;
   user.holdback = cfg_.policy.in_holdback(user.user_id);
   if (obs_.pages_served != nullptr) obs_.pages_served->inc();
@@ -232,7 +243,7 @@ http::Response OakServer::ingest_report(const http::Request& req, double now) {
   // A disabled Oak is the paper's baseline web server: it neither tracks
   // users nor processes telemetry.
   if (!cfg_.enabled) return resp;
-  UserProfile& user = user_for(req, resp);
+  UserProfile& user = user_for(req, resp, now);
   if (!cfg_.policy.applies_to(req.client_ip)) {
     return resp;  // accepted, ignored
   }
@@ -301,8 +312,7 @@ http::Response OakServer::ingest_report(const http::Request& req, double now) {
 DetectionResult OakServer::analyze(const std::string& user_id,
                                    const browser::PerfReport& report,
                                    double now) {
-  UserProfile& user = profile_ref(user_id);
-  if (user.user_id.empty()) user.user_id = user_id;
+  UserProfile& user = profile_ref(user_id, now);
   DetectionResult detection;
   process_report(user, browser::ReportView::of(report), now, &detection);
   return detection;

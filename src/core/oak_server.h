@@ -17,7 +17,7 @@
 //    to policy (minimum violations, client filters, alternative selection).
 #pragma once
 
-#include <map>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -30,6 +30,7 @@
 #include "core/modifier.h"
 #include "core/policy.h"
 #include "core/rule.h"
+#include "core/user_store.h"
 #include "core/violator.h"
 #include "http/message.h"
 #include "obs/metrics.h"
@@ -105,42 +106,11 @@ struct OakConfig {
   // Batched MPSC hand-off for the sharded request plane (ShardedOakServer
   // only).
   IngestQueueConfig ingest_queue;
-};
-
-// One activated rule inside a user profile.
-struct ActiveRule {
-  int rule_id = 0;
-  std::size_t alternative_index = 0;
-  double activated_at = 0.0;
-  double expires_at = 0.0;  // 0 = never
-  // MAD distance of the violator that caused activation — the yardstick the
-  // history mechanism compares the alternative against.
-  double violation_distance = 0.0;
-  std::string violator_ip;
-};
-
-struct UserProfile {
-  std::string user_id;
-  std::string client_ip;
-  // Per-user rule state. Flat sorted containers (util/flat_map.h): a user
-  // holds a handful of entries, touched on every report — contiguous
-  // storage beats one heap node per entry, and sorted iteration keeps
-  // snapshot/export byte-compatibility with the std::map originals.
-  util::SmallFlatMap<int, ActiveRule> active;       // keyed by rule id
-  util::SmallFlatMap<int, int> pending_violations;  // toward min_violations
-  util::SmallFlatMap<int, std::size_t> next_alternative;
-  util::SmallFlatSet<int> banned;  // never re-activate (allow_reactivation=false)
-  std::size_t reports_received = 0;
-  std::size_t pages_served = 0;
-  // Rolling page-load-time statistics from this user's reports; the
-  // treated-vs-holdback comparison in SiteAnalytics measures Oak's lift.
-  double plt_sum_s = 0.0;
-  std::size_t plt_count = 0;
-  bool holdback = false;
-
-  double mean_plt_s() const {
-    return plt_count == 0 ? 0.0 : plt_sum_s / double(plt_count);
-  }
+  // Tiered user-state store (core/user_store.h): hot_capacity bounds the
+  // in-memory profiles per shard; everyone else lives in the cold spill
+  // file and faults back in on their next request. Default (hot_capacity
+  // == 0) keeps every profile hot — the pre-tiering behavior.
+  UserStoreConfig user_store;
 };
 
 class OakServer {
@@ -167,11 +137,25 @@ class OakServer {
   const std::vector<Rule>& rules() const { return rules_; }
   const Rule* rule(int id) const;
   const DecisionLog& decision_log() const { return log_; }
+  // One index probe for hot users; a cold hit transparently faults the
+  // profile in (logically const — observable state is identical to the
+  // profile never having been demoted). Does not touch the LRU clock, so
+  // introspection cannot rejuvenate idle users. The pointer is valid only
+  // until the next request or store mutation.
   const UserProfile* profile(const std::string& user_id) const;
-  const std::map<std::string, UserProfile>& profiles() const {
-    return profiles_;
+  // Visit every profile — hot and cold — in ascending user-id order (the
+  // iteration order the snapshot/export format pins). Cold profiles are
+  // materialized transiently without promotion.
+  void for_each_profile(
+      const std::function<void(const UserProfile&)>& fn) const {
+    users_.for_each_sorted(fn);
   }
-  std::size_t user_count() const { return profiles_.size(); }
+  std::size_t user_count() const { return users_.size(); }
+  const TieredUserStore& user_store() const { return users_; }
+  TieredUserStore& user_store() { return users_; }
+  // Rewrite the cold spill file keeping only live records; wired into the
+  // sharded server's snapshot compaction cut.
+  void compact_user_store() { users_.compact_cold(); }
   std::size_t reports_processed() const { return reports_processed_; }
   // Rule-id allocation state, exposed so the durability snapshot can
   // preserve it: after recovery a fresh rule must not reuse the id of one
@@ -237,10 +221,11 @@ class OakServer {
                             const std::vector<std::uint64_t>& domain_hashes,
                             std::uint64_t scripts_hash, double now);
   void expire_rules(UserProfile& user, double now);
-  UserProfile& user_for(const http::Request& req, http::Response& resp);
-  // Find-or-create through profile_index_ (one hash probe on the hot path;
-  // the std::map insert only runs for genuinely new users).
-  UserProfile& profile_ref(const std::string& user_id);
+  UserProfile& user_for(const http::Request& req, http::Response& resp,
+                        double now);
+  // Find-or-create through the store's uid index (one hash probe on the hot
+  // path; demotion/fault-in only runs when tiering is configured).
+  UserProfile& profile_ref(const std::string& user_id, double now);
 
   // Instrument pointers resolved once in the constructor; all null when
   // cfg_.metrics is false, which a null-histogram ScopedTimer turns into a
@@ -267,12 +252,10 @@ class OakServer {
   std::unique_ptr<Matcher> matcher_;
   std::vector<Rule> rules_;
   int next_rule_id_ = 1;
-  std::map<std::string, UserProfile> profiles_;
-  // Open-addressed index over profiles_: views alias the map's keys and
-  // pointers its values (both stable — node-based map, nodes never move).
-  // Every request does a profile lookup; the index turns the O(log n)
-  // string-compare walk into one hash probe. Rebuilt by import_state.
-  util::FlatHashMap<std::string_view, UserProfile*> profile_index_;
+  // All per-user state, hot and cold (core/user_store.h). Untiered by
+  // default; cfg_.user_store.hot_capacity bounds resident profiles.
+  // Declared after cfg_ (construction reads cfg_.user_store).
+  TieredUserStore users_;
   std::size_t next_user_ = 1;
   std::size_t reports_processed_ = 0;
   DecisionLog log_;

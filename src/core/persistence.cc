@@ -5,6 +5,8 @@
 // active-rule references are stored by rule id and survive as long as the
 // operator keeps ids stable — which add_rule does, since explicit ids are
 // preserved and generated ids are sequential.
+#include <vector>
+
 #include "core/oak_server.h"
 
 namespace oak::core {
@@ -67,7 +69,10 @@ util::Json OakServer::export_state() const {
   root["reports_processed"] = reports_processed_;
 
   util::JsonObject users;
-  for (const auto& [uid, p] : profiles_) {
+  // The store's sorted visitation covers hot and cold profiles alike — a
+  // demoted user serializes byte-identically to one that stayed resident
+  // (and JsonObject keeps the `users` keys sorted regardless).
+  users_.for_each_sorted([&](const UserProfile& p) {
     util::JsonObject u;
     u["client_ip"] = p.client_ip;
     u["reports"] = p.reports_received;
@@ -91,8 +96,8 @@ util::Json OakServer::export_state() const {
     util::JsonArray banned;
     for (int rid : p.banned) banned.emplace_back(rid);
     u["banned"] = std::move(banned);
-    users[uid] = util::Json(std::move(u));
-  }
+    users[p.user_id] = util::Json(std::move(u));
+  });
   root["users"] = std::move(users);
 
   util::JsonArray log;
@@ -105,7 +110,7 @@ void OakServer::import_state(const util::Json& snapshot) {
   if (snapshot.at("version").as_int() != kSnapshotVersion) {
     throw util::JsonError("oak snapshot: unsupported version");
   }
-  std::map<std::string, UserProfile> profiles;
+  std::vector<UserProfile> profiles;
   for (const auto& [uid, u] : snapshot.at("users").as_object()) {
     UserProfile p;
     p.user_id = uid;
@@ -129,19 +134,18 @@ void OakServer::import_state(const util::Json& snapshot) {
     for (const auto& b : u.at("banned").as_array()) {
       p.banned.insert(static_cast<int>(b.as_int()));
     }
-    profiles[uid] = std::move(p);
+    profiles.push_back(std::move(p));
   }
   DecisionLog log;
   for (const auto& d : snapshot.at("log").as_array()) {
     log.record(decision_from_json(d));
   }
   // Commit only after the whole snapshot parsed (strong exception safety).
-  profiles_ = std::move(profiles);
-  // The index aliases the replaced map's keys/values; rebuild it over the
-  // new nodes before anything looks a profile up.
-  profile_index_.clear();
-  for (auto& [uid, p] : profiles_) {
-    profile_index_[std::string_view(uid)] = &p;
+  // Rebuilding through get_or_create re-establishes tiering naturally: once
+  // the hot tier fills, earlier-imported profiles demote to the spill file.
+  users_.clear();
+  for (UserProfile& p : profiles) {
+    users_.get_or_create(p.user_id, 0.0) = std::move(p);
   }
   log_ = std::move(log);
   next_user_ = static_cast<std::size_t>(snapshot.at("next_user").as_int());

@@ -84,7 +84,20 @@ ShardedOakServer::ShardedOakServer(page::WebUniverse& universe,
   shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->server = std::make_unique<OakServer>(universe_, site_host_, cfg_);
+    OakConfig shard_cfg = cfg_;
+    // Tiered stores spill per shard: a named spill_dir gets one file per
+    // shard (they are truncated-on-open caches, so sharing one would be a
+    // correctness bug, not just contention); the anonymous default already
+    // creates a distinct unlinked file per store.
+    if (shard_cfg.user_store.hot_capacity > 0 &&
+        !shard_cfg.user_store.spill_dir.empty() &&
+        shard_cfg.user_store.cold_file.empty()) {
+      shard_cfg.user_store.cold_file =
+          shard_cfg.user_store.spill_dir + "/cold-" + std::to_string(i) +
+          ".dat";
+    }
+    shard->server = std::make_unique<OakServer>(universe_, site_host_,
+                                                shard_cfg);
     if (cfg_.metrics && cfg_.ingest_queue.enabled) {
       // Queue health lives in the shard's own registry so the merged
       // snapshot (and the bench JSON) carries it per fleet: depth gauges sum
@@ -524,14 +537,21 @@ durability::SnapshotEnvelope ShardedOakServer::make_envelope_locked() const {
 }
 
 void ShardedOakServer::compact() {
-  if (!dur_ || !dur_->recording()) return;
+  const bool tiered = cfg_.user_store.hot_capacity > 0;
+  if ((!dur_ || !dur_->recording()) && !tiered) return;
   // Shared on the rule lock is enough to freeze the rule set (churn is
   // exclusive); all shard locks give the consistent cut.
   std::shared_lock<std::shared_mutex> rules_lock(rules_mu_);
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(shards_.size());
   for (const auto& shard : shards_) locks.push_back(lock_shard(*shard));
-  dur_->compact(make_envelope_locked());
+  if (dur_ && dur_->recording()) dur_->compact(make_envelope_locked());
+  // The snapshot cut is also the natural moment to fold the cold spill
+  // files: dead records (stale demotions) are dropped alongside the
+  // journal's, under the same consistent cut.
+  if (tiered) {
+    for (const auto& shard : shards_) shard->server->compact_user_store();
+  }
 }
 
 void ShardedOakServer::import_state(const util::Json& snapshot) {
@@ -570,7 +590,12 @@ SiteAnalytics ShardedOakServer::audit(std::optional<double> now) const {
   // Materialize the merged state into a scratch single-threaded server and
   // audit that — SiteAnalytics stays a pure function of one OakServer.
   util::Json snapshot = export_state();
-  OakServer scratch(universe_, site_host_, cfg_);
+  // The scratch server is untiered regardless of cfg_: it exists for one
+  // read-only pass over the merged state, and spinning up spill files to
+  // then fault every profile back out of them would serve nothing.
+  OakConfig scratch_cfg = cfg_;
+  scratch_cfg.user_store = UserStoreConfig{};
+  OakServer scratch(universe_, site_host_, scratch_cfg);
   for (const Rule& r : rules()) scratch.add_rule(r);
   scratch.import_state(snapshot);
   SiteAnalytics analytics(scratch, now);

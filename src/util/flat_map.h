@@ -14,10 +14,10 @@
 //    handful of active rules, not thousands.
 //
 //  * FlatHashMap — open addressing, linear probing, power-of-two capacity,
-//    load factor <= 1/2. No per-entry erase (the owners clear wholesale:
-//    rule churn invalidates whole memos), which keeps probes tombstone-free.
-//    clear() keeps capacity, so steady-state use allocates nothing. Right
-//    for memo tables and the uid -> profile index.
+//    load factor <= 1/2. Per-entry erase uses backward-shift deletion (the
+//    tiered user store removes one uid per demotion), so probe chains stay
+//    tombstone-free. clear() keeps capacity, so steady-state use allocates
+//    nothing. Right for memo tables and the uid -> hot-slot index.
 //
 // None of these are thread-safe; every owner is shard-local by design.
 #pragma once
@@ -150,9 +150,10 @@ class SmallFlatSet {
   storage v_;
 };
 
-// Open-addressed hash map without per-entry erase. Owners that need to
-// forget entries clear the whole table (capacity is kept), which is exactly
-// the lifecycle of a memo: valid until an invalidation event, then rebuilt.
+// Open-addressed hash map. Memo owners forget entries wholesale with
+// clear() (capacity is kept — the lifecycle of a memo is valid-until-
+// invalidated, then rebuilt); the user-store index erases single keys via
+// backward-shift deletion, which preserves the no-tombstone probe invariant.
 template <typename K, typename V, typename Hash = std::hash<K>,
           typename Eq = std::equal_to<K>>
 class FlatHashMap {
@@ -199,6 +200,40 @@ class FlatHashMap {
     slots_[i].value = V{};
     ++size_;
     return slots_[i].value;
+  }
+
+  // Backward-shift deletion: refill the vacated slot by sliding later
+  // cluster members down whenever their ideal position is not cyclically
+  // inside (hole, j] — i.e. whenever a probe for them would have passed
+  // through the hole. Leaves no tombstone, so find() stays "probe until an
+  // unused slot". Terminates because load <= 1/2 guarantees a gap.
+  std::size_t erase(const K& key) {
+    if (slots_.empty()) return 0;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t hole = probe_start(key);
+    while (true) {
+      if (!slots_[hole].used) return 0;
+      if (Eq{}(slots_[hole].key, key)) break;
+      hole = (hole + 1) & mask;
+    }
+    std::size_t j = hole;
+    while (true) {
+      j = (j + 1) & mask;
+      if (!slots_[j].used) break;
+      const std::size_t ideal = probe_start(slots_[j].key);
+      const bool unmovable = (hole < j) ? (ideal > hole && ideal <= j)
+                                        : (ideal > hole || ideal <= j);
+      if (!unmovable) {
+        slots_[hole].key = std::move(slots_[j].key);
+        slots_[hole].value = std::move(slots_[j].value);
+        hole = j;
+      }
+    }
+    slots_[hole].used = false;
+    slots_[hole].key = K{};
+    slots_[hole].value = V{};
+    --size_;
+    return 1;
   }
 
  private:

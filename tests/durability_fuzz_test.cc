@@ -29,7 +29,7 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr std::size_t kShards = 4;
-constexpr int kTrialsPerCase = 110;  // two cases ⇒ 220 randomized kill points
+constexpr int kTrialsPerCase = 110;  // three cases ⇒ 330 randomized kill points
 
 class FuzzFixture : public ::testing::Test {
  protected:
@@ -246,6 +246,73 @@ TEST_F(FuzzFixture, KillAfterCompactionRecoversToOracleState) {
     ASSERT_GE(survived, kPhase1);
     ShardedOakServer recovered(universe_, "busy.com",
                                durable_config(dir, nullptr), kShards);
+    EXPECT_EQ(recovered.export_state().dump(), oracle[survived])
+        << "budget=" << budget << " survived=" << survived;
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+}
+
+// Eviction/replay parity: the same contract with the tiered user store on.
+// A hot tier of 2 users per shard — far below the 7-cookie population plus
+// fresh mints — keeps demotions and fault-ins churning under every kill
+// point, and the mid-run compact() folds the cold spill files alongside the
+// snapshot. The oracle stays untiered: replaying the journal through the
+// tiered store must land on byte-identical exports, and the spill file
+// (ephemeral, rebuilt by replay) must never leak into the durability state.
+TEST_F(FuzzFixture, TieredKillFuzzRecoversToUntieredOracle) {
+  constexpr std::size_t kPhase1 = 25;
+  constexpr std::size_t kPhase2 = 25;
+  const std::vector<std::string> oracle = oracle_states(kPhase1 + kPhase2);
+
+  auto tiered_config = [&](const fs::path& dir,
+                           std::shared_ptr<durability::CrashPlan> plan) {
+    OakConfig cfg = durable_config(dir, plan);
+    cfg.user_store.hot_capacity = 2;  // per shard
+    cfg.user_store.cold_buckets = 64;
+    return cfg;
+  };
+
+  std::uint64_t phase1_bytes = 0, total_bytes = 0;
+  {
+    auto plan = std::make_shared<durability::CrashPlan>(~0ull);
+    rule_id_ = 0;
+    ShardedOakServer s(universe_, "busy.com",
+                       tiered_config(root_ / "dry", plan), kShards);
+    apply_ops(s, 0, kPhase1);
+    phase1_bytes = plan->written;
+    s.compact();
+    apply_ops(s, kPhase1, kPhase2);
+    total_bytes = plan->written;
+    // Tiering must not change the journal byte stream (input journaling
+    // records requests, not profiles) nor the uninterrupted final state.
+    ASSERT_EQ(plan->complete_appends, kPhase1 + kPhase2);
+    EXPECT_GT(s.metrics_snapshot().counter("oak_user_demotions_total"), 0u);
+    EXPECT_EQ(s.export_state().dump(), oracle.back());
+  }
+  ASSERT_GT(total_bytes, phase1_bytes);
+
+  util::Rng rng(0xBADC01D5);
+  for (int trial = 0; trial < kTrialsPerCase; ++trial) {
+    const fs::path dir = root_ / ("t" + std::to_string(trial));
+    const std::uint64_t budget =
+        phase1_bytes +
+        std::uint64_t(rng.uniform_int(
+            1, std::int64_t(total_bytes - phase1_bytes) + 16));
+    auto plan = std::make_shared<durability::CrashPlan>(budget);
+    {
+      rule_id_ = 0;
+      ShardedOakServer s(universe_, "busy.com", tiered_config(dir, plan),
+                         kShards);
+      apply_ops(s, 0, kPhase1);
+      s.compact();
+      apply_ops(s, kPhase1, kPhase2);
+    }
+
+    const std::uint64_t survived = plan->complete_appends;
+    ASSERT_GE(survived, kPhase1);
+    ShardedOakServer recovered(universe_, "busy.com",
+                               tiered_config(dir, nullptr), kShards);
     EXPECT_EQ(recovered.export_state().dump(), oracle[survived])
         << "budget=" << budget << " survived=" << survived;
     std::error_code ec;

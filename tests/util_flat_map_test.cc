@@ -134,5 +134,55 @@ TEST(FlatHashMap, StringViewKeysAndReserve) {
   }
 }
 
+TEST(FlatHashMap, EraseBasics) {
+  FlatHashMap<std::string, int> m;
+  m["a"] = 1;
+  m["b"] = 2;
+  m["c"] = 3;
+  EXPECT_EQ(m.erase("b"), 1u);
+  EXPECT_EQ(m.erase("b"), 0u);
+  EXPECT_EQ(m.erase("missing"), 0u);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.find("b"), nullptr);
+  ASSERT_NE(m.find("a"), nullptr);
+  ASSERT_NE(m.find("c"), nullptr);
+  FlatHashMap<int, int> empty;
+  EXPECT_EQ(empty.erase(1), 0u);
+}
+
+TEST(FlatHashMap, EraseBackwardShiftFuzzAgainstStdMap) {
+  // The demote/fault-in lifecycle: interleaved insert/erase/lookup must
+  // keep every surviving key findable — backward-shift deletion must never
+  // break a probe chain (the failure mode of naive "mark unused" erase).
+  FlatHashMap<int, int> flat;
+  std::map<int, int> ref;
+  std::mt19937 rng(41);
+  for (int i = 0; i < 20000; ++i) {
+    const int k = int(rng() % 512);  // small key space forces collisions
+    switch (rng() % 3) {
+      case 0:
+        flat[k] = i;
+        ref[k] = i;
+        break;
+      case 1:
+        EXPECT_EQ(flat.erase(k), ref.erase(k));
+        break;
+      default: {
+        int* v = flat.find(k);
+        auto it = ref.find(k);
+        ASSERT_EQ(v != nullptr, it != ref.end());
+        if (v != nullptr) {
+          EXPECT_EQ(*v, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(flat.find(k), nullptr);
+    EXPECT_EQ(*flat.find(k), v);
+  }
+}
+
 }  // namespace
 }  // namespace oak::util
