@@ -1,0 +1,376 @@
+// Wire load harness: open-loop rate sweep and soak against a live
+// oak::wire::Server, gating the overload-shedding contract.
+//
+// Closed-loop clients slow down when the server slows down, which hides
+// congestion collapse. This harness is open-loop: each client thread sends
+// on an absolute schedule derived from the target rate, and latency is
+// measured from the *scheduled* arrival time — so queueing delay and
+// coordinated omission are charged to the server, not hidden by the client.
+//
+// Phases:
+//   peak   closed-loop burst to find the server's max goodput (2xx/s)
+//   sweep  open-loop at 0.25x / 0.5x / 1.0x / 2.0x peak; per-point goodput,
+//          shed rate, and latency percentiles
+//   soak   sustained 0.5x peak; RSS sampled before/after (with malloc_trim)
+//          to bound allocator drift
+//
+// Gates (exit code 0 iff all pass):
+//   * goodput at 2.0x overload >= 80% of the best sweep goodput — shedding
+//     refuses excess load instead of collapsing under it;
+//   * p99 latency at 0.5x load bounded (the uncongested regime is fast);
+//   * soak RSS drift <= 1.1x (no per-request leak on the hot path);
+//   * zero 5xx anywhere.
+//
+// Usage: load_wire [scale] — scale divides durations for CI smoke runs.
+// Merges the "load" and "soak" sections into BENCH_wire.json (wire_fuzz
+// owns the "fuzz" section).
+#include <malloc.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "browser/report.h"
+#include "core/sharded_server.h"
+#include "http/cookies.h"
+#include "page/site.h"
+#include "util/json.h"
+#include "wire/client.h"
+#include "wire/server.h"
+
+namespace {
+
+using namespace oak;
+using Clock = std::chrono::steady_clock;
+
+double now_s() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+std::size_t rss_bytes() {
+  malloc_trim(0);  // return freed arenas so VmRSS reflects live data
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return std::size_t(std::atoll(line.c_str() + 6)) * 1024;
+    }
+  }
+  return 0;
+}
+
+struct Env {
+  page::WebUniverse universe{net::NetworkConfig{.seed = 11, .horizon_s = 0}};
+  page::Site site;
+  std::string report;
+
+  Env() {
+    net::Network& net = universe.network();
+    net::ServerId origin = net.add_server(net::ServerConfig{.name = "origin"});
+    universe.dns().bind("busy.com", net.server(origin).addr());
+    net::ServerId cdn = net.add_server(net::ServerConfig{});
+    universe.dns().bind("x0.net", net.server(cdn).addr());
+
+    page::SiteBuilder b(universe, "busy.com", origin);
+    b.add_direct("x0.net", "/o.js", html::RefKind::kScript, 9000,
+                 page::Category::kCdn);
+    site = b.finish();
+
+    browser::PerfReport r;
+    r.page_url = site.index_url();
+    r.entries.push_back(
+        {site.index_url(), "busy.com", "10.0.0.1", 4000, 0, 0.09});
+    r.entries.push_back({"http://x0.net/o.js", "x0.net",
+                         net.server(cdn).addr().to_string(), 9000, 0.1, 4.0});
+    report = r.serialize();
+  }
+};
+
+struct RunStats {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;    // 2xx
+  std::uint64_t shed = 0;  // 503
+  std::uint64_t err = 0;   // other statuses, parse failures, conn errors
+  std::uint64_t s5xx = 0;  // 5xx (gated to zero; also counted in err)
+  double duration_s = 0.0;
+  std::vector<double> lat;  // seconds, from scheduled arrival to response
+
+  double goodput() const { return duration_s > 0 ? ok / duration_s : 0; }
+  double pct(double p) {
+    if (lat.empty()) return 0.0;
+    std::sort(lat.begin(), lat.end());
+    const std::size_t i = std::size_t(p * double(lat.size() - 1));
+    return lat[i];
+  }
+};
+
+// One client thread: POST reports over a keep-alive connection. When
+// rate_per_thread > 0 the sends follow an absolute open-loop schedule;
+// when 0 the loop is closed (back-to-back), used only to find the peak.
+// Each thread carries a stable oak_uid cookie (as real browsers do), so the
+// benchmark measures the wire plane's per-request cost — not the server's
+// by-design user-state growth when every request mints a new user.
+void client_main(std::uint16_t port, const std::string& body,
+                 const std::string& cookie, double rate_per_thread,
+                 double until_s, bool record_lat, RunStats* out) {
+  wire::BlockingClient cli;
+  bool connected = cli.connect("127.0.0.1", port, 5.0);
+  const double interval =
+      rate_per_thread > 0 ? 1.0 / rate_per_thread : 0.0;
+  double next_t = now_s();
+  while (true) {
+    const double t = now_s();
+    if (t >= until_s) break;
+    if (interval > 0) {
+      if (t < next_t) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(next_t - t));
+      }
+      if (now_s() >= until_s) break;
+    }
+    const double sched = interval > 0 ? next_t : now_s();
+    next_t += interval;
+
+    if (!connected) {
+      cli = wire::BlockingClient();
+      connected = cli.connect("127.0.0.1", port, 5.0);
+      if (!connected) {
+        ++out->sent;
+        ++out->err;
+        continue;
+      }
+    }
+    ++out->sent;
+    auto resp = cli.request("POST", "/oak/report",
+                            {{"Host", "busy.com"}, {"Cookie", cookie}}, body);
+    if (!resp) {
+      ++out->err;
+      connected = false;
+      continue;
+    }
+    if (record_lat) out->lat.push_back(now_s() - sched);
+    if (resp->status >= 200 && resp->status < 300) {
+      ++out->ok;
+    } else if (resp->status == 503) {
+      ++out->shed;
+    } else {
+      ++out->err;
+      if (resp->status >= 500) ++out->s5xx;
+    }
+    if (!resp->keep_alive) connected = false;
+  }
+}
+
+RunStats run_load(std::uint16_t port, const std::string& body, double rate,
+                  double duration_s, std::size_t threads,
+                  bool record_lat = true) {
+  std::vector<RunStats> per(threads);
+  std::vector<std::string> cookies(threads);
+  std::vector<std::thread> ts;
+  const double until = now_s() + duration_s;
+  const double per_rate = rate > 0 ? rate / double(threads) : 0.0;
+  const double start = now_s();
+  for (std::size_t i = 0; i < threads; ++i) {
+    cookies[i] =
+        std::string(http::kOakUserCookie) + "=bench" + std::to_string(i);
+    ts.emplace_back(client_main, port, std::cref(body), std::cref(cookies[i]),
+                    per_rate, until, record_lat, &per[i]);
+  }
+  for (auto& t : ts) t.join();
+  RunStats total;
+  total.duration_s = now_s() - start;
+  for (RunStats& p : per) {
+    total.sent += p.sent;
+    total.ok += p.ok;
+    total.shed += p.shed;
+    total.err += p.err;
+    total.s5xx += p.s5xx;
+    total.lat.insert(total.lat.end(), p.lat.begin(), p.lat.end());
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t scale = 1;
+  if (argc > 1) scale = std::size_t(std::max(1, std::atoi(argv[1])));
+
+  Env env;
+  core::ShardedOakServer oak(env.universe, "busy.com", {}, 4);
+  wire::WireConfig wc;
+  wire::Server srv(oak, wc);
+  srv.start();
+  const std::uint16_t port = srv.port();
+
+  const std::size_t kThreads = 16;
+  const double peak_s = std::max(2.0 / double(scale), 1.0);
+  const double point_s = std::max(3.0 / double(scale), 1.0);
+  const double soak_s = std::max(20.0 / double(scale), 4.0);
+
+  // --- Peak: closed-loop burst. The number itself only anchors the sweep.
+  std::printf("load_wire: measuring closed-loop peak (%.1fs)...\n", peak_s);
+  RunStats peak = run_load(port, env.report, 0.0, peak_s, kThreads);
+  const double peak_rps = std::max(peak.goodput(), 100.0);
+  std::printf("  peak goodput %.0f req/s (%llu ok, %llu shed, %llu err)\n",
+              peak_rps, (unsigned long long)peak.ok,
+              (unsigned long long)peak.shed, (unsigned long long)peak.err);
+
+  // --- Open-loop sweep.
+  const double fracs[] = {0.25, 0.5, 1.0, 2.0};
+  struct Point {
+    double frac, rate, goodput, shed_frac, p50, p99;
+    std::uint64_t sent, ok, shed, err, s5xx;
+  };
+  std::vector<Point> points;
+  for (double f : fracs) {
+    const double rate = f * peak_rps;
+    RunStats s = run_load(port, env.report, rate, point_s, kThreads);
+    Point p{f,      rate,
+            s.goodput(),
+            s.sent ? double(s.shed) / double(s.sent) : 0.0,
+            s.pct(0.50),
+            s.pct(0.99),
+            s.sent, s.ok, s.shed, s.err, s.s5xx};
+    points.push_back(p);
+    std::printf(
+        "  %.2fx: offered %.0f/s -> goodput %.0f/s, shed %.1f%%, "
+        "p50 %.1fms p99 %.1fms (%llu err, %llu 5xx)\n",
+        f, rate, p.goodput, 100 * p.shed_frac, 1e3 * p.p50, 1e3 * p.p99,
+        (unsigned long long)s.err, (unsigned long long)s.s5xx);
+  }
+
+  double best_goodput = 0.0;
+  for (const Point& p : points) best_goodput = std::max(best_goodput, p.goodput);
+  const Point& half = points[1];      // 0.5x
+  const Point& overload = points.back();  // 2.0x
+
+  // --- Soak at 0.5x: steady-state RSS drift. The baseline is taken after a
+  // warmup run so first-touch allocations (arena blocks, queue capacities,
+  // allocator fragmentation plateau) don't masquerade as per-request drift;
+  // the soak itself records no latency samples so the harness adds nothing
+  // to the measurement.
+  const double warmup_s = std::max(soak_s / 4.0, 2.0);
+  std::printf("load_wire: soak warmup at 0.5x for %.0fs...\n", warmup_s);
+  run_load(port, env.report, 0.5 * peak_rps, warmup_s, kThreads, false);
+  const std::size_t rss_before = rss_bytes();
+  std::printf("load_wire: soak at 0.5x for %.0fs (rss %.1f MB)...\n", soak_s,
+              rss_before / 1048576.0);
+  RunStats soak =
+      run_load(port, env.report, 0.5 * peak_rps, soak_s, kThreads, false);
+  const std::size_t rss_after = rss_bytes();
+  const double rss_drift =
+      rss_before ? double(rss_after) / double(rss_before) : 1.0;
+  std::printf("  soak: %llu ok, %llu err; rss %.1f -> %.1f MB (%.3fx)\n",
+              (unsigned long long)soak.ok, (unsigned long long)soak.err,
+              rss_before / 1048576.0, rss_after / 1048576.0, rss_drift);
+
+  srv.stop();
+  const auto snap = srv.metrics_snapshot();
+
+  const std::uint64_t total_5xx =
+      peak.s5xx + overload.s5xx + half.s5xx + points[0].s5xx +
+      points[2].s5xx + soak.s5xx;
+  const bool gate_goodput = overload.goodput >= 0.8 * best_goodput;
+  const bool gate_p99 = half.p99 <= 0.25;  // 250 ms, uncongested regime
+  const bool gate_rss = rss_drift <= 1.1;
+  const bool gate_5xx = total_5xx == 0 &&
+                        snap.counter("oak_wire_responses_5xx_total") == 0;
+  const bool pass = gate_goodput && gate_p99 && gate_rss && gate_5xx;
+
+  // --- Merge into BENCH_wire.json.
+  util::JsonObject root;
+  {
+    std::ifstream in("BENCH_wire.json");
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      try {
+        root = util::Json::parse(ss.str()).as_object();
+      } catch (const std::exception&) {
+        root.clear();
+      }
+    }
+  }
+  util::JsonObject load;
+  load["scale"] = scale;
+  load["client_threads"] = kThreads;
+  load["peak_goodput_rps"] = peak_rps;
+  util::JsonArray sweep;
+  for (const Point& p : points) {
+    util::JsonObject o;
+    o["offered_x_peak"] = p.frac;
+    o["offered_rps"] = p.rate;
+    o["goodput_rps"] = p.goodput;
+    o["shed_fraction"] = p.shed_frac;
+    o["p50_ms"] = 1e3 * p.p50;
+    o["p99_ms"] = 1e3 * p.p99;
+    o["sent"] = p.sent;
+    o["ok"] = p.ok;
+    o["shed"] = p.shed;
+    o["errors"] = p.err;
+    sweep.push_back(util::Json(std::move(o)));
+  }
+  load["sweep"] = std::move(sweep);
+  auto gate = [](bool ok, double value, double required,
+                 const std::string& direction) {
+    util::JsonObject g;
+    g["value"] = value;
+    g["required"] = required;
+    g["direction"] = direction;
+    g["status"] = std::string(ok ? "pass" : "fail");
+    return util::Json(std::move(g));
+  };
+  util::JsonObject lgates;
+  lgates["overload_goodput_vs_best"] =
+      gate(gate_goodput,
+           best_goodput > 0 ? overload.goodput / best_goodput : 0.0, 0.8,
+           "at_least");
+  lgates["p99_at_half_load_ms"] = gate(gate_p99, 1e3 * half.p99, 250.0,
+                                       "at_most");
+  lgates["responses_5xx"] = gate(gate_5xx, double(total_5xx), 0.0, "at_most");
+  load["gates"] = std::move(lgates);
+  load["status"] =
+      std::string(gate_goodput && gate_p99 && gate_5xx ? "pass" : "fail");
+  root["load"] = std::move(load);
+
+  util::JsonObject soak_o;
+  soak_o["duration_s"] = soak.duration_s;
+  soak_o["offered_rps"] = 0.5 * peak_rps;
+  soak_o["goodput_rps"] = soak.goodput();
+  soak_o["requests_ok"] = soak.ok;
+  soak_o["rss_before_bytes"] = rss_before;
+  soak_o["rss_after_bytes"] = rss_after;
+  soak_o["rss_drift"] = rss_drift;
+  util::JsonObject sgates;
+  sgates["rss_drift"] = gate(gate_rss, rss_drift, 1.1, "at_most");
+  soak_o["gates"] = std::move(sgates);
+  soak_o["status"] = std::string(gate_rss ? "pass" : "fail");
+  root["soak"] = std::move(soak_o);
+
+  std::ofstream("BENCH_wire.json")
+      << util::Json(root).dump_pretty(2) << "\n";
+
+  std::printf("gate overload_goodput: %.2f of best (need >= 0.80)  [%s]\n",
+              best_goodput > 0 ? overload.goodput / best_goodput : 0.0,
+              gate_goodput ? "PASS" : "FAIL");
+  std::printf("gate p99@0.5x: %.1f ms (need <= 250)  [%s]\n", 1e3 * half.p99,
+              gate_p99 ? "PASS" : "FAIL");
+  std::printf("gate soak rss drift: %.3fx (need <= 1.10)  [%s]\n", rss_drift,
+              gate_rss ? "PASS" : "FAIL");
+  std::printf("gate 5xx: %llu (need 0)  [%s]\n",
+              (unsigned long long)total_5xx, gate_5xx ? "PASS" : "FAIL");
+  std::printf("load_wire: %s (wrote BENCH_wire.json)\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

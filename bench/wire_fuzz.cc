@@ -1,0 +1,363 @@
+// Wire fuzz harness: a seed-deterministic malformed-input corpus driven
+// through a live oak::wire::Server over real sockets.
+//
+// The contract being gated (ISSUE robustness criteria):
+//   * the server never crashes or leaks, whatever the bytes (run under
+//     ASan in CI — the ci wire-fuzz job);
+//   * every malformed input is answered with a 4xx or a clean close —
+//     never a 5xx, never a hang past the deadlines;
+//   * known smuggling/framing attacks get the specific 4xx the parser
+//     contract promises.
+//
+// Corpus families (≥ 10k cases total at scale 1):
+//   truncation   every-byte prefixes of valid requests (shutdown_write
+//                after the prefix, so the server sees EOF, not a stall)
+//   bitflip      random single/multi bit flips in valid requests
+//   mutate       random insert/delete/overwrite of bytes
+//   framing      structured attacks: oversized lines/headers/bodies,
+//                duplicate or non-numeric Content-Length, Transfer-Encoding,
+//                CRLF injection, obs-fold, bare LF
+//   garbage      pure random bytes, random lengths
+//   pipeline     one valid request followed by garbage on the same conn
+//
+// Usage: wire_fuzz [scale [seed]] — scale divides the corpus (CI smoke
+// uses a larger divisor); seed makes every run reproducible.
+//
+// Writes/updates the "fuzz" section of BENCH_wire.json; exit 0 iff every
+// gate passes.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "browser/report.h"
+#include "core/sharded_server.h"
+#include "page/site.h"
+#include "util/json.h"
+#include "wire/client.h"
+#include "wire/server.h"
+
+namespace {
+
+using namespace oak;
+
+struct Env {
+  page::WebUniverse universe{net::NetworkConfig{.seed = 7, .horizon_s = 0}};
+  page::Site site;
+  std::string report;
+
+  Env() {
+    net::Network& net = universe.network();
+    net::ServerId origin = net.add_server(net::ServerConfig{.name = "origin"});
+    universe.dns().bind("busy.com", net.server(origin).addr());
+    net::ServerId cdn = net.add_server(net::ServerConfig{});
+    universe.dns().bind("x0.net", net.server(cdn).addr());
+
+    page::SiteBuilder b(universe, "busy.com", origin);
+    b.add_direct("x0.net", "/o.js", html::RefKind::kScript, 9000,
+                 page::Category::kCdn);
+    site = b.finish();
+
+    browser::PerfReport r;
+    r.page_url = site.index_url();
+    r.entries.push_back(
+        {site.index_url(), "busy.com", "10.0.0.1", 4000, 0, 0.09});
+    r.entries.push_back({"http://x0.net/o.js", "x0.net",
+                         net.server(cdn).addr().to_string(), 9000, 0.1, 4.0});
+    report = r.serialize();
+  }
+};
+
+// What one corpus case did to its connection.
+struct Outcome {
+  std::vector<int> statuses;  // every response parsed off the wire
+  bool clean = false;         // EOF reached within the read budget
+  double elapsed_s = 0.0;
+};
+
+// Send exact bytes, half-close, then read whatever comes back until EOF.
+// The timeout is the hang detector: the server owes either responses or a
+// close, and with the client's FIN already delivered it must not sit.
+Outcome drive(std::uint16_t port, const std::string& bytes,
+              double timeout_s) {
+  Outcome out;
+  const auto start = std::chrono::steady_clock::now();
+  wire::BlockingClient cli;
+  if (!cli.connect("127.0.0.1", port, timeout_s)) return out;
+  cli.send_raw(bytes);  // ignore failures: the server may already have RST
+  cli.shutdown_write();
+
+  std::string wire = cli.read_all();
+  out.elapsed_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  out.clean = out.elapsed_s < timeout_s * 0.9;
+
+  // Parse response statuses out of the byte stream (responses are
+  // well-formed by construction — the server wrote them).
+  std::size_t pos = 0;
+  while (pos + 12 <= wire.size() && wire.compare(pos, 5, "HTTP/") == 0) {
+    out.statuses.push_back(std::atoi(wire.c_str() + pos + 9));
+    const std::size_t head_end = wire.find("\r\n\r\n", pos);
+    if (head_end == std::string::npos) break;
+    std::size_t body_len = 0;
+    const std::size_t cl = wire.find("Content-Length: ", pos);
+    if (cl != std::string::npos && cl < head_end) {
+      body_len = std::size_t(std::atoll(wire.c_str() + cl + 16));
+    }
+    pos = head_end + 4 + body_len;
+  }
+  return out;
+}
+
+std::string rand_bytes(std::mt19937_64& rng, std::size_t n) {
+  std::string s(n, '\0');
+  for (char& c : s) c = char(rng() & 0xff);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t scale = 1;
+  if (argc > 1) scale = std::size_t(std::max(1, std::atoi(argv[1])));
+  const std::uint64_t seed =
+      (argc > 2) ? std::strtoull(argv[2], nullptr, 0) : 20260808ull;
+  std::mt19937_64 rng(seed);
+
+  Env env;
+  core::ShardedOakServer oak(env.universe, "busy.com", {}, 4);
+  wire::WireConfig wc;
+  wc.worker_threads = 2;
+  // Short deadlines: the fuzz client half-closes, so nothing should ever
+  // wait these out — they exist to bound a bug, not the happy path.
+  wc.header_deadline_s = 2.0;
+  wc.idle_deadline_s = 2.0;
+  wc.write_deadline_s = 2.0;
+  wire::Server srv(oak, wc);
+  srv.start();
+  const std::uint16_t port = srv.port();
+  const double kReadBudget = 5.0;
+
+  // --- Seeds: valid requests of each interesting shape.
+  const std::string host = "busy.com";
+  const std::vector<std::string> seeds = {
+      "GET " + env.site.index_path + " HTTP/1.1\r\nHost: " + host +
+          "\r\n\r\n",
+      "POST /oak/report HTTP/1.1\r\nHost: " + host +
+          "\r\nContent-Length: " + std::to_string(env.report.size()) +
+          "\r\n\r\n" + env.report,
+      "HEAD " + env.site.index_path + " HTTP/1.1\r\nHost: " + host +
+          "\r\nAccept: */*\r\nUser-Agent: fuzz\r\n\r\n",
+      "GET /metrics HTTP/1.1\r\nHost: " + host + "\r\n\r\n",
+      "DELETE /admin/rules/7 HTTP/1.1\r\nHost: " + host + "\r\n\r\n",
+  };
+
+  // --- Structured framing attacks with the status the parser owes.
+  struct Framing {
+    std::string wire;
+    int expect;  // 0 = any 4xx or clean close
+  };
+  std::vector<Framing> framing = {
+      {"GET / HTTP/1.1\nHost: h\r\n\r\n", 400},               // bare LF
+      {"GET / HTTP/1.1\r\nHost : h\r\n\r\n", 400},            // space-colon
+      {"GET / HTTP/1.1\r\nHost: h\r\n cont\r\n\r\n", 400},    // obs-fold
+      {"GET / HTTP/2.0\r\nHost: h\r\n\r\n", 400},             // bad version
+      {"GET http://h/ HTTP/1.1\r\nHost: h\r\n\r\n", 400},     // absolute-form
+      {"GET / HTTP/1.1\r\n\r\n", 400},                        // no Host
+      {"GET / HTTP/1.1\r\nHost: a\r\nHost: b\r\n\r\n", 400},  // dup Host
+      {"POST /oak/report HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: "
+       "chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+       400},  // TE smuggle
+      {"POST /oak/report HTTP/1.1\r\nHost: h\r\nContent-Length: "
+       "4\r\nContent-Length: 16\r\n\r\nbody",
+       400},  // dup CL
+      {"POST /oak/report HTTP/1.1\r\nHost: h\r\nContent-Length: 4, "
+       "4\r\n\r\nbody",
+       400},  // CL list
+      {"POST /oak/report HTTP/1.1\r\nHost: h\r\nContent-Length: "
+       "-1\r\n\r\n",
+       400},  // negative CL
+      {"POST /oak/report HTTP/1.1\r\nHost: h\r\nContent-Length: "
+       "18446744073709551617\r\n\r\n",
+       400},  // CL overflow
+      {"POST /oak/report HTTP/1.1\r\nHost: h\r\nContent-Length: "
+       "9999999\r\n\r\n",
+       413},  // over body cap
+      {"GET /" + std::string(64 * 1024, 'a') + " HTTP/1.1\r\nHost: h\r\n\r\n",
+       414},  // line cap
+      {"GET / HTTP/1.1\r\nHost: h\r\nX: " + std::string(64 * 1024, 'v') +
+           "\r\n\r\n",
+       431},  // header-bytes cap
+      {"GET / HTTP/1.1\r\nHost: h\r\nEvil: a\rb\r\n\r\n", 400},  // stray CR
+      {"GET / HTTP/1.1\r\nHost: h\r\nX: a\x01z\r\n\r\n", 400},   // ctl byte
+  };
+  {  // header-count cap
+    std::string wire = "GET / HTTP/1.1\r\nHost: h\r\n";
+    for (int i = 0; i < 200; ++i) wire += "X" + std::to_string(i) + ": v\r\n";
+    framing.push_back({wire + "\r\n", 431});
+  }
+
+  std::size_t cases = 0, truncation_cases = 0;
+  std::size_t resp_2xx = 0, resp_4xx = 0, resp_5xx = 0;
+  std::size_t clean_closes = 0, hangs = 0, misclassified = 0;
+
+  auto account = [&](const Outcome& o) {
+    ++cases;
+    if (!o.clean) ++hangs;
+    bool any = false;
+    for (int s : o.statuses) {
+      any = true;
+      if (s >= 200 && s < 300) ++resp_2xx;
+      else if (s >= 400 && s < 500) ++resp_4xx;
+      else if (s >= 500) ++resp_5xx;
+    }
+    if (!any && o.clean) ++clean_closes;
+  };
+
+  // --- Family 1: every-byte truncations of every seed.
+  for (const std::string& s : seeds) {
+    for (std::size_t cut = 0; cut < s.size(); ++cut) {
+      account(drive(port, s.substr(0, cut), kReadBudget));
+      ++truncation_cases;
+    }
+  }
+
+  // --- Family 2: structured framing attacks (exact classification gate).
+  for (const Framing& f : framing) {
+    const Outcome o = drive(port, f.wire, kReadBudget);
+    account(o);
+    const int got = o.statuses.empty() ? 0 : o.statuses.front();
+    if (f.expect != 0 && got != f.expect) {
+      ++misclassified;
+      std::printf("MISCLASSIFIED (want %d, got %d): %.60s\n", f.expect, got,
+                  f.wire.c_str());
+    }
+  }
+
+  // --- Families 3-6: randomized, seed-deterministic.
+  const std::size_t random_cases =
+      std::max<std::size_t>(10'000 / scale, 200);
+  for (std::size_t i = 0; i < random_cases; ++i) {
+    std::string wire = seeds[rng() % seeds.size()];
+    switch (rng() % 4) {
+      case 0: {  // bit flips
+        const int flips = 1 + int(rng() % 8);
+        for (int f = 0; f < flips; ++f) {
+          wire[rng() % wire.size()] ^= char(1u << (rng() % 8));
+        }
+        break;
+      }
+      case 1: {  // insert/delete/overwrite
+        const int edits = 1 + int(rng() % 6);
+        for (int e = 0; e < edits; ++e) {
+          const std::size_t at = rng() % (wire.size() + 1);
+          switch (rng() % 3) {
+            case 0:
+              wire.insert(at, 1, char(rng() & 0xff));
+              break;
+            case 1:
+              if (at < wire.size()) wire.erase(at, 1);
+              break;
+            default:
+              if (at < wire.size()) wire[at] = char(rng() & 0xff);
+              break;
+          }
+        }
+        break;
+      }
+      case 2:  // pure garbage
+        wire = rand_bytes(rng, 1 + rng() % 2048);
+        break;
+      default:  // valid request, garbage pipelined behind it
+        wire += rand_bytes(rng, 1 + rng() % 512);
+        break;
+    }
+    account(drive(port, wire, kReadBudget));
+  }
+
+  // --- Shut down and check the server's own accounting.
+  const auto pre_drain = srv.metrics_snapshot();
+  srv.stop();
+  const auto snap = srv.metrics_snapshot();
+  const double active = snap.gauge("oak_wire_conns_active");
+  const std::uint64_t accepted = snap.counter("oak_wire_conns_accepted_total");
+  const std::uint64_t closed = snap.counter("oak_wire_conns_closed_total");
+
+  const bool gate_cases = cases >= std::max<std::size_t>(10'000 / scale, 200);
+  const bool gate_5xx = resp_5xx == 0;
+  const bool gate_hangs = hangs == 0;
+  const bool gate_class = misclassified == 0;
+  const bool gate_conns = active == 0.0 && closed == accepted;
+  const bool pass =
+      gate_cases && gate_5xx && gate_hangs && gate_class && gate_conns;
+
+  // --- Merge into BENCH_wire.json (load_wire owns the other sections).
+  util::JsonObject root;
+  {
+    std::ifstream in("BENCH_wire.json");
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      try {
+        root = util::Json::parse(ss.str()).as_object();
+      } catch (const std::exception&) {
+        root.clear();
+      }
+    }
+  }
+  util::JsonObject fuzz;
+  fuzz["seed"] = seed;
+  fuzz["scale"] = scale;
+  fuzz["cases"] = cases;
+  fuzz["truncation_cases"] = truncation_cases;
+  fuzz["framing_cases"] = framing.size();
+  fuzz["responses_2xx"] = resp_2xx;
+  fuzz["responses_4xx"] = resp_4xx;
+  fuzz["responses_5xx"] = resp_5xx;
+  fuzz["clean_closes"] = clean_closes;
+  fuzz["hangs"] = hangs;
+  fuzz["misclassified"] = misclassified;
+  fuzz["parse_errors_counted"] =
+      pre_drain.counter("oak_wire_parse_errors_total");
+  fuzz["conns_accepted"] = accepted;
+  fuzz["conns_closed"] = closed;
+  util::JsonObject gates;
+  auto gate = [](bool ok, const std::string& why) {
+    util::JsonObject g;
+    g["status"] = std::string(ok ? "pass" : "fail");
+    g["requirement"] = why;
+    return util::Json(std::move(g));
+  };
+  gates["corpus_size"] = gate(gate_cases, ">= 10000/scale cases");
+  gates["no_5xx"] = gate(gate_5xx, "parse failures never answer 5xx");
+  gates["no_hangs"] = gate(gate_hangs, "every conn resolves before deadline");
+  gates["classification"] =
+      gate(gate_class, "known framing attacks get their exact 4xx");
+  gates["conn_accounting"] =
+      gate(gate_conns, "every accepted conn closed, none leaked");
+  fuzz["gates"] = std::move(gates);
+  fuzz["status"] = std::string(pass ? "pass" : "fail");
+  root["fuzz"] = std::move(fuzz);
+  std::ofstream("BENCH_wire.json")
+      << util::Json(root).dump_pretty(2) << "\n";
+
+  std::printf(
+      "\nwire_fuzz: %zu cases (%zu truncations, %zu framing) -> "
+      "%zu x 2xx, %zu x 4xx, %zu x 5xx, %zu clean closes, %zu hangs, "
+      "%zu misclassified\n",
+      cases, truncation_cases, framing.size(), resp_2xx, resp_4xx, resp_5xx,
+      clean_closes, hangs, misclassified);
+  std::printf("conns: accepted %llu closed %llu active %.0f\n",
+              (unsigned long long)accepted, (unsigned long long)closed,
+              active);
+  std::printf("wire_fuzz: %s (wrote BENCH_wire.json)\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

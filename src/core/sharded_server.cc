@@ -311,6 +311,7 @@ http::Response ShardedOakServer::handle(const http::Request& req, double now) {
         });
       }
       shard.queue.push_back(&op);
+      shard.q_pending.store(shard.queue.size(), std::memory_order_relaxed);
       if (shard.q_enqueued != nullptr) shard.q_enqueued->inc();
       if (shard.q_depth != nullptr) {
         shard.q_depth->set(static_cast<double>(shard.queue.size()));
@@ -393,6 +394,7 @@ void ShardedOakServer::combine(std::size_t shard_index, Shard& shard,
                  shard.queue.begin() + static_cast<std::ptrdiff_t>(n));
     shard.queue.erase(shard.queue.begin(),
                       shard.queue.begin() + static_cast<std::ptrdiff_t>(n));
+    shard.q_pending.store(shard.queue.size(), std::memory_order_relaxed);
     if (shard.q_depth != nullptr) {
       shard.q_depth->set(static_cast<double>(shard.queue.size()));
     }
@@ -418,6 +420,25 @@ void ShardedOakServer::combine(std::size_t shard_index, Shard& shard,
   }
   shard.combiner_active = false;
   if (!shard.queue.empty()) shard.qcv.notify_all();
+}
+
+double ShardedOakServer::ingest_pressure() const {
+  if (!cfg_.ingest_queue.enabled || cfg_.ingest_queue.depth == 0) return 0.0;
+  std::size_t worst = 0;
+  for (const auto& shard : shards_) {
+    worst = std::max(worst,
+                     shard->q_pending.load(std::memory_order_relaxed));
+  }
+  return std::min(1.0, static_cast<double>(worst) /
+                           static_cast<double>(cfg_.ingest_queue.depth));
+}
+
+std::size_t ShardedOakServer::ingest_queue_pending() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->q_pending.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void ShardedOakServer::install() {

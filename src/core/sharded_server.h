@@ -115,6 +115,14 @@ class ShardedOakServer {
   };
   ShardStats shard_stats() const;
 
+  // --- Backpressure signal (wire front-end admission control).
+  // Fraction [0, 1] of the fullest shard's ingest queue: 0.0 idle, 1.0 when
+  // some shard's unclaimed queue has reached its depth bound and producers
+  // are about to block. Lock-free; always 0 when the queue is disabled.
+  double ingest_pressure() const;
+  // Unclaimed queued ops summed across shards (diagnostics/metrics).
+  std::size_t ingest_queue_pending() const;
+
   // Escape hatch for single-threaded phases (setup, assertions in tests).
   // Callers must guarantee no concurrent handle() calls while using it.
   OakServer& shard(std::size_t i) { return *shards_[i]->server; }
@@ -157,6 +165,10 @@ class ShardedOakServer {
     std::condition_variable qcv;
     std::vector<PendingOp*> queue;  // unclaimed ops, enqueue order
     bool combiner_active = false;
+    // Mirrors queue.size(), updated under qmu but readable lock-free: the
+    // wire front-end polls it per request for admission control and must
+    // never touch qmu on that path.
+    std::atomic<std::size_t> q_pending{0};
 
     // Queue health instruments (registered in this shard's server registry
     // so metrics_snapshot() merges them fleet-wide). Null when metrics or

@@ -4,6 +4,15 @@
 
 namespace oak::http {
 
+namespace {
+
+constexpr std::size_t entry_wire_size(std::string_view name,
+                                      std::string_view value) {
+  return name.size() + 2 + value.size() + 2;  // "Name: value\r\n"
+}
+
+}  // namespace
+
 bool header_name_equal(std::string_view a, std::string_view b) {
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -15,18 +24,38 @@ bool header_name_equal(std::string_view a, std::string_view b) {
   return true;
 }
 
-void Headers::add(std::string_view name, std::string_view value) {
-  entries_.emplace_back(std::string(name), std::string(value));
+bool Headers::valid_entry(std::string_view name, std::string_view value) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (c == '\r' || c == '\n' || c == '\0') return false;
+  }
+  for (char c : value) {
+    if (c == '\r' || c == '\n' || c == '\0') return false;
+  }
+  return true;
 }
 
-void Headers::set(std::string_view name, std::string_view value) {
+bool Headers::add(std::string_view name, std::string_view value) {
+  if (!valid_entry(name, value)) return false;
+  if (entries_.size() >= kMaxCount) return false;
+  const std::size_t added = entry_wire_size(name, value);
+  if (wire_size_ + added > kMaxWireBytes) return false;
+  entries_.emplace_back(std::string(name), std::string(value));
+  wire_size_ += added;
+  return true;
+}
+
+bool Headers::set(std::string_view name, std::string_view value) {
+  if (!valid_entry(name, value)) return false;
   remove(name);
-  add(name, value);
+  return add(name, value);
 }
 
 void Headers::remove(std::string_view name) {
   std::erase_if(entries_, [&](const auto& e) {
-    return header_name_equal(e.first, name);
+    if (!header_name_equal(e.first, name)) return false;
+    wire_size_ -= entry_wire_size(e.first, e.second);
+    return true;
   });
 }
 
@@ -47,14 +76,6 @@ std::vector<std::string> Headers::get_all(std::string_view name) const {
 
 bool Headers::has(std::string_view name) const {
   return get(name).has_value();
-}
-
-std::size_t Headers::wire_size() const {
-  std::size_t n = 0;
-  for (const auto& [name, value] : entries_) {
-    n += name.size() + 2 + value.size() + 2;  // "Name: value\r\n"
-  }
-  return n;
 }
 
 }  // namespace oak::http

@@ -1,4 +1,11 @@
 // HTTP header collection: ordered, case-insensitive names, repeatable.
+//
+// Hardened for the wire front-end (src/wire): the collection enforces its
+// own growth caps and rejects names/values carrying CR/LF/NUL at add()
+// time, so a response assembled from attacker-influenced strings can never
+// smuggle an extra header or split a response — even if a caller above
+// forgot to validate. The wire parser applies tighter, configurable limits
+// first; these are the backstop invariants of the type itself.
 #pragma once
 
 #include <optional>
@@ -11,11 +18,25 @@ namespace oak::http {
 
 class Headers {
  public:
+  // Backstop caps enforced by add()/set(). The wire parser's own limits
+  // (wire::ParserLimits) are tighter and configurable; these bound what any
+  // code path — including response assembly — can accumulate.
+  static constexpr std::size_t kMaxCount = 256;
+  static constexpr std::size_t kMaxWireBytes = 256 * 1024;
+
   // Append a header (does not replace existing ones with the same name).
-  void add(std::string_view name, std::string_view value);
-  // Replace all headers with this name by a single one.
-  void set(std::string_view name, std::string_view value);
+  // Returns false — and leaves the collection untouched — when the header
+  // is invalid (empty name, or CR/LF/NUL anywhere in name or value: the
+  // response-splitting class) or when accepting it would exceed kMaxCount
+  // entries or kMaxWireBytes of serialized size.
+  bool add(std::string_view name, std::string_view value);
+  // Replace all headers with this name by a single one. Same validation as
+  // add(); on rejection existing entries with the name are left in place.
+  bool set(std::string_view name, std::string_view value);
   void remove(std::string_view name);
+
+  // Would add() accept this pair? (Validation only — ignores the caps.)
+  static bool valid_entry(std::string_view name, std::string_view value);
 
   // First value with this name.
   std::optional<std::string> get(std::string_view name) const;
@@ -28,11 +49,12 @@ class Headers {
   std::size_t size() const { return entries_.size(); }
 
   // Serialized size in bytes ("Name: value\r\n" per header) — contributes to
-  // report-overhead accounting.
-  std::size_t wire_size() const;
+  // report-overhead accounting. Maintained incrementally; O(1).
+  std::size_t wire_size() const { return wire_size_; }
 
  private:
   std::vector<std::pair<std::string, std::string>> entries_;
+  std::size_t wire_size_ = 0;
 };
 
 // Case-insensitive ASCII equality for header names.

@@ -7,9 +7,23 @@ namespace oak::http {
 std::string to_string(Method m) {
   switch (m) {
     case Method::kGet: return "GET";
+    case Method::kHead: return "HEAD";
     case Method::kPost: return "POST";
+    case Method::kPut: return "PUT";
+    case Method::kDelete: return "DELETE";
   }
-  return "?";
+  // Unreachable for in-range enumerators; keeps -Wreturn-type quiet for
+  // out-of-range casts without reintroducing a routable "?" method.
+  throw std::invalid_argument("invalid http::Method");
+}
+
+std::optional<Method> parse_method(std::string_view token) {
+  if (token == "GET") return Method::kGet;
+  if (token == "HEAD") return Method::kHead;
+  if (token == "POST") return Method::kPost;
+  if (token == "PUT") return Method::kPut;
+  if (token == "DELETE") return Method::kDelete;
+  return std::nullopt;
 }
 
 Request Request::get(const std::string& url) {
@@ -49,6 +63,32 @@ Response Response::html(std::string body) {
   r.headers.set("Content-Type", "text/html");
   r.body = std::move(body);
   return r;
+}
+
+Response Response::json(std::string body, int status) {
+  Response r;
+  r.status = status;
+  r.headers.set("Content-Type", "application/json");
+  r.body = std::move(body);
+  return r;
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 414: return "URI Too Long";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
 }
 
 }  // namespace oak::http

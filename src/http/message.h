@@ -1,17 +1,31 @@
 // HTTP request/response values exchanged between the simulated browser,
-// the Oak server and the backing web server.
+// the Oak server and the backing web server — and, since the wire
+// front-end (src/wire), between real sockets and the serving plane.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "http/headers.h"
 #include "util/url.h"
 
 namespace oak::http {
 
-enum class Method { kGet, kPost };
+// The methods the servers route. Anything else on the wire is a valid but
+// unsupported token: the front-end answers 405 with an Allow header listing
+// these (kAllowedMethods).
+enum class Method { kGet, kHead, kPost, kPut, kDelete };
 
+// Exhaustive — every enumerator renders; there is no "?" fallback.
 std::string to_string(Method m);
+
+// Map a wire token to the enum; nullopt for any unrecognized method.
+// Case-sensitive, as HTTP methods are.
+std::optional<Method> parse_method(std::string_view token);
+
+// The Allow header value advertising every routed method.
+inline constexpr const char* kAllowedMethods = "GET, HEAD, POST, PUT, DELETE";
 
 struct Request {
   Method method = Method::kGet;
@@ -34,7 +48,13 @@ struct Response {
   static Response not_found();
   static Response text(std::string body, int status = 200);
   static Response html(std::string body);
+  static Response json(std::string body, int status = 200);
 };
+
+// Canonical reason phrase for a status code ("OK", "Bad Request", ...);
+// "Status" for codes without one. The wire layer writes these on the
+// status line.
+const char* status_reason(int status);
 
 // Custom response header carrying type-2 aliases (paper §4.3): each value is
 // "<alternative-url> <default-url>", telling the browser a cached copy of the

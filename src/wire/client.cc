@@ -1,0 +1,208 @@
+#include "wire/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace oak::wire {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& ch : out) {
+    if (ch >= 'A' && ch <= 'Z') ch = static_cast<char>(ch - 'A' + 'a');
+  }
+  return out;
+}
+
+}  // namespace
+
+BlockingClient::~BlockingClient() { close(); }
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(other.fd_), buf_(std::move(other.buf_)), pos_(other.pos_) {
+  other.fd_ = -1;
+}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    buf_ = std::move(other.buf_);
+    pos_ = other.pos_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool BlockingClient::connect(const std::string& host, std::uint16_t port,
+                             double timeout_s) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return false;
+
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_s);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_s - double(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    close();
+    return false;
+  }
+  buf_.clear();
+  pos_ = 0;
+  return true;
+}
+
+bool BlockingClient::send_raw(std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void BlockingClient::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+bool BlockingClient::fill() {
+  char chunk[8 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF, timeout, or reset
+  }
+}
+
+std::optional<ClientResponse> BlockingClient::read_response(
+    bool head_request) {
+  // Accumulate the head.
+  std::size_t head_end = std::string::npos;
+  for (;;) {
+    head_end = buf_.find("\r\n\r\n", pos_);
+    if (head_end != std::string::npos) break;
+    if (!fill()) return std::nullopt;
+  }
+  const std::string_view head =
+      std::string_view(buf_).substr(pos_, head_end - pos_);
+
+  ClientResponse resp;
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view status_line =
+      head.substr(0, line_end == std::string_view::npos ? head.size()
+                                                        : line_end);
+  if (status_line.size() < 12 || status_line.compare(0, 5, "HTTP/") != 0) {
+    return std::nullopt;
+  }
+  resp.status = std::atoi(std::string(status_line.substr(9, 3)).c_str());
+
+  std::size_t content_length = 0;
+  std::size_t cursor =
+      line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (cursor < head.size()) {
+    std::size_t eol = head.find("\r\n", cursor);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(cursor, eol - cursor);
+    cursor = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string name = lower(line.substr(0, colon));
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    resp.headers.add(name, value);
+    if (name == "content-length") {
+      content_length =
+          static_cast<std::size_t>(std::atoll(std::string(value).c_str()));
+    } else if (name == "connection") {
+      resp.keep_alive = lower(value).find("close") == std::string::npos;
+    }
+  }
+
+  pos_ = head_end + 4;
+  if (!head_request) {
+    while (buf_.size() - pos_ < content_length) {
+      if (!fill()) return std::nullopt;
+    }
+    resp.body = buf_.substr(pos_, content_length);
+    pos_ += content_length;
+  }
+  // Compact the consume buffer between responses.
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return resp;
+}
+
+std::string BlockingClient::read_all() {
+  while (fill()) {
+  }
+  std::string out = buf_.substr(pos_);
+  buf_.clear();
+  pos_ = 0;
+  return out;
+}
+
+std::optional<ClientResponse> BlockingClient::request(
+    const std::string& method, const std::string& target,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& body) {
+  std::string req = method + " " + target + " HTTP/1.1\r\n";
+  bool has_host = false;
+  for (const auto& [k, v] : headers) {
+    if (lower(k) == "host") has_host = true;
+    req += k + ": " + v + "\r\n";
+  }
+  if (!has_host) req += "Host: localhost\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  req += "\r\n";
+  req += body;
+  if (!send_raw(req)) return std::nullopt;
+  return read_response(method == "HEAD");
+}
+
+void BlockingClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+  pos_ = 0;
+}
+
+}  // namespace oak::wire

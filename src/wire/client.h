@@ -1,0 +1,77 @@
+// Minimal blocking HTTP/1.1 client for the wire tests and benches.
+//
+// Deliberately not a production client: it exists to poke the server with
+// exact bytes (send_raw + shutdown_write for fuzzing truncations), to parse
+// well-formed responses back (request/read_response for functional tests),
+// and nothing else. One connection per instance; keep-alive reuse works by
+// calling request() repeatedly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "http/headers.h"
+
+namespace oak::wire {
+
+struct ClientResponse {
+  int status = 0;
+  http::Headers headers;
+  std::string body;
+  bool keep_alive = true;
+};
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+
+  // Connect to host:port; false on failure. timeout_s bounds every
+  // subsequent read (SO_RCVTIMEO) and write (SO_SNDTIMEO).
+  bool connect(const std::string& host, std::uint16_t port,
+               double timeout_s = 5.0);
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Send exact bytes; false once the peer has reset the connection.
+  bool send_raw(std::string_view bytes);
+  // Half-close: tells the server EOF so fuzz truncations resolve
+  // immediately instead of waiting out the header deadline.
+  void shutdown_write();
+
+  // Parse one response off the socket (status line + headers +
+  // Content-Length body; HEAD responses via read_response(true)).
+  // nullopt on EOF/timeout/garbage.
+  std::optional<ClientResponse> read_response(bool head_request = false);
+
+  // Drain until EOF or timeout; returns whatever arrived (fuzz harness).
+  std::string read_all();
+
+  // Convenience: serialize a request (Host + Content-Length added), send,
+  // read one response.
+  std::optional<ClientResponse> request(
+      const std::string& method, const std::string& target,
+      const std::vector<std::pair<std::string, std::string>>& headers = {},
+      const std::string& body = "");
+
+  void close();
+
+ private:
+  // Buffered read of one byte chunk; false on EOF/timeout.
+  bool fill();
+
+  int fd_ = -1;
+  std::string buf_;      // bytes read but not yet consumed
+  std::size_t pos_ = 0;  // consume offset into buf_
+};
+
+}  // namespace oak::wire

@@ -1,0 +1,388 @@
+#include "wire/parser.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace oak::wire {
+
+namespace {
+
+// RFC 7230 token characters — the only bytes legal in a method or header
+// name. Everything else (including SP/HT, so "Name :" is caught here) is a
+// parse error.
+bool token_char(unsigned char c) {
+  if (std::isalnum(c)) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool token_string(std::string_view s) {
+  if (s.empty()) return false;
+  for (unsigned char c : s) {
+    if (!token_char(c)) return false;
+  }
+  return true;
+}
+
+// Printable ASCII, the only bytes we accept in a request target. No
+// controls, no spaces (the line split guarantees that), no DEL, and —
+// deliberately stricter than the RFC — no bytes ≥ 0x80.
+bool target_char(unsigned char c) { return c > 0x20 && c < 0x7f; }
+
+// Header value byte: HT, SP, visible ASCII, or obs-text (≥ 0x80). CR/LF
+// cannot appear (the line split consumed them); NUL and other controls are
+// rejected here.
+bool value_char(unsigned char c) {
+  return c == '\t' || (c >= 0x20 && c != 0x7f);
+}
+
+std::string_view trim_ows(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ascii_iequal(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+http::Request WireRequest::to_http(const std::string& client_ip) const {
+  http::Request r;
+  r.method = method.value_or(http::Method::kGet);
+  r.url.scheme = "http";
+  r.url.host = host;
+  r.url.path = path.empty() ? "/" : path;
+  r.url.query = query;
+  r.headers = headers;
+  r.body = body;
+  r.client_ip = client_ip;
+  return r;
+}
+
+RequestParser::RequestParser(ParserLimits limits) : limits_(limits) {
+  // Degenerate caps would make every request unparseable; clamp to sane
+  // floors so a mis-typed config fails loudly in review, not subtly here.
+  if (limits_.max_request_line < 32) limits_.max_request_line = 32;
+  if (limits_.max_header_bytes < 64) limits_.max_header_bytes = 64;
+  if (limits_.max_header_count == 0) limits_.max_header_count = 1;
+}
+
+void RequestParser::fail(int status, const char* reason) {
+  state_ = State::kError;
+  err_ = ParseError{status, reason};
+}
+
+void RequestParser::compact_buffer() {
+  if (consumed_ > (64u << 10) && consumed_ * 2 > buf_.size()) {
+    buf_.erase(0, consumed_);
+    scan_ -= consumed_;
+    line_start_ -= std::min(line_start_, consumed_);
+    head_start_ -= std::min(head_start_, consumed_);
+    consumed_ = 0;
+  }
+}
+
+RequestParser::State RequestParser::feed(std::string_view bytes) {
+  if (state_ == State::kError) return state_;
+  if (!bytes.empty()) {
+    // The buffer is bounded: head caps bound the pre-body phases, the body
+    // phase consumes at most max_body_bytes, and anything beyond the
+    // current request is pipelined input bounded by the next request's own
+    // caps as soon as reset() re-parses it. A peer that floods far past
+    // every cap without ever completing a request is cut by the caps
+    // themselves below.
+    buf_.append(bytes.data(), bytes.size());
+  }
+  if (state_ == State::kNeedMore) advance();
+  return state_;
+}
+
+void RequestParser::reset() {
+  if (state_ != State::kComplete) return;
+  req_ = WireRequest{};
+  state_ = State::kNeedMore;
+  phase_ = Phase::kLine;
+  header_count_ = 0;
+  body_needed_ = 0;
+  head_start_ = consumed_;
+  line_start_ = consumed_;
+  scan_ = consumed_;
+  compact_buffer();
+  advance();
+}
+
+void RequestParser::advance() {
+  while (state_ == State::kNeedMore) {
+    if (phase_ == Phase::kBody) {
+      const std::size_t have = buf_.size() - consumed_;
+      if (have < body_needed_) return;  // wait for more bytes
+      req_.body.assign(buf_, consumed_, static_cast<std::size_t>(body_needed_));
+      consumed_ += static_cast<std::size_t>(body_needed_);
+      body_needed_ = 0;
+      state_ = State::kComplete;
+      return;
+    }
+
+    // Line-oriented phases: find the next LF and demand a CRLF ending.
+    const char* base = buf_.data();
+    const char* nl = static_cast<const char*>(
+        std::memchr(base + scan_, '\n', buf_.size() - scan_));
+    if (nl == nullptr) {
+      // No newline yet — enforce the phase cap on the unterminated prefix
+      // so a peer cannot buffer unbounded garbage.
+      const std::size_t cap_start =
+          phase_ == Phase::kLine ? line_start_ : head_start_;
+      const std::size_t extent = buf_.size() - cap_start;
+      if (phase_ == Phase::kLine && extent > limits_.max_request_line) {
+        return fail(414, "request line too long");
+      }
+      if (phase_ == Phase::kHeaders && extent > limits_.max_header_bytes) {
+        return fail(431, "header block too large");
+      }
+      scan_ = buf_.size();
+      return;
+    }
+    const std::size_t nl_pos = static_cast<std::size_t>(nl - base);
+    if (nl_pos == line_start_ || buf_[nl_pos - 1] != '\r') {
+      return fail(400, "bare LF");
+    }
+    std::string_view line(base + line_start_, nl_pos - 1 - line_start_);
+    if (line.find('\r') != std::string_view::npos) {
+      return fail(400, "stray CR");
+    }
+
+    if (phase_ == Phase::kLine) {
+      if (line.empty()) {
+        // Robustness exception (RFC 7230 §3.5): ignore empty CRLFs before
+        // the request line — sloppy pipelining clients emit them.
+        consumed_ = nl_pos + 1;
+        line_start_ = consumed_;
+        scan_ = consumed_;
+        continue;
+      }
+      if (nl_pos + 1 - line_start_ > limits_.max_request_line) {
+        return fail(414, "request line too long");
+      }
+      if (!parse_request_line(line)) return;
+      req_.head_bytes = nl_pos + 1 - consumed_;
+      head_start_ = nl_pos + 1;
+      line_start_ = nl_pos + 1;
+      scan_ = nl_pos + 1;
+      phase_ = Phase::kHeaders;
+      continue;
+    }
+
+    // Phase::kHeaders.
+    if (nl_pos + 1 - head_start_ > limits_.max_header_bytes) {
+      return fail(431, "header block too large");
+    }
+    if (line.empty()) {
+      // Blank line: end of the header block.
+      req_.head_bytes += nl_pos + 1 - head_start_;
+      if (!finish_head()) return;
+      consumed_ = nl_pos + 1;
+      line_start_ = consumed_;
+      scan_ = consumed_;
+      phase_ = Phase::kBody;
+      continue;
+    }
+    if (!parse_header_line(line)) return;
+    line_start_ = nl_pos + 1;
+    scan_ = nl_pos + 1;
+  }
+}
+
+bool RequestParser::parse_request_line(std::string_view line) {
+  const std::size_t s1 = line.find(' ');
+  if (s1 == std::string_view::npos) {
+    fail(400, "malformed request line");
+    return false;
+  }
+  const std::size_t s2 = line.find(' ', s1 + 1);
+  if (s2 == std::string_view::npos ||
+      line.find(' ', s2 + 1) != std::string_view::npos) {
+    fail(400, "malformed request line");
+    return false;
+  }
+  const std::string_view method = line.substr(0, s1);
+  const std::string_view target = line.substr(s1 + 1, s2 - s1 - 1);
+  const std::string_view version = line.substr(s2 + 1);
+
+  if (!token_string(method)) {
+    fail(400, "malformed method");
+    return false;
+  }
+  if (target.empty() || target[0] != '/') {
+    fail(400, "target not origin-form");
+    return false;
+  }
+  for (unsigned char c : target) {
+    if (!target_char(c)) {
+      fail(400, "control byte in target");
+      return false;
+    }
+  }
+  if (version == "HTTP/1.1") {
+    req_.minor_version = 1;
+  } else if (version == "HTTP/1.0") {
+    req_.minor_version = 0;
+  } else {
+    // Includes HTTP/0.9, HTTP/2-style prefaces and garbage. Deliberately
+    // 400, not 505: the fuzz gate demands every parse failure stay in 4xx.
+    fail(400, "unsupported version");
+    return false;
+  }
+
+  req_.method_text.assign(method);
+  req_.method = http::parse_method(method);
+  req_.target.assign(target);
+  const std::size_t q = target.find('?');
+  req_.path.assign(target.substr(0, q));
+  req_.query.assign(q == std::string_view::npos ? std::string_view{}
+                                                : target.substr(q + 1));
+  req_.keep_alive = req_.minor_version >= 1;
+  return true;
+}
+
+bool RequestParser::parse_header_line(std::string_view line) {
+  if (line.front() == ' ' || line.front() == '\t') {
+    // Obsolete line folding — a classic smuggling vector; rejected.
+    fail(400, "obs-fold continuation");
+    return false;
+  }
+  if (++header_count_ > limits_.max_header_count) {
+    fail(431, "too many headers");
+    return false;
+  }
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    fail(400, "malformed header");
+    return false;
+  }
+  const std::string_view name = line.substr(0, colon);
+  if (!token_string(name)) {
+    // Also catches "Name : value" — whitespace before the colon changes
+    // framing interpretation across proxies.
+    fail(400, "malformed header name");
+    return false;
+  }
+  const std::string_view value = trim_ows(line.substr(colon + 1));
+  for (unsigned char c : value) {
+    if (!value_char(c)) {
+      fail(400, "control byte in header value");
+      return false;
+    }
+  }
+  if (!req_.headers.add(name, value)) {
+    // The collection's backstop caps — unreachable while ParserLimits are
+    // tighter, but a config raising them must not bypass the type's caps.
+    fail(431, "header block too large");
+    return false;
+  }
+  return true;
+}
+
+bool RequestParser::finish_head() {
+  // Transfer-Encoding: this origin does not chunk. Its mere presence —
+  // alone or next to Content-Length — is the request-smuggling class, and
+  // is rejected before any framing decision is made.
+  if (req_.headers.has("Transfer-Encoding")) {
+    fail(400, "transfer-encoding unsupported");
+    return false;
+  }
+
+  // Host: exactly one for HTTP/1.1; optional (but never duplicate) for 1.0.
+  const auto hosts = req_.headers.get_all("Host");
+  if (hosts.size() > 1) {
+    fail(400, "duplicate host");
+    return false;
+  }
+  if (hosts.empty() && req_.minor_version >= 1) {
+    fail(400, "missing host");
+    return false;
+  }
+  if (!hosts.empty()) {
+    std::string host = hosts[0];
+    for (char& c : host) c = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c)));
+    // Strip a ":port" suffix when it is all digits; a malformed port is an
+    // error, not silently kept as part of the name.
+    const std::size_t colon = host.rfind(':');
+    if (colon != std::string::npos) {
+      const std::string_view port = std::string_view(host).substr(colon + 1);
+      if (port.empty() ||
+          port.find_first_not_of("0123456789") != std::string_view::npos) {
+        fail(400, "malformed host");
+        return false;
+      }
+      host.resize(colon);
+    }
+    if (host.empty() && req_.minor_version >= 1) {
+      fail(400, "malformed host");
+      return false;
+    }
+    req_.host = std::move(host);
+  }
+
+  // Content-Length: at most one, plain digits, within the body cap. Even
+  // identical duplicates are rejected — deduplicating is how front-ends
+  // and back-ends end up disagreeing about where the body ends.
+  const auto cls = req_.headers.get_all("Content-Length");
+  if (cls.size() > 1) {
+    fail(400, "duplicate content-length");
+    return false;
+  }
+  body_needed_ = 0;
+  if (!cls.empty()) {
+    const std::string& cl = cls[0];
+    if (cl.empty() || cl.size() > 19 ||
+        cl.find_first_not_of("0123456789") != std::string::npos) {
+      // Catches signs, "1,1" lists, hex, 2^64 overflow attempts (>19
+      // digits), and whitespace variants.
+      fail(400, "malformed content-length");
+      return false;
+    }
+    std::uint64_t n = 0;
+    for (char c : cl) n = n * 10 + static_cast<std::uint64_t>(c - '0');
+    if (n > limits_.max_body_bytes) {
+      fail(413, "body too large");
+      return false;
+    }
+    body_needed_ = n;
+  }
+
+  // Connection: close/keep-alive tokens override the version default.
+  if (auto conn = req_.headers.get("Connection")) {
+    std::string_view rest = *conn;
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string_view tok = trim_ows(rest.substr(0, comma));
+      if (ascii_iequal(tok, "close")) req_.keep_alive = false;
+      else if (ascii_iequal(tok, "keep-alive")) req_.keep_alive = true;
+      if (comma == std::string_view::npos) break;
+      rest.remove_prefix(comma + 1);
+    }
+  }
+  return true;
+}
+
+}  // namespace oak::wire

@@ -1,0 +1,133 @@
+// Incremental, allocation-bounded HTTP/1.1 request parser for the wire
+// front-end.
+//
+// Every byte that reaches this parser came off a real socket and must be
+// assumed hostile. The contract ("Software Testing at the Network Layer",
+// PAPERS.md):
+//
+//  * Never crash, never read out of bounds, never allocate more than the
+//    configured caps — regardless of input. bench/wire_fuzz drives ≥10k
+//    mutated requests (every-byte truncations, bit flips, smuggled
+//    framings) through it under ASan.
+//  * Every malformed input maps to a terminal ParseError carrying the 4xx
+//    status the connection should answer before closing — never an
+//    exception, never a 5xx.
+//  * Strict framing, because ambiguity is the request-smuggling class:
+//    CRLF-only line endings (a bare LF or stray CR is an error), exactly
+//    one Content-Length header of plain digits, any Transfer-Encoding
+//    rejected outright (this origin never chunks), no obs-fold
+//    continuation lines, no whitespace before the header colon.
+//
+// The parser is incremental: feed() appends whatever the socket produced
+// and advances a three-phase state machine (request line → header block →
+// body). Bytes beyond the current request stay buffered for pipelining;
+// reset() discards the parsed request and immediately re-parses the
+// residue, so a pipelined peer never stalls.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/headers.h"
+#include "http/message.h"
+
+namespace oak::wire {
+
+// Hard limits applied while parsing, before anything is buffered past them.
+struct ParserLimits {
+  std::size_t max_request_line = 8 * 1024;  // method + target + version
+  std::size_t max_header_count = 100;
+  std::size_t max_header_bytes = 32 * 1024;  // header block incl. CRLFs
+  std::size_t max_body_bytes = 1 << 20;      // Content-Length ceiling
+};
+
+// Terminal parse failure: the status the connection answers with before it
+// closes, plus a stable reason literal for logs and metrics.
+struct ParseError {
+  int status = 400;
+  const char* reason = "malformed";
+};
+
+// One parsed request. `method` is empty when the token was well-formed but
+// not one the server routes (the router answers 405 + Allow); the raw token
+// is preserved for diagnostics either way.
+struct WireRequest {
+  std::string method_text;
+  std::optional<http::Method> method;
+  std::string target;  // raw origin-form target as received
+  std::string path;    // target up to '?'
+  std::string query;   // after '?', may be empty
+  std::string host;    // Host header, lowercased, port stripped
+  int minor_version = 1;  // HTTP/1.<minor>
+  http::Headers headers;
+  std::string body;
+  bool keep_alive = true;
+  std::size_t head_bytes = 0;  // request line + header block size
+
+  // Materialize the http::Request the serving plane consumes.
+  http::Request to_http(const std::string& client_ip = "") const;
+};
+
+class RequestParser {
+ public:
+  enum class State { kNeedMore, kComplete, kError };
+
+  explicit RequestParser(ParserLimits limits = {});
+
+  // Append bytes and advance as far as possible. Returns the new state.
+  // In kComplete, surplus bytes are retained for the next request; in
+  // kError, further feeds are ignored.
+  State feed(std::string_view bytes);
+
+  State state() const { return state_; }
+
+  // Valid while state() == kComplete.
+  const WireRequest& request() const { return req_; }
+  WireRequest take_request() { return std::move(req_); }
+
+  // Valid while state() == kError.
+  const ParseError& error() const { return err_; }
+
+  // After kComplete: drop the parsed request and re-parse any buffered
+  // residue (pipelining). After kError the parser stays terminal — the
+  // connection is done.
+  void reset();
+
+  // Bytes buffered but not yet consumed by a completed parse.
+  std::size_t buffered() const { return buf_.size() - consumed_; }
+
+  const ParserLimits& limits() const { return limits_; }
+
+ private:
+  enum class Phase { kLine, kHeaders, kBody };
+
+  void advance();
+  // Returns false and transitions to kError via fail() on malformed input.
+  bool parse_request_line(std::string_view line);
+  bool parse_header_line(std::string_view line);
+  // Validates framing headers (Host, Content-Length, Transfer-Encoding,
+  // Connection) once the header block is complete.
+  bool finish_head();
+  void fail(int status, const char* reason);
+  // Drops consumed bytes from the front of the buffer when they dominate
+  // it, keeping the buffer bounded by (caps + one socket read).
+  void compact_buffer();
+
+  ParserLimits limits_;
+  State state_ = State::kNeedMore;
+  Phase phase_ = Phase::kLine;
+  ParseError err_;
+  WireRequest req_;
+
+  std::string buf_;          // raw bytes, shared across pipelined requests
+  std::size_t consumed_ = 0; // bytes of buf_ already owned by parsed requests
+  std::size_t line_start_ = 0;  // first byte of the line being parsed
+  std::size_t scan_ = 0;     // next unexamined byte (memchr resume point)
+  std::size_t header_count_ = 0;
+  std::size_t head_start_ = 0;
+  std::uint64_t body_needed_ = 0;
+};
+
+}  // namespace oak::wire

@@ -1,0 +1,846 @@
+#include "wire/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "core/rule_parser.h"
+
+namespace oak::wire {
+
+namespace {
+
+// epoll user-data sentinels; connection ids start above them.
+constexpr std::uint64_t kListenerTag = 0;
+constexpr std::uint64_t kEventFdTag = 1;  // conn ids start at 2
+
+// Timer kinds carried in Conn::timer_kind (one armed deadline per conn).
+constexpr int kTimerNone = 0;
+constexpr int kTimerHeader = 1;
+constexpr int kTimerIdle = 2;
+constexpr int kTimerWrite = 3;
+
+void bump(obs::Counter* c, std::uint64_t n = 1) {
+  if (c) c->inc(n);
+}
+
+bool iequal(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    char x = a[i], y = b[i];
+    if (x >= 'A' && x <= 'Z') x = static_cast<char>(x - 'A' + 'a');
+    if (y >= 'A' && y <= 'Z') y = static_cast<char>(y - 'A' + 'a');
+    if (x != y) return false;
+  }
+  return true;
+}
+
+// The SIGTERM handler can only touch async-signal-safe state: one atomic
+// flag plus an eventfd write to kick the epoll loop. One server per process
+// owns the handler (install_signal_drain documents this).
+std::atomic<std::atomic<bool>*> g_drain_flag{nullptr};
+std::atomic<int> g_drain_fd{-1};
+
+extern "C" void oak_wire_drain_handler(int) {
+  if (auto* flag = g_drain_flag.load(std::memory_order_relaxed)) {
+    flag->store(true, std::memory_order_release);
+  }
+  const int fd = g_drain_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = ::write(fd, &one, sizeof one);
+  }
+}
+
+}  // namespace
+
+// Per-connection state, owned by the loop thread. Exactly one response is
+// outstanding at a time (`dispatched` / `out`), so pipelined peers get
+// their responses in request order without any per-conn queue.
+struct Server::Conn {
+  std::uint64_t id = 0;
+  int fd = -1;
+  std::string client_ip;
+  RequestParser parser;
+  std::string out;            // serialized response being written
+  std::size_t out_off = 0;
+  bool want_read = true;      // current epoll interest
+  bool want_write = false;
+  bool dispatched = false;    // a request is with the worker pool
+  bool close_after_write = false;
+  bool response_open = false;  // `out` holds a response not yet fully flushed
+  bool read_eof = false;       // peer half-closed (shutdown(SHUT_WR))
+  int timer_kind = kTimerNone;
+  double req_start = -1.0;  // wall start of the in-progress request
+
+  explicit Conn(const ParserLimits& limits) : parser(limits) {}
+};
+
+Server::Server(core::ShardedOakServer& oak, WireConfig cfg)
+    : oak_(oak),
+      cfg_(std::move(cfg)),
+      report_path_(oak.config().report_path),
+      epoch_(std::chrono::steady_clock::now()),
+      wheel_(0.05) {
+  if (cfg_.worker_threads == 0) cfg_.worker_threads = 1;
+  if (cfg_.metrics) {
+    obs_.accepted = &metrics_.counter("oak_wire_conns_accepted_total");
+    obs_.closed = &metrics_.counter("oak_wire_conns_closed_total");
+    obs_.requests = &metrics_.counter("oak_wire_requests_total");
+    obs_.resp_2xx = &metrics_.counter("oak_wire_responses_2xx_total");
+    obs_.resp_4xx = &metrics_.counter("oak_wire_responses_4xx_total");
+    obs_.resp_5xx = &metrics_.counter("oak_wire_responses_5xx_total");
+    obs_.parse_errors = &metrics_.counter("oak_wire_parse_errors_total");
+    obs_.shed_conns = &metrics_.counter("oak_wire_shed_conn_cap_total");
+    obs_.shed_dispatch = &metrics_.counter("oak_wire_shed_dispatch_total");
+    obs_.shed_backpressure =
+        &metrics_.counter("oak_wire_shed_backpressure_total");
+    obs_.timeout_header = &metrics_.counter("oak_wire_timeout_header_total");
+    obs_.timeout_idle = &metrics_.counter("oak_wire_timeout_idle_total");
+    obs_.timeout_write = &metrics_.counter("oak_wire_timeout_write_total");
+    obs_.bytes_in = &metrics_.counter("oak_wire_bytes_in_total");
+    obs_.bytes_out = &metrics_.counter("oak_wire_bytes_out_total");
+    obs_.conns_active = &metrics_.gauge("oak_wire_conns_active");
+    obs_.dispatch_depth = &metrics_.gauge("oak_wire_dispatch_depth");
+    obs_.draining = &metrics_.gauge("oak_wire_draining");
+    obs_.request_seconds = &metrics_.histogram("oak_wire_request_seconds",
+                                               obs::HistogramSpec::latency());
+  }
+}
+
+Server::~Server() {
+  if (started_.load(std::memory_order_acquire)) {
+    request_drain();
+    join();
+  }
+  if (g_drain_flag.load(std::memory_order_relaxed) == &drain_flag_) {
+    g_drain_flag.store(nullptr, std::memory_order_relaxed);
+    g_drain_fd.store(-1, std::memory_order_relaxed);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (event_fd_ >= 0) ::close(event_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+double Server::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+obs::MetricsSnapshot Server::metrics_snapshot() const {
+  return metrics_.snapshot();
+}
+
+void Server::start() {
+  if (started_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("wire::Server already started");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.bind_addr.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("bad bind_addr: " + cfg_.bind_addr);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    throw std::runtime_error(std::string("bind() failed: ") +
+                             std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 512) < 0) {
+    throw std::runtime_error("listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  bound_port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || event_fd_ < 0) {
+    throw std::runtime_error("epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kEventFdTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
+
+  workers_.reserve(cfg_.worker_threads);
+  for (std::size_t i = 0; i < cfg_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+  loop_thread_ = std::thread([this] { run(); });
+  started_.store(true, std::memory_order_release);
+}
+
+void Server::request_drain() {
+  drain_flag_.store(true, std::memory_order_release);
+  if (event_fd_ >= 0) {
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = ::write(event_fd_, &one, sizeof one);
+  }
+}
+
+void Server::join() {
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+void Server::stop() {
+  request_drain();
+  join();
+}
+
+void Server::install_signal_drain(int signo) {
+  g_drain_flag.store(&drain_flag_, std::memory_order_relaxed);
+  g_drain_fd.store(event_fd_, std::memory_order_relaxed);
+  struct sigaction sa{};
+  sa.sa_handler = oak_wire_drain_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(signo, &sa, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Event loop.
+
+void Server::run() {
+  epoll_event events[64];
+  for (;;) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, 25);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kListenerTag) {
+        handle_accept();
+      } else if (tag == kEventFdTag) {
+        std::uint64_t v;
+        while (::read(event_fd_, &v, sizeof v) > 0) {
+        }
+        drain_completions();
+      } else {
+        handle_conn_event(tag, events[i].events);
+      }
+    }
+
+    const double t = now();
+    wheel_.advance(t, [this](std::uint64_t id) { on_deadline(id); });
+
+    if (drain_flag_.load(std::memory_order_acquire) &&
+        !drain_started_loopside_) {
+      start_drain_loopside();
+    }
+    if (drain_started_loopside_) {
+      drain_completions();
+      if (drain_finished()) break;
+      if (cfg_.drain_deadline_s > 0 &&
+          t - drain_started_at_ >= cfg_.drain_deadline_s) {
+        // Deadline: force-close stragglers and drop unstarted work. The
+        // loop keeps spinning only for in-flight worker items (their
+        // completions are then discarded against the closed conns).
+        std::vector<std::uint64_t> ids;
+        ids.reserve(conns_.size());
+        for (const auto& [id, c] : conns_) ids.push_back(id);
+        for (std::uint64_t id : ids) {
+          auto it = conns_.find(id);
+          if (it != conns_.end()) close_conn(*it->second);
+        }
+        {
+          std::lock_guard<std::mutex> lk(dmu_);
+          dispatch_.clear();
+          if (obs_.dispatch_depth) obs_.dispatch_depth->set(0);
+        }
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(dmu_);
+    workers_stop_ = true;
+  }
+  dcv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lk(cmu_);
+    completions_.clear();
+  }
+  if (on_drained_) on_drained_();
+}
+
+bool Server::drain_finished() const {
+  if (!conns_.empty()) return false;
+  {
+    std::lock_guard<std::mutex> lk(dmu_);
+    if (!dispatch_.empty() || inflight_ != 0) return false;
+  }
+  std::lock_guard<std::mutex> lk(cmu_);
+  return completions_.empty();
+}
+
+void Server::start_drain_loopside() {
+  drain_started_loopside_ = true;
+  drain_started_at_ = now();
+  if (obs_.draining) obs_.draining->set(1);
+
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // In-flight work (a dispatched request or a half-written response)
+  // finishes and then closes; everything else — idle keep-alive conns and
+  // half-received heads that were never admitted — closes now.
+  std::vector<std::uint64_t> to_close;
+  for (auto& [id, c] : conns_) {
+    if (c->dispatched || c->out_off < c->out.size()) {
+      c->close_after_write = true;
+    } else {
+      to_close.push_back(id);
+    }
+  }
+  for (std::uint64_t id : to_close) {
+    auto it = conns_.find(id);
+    if (it != conns_.end()) close_conn(*it->second);
+  }
+}
+
+void Server::handle_accept() {
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t plen = sizeof peer;
+    const int fd =
+        ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &plen,
+                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept failure: wait for epoll
+    }
+    if (drain_started_loopside_) {
+      ::close(fd);
+      continue;
+    }
+    if (conns_.size() >= cfg_.max_connections) {
+      // Accept-time shed: refuse in O(1), no parser state allocated. The
+      // write is best-effort — a full socket buffer just means the peer
+      // sees a bare close.
+      bump(obs_.shed_conns);
+      const std::string resp =
+          "HTTP/1.1 503 Service Unavailable\r\nRetry-After: " +
+          std::to_string(cfg_.retry_after_s) +
+          "\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+      [[maybe_unused]] ssize_t r =
+          ::send(fd, resp.data(), resp.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Conn>(cfg_.limits);
+    conn->id = id;
+    conn->fd = fd;
+    char ip[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof ip);
+    conn->client_ip = ip;
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    Conn& c = *conn;
+    conns_.emplace(id, std::move(conn));
+    bump(obs_.accepted);
+    if (obs_.conns_active) obs_.conns_active->set(double(conns_.size()));
+    if (cfg_.header_deadline_s > 0) {
+      arm_timer(c, kTimerHeader, cfg_.header_deadline_s);
+    }
+  }
+}
+
+void Server::handle_conn_event(std::uint64_t id, std::uint32_t events) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    close_conn(c);
+    return;
+  }
+  if (events & EPOLLIN) {
+    read_conn(c);
+    if (!conns_.count(id)) return;  // read_conn may close
+  }
+  if (events & EPOLLOUT) pump(c);
+}
+
+void Server::read_conn(Conn& c) {
+  char buf[16 * 1024];
+  std::size_t total = 0;
+  // Bound per-event work so one firehose conn can't starve the loop;
+  // level-triggered epoll re-delivers whatever stays in the kernel buffer.
+  while (total < 64 * 1024) {
+    const ssize_t n = ::read(c.fd, buf, sizeof buf);
+    if (n > 0) {
+      bump(obs_.bytes_in, static_cast<std::uint64_t>(n));
+      if (c.timer_kind == kTimerIdle && cfg_.header_deadline_s > 0) {
+        // First bytes of a new keep-alive request: idle → header budget.
+        arm_timer(c, kTimerHeader, cfg_.header_deadline_s);
+      }
+      c.parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      total += static_cast<std::size_t>(n);
+      // Stop at a complete request (or terminal error): the response goes
+      // out before more pipelined input is pulled from the kernel.
+      if (c.parser.state() != RequestParser::State::kNeedMore) break;
+      continue;
+    }
+    if (n == 0) {
+      c.read_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_conn(c);
+    return;
+  }
+  pump(c);
+}
+
+void Server::pump(Conn& c) {
+  for (;;) {
+    if (c.out_off < c.out.size()) {
+      if (!try_write(c)) {
+        close_conn(c);
+        return;
+      }
+      if (c.out_off < c.out.size()) {  // EAGAIN mid-response
+        if (c.timer_kind != kTimerWrite && cfg_.write_deadline_s > 0) {
+          arm_timer(c, kTimerWrite, cfg_.write_deadline_s);
+        }
+        update_epoll(c, !c.dispatched && !c.close_after_write, true);
+        return;
+      }
+      // Response fully flushed.
+      c.out.clear();
+      c.out_off = 0;
+      if (c.timer_kind == kTimerWrite) {
+        wheel_.cancel(c.id);
+        c.timer_kind = kTimerNone;
+      }
+      if (c.response_open) finished_response(c);
+    }
+
+    if (c.close_after_write) {
+      close_conn(c);
+      return;
+    }
+    if (c.dispatched) {
+      update_epoll(c, false, false);
+      return;
+    }
+
+    switch (c.parser.state()) {
+      case RequestParser::State::kComplete:
+        begin_request(c);
+        continue;
+      case RequestParser::State::kError: {
+        // Terminal by contract: answer the 4xx the parser chose, close.
+        bump(obs_.parse_errors);
+        const ParseError& e = c.parser.error();
+        respond_inline(c, e.status, e.reason, /*keep_alive=*/false);
+        continue;  // loop flushes, then close_after_write closes
+      }
+      case RequestParser::State::kNeedMore: {
+        if (c.read_eof) {
+          // Peer finished sending and everything owed has been written —
+          // an incomplete trailing request gets a clean close, not a 4xx.
+          close_conn(c);
+          return;
+        }
+        const bool mid_head = c.parser.buffered() > 0;
+        const int kind = mid_head ? kTimerHeader : kTimerIdle;
+        const double deadline =
+            mid_head ? cfg_.header_deadline_s : cfg_.idle_deadline_s;
+        if (c.timer_kind != kind) {
+          if (deadline > 0) {
+            arm_timer(c, kind, deadline);
+          } else if (c.timer_kind != kTimerNone) {
+            wheel_.cancel(c.id);
+            c.timer_kind = kTimerNone;
+          }
+        }
+        update_epoll(c, true, false);
+        return;
+      }
+    }
+  }
+}
+
+void Server::begin_request(Conn& c) {
+  WireRequest req = c.parser.take_request();
+  c.parser.reset();  // re-parses residue so pipelined peers never stall
+  if (c.timer_kind != kTimerNone) {
+    wheel_.cancel(c.id);
+    c.timer_kind = kTimerNone;
+  }
+  bump(obs_.requests);
+  c.req_start = now();
+  const bool ka = req.keep_alive && !drain_started_loopside_;
+
+  if (!req.method) {
+    // Well-formed but unrouted method token.
+    respond_inline(c, 405, "method not allowed", ka,
+                   {{"Allow", http::kAllowedMethods}});
+    return;
+  }
+
+  // Backpressure shed: refuse report ingest before any work is admitted
+  // once the combining queue is near its bound — an open-loop overload
+  // must fail fast here, not queue into collapse.
+  if (*req.method == http::Method::kPost && req.path == report_path_ &&
+      cfg_.shed_pressure < 1.0 &&
+      oak_.ingest_pressure() >= cfg_.shed_pressure) {
+    bump(obs_.shed_backpressure);
+    respond_inline(c, 503, "overloaded", ka,
+                   {{"Retry-After", std::to_string(cfg_.retry_after_s)}});
+    return;
+  }
+
+  bool shed = false;
+  {
+    std::lock_guard<std::mutex> lk(dmu_);
+    if (dispatch_.size() >= cfg_.dispatch_depth) {
+      shed = true;
+    } else {
+      dispatch_.push_back(DispatchItem{c.id, std::move(req), c.client_ip,
+                                       c.req_start});
+      if (obs_.dispatch_depth) {
+        obs_.dispatch_depth->set(double(dispatch_.size()));
+      }
+    }
+  }
+  if (shed) {
+    bump(obs_.shed_dispatch);
+    respond_inline(c, 503, "server busy", ka,
+                   {{"Retry-After", std::to_string(cfg_.retry_after_s)}});
+    return;
+  }
+  dcv_.notify_one();
+  c.dispatched = true;
+}
+
+void Server::respond_inline(
+    Conn& c, int status, const std::string& body, bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  http::Response resp = http::Response::text(body, status);
+  for (const auto& [k, v] : extra_headers) resp.headers.set(k, v);
+  deliver(c, serialize_response(resp, keep_alive, /*head_request=*/false),
+          keep_alive, status);
+}
+
+void Server::deliver(Conn& c, std::string bytes, bool keep_alive,
+                     int status) {
+  if (status >= 200 && status < 300) {
+    bump(obs_.resp_2xx);
+  } else if (status >= 400 && status < 500) {
+    bump(obs_.resp_4xx);
+  } else if (status >= 500) {
+    bump(obs_.resp_5xx);
+  }
+  if (!keep_alive) c.close_after_write = true;
+  if (c.out.empty()) {
+    c.out = std::move(bytes);
+    c.out_off = 0;
+  } else {
+    c.out += bytes;
+  }
+  c.response_open = true;
+}
+
+bool Server::try_write(Conn& c) {
+  while (c.out_off < c.out.size()) {
+    const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                             c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      bump(obs_.bytes_out, static_cast<std::uint64_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;  // EPIPE / ECONNRESET: peer is gone
+  }
+  return true;
+}
+
+void Server::finished_response(Conn& c) {
+  if (c.req_start >= 0) {
+    if (obs_.request_seconds) {
+      obs_.request_seconds->observe(now() - c.req_start);
+    }
+    c.req_start = -1.0;
+  }
+  c.response_open = false;
+}
+
+void Server::on_deadline(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+  const int kind = c.timer_kind;
+  c.timer_kind = kTimerNone;  // the wheel already dropped its state
+  switch (kind) {
+    case kTimerHeader:
+      bump(obs_.timeout_header);
+      respond_inline(c, 408, "request header timeout", /*keep_alive=*/false);
+      pump(c);
+      break;
+    case kTimerIdle:
+      bump(obs_.timeout_idle);
+      close_conn(c);
+      break;
+    case kTimerWrite:
+      bump(obs_.timeout_write);
+      close_conn(c);
+      break;
+    default:
+      break;
+  }
+}
+
+void Server::close_conn(Conn& c) {
+  const std::uint64_t id = c.id;
+  wheel_.cancel(id);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
+  ::close(c.fd);
+  conns_.erase(id);  // destroys c — must be the last touch
+  bump(obs_.closed);
+  if (obs_.conns_active) obs_.conns_active->set(double(conns_.size()));
+}
+
+void Server::arm_timer(Conn& c, int kind, double delay_s) {
+  c.timer_kind = kind;
+  wheel_.schedule(c.id, now() + delay_s);
+}
+
+void Server::update_epoll(Conn& c, bool want_read, bool want_write) {
+  if (c.want_read == want_read && c.want_write == want_write) return;
+  c.want_read = want_read;
+  c.want_write = want_write;
+  epoll_event ev{};
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = c.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void Server::drain_completions() {
+  std::vector<CompletionItem> items;
+  {
+    std::lock_guard<std::mutex> lk(cmu_);
+    items.swap(completions_);
+  }
+  for (auto& ci : items) {
+    auto it = conns_.find(ci.conn_id);
+    if (it == conns_.end()) continue;  // conn closed while the worker ran
+    Conn& c = *it->second;
+    c.dispatched = false;
+    deliver(c, std::move(ci.bytes), ci.keep_alive, ci.status);
+    pump(c);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool.
+
+void Server::worker_main() {
+  for (;;) {
+    DispatchItem item;
+    {
+      std::unique_lock<std::mutex> lk(dmu_);
+      dcv_.wait(lk, [this] { return workers_stop_ || !dispatch_.empty(); });
+      if (dispatch_.empty()) {
+        if (workers_stop_) return;
+        continue;
+      }
+      item = std::move(dispatch_.front());
+      dispatch_.pop_front();
+      ++inflight_;
+      if (obs_.dispatch_depth) {
+        obs_.dispatch_depth->set(double(dispatch_.size()));
+      }
+    }
+
+    http::Response resp;
+    try {
+      resp = route(item);
+    } catch (const std::exception& e) {
+      resp = http::Response::text(std::string("internal error: ") + e.what(),
+                                  500);
+    } catch (...) {
+      resp = http::Response::text("internal error", 500);
+    }
+    CompletionItem ci = make_completion(item.conn_id, item.req, resp);
+    {
+      std::lock_guard<std::mutex> lk(cmu_);
+      completions_.push_back(std::move(ci));
+    }
+    {
+      std::lock_guard<std::mutex> lk(dmu_);
+      --inflight_;
+    }
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = ::write(event_fd_, &one, sizeof one);
+  }
+}
+
+http::Response Server::route(const DispatchItem& item) {
+  using http::Method;
+  const WireRequest& w = item.req;
+  const Method m = *w.method;  // begin_request guarantees a routed method
+  const std::string& p = w.path;
+
+  auto method_not_allowed = [](const char* allow) {
+    http::Response r = http::Response::text("method not allowed", 405);
+    r.headers.set("Allow", allow);
+    return r;
+  };
+  const bool is_read = (m == Method::kGet || m == Method::kHead);
+
+  if (p == "/metrics" || p == "/metrics.json") {
+    if (!is_read) return method_not_allowed("GET, HEAD");
+    obs::MetricsSnapshot snap = oak_.metrics_snapshot();
+    snap.merge(metrics_snapshot());
+    return p == "/metrics"
+               ? http::Response::text(snap.to_prometheus())
+               : http::Response::json(snap.to_json().dump());
+  }
+  if (p == "/admin/health") {
+    if (!is_read) return method_not_allowed("GET, HEAD");
+    return http::Response::json(std::string("{\"status\":\"") +
+                                (draining() ? "draining" : "ok") + "\"}");
+  }
+  if (p == "/admin/rules") {
+    if (is_read) {
+      return http::Response::text(core::format_rules(oak_.rules()));
+    }
+    if (m == Method::kPost || m == Method::kPut) {
+      std::vector<core::Rule> rules;
+      try {
+        rules = core::parse_rules(w.body);
+      } catch (const core::RuleParseError& e) {
+        return http::Response::text(e.what(), 400);
+      }
+      if (m == Method::kPut) {
+        for (const auto& r : oak_.rules()) {
+          oak_.remove_rule(r.id, item.admitted_at);
+        }
+      }
+      std::string ids;
+      for (auto& r : rules) {
+        if (!ids.empty()) ids += ',';
+        ids += std::to_string(oak_.add_rule(std::move(r)));
+      }
+      return http::Response::json(
+          std::string("{\"") + (m == Method::kPut ? "replaced" : "added") +
+              "\":[" + ids + "]}",
+          201);
+    }
+    return method_not_allowed("GET, HEAD, POST, PUT");
+  }
+  if (p.rfind("/admin/rules/", 0) == 0) {
+    if (m != Method::kDelete) return method_not_allowed("DELETE");
+    const std::string tail = p.substr(std::strlen("/admin/rules/"));
+    int id = 0;
+    if (tail.empty() ||
+        tail.find_first_not_of("0123456789") != std::string::npos) {
+      return http::Response::text("bad rule id", 400);
+    }
+    try {
+      id = std::stoi(tail);
+    } catch (const std::exception&) {
+      return http::Response::text("bad rule id", 400);
+    }
+    if (!oak_.remove_rule(id, item.admitted_at)) {
+      return http::Response::text("no such rule", 404);
+    }
+    return http::Response::json("{\"removed\":" + std::to_string(id) + "}");
+  }
+  if (p == "/admin/compact") {
+    if (m != Method::kPost) return method_not_allowed("POST");
+    oak_.compact();
+    return http::Response::json("{\"compacted\":true}");
+  }
+  if (p.rfind("/admin/", 0) == 0) {
+    return http::Response::text("no such admin endpoint", 404);
+  }
+
+  if (m == Method::kPost) {
+    if (p != report_path_) return method_not_allowed("GET, HEAD");
+    return oak_.handle(w.to_http(item.client_ip), item.admitted_at);
+  }
+  if (is_read) {
+    return oak_.handle(w.to_http(item.client_ip), item.admitted_at);
+  }
+  return method_not_allowed("GET, HEAD, POST");  // PUT/DELETE off-admin
+}
+
+Server::CompletionItem Server::make_completion(
+    std::uint64_t conn_id, const WireRequest& req,
+    const http::Response& resp) const {
+  const bool ka = req.keep_alive && !draining();
+  const bool head = req.method && *req.method == http::Method::kHead;
+  return CompletionItem{conn_id, serialize_response(resp, ka, head), ka,
+                        resp.status};
+}
+
+std::string Server::serialize_response(const http::Response& resp,
+                                       bool keep_alive, bool head_request) {
+  std::string out;
+  out.reserve(resp.body.size() + 256);
+  out += "HTTP/1.1 ";
+  out += std::to_string(resp.status);
+  out += ' ';
+  out += http::status_reason(resp.status);
+  out += "\r\n";
+  for (const auto& [name, value] : resp.headers.entries()) {
+    // Framing is owned here, whatever the handler set.
+    if (iequal(name, "content-length") || iequal(name, "connection") ||
+        iequal(name, "transfer-encoding")) {
+      continue;
+    }
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(resp.body.size());
+  out += keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                    : "\r\nConnection: close\r\n\r\n";
+  if (!head_request) out += resp.body;
+  return out;
+}
+
+}  // namespace oak::wire

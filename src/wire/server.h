@@ -1,0 +1,259 @@
+// oak::wire::Server — the real front door: a single-listener epoll
+// HTTP/1.1 server feeding ShardedOakServer.
+//
+// Everything before this ran in-process through Fleet; this module is where
+// Oak first faces a hostile byte stream and an open-loop arrival process —
+// the two things that kill real ingest tiers. Architecture:
+//
+//   accept ──► epoll loop (1 thread) ──► dispatch queue ──► worker pool
+//                 ▲   │  parse (RequestParser, hard caps)      │
+//                 │   │  deadlines (TimerWheel)                │ ShardedOakServer::handle
+//                 │   │  admission control / shedding          │ (existing combining
+//                 │   ▼                                        ▼  ingest queue)
+//               sockets ◄── completions (eventfd) ◄── serialized responses
+//
+// Robustness posture, in order of the failure modes it defends against:
+//
+//  * Hostile input: RequestParser enforces the framing caps and answers
+//    every malformed request with a 4xx and a close — never a crash, never
+//    a 5xx (bench/wire_fuzz gates this under ASan).
+//  * Slowloris: a TimerWheel arms one deadline per connection — header
+//    deadline while the head trickles in, idle deadline between keep-alive
+//    requests, write deadline while a response drains. Expiry answers 408
+//    (header) or just closes (idle/write).
+//  * Overload: three shedding layers, all before work is admitted —
+//    accept-time connection cap (immediate 503 + close), dispatch-queue
+//    depth (503 + Retry-After), and ingest-queue backpressure
+//    (ShardedOakServer::ingest_pressure() ≥ threshold → 503 + Retry-After
+//    on report POSTs). Load the server cannot serve is refused in O(1)
+//    instead of queueing into collapse (bench/load_wire's open-loop sweep
+//    gates goodput under 2× overload).
+//  * Shutdown: request_drain() (or SIGTERM via install_signal_drain) stops
+//    accepting, lets in-flight requests finish within drain_deadline_s,
+//    then runs on_drained (wired to a final snapshot/compaction). Admitted
+//    reports are journaled under the shard lock before their 2xx is
+//    written, so a drain — or even a force-close at the deadline — never
+//    loses an acknowledged report.
+//
+// Routes:
+//   POST <report_path>      report ingest (report_path from OakConfig)
+//   GET  /...               page serving with rule modification
+//   GET  /metrics           Prometheus text (oak_* + oak_wire_*)
+//   GET  /metrics.json      JSON exposition
+//   GET  /admin/health      liveness + drain state
+//   GET  /admin/rules       rule set, rule-file format (core/rule_parser)
+//   POST /admin/rules       append rules (rule-file body) → ids
+//   PUT  /admin/rules       replace the rule set
+//   DELETE /admin/rules/<id> retire one rule
+//   POST /admin/compact     snapshot + journal truncation
+// Unroutable methods answer 405 with an Allow header.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sharded_server.h"
+#include "obs/metrics.h"
+#include "wire/parser.h"
+#include "wire/timer_wheel.h"
+
+namespace oak::wire {
+
+struct WireConfig {
+  std::string bind_addr = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; Server::port() after start()
+
+  // Accept-time cap: connections beyond this are answered 503 and closed
+  // without ever allocating parser state.
+  std::size_t max_connections = 1024;
+  std::size_t worker_threads = 4;
+  // Parsed requests waiting for a worker before new ones are shed 503.
+  std::size_t dispatch_depth = 256;
+  // Shed report POSTs with 503 + Retry-After once the fullest shard's
+  // ingest queue is this full (ShardedOakServer::ingest_pressure()).
+  // ≥ 1.0 never sheds on backpressure; 0.0 always sheds (tests).
+  double shed_pressure = 0.9;
+  int retry_after_s = 1;
+
+  ParserLimits limits;
+
+  // Slowloris deadlines (seconds; ≤ 0 disables that deadline).
+  double header_deadline_s = 5.0;  // accept/first-byte → complete head
+  double idle_deadline_s = 30.0;   // keep-alive gap
+  double write_deadline_s = 10.0;  // response flush
+  double drain_deadline_s = 5.0;   // graceful-drain budget
+
+  bool metrics = true;
+};
+
+class Server {
+ public:
+  Server(core::ShardedOakServer& oak, WireConfig cfg = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Bind, listen, spawn the event loop and workers. Throws
+  // std::runtime_error on socket failures.
+  void start();
+  // The bound port (after start(); resolves port 0).
+  std::uint16_t port() const { return bound_port_; }
+
+  // Begin graceful drain: stop accepting, finish in-flight requests, then
+  // run the on_drained callback and exit the loop. Thread-safe and
+  // idempotent; also invoked by the SIGTERM handler.
+  void request_drain();
+  bool draining() const {
+    return drain_flag_.load(std::memory_order_acquire);
+  }
+
+  // Wait for the loop and workers to exit (drain completes or the drain
+  // deadline force-closes stragglers).
+  void join();
+  // request_drain() + join().
+  void stop();
+
+  // Route SIGTERM (or another signal) to request_drain() for this server.
+  // One server per process may hold the handler; async-signal-safe.
+  void install_signal_drain(int signo);
+
+  // Runs exactly once, on the loop thread, after the last connection
+  // closes (or the drain deadline fires) and the workers are joined —
+  // the final-snapshot hook.
+  void set_on_drained(std::function<void()> fn) {
+    on_drained_ = std::move(fn);
+  }
+
+  // Wire-plane registry (oak_wire_*). The /metrics route merges this with
+  // the Oak serving plane's snapshot.
+  obs::MetricsRegistry& metrics_registry() { return metrics_; }
+  obs::MetricsSnapshot metrics_snapshot() const;
+
+  const WireConfig& config() const { return cfg_; }
+
+ private:
+  struct Conn;
+  struct DispatchItem {
+    std::uint64_t conn_id = 0;
+    WireRequest req;
+    std::string client_ip;
+    double admitted_at = 0.0;
+  };
+  struct CompletionItem {
+    std::uint64_t conn_id = 0;
+    std::string bytes;        // fully serialized response
+    bool keep_alive = true;
+    int status = 200;
+  };
+
+  void run();  // the epoll loop (loop thread)
+  double now() const;
+
+  // --- Loop-thread only.
+  void handle_accept();
+  void handle_conn_event(std::uint64_t id, std::uint32_t events);
+  void read_conn(Conn& c);
+  // Drive a connection forward: flush pending output, then parse and answer
+  // pipelined requests until blocked on I/O, a worker, or closure.
+  void pump(Conn& c);
+  void begin_request(Conn& c);
+  void respond_inline(Conn& c, int status, const std::string& body,
+                      bool keep_alive,
+                      const std::vector<std::pair<std::string, std::string>>&
+                          extra_headers = {});
+  void deliver(Conn& c, std::string bytes, bool keep_alive, int status);
+  // Write until drained or EAGAIN; false on a fatal socket error.
+  bool try_write(Conn& c);
+  void finished_response(Conn& c);
+  void on_deadline(std::uint64_t id);
+  void close_conn(Conn& c);
+  void arm_timer(Conn& c, int kind, double delay_s);
+  void update_epoll(Conn& c, bool want_read, bool want_write);
+  void drain_completions();
+  void start_drain_loopside();
+  bool drain_finished() const;
+
+  // --- Worker threads.
+  void worker_main();
+  http::Response route(const DispatchItem& item);
+  CompletionItem make_completion(std::uint64_t conn_id, const WireRequest& req,
+                                 const http::Response& resp) const;
+
+  static std::string serialize_response(const http::Response& resp,
+                                        bool keep_alive, bool head_request);
+
+  core::ShardedOakServer& oak_;
+  WireConfig cfg_;
+  std::string report_path_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;  // worker completions + drain wakeup
+  std::uint16_t bound_port_ = 0;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> drain_flag_{false};
+  bool drain_started_loopside_ = false;
+  double drain_started_at_ = 0.0;
+  bool loop_done_ = false;
+
+  std::chrono::steady_clock::time_point epoch_;
+
+  // Connections (loop thread only).
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  // Ids 0 and 1 tag the listener and eventfd in epoll user data.
+  std::uint64_t next_conn_id_ = 2;
+  TimerWheel wheel_;
+
+  // Dispatch queue: loop → workers.
+  mutable std::mutex dmu_;
+  std::condition_variable dcv_;
+  std::deque<DispatchItem> dispatch_;
+  bool workers_stop_ = false;
+  std::size_t inflight_ = 0;  // items popped, completion not yet queued
+
+  // Completion queue: workers → loop.
+  mutable std::mutex cmu_;
+  std::vector<CompletionItem> completions_;
+
+  std::function<void()> on_drained_;
+
+  // --- oak_wire_* instruments (null when cfg_.metrics is false).
+  obs::MetricsRegistry metrics_;
+  struct {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* closed = nullptr;
+    obs::Counter* requests = nullptr;
+    obs::Counter* resp_2xx = nullptr;
+    obs::Counter* resp_4xx = nullptr;
+    obs::Counter* resp_5xx = nullptr;
+    obs::Counter* parse_errors = nullptr;
+    obs::Counter* shed_conns = nullptr;
+    obs::Counter* shed_dispatch = nullptr;
+    obs::Counter* shed_backpressure = nullptr;
+    obs::Counter* timeout_header = nullptr;
+    obs::Counter* timeout_idle = nullptr;
+    obs::Counter* timeout_write = nullptr;
+    obs::Counter* bytes_in = nullptr;
+    obs::Counter* bytes_out = nullptr;
+    obs::Gauge* conns_active = nullptr;
+    obs::Gauge* dispatch_depth = nullptr;
+    obs::Gauge* draining = nullptr;
+    obs::Histogram* request_seconds = nullptr;
+  } obs_;
+};
+
+}  // namespace oak::wire

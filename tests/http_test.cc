@@ -64,6 +64,171 @@ TEST(CookieJar, IngestAndAttachPerSite) {
   EXPECT_FALSE(req2.has("Cookie"));
 }
 
+// --- Header hardening (wire front-end backstop): caps and the
+// response-splitting byte classes are enforced by the collection itself.
+
+struct HeaderRejectCase {
+  const char* label;
+  const char* name;
+  const char* value;
+  bool accepted;
+};
+
+TEST(HeadersHardening, TableDrivenValidation) {
+  const HeaderRejectCase cases[] = {
+      {"plain", "X-A", "v", true},
+      {"empty value ok", "X-A", "", true},
+      {"utf8 value ok", "X-A", "\xc3\xa9", true},
+      {"empty name", "", "v", false},
+      {"cr in value", "X-A", "a\rb", false},
+      {"lf in value", "X-A", "a\nb", false},
+      {"crlf injection", "X-A", "a\r\nSet-Cookie: evil=1", false},
+      {"nul in value", "X-A", "placeholder", false},
+      {"cr in name", "X\rA", "v", false},
+      {"lf in name", "X\nA", "v", false},
+  };
+  for (const auto& c : cases) {
+    Headers h;
+    // Re-materialize the NUL case (c-string truncates it).
+    std::string value = c.value;
+    if (std::string(c.label) == "nul in value") value = std::string("a\0b", 3);
+    EXPECT_EQ(h.add(c.name, value), c.accepted) << c.label;
+    EXPECT_EQ(h.set(c.name, value), c.accepted) << c.label << " (set)";
+    EXPECT_EQ(h.size(), c.accepted ? 1u : 0u) << c.label;
+  }
+}
+
+TEST(HeadersHardening, MaxCountCap) {
+  Headers h;
+  for (std::size_t i = 0; i < Headers::kMaxCount; ++i) {
+    ASSERT_TRUE(h.add("X-N", "v")) << i;
+  }
+  EXPECT_FALSE(h.add("X-Over", "v"));
+  EXPECT_EQ(h.size(), Headers::kMaxCount);
+  // set() frees a slot first, so replacing still works at the cap.
+  EXPECT_TRUE(h.set("X-N", "replaced"));
+}
+
+TEST(HeadersHardening, MaxWireBytesCap) {
+  Headers h;
+  const std::string big(Headers::kMaxWireBytes / 4, 'x');
+  std::size_t accepted = 0;
+  while (h.add("X-Big", big)) ++accepted;
+  EXPECT_GT(accepted, 0u);
+  EXPECT_LE(h.wire_size(), Headers::kMaxWireBytes);
+  // A small header that still fits is accepted after a big one is refused.
+  EXPECT_TRUE(h.add("X-Small", "v"));
+}
+
+TEST(HeadersHardening, WireSizeIncrementalMatchesDefinition) {
+  Headers h;
+  h.add("A", "1");
+  h.add("Bee", "value");
+  std::size_t expect = (1 + 2 + 1 + 2) + (3 + 2 + 5 + 2);
+  EXPECT_EQ(h.wire_size(), expect);
+  h.remove("a");
+  EXPECT_EQ(h.wire_size(), 3 + 2 + 5 + 2u);
+  h.set("Bee", "v");
+  EXPECT_EQ(h.wire_size(), 3 + 2 + 1 + 2u);
+}
+
+// --- Method: exhaustive round-trip, no "?" fallback.
+
+TEST(Method, RoundTripAllRouted) {
+  const Method all[] = {Method::kGet, Method::kHead, Method::kPost,
+                        Method::kPut, Method::kDelete};
+  for (Method m : all) {
+    auto parsed = parse_method(to_string(m));
+    ASSERT_TRUE(parsed) << to_string(m);
+    EXPECT_EQ(*parsed, m);
+    // Every routed method is advertised in the Allow header.
+    EXPECT_NE(std::string(kAllowedMethods).find(to_string(m)),
+              std::string::npos);
+  }
+}
+
+TEST(Method, ParseRejectsUnknownAndCase) {
+  EXPECT_FALSE(parse_method("BREW"));
+  EXPECT_FALSE(parse_method("get"));   // methods are case-sensitive
+  EXPECT_FALSE(parse_method("GETX"));
+  EXPECT_FALSE(parse_method(""));
+}
+
+TEST(Response, JsonFactoryAndReasons) {
+  Response r = Response::json("{\"ok\":true}", 201);
+  EXPECT_EQ(r.status, 201);
+  EXPECT_EQ(r.headers.get("Content-Type"), "application/json");
+  EXPECT_EQ(std::string(status_reason(200)), "OK");
+  EXPECT_EQ(std::string(status_reason(405)), "Method Not Allowed");
+  EXPECT_EQ(std::string(status_reason(431)),
+            "Request Header Fields Too Large");
+  EXPECT_EQ(std::string(status_reason(299)), "Status");
+}
+
+// --- Cookie edge cases (src/http/cookies.cc): hostile or degenerate
+// fragments must parse to something sane and round-trip stably.
+
+TEST(CookiesEdge, EmptyNamesAndFragments) {
+  // "=v" has an empty name — dropped; "a=" keeps an empty value.
+  auto jar = parse_cookie_header("=v; a=; ; ;;");
+  EXPECT_EQ(jar.size(), 1u);
+  EXPECT_EQ(jar.at("a"), "");
+  EXPECT_TRUE(parse_cookie_header("").empty());
+  EXPECT_TRUE(parse_cookie_header("   ").empty());
+  EXPECT_TRUE(parse_cookie_header(";;;").empty());
+}
+
+TEST(CookiesEdge, EqualsInValueKeptVerbatim) {
+  auto jar = parse_cookie_header("tok=a=b=c; b64=Zm9vPQ==");
+  EXPECT_EQ(jar.at("tok"), "a=b=c");
+  EXPECT_EQ(jar.at("b64"), "Zm9vPQ==");
+}
+
+TEST(CookiesEdge, AttributeOnlyFragmentsIgnored) {
+  // Attribute words without '=' ("Secure", "HttpOnly") carry no pair.
+  auto jar = parse_cookie_header("Secure; HttpOnly; a=1");
+  EXPECT_EQ(jar.size(), 1u);
+  EXPECT_EQ(jar.at("a"), "1");
+}
+
+TEST(CookiesEdge, OversizedHeaderStillTerminates) {
+  // A pathological jar-sized header parses without quadratic blowup or
+  // crash; spot-check both ends.
+  std::string big;
+  for (int i = 0; i < 2000; ++i) {
+    big += "k" + std::to_string(i) + "=" + std::string(16, 'v') + "; ";
+  }
+  auto jar = parse_cookie_header(big);
+  EXPECT_EQ(jar.size(), 2000u);
+  EXPECT_EQ(jar.at("k0"), std::string(16, 'v'));
+  EXPECT_EQ(jar.at("k1999"), std::string(16, 'v'));
+}
+
+TEST(CookiesEdge, RoundTripStability) {
+  // parse(serialize(parse(x))) == parse(x) for messy inputs.
+  const char* inputs[] = {
+      "a=1; b = 2 ;c=three",
+      "tok=a=b=c; z=",
+      "Secure; a=%20%3B; HttpOnly",
+  };
+  for (const char* in : inputs) {
+    auto once = parse_cookie_header(in);
+    auto twice = parse_cookie_header(to_cookie_header(once));
+    EXPECT_EQ(once, twice) << in;
+  }
+}
+
+TEST(CookieJarEdge, IngestSkipsNamelessSetCookie) {
+  CookieJar jar;
+  Headers resp;
+  resp.add("Set-Cookie", "=orphan; Path=/");
+  resp.add("Set-Cookie", "");
+  resp.add("Set-Cookie", "ok=yes");
+  jar.ingest("site.com", resp);
+  EXPECT_FALSE(jar.get("site.com", ""));
+  EXPECT_EQ(jar.get("site.com", "ok"), "yes");
+}
+
 TEST(Request, Factories) {
   Request g = Request::get("http://a.com/x");
   EXPECT_EQ(g.method, Method::kGet);

@@ -1,0 +1,425 @@
+// oak::wire::Server over real sockets: routing, hostile-input behavior,
+// slowloris deadlines, the three shedding layers, pipelining, and graceful
+// drain (including the WAL-verified zero-acknowledged-loss property).
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "browser/report.h"
+#include "core/sharded_server.h"
+#include "page/site.h"
+#include "wire/client.h"
+#include "wire/server.h"
+
+namespace oak::wire {
+namespace {
+
+using core::OakConfig;
+using core::ShardedOakServer;
+
+void sleep_s(double s) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+class WireFixture : public ::testing::Test {
+ protected:
+  WireFixture() : universe_(net::NetworkConfig{.seed = 17, .horizon_s = 0}) {
+    net::Network& net = universe_.network();
+    origin_ = net.add_server(net::ServerConfig{.name = "origin"});
+    universe_.dns().bind("busy.com", net.server(origin_).addr());
+    net::ServerId sid = net.add_server(net::ServerConfig{});
+    universe_.dns().bind("x0.net", net.server(sid).addr());
+    x0_ip_ = net.server(sid).addr().to_string();
+
+    page::SiteBuilder b(universe_, "busy.com", origin_);
+    b.add_direct("x0.net", "/o.js", html::RefKind::kScript, 9000,
+                 page::Category::kCdn);
+    site_ = b.finish();
+  }
+
+  ~WireFixture() override {
+    srv_.reset();  // server first: it holds a reference into oak_
+    oak_.reset();
+  }
+
+  // Build the serving plane + front-end. Callers tweak the configs, then
+  // boot(); srv_ is started and listening on an ephemeral port.
+  void boot(WireConfig wc = {}, OakConfig oc = {},
+            std::function<void()> on_drained = nullptr) {
+    oak_ = std::make_unique<ShardedOakServer>(universe_, "busy.com", oc, 4);
+    wc.worker_threads = 2;
+    srv_ = std::make_unique<Server>(*oak_, wc);
+    if (on_drained) srv_->set_on_drained(std::move(on_drained));
+    srv_->start();
+  }
+
+  BlockingClient client(double timeout_s = 5.0) {
+    BlockingClient cli;
+    EXPECT_TRUE(cli.connect("127.0.0.1", srv_->port(), timeout_s));
+    return cli;
+  }
+
+  std::string report_wire() {
+    browser::PerfReport r;
+    r.page_url = site_.index_url();
+    r.entries.push_back(
+        {site_.index_url(), "busy.com", "10.0.0.1", 4000, 0, 0.09});
+    r.entries.push_back(
+        {"http://x0.net/o.js", "x0.net", x0_ip_, 9000, 0.1, 4.0});
+    return r.serialize();
+  }
+
+  page::WebUniverse universe_;
+  net::ServerId origin_ = net::kInvalidServer;
+  std::string x0_ip_;
+  page::Site site_;
+  std::unique_ptr<ShardedOakServer> oak_;
+  std::unique_ptr<Server> srv_;
+};
+
+TEST_F(WireFixture, ServesPageAndMintsCookie) {
+  boot();
+  BlockingClient cli = client();
+  auto resp = cli.request("GET", site_.index_path, {{"Host", "busy.com"}});
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_FALSE(resp->body.empty());
+  const std::string cookie = resp->headers.get("set-cookie").value_or("");
+  EXPECT_NE(cookie.find(http::kOakUserCookie), std::string::npos) << cookie;
+}
+
+TEST_F(WireFixture, ReportPostIngestsAndBadBodyIs400) {
+  boot();
+  BlockingClient cli = client();
+  auto ok =
+      cli.request("POST", "/oak/report", {{"Host", "busy.com"}}, report_wire());
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->status, 204);
+  EXPECT_EQ(oak_->reports_processed(), 1u);
+
+  auto bad = cli.request("POST", "/oak/report", {{"Host", "busy.com"}},
+                         "{not json");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->status, 400);
+  EXPECT_EQ(oak_->reports_processed(), 1u);
+}
+
+TEST_F(WireFixture, UnknownPage404) {
+  boot();
+  BlockingClient cli = client();
+  auto resp = cli.request("GET", "/no-such-page", {{"Host", "busy.com"}});
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 404);
+}
+
+TEST_F(WireFixture, UnroutedMethodGets405WithAllow) {
+  boot();
+  BlockingClient cli = client();
+  ASSERT_TRUE(cli.send_raw("BREW /pot HTTP/1.1\r\nHost: busy.com\r\n\r\n"));
+  auto resp = cli.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 405);
+  EXPECT_EQ(resp->headers.get("allow").value_or(""), http::kAllowedMethods);
+  // The request was well-formed, so the connection stays usable.
+  auto next = cli.request("GET", site_.index_path, {{"Host", "busy.com"}});
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->status, 200);
+}
+
+TEST_F(WireFixture, RoutedButWrongMethodGets405) {
+  boot();
+  BlockingClient cli = client();
+  auto resp = cli.request("PUT", site_.index_path, {{"Host", "busy.com"}});
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 405);
+  EXPECT_FALSE(resp->headers.get("allow").value_or("").empty());
+}
+
+TEST_F(WireFixture, HeadOmitsBodyButKeepsFraming) {
+  boot();
+  BlockingClient cli = client();
+  auto head = cli.request("HEAD", site_.index_path, {{"Host", "busy.com"}});
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->status, 200);
+  EXPECT_TRUE(head->body.empty());
+  const std::string cl = head->headers.get("content-length").value_or("0");
+  EXPECT_GT(std::stoul(cl), 0u);  // advertises the GET body it didn't send
+  // Framing intact: the next request on the same connection still parses.
+  auto get = cli.request("GET", site_.index_path, {{"Host", "busy.com"}});
+  ASSERT_TRUE(get.has_value());
+  EXPECT_EQ(get->status, 200);
+  EXPECT_EQ(std::to_string(get->body.size()), cl);
+}
+
+TEST_F(WireFixture, MetricsEndpointsExposeWirePlane) {
+  boot();
+  BlockingClient cli = client();
+  auto prom = cli.request("GET", "/metrics");
+  ASSERT_TRUE(prom.has_value());
+  EXPECT_EQ(prom->status, 200);
+  EXPECT_NE(prom->body.find("oak_wire_requests_total"), std::string::npos);
+  EXPECT_NE(prom->body.find("oak_wire_conns_active"), std::string::npos);
+
+  auto js = cli.request("GET", "/metrics.json");
+  ASSERT_TRUE(js.has_value());
+  EXPECT_EQ(js->status, 200);
+  EXPECT_NE(js->body.find("oak_wire_requests_total"), std::string::npos);
+}
+
+TEST_F(WireFixture, AdminRulesCrudRoundTrip) {
+  boot();
+  BlockingClient cli = client();
+  auto empty = cli.request("GET", "/admin/rules");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->status, 200);
+
+  const std::string rule_file =
+      "rule \"shed-x0\" {\n"
+      "  type: 2\n"
+      "  default: \"x0.net\"\n"
+      "  alt: \"alt.net\"\n"
+      "}\n";
+  auto added = cli.request("POST", "/admin/rules", {}, rule_file);
+  ASSERT_TRUE(added.has_value());
+  ASSERT_EQ(added->status, 201) << added->body;
+  ASSERT_EQ(oak_->rules().size(), 1u);
+  const int id = oak_->rules()[0].id;
+
+  auto listed = cli.request("GET", "/admin/rules");
+  ASSERT_TRUE(listed.has_value());
+  EXPECT_NE(listed->body.find("shed-x0"), std::string::npos);
+
+  auto gone =
+      cli.request("DELETE", "/admin/rules/" + std::to_string(id));
+  ASSERT_TRUE(gone.has_value());
+  EXPECT_EQ(gone->status, 200);
+  EXPECT_TRUE(oak_->rules().empty());
+
+  auto again =
+      cli.request("DELETE", "/admin/rules/" + std::to_string(id));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->status, 404);
+
+  auto bad_rules = cli.request("POST", "/admin/rules", {}, "rule ??? {\n");
+  ASSERT_TRUE(bad_rules.has_value());
+  EXPECT_EQ(bad_rules->status, 400);
+}
+
+TEST_F(WireFixture, AdminHealthReportsDrainState) {
+  boot();
+  BlockingClient cli = client();
+  auto live = cli.request("GET", "/admin/health");
+  ASSERT_TRUE(live.has_value());
+  EXPECT_NE(live->body.find("\"ok\""), std::string::npos);
+}
+
+TEST_F(WireFixture, ParseErrorAnswers400ThenCloses) {
+  boot();
+  BlockingClient cli = client();
+  ASSERT_TRUE(cli.send_raw("GARBAGE\r\n\r\n"));
+  auto resp = cli.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 400);
+  EXPECT_FALSE(resp->keep_alive);
+  EXPECT_TRUE(cli.read_all().empty());  // server closed after the 4xx
+}
+
+TEST_F(WireFixture, PipelinedRequestsAnsweredInOrder) {
+  boot();
+  BlockingClient cli = client();
+  const std::string h = "busy.com";
+  ASSERT_TRUE(cli.send_raw(
+      "GET " + site_.index_path + " HTTP/1.1\r\nHost: " + h + "\r\n\r\n" +
+      "GET /nope HTTP/1.1\r\nHost: " + h + "\r\n\r\n" +
+      "GET /admin/health HTTP/1.1\r\nHost: " + h + "\r\n\r\n"));
+  int statuses[3] = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) {
+    auto resp = cli.read_response();
+    ASSERT_TRUE(resp.has_value()) << "response " << i;
+    statuses[i] = resp->status;
+  }
+  EXPECT_EQ(statuses[0], 200);
+  EXPECT_EQ(statuses[1], 404);
+  EXPECT_EQ(statuses[2], 200);
+}
+
+TEST_F(WireFixture, SlowlorisHeaderDeadline408) {
+  WireConfig wc;
+  wc.header_deadline_s = 0.25;
+  boot(wc);
+  BlockingClient cli = client();
+  ASSERT_TRUE(cli.send_raw("GET / HTTP/1.1\r\nHo"));  // ...and stall
+  auto resp = cli.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 408);
+  EXPECT_TRUE(cli.read_all().empty());
+  EXPECT_GE(srv_->metrics_snapshot().counter("oak_wire_timeout_header_total"),
+            1u);
+}
+
+TEST_F(WireFixture, IdleKeepAliveDeadlineCloses) {
+  WireConfig wc;
+  wc.idle_deadline_s = 0.25;
+  boot(wc);
+  BlockingClient cli = client();
+  auto resp = cli.request("GET", "/admin/health");
+  ASSERT_TRUE(resp.has_value());
+  sleep_s(0.6);
+  EXPECT_TRUE(cli.read_all().empty());  // idle conn reaped
+  EXPECT_GE(srv_->metrics_snapshot().counter("oak_wire_timeout_idle_total"),
+            1u);
+}
+
+TEST_F(WireFixture, ConnectionCapShedsAtAccept) {
+  WireConfig wc;
+  wc.max_connections = 1;
+  boot(wc);
+  BlockingClient first = client();
+  auto ok = first.request("GET", "/admin/health");
+  ASSERT_TRUE(ok.has_value());
+
+  BlockingClient second = client();
+  auto shed = second.read_response();  // server speaks first: 503 + close
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->status, 503);
+  EXPECT_FALSE(shed->headers.get("retry-after").value_or("").empty());
+  EXPECT_GE(srv_->metrics_snapshot().counter("oak_wire_shed_conn_cap_total"),
+            1u);
+}
+
+TEST_F(WireFixture, DispatchDepthSheds503) {
+  WireConfig wc;
+  wc.dispatch_depth = 0;  // every request overflows the queue
+  boot(wc);
+  BlockingClient cli = client();
+  auto resp = cli.request("GET", "/admin/health");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 503);
+  EXPECT_FALSE(resp->headers.get("retry-after").value_or("").empty());
+  EXPECT_GE(srv_->metrics_snapshot().counter("oak_wire_shed_dispatch_total"),
+            1u);
+}
+
+TEST_F(WireFixture, BackpressureShedsReportsButServesPages) {
+  WireConfig wc;
+  wc.shed_pressure = 0.0;  // treat any pressure (even 0) as overload
+  boot(wc);
+  BlockingClient cli = client();
+  auto post =
+      cli.request("POST", "/oak/report", {{"Host", "busy.com"}}, report_wire());
+  ASSERT_TRUE(post.has_value());
+  EXPECT_EQ(post->status, 503);
+  EXPECT_EQ(oak_->reports_processed(), 0u);
+
+  auto get = cli.request("GET", site_.index_path, {{"Host", "busy.com"}});
+  ASSERT_TRUE(get.has_value());
+  EXPECT_EQ(get->status, 200);  // page plane unaffected
+  EXPECT_GE(
+      srv_->metrics_snapshot().counter("oak_wire_shed_backpressure_total"),
+      1u);
+}
+
+TEST_F(WireFixture, SigtermDrainsAndRunsOnDrained) {
+  std::atomic<bool> drained{false};
+  boot({}, {}, [&] { drained.store(true); });
+  srv_->install_signal_drain(SIGTERM);
+  BlockingClient idle = client();  // an idle conn drain must reap
+  auto warm = idle.request("GET", "/admin/health");
+  ASSERT_TRUE(warm.has_value());
+
+  ::kill(::getpid(), SIGTERM);
+  srv_->join();
+  EXPECT_TRUE(drained.load());
+  EXPECT_TRUE(srv_->draining());
+  EXPECT_TRUE(idle.read_all().empty());  // closed by drain
+
+  // Fully down: new connections are refused.
+  BlockingClient late;
+  EXPECT_FALSE(late.connect("127.0.0.1", srv_->port(), 0.5));
+}
+
+TEST_F(WireFixture, GracefulDrainLosesNoAcknowledgedReports) {
+  const std::string dir =
+      ::testing::TempDir() + "/oak_wire_drain_test";
+  std::filesystem::remove_all(dir);
+  OakConfig oc;
+  oc.durability.enabled = true;
+  oc.durability.dir = dir;
+  boot({}, oc);
+
+  const std::string wire = report_wire();
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> acked{0};
+  std::vector<std::thread> loaders;
+  for (int t = 0; t < 3; ++t) {
+    loaders.emplace_back([&] {
+      BlockingClient cli;
+      if (!cli.connect("127.0.0.1", srv_->port(), 2.0)) return;
+      while (!stop.load()) {
+        auto resp =
+            cli.request("POST", "/oak/report", {{"Host", "busy.com"}}, wire);
+        if (!resp.has_value()) {
+          // Connection died (likely drain). Reconnect until refused.
+          cli.close();
+          if (!cli.connect("127.0.0.1", srv_->port(), 2.0)) return;
+          continue;
+        }
+        if (resp->status == 204) acked.fetch_add(1);
+        if (!resp->keep_alive) {
+          cli.close();
+          if (!cli.connect("127.0.0.1", srv_->port(), 2.0)) return;
+        }
+      }
+    });
+  }
+
+  sleep_s(0.4);  // let load build
+  const auto drain_start = std::chrono::steady_clock::now();
+  srv_->request_drain();
+  srv_->join();
+  const double drain_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - drain_start)
+                             .count();
+  stop.store(true);
+  for (auto& th : loaders) th.join();
+
+  EXPECT_GT(acked.load(), 0u);
+  EXPECT_LT(drain_s, srv_->config().drain_deadline_s + 2.0);
+  // Every acknowledged report is on the live server...
+  EXPECT_GE(oak_->reports_processed(), acked.load());
+
+  // ...and — the real gate — on disk: recover a fresh instance from the
+  // WAL and count again. A 2xx the client saw must have been journaled
+  // before it was written to the socket.
+  srv_.reset();
+  oak_.reset();
+  ShardedOakServer recovered(universe_, "busy.com", oc, 4);
+  EXPECT_TRUE(recovered.recovery_report().performed);
+  EXPECT_GE(recovered.reports_processed(), acked.load());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(WireFixture, OversizedBodySheds413BeforeBuffering) {
+  WireConfig wc;
+  wc.limits.max_body_bytes = 64;
+  boot(wc);
+  BlockingClient cli = client();
+  ASSERT_TRUE(cli.send_raw("POST /oak/report HTTP/1.1\r\nHost: busy.com\r\n"
+                           "Content-Length: 100000\r\n\r\n"));
+  auto resp = cli.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 413);  // refused at the header, body never read
+}
+
+}  // namespace
+}  // namespace oak::wire

@@ -1,0 +1,76 @@
+// TimerWheel: the slowloris-deadline primitive. Single-threaded, driven
+// with synthetic time — correctness here is what keeps a stalled peer from
+// outliving its budget (or a healthy one from being cut off early).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "wire/timer_wheel.h"
+
+namespace oak::wire {
+namespace {
+
+std::vector<std::uint64_t> fire(TimerWheel& w, double now) {
+  std::vector<std::uint64_t> out;
+  w.advance(now, [&](std::uint64_t id) { out.push_back(id); });
+  return out;
+}
+
+TEST(TimerWheel, FiresAtDeadlineNotBefore) {
+  TimerWheel w(0.05);
+  w.schedule(1, 1.0);
+  EXPECT_TRUE(fire(w, 0.9).empty());
+  EXPECT_TRUE(w.armed(1));
+  const auto fired = fire(w, 1.1);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+  EXPECT_FALSE(w.armed(1));
+}
+
+TEST(TimerWheel, CancelSuppresses) {
+  TimerWheel w(0.05);
+  w.schedule(7, 0.5);
+  w.cancel(7);
+  EXPECT_TRUE(fire(w, 1.0).empty());
+}
+
+TEST(TimerWheel, RearmSupersedesOldDeadline) {
+  TimerWheel w(0.05);
+  w.schedule(3, 0.5);
+  w.schedule(3, 2.0);  // pushed out: the 0.5 entry is stale
+  EXPECT_TRUE(fire(w, 1.0).empty());
+  EXPECT_EQ(fire(w, 2.1).size(), 1u);
+}
+
+TEST(TimerWheel, WrapAroundBeyondOneRevolution) {
+  // 0.05 * 256 slots = 12.8 s per revolution; a 30 s deadline wraps.
+  TimerWheel w(0.05, 256);
+  w.schedule(9, 30.0);
+  double t = 0.0;
+  while (t < 29.9) {
+    ASSERT_TRUE(fire(w, t).empty()) << "early fire at " << t;
+    t += 0.5;
+  }
+  EXPECT_EQ(fire(w, 30.1).size(), 1u);
+}
+
+TEST(TimerWheel, PastDeadlineFiresOnNextAdvance) {
+  TimerWheel w(0.05);
+  fire(w, 10.0);        // establish the cursor
+  w.schedule(4, 9.0);   // already in the past (loop lag)
+  EXPECT_EQ(fire(w, 10.1).size(), 1u);  // not a revolution later
+}
+
+TEST(TimerWheel, ManyIdsShareSlots) {
+  TimerWheel w(0.05, 8);  // tiny wheel: heavy slot sharing
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    w.schedule(id, 0.1 + 0.01 * double(id));
+  }
+  std::size_t total = 0;
+  for (double t = 0.0; t <= 1.3; t += 0.05) total += fire(w, t).size();
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(w.armed_count(), 0u);
+}
+
+}  // namespace
+}  // namespace oak::wire
