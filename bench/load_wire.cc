@@ -8,22 +8,29 @@
 // coordinated omission are charged to the server, not hidden by the client.
 //
 // Phases:
-//   peak   closed-loop burst to find the server's max goodput (2xx/s)
-//   sweep  open-loop at 0.25x / 0.5x / 1.0x / 2.0x peak; per-point goodput,
-//          shed rate, and latency percentiles
-//   soak   sustained 0.5x peak; RSS sampled before/after (with malloc_trim)
-//          to bound allocator drift
+//   peak      closed-loop burst to find the server's max goodput (2xx/s)
+//   sweep     open-loop at 0.25x / 0.5x / 1.0x / 2.0x peak; per-point
+//             goodput, shed rate, and latency percentiles
+//   soak      sustained 0.5x peak; RSS sampled before/after (with
+//             malloc_trim) to bound allocator drift
+//   multiloop loops=1 vs loops=N (N = min(cores, shards)) over a shared
+//             absolute rate grid; the number that matters is the knee —
+//             the first offered rate whose p99 exceeds 250 ms — which the
+//             extra loops must move right, not just peak goodput
 //
 // Gates (exit code 0 iff all pass):
 //   * goodput at 2.0x overload >= 80% of the best sweep goodput — shedding
 //     refuses excess load instead of collapsing under it;
 //   * p99 latency at 0.5x load bounded (the uncongested regime is fast);
 //   * soak RSS drift <= 1.1x (no per-request leak on the hot path);
-//   * zero 5xx anywhere.
+//   * zero 5xx anywhere;
+//   * multiloop (>= 4 cores only; recorded "skipped" below that, mirroring
+//     load_concurrent's convention): loops=N peak >= 1.3x loops=1 peak and
+//     the p99 knee at a strictly higher offered rate.
 //
 // Usage: load_wire [scale] — scale divides durations for CI smoke runs.
-// Merges the "load" and "soak" sections into BENCH_wire.json (wire_fuzz
-// owns the "fuzz" section).
+// Merges the "load", "soak", and "multiloop" sections into BENCH_wire.json
+// (wire_fuzz owns the "fuzz" section).
 #include <malloc.h>
 
 #include <algorithm>
@@ -259,11 +266,30 @@ int main(int argc, char** argv) {
   // warmup run so first-touch allocations (arena blocks, queue capacities,
   // allocator fragmentation plateau) don't masquerade as per-request drift;
   // the soak itself records no latency samples so the harness adds nothing
-  // to the measurement.
-  const double warmup_s = std::max(soak_s / 4.0, 2.0);
-  std::printf("load_wire: soak warmup at 0.5x for %.0fs...\n", warmup_s);
-  run_load(port, env.report, 0.5 * peak_rps, warmup_s, kThreads, false);
-  const std::size_t rss_before = rss_bytes();
+  // to the measurement. Warmup runs in slices until RSS actually plateaus
+  // (two consecutive samples within 1%) rather than for a fixed time: a
+  // short fixed warmup can sample the baseline mid-plateau and the
+  // remaining first-touch growth reads as several-MB "drift".
+  const double warmup_slice_s = 2.0;
+  const double warmup_min_s = 4.0;
+  const double warmup_cap_s = 24.0;
+  std::printf("load_wire: soak warmup at 0.5x until RSS plateaus...\n");
+  double warmed_s = 0.0;
+  std::size_t rss_prev = 0;
+  std::size_t rss_before = 0;
+  while (true) {
+    run_load(port, env.report, 0.5 * peak_rps, warmup_slice_s, kThreads,
+             false);
+    warmed_s += warmup_slice_s;
+    rss_before = rss_bytes();
+    const bool settled =
+        rss_prev != 0 && double(rss_before) <= double(rss_prev) * 1.01;
+    if ((warmed_s >= warmup_min_s && settled) || warmed_s >= warmup_cap_s)
+      break;
+    rss_prev = rss_before;
+  }
+  std::printf("  warmup settled after %.0fs (rss %.1f MB)\n", warmed_s,
+              rss_before / 1048576.0);
   std::printf("load_wire: soak at 0.5x for %.0fs (rss %.1f MB)...\n", soak_s,
               rss_before / 1048576.0);
   RunStats soak =
@@ -358,6 +384,124 @@ int main(int argc, char** argv) {
   soak_o["status"] = std::string(gate_rss ? "pass" : "fail");
   root["soak"] = std::move(soak_o);
 
+  // --- Multiloop matrix: loops=1 vs loops=N over one absolute rate grid.
+  // Below 4 cores the comparison is physically meaningless (the loops
+  // timeshare one core), so the gates are recorded as skipped rather than
+  // silently passing or flakily failing.
+  const std::size_t cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t nloops = std::min<std::size_t>(cores, 4);  // 4 shards
+  bool ml_pass = true;
+  util::JsonObject ml;
+  ml["cores"] = cores;
+  ml["loops_n"] = nloops;
+  auto skipped_gate = [] {
+    util::JsonObject g;
+    g["status"] = std::string("skipped");
+    return util::Json(std::move(g));
+  };
+  if (cores < 4) {
+    std::printf("load_wire: multiloop matrix skipped (%zu cores < 4)\n",
+                cores);
+    util::JsonObject mgates;
+    mgates["peak_goodput_ratio"] = skipped_gate();
+    mgates["knee_moves_right"] = skipped_gate();
+    mgates["responses_5xx"] = skipped_gate();
+    ml["gates"] = std::move(mgates);
+    ml["status"] = std::string("skipped");
+  } else {
+    struct MlRun {
+      std::size_t loops = 0;
+      double peak = 0.0;
+      double knee_rps = 0.0;  // 0 = no knee inside the sweep
+      std::uint64_t s5xx = 0;
+      util::JsonArray pts;
+    };
+    const double kneeslice[] = {0.5, 1.0, 1.5, 2.0, 2.5, 3.0};
+    double grid_anchor = 0.0;  // loops=1 peak, measured first
+    auto measure = [&](std::size_t loops) {
+      MlRun run;
+      run.loops = loops;
+      wire::WireConfig mwc;
+      mwc.loops = loops;
+      wire::Server msrv(oak, mwc);
+      msrv.start();
+      std::printf("load_wire: multiloop loops=%zu peak (%.1fs)...\n", loops,
+                  peak_s);
+      RunStats mp = run_load(msrv.port(), env.report, 0.0, peak_s, kThreads);
+      run.peak = mp.goodput();
+      run.s5xx += mp.s5xx;
+      if (grid_anchor == 0.0) grid_anchor = std::max(run.peak, 100.0);
+      for (double f : kneeslice) {
+        const double rate = f * grid_anchor;
+        RunStats s =
+            run_load(msrv.port(), env.report, rate, point_s, kThreads);
+        const double p99 = s.pct(0.99);
+        run.s5xx += s.s5xx;
+        if (run.knee_rps == 0.0 && p99 > 0.25) run.knee_rps = rate;
+        util::JsonObject o;
+        o["offered_rps"] = rate;
+        o["goodput_rps"] = s.goodput();
+        o["p99_ms"] = 1e3 * p99;
+        o["shed_fraction"] =
+            s.sent ? double(s.shed) / double(s.sent) : 0.0;
+        run.pts.push_back(util::Json(std::move(o)));
+        std::printf("  loops=%zu @ %.0f/s: goodput %.0f/s p99 %.1fms\n",
+                    loops, rate, s.goodput(), 1e3 * p99);
+      }
+      msrv.stop();
+      return run;
+    };
+    MlRun one = measure(1);
+    MlRun many = measure(nloops);
+
+    const double ratio = one.peak > 0 ? many.peak / one.peak : 0.0;
+    const bool gate_ratio = ratio >= 1.3;
+    // Knee: first offered rate where p99 exceeds 250 ms; 0 means the knee
+    // is beyond the sweep. Moving right = loops=N keeps p99 in budget at
+    // rates where loops=1 already lost it.
+    const bool gate_knee =
+        many.knee_rps == 0.0 ||
+        (one.knee_rps != 0.0 && many.knee_rps > one.knee_rps);
+    const bool gate_ml_5xx = one.s5xx + many.s5xx == 0;
+    ml_pass = gate_ratio && gate_knee && gate_ml_5xx;
+
+    util::JsonArray runs;
+    for (MlRun* r : {&one, &many}) {
+      util::JsonObject o;
+      o["loops"] = r->loops;
+      o["peak_goodput_rps"] = r->peak;
+      o["knee_found"] = r->knee_rps != 0.0;
+      o["knee_rps"] = r->knee_rps;
+      o["sweep"] = std::move(r->pts);
+      runs.push_back(util::Json(std::move(o)));
+    }
+    ml["runs"] = std::move(runs);
+    util::JsonObject mgates;
+    mgates["peak_goodput_ratio"] = gate(gate_ratio, ratio, 1.3, "at_least");
+    {
+      util::JsonObject g;
+      g["loops1_knee_rps"] = one.knee_rps;
+      g["loopsN_knee_rps"] = many.knee_rps;
+      g["status"] = std::string(gate_knee ? "pass" : "fail");
+      mgates["knee_moves_right"] = util::Json(std::move(g));
+    }
+    mgates["responses_5xx"] =
+        gate(gate_ml_5xx, double(one.s5xx + many.s5xx), 0.0, "at_most");
+    ml["gates"] = std::move(mgates);
+    ml["status"] = std::string(ml_pass ? "pass" : "fail");
+    std::printf("gate multiloop peak ratio: %.2fx (need >= 1.30)  [%s]\n",
+                ratio, gate_ratio ? "PASS" : "FAIL");
+    std::printf(
+        "gate multiloop knee: loops=1 %.0f/s -> loops=%zu %s  [%s]\n",
+        one.knee_rps, nloops,
+        many.knee_rps == 0.0 ? "beyond sweep"
+                             : std::to_string(int(many.knee_rps)).c_str(),
+        gate_knee ? "PASS" : "FAIL");
+  }
+  root["multiloop"] = std::move(ml);
+  const bool pass_all = pass && ml_pass;
+
   std::ofstream("BENCH_wire.json")
       << util::Json(root).dump_pretty(2) << "\n";
 
@@ -371,6 +515,6 @@ int main(int argc, char** argv) {
   std::printf("gate 5xx: %llu (need 0)  [%s]\n",
               (unsigned long long)total_5xx, gate_5xx ? "PASS" : "FAIL");
   std::printf("load_wire: %s (wrote BENCH_wire.json)\n",
-              pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+              pass_all ? "PASS" : "FAIL");
+  return pass_all ? 0 : 1;
 }

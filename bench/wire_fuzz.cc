@@ -135,6 +135,10 @@ int main(int argc, char** argv) {
   core::ShardedOakServer oak(env.universe, "busy.com", {}, 4);
   wire::WireConfig wc;
   wc.worker_threads = 2;
+  // The corpus runs against a multi-loop server: hostile-input handling
+  // must hold on whichever SO_REUSEPORT loop the kernel hashes a conn to,
+  // even when the loops timeshare one core.
+  wc.loops = 2;
   // Short deadlines: the fuzz client half-closes, so nothing should ever
   // wait these out — they exist to bound a bug, not the happy path.
   wc.header_deadline_s = 2.0;

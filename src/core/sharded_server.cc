@@ -260,7 +260,12 @@ http::Response ShardedOakServer::handle(const http::Request& req, double now) {
     auto it = jar.find(http::kOakUserCookie);
     if (it != jar.end()) uid = it->second;
   }
+  return handle_for_user(req, now, std::move(uid));
+}
 
+http::Response ShardedOakServer::handle_for_user(const http::Request& req,
+                                                 double now,
+                                                 std::string uid) {
   // Mint the identity here (one atomic counter, no shard involvement) and
   // hand the core a request that already carries it; the Set-Cookie is
   // attached on the way out, exactly as the single-threaded server does.

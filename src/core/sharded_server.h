@@ -64,6 +64,14 @@ class ShardedOakServer {
   // --- Request plane (shared rule lock + one shard lock).
   http::Response handle(const http::Request& req, double now);
 
+  // Shard-targeted entry point for callers that already parsed the
+  // oak_uid cookie (the wire front-end's shard-affine ingest path): skips
+  // the cookie re-parse and routes straight to shard_for(uid). `uid` must
+  // be the request's oak_uid cookie value, or empty to mint a fresh
+  // identity (Set-Cookie is attached exactly as handle() would).
+  http::Response handle_for_user(const http::Request& req, double now,
+                                 std::string uid);
+
   // Register this server as the universe's handler for the site host. The
   // handler captures `this` and is safe to drive from many request threads.
   void install();

@@ -23,6 +23,38 @@ std::string lower(std::string_view s) {
   return out;
 }
 
+std::string_view trim_ows(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Connection is a comma-separated token list (RFC 7230 §6.1); decide
+// keep-alive by matching whole tokens case-insensitively, exactly as the
+// server-side parser does. A substring test would read a token like
+// "close-notify" — or any value merely containing the letters "close" —
+// as a close directive.
+bool parse_keep_alive(std::string_view value, bool current) {
+  bool ka = current;
+  std::string_view rest = value;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string lc = lower(trim_ows(rest.substr(0, comma)));
+    if (lc == "close") {
+      ka = false;
+    } else if (lc == "keep-alive") {
+      ka = true;
+    }
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  return ka;
+}
+
 }  // namespace
 
 BlockingClient::~BlockingClient() { close(); }
@@ -46,7 +78,9 @@ BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
 bool BlockingClient::connect(const std::string& host, std::uint16_t port,
                              double timeout_s) {
   close();
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  // Numeric literals only (no DNS): a ':' in the host means IPv6.
+  const bool v6 = host.find(':') != std::string::npos;
+  fd_ = ::socket(v6 ? AF_INET6 : AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) return false;
 
   timeval tv{};
@@ -57,14 +91,28 @@ bool BlockingClient::connect(const std::string& host, std::uint16_t port,
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    close();
-    return false;
+  sockaddr_storage addr{};
+  socklen_t alen = 0;
+  if (v6) {
+    auto* a6 = reinterpret_cast<sockaddr_in6*>(&addr);
+    a6->sin6_family = AF_INET6;
+    a6->sin6_port = htons(port);
+    if (::inet_pton(AF_INET6, host.c_str(), &a6->sin6_addr) != 1) {
+      close();
+      return false;
+    }
+    alen = sizeof(sockaddr_in6);
+  } else {
+    auto* a4 = reinterpret_cast<sockaddr_in*>(&addr);
+    a4->sin_family = AF_INET;
+    a4->sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &a4->sin_addr) != 1) {
+      close();
+      return false;
+    }
+    alen = sizeof(sockaddr_in);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), alen) < 0) {
     close();
     return false;
   }
@@ -147,7 +195,7 @@ std::optional<ClientResponse> BlockingClient::read_response(
       content_length =
           static_cast<std::size_t>(std::atoll(std::string(value).c_str()));
     } else if (name == "connection") {
-      resp.keep_alive = lower(value).find("close") == std::string::npos;
+      resp.keep_alive = parse_keep_alive(value, resp.keep_alive);
     }
   }
 

@@ -7,6 +7,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -15,6 +16,7 @@
 #include <utility>
 
 #include "core/rule_parser.h"
+#include "http/cookies.h"
 
 namespace oak::wire {
 
@@ -22,13 +24,23 @@ namespace {
 
 // epoll user-data sentinels; connection ids start above them.
 constexpr std::uint64_t kListenerTag = 0;
-constexpr std::uint64_t kEventFdTag = 1;  // conn ids start at 2
+constexpr std::uint64_t kEventFdTag = 1;   // per-loop completions wakeup
+constexpr std::uint64_t kDrainFdTag = 2;   // shared drain wakeup (oneshot)
+constexpr std::uint64_t kFirstConnId = 3;
 
 // Timer kinds carried in Conn::timer_kind (one armed deadline per conn).
 constexpr int kTimerNone = 0;
 constexpr int kTimerHeader = 1;
 constexpr int kTimerIdle = 2;
 constexpr int kTimerWrite = 3;
+
+// Pipelined-output bounds: phase 1 of pump() stops answering buffered
+// requests once this much response data is queued, so a peer that
+// pipelines thousands of requests and never reads can't make us buffer
+// unbounded output.
+constexpr std::size_t kSoftOutCap = 64 * 1024;
+// iovec fan-in per sendmsg call; responses beyond this wait for the next.
+constexpr std::size_t kMaxIov = 64;
 
 void bump(obs::Counter* c, std::uint64_t n = 1) {
   if (c) c->inc(n);
@@ -46,8 +58,8 @@ bool iequal(std::string_view a, std::string_view b) {
 }
 
 // The SIGTERM handler can only touch async-signal-safe state: one atomic
-// flag plus an eventfd write to kick the epoll loop. One server per process
-// owns the handler (install_signal_drain documents this).
+// flag plus an eventfd write to kick the epoll loops. One server per
+// process owns the handler (install_signal_drain documents this).
 std::atomic<std::atomic<bool>*> g_drain_flag{nullptr};
 std::atomic<int> g_drain_fd{-1};
 
@@ -64,22 +76,55 @@ extern "C" void oak_wire_drain_handler(int) {
 
 }  // namespace
 
-// Per-connection state, owned by the loop thread. Exactly one response is
-// outstanding at a time (`dispatched` / `out`), so pipelined peers get
-// their responses in request order without any per-conn queue.
+// One event loop: its own SO_REUSEPORT listener, epoll set, completion
+// queue, timer wheel and connection table. Everything here except
+// `completions`/`cmu` (workers push) and `event_fd` (workers kick) is
+// touched only by the loop's own thread.
+struct Server::Loop {
+  std::size_t index = 0;
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int event_fd = -1;  // worker completions wakeup
+  std::thread thread;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  std::uint64_t next_conn_id = kFirstConnId;
+  TimerWheel wheel{0.05};
+
+  bool drain_started = false;
+  double drain_started_at = 0.0;
+  // Items this loop dispatched to the worker pool whose completion it has
+  // not yet consumed (or discarded against a closed conn). Loop-thread
+  // only: incremented at dispatch, decremented at consumption.
+  std::size_t outstanding = 0;
+
+  // Completion queue: workers → this loop.
+  std::mutex cmu;
+  std::vector<CompletionItem> completions;
+
+  // Per-loop instruments (oak_wire_loop_<i>_*); null when metrics are off.
+  obs::Counter* obs_accepts = nullptr;
+  obs::Gauge* obs_conns = nullptr;
+  obs::Histogram* obs_lag = nullptr;
+};
+
+// Per-connection state, owned by one loop's thread. Responses queue in
+// `outq` (pipelined peers get theirs in request order) and flush together
+// through one sendmsg/writev call.
 struct Server::Conn {
+  Loop* loop = nullptr;
   std::uint64_t id = 0;
   int fd = -1;
   std::string client_ip;
   RequestParser parser;
-  std::string out;            // serialized response being written
-  std::size_t out_off = 0;
-  bool want_read = true;      // current epoll interest
+  std::deque<std::string> outq;  // serialized responses awaiting write
+  std::size_t out_off = 0;       // write offset into outq.front()
+  std::size_t out_bytes = 0;     // unwritten bytes across outq
+  bool want_read = true;         // current epoll interest
   bool want_write = false;
   bool dispatched = false;    // a request is with the worker pool
   bool close_after_write = false;
-  bool response_open = false;  // `out` holds a response not yet fully flushed
-  bool read_eof = false;       // peer half-closed (shutdown(SHUT_WR))
+  bool read_eof = false;      // peer half-closed (shutdown(SHUT_WR))
   int timer_kind = kTimerNone;
   double req_start = -1.0;  // wall start of the in-progress request
 
@@ -90,8 +135,7 @@ Server::Server(core::ShardedOakServer& oak, WireConfig cfg)
     : oak_(oak),
       cfg_(std::move(cfg)),
       report_path_(oak.config().report_path),
-      epoch_(std::chrono::steady_clock::now()),
-      wheel_(0.05) {
+      epoch_(std::chrono::steady_clock::now()) {
   if (cfg_.worker_threads == 0) cfg_.worker_threads = 1;
   if (cfg_.metrics) {
     obs_.accepted = &metrics_.counter("oak_wire_conns_accepted_total");
@@ -110,9 +154,13 @@ Server::Server(core::ShardedOakServer& oak, WireConfig cfg)
     obs_.timeout_write = &metrics_.counter("oak_wire_timeout_write_total");
     obs_.bytes_in = &metrics_.counter("oak_wire_bytes_in_total");
     obs_.bytes_out = &metrics_.counter("oak_wire_bytes_out_total");
+    obs_.affine_ingests = &metrics_.counter("oak_wire_affine_ingests_total");
+    obs_.writev_calls = &metrics_.counter("oak_wire_writev_calls_total");
+    obs_.writev_bufs = &metrics_.counter("oak_wire_writev_buffers_total");
     obs_.conns_active = &metrics_.gauge("oak_wire_conns_active");
     obs_.dispatch_depth = &metrics_.gauge("oak_wire_dispatch_depth");
     obs_.draining = &metrics_.gauge("oak_wire_draining");
+    obs_.loops = &metrics_.gauge("oak_wire_loops");
     obs_.request_seconds = &metrics_.histogram("oak_wire_request_seconds",
                                                obs::HistogramSpec::latency());
   }
@@ -127,9 +175,12 @@ Server::~Server() {
     g_drain_flag.store(nullptr, std::memory_order_relaxed);
     g_drain_fd.store(-1, std::memory_order_relaxed);
   }
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (event_fd_ >= 0) ::close(event_fd_);
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  for (auto& lp : loops_) {
+    if (lp->listen_fd >= 0) ::close(lp->listen_fd);
+    if (lp->event_fd >= 0) ::close(lp->event_fd);
+    if (lp->epoll_fd >= 0) ::close(lp->epoll_fd);
+  }
+  if (drain_event_fd_ >= 0) ::close(drain_event_fd_);
 }
 
 double Server::now() const {
@@ -142,65 +193,162 @@ obs::MetricsSnapshot Server::metrics_snapshot() const {
   return metrics_.snapshot();
 }
 
+int Server::make_listener(bool reuse_port) const {
+  const bool v6 = cfg_.bind_addr.find(':') != std::string::npos;
+  const int fd = ::socket(v6 ? AF_INET6 : AF_INET,
+                          SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (reuse_port) {
+    // The kernel spreads incoming connections across every listener bound
+    // with SO_REUSEPORT — the multi-loop accept path. All listeners
+    // (including the first) must set it before bind.
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) < 0) {
+      ::close(fd);
+      throw std::runtime_error("setsockopt(SO_REUSEPORT) failed");
+    }
+  }
+
+  int rc = -1;
+  if (v6) {
+    sockaddr_in6 addr{};
+    addr.sin6_family = AF_INET6;
+    addr.sin6_port = htons(bound_port_ != 0 ? bound_port_ : cfg_.port);
+    if (::inet_pton(AF_INET6, cfg_.bind_addr.c_str(), &addr.sin6_addr) != 1) {
+      ::close(fd);
+      throw std::runtime_error("bad bind_addr: " + cfg_.bind_addr);
+    }
+    rc = ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(bound_port_ != 0 ? bound_port_ : cfg_.port);
+    if (::inet_pton(AF_INET, cfg_.bind_addr.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      throw std::runtime_error("bad bind_addr: " + cfg_.bind_addr);
+    }
+    rc = ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  }
+  if (rc < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("bind() failed: ") +
+                             std::strerror(err));
+  }
+  if (::listen(fd, 512) < 0) {
+    ::close(fd);
+    throw std::runtime_error("listen() failed");
+  }
+  return fd;
+}
+
 void Server::start() {
   if (started_.load(std::memory_order_acquire)) {
     throw std::runtime_error("wire::Server already started");
   }
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  std::size_t nloops = cfg_.loops;
+  if (nloops == 0) {
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    nloops = std::min<std::size_t>(
+        hw, std::max<std::size_t>(1, oak_.shard_count()));
+  }
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(cfg_.port);
-  if (::inet_pton(AF_INET, cfg_.bind_addr.c_str(), &addr.sin_addr) != 1) {
-    throw std::runtime_error("bad bind_addr: " + cfg_.bind_addr);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-      0) {
-    throw std::runtime_error(std::string("bind() failed: ") +
-                             std::strerror(errno));
-  }
-  if (::listen(listen_fd_, 512) < 0) {
-    throw std::runtime_error("listen() failed");
-  }
-  sockaddr_in bound{};
-  socklen_t blen = sizeof bound;
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
-  bound_port_ = ntohs(bound.sin_port);
+  drain_event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (drain_event_fd_ < 0) throw std::runtime_error("eventfd setup failed");
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (epoll_fd_ < 0 || event_fd_ < 0) {
-    throw std::runtime_error("epoll/eventfd setup failed");
+  loops_.reserve(nloops);
+  for (std::size_t i = 0; i < nloops; ++i) {
+    auto lp = std::make_unique<Loop>();
+    lp->index = i;
+    lp->listen_fd = make_listener(/*reuse_port=*/nloops > 1);
+    if (i == 0) {
+      // Resolve port 0 off the first listener; the rest bind the same port.
+      sockaddr_storage bound{};
+      socklen_t blen = sizeof bound;
+      ::getsockname(lp->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                    &blen);
+      bound_port_ = ntohs(bound.ss_family == AF_INET6
+                              ? reinterpret_cast<sockaddr_in6*>(&bound)
+                                    ->sin6_port
+                              : reinterpret_cast<sockaddr_in*>(&bound)
+                                    ->sin_port);
+    }
+
+    lp->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    lp->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (lp->epoll_fd < 0 || lp->event_fd < 0) {
+      throw std::runtime_error("epoll/eventfd setup failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenerTag;
+    ::epoll_ctl(lp->epoll_fd, EPOLL_CTL_ADD, lp->listen_fd, &ev);
+    ev.data.u64 = kEventFdTag;
+    ::epoll_ctl(lp->epoll_fd, EPOLL_CTL_ADD, lp->event_fd, &ev);
+    // The shared drain eventfd is registered oneshot and never read: one
+    // write wakes every loop exactly once (reading it would race the other
+    // loops out of their wakeup), and oneshot keeps the still-readable fd
+    // from busy-looping the epoll afterwards.
+    ev.events = EPOLLIN | EPOLLONESHOT;
+    ev.data.u64 = kDrainFdTag;
+    ::epoll_ctl(lp->epoll_fd, EPOLL_CTL_ADD, drain_event_fd_, &ev);
+
+    if (cfg_.metrics) {
+      const std::string prefix = "oak_wire_loop_" + std::to_string(i);
+      lp->obs_accepts = &metrics_.counter(prefix + "_accepts_total");
+      lp->obs_conns = &metrics_.gauge(prefix + "_conns_active");
+      lp->obs_lag = &metrics_.histogram(prefix + "_lag_seconds",
+                                        obs::HistogramSpec::latency());
+    }
+    loops_.push_back(std::move(lp));
   }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kListenerTag;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
-  ev.data.u64 = kEventFdTag;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
+  if (obs_.loops) obs_.loops->set(static_cast<double>(nloops));
 
   workers_.reserve(cfg_.worker_threads);
   for (std::size_t i = 0; i < cfg_.worker_threads; ++i) {
     workers_.emplace_back([this] { worker_main(); });
   }
-  loop_thread_ = std::thread([this] { run(); });
+  for (auto& lp : loops_) {
+    Loop* raw = lp.get();
+    raw->thread = std::thread([this, raw] { run(*raw); });
+  }
+  // The coordinator is what makes "after the last connection closes and
+  // the workers are joined" a single event even with N loops finishing at
+  // different times: it joins every loop, then stops the shared pool, then
+  // fires on_drained exactly once.
+  coordinator_ = std::thread([this] {
+    for (auto& lp : loops_) {
+      if (lp->thread.joinable()) lp->thread.join();
+    }
+    {
+      std::lock_guard<std::mutex> lk(dmu_);
+      workers_stop_ = true;
+    }
+    dcv_.notify_all();
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+    for (auto& lp : loops_) {
+      std::lock_guard<std::mutex> lk(lp->cmu);
+      lp->completions.clear();
+    }
+    if (on_drained_) on_drained_();
+  });
   started_.store(true, std::memory_order_release);
 }
 
 void Server::request_drain() {
   drain_flag_.store(true, std::memory_order_release);
-  if (event_fd_ >= 0) {
+  if (drain_event_fd_ >= 0) {
     std::uint64_t one = 1;
-    [[maybe_unused]] ssize_t r = ::write(event_fd_, &one, sizeof one);
+    [[maybe_unused]] ssize_t r = ::write(drain_event_fd_, &one, sizeof one);
   }
 }
 
 void Server::join() {
-  if (loop_thread_.joinable()) loop_thread_.join();
+  if (coordinator_.joinable()) coordinator_.join();
 }
 
 void Server::stop() {
@@ -210,7 +358,7 @@ void Server::stop() {
 
 void Server::install_signal_drain(int signo) {
   g_drain_flag.store(&drain_flag_, std::memory_order_relaxed);
-  g_drain_fd.store(event_fd_, std::memory_order_relaxed);
+  g_drain_fd.store(drain_event_fd_, std::memory_order_relaxed);
   struct sigaction sa{};
   sa.sa_handler = oak_wire_drain_handler;
   sigemptyset(&sa.sa_mask);
@@ -219,126 +367,127 @@ void Server::install_signal_drain(int signo) {
 }
 
 // ---------------------------------------------------------------------------
-// Event loop.
+// Event loops.
 
-void Server::run() {
+void Server::run(Loop& lp) {
   epoll_event events[64];
   for (;;) {
-    const int n = ::epoll_wait(epoll_fd_, events, 64, 25);
+    const int n = ::epoll_wait(lp.epoll_fd, events, 64, 25);
     if (n < 0 && errno != EINTR) break;
+    const double t0 = now();
     for (int i = 0; i < std::max(n, 0); ++i) {
       const std::uint64_t tag = events[i].data.u64;
       if (tag == kListenerTag) {
-        handle_accept();
+        handle_accept(lp);
       } else if (tag == kEventFdTag) {
         std::uint64_t v;
-        while (::read(event_fd_, &v, sizeof v) > 0) {
+        while (::read(lp.event_fd, &v, sizeof v) > 0) {
         }
-        drain_completions();
+        drain_completions(lp);
+      } else if (tag == kDrainFdTag) {
+        // Wakeup only; the flag below is the signal. Never read the fd.
       } else {
-        handle_conn_event(tag, events[i].events);
+        handle_conn_event(lp, tag, events[i].events);
       }
     }
 
     const double t = now();
-    wheel_.advance(t, [this](std::uint64_t id) { on_deadline(id); });
+    lp.wheel.advance(t, [this, &lp](std::uint64_t id) { on_deadline(lp, id); });
+    // Loop lag = how long this wakeup's event processing stalled the loop;
+    // the per-loop histogram is the saturation signal the overload sweep
+    // watches (a loop pegged at milliseconds of lag is the old single-loop
+    // bottleneck reappearing).
+    if (lp.obs_lag) lp.obs_lag->observe(t - t0);
 
-    if (drain_flag_.load(std::memory_order_acquire) &&
-        !drain_started_loopside_) {
-      start_drain_loopside();
+    if (drain_flag_.load(std::memory_order_acquire) && !lp.drain_started) {
+      start_drain_loopside(lp);
     }
-    if (drain_started_loopside_) {
-      drain_completions();
-      if (drain_finished()) break;
+    if (lp.drain_started) {
+      drain_completions(lp);
+      if (drain_finished(lp)) break;
       if (cfg_.drain_deadline_s > 0 &&
-          t - drain_started_at_ >= cfg_.drain_deadline_s) {
-        // Deadline: force-close stragglers and drop unstarted work. The
-        // loop keeps spinning only for in-flight worker items (their
-        // completions are then discarded against the closed conns).
+          t - lp.drain_started_at >= cfg_.drain_deadline_s) {
+        // Deadline: force-close stragglers and drop this loop's unstarted
+        // work. The loop keeps spinning only for in-flight worker items
+        // (their completions are then discarded against the closed conns).
         std::vector<std::uint64_t> ids;
-        ids.reserve(conns_.size());
-        for (const auto& [id, c] : conns_) ids.push_back(id);
+        ids.reserve(lp.conns.size());
+        for (const auto& [id, c] : lp.conns) ids.push_back(id);
         for (std::uint64_t id : ids) {
-          auto it = conns_.find(id);
-          if (it != conns_.end()) close_conn(*it->second);
+          auto it = lp.conns.find(id);
+          if (it != lp.conns.end()) close_conn(*it->second);
         }
         {
           std::lock_guard<std::mutex> lk(dmu_);
-          dispatch_.clear();
-          if (obs_.dispatch_depth) obs_.dispatch_depth->set(0);
+          for (auto it = dispatch_.begin(); it != dispatch_.end();) {
+            if (it->loop_index == lp.index) {
+              it = dispatch_.erase(it);
+              --lp.outstanding;
+            } else {
+              ++it;
+            }
+          }
+          if (obs_.dispatch_depth) {
+            obs_.dispatch_depth->set(double(dispatch_.size()));
+          }
         }
       }
     }
   }
-
-  {
-    std::lock_guard<std::mutex> lk(dmu_);
-    workers_stop_ = true;
-  }
-  dcv_.notify_all();
-  for (auto& w : workers_) w.join();
-  workers_.clear();
-  {
-    std::lock_guard<std::mutex> lk(cmu_);
-    completions_.clear();
-  }
-  if (on_drained_) on_drained_();
 }
 
-bool Server::drain_finished() const {
-  if (!conns_.empty()) return false;
-  {
-    std::lock_guard<std::mutex> lk(dmu_);
-    if (!dispatch_.empty() || inflight_ != 0) return false;
-  }
-  std::lock_guard<std::mutex> lk(cmu_);
-  return completions_.empty();
+bool Server::drain_finished(const Loop& lp) const {
+  // outstanding covers both queued dispatch items and unconsumed
+  // completions: it only reaches zero once every item this loop admitted
+  // has come back (or been dropped at the force-deadline).
+  return lp.conns.empty() && lp.outstanding == 0;
 }
 
-void Server::start_drain_loopside() {
-  drain_started_loopside_ = true;
-  drain_started_at_ = now();
+void Server::start_drain_loopside(Loop& lp) {
+  lp.drain_started = true;
+  lp.drain_started_at = now();
   if (obs_.draining) obs_.draining->set(1);
 
-  if (listen_fd_ >= 0) {
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (lp.listen_fd >= 0) {
+    ::epoll_ctl(lp.epoll_fd, EPOLL_CTL_DEL, lp.listen_fd, nullptr);
+    ::close(lp.listen_fd);
+    lp.listen_fd = -1;
   }
 
   // In-flight work (a dispatched request or a half-written response)
   // finishes and then closes; everything else — idle keep-alive conns and
   // half-received heads that were never admitted — closes now.
   std::vector<std::uint64_t> to_close;
-  for (auto& [id, c] : conns_) {
-    if (c->dispatched || c->out_off < c->out.size()) {
+  for (auto& [id, c] : lp.conns) {
+    if (c->dispatched || c->out_bytes > 0) {
       c->close_after_write = true;
     } else {
       to_close.push_back(id);
     }
   }
   for (std::uint64_t id : to_close) {
-    auto it = conns_.find(id);
-    if (it != conns_.end()) close_conn(*it->second);
+    auto it = lp.conns.find(id);
+    if (it != lp.conns.end()) close_conn(*it->second);
   }
 }
 
-void Server::handle_accept() {
+void Server::handle_accept(Loop& lp) {
   for (;;) {
-    sockaddr_in peer{};
+    sockaddr_storage peer{};
     socklen_t plen = sizeof peer;
     const int fd =
-        ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &plen,
+        ::accept4(lp.listen_fd, reinterpret_cast<sockaddr*>(&peer), &plen,
                   SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN or transient accept failure: wait for epoll
     }
-    if (drain_started_loopside_) {
+    if (lp.drain_started) {
       ::close(fd);
       continue;
     }
-    if (conns_.size() >= cfg_.max_connections) {
+    if (total_conns_.load(std::memory_order_relaxed) >=
+        cfg_.max_connections) {
       // Accept-time shed: refuse in O(1), no parser state allocated. The
       // write is best-effort — a full socket buffer just means the peer
       // sees a bare close.
@@ -356,34 +505,51 @@ void Server::handle_accept() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
-    const std::uint64_t id = next_conn_id_++;
+    const std::uint64_t id = lp.next_conn_id++;
     auto conn = std::make_unique<Conn>(cfg_.limits);
+    conn->loop = &lp;
     conn->id = id;
     conn->fd = fd;
-    char ip[INET_ADDRSTRLEN] = {0};
-    ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof ip);
+    // Format the peer address by family: an IPv6 (or dual-stack) listener
+    // hands back sockaddr_in6, and pretending it was IPv4 left client_ip
+    // silently empty.
+    char ip[INET6_ADDRSTRLEN] = {0};
+    if (peer.ss_family == AF_INET) {
+      ::inet_ntop(AF_INET,
+                  &reinterpret_cast<sockaddr_in*>(&peer)->sin_addr, ip,
+                  sizeof ip);
+    } else if (peer.ss_family == AF_INET6) {
+      ::inet_ntop(AF_INET6,
+                  &reinterpret_cast<sockaddr_in6*>(&peer)->sin6_addr, ip,
+                  sizeof ip);
+    }
     conn->client_ip = ip;
 
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u64 = id;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    if (::epoll_ctl(lp.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
       ::close(fd);
       continue;
     }
     Conn& c = *conn;
-    conns_.emplace(id, std::move(conn));
+    lp.conns.emplace(id, std::move(conn));
+    const std::size_t total =
+        total_conns_.fetch_add(1, std::memory_order_relaxed) + 1;
     bump(obs_.accepted);
-    if (obs_.conns_active) obs_.conns_active->set(double(conns_.size()));
+    bump(lp.obs_accepts);
+    if (obs_.conns_active) obs_.conns_active->set(double(total));
+    if (lp.obs_conns) lp.obs_conns->set(double(lp.conns.size()));
     if (cfg_.header_deadline_s > 0) {
       arm_timer(c, kTimerHeader, cfg_.header_deadline_s);
     }
   }
 }
 
-void Server::handle_conn_event(std::uint64_t id, std::uint32_t events) {
-  auto it = conns_.find(id);
-  if (it == conns_.end()) return;
+void Server::handle_conn_event(Loop& lp, std::uint64_t id,
+                               std::uint32_t events) {
+  auto it = lp.conns.find(id);
+  if (it == lp.conns.end()) return;
   Conn& c = *it->second;
   if (events & (EPOLLERR | EPOLLHUP)) {
     close_conn(c);
@@ -391,7 +557,7 @@ void Server::handle_conn_event(std::uint64_t id, std::uint32_t events) {
   }
   if (events & EPOLLIN) {
     read_conn(c);
-    if (!conns_.count(id)) return;  // read_conn may close
+    if (!lp.conns.count(id)) return;  // read_conn may close
   }
   if (events & EPOLLOUT) pump(c);
 }
@@ -430,28 +596,44 @@ void Server::read_conn(Conn& c) {
 
 void Server::pump(Conn& c) {
   for (;;) {
-    if (c.out_off < c.out.size()) {
-      if (!try_write(c)) {
-        close_conn(c);
-        return;
+    // Phase 1: answer parsed requests while nothing blocks us. Responses
+    // accumulate in c.outq (inline report 204s, shed 503s, pipelined
+    // residue) and flush together below — this is what turns a pipelined
+    // burst into one writev instead of one send() per response.
+    while (!c.close_after_write && !c.dispatched &&
+           c.out_bytes < kSoftOutCap) {
+      if (c.parser.state() == RequestParser::State::kComplete) {
+        begin_request(c);
+        continue;
       }
-      if (c.out_off < c.out.size()) {  // EAGAIN mid-response
-        if (c.timer_kind != kTimerWrite && cfg_.write_deadline_s > 0) {
-          arm_timer(c, kTimerWrite, cfg_.write_deadline_s);
-        }
-        update_epoll(c, !c.dispatched && !c.close_after_write, true);
-        return;
+      if (c.parser.state() == RequestParser::State::kError) {
+        // Terminal by contract: answer the 4xx the parser chose, close.
+        bump(obs_.parse_errors);
+        const ParseError& e = c.parser.error();
+        respond_inline(c, e.status, e.reason, /*keep_alive=*/false);
+        // respond_inline set close_after_write; the while exits.
       }
-      // Response fully flushed.
-      c.out.clear();
-      c.out_off = 0;
-      if (c.timer_kind == kTimerWrite) {
-        wheel_.cancel(c.id);
-        c.timer_kind = kTimerNone;
-      }
-      if (c.response_open) finished_response(c);
+      break;
     }
 
+    // Phase 2: one gathered write over everything queued.
+    if (!flush_out(c)) {
+      close_conn(c);
+      return;
+    }
+    if (c.out_bytes > 0) {  // EAGAIN mid-flush
+      if (c.timer_kind != kTimerWrite && cfg_.write_deadline_s > 0) {
+        arm_timer(c, kTimerWrite, cfg_.write_deadline_s);
+      }
+      update_epoll(c, false, true);
+      return;
+    }
+    if (c.timer_kind == kTimerWrite) {
+      c.loop->wheel.cancel(c.id);
+      c.timer_kind = kTimerNone;
+    }
+
+    // Phase 3: closure / interest bookkeeping.
     if (c.close_after_write) {
       close_conn(c);
       return;
@@ -460,54 +642,79 @@ void Server::pump(Conn& c) {
       update_epoll(c, false, false);
       return;
     }
-
-    switch (c.parser.state()) {
-      case RequestParser::State::kComplete:
-        begin_request(c);
-        continue;
-      case RequestParser::State::kError: {
-        // Terminal by contract: answer the 4xx the parser chose, close.
-        bump(obs_.parse_errors);
-        const ParseError& e = c.parser.error();
-        respond_inline(c, e.status, e.reason, /*keep_alive=*/false);
-        continue;  // loop flushes, then close_after_write closes
-      }
-      case RequestParser::State::kNeedMore: {
-        if (c.read_eof) {
-          // Peer finished sending and everything owed has been written —
-          // an incomplete trailing request gets a clean close, not a 4xx.
-          close_conn(c);
-          return;
-        }
-        const bool mid_head = c.parser.buffered() > 0;
-        const int kind = mid_head ? kTimerHeader : kTimerIdle;
-        const double deadline =
-            mid_head ? cfg_.header_deadline_s : cfg_.idle_deadline_s;
-        if (c.timer_kind != kind) {
-          if (deadline > 0) {
-            arm_timer(c, kind, deadline);
-          } else if (c.timer_kind != kTimerNone) {
-            wheel_.cancel(c.id);
-            c.timer_kind = kTimerNone;
-          }
-        }
-        update_epoll(c, true, false);
-        return;
+    if (c.parser.state() == RequestParser::State::kComplete) {
+      continue;  // the soft output cap paused phase 1; output is flushed now
+    }
+    // kNeedMore (kError always exits through close_after_write above).
+    if (c.read_eof) {
+      // Peer finished sending and everything owed has been written — an
+      // incomplete trailing request gets a clean close, not a 4xx.
+      close_conn(c);
+      return;
+    }
+    const bool mid_head = c.parser.buffered() > 0;
+    const int kind = mid_head ? kTimerHeader : kTimerIdle;
+    const double deadline =
+        mid_head ? cfg_.header_deadline_s : cfg_.idle_deadline_s;
+    if (c.timer_kind != kind) {
+      if (deadline > 0) {
+        arm_timer(c, kind, deadline);
+      } else if (c.timer_kind != kTimerNone) {
+        c.loop->wheel.cancel(c.id);
+        c.timer_kind = kTimerNone;
       }
     }
+    update_epoll(c, true, false);
+    return;
   }
+}
+
+bool Server::try_affine_ingest(Conn& c, WireRequest& req) {
+  if (!cfg_.affine_ingest) return false;
+  if (!req.method || *req.method != http::Method::kPost ||
+      req.path != report_path_) {
+    return false;
+  }
+  // Shard-affine dispatch: hash the request's oak_uid (cookie, or minted
+  // by the wrapper when absent) to its shard and run the request on this
+  // loop thread through that shard's combining queue — one hand-off,
+  // instead of the loop → worker → completion cross-core round trip. The
+  // combining queue keeps the blocking bounded (max_batch per lock
+  // acquisition) and the backpressure shed in begin_request() keeps it
+  // from queueing into collapse.
+  std::string uid;
+  if (auto cookie = req.headers.get("Cookie")) {
+    auto jar = http::parse_cookie_header(*cookie);
+    auto it = jar.find(http::kOakUserCookie);
+    if (it != jar.end()) uid = it->second;
+  }
+  const bool ka = req.keep_alive && !c.loop->drain_started;
+  http::Response resp;
+  try {
+    resp = oak_.handle_for_user(req.to_http(c.client_ip), c.req_start,
+                                std::move(uid));
+  } catch (const std::exception& e) {
+    resp = http::Response::text(std::string("internal error: ") + e.what(),
+                                500);
+  } catch (...) {
+    resp = http::Response::text("internal error", 500);
+  }
+  bump(obs_.affine_ingests);
+  deliver(c, serialize_response(resp, ka, /*head_request=*/false), ka,
+          resp.status);
+  return true;
 }
 
 void Server::begin_request(Conn& c) {
   WireRequest req = c.parser.take_request();
   c.parser.reset();  // re-parses residue so pipelined peers never stall
   if (c.timer_kind != kTimerNone) {
-    wheel_.cancel(c.id);
+    c.loop->wheel.cancel(c.id);
     c.timer_kind = kTimerNone;
   }
   bump(obs_.requests);
   c.req_start = now();
-  const bool ka = req.keep_alive && !drain_started_loopside_;
+  const bool ka = req.keep_alive && !c.loop->drain_started;
 
   if (!req.method) {
     // Well-formed but unrouted method token.
@@ -528,14 +735,16 @@ void Server::begin_request(Conn& c) {
     return;
   }
 
+  if (try_affine_ingest(c, req)) return;
+
   bool shed = false;
   {
     std::lock_guard<std::mutex> lk(dmu_);
     if (dispatch_.size() >= cfg_.dispatch_depth) {
       shed = true;
     } else {
-      dispatch_.push_back(DispatchItem{c.id, std::move(req), c.client_ip,
-                                       c.req_start});
+      dispatch_.push_back(DispatchItem{c.loop->index, c.id, std::move(req),
+                                       c.client_ip, c.req_start});
       if (obs_.dispatch_depth) {
         obs_.dispatch_depth->set(double(dispatch_.size()));
       }
@@ -547,6 +756,7 @@ void Server::begin_request(Conn& c) {
                    {{"Retry-After", std::to_string(cfg_.retry_after_s)}});
     return;
   }
+  ++c.loop->outstanding;
   dcv_.notify_one();
   c.dispatched = true;
 }
@@ -570,44 +780,66 @@ void Server::deliver(Conn& c, std::string bytes, bool keep_alive,
     bump(obs_.resp_5xx);
   }
   if (!keep_alive) c.close_after_write = true;
-  if (c.out.empty()) {
-    c.out = std::move(bytes);
-    c.out_off = 0;
-  } else {
-    c.out += bytes;
-  }
-  c.response_open = true;
-}
-
-bool Server::try_write(Conn& c) {
-  while (c.out_off < c.out.size()) {
-    const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
-                             c.out.size() - c.out_off, MSG_NOSIGNAL);
-    if (n > 0) {
-      c.out_off += static_cast<std::size_t>(n);
-      bump(obs_.bytes_out, static_cast<std::uint64_t>(n));
-      continue;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
-    if (errno == EINTR) continue;
-    return false;  // EPIPE / ECONNRESET: peer is gone
-  }
-  return true;
-}
-
-void Server::finished_response(Conn& c) {
+  c.out_bytes += bytes.size();
+  c.outq.push_back(std::move(bytes));
   if (c.req_start >= 0) {
+    // Admission → response serialized. The write path beyond this point is
+    // the peer's receive window, not server work.
     if (obs_.request_seconds) {
       obs_.request_seconds->observe(now() - c.req_start);
     }
     c.req_start = -1.0;
   }
-  c.response_open = false;
 }
 
-void Server::on_deadline(std::uint64_t id) {
-  auto it = conns_.find(id);
-  if (it == conns_.end()) return;
+bool Server::flush_out(Conn& c) {
+  while (c.out_bytes > 0) {
+    iovec iov[kMaxIov];
+    std::size_t niov = 0;
+    std::size_t off = c.out_off;
+    for (const std::string& b : c.outq) {
+      if (niov == kMaxIov) break;
+      iov[niov].iov_base = const_cast<char*>(b.data()) + off;
+      iov[niov].iov_len = b.size() - off;
+      ++niov;
+      off = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    // sendmsg == writev with MSG_NOSIGNAL (a dead peer must surface as
+    // EPIPE here, not SIGPIPE).
+    const ssize_t w = ::sendmsg(c.fd, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;  // EPIPE / ECONNRESET: peer is gone
+    }
+    bump(obs_.bytes_out, static_cast<std::uint64_t>(w));
+    bump(obs_.writev_calls);
+    bump(obs_.writev_bufs, niov);
+    std::size_t left = static_cast<std::size_t>(w);
+    while (left > 0) {
+      std::string& front = c.outq.front();
+      const std::size_t avail = front.size() - c.out_off;
+      if (left >= avail) {
+        left -= avail;
+        c.out_bytes -= avail;
+        c.out_off = 0;
+        c.outq.pop_front();
+      } else {
+        c.out_off += left;
+        c.out_bytes -= left;
+        left = 0;
+      }
+    }
+  }
+  return true;
+}
+
+void Server::on_deadline(Loop& lp, std::uint64_t id) {
+  auto it = lp.conns.find(id);
+  if (it == lp.conns.end()) return;
   Conn& c = *it->second;
   const int kind = c.timer_kind;
   c.timer_kind = kTimerNone;  // the wheel already dropped its state
@@ -631,18 +863,22 @@ void Server::on_deadline(std::uint64_t id) {
 }
 
 void Server::close_conn(Conn& c) {
+  Loop& lp = *c.loop;
   const std::uint64_t id = c.id;
-  wheel_.cancel(id);
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
+  lp.wheel.cancel(id);
+  ::epoll_ctl(lp.epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
   ::close(c.fd);
-  conns_.erase(id);  // destroys c — must be the last touch
+  lp.conns.erase(id);  // destroys c — must be the last touch
+  const std::size_t total =
+      total_conns_.fetch_sub(1, std::memory_order_relaxed) - 1;
   bump(obs_.closed);
-  if (obs_.conns_active) obs_.conns_active->set(double(conns_.size()));
+  if (obs_.conns_active) obs_.conns_active->set(double(total));
+  if (lp.obs_conns) lp.obs_conns->set(double(lp.conns.size()));
 }
 
 void Server::arm_timer(Conn& c, int kind, double delay_s) {
   c.timer_kind = kind;
-  wheel_.schedule(c.id, now() + delay_s);
+  c.loop->wheel.schedule(c.id, now() + delay_s);
 }
 
 void Server::update_epoll(Conn& c, bool want_read, bool want_write) {
@@ -652,18 +888,19 @@ void Server::update_epoll(Conn& c, bool want_read, bool want_write) {
   epoll_event ev{};
   ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
   ev.data.u64 = c.id;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+  ::epoll_ctl(c.loop->epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
 }
 
-void Server::drain_completions() {
+void Server::drain_completions(Loop& lp) {
   std::vector<CompletionItem> items;
   {
-    std::lock_guard<std::mutex> lk(cmu_);
-    items.swap(completions_);
+    std::lock_guard<std::mutex> lk(lp.cmu);
+    items.swap(lp.completions);
   }
   for (auto& ci : items) {
-    auto it = conns_.find(ci.conn_id);
-    if (it == conns_.end()) continue;  // conn closed while the worker ran
+    --lp.outstanding;  // consumed, whether or not the conn survived
+    auto it = lp.conns.find(ci.conn_id);
+    if (it == lp.conns.end()) continue;  // conn closed while the worker ran
     Conn& c = *it->second;
     c.dispatched = false;
     deliver(c, std::move(ci.bytes), ci.keep_alive, ci.status);
@@ -672,7 +909,7 @@ void Server::drain_completions() {
 }
 
 // ---------------------------------------------------------------------------
-// Worker pool.
+// Worker pool (pages/admin; reports too when affine_ingest is off).
 
 void Server::worker_main() {
   for (;;) {
@@ -686,7 +923,6 @@ void Server::worker_main() {
       }
       item = std::move(dispatch_.front());
       dispatch_.pop_front();
-      ++inflight_;
       if (obs_.dispatch_depth) {
         obs_.dispatch_depth->set(double(dispatch_.size()));
       }
@@ -702,16 +938,13 @@ void Server::worker_main() {
       resp = http::Response::text("internal error", 500);
     }
     CompletionItem ci = make_completion(item.conn_id, item.req, resp);
+    Loop& lp = *loops_[item.loop_index];
     {
-      std::lock_guard<std::mutex> lk(cmu_);
-      completions_.push_back(std::move(ci));
-    }
-    {
-      std::lock_guard<std::mutex> lk(dmu_);
-      --inflight_;
+      std::lock_guard<std::mutex> lk(lp.cmu);
+      lp.completions.push_back(std::move(ci));
     }
     std::uint64_t one = 1;
-    [[maybe_unused]] ssize_t r = ::write(event_fd_, &one, sizeof one);
+    [[maybe_unused]] ssize_t r = ::write(lp.event_fd, &one, sizeof one);
   }
 }
 

@@ -1,39 +1,58 @@
-// oak::wire::Server — the real front door: a single-listener epoll
+// oak::wire::Server — the real front door: a multi-loop SO_REUSEPORT epoll
 // HTTP/1.1 server feeding ShardedOakServer.
 //
 // Everything before this ran in-process through Fleet; this module is where
 // Oak first faces a hostile byte stream and an open-loop arrival process —
-// the two things that kill real ingest tiers. Architecture:
+// the two things that kill real ingest tiers. PR 8's single epoll loop
+// saturated before the ingest shards did (BENCH_wire.json's 2x overload
+// sweep), so the front-end now scales the C10K way: N event loops (default
+// min(cores, shards), knob `loops`), each with its own SO_REUSEPORT
+// listener, epoll set, TimerWheel and connection table, so the kernel
+// spreads accepted connections across cores and no loop ever touches
+// another loop's sockets. Architecture:
 //
-//   accept ──► epoll loop (1 thread) ──► dispatch queue ──► worker pool
-//                 ▲   │  parse (RequestParser, hard caps)      │
-//                 │   │  deadlines (TimerWheel)                │ ShardedOakServer::handle
-//                 │   │  admission control / shedding          │ (existing combining
-//                 │   ▼                                        ▼  ingest queue)
-//               sockets ◄── completions (eventfd) ◄── serialized responses
+//   kernel SO_REUSEPORT hash
+//     ├─► loop 0 ──┐  each loop: accept, parse (RequestParser, hard caps),
+//     ├─► loop 1 ──┤  deadlines (per-loop TimerWheel), writev-batched IO
+//     └─► loop N ──┘
+//          │    │
+//          │    └── report POSTs: shard-affine — hash the oak_uid (cookie
+//          │        or minted) to its shard and run the request inline on
+//          │        the loop thread through that shard's combining queue
+//          │        (ShardedOakServer::handle_for_user), so a connection's
+//          │        reports land on their shard with one hand-off instead
+//          │        of loop → worker → completion cross-core bounces.
+//          └────── pages/admin: shared dispatch queue ──► worker pool
+//                    completions (per-loop eventfd) ◄── serialized responses
 //
 // Robustness posture, in order of the failure modes it defends against:
 //
 //  * Hostile input: RequestParser enforces the framing caps and answers
 //    every malformed request with a 4xx and a close — never a crash, never
-//    a 5xx (bench/wire_fuzz gates this under ASan).
-//  * Slowloris: a TimerWheel arms one deadline per connection — header
-//    deadline while the head trickles in, idle deadline between keep-alive
-//    requests, write deadline while a response drains. Expiry answers 408
-//    (header) or just closes (idle/write).
+//    a 5xx (bench/wire_fuzz gates this under ASan, against a multi-loop
+//    server).
+//  * Slowloris: each loop's TimerWheel arms one deadline per connection —
+//    header deadline while the head trickles in, idle deadline between
+//    keep-alive requests, write deadline while a response drains. Expiry
+//    answers 408 (header) or just closes (idle/write).
 //  * Overload: three shedding layers, all before work is admitted —
-//    accept-time connection cap (immediate 503 + close), dispatch-queue
-//    depth (503 + Retry-After), and ingest-queue backpressure
-//    (ShardedOakServer::ingest_pressure() ≥ threshold → 503 + Retry-After
-//    on report POSTs). Load the server cannot serve is refused in O(1)
-//    instead of queueing into collapse (bench/load_wire's open-loop sweep
-//    gates goodput under 2× overload).
-//  * Shutdown: request_drain() (or SIGTERM via install_signal_drain) stops
-//    accepting, lets in-flight requests finish within drain_deadline_s,
-//    then runs on_drained (wired to a final snapshot/compaction). Admitted
-//    reports are journaled under the shard lock before their 2xx is
-//    written, so a drain — or even a force-close at the deadline — never
-//    loses an acknowledged report.
+//    accept-time connection cap across all loops (immediate 503 + close),
+//    dispatch-queue depth (503 + Retry-After), and ingest-queue
+//    backpressure (ShardedOakServer::ingest_pressure() ≥ threshold → 503 +
+//    Retry-After on report POSTs). Load the server cannot serve is refused
+//    in O(1) instead of queueing into collapse (bench/load_wire's open-loop
+//    sweep gates goodput under 2× overload and the multi-loop knee).
+//  * Shutdown: request_drain() (or SIGTERM via install_signal_drain) makes
+//    every loop stop accepting, lets in-flight requests finish within
+//    drain_deadline_s, then runs on_drained once all loops and workers have
+//    exited (wired to a final snapshot/compaction). Admitted reports are
+//    journaled under the shard lock before their 2xx is written, so a drain
+//    — or even a force-close at the deadline — never loses an acknowledged
+//    report, whichever loop owned the connection.
+//
+// Write path: responses are queued per connection and flushed with writev,
+// so pipelined responses (and the inline report path's back-to-back 204s)
+// coalesce into one syscall instead of one send() each.
 //
 // Routes:
 //   POST <report_path>      report ingest (report_path from OakConfig)
@@ -73,8 +92,17 @@ struct WireConfig {
   std::string bind_addr = "127.0.0.1";
   std::uint16_t port = 0;  // 0 = ephemeral; Server::port() after start()
 
-  // Accept-time cap: connections beyond this are answered 503 and closed
-  // without ever allocating parser state.
+  // Event loops. 0 = min(hardware cores, oak shard count); each loop gets
+  // its own SO_REUSEPORT listener and owns its connections end to end.
+  std::size_t loops = 0;
+
+  // Run report POSTs inline on the owning loop thread through the uid's
+  // shard combining queue (shard-affine dispatch). Off = every request
+  // takes the worker-pool path, as the PR-8 single-loop front-end did.
+  bool affine_ingest = true;
+
+  // Accept-time cap (across all loops): connections beyond this are
+  // answered 503 and closed without ever allocating parser state.
   std::size_t max_connections = 1024;
   std::size_t worker_threads = 4;
   // Parsed requests waiting for a worker before new ones are shed 503.
@@ -104,21 +132,23 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Bind, listen, spawn the event loop and workers. Throws
-  // std::runtime_error on socket failures.
+  // Bind the SO_REUSEPORT listeners, spawn the event loops and workers.
+  // Throws std::runtime_error on socket failures.
   void start();
   // The bound port (after start(); resolves port 0).
   std::uint16_t port() const { return bound_port_; }
+  // Event loops actually running (after start(); resolves loops == 0).
+  std::size_t loop_count() const { return loops_.size(); }
 
-  // Begin graceful drain: stop accepting, finish in-flight requests, then
-  // run the on_drained callback and exit the loop. Thread-safe and
-  // idempotent; also invoked by the SIGTERM handler.
+  // Begin graceful drain: every loop stops accepting, finishes in-flight
+  // requests, then the on_drained callback runs and the loops exit.
+  // Thread-safe and idempotent; also invoked by the SIGTERM handler.
   void request_drain();
   bool draining() const {
     return drain_flag_.load(std::memory_order_acquire);
   }
 
-  // Wait for the loop and workers to exit (drain completes or the drain
+  // Wait for the loops and workers to exit (drain completes or the drain
   // deadline force-closes stragglers).
   void join();
   // request_drain() + join().
@@ -128,9 +158,9 @@ class Server {
   // One server per process may hold the handler; async-signal-safe.
   void install_signal_drain(int signo);
 
-  // Runs exactly once, on the loop thread, after the last connection
-  // closes (or the drain deadline fires) and the workers are joined —
-  // the final-snapshot hook.
+  // Runs exactly once, after the last loop exits (all connections closed
+  // or the drain deadline fired) and the workers are joined — the
+  // final-snapshot hook.
   void set_on_drained(std::function<void()> fn) {
     on_drained_ = std::move(fn);
   }
@@ -144,7 +174,9 @@ class Server {
 
  private:
   struct Conn;
+  struct Loop;
   struct DispatchItem {
+    std::size_t loop_index = 0;
     std::uint64_t conn_id = 0;
     WireRequest req;
     std::string client_ip;
@@ -157,15 +189,16 @@ class Server {
     int status = 200;
   };
 
-  void run();  // the epoll loop (loop thread)
+  void run(Loop& lp);  // one epoll loop (its own thread)
   double now() const;
 
-  // --- Loop-thread only.
-  void handle_accept();
-  void handle_conn_event(std::uint64_t id, std::uint32_t events);
+  // --- Loop-thread only (every member takes its owning Loop).
+  int make_listener(bool reuse_port) const;
+  void handle_accept(Loop& lp);
+  void handle_conn_event(Loop& lp, std::uint64_t id, std::uint32_t events);
   void read_conn(Conn& c);
-  // Drive a connection forward: flush pending output, then parse and answer
-  // pipelined requests until blocked on I/O, a worker, or closure.
+  // Drive a connection forward: parse and answer pipelined requests until
+  // blocked, then flush the queued responses with writev.
   void pump(Conn& c);
   void begin_request(Conn& c);
   void respond_inline(Conn& c, int status, const std::string& body,
@@ -173,16 +206,19 @@ class Server {
                       const std::vector<std::pair<std::string, std::string>>&
                           extra_headers = {});
   void deliver(Conn& c, std::string bytes, bool keep_alive, int status);
-  // Write until drained or EAGAIN; false on a fatal socket error.
-  bool try_write(Conn& c);
-  void finished_response(Conn& c);
-  void on_deadline(std::uint64_t id);
+  // writev until drained or EAGAIN; false on a fatal socket error.
+  bool flush_out(Conn& c);
+  void on_deadline(Loop& lp, std::uint64_t id);
   void close_conn(Conn& c);
   void arm_timer(Conn& c, int kind, double delay_s);
   void update_epoll(Conn& c, bool want_read, bool want_write);
-  void drain_completions();
-  void start_drain_loopside();
-  bool drain_finished() const;
+  void drain_completions(Loop& lp);
+  void start_drain_loopside(Loop& lp);
+  bool drain_finished(const Loop& lp) const;
+  // Shard-affine inline ingest: run the report POST on the loop thread
+  // through its uid's shard. Returns false when the request is not an
+  // affine-eligible report POST (caller falls back to the worker pool).
+  bool try_affine_ingest(Conn& c, WireRequest& req);
 
   // --- Worker threads.
   void worker_main();
@@ -197,41 +233,30 @@ class Server {
   WireConfig cfg_;
   std::string report_path_;
 
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int event_fd_ = -1;  // worker completions + drain wakeup
   std::uint16_t bound_port_ = 0;
+  int drain_event_fd_ = -1;  // shared drain wakeup (EPOLLONESHOT per loop)
 
-  std::thread loop_thread_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::thread coordinator_;  // joins loops, stops workers, runs on_drained
   std::vector<std::thread> workers_;
   std::atomic<bool> started_{false};
   std::atomic<bool> drain_flag_{false};
-  bool drain_started_loopside_ = false;
-  double drain_started_at_ = 0.0;
-  bool loop_done_ = false;
+  // Connections across every loop, for the accept-time cap.
+  std::atomic<std::size_t> total_conns_{0};
 
   std::chrono::steady_clock::time_point epoch_;
 
-  // Connections (loop thread only).
-  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
-  // Ids 0 and 1 tag the listener and eventfd in epoll user data.
-  std::uint64_t next_conn_id_ = 2;
-  TimerWheel wheel_;
-
-  // Dispatch queue: loop → workers.
+  // Dispatch queue: loops → workers (pages/admin; reports when
+  // affine_ingest is off).
   mutable std::mutex dmu_;
   std::condition_variable dcv_;
   std::deque<DispatchItem> dispatch_;
   bool workers_stop_ = false;
-  std::size_t inflight_ = 0;  // items popped, completion not yet queued
-
-  // Completion queue: workers → loop.
-  mutable std::mutex cmu_;
-  std::vector<CompletionItem> completions_;
 
   std::function<void()> on_drained_;
 
-  // --- oak_wire_* instruments (null when cfg_.metrics is false).
+  // --- oak_wire_* instruments (null when cfg_.metrics is false). Shared
+  // across loops: counters are relaxed atomics, so no loop owns them.
   obs::MetricsRegistry metrics_;
   struct {
     obs::Counter* accepted = nullptr;
@@ -249,9 +274,13 @@ class Server {
     obs::Counter* timeout_write = nullptr;
     obs::Counter* bytes_in = nullptr;
     obs::Counter* bytes_out = nullptr;
+    obs::Counter* affine_ingests = nullptr;
+    obs::Counter* writev_calls = nullptr;
+    obs::Counter* writev_bufs = nullptr;
     obs::Gauge* conns_active = nullptr;
     obs::Gauge* dispatch_depth = nullptr;
     obs::Gauge* draining = nullptr;
+    obs::Gauge* loops = nullptr;
     obs::Histogram* request_seconds = nullptr;
   } obs_;
 };

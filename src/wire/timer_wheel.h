@@ -58,6 +58,16 @@ class TimerWheel {
   bool armed(std::uint64_t id) const { return state_.count(id) != 0; }
   std::size_t armed_count() const { return state_.size(); }
 
+  // Total entries filed across all slots, live or stale. Lazy cancellation
+  // means this can exceed armed_count() between advances; after a full
+  // revolution every stale entry has been visited and dropped, so tests use
+  // this to assert re-arm churn doesn't accrete slot garbage.
+  std::size_t slot_entries() const {
+    std::size_t n = 0;
+    for (const auto& slot : wheel_) n += slot.size();
+    return n;
+  }
+
   // Fire fn(id) for every live entry whose deadline is <= now. Entries that
   // were re-armed or cancelled are dropped; entries hashed into a visited
   // slot but not yet due (wheel wrap-around) are re-filed one revolution

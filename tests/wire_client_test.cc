@@ -1,0 +1,169 @@
+// wire::BlockingClient against canned byte streams: the keep-alive
+// decision must parse Connection as a comma-separated token list (RFC
+// 7230 §6.1), exactly as the server-side parser does. The regression
+// here: a substring test read any value *containing* "close" — e.g. a
+// token like "close-notify" — as a close directive and tore down a
+// perfectly good keep-alive connection.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "wire/client.h"
+
+namespace oak::wire {
+namespace {
+
+// One-shot canned server: accepts a single connection, swallows one
+// request head, writes the canned response verbatim, then holds the
+// connection open until the client side is done (so a keep-alive verdict
+// is the client's parse, not an observed close).
+class CannedServer {
+ public:
+  explicit CannedServer(std::string response, bool v6 = false)
+      : response_(std::move(response)) {
+    listen_fd_ = ::socket(v6 ? AF_INET6 : AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return;
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    int rc = -1;
+    if (v6) {
+      sockaddr_in6 addr{};
+      addr.sin6_family = AF_INET6;
+      addr.sin6_addr = in6addr_loopback;
+      rc = ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr);
+    } else {
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      rc = ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr);
+    }
+    if (rc < 0 || ::listen(listen_fd_, 1) < 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return;
+    }
+    sockaddr_storage bound{};
+    socklen_t blen = sizeof bound;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+    port_ = ntohs(
+        bound.ss_family == AF_INET6
+            ? reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port
+            : reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+    th_ = std::thread([this] { serve(); });
+  }
+
+  ~CannedServer() {
+    if (th_.joinable()) th_.join();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  bool ok() const { return listen_fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve() {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    // Swallow the request head (the client always sends one full head).
+    std::string head;
+    char buf[4096];
+    while (head.find("\r\n\r\n") == std::string::npos) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      head.append(buf, static_cast<std::size_t>(n));
+    }
+    std::size_t off = 0;
+    while (off < response_.size()) {
+      const ssize_t n = ::send(fd, response_.data() + off,
+                               response_.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    // Wait for the peer to close so the client's verdict comes from the
+    // header parse alone.
+    while (::recv(fd, buf, sizeof buf, 0) > 0) {
+    }
+    ::close(fd);
+  }
+
+  std::string response_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread th_;
+};
+
+std::string canned(const std::string& connection_value) {
+  std::string resp = "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n";
+  if (!connection_value.empty()) {
+    resp += "Connection: " + connection_value + "\r\n";
+  }
+  resp += "\r\nok";
+  return resp;
+}
+
+// Run one request against a canned response and return the keep-alive
+// verdict the client parsed.
+bool keep_alive_verdict(const std::string& connection_value) {
+  CannedServer server(canned(connection_value));
+  EXPECT_TRUE(server.ok());
+  BlockingClient cli;
+  EXPECT_TRUE(cli.connect("127.0.0.1", server.port(), 5.0));
+  auto resp = cli.request("GET", "/", {{"Host", "t"}});
+  EXPECT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "ok");
+  return resp->keep_alive;
+}
+
+TEST(WireClient, PlainCloseTokenCloses) {
+  EXPECT_FALSE(keep_alive_verdict("close"));
+  EXPECT_FALSE(keep_alive_verdict("Close"));
+  EXPECT_FALSE(keep_alive_verdict("CLOSE"));
+}
+
+TEST(WireClient, CloseSubstringTokensStayKeepAlive) {
+  // The regression: these contain the letters "close" but are not the
+  // close token, and must not tear down the connection.
+  EXPECT_TRUE(keep_alive_verdict("close-notify"));
+  EXPECT_TRUE(keep_alive_verdict("x-close"));
+  EXPECT_TRUE(keep_alive_verdict("closed"));
+  EXPECT_TRUE(keep_alive_verdict("pre-close-upgrade"));
+}
+
+TEST(WireClient, TokenListHonorsEveryToken) {
+  EXPECT_FALSE(keep_alive_verdict("foo, Close"));
+  EXPECT_FALSE(keep_alive_verdict("close, x-custom"));
+  EXPECT_FALSE(keep_alive_verdict(" close "));  // OWS-trimmed
+  EXPECT_TRUE(keep_alive_verdict("foo, bar"));
+  EXPECT_TRUE(keep_alive_verdict("Keep-Alive"));
+  // Later directives win, as in the server-side parser.
+  EXPECT_TRUE(keep_alive_verdict("close, keep-alive"));
+  EXPECT_FALSE(keep_alive_verdict("keep-alive, close"));
+}
+
+TEST(WireClient, MissingConnectionHeaderDefaultsKeepAlive) {
+  EXPECT_TRUE(keep_alive_verdict(""));
+}
+
+TEST(WireClient, ConnectsOverIPv6Loopback) {
+  CannedServer server(canned("keep-alive"), /*v6=*/true);
+  if (!server.ok()) GTEST_SKIP() << "IPv6 loopback unavailable";
+  BlockingClient cli;
+  ASSERT_TRUE(cli.connect("::1", server.port(), 5.0));
+  auto resp = cli.request("GET", "/", {{"Host", "t"}});
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_TRUE(resp->keep_alive);
+}
+
+}  // namespace
+}  // namespace oak::wire

@@ -331,7 +331,9 @@ TEST_F(WireFixture, BackpressureShedsReportsButServesPages) {
 
 TEST_F(WireFixture, SigtermDrainsAndRunsOnDrained) {
   std::atomic<bool> drained{false};
-  boot({}, {}, [&] { drained.store(true); });
+  WireConfig wc;
+  wc.loops = 2;  // the signal must stop every loop, not just one
+  boot(wc, {}, [&] { drained.store(true); });
   srv_->install_signal_drain(SIGTERM);
   BlockingClient idle = client();  // an idle conn drain must reap
   auto warm = idle.request("GET", "/admin/health");
@@ -355,13 +357,19 @@ TEST_F(WireFixture, GracefulDrainLosesNoAcknowledgedReports) {
   OakConfig oc;
   oc.durability.enabled = true;
   oc.durability.dir = dir;
-  boot({}, oc);
+  // Multi-loop drain is the hard case: the kernel spreads the loader
+  // connections across SO_REUSEPORT listeners, so the
+  // zero-acknowledged-loss property has to hold on every loop at once.
+  WireConfig wc;
+  wc.loops = 3;
+  boot(wc, oc);
+  ASSERT_EQ(srv_->loop_count(), 3u);
 
   const std::string wire = report_wire();
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> acked{0};
   std::vector<std::thread> loaders;
-  for (int t = 0; t < 3; ++t) {
+  for (int t = 0; t < 4; ++t) {
     loaders.emplace_back([&] {
       BlockingClient cli;
       if (!cli.connect("127.0.0.1", srv_->port(), 2.0)) return;
@@ -419,6 +427,142 @@ TEST_F(WireFixture, OversizedBodySheds413BeforeBuffering) {
   auto resp = cli.read_response();
   ASSERT_TRUE(resp.has_value());
   EXPECT_EQ(resp->status, 413);  // refused at the header, body never read
+}
+
+TEST_F(WireFixture, MultiLoopServesAndExposesPerLoopMetrics) {
+  WireConfig wc;
+  wc.loops = 3;
+  boot(wc);
+  ASSERT_EQ(srv_->loop_count(), 3u);
+
+  // Enough connections that the kernel's SO_REUSEPORT hash exercises the
+  // listeners; which loop gets which conn is the kernel's business, but
+  // every conn must be served and the per-loop accept counters must sum
+  // to the total.
+  const int kConns = 12;
+  for (int i = 0; i < kConns; ++i) {
+    BlockingClient cli = client();
+    auto page = cli.request("GET", site_.index_path, {{"Host", "busy.com"}});
+    ASSERT_TRUE(page.has_value());
+    EXPECT_EQ(page->status, 200);
+    auto rep = cli.request("POST", "/oak/report", {{"Host", "busy.com"}},
+                           report_wire());
+    ASSERT_TRUE(rep.has_value());
+    EXPECT_EQ(rep->status, 204);
+  }
+  EXPECT_EQ(oak_->reports_processed(), static_cast<std::size_t>(kConns));
+
+  const obs::MetricsSnapshot snap = srv_->metrics_snapshot();
+  EXPECT_EQ(snap.gauge("oak_wire_loops"), 3.0);
+  std::uint64_t per_loop_accepts = 0;
+  for (int i = 0; i < 3; ++i) {
+    const std::string prefix = "oak_wire_loop_" + std::to_string(i);
+    ASSERT_TRUE(snap.counters.count(prefix + "_accepts_total")) << prefix;
+    ASSERT_TRUE(snap.gauges.count(prefix + "_conns_active")) << prefix;
+    ASSERT_TRUE(snap.histograms.count(prefix + "_lag_seconds")) << prefix;
+    per_loop_accepts += snap.counter(prefix + "_accepts_total");
+  }
+  EXPECT_EQ(per_loop_accepts, snap.counter("oak_wire_conns_accepted_total"));
+  // No stray loop_3 instruments.
+  EXPECT_FALSE(snap.counters.count("oak_wire_loop_3_accepts_total"));
+
+  // Both expositions carry the per-loop names.
+  BlockingClient cli = client();
+  auto prom = cli.request("GET", "/metrics");
+  ASSERT_TRUE(prom.has_value());
+  EXPECT_NE(prom->body.find("oak_wire_loop_0_accepts_total"),
+            std::string::npos);
+  auto js = cli.request("GET", "/metrics.json");
+  ASSERT_TRUE(js.has_value());
+  EXPECT_NE(js->body.find("oak_wire_loop_0_lag_seconds"), std::string::npos);
+}
+
+TEST_F(WireFixture, PipelinedReportsAnswerInOrderAndCoalesceWrites) {
+  boot();
+  BlockingClient cli = client();
+  const std::string wire = report_wire();
+  // Warm up: first request mints the cookie so pipelined reports share
+  // one uid (and thus one shard) like a real beacon stream.
+  auto warm =
+      cli.request("POST", "/oak/report", {{"Host", "busy.com"}}, wire);
+  ASSERT_TRUE(warm.has_value());
+  ASSERT_EQ(warm->status, 204);
+  std::string cookie;
+  if (auto sc = warm->headers.get("set-cookie")) {
+    cookie = sc->substr(0, sc->find(';'));
+  }
+  ASSERT_FALSE(cookie.empty());
+
+  const int kPipelined = 6;
+  std::string burst;
+  for (int i = 0; i < kPipelined; ++i) {
+    burst += "POST /oak/report HTTP/1.1\r\nHost: busy.com\r\nCookie: " +
+             cookie + "\r\nContent-Length: " + std::to_string(wire.size()) +
+             "\r\n\r\n" + wire;
+  }
+  ASSERT_TRUE(cli.send_raw(burst));
+  for (int i = 0; i < kPipelined; ++i) {
+    auto resp = cli.read_response();
+    ASSERT_TRUE(resp.has_value()) << "response " << i;
+    EXPECT_EQ(resp->status, 204) << "response " << i;
+  }
+  EXPECT_EQ(oak_->reports_processed(),
+            static_cast<std::size_t>(kPipelined + 1));
+
+  // Barrier before snapshotting: the writev counters are bumped after
+  // sendmsg() returns, so on a busy box the client can read the burst
+  // responses (and snapshot) before the loop thread runs the bookkeeping.
+  // A follow-up request's response bytes are sent after those bumps in
+  // loop-thread program order, so reading it orders the snapshot after
+  // them.
+  auto barrier = cli.request("GET", "/admin/health", {{"Host", "busy.com"}});
+  ASSERT_TRUE(barrier.has_value());
+  ASSERT_EQ(barrier->status, 200);
+
+  const obs::MetricsSnapshot snap = srv_->metrics_snapshot();
+  // The whole burst ran shard-affine on the loop thread...
+  EXPECT_GE(snap.counter("oak_wire_affine_ingests_total"),
+            static_cast<std::uint64_t>(kPipelined + 1));
+  // ...and its responses coalesced: at least one gathered write carried
+  // more than one response buffer (the burst flush; the barrier request
+  // adds one single-buffer write, which keeps the inequality strict).
+  EXPECT_GT(snap.counter("oak_wire_writev_buffers_total"),
+            snap.counter("oak_wire_writev_calls_total"));
+}
+
+TEST_F(WireFixture, AffineIngestOffFallsBackToWorkerPool) {
+  WireConfig wc;
+  wc.affine_ingest = false;
+  boot(wc);
+  BlockingClient cli = client();
+  auto resp =
+      cli.request("POST", "/oak/report", {{"Host", "busy.com"}}, report_wire());
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 204);
+  EXPECT_EQ(oak_->reports_processed(), 1u);
+  const obs::MetricsSnapshot snap = srv_->metrics_snapshot();
+  EXPECT_EQ(snap.counter("oak_wire_affine_ingests_total"), 0u);
+}
+
+TEST_F(WireFixture, IPv6LoopbackListenerServes) {
+  WireConfig wc;
+  wc.bind_addr = "::1";
+  wc.loops = 2;
+  try {
+    boot(wc);
+  } catch (const std::runtime_error& e) {
+    GTEST_SKIP() << "IPv6 loopback unavailable: " << e.what();
+  }
+  BlockingClient cli;
+  ASSERT_TRUE(cli.connect("::1", srv_->port(), 5.0));
+  auto page = cli.request("GET", site_.index_path, {{"Host", "busy.com"}});
+  ASSERT_TRUE(page.has_value());
+  EXPECT_EQ(page->status, 200);
+  auto rep = cli.request("POST", "/oak/report", {{"Host", "busy.com"}},
+                         report_wire());
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(rep->status, 204);
+  EXPECT_EQ(oak_->reports_processed(), 1u);
 }
 
 }  // namespace

@@ -72,5 +72,90 @@ TEST(TimerWheel, ManyIdsShareSlots) {
   EXPECT_EQ(w.armed_count(), 0u);
 }
 
+TEST(TimerWheel, MultiRevolutionDeadlineFiresOnCorrectRevolution) {
+  // 0.05 * 64 slots = 3.2 s per revolution; 10 s is three revolutions out.
+  // The entry's slot is visited on every revolution and must be re-filed —
+  // not fired — until its deadline actually arrives.
+  TimerWheel w(0.05, 64);
+  w.schedule(11, 10.0);
+  double t = 0.0;
+  while (t < 9.95) {
+    ASSERT_TRUE(fire(w, t).empty()) << "early fire at " << t;
+    ASSERT_TRUE(w.armed(11)) << "dropped at " << t;
+    t += 0.1;
+  }
+  const auto fired = fire(w, 10.05);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 11u);
+  EXPECT_EQ(w.armed_count(), 0u);
+}
+
+TEST(TimerWheel, WrappedEntrySurvivesSparseAdvances) {
+  // Advance in jumps bigger than a tick (a laggy loop): the wrapped entry
+  // must still fire exactly once, on its own revolution, never early.
+  TimerWheel w(0.05, 32);  // 1.6 s per revolution
+  w.schedule(21, 5.0);     // three revolutions out
+  std::size_t fired = 0;
+  double fired_at = 0.0;
+  for (double t = 0.0; t < 6.0; t += 0.73) {
+    const auto out = fire(w, t);
+    if (!out.empty()) {
+      fired += out.size();
+      fired_at = t;
+    }
+  }
+  EXPECT_EQ(fired, 1u);
+  EXPECT_GE(fired_at, 5.0);
+}
+
+TEST(TimerWheel, RearmChurnLeavesNoStaleSlotEntries) {
+  // The wire front-end's idle↔header dance: every keep-alive request
+  // cancels one deadline and arms another. Stale entries are dropped
+  // lazily, so churn briefly accretes slot garbage — but one full
+  // revolution later every stale entry must have been visited and
+  // dropped. A wheel that leaks slot entries here grows without bound
+  // under steady keep-alive traffic.
+  TimerWheel w(0.05, 16);  // 0.8 s per revolution
+  double t = 0.0;
+  fire(w, t);  // establish the cursor
+  for (int req = 0; req < 200; ++req) {
+    // header deadline while the head arrives...
+    w.schedule(1, t + 0.3);
+    t += 0.01;
+    fire(w, t);
+    // ...then the idle deadline between requests.
+    w.schedule(1, t + 0.5);
+    t += 0.01;
+    fire(w, t);
+  }
+  EXPECT_EQ(w.armed_count(), 1u);  // only the live idle deadline
+  // Cancel it (conn closed) and sweep one full revolution: every stale
+  // entry the churn filed must be gone.
+  w.cancel(1);
+  for (double sweep = t; sweep <= t + 0.85; sweep += 0.05) fire(w, sweep);
+  EXPECT_EQ(w.armed_count(), 0u);
+  EXPECT_EQ(w.slot_entries(), 0u);
+}
+
+TEST(TimerWheel, ChurnAcrossManyConnsBoundsSlotGarbage) {
+  // Same churn, many ids: after the sweep the wheel is empty even though
+  // thousands of schedule() calls were filed into only 16 slots.
+  TimerWheel w(0.05, 16);
+  double t = 0.0;
+  fire(w, t);
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint64_t id = 1; id <= 20; ++id) {
+      w.schedule(id, t + 0.4);
+    }
+    t += 0.02;
+    fire(w, t);
+  }
+  EXPECT_EQ(w.armed_count(), 20u);
+  for (std::uint64_t id = 1; id <= 20; ++id) w.cancel(id);
+  for (double sweep = t; sweep <= t + 0.85; sweep += 0.05) fire(w, sweep);
+  EXPECT_EQ(w.armed_count(), 0u);
+  EXPECT_EQ(w.slot_entries(), 0u);
+}
+
 }  // namespace
 }  // namespace oak::wire

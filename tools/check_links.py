@@ -7,8 +7,15 @@ common failure mode where a doc is renamed or moved and a relative link
 quietly rots. Anchors are stripped before the existence check; a bare
 "#section" link is accepted as-is.
 
+Additionally, every top-level *.md (plus docs/*.md) is scanned for
+references to BENCH_*.json artifacts: docs routinely cite bench results
+by filename outside of markdown-link syntax, and a cited artifact that
+was never checked in (or got renamed) rots just as quietly as a broken
+link — that exact failure shipped once with BENCH_chaos.json.
+
 Usage: python3 tools/check_links.py [repo_root]
-Exit status: 0 when every relative link resolves, 1 otherwise.
+Exit status: 0 when every relative link and BENCH reference resolves,
+1 otherwise.
 """
 
 import pathlib
@@ -20,6 +27,10 @@ import sys
 INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
 
+# Bare mentions like `BENCH_wire.json` anywhere in prose or code spans.
+# BENCH artifacts live in the repo root by convention.
+BENCH_REF = re.compile(r"\bBENCH_[A-Za-z0-9_]+\.json\b")
+
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
 
 
@@ -28,6 +39,17 @@ def doc_files(root: pathlib.Path):
         path = root / name
         if path.is_file():
             yield path
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def bench_doc_files(root: pathlib.Path):
+    for path in sorted(root.glob("*.md")):
+        # ROADMAP.md names bench artifacts that future PRs will produce;
+        # everywhere else a BENCH citation is a claim about a checked-in
+        # result.
+        if path.name == "ROADMAP.md":
+            continue
+        yield path
     yield from sorted((root / "docs").glob("*.md"))
 
 
@@ -53,10 +75,23 @@ def check(root: pathlib.Path) -> int:
                 broken.append((doc.relative_to(root), target))
     for doc, target in broken:
         print(f"BROKEN  {doc}: {target}")
-    if broken:
-        print(f"{len(broken)} broken relative link(s)")
+
+    missing_bench = []
+    for doc in bench_doc_files(root):
+        text = doc.read_text(encoding="utf-8")
+        for name in sorted(set(BENCH_REF.findall(text))):
+            if not (root / name).is_file():
+                missing_bench.append((doc.relative_to(root), name))
+    for doc, name in missing_bench:
+        print(f"MISSING BENCH  {doc}: cites {name} but it is not checked in")
+
+    if broken or missing_bench:
+        print(
+            f"{len(broken)} broken relative link(s), "
+            f"{len(missing_bench)} missing BENCH artifact reference(s)"
+        )
         return 1
-    print("all relative links resolve")
+    print("all relative links and BENCH references resolve")
     return 0
 
 
