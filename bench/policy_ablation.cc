@@ -1,0 +1,382 @@
+// Policy ablation: the engine's two hard promises, then the what-if sweep.
+//
+// Gate 1 — seed parity. One chaos run under the default policy with
+// context recording on. The live decision stream (minus kServeModified,
+// a serving-plane event) must be byte-identical to
+//   (a) an embedded oracle that transcribes the pre-engine seed policy
+//       flow over the recorded contexts, and
+//   (b) core::PolicyReplayer under the recorded configuration,
+// and two replayer passes must dump identically (determinism).
+//
+// Gate 2 — racing convergence. A chaos run with racing mirrors: every
+// rule lists a chronically slow mirror as alternative 0 and the fast one
+// as alternative 1, so linear progression settles on the slow host. Under
+// the "racing" strategy at least one race must decide, every decided race
+// must pick the fast mirror (winner alternative 1), and the winner
+// cohort's mean PLT must not exceed the loser's.
+//
+// Sweep — each recorded run is then re-decided offline under the three
+// built-in strategies (paper / racing / hysteresis) via replay_and_score;
+// the score rows land in BENCH_policy.json next to the gates.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "browser/browser.h"
+#include "core/decision_log.h"
+#include "core/policy.h"
+#include "core/policy_replay.h"
+#include "util/json.h"
+#include "workload/chaos.h"
+#include "workload/harness.h"
+#include "workload/vantage.h"
+
+namespace {
+
+using namespace oak;
+
+// --- Seed-policy oracle ---------------------------------------------------
+//
+// A line-for-line transcription of the policy flow as it stood before the
+// PolicyEngine refactor: min-violation threshold, linear/round-robin
+// alternative progression, min-distance history, reactivation ban. Driven
+// by recorded contexts; exists only to pin "default engine == seed".
+class SeedOracle {
+ public:
+  SeedOracle(std::vector<core::Rule> rules, const core::Policy& policy,
+             core::HistoryMode history)
+      : rules_(std::move(rules)), policy_(policy), history_(history) {}
+
+  void step(const core::ReportContext& ctx) {
+    core::UserProfile& user = users_[ctx.user_id];
+    if (user.user_id.empty()) user.user_id = ctx.user_id;
+    if (ctx.serve_only) {
+      expire(user, ctx.time);
+      return;
+    }
+    expire(user, ctx.time);
+    review(user, ctx);
+    consider(user, ctx);
+  }
+
+  const core::DecisionLog& log() const { return log_; }
+
+ private:
+  const core::Rule* rule(int id) const {
+    for (const auto& r : rules_) {
+      if (r.id == id) return &r;
+    }
+    return nullptr;
+  }
+
+  void expire(core::UserProfile& user, double now) {
+    for (auto it = user.active.begin(); it != user.active.end();) {
+      if (it->second.expires_at > 0.0 && now >= it->second.expires_at) {
+        log_.record(core::Decision{now, user.user_id, it->first,
+                                   core::DecisionType::kExpire, "", 0.0,
+                                   it->second.alternative_index});
+        it = user.active.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void review(core::UserProfile& user, const core::ReportContext& ctx) {
+    if (ctx.rule_matches.empty() && ctx.alt_matches.empty()) return;
+    if (history_ == core::HistoryMode::kAlwaysKeep) return;
+    const double now = ctx.time;
+    for (auto it = user.active.begin(); it != user.active.end();) {
+      core::ActiveRule& ar = it->second;
+      const core::Rule* r = rule(ar.rule_id);
+      if (!r || r->type == core::RuleType::kRemove ||
+          r->alternatives.empty()) {
+        ++it;
+        continue;
+      }
+      const std::size_t idx =
+          std::min(ar.alternative_index, r->alternatives.size() - 1);
+      const core::ContextAltMatch* hit = nullptr;
+      for (const auto& m : ctx.alt_matches) {
+        if (m.rule_id == ar.rule_id && m.alt_index == idx) {
+          hit = &m;
+          break;
+        }
+      }
+      if (!hit) {
+        ++it;
+        continue;
+      }
+      const double alt_distance = hit->severity;
+      // Seed verdict: keep iff min-distance says the alternative still
+      // sits closer to the median; otherwise advance while alternatives
+      // remain, else deactivate (+ ban when reactivation is off).
+      if (history_ == core::HistoryMode::kMinDistance &&
+          alt_distance < ar.violation_distance) {
+        log_.record(core::Decision{now, user.user_id, ar.rule_id,
+                                   core::DecisionType::kKeepAlternative,
+                                   hit->violator_ip, alt_distance, idx});
+        ++it;
+      } else if (idx + 1 < r->alternatives.size()) {
+        ar.alternative_index = idx + 1;
+        log_.record(core::Decision{now, user.user_id, ar.rule_id,
+                                   core::DecisionType::kAdvanceAlternative,
+                                   hit->violator_ip, alt_distance,
+                                   ar.alternative_index});
+        ++it;
+      } else {
+        log_.record(core::Decision{now, user.user_id, ar.rule_id,
+                                   core::DecisionType::kDeactivate,
+                                   hit->violator_ip, alt_distance, idx});
+        if (!policy_.allow_reactivation) user.banned.insert(ar.rule_id);
+        user.pending_violations.erase(ar.rule_id);
+        it = user.active.erase(it);
+      }
+    }
+  }
+
+  void consider(core::UserProfile& user, const core::ReportContext& ctx) {
+    if (ctx.rule_matches.empty()) return;
+    const double now = ctx.time;
+    for (const auto& r : rules_) {
+      if (user.active.count(r.id) != 0 || user.banned.count(r.id) != 0)
+        continue;
+      const core::ContextRuleMatch* hit = nullptr;
+      for (const auto& m : ctx.rule_matches) {
+        if (m.rule_id == r.id) {
+          hit = &m;
+          break;
+        }
+      }
+      if (!hit) continue;
+      const int required =
+          std::max(r.min_violations, policy_.default_min_violations);
+      const int seen = ++user.pending_violations[r.id];
+      if (seen < required) continue;
+      user.pending_violations.erase(r.id);
+
+      const std::size_t n = r.alternatives.size();
+      std::size_t alt = 0;
+      std::size_t& next = user.next_alternative[r.id];
+      if (policy_.selection == core::AlternativeSelection::kLinear) {
+        alt = std::min(next, n - 1);
+      } else {
+        alt = next % n;
+      }
+      next = alt + 1;
+
+      core::ActiveRule ar;
+      ar.rule_id = r.id;
+      ar.alternative_index = alt;
+      ar.activated_at = now;
+      ar.expires_at = r.ttl_s > 0.0 ? now + r.ttl_s : 0.0;
+      ar.violation_distance = hit->severity;
+      ar.violator_ip = hit->violator_ip;
+      user.active[r.id] = ar;
+      log_.record(core::Decision{now, user.user_id, r.id,
+                                 core::DecisionType::kActivate,
+                                 hit->violator_ip, ar.violation_distance,
+                                 alt});
+    }
+  }
+
+  std::vector<core::Rule> rules_;
+  core::Policy policy_;
+  core::HistoryMode history_;
+  std::map<std::string, core::UserProfile> users_;
+  core::DecisionLog log_;
+};
+
+// --- Live chaos runs ------------------------------------------------------
+
+struct LiveRun {
+  std::string name;
+  std::unique_ptr<workload::ChaosScenario> scenario;
+};
+
+LiveRun run_chaos(const std::string& name,
+                  workload::ChaosScenario::Options opt,
+                  std::size_t fleet_size) {
+  opt.policy.record_context = true;
+  LiveRun run;
+  run.name = name;
+  run.scenario = std::make_unique<workload::ChaosScenario>(opt);
+  workload::ChaosScenario& sc = *run.scenario;
+
+  auto vps = workload::make_vantage_points(sc.universe().network(),
+                                           fleet_size);
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  bc.fetch_timeout_s = 5.0;
+  std::vector<std::unique_ptr<browser::Browser>> fleet;
+  for (const auto& vp : vps) {
+    fleet.push_back(
+        std::make_unique<browser::Browser>(sc.universe(), vp.client, bc));
+  }
+  const double horizon = opt.onset_s + opt.duration_s + 1800.0;
+  for (double t = 0.0; t < horizon; t += 300.0) {
+    for (auto& b : fleet) b->load(sc.oak_site_url(), t);
+  }
+  return run;
+}
+
+std::vector<core::Decision> minus_serve(const core::DecisionLog& log) {
+  std::vector<core::Decision> out;
+  for (const auto& d : log.entries()) {
+    if (d.type != core::DecisionType::kServeModified) out.push_back(d);
+  }
+  return out;
+}
+
+util::Json decisions_json(const std::vector<core::Decision>& ds) {
+  util::JsonArray a;
+  for (const auto& d : ds) a.push_back(core::decision_to_json(d));
+  return util::Json(std::move(a));
+}
+
+}  // namespace
+
+int main() {
+  workload::print_banner("Policy ablation",
+                         "seed parity, racing convergence, what-if sweep");
+
+  // --- Gate 1: seed parity on the default policy ------------------------
+  workload::ChaosScenario::Options base;
+  base.fault = net::FaultType::kConnectRefused;
+  LiveRun parity = run_chaos("outage-refused", base, 8);
+  core::OakServer& oak = parity.scenario->oak();
+  const auto& contexts = oak.decision_log().contexts();
+  const std::vector<core::Decision> live = minus_serve(oak.decision_log());
+
+  SeedOracle oracle(oak.rules(), oak.config().policy, oak.config().history);
+  for (const auto& c : contexts) oracle.step(c);
+  const std::string live_dump = decisions_json(live).dump();
+  const bool oracle_parity =
+      decisions_json(oracle.log().entries()).dump() == live_dump;
+
+  core::PolicyReplayer rep1(oak.rules(), oak.config().policy,
+                            oak.config().history);
+  core::PolicyReplayer rep2(oak.rules(), oak.config().policy,
+                            oak.config().history);
+  for (const auto& c : contexts) {
+    rep1.step(c);
+    rep2.step(c);
+  }
+  const bool replayer_parity =
+      decisions_json(rep1.log().entries()).dump() == live_dump;
+  const bool replay_deterministic =
+      rep1.result_json().dump() == rep2.result_json().dump();
+  std::printf("seed parity: oracle %s  replayer %s  deterministic %s\n",
+              oracle_parity ? "PASS" : "FAIL",
+              replayer_parity ? "PASS" : "FAIL",
+              replay_deterministic ? "PASS" : "FAIL");
+
+  // --- Gate 2: racing converges on the fast mirror ----------------------
+  // Few concurrent races and a large fleet: the race signal is whole-page
+  // PLT, so concurrently raced rules pollute each other's cohort means —
+  // one faulted provider keeps the decided races on rules with a real,
+  // sustained signal, and 24 users average the cross-rule noise down.
+  workload::ChaosScenario::Options racing = base;
+  racing.racing_mirrors = true;
+  racing.providers = 3;
+  racing.outage_fraction = 0.34;
+  racing.slow_mirror_degradation = 12.0;
+  racing.policy.default_strategy = "racing";
+  LiveRun race = run_chaos("racing-mirrors", racing, 24);
+  const core::OakServer& roak = race.scenario->oak();
+  std::size_t decided = 0, fast_winners = 0;
+  bool winner_mean_ok = true;
+  util::JsonArray race_rows;
+  for (const auto& r : roak.rules()) {
+    const auto rs = roak.policy_engine().race_state(r.id);
+    if (!rs) continue;
+    util::JsonObject row;
+    row["rule"] = r.id;
+    row["decided"] = rs->decided;
+    row["winner"] = rs->winner;
+    row["mean_slow_alt_s"] = rs->mean(0);
+    row["mean_fast_alt_s"] = rs->mean(1);
+    row["samples_slow"] = std::int64_t(rs->count[0]);
+    row["samples_fast"] = std::int64_t(rs->count[1]);
+    race_rows.push_back(std::move(row));
+    if (!rs->decided) continue;
+    ++decided;
+    // Alternative 1 is the healthy mirror; alternative 0 the chronically
+    // slow one (workload/chaos.h racing_mirrors).
+    if (rs->winner == 1) ++fast_winners;
+    const int loser = 1 - rs->winner;
+    winner_mean_ok =
+        winner_mean_ok && rs->mean(rs->winner) <= rs->mean(loser);
+  }
+  const bool racing_converged = decided > 0 && fast_winners == decided;
+  std::printf("racing: %zu races decided, %zu picked the fast mirror -> %s\n",
+              decided, fast_winners, racing_converged ? "PASS" : "FAIL");
+
+  // --- Sweep: replay every run under each built-in strategy -------------
+  workload::ChaosScenario::Options stall = base;
+  stall.fault = net::FaultType::kStall;
+  LiveRun stall_run = run_chaos("outage-stall", stall, 8);
+
+  const char* kCandidates[] = {"paper", "racing", "hysteresis"};
+  util::JsonArray sweep;
+  const LiveRun* runs[] = {&parity, &stall_run, &race};
+  for (const LiveRun* run : runs) {
+    const core::OakServer& s = run->scenario->oak();
+    util::JsonObject row;
+    row["scenario"] = run->name;
+    row["recorded_strategy"] = s.config().policy.default_strategy.empty()
+                                   ? std::string("paper")
+                                   : s.config().policy.default_strategy;
+    row["contexts"] =
+        std::int64_t(s.decision_log().contexts().size());
+    util::JsonArray candidates;
+    for (const char* cand : kCandidates) {
+      std::vector<core::Rule> rules = s.rules();
+      for (auto& r : rules) r.policy.clear();
+      core::Policy p = s.config().policy;
+      p.default_strategy = cand;
+      p.record_context = false;
+      const core::ReplayScore score = core::replay_and_score(
+          std::move(rules), p, s.config().history,
+          s.decision_log().contexts());
+      util::JsonObject c;
+      c["policy"] = std::string(cand);
+      c["score"] = score.to_json();
+      candidates.push_back(std::move(c));
+      std::printf("%-16s %-10s activ %5zu deact %5zu mitig %5zu "
+                  "est-plt %.3fs\n",
+                  run->name.c_str(), cand, score.activations,
+                  score.deactivations, score.mitigated_reports,
+                  score.estimated_mean_plt_s);
+    }
+    row["candidates"] = std::move(candidates);
+    sweep.push_back(std::move(row));
+  }
+
+  // --- Emit --------------------------------------------------------------
+  util::JsonObject root;
+  root["bench"] = std::string("policy_ablation");
+  root["sweep"] = std::move(sweep);
+  root["races"] = std::move(race_rows);
+  util::JsonObject acceptance;
+  acceptance["seed_parity_oracle"] = oracle_parity;
+  acceptance["seed_parity_replayer"] = replayer_parity;
+  acceptance["replay_deterministic"] = replay_deterministic;
+  acceptance["races_decided"] = std::int64_t(decided);
+  acceptance["racing_converged_to_fast_mirror"] = racing_converged;
+  acceptance["racing_winner_mean_not_worse"] = winner_mean_ok;
+  const bool pass = oracle_parity && replayer_parity &&
+                    replay_deterministic && racing_converged &&
+                    winner_mean_ok;
+  acceptance["pass"] = pass;
+  root["acceptance"] = std::move(acceptance);
+
+  std::ofstream("BENCH_policy.json")
+      << util::Json(std::move(root)).dump_pretty(2) << "\n";
+  std::printf("\nacceptance: %s\nwrote BENCH_policy.json\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

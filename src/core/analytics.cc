@@ -74,6 +74,7 @@ SiteAnalytics::SiteAnalytics(const OakServer& server,
         case DecisionType::kKeepAlternative: s.keep_alternative++; break;
         case DecisionType::kAdvanceAlternative: s.advance_alternative++; break;
         case DecisionType::kServeModified: break;
+        case DecisionType::kRaceWinner: break;
       }
     }
   }

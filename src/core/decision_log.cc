@@ -10,11 +10,94 @@ std::string to_string(DecisionType t) {
     case DecisionType::kKeepAlternative: return "keep-alternative";
     case DecisionType::kExpire: return "expire";
     case DecisionType::kServeModified: return "serve-modified";
+    case DecisionType::kRaceWinner: return "race-winner";
   }
   return "?";
 }
 
+util::Json decision_to_json(const Decision& d) {
+  util::JsonObject o;
+  o["t"] = d.time;
+  o["user"] = d.user_id;
+  o["rule"] = d.rule_id;
+  o["type"] = static_cast<int>(d.type);
+  o["violator"] = d.violator_ip;
+  o["distance"] = d.distance;
+  o["alt"] = d.alternative_index;
+  return util::Json(std::move(o));
+}
+
+Decision decision_from_json(const util::Json& j) {
+  Decision d;
+  d.time = j.at("t").as_number();
+  d.user_id = j.at("user").as_string();
+  d.rule_id = static_cast<int>(j.at("rule").as_int());
+  d.type = static_cast<DecisionType>(j.at("type").as_int());
+  d.violator_ip = j.at("violator").as_string();
+  d.distance = j.at("distance").as_number();
+  d.alternative_index = static_cast<std::size_t>(j.at("alt").as_int());
+  return d;
+}
+
+util::Json context_to_json(const ReportContext& c) {
+  util::JsonObject o;
+  o["t"] = c.time;
+  o["user"] = c.user_id;
+  o["ip"] = c.client_ip;
+  o["plt"] = c.plt_s;
+  if (c.serve_only) o["serve"] = true;
+  util::JsonArray rules;
+  for (const auto& m : c.rule_matches) {
+    util::JsonObject mo;
+    mo["rule"] = m.rule_id;
+    mo["sev"] = m.severity;
+    mo["violator"] = m.violator_ip;
+    rules.push_back(std::move(mo));
+  }
+  o["rules"] = std::move(rules);
+  util::JsonArray alts;
+  for (const auto& m : c.alt_matches) {
+    util::JsonObject mo;
+    mo["rule"] = m.rule_id;
+    mo["alt"] = m.alt_index;
+    mo["sev"] = m.severity;
+    mo["violator"] = m.violator_ip;
+    alts.push_back(std::move(mo));
+  }
+  o["alts"] = std::move(alts);
+  return util::Json(std::move(o));
+}
+
+ReportContext context_from_json(const util::Json& j) {
+  ReportContext c;
+  c.time = j.at("t").as_number();
+  c.user_id = j.at("user").as_string();
+  c.client_ip = j.at("ip").as_string();
+  c.plt_s = j.at("plt").as_number();
+  if (const auto* s = j.find("serve")) c.serve_only = s->as_bool();
+  for (const auto& m : j.at("rules").as_array()) {
+    ContextRuleMatch rm;
+    rm.rule_id = static_cast<int>(m.at("rule").as_int());
+    rm.severity = m.at("sev").as_number();
+    rm.violator_ip = m.at("violator").as_string();
+    c.rule_matches.push_back(std::move(rm));
+  }
+  for (const auto& m : j.at("alts").as_array()) {
+    ContextAltMatch am;
+    am.rule_id = static_cast<int>(m.at("rule").as_int());
+    am.alt_index = static_cast<std::size_t>(m.at("alt").as_int());
+    am.severity = m.at("sev").as_number();
+    am.violator_ip = m.at("violator").as_string();
+    c.alt_matches.push_back(std::move(am));
+  }
+  return c;
+}
+
 void DecisionLog::record(Decision d) { entries_.push_back(std::move(d)); }
+
+void DecisionLog::record_context(ReportContext c) {
+  contexts_.push_back(std::move(c));
+}
 
 std::vector<Decision> DecisionLog::by_type(DecisionType t) const {
   std::vector<Decision> out;
@@ -46,6 +129,32 @@ std::map<int, std::size_t> DecisionLog::activations_per_rule() const {
     if (d.type == DecisionType::kActivate) out[d.rule_id]++;
   }
   return out;
+}
+
+util::Json DecisionLog::to_json() const {
+  util::JsonObject o;
+  util::JsonArray decisions;
+  for (const auto& d : entries_) decisions.push_back(decision_to_json(d));
+  o["decisions"] = std::move(decisions);
+  if (!contexts_.empty()) {
+    util::JsonArray contexts;
+    for (const auto& c : contexts_) contexts.push_back(context_to_json(c));
+    o["contexts"] = std::move(contexts);
+  }
+  return util::Json(std::move(o));
+}
+
+DecisionLog DecisionLog::from_json(const util::Json& j) {
+  DecisionLog log;
+  for (const auto& d : j.at("decisions").as_array()) {
+    log.record(decision_from_json(d));
+  }
+  if (const auto* c = j.find("contexts")) {
+    for (const auto& cj : c->as_array()) {
+      log.record_context(context_from_json(cj));
+    }
+  }
+  return log;
 }
 
 }  // namespace oak::core

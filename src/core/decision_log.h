@@ -6,6 +6,15 @@
 // product feature — "effectively using the performance reports of Oak as an
 // offline auditing tool" (§6). Fig. 14 / Table 3 are computed from exactly
 // this log.
+//
+// Beyond audit, the log is the substrate for offline policy what-if replay
+// (core/policy_replay.h, tools/policy_replay): when
+// Policy::record_context is on, every processed report also records a
+// ReportContext — the policy-independent inputs a candidate policy needs to
+// re-decide the same stream (which rules matched which violators at what
+// severity, per alternative). Replaying contexts through a different
+// PolicyEngine yields the counterfactual decision stream without re-running
+// detection or the matcher.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +22,8 @@
 #include <set>
 #include <string>
 #include <vector>
+
+#include "util/json.h"
 
 namespace oak::core {
 
@@ -23,6 +34,7 @@ enum class DecisionType {
   kKeepAlternative,  // alternative violated but still beats the original
   kExpire,           // TTL elapsed
   kServeModified,    // a page was served with >=1 text edit
+  kRaceWinner,       // racing policy: a rule's cohort race decided
 };
 
 std::string to_string(DecisionType t);
@@ -37,13 +49,63 @@ struct Decision {
   std::size_t alternative_index = 0;
 };
 
+// Shared JSON codec for decisions — the persistence snapshot and the replay
+// log file must agree on these bytes (keys t/user/rule/type/violator/
+// distance/alt; type as integer so new enum values pass through).
+util::Json decision_to_json(const Decision& d);
+Decision decision_from_json(const util::Json& j);
+
+// --- Replayable report context --------------------------------------------
+
+// One (rule, violator) match from a processed report: the rule's default
+// text matched this violator at this severity. First-match only, mirroring
+// consider_activations' "first matching violator wins".
+struct ContextRuleMatch {
+  int rule_id = 0;
+  double severity = 0.0;
+  std::string violator_ip;
+};
+
+// Same, for one alternative of a rule (review_active_rules' input): the
+// alternative's text matched this violator. Recorded for *every*
+// alternative of every rule regardless of what is active, because a
+// candidate policy may have a different alternative live at this point.
+struct ContextAltMatch {
+  int rule_id = 0;
+  std::size_t alt_index = 0;
+  double severity = 0.0;
+  std::string violator_ip;
+};
+
+// Everything a policy needs to re-decide one report (or one page serve —
+// serve_only ticks exist because rule expiry is evaluated on serves too,
+// and a replay that skipped them would expire rules later than the live
+// server did).
+struct ReportContext {
+  double time = 0.0;
+  std::string user_id;
+  std::string client_ip;
+  double plt_s = 0.0;       // <= 0: rejected by the accumulator gate
+  bool serve_only = false;  // page serve tick, no report attached
+  std::vector<ContextRuleMatch> rule_matches;
+  std::vector<ContextAltMatch> alt_matches;
+};
+
+util::Json context_to_json(const ReportContext& c);
+ReportContext context_from_json(const util::Json& j);
+
 class DecisionLog {
  public:
   void record(Decision d);
+  void record_context(ReportContext c);
 
   const std::vector<Decision>& entries() const { return entries_; }
+  const std::vector<ReportContext>& contexts() const { return contexts_; }
   std::size_t size() const { return entries_.size(); }
-  void clear() { entries_.clear(); }
+  void clear() {
+    entries_.clear();
+    contexts_.clear();
+  }
 
   std::vector<Decision> by_type(DecisionType t) const;
   std::size_t count(DecisionType t) const;
@@ -53,8 +115,14 @@ class DecisionLog {
   // Activation event counts per rule.
   std::map<int, std::size_t> activations_per_rule() const;
 
+  // Full log as JSON: {"decisions": [...], "contexts": [...]} ("contexts"
+  // omitted when none were recorded, keeping pre-context logs byte-stable).
+  util::Json to_json() const;
+  static DecisionLog from_json(const util::Json& j);
+
  private:
   std::vector<Decision> entries_;
+  std::vector<ReportContext> contexts_;
 };
 
 }  // namespace oak::core

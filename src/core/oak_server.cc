@@ -24,6 +24,8 @@ OakServer::OakServer(page::WebUniverse& universe, std::string site_host,
     return obj->body;
   };
   matcher_ = std::make_unique<Matcher>(fetcher, cfg_.matcher);
+  engine_ = std::make_unique<PolicyEngine>(cfg_.policy,
+                                           cfg_.metrics ? &metrics_ : nullptr);
   if (cfg_.metrics) {
     obs_.decode = &metrics_.histogram("oak_ingest_decode_seconds");
     obs_.group = &metrics_.histogram("oak_ingest_group_seconds");
@@ -39,6 +41,8 @@ OakServer::OakServer(page::WebUniverse& universe, std::string site_host,
     obs_.activations = &metrics_.counter("oak_rule_activations_total");
     obs_.expirations = &metrics_.counter("oak_rule_expirations_total");
     obs_.deactivations = &metrics_.counter("oak_rule_deactivations_total");
+    obs_.contexts_recorded =
+        &metrics_.counter("oak_policy_contexts_recorded_total");
   }
 }
 
@@ -75,6 +79,10 @@ int OakServer::add_rule(Rule rule) {
   if (!rule.validate(&why)) {
     throw std::invalid_argument("invalid rule '" + rule.name + "': " + why);
   }
+  if (!rule.policy.empty() && !engine_->has_strategy(rule.policy)) {
+    throw std::invalid_argument("rule '" + rule.name + "' names policy '" +
+                                rule.policy + "' but no such strategy exists");
+  }
   if (rule.id == 0) rule.id = next_rule_id_;
   next_rule_id_ = std::max(next_rule_id_, rule.id + 1);
   rules_.push_back(std::move(rule));
@@ -108,8 +116,13 @@ bool OakServer::remove_rule(int rule_id, double now) {
     changed |= profile.pending_violations.erase(rule_id) > 0;
     changed |= profile.next_alternative.erase(rule_id) > 0;
     changed |= profile.banned.erase(rule_id) > 0;
+    changed |= profile.race.erase(rule_id) > 0;
+    changed |= profile.cooldown_until.erase(rule_id) > 0;
     return changed;
   });
+  // Retiring a rule retires its race: a re-added rule (even with the same
+  // id) starts a fresh one.
+  engine_->erase_rule(rule_id);
   return true;
 }
 
@@ -196,7 +209,20 @@ http::Response OakServer::serve_page(const http::Request& req, double now) {
   // holdback or policy-filtered users, whose profiles would otherwise carry
   // stale "active" rules indefinitely (the server never applies an expired
   // rule, but the audit plane would keep counting it as live).
-  if (cfg_.enabled) expire_rules(user, now);
+  if (cfg_.enabled) {
+    expire_rules(user, now);
+    // A serve advances rule-expiry time even though no report arrives, so
+    // the replay log needs the tick (core/decision_log.h, serve_only).
+    if (cfg_.policy.record_context) {
+      ReportContext tick;
+      tick.time = now;
+      tick.user_id = user.user_id;
+      tick.client_ip = user.client_ip;
+      tick.serve_only = true;
+      log_.record_context(std::move(tick));
+      if (obs_.contexts_recorded != nullptr) obs_.contexts_recorded->inc();
+    }
+  }
 
   const bool oak_applies = cfg_.enabled &&
                            cfg_.policy.applies_to(req.client_ip) &&
@@ -328,7 +354,8 @@ void OakServer::process_report(UserProfile& user,
   // the wire, and a single 1e308 sample would push plt_sum_s to +Inf, from
   // where every derived mean (and the treated/holdback lift ratio) becomes
   // Inf or NaN forever.
-  if (std::isfinite(report.plt_s) && report.plt_s > 0.0) {
+  const bool plt_accepted = std::isfinite(report.plt_s) && report.plt_s > 0.0;
+  if (plt_accepted) {
     user.plt_sum_s += report.plt_s;
     ++user.plt_count;
   }
@@ -358,7 +385,24 @@ void OakServer::process_report(UserProfile& user,
     domain_hash_scratch_.push_back(fnv1a(v.domains));
   }
 
+  if (cfg_.policy.record_context) {
+    record_report_context(user, detection, scripts_scratch_,
+                          domain_hash_scratch_, scripts_hash,
+                          plt_accepted ? report.plt_s : 0.0, now);
+  }
+
   expire_rules(user, now);
+  // Racing cohort accounting: the report's PLT is a sample for every raced
+  // rule still active at this instant (after expiry, before the history
+  // verdict — the page this PLT measures was served under the pre-review
+  // alternative). PolicyReplayer mirrors this ordering exactly.
+  if (plt_accepted) {
+    race_events_scratch_.clear();
+    engine_->observe_report(user, report.plt_s, now,
+                            [this](int id) { return rule(id); },
+                            &race_events_scratch_);
+    for (Decision& d : race_events_scratch_) log_.record(std::move(d));
+  }
   {
     obs::ScopedTimer match_timer(obs_.match);
     review_active_rules(user, detection, scripts_scratch_,
@@ -368,6 +412,48 @@ void OakServer::process_report(UserProfile& user,
   }
 
   if (out_detection) *out_detection = std::move(detection);
+}
+
+void OakServer::record_report_context(
+    UserProfile& user, const DetectionResult& detection,
+    const std::vector<std::string>& scripts,
+    const std::vector<std::uint64_t>& domain_hashes,
+    std::uint64_t scripts_hash, double plt_s, double now) {
+  ReportContext ctx;
+  ctx.time = now;
+  ctx.user_id = user.user_id;
+  ctx.client_ip = user.client_ip;
+  ctx.plt_s = plt_s;
+  // Probe every rule and every alternative against the violator set —
+  // regardless of what is active or banned for this user — because a
+  // candidate policy replayed over this context may have any alternative
+  // live at this point. First-match semantics mirror the live loops; the
+  // memoized matcher makes the full sweep cheap.
+  for (const auto& r : rules_) {
+    for (std::size_t vi = 0; vi < detection.violators.size(); ++vi) {
+      const Violation& v = detection.violators[vi];
+      if (matcher_->match_rule(r, v.domains, domain_hashes[vi], scripts,
+                               scripts_hash, now) != MatchTier::kNone) {
+        ctx.rule_matches.push_back(
+            ContextRuleMatch{r.id, v.severity(), v.ip});
+        break;
+      }
+    }
+    for (std::size_t ai = 0; ai < r.alternatives.size(); ++ai) {
+      for (std::size_t vi = 0; vi < detection.violators.size(); ++vi) {
+        const Violation& v = detection.violators[vi];
+        if (matcher_->match_text(r.alternatives[ai], v.domains,
+                                 domain_hashes[vi], scripts, scripts_hash,
+                                 now) != MatchTier::kNone) {
+          ctx.alt_matches.push_back(
+              ContextAltMatch{r.id, ai, v.severity(), v.ip});
+          break;
+        }
+      }
+    }
+  }
+  log_.record_context(std::move(ctx));
+  if (obs_.contexts_recorded != nullptr) obs_.contexts_recorded->inc();
 }
 
 void OakServer::review_active_rules(
@@ -403,31 +489,34 @@ void OakServer::review_active_rules(
       continue;
     }
 
-    // History rule (§4.2.3): keep whichever side lies closer to the median.
+    // The history verdict (§4.2.3 and its strategy variants) is the
+    // engine's call; this loop owns the mutation and the logging.
     const double alt_distance = alt_violation->severity();
-    if (cfg_.history == HistoryMode::kMinDistance &&
-        alt_distance < ar.violation_distance) {
-      log_.record(Decision{now, user.user_id, ar.rule_id,
-                           DecisionType::kKeepAlternative, alt_violation->ip,
-                           alt_distance, idx});
-      ++it;
-      continue;
-    }
-    if (idx + 1 < r->alternatives.size()) {
-      ar.alternative_index = idx + 1;
-      log_.record(Decision{now, user.user_id, ar.rule_id,
-                           DecisionType::kAdvanceAlternative,
-                           alt_violation->ip, alt_distance,
-                           ar.alternative_index});
-      ++it;
-    } else {
-      log_.record(Decision{now, user.user_id, ar.rule_id,
-                           DecisionType::kDeactivate, alt_violation->ip,
-                           alt_distance, idx});
-      if (obs_.deactivations != nullptr) obs_.deactivations->inc();
-      if (!cfg_.policy.allow_reactivation) user.banned.insert(ar.rule_id);
-      user.pending_violations.erase(ar.rule_id);
-      it = user.active.erase(it);
+    switch (engine_->on_alternative_violation(*r, user, ar, alt_distance,
+                                              cfg_.history)) {
+      case HistoryAction::kKeep:
+        log_.record(Decision{now, user.user_id, ar.rule_id,
+                             DecisionType::kKeepAlternative, alt_violation->ip,
+                             alt_distance, idx});
+        ++it;
+        break;
+      case HistoryAction::kAdvance:
+        ar.alternative_index = idx + 1;
+        log_.record(Decision{now, user.user_id, ar.rule_id,
+                             DecisionType::kAdvanceAlternative,
+                             alt_violation->ip, alt_distance,
+                             ar.alternative_index});
+        ++it;
+        break;
+      case HistoryAction::kDeactivate:
+        log_.record(Decision{now, user.user_id, ar.rule_id,
+                             DecisionType::kDeactivate, alt_violation->ip,
+                             alt_distance, idx});
+        if (obs_.deactivations != nullptr) obs_.deactivations->inc();
+        engine_->on_deactivated(*r, user, now);
+        user.pending_violations.erase(ar.rule_id);
+        it = user.active.erase(it);
+        break;
     }
   }
 }
@@ -452,41 +541,22 @@ void OakServer::consider_activations(
     }
     if (!hit) continue;
 
-    const int required =
-        std::max(r.min_violations, cfg_.policy.default_min_violations);
-    const int seen = ++user.pending_violations[r.id];
-    if (seen < required) continue;
-    user.pending_violations.erase(r.id);
-
-    std::size_t alt_idx = 0;
-    if (!r.alternatives.empty() && cfg_.policy.alternative_selector) {
-      alt_idx = std::min(cfg_.policy.alternative_selector(
-                             user.client_ip, r.alternatives.size()),
-                         r.alternatives.size() - 1);
-      user.next_alternative[r.id] = alt_idx + 1;
-    } else if (!r.alternatives.empty()) {
-      std::size_t& next = user.next_alternative[r.id];
-      switch (cfg_.policy.selection) {
-        case AlternativeSelection::kLinear:
-          alt_idx = std::min(next, r.alternatives.size() - 1);
-          break;
-        case AlternativeSelection::kRoundRobin:
-          alt_idx = next % r.alternatives.size();
-          break;
-      }
-      next = alt_idx + 1;
-    }
+    // Threshold counting and alternative choice are the strategy's call
+    // (the built-in "paper" strategy reproduces the seed flow bit-for-bit).
+    auto choice = engine_->on_rule_violation(r, user, hit->severity(), now);
+    if (!choice) continue;
 
     ActiveRule ar;
     ar.rule_id = r.id;
-    ar.alternative_index = alt_idx;
+    ar.alternative_index = choice->alternative_index;
     ar.activated_at = now;
     ar.expires_at = r.ttl_s > 0.0 ? now + r.ttl_s : 0.0;
     ar.violation_distance = hit->severity();
     ar.violator_ip = hit->ip;
     user.active[r.id] = ar;
     log_.record(Decision{now, user.user_id, r.id, DecisionType::kActivate,
-                         hit->ip, ar.violation_distance, alt_idx});
+                         hit->ip, ar.violation_distance,
+                         ar.alternative_index});
     if (obs_.activations != nullptr) obs_.activations->inc();
   }
 }

@@ -41,15 +41,8 @@
 
 namespace oak::core {
 
-// What to do when an activated alternative itself becomes a violator.
-// kMinDistance is the paper's §4.2.3 rule ("Oak then chooses the action
-// which minimizes this distance"); the other two exist as ablation
-// baselines.
-enum class HistoryMode {
-  kMinDistance,   // keep whichever side sits closer to the median
-  kAlwaysKeep,    // never revert once switched
-  kAlwaysRevert,  // any violation of the alternative reverts/advances
-};
+// HistoryMode (what to do when an activated alternative itself becomes a
+// violator) lives in core/policy.h with the rest of the policy vocabulary.
 
 // How ingest_report() turns wire bytes into a report.
 //   kStreaming     zero-copy SAX decode into the ingest arena (fast path);
@@ -137,6 +130,10 @@ class OakServer {
   const std::vector<Rule>& rules() const { return rules_; }
   const Rule* rule(int id) const;
   const DecisionLog& decision_log() const { return log_; }
+  // The pluggable policy engine (core/policy.h): per-rule strategy
+  // resolution and the derived racing aggregates.
+  const PolicyEngine& policy_engine() const { return *engine_; }
+  PolicyEngine& policy_engine() { return *engine_; }
   // One index probe for hot users; a cold hit transparently faults the
   // profile in (logically const — observable state is identical to the
   // profile never having been demoted). Does not touch the LRU clock, so
@@ -221,6 +218,15 @@ class OakServer {
                             const std::vector<std::uint64_t>& domain_hashes,
                             std::uint64_t scripts_hash, double now);
   void expire_rules(UserProfile& user, double now);
+  // Capture the policy-independent replay context for one report: every
+  // rule's (and every alternative's) first matching violator, via the
+  // memoized matcher (Policy::record_context).
+  void record_report_context(UserProfile& user,
+                             const DetectionResult& detection,
+                             const std::vector<std::string>& scripts,
+                             const std::vector<std::uint64_t>& domain_hashes,
+                             std::uint64_t scripts_hash, double plt_s,
+                             double now);
   UserProfile& user_for(const http::Request& req, http::Response& resp,
                         double now);
   // Find-or-create through the store's uid index (one hash probe on the hot
@@ -244,12 +250,14 @@ class OakServer {
     obs::Counter* activations = nullptr;
     obs::Counter* expirations = nullptr;
     obs::Counter* deactivations = nullptr;
+    obs::Counter* contexts_recorded = nullptr;
   };
 
   page::WebUniverse& universe_;
   std::string site_host_;
   OakConfig cfg_;
   std::unique_ptr<Matcher> matcher_;
+  std::unique_ptr<PolicyEngine> engine_;
   std::vector<Rule> rules_;
   int next_rule_id_ = 1;
   // All per-user state, hot and cold (core/user_store.h). Untiered by
@@ -271,6 +279,8 @@ class OakServer {
   std::vector<std::string_view> urls_scratch_;
   std::vector<std::string> scripts_scratch_;
   std::vector<std::uint64_t> domain_hash_scratch_;
+  // Racing kRaceWinner events staged by PolicyEngine::observe_report.
+  std::vector<Decision> race_events_scratch_;
 };
 
 }  // namespace oak::core

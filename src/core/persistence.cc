@@ -36,29 +36,6 @@ ActiveRule active_rule_from_json(const util::Json& j) {
   return ar;
 }
 
-util::Json decision_to_json(const Decision& d) {
-  util::JsonObject o;
-  o["t"] = d.time;
-  o["user"] = d.user_id;
-  o["rule"] = d.rule_id;
-  o["type"] = static_cast<int>(d.type);
-  o["violator"] = d.violator_ip;
-  o["distance"] = d.distance;
-  o["alt"] = d.alternative_index;
-  return util::Json(std::move(o));
-}
-
-Decision decision_from_json(const util::Json& j) {
-  Decision d;
-  d.time = j.at("t").as_number();
-  d.user_id = j.at("user").as_string();
-  d.rule_id = static_cast<int>(j.at("rule").as_int());
-  d.type = static_cast<DecisionType>(j.at("type").as_int());
-  d.violator_ip = j.at("violator").as_string();
-  d.distance = j.at("distance").as_number();
-  d.alternative_index = static_cast<std::size_t>(j.at("alt").as_int());
-  return d;
-}
 }  // namespace
 
 util::Json OakServer::export_state() const {
@@ -96,6 +73,28 @@ util::Json OakServer::export_state() const {
     util::JsonArray banned;
     for (int rid : p.banned) banned.emplace_back(rid);
     u["banned"] = std::move(banned);
+    // Policy-engine state, emitted only when present: snapshots of
+    // deployments that never race or cool down stay byte-identical to the
+    // pre-engine format.
+    if (!p.race.empty()) {
+      util::JsonArray race;
+      for (const auto& [rid, rs] : p.race) {
+        util::JsonObject ro;
+        ro["rule"] = rid;
+        ro["cohort"] = rs.cohort;
+        ro["plt_sum"] = rs.plt_sum;
+        ro["count"] = rs.count;
+        race.push_back(std::move(ro));
+      }
+      u["race"] = std::move(race);
+    }
+    if (!p.cooldown_until.empty()) {
+      util::JsonObject cooldown;
+      for (const auto& [rid, until] : p.cooldown_until) {
+        cooldown[std::to_string(rid)] = until;
+      }
+      u["cooldown"] = std::move(cooldown);
+    }
     users[p.user_id] = util::Json(std::move(u));
   });
   root["users"] = std::move(users);
@@ -103,6 +102,15 @@ util::Json OakServer::export_state() const {
   util::JsonArray log;
   for (const auto& d : log_.entries()) log.push_back(decision_to_json(d));
   root["log"] = std::move(log);
+  // Replay contexts ride along only when recording was on, for the same
+  // byte-compatibility reason as "race"/"cooldown" above.
+  if (!log_.contexts().empty()) {
+    util::JsonArray contexts;
+    for (const auto& c : log_.contexts()) {
+      contexts.push_back(context_to_json(c));
+    }
+    root["contexts"] = std::move(contexts);
+  }
   return util::Json(std::move(root));
 }
 
@@ -134,11 +142,30 @@ void OakServer::import_state(const util::Json& snapshot) {
     for (const auto& b : u.at("banned").as_array()) {
       p.banned.insert(static_cast<int>(b.as_int()));
     }
+    if (const auto* race = u.find("race")) {
+      for (const auto& r : race->as_array()) {
+        RaceStat rs;
+        rs.cohort = static_cast<int>(r.at("cohort").as_int());
+        rs.plt_sum = r.at("plt_sum").as_number();
+        rs.count = static_cast<std::uint64_t>(r.at("count").as_int());
+        p.race[static_cast<int>(r.at("rule").as_int())] = rs;
+      }
+    }
+    if (const auto* cooldown = u.find("cooldown")) {
+      for (const auto& [rid, until] : cooldown->as_object()) {
+        p.cooldown_until[std::stoi(rid)] = until.as_number();
+      }
+    }
     profiles.push_back(std::move(p));
   }
   DecisionLog log;
   for (const auto& d : snapshot.at("log").as_array()) {
     log.record(decision_from_json(d));
+  }
+  if (const auto* contexts = snapshot.find("contexts")) {
+    for (const auto& c : contexts->as_array()) {
+      log.record_context(context_from_json(c));
+    }
   }
   // Commit only after the whole snapshot parsed (strong exception safety).
   // Rebuilding through get_or_create re-establishes tiering naturally: once
@@ -151,6 +178,14 @@ void OakServer::import_state(const util::Json& snapshot) {
   next_user_ = static_cast<std::size_t>(snapshot.at("next_user").as_int());
   reports_processed_ =
       static_cast<std::size_t>(snapshot.at("reports_processed").as_int());
+  // The engine's racing aggregates are derived state: rebuild them from the
+  // imported profiles so a recovered server races (and declares winners)
+  // exactly as the original would have.
+  engine_->reset_race_state();
+  users_.for_each_sorted([&](const UserProfile& p) {
+    engine_->fold_profile(p);
+  });
+  engine_->finalize_races([this](int id) { return rule(id); });
 }
 
 }  // namespace oak::core

@@ -58,6 +58,11 @@ struct Rule {
   util::Scope scope{"*"};
   std::vector<SubRule> sub_rules;
   int min_violations = 1;  // policy: violations required to activate
+  // Named policy strategy handling this rule (core/policy.h). Empty = the
+  // engine's default strategy (Policy::default_strategy, itself defaulting
+  // to the paper policy). Validated against the strategy table by
+  // OakServer::add_rule. Rule-file syntax: `policy: "racing"`.
+  std::string policy;
 
   // Structural validity; fills `why` on failure.
   bool validate(std::string* why = nullptr) const;

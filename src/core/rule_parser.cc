@@ -147,6 +147,8 @@ Rule parse_rule_block(Lexer& lex) {
       rule.scope = util::Scope(lex.string_literal());
     } else if (key == "min_violations") {
       rule.min_violations = static_cast<int>(lex.number());
+    } else if (key == "policy") {
+      rule.policy = lex.string_literal();
     } else if (key == "sub") {
       SubRule sub;
       sub.from = lex.string_literal();
@@ -204,6 +206,9 @@ std::string format_rules(const std::vector<Rule>& rules) {
     out += "  scope: \"" + escape(r.scope.pattern()) + "\"\n";
     if (r.min_violations != 1) {
       out += util::format("  min_violations: %d\n", r.min_violations);
+    }
+    if (!r.policy.empty()) {
+      out += "  policy: \"" + escape(r.policy) + "\"\n";
     }
     for (const auto& s : r.sub_rules) {
       out += "  sub: \"" + escape(s.from) + "\" -> \"" + escape(s.to) + "\"\n";

@@ -507,6 +507,19 @@ DecisionLog ShardedOakServer::merged_decision_log() const {
                    });
   DecisionLog log;
   for (auto& d : merged) log.record(std::move(d));
+
+  // Replay contexts merge the same way, so a bundle recorded against a
+  // sharded deployment replays in one global time order.
+  std::vector<ReportContext> contexts;
+  for (const auto& shard : shards_) {
+    const auto& cs = shard->server->decision_log().contexts();
+    contexts.insert(contexts.end(), cs.begin(), cs.end());
+  }
+  std::stable_sort(contexts.begin(), contexts.end(),
+                   [](const ReportContext& a, const ReportContext& b) {
+                     return a.time < b.time;
+                   });
+  for (auto& c : contexts) log.record_context(std::move(c));
   return log;
 }
 

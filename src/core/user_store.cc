@@ -146,6 +146,18 @@ void encode_profile(const UserProfile& p, std::string& out) {
   }
   util::put_uvarint(out, p.banned.size());
   for (int rid : p.banned) put_zigzag(out, rid);
+  util::put_uvarint(out, p.race.size());
+  for (const auto& [rid, rs] : p.race) {
+    put_zigzag(out, rid);
+    put_zigzag(out, rs.cohort);
+    util::put_double_bits(out, rs.plt_sum);
+    util::put_uvarint(out, rs.count);
+  }
+  util::put_uvarint(out, p.cooldown_until.size());
+  for (const auto& [rid, until] : p.cooldown_until) {
+    put_zigzag(out, rid);
+    util::put_double_bits(out, until);
+  }
 }
 
 bool decode_profile(std::string_view in, UserProfile& p) {
@@ -153,6 +165,8 @@ bool decode_profile(std::string_view in, UserProfile& p) {
   p.pending_violations.clear();
   p.next_alternative.clear();
   p.banned.clear();
+  p.race.clear();
+  p.cooldown_until.clear();
   std::size_t pos = 0;
   std::string_view sv;
   std::uint64_t u = 0;
@@ -202,6 +216,25 @@ bool decode_profile(std::string_view in, UserProfile& p) {
   for (std::uint64_t i = 0; i < count; ++i) {
     if (!get_zigzag(in, pos, z)) return false;
     p.banned.insert(int(z));
+  }
+  if (!util::get_uvarint(in, pos, count)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!get_zigzag(in, pos, z)) return false;
+    const int rid = int(z);
+    RaceStat rs;
+    if (!get_zigzag(in, pos, z)) return false;
+    rs.cohort = int(z);
+    if (!util::get_double_bits(in, pos, rs.plt_sum)) return false;
+    if (!util::get_uvarint(in, pos, rs.count)) return false;
+    p.race.insert_or_assign(rid, rs);
+  }
+  if (!util::get_uvarint(in, pos, count)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!get_zigzag(in, pos, z)) return false;
+    const int rid = int(z);
+    double until = 0.0;
+    if (!util::get_double_bits(in, pos, until)) return false;
+    p.cooldown_until.insert_or_assign(rid, until);
   }
   return pos == in.size();
 }

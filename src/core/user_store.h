@@ -68,6 +68,17 @@ struct ActiveRule {
   std::string violator_ip;
 };
 
+// Per-(user, rule) racing accumulator (core/policy.h, racing strategy):
+// which cohort the user raced in, and the post-activation PLT mass their
+// reports contributed. Lives in the profile — not the engine — so the
+// engine's per-rule race aggregates are pure derived state, rebuilt by
+// folding profiles after snapshot import or WAL recovery.
+struct RaceStat {
+  int cohort = 0;  // 0 or 1: which alternative this user races
+  double plt_sum = 0.0;
+  std::uint64_t count = 0;
+};
+
 struct UserProfile {
   std::string user_id;
   std::string client_ip;
@@ -79,6 +90,11 @@ struct UserProfile {
   util::SmallFlatMap<int, int> pending_violations;  // toward min_violations
   util::SmallFlatMap<int, std::size_t> next_alternative;
   util::SmallFlatSet<int> banned;  // never re-activate (allow_reactivation=false)
+  // Racing cohort accumulators; persists after deactivation (like banned)
+  // so the derived aggregates survive export/import byte-identically.
+  util::SmallFlatMap<int, RaceStat> race;
+  // Hysteresis: rule may not re-arm for this user before this time.
+  util::SmallFlatMap<int, double> cooldown_until;
   std::size_t reports_received = 0;
   std::size_t pages_served = 0;
   // Rolling page-load-time statistics from this user's reports; the

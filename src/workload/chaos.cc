@@ -47,6 +47,15 @@ ChaosScenario::ChaosScenario(Options opt) : opt_(opt) {
     const std::string mirror = util::format("tp%d.mirror.net", i);
     mirror_hosts_.push_back(mirror);
     universe_->dns().bind(mirror, net.server(mid).addr());
+
+    if (opt.racing_mirrors) {
+      net::ServerConfig slow = node(util::format("mirror2-%d", i));
+      slow.chronic_degradation = opt.slow_mirror_degradation;
+      const net::ServerId sid2 = net.add_server(slow);
+      const std::string mirror2 = util::format("tp%d.mirror2.net", i);
+      slow_mirror_hosts_.push_back(mirror2);
+      universe_->dns().bind(mirror2, net.server(sid2).addr());
+    }
   }
 
   // Both site variants reference the same provider object sets.
@@ -70,19 +79,32 @@ ChaosScenario::ChaosScenario(Options opt) : opt_(opt) {
 
   // Mirror every provider object and pair each provider with a type-2
   // domain rule pointing at its mirror.
-  oak_ = std::make_unique<core::OakServer>(*universe_, oak_host_,
-                                           core::OakConfig{});
+  core::OakConfig ocfg;
+  ocfg.policy = opt.policy;
+  oak_ = std::make_unique<core::OakServer>(*universe_, oak_host_, ocfg);
   for (int i = 0; i < opt.providers; ++i) {
     for (int s = 0; s < opt.objects_per_provider; ++s) {
       const std::string path = util::format("/obj%d.bin", s);
       universe_->store().replicate(
           "http://" + provider_hosts_[static_cast<std::size_t>(i)] + path,
           "http://" + mirror_hosts_[static_cast<std::size_t>(i)] + path);
+      if (opt.racing_mirrors) {
+        universe_->store().replicate(
+            "http://" + provider_hosts_[static_cast<std::size_t>(i)] + path,
+            "http://" + slow_mirror_hosts_[static_cast<std::size_t>(i)] +
+                path);
+      }
     }
+    // With racing mirrors the chronically slow host is alternative 0, so a
+    // linear policy settles on it while racing can find the fast mirror.
+    std::vector<std::string> alternatives;
+    if (opt.racing_mirrors) {
+      alternatives.push_back(slow_mirror_hosts_[static_cast<std::size_t>(i)]);
+    }
+    alternatives.push_back(mirror_hosts_[static_cast<std::size_t>(i)]);
     oak_->add_rule(core::make_domain_rule(
-        util::format("tp%d", i),
-        provider_hosts_[static_cast<std::size_t>(i)],
-        {mirror_hosts_[static_cast<std::size_t>(i)]}));
+        util::format("tp%d", i), provider_hosts_[static_cast<std::size_t>(i)],
+        alternatives));
   }
   oak_->install();
 

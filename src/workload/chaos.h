@@ -39,6 +39,16 @@ class ChaosScenario {
     // Fault the origin server instead of providers — the report-upload
     // loss experiment (reports die when the origin is unreachable).
     bool fault_origin = false;
+    // Policy handed to the embedded OakServer (strategy table, holdback,
+    // record_context, ...). Default-constructed == seed behavior.
+    core::Policy policy;
+    // Give every provider a second, chronically slow mirror
+    // (tpN.mirror2.net) and list it FIRST in the rule's alternatives, so
+    // linear progression lands on the slow mirror while a racing policy can
+    // discover the fast one. Off by default: topology, rules and schedule
+    // stay byte-identical to the seed.
+    bool racing_mirrors = false;
+    double slow_mirror_degradation = 8.0;
   };
 
   explicit ChaosScenario(Options opt);
@@ -56,6 +66,11 @@ class ChaosScenario {
   }
   const std::vector<std::string>& mirror_hosts() const {
     return mirror_hosts_;
+  }
+  // Non-empty only when racing_mirrors is on: the chronically slow
+  // tpN.mirror2.net hosts (alternative index 0 of each rule).
+  const std::vector<std::string>& slow_mirror_hosts() const {
+    return slow_mirror_hosts_;
   }
   const std::vector<net::ServerId>& provider_servers() const {
     return provider_servers_;
@@ -78,6 +93,7 @@ class ChaosScenario {
   net::ServerId origin_server_ = net::kInvalidServer;
   std::vector<std::string> provider_hosts_;
   std::vector<std::string> mirror_hosts_;
+  std::vector<std::string> slow_mirror_hosts_;
   std::vector<net::ServerId> provider_servers_;
   std::vector<int> faulted_providers_;
 };

@@ -1,0 +1,413 @@
+// PolicyEngine unit tests: strategy behaviors, Subnet boundaries, policy
+// JSON round-trips, and racing-cohort stability across export/import.
+#include <gtest/gtest.h>
+
+#include "core/oak_server.h"
+#include "core/policy.h"
+
+namespace oak::core {
+namespace {
+
+Rule two_alt_rule(int id) {
+  Rule r = make_domain_rule("switch", "slow.net", {"alt0.net", "alt1.net"});
+  r.id = id;
+  return r;
+}
+
+std::string user_in_cohort(int rule_id, int cohort) {
+  for (int i = 0;; ++i) {
+    std::string uid = "user" + std::to_string(i);
+    if (PolicyEngine::cohort_of(uid, rule_id) == cohort) return uid;
+  }
+}
+
+// --- Subnet boundaries (docs/RULES.md table) ------------------------------
+
+TEST(Subnet, PrefixZeroMatchesEverything) {
+  auto s = Subnet::parse("10.0.0.0/0");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->contains(*net::IpAddr::parse("10.0.0.1")));
+  EXPECT_TRUE(s->contains(*net::IpAddr::parse("255.255.255.255")));
+  EXPECT_TRUE(s->contains(net::IpAddr{}));
+}
+
+TEST(Subnet, Slash32DemandsExactMatch) {
+  auto s = Subnet::parse("192.168.1.7/32");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->contains(*net::IpAddr::parse("192.168.1.7")));
+  EXPECT_FALSE(s->contains(*net::IpAddr::parse("192.168.1.8")));
+}
+
+TEST(Subnet, OverlongPrefixBehavesAsSlash32) {
+  // An IPv6-length prefix on an IPv4 base must not shift out of range;
+  // it clamps to exact-match semantics.
+  auto s = Subnet::parse("192.168.1.7/128");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->prefix_len, 128);
+  EXPECT_TRUE(s->contains(*net::IpAddr::parse("192.168.1.7")));
+  EXPECT_FALSE(s->contains(*net::IpAddr::parse("192.168.1.6")));
+}
+
+TEST(Subnet, BareAddressMeansSlash32) {
+  auto s = Subnet::parse("10.1.2.3");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->prefix_len, 32);
+  EXPECT_TRUE(s->contains(*net::IpAddr::parse("10.1.2.3")));
+  EXPECT_FALSE(s->contains(*net::IpAddr::parse("10.1.2.4")));
+}
+
+TEST(Subnet, RejectsMalformedInput) {
+  EXPECT_FALSE(Subnet::parse("::1/64").has_value());  // IPv6 literal
+  EXPECT_FALSE(Subnet::parse("10.0.0.1/129").has_value());
+  EXPECT_FALSE(Subnet::parse("10.0.0.1/-1").has_value());
+  EXPECT_FALSE(Subnet::parse("10.0.0.1/abc").has_value());
+  EXPECT_FALSE(Subnet::parse("not-an-ip/8").has_value());
+  EXPECT_FALSE(Subnet::parse("").has_value());
+}
+
+TEST(Subnet, OrdinaryPrefixMasksLowBits) {
+  auto s = Subnet::parse("10.20.0.0/16");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->contains(*net::IpAddr::parse("10.20.255.1")));
+  EXPECT_FALSE(s->contains(*net::IpAddr::parse("10.21.0.1")));
+  EXPECT_EQ(s->to_string(), "10.20.0.0/16");
+}
+
+// --- Policy JSON round-trip ----------------------------------------------
+
+TEST(PolicyJson, RoundTripsStrategyTable) {
+  Policy p;
+  p.default_min_violations = 3;
+  p.selection = AlternativeSelection::kRoundRobin;
+  p.allow_reactivation = false;
+  p.holdback_fraction = 0.25;
+  p.client_filter = Subnet::parse("10.0.0.0/8");
+  p.default_strategy = "race-fast";
+  p.record_context = true;
+
+  StrategyConfig racing;
+  racing.name = "race-fast";
+  racing.kind = StrategyKind::kRacing;
+  racing.racing.min_samples = 7;
+  p.strategies.push_back(racing);
+
+  StrategyConfig hyst;
+  hyst.name = "sticky";
+  hyst.kind = StrategyKind::kHysteresis;
+  hyst.hysteresis.cooldown_s = 120.0;
+  hyst.hysteresis.keep_margin = 2.0;
+  p.strategies.push_back(hyst);
+
+  StrategyConfig scoped;
+  scoped.name = "by-office";
+  scoped.kind = StrategyKind::kScoped;
+  scoped.routes.push_back({*Subnet::parse("10.1.0.0/16"), "race-fast"});
+  scoped.fallback = "sticky";
+  p.strategies.push_back(scoped);
+
+  const util::Json j = policy_to_json(p);
+  const Policy q = policy_from_json(j);
+  EXPECT_EQ(policy_to_json(q).dump(), j.dump());
+  EXPECT_EQ(q.default_min_violations, 3);
+  EXPECT_EQ(q.selection, AlternativeSelection::kRoundRobin);
+  EXPECT_FALSE(q.allow_reactivation);
+  EXPECT_DOUBLE_EQ(q.holdback_fraction, 0.25);
+  EXPECT_EQ(q.default_strategy, "race-fast");
+  EXPECT_TRUE(q.record_context);
+  ASSERT_EQ(q.strategies.size(), 3u);
+  EXPECT_EQ(q.strategies[0].racing.min_samples, 7u);
+  EXPECT_DOUBLE_EQ(q.strategies[1].hysteresis.cooldown_s, 120.0);
+  ASSERT_EQ(q.strategies[2].routes.size(), 1u);
+  EXPECT_EQ(q.strategies[2].routes[0].strategy, "race-fast");
+  EXPECT_EQ(q.strategies[2].fallback, "sticky");
+}
+
+TEST(PolicyJson, HoldbackBoundaryIsHalfOpen) {
+  // Held back iff holdback_bucket(uid) < fraction * 10'000.
+  Policy p;
+  const std::string uid = "boundary-user";
+  const std::uint32_t bucket = Policy::holdback_bucket(uid);
+  p.holdback_fraction = double(bucket) / 10'000.0;  // bucket == threshold
+  EXPECT_FALSE(p.in_holdback(uid));                 // strictly-less-than
+  p.holdback_fraction = double(bucket + 1) / 10'000.0;
+  EXPECT_TRUE(p.in_holdback(uid));
+}
+
+// --- Engine construction validation --------------------------------------
+
+TEST(PolicyEngineCtor, RejectsInconsistentTables) {
+  {
+    Policy p;
+    StrategyConfig a;
+    a.name = "dup";
+    p.strategies.push_back(a);
+    p.strategies.push_back(a);
+    EXPECT_THROW(PolicyEngine(p, nullptr), std::invalid_argument);
+  }
+  {
+    Policy p;
+    StrategyConfig s;
+    s.name = "routed";
+    s.kind = StrategyKind::kScoped;
+    s.routes.push_back({*Subnet::parse("10.0.0.0/8"), "no-such"});
+    p.strategies.push_back(s);
+    EXPECT_THROW(PolicyEngine(p, nullptr), std::invalid_argument);
+  }
+  {
+    Policy p;
+    p.default_strategy = "missing";
+    EXPECT_THROW(PolicyEngine(p, nullptr), std::invalid_argument);
+  }
+}
+
+// --- Paper strategy (seed parity at unit level) ---------------------------
+
+TEST(PaperStrategy, ThresholdAndLinearProgression) {
+  Policy p;
+  p.default_min_violations = 2;
+  PolicyEngine eng(p, nullptr);
+  Rule r = two_alt_rule(5);
+  UserProfile u;
+  u.user_id = "u1";
+
+  EXPECT_FALSE(eng.on_rule_violation(r, u, 2.0, 0.0).has_value());
+  EXPECT_EQ(u.pending_violations.at(5), 1);
+  auto c = eng.on_rule_violation(r, u, 2.0, 1.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->alternative_index, 0u);
+  EXPECT_EQ(c->cohort, -1);
+  EXPECT_EQ(u.pending_violations.count(5), 0u);  // consumed on activation
+
+  // Linear: the next activation advances to alternative 1 and saturates.
+  c = eng.on_rule_violation(r, u, 2.0, 2.0);
+  ASSERT_FALSE(c.has_value());  // threshold counts from zero again
+  c = eng.on_rule_violation(r, u, 2.0, 3.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->alternative_index, 1u);
+}
+
+// --- Racing strategy ------------------------------------------------------
+
+class RacingFixture : public ::testing::Test {
+ protected:
+  RacingFixture() {
+    policy_.default_strategy = "racing";
+    StrategyConfig sc;
+    sc.name = "racing";  // shadow the built-in with a tiny threshold
+    sc.kind = StrategyKind::kRacing;
+    sc.racing.min_samples = 2;
+    policy_.strategies.push_back(sc);
+    engine_ = std::make_unique<PolicyEngine>(policy_, nullptr);
+    rule_ = two_alt_rule(7);
+  }
+
+  // Activate the rule for `user` and feed `n` post-activation PLT samples.
+  void race(UserProfile& user, double plt, int n,
+            std::vector<Decision>* events) {
+    auto c = engine_->on_rule_violation(rule_, user, 2.0, 0.0);
+    ASSERT_TRUE(c.has_value());
+    ActiveRule ar;
+    ar.rule_id = rule_.id;
+    ar.alternative_index = c->alternative_index;
+    user.active[rule_.id] = ar;
+    for (int i = 0; i < n; ++i) {
+      engine_->observe_report(user, plt, double(i),
+                              [this](int) { return &rule_; }, events);
+    }
+  }
+
+  Policy policy_;
+  std::unique_ptr<PolicyEngine> engine_;
+  Rule rule_;
+};
+
+TEST_F(RacingFixture, CohortsActivateTheirOwnAlternative) {
+  UserProfile u0, u1;
+  u0.user_id = user_in_cohort(rule_.id, 0);
+  u1.user_id = user_in_cohort(rule_.id, 1);
+
+  auto c0 = engine_->on_rule_violation(rule_, u0, 2.0, 0.0);
+  auto c1 = engine_->on_rule_violation(rule_, u1, 2.0, 0.0);
+  ASSERT_TRUE(c0.has_value());
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ(c0->alternative_index, 0u);
+  EXPECT_EQ(c0->cohort, 0);
+  EXPECT_EQ(c1->alternative_index, 1u);
+  EXPECT_EQ(c1->cohort, 1);
+  // The cohort is remembered in the profile (it persists in snapshots).
+  EXPECT_EQ(u0.race.at(rule_.id).cohort, 0);
+  EXPECT_EQ(u1.race.at(rule_.id).cohort, 1);
+}
+
+TEST_F(RacingFixture, WinnerDeclaredAndUsedForLaterActivations) {
+  UserProfile u0, u1;
+  u0.user_id = user_in_cohort(rule_.id, 0);
+  u1.user_id = user_in_cohort(rule_.id, 1);
+  std::vector<Decision> events;
+  race(u0, /*plt=*/5.0, /*n=*/2, &events);  // cohort 0: slow alternative
+  EXPECT_TRUE(events.empty());              // cohort 1 has no samples yet
+  race(u1, /*plt=*/1.0, /*n=*/2, &events);
+
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, DecisionType::kRaceWinner);
+  EXPECT_EQ(events[0].rule_id, rule_.id);
+  EXPECT_EQ(events[0].alternative_index, 1u);  // the faster cohort
+
+  auto rs = engine_->race_state(rule_.id);
+  ASSERT_TRUE(rs.has_value());
+  EXPECT_TRUE(rs->decided);
+  EXPECT_EQ(rs->winner, 1);
+  EXPECT_LE(rs->mean(1), rs->mean(0));
+
+  // A brand-new cohort-0 user now gets the winner, not their cohort.
+  UserProfile u2;
+  for (int i = 0;; ++i) {
+    std::string cand = "later-" + std::to_string(i);
+    if (PolicyEngine::cohort_of(cand, rule_.id) == 0) {
+      u2.user_id = std::move(cand);
+      break;
+    }
+  }
+  auto c = engine_->on_rule_violation(rule_, u2, 2.0, 50.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->alternative_index, 1u);
+  EXPECT_EQ(c->cohort, -1);  // no longer racing
+}
+
+TEST_F(RacingFixture, AggregatesRebuildFromProfiles) {
+  UserProfile u0, u1;
+  u0.user_id = user_in_cohort(rule_.id, 0);
+  u1.user_id = user_in_cohort(rule_.id, 1);
+  race(u0, 5.0, 2, nullptr);
+  race(u1, 1.0, 2, nullptr);
+  const auto live = engine_->race_state(rule_.id);
+  ASSERT_TRUE(live.has_value());
+  ASSERT_TRUE(live->decided);
+
+  // Import path: reset, fold the profiles, finalize. The rebuilt verdict
+  // must match the live one exactly (determinism contract, DESIGN.md §15).
+  engine_->reset_race_state();
+  EXPECT_FALSE(engine_->race_state(rule_.id).has_value());
+  engine_->fold_profile(u0);
+  engine_->fold_profile(u1);
+  engine_->finalize_races([this](int) { return &rule_; });
+  const auto rebuilt = engine_->race_state(rule_.id);
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(rebuilt->decided, live->decided);
+  EXPECT_EQ(rebuilt->winner, live->winner);
+  EXPECT_EQ(rebuilt->count[0], live->count[0]);
+  EXPECT_EQ(rebuilt->count[1], live->count[1]);
+  EXPECT_DOUBLE_EQ(rebuilt->plt_sum[0], live->plt_sum[0]);
+  EXPECT_DOUBLE_EQ(rebuilt->plt_sum[1], live->plt_sum[1]);
+}
+
+// --- Hysteresis strategy --------------------------------------------------
+
+class HysteresisFixture : public ::testing::Test {
+ protected:
+  HysteresisFixture() {
+    policy_.default_strategy = "hysteresis";
+    StrategyConfig sc;
+    sc.name = "hysteresis";
+    sc.kind = StrategyKind::kHysteresis;
+    sc.hysteresis.cooldown_s = 100.0;
+    sc.hysteresis.keep_margin = 1.5;
+    policy_.strategies.push_back(sc);
+    engine_ = std::make_unique<PolicyEngine>(policy_, nullptr);
+    rule_ = two_alt_rule(9);
+  }
+
+  Policy policy_;
+  std::unique_ptr<PolicyEngine> engine_;
+  Rule rule_;
+};
+
+TEST_F(HysteresisFixture, KeepMarginToleratesModeratelyWorseAlternative) {
+  UserProfile u;
+  u.user_id = "u1";
+  ActiveRule ar;
+  ar.rule_id = rule_.id;
+  ar.violation_distance = 2.0;
+
+  // Seed min-distance would advance at alt_distance >= 2.0; the margin
+  // keeps the alternative until 1.5 x 2.0 = 3.0.
+  EXPECT_EQ(engine_->on_alternative_violation(rule_, u, ar, 2.5,
+                                              HistoryMode::kMinDistance),
+            HistoryAction::kKeep);
+  EXPECT_EQ(engine_->on_alternative_violation(rule_, u, ar, 3.5,
+                                              HistoryMode::kMinDistance),
+            HistoryAction::kAdvance);
+}
+
+TEST_F(HysteresisFixture, CooldownSuppressesReactivation) {
+  UserProfile u;
+  u.user_id = "u1";
+  // First activation fires normally (min_violations defaults to 1).
+  ASSERT_TRUE(engine_->on_rule_violation(rule_, u, 2.0, 0.0).has_value());
+
+  // A deactivation at t=10 arms the cooldown until t=110.
+  engine_->on_deactivated(rule_, u, 10.0);
+  EXPECT_DOUBLE_EQ(u.cooldown_until.at(rule_.id), 110.0);
+
+  // Violations inside the window are suppressed and not counted.
+  EXPECT_FALSE(engine_->on_rule_violation(rule_, u, 2.0, 50.0).has_value());
+  EXPECT_EQ(u.pending_violations.count(rule_.id), 0u);
+
+  // After the window the rule re-arms (and the stale entry is dropped).
+  EXPECT_TRUE(engine_->on_rule_violation(rule_, u, 2.0, 120.0).has_value());
+  EXPECT_EQ(u.cooldown_until.count(rule_.id), 0u);
+}
+
+// --- Scoped strategy ------------------------------------------------------
+
+TEST(ScopedStrategy, RoutesBySubnetWithFallback) {
+  Policy p;
+  StrategyConfig scoped;
+  scoped.name = "by-net";
+  scoped.kind = StrategyKind::kScoped;
+  scoped.routes.push_back({*Subnet::parse("10.0.0.0/8"), "racing"});
+  scoped.fallback = "paper";
+  p.strategies.push_back(scoped);
+  p.default_strategy = "by-net";
+  PolicyEngine eng(p, nullptr);
+  Rule r = two_alt_rule(3);
+
+  // Inside the subnet: racing semantics (cohort recorded on activation).
+  UserProfile inside;
+  inside.user_id = user_in_cohort(r.id, 1);
+  inside.client_ip = "10.1.2.3";
+  auto ci = eng.on_rule_violation(r, inside, 2.0, 0.0);
+  ASSERT_TRUE(ci.has_value());
+  EXPECT_EQ(ci->cohort, 1);
+  EXPECT_EQ(ci->alternative_index, 1u);
+
+  // Outside: the paper fallback (no cohort, linear selection).
+  UserProfile outside;
+  outside.user_id = inside.user_id;
+  outside.client_ip = "192.168.0.1";
+  auto co = eng.on_rule_violation(r, outside, 2.0, 0.0);
+  ASSERT_TRUE(co.has_value());
+  EXPECT_EQ(co->cohort, -1);
+  EXPECT_EQ(co->alternative_index, 0u);
+}
+
+// --- Rule-file / admin wiring --------------------------------------------
+
+TEST(RulePolicyField, UnknownStrategyRejectedByAddRule) {
+  page::WebUniverse universe(net::NetworkConfig{.seed = 5, .horizon_s = 0});
+  net::Network& net = universe.network();
+  const net::ServerId origin = net.add_server(net::ServerConfig{});
+  universe.dns().bind("site.test", net.server(origin).addr());
+  OakServer oak(universe, "site.test", OakConfig{});
+
+  Rule bad = make_domain_rule("r", "slow.net", {"alt.net"});
+  bad.policy = "no-such-strategy";
+  EXPECT_THROW(oak.add_rule(bad), std::invalid_argument);
+
+  Rule good = make_domain_rule("r", "slow.net", {"alt.net"});
+  good.policy = "racing";  // built-in
+  EXPECT_NO_THROW(oak.add_rule(good));
+}
+
+}  // namespace
+}  // namespace oak::core

@@ -1,0 +1,240 @@
+// PolicyReplayer: fidelity against the live decision stream, determinism,
+// scoring sanity, and racing-cohort stability across export/import.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oak_server.h"
+#include "core/policy_replay.h"
+
+namespace oak::core {
+namespace {
+
+// Synthetic-report scaffolding in the core_oak_server_test.cc mold: origin
+// plus three external hosts, one rule switching ext0 to alt.cdn.net, and
+// context recording on.
+class ReplayFixture : public ::testing::Test {
+ protected:
+  ReplayFixture()
+      : universe_(net::NetworkConfig{.seed = 11, .horizon_s = 0}) {
+    net::Network& net = universe_.network();
+    origin_ = net.add_server(net::ServerConfig{.name = "origin"});
+    universe_.dns().bind("shop.com", net.server(origin_).addr());
+    for (int i = 0; i < 3; ++i) {
+      net::ServerId sid = net.add_server(net::ServerConfig{});
+      const std::string host = "ext" + std::to_string(i) + ".cdn.net";
+      universe_.dns().bind(host, net.server(sid).addr());
+      ext_hosts_.push_back(host);
+      ext_ips_.push_back(net.server(sid).addr().to_string());
+    }
+    net::ServerId alt = net.add_server(net::ServerConfig{});
+    universe_.dns().bind("alt.cdn.net", net.server(alt).addr());
+    alt_ip_ = net.server(alt).addr().to_string();
+    net::ServerId alt2 = net.add_server(net::ServerConfig{});
+    universe_.dns().bind("alt2.cdn.net", net.server(alt2).addr());
+
+    page::SiteBuilder b(universe_, "shop.com", origin_);
+    for (const auto& h : ext_hosts_) {
+      b.add_direct(h, "/obj.png", html::RefKind::kImage, 10'000,
+                   page::Category::kCdn);
+    }
+    site_ = b.finish();
+    universe_.store().replicate("http://" + ext_hosts_[0] + "/obj.png",
+                                "http://alt.cdn.net/obj.png");
+    universe_.store().replicate("http://" + ext_hosts_[0] + "/obj.png",
+                                "http://alt2.cdn.net/obj.png");
+  }
+
+  std::unique_ptr<OakServer> make_server(Policy policy) {
+    OakConfig cfg;
+    cfg.detector.min_population = 4;
+    cfg.policy = std::move(policy);
+    cfg.policy.record_context = true;
+    auto oak = std::make_unique<OakServer>(universe_, "shop.com", cfg);
+    // Two alternatives so the racing strategy actually races (it falls
+    // back to seed selection on degenerate single-alternative rules).
+    oak->add_rule(make_domain_rule("switch-ext0", ext_hosts_[0],
+                                   {"alt.cdn.net", "alt2.cdn.net"}));
+    oak->install();
+    return oak;
+  }
+
+  browser::PerfReport make_report(const std::string& slow_host,
+                                  const std::string& user,
+                                  double slow_time = 3.0,
+                                  double plt_s = 1.0) {
+    browser::PerfReport r;
+    r.user_id = user;
+    r.page_url = site_.index_url();
+    r.plt_s = plt_s;
+    r.entries.push_back(
+        {site_.index_url(), "shop.com", "10.0.0.1", 5000, 0, 0.09});
+    for (std::size_t i = 0; i < ext_hosts_.size(); ++i) {
+      const bool slow = ext_hosts_[i] == slow_host;
+      r.entries.push_back({"http://" + ext_hosts_[i] + "/obj.png",
+                           ext_hosts_[i], ext_ips_[i], 10'000, 0.1,
+                           slow ? slow_time : 0.10 + 0.01 * double(i)});
+    }
+    if (slow_host == "alt.cdn.net") {
+      r.entries.push_back({"http://alt.cdn.net/obj.png", "alt.cdn.net",
+                           alt_ip_, 10'000, 0.1, slow_time});
+    }
+    return r;
+  }
+
+  // A deterministic mixed workload: per user, a violating report (ext0
+  // slow), a healthy report, an alternative-violating report (alt slow),
+  // then another ext0 violation — exercising activate, keep/deactivate and
+  // re-activation paths.
+  void drive(OakServer& oak) {
+    const char* users[] = {"u-a", "u-b", "u-c"};
+    double t = 0.0;
+    for (const char* u : users) {
+      oak.analyze(u, make_report(ext_hosts_[0], u, 3.0, 2.5), t);
+      t += 10.0;
+      oak.analyze(u, make_report("", u, 0.0, 0.8), t);
+      t += 10.0;
+      oak.analyze(u, make_report("alt.cdn.net", u, 4.0, 3.0), t);
+      t += 10.0;
+      oak.analyze(u, make_report(ext_hosts_[0], u, 3.5, 2.8), t);
+      t += 10.0;
+    }
+  }
+
+  static std::vector<Decision> minus_serve(const DecisionLog& log) {
+    std::vector<Decision> out;
+    for (const auto& d : log.entries()) {
+      if (d.type != DecisionType::kServeModified) out.push_back(d);
+    }
+    return out;
+  }
+
+  static std::string dump_decisions(const std::vector<Decision>& ds) {
+    util::JsonArray a;
+    for (const auto& d : ds) a.push_back(decision_to_json(d));
+    return util::Json(std::move(a)).dump();
+  }
+
+  page::WebUniverse universe_;
+  net::ServerId origin_ = net::kInvalidServer;
+  std::vector<std::string> ext_hosts_;
+  std::vector<std::string> ext_ips_;
+  std::string alt_ip_;
+  page::Site site_;
+};
+
+TEST_F(ReplayFixture, ReproducesLiveDecisionStream) {
+  auto oak = make_server(Policy{});
+  drive(*oak);
+  const auto& contexts = oak->decision_log().contexts();
+  ASSERT_FALSE(contexts.empty());
+  const auto live = minus_serve(oak->decision_log());
+  ASSERT_FALSE(live.empty());
+
+  PolicyReplayer replayer(oak->rules(), oak->config().policy,
+                          oak->config().history);
+  for (const auto& c : contexts) replayer.step(c);
+  EXPECT_EQ(dump_decisions(replayer.log().entries()), dump_decisions(live));
+}
+
+TEST_F(ReplayFixture, ReproducesLiveStreamUnderRacing) {
+  Policy p;
+  p.default_strategy = "racing";
+  auto oak = make_server(p);
+  drive(*oak);
+  const auto live = minus_serve(oak->decision_log());
+
+  PolicyReplayer replayer(oak->rules(), oak->config().policy,
+                          oak->config().history);
+  for (const auto& c : oak->decision_log().contexts()) replayer.step(c);
+  EXPECT_EQ(dump_decisions(replayer.log().entries()), dump_decisions(live));
+}
+
+TEST_F(ReplayFixture, ReplayIsDeterministic) {
+  auto oak = make_server(Policy{});
+  drive(*oak);
+  const auto& contexts = oak->decision_log().contexts();
+
+  PolicyReplayer a(oak->rules(), oak->config().policy,
+                   oak->config().history);
+  PolicyReplayer b(oak->rules(), oak->config().policy,
+                   oak->config().history);
+  for (const auto& c : contexts) {
+    a.step(c);
+    b.step(c);
+  }
+  EXPECT_EQ(a.result_json().dump(), b.result_json().dump());
+}
+
+TEST_F(ReplayFixture, ScoreCountsViolationsAndMitigations) {
+  auto oak = make_server(Policy{});
+  drive(*oak);
+  const auto& contexts = oak->decision_log().contexts();
+
+  PolicyReplayer replayer(oak->rules(), oak->config().policy,
+                          oak->config().history);
+  for (const auto& c : contexts) replayer.step(c);
+  const ReplayScore s = replayer.score();
+  EXPECT_EQ(s.reports, contexts.size());  // no serve ticks in analyze()
+  EXPECT_GT(s.violation_reports, 0u);
+  EXPECT_EQ(s.violation_reports, s.mitigated_reports + s.unmitigated_reports);
+  EXPECT_GT(s.activations, 0u);
+  EXPECT_GT(s.observed_mean_plt_s, 0.0);
+  EXPECT_GT(s.estimated_mean_plt_s, 0.0);
+  EXPECT_EQ(s.to_json().at("reports").as_int(),
+            std::int64_t(contexts.size()));
+}
+
+TEST_F(ReplayFixture, RejectsUnknownRuleStrategy) {
+  auto oak = make_server(Policy{});
+  std::vector<Rule> rules = oak->rules();
+  rules[0].policy = "not-a-strategy";
+  EXPECT_THROW(PolicyReplayer(rules, oak->config().policy,
+                              oak->config().history),
+               std::invalid_argument);
+}
+
+// Racing cohorts and accumulators survive an export/import round-trip:
+// the re-imported server reports identical race state and re-exports
+// byte-identically (the satellite determinism check for derived state).
+TEST_F(ReplayFixture, RaceStateSurvivesExportImport) {
+  Policy p;
+  p.default_strategy = "racing";
+  auto oak = make_server(p);
+  drive(*oak);
+  const int rule_id = oak->rules()[0].id;
+  const auto live = oak->policy_engine().race_state(rule_id);
+  ASSERT_TRUE(live.has_value());
+  ASSERT_GT(live->count[0] + live->count[1], 0u);
+
+  const util::Json snapshot = oak->export_state();
+  auto other = make_server(p);
+  other->import_state(snapshot);
+
+  const auto imported = other->policy_engine().race_state(rule_id);
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_EQ(imported->decided, live->decided);
+  EXPECT_EQ(imported->winner, live->winner);
+  EXPECT_EQ(imported->count[0], live->count[0]);
+  EXPECT_EQ(imported->count[1], live->count[1]);
+  EXPECT_DOUBLE_EQ(imported->plt_sum[0], live->plt_sum[0]);
+  EXPECT_DOUBLE_EQ(imported->plt_sum[1], live->plt_sum[1]);
+  EXPECT_EQ(other->export_state().dump(), snapshot.dump());
+
+  // Cohort assignment is a pure hash: identical on both sides, per user.
+  const UserProfile* before = oak->profile("u-a");
+  const UserProfile* after = other->profile("u-a");
+  ASSERT_NE(before, nullptr);
+  ASSERT_NE(after, nullptr);
+  const RaceStat* rb = before->race.at_ptr(rule_id);
+  const RaceStat* ra = after->race.at_ptr(rule_id);
+  ASSERT_NE(rb, nullptr);
+  ASSERT_NE(ra, nullptr);
+  EXPECT_EQ(ra->cohort, rb->cohort);
+  EXPECT_EQ(ra->cohort, PolicyEngine::cohort_of("u-a", rule_id));
+}
+
+}  // namespace
+}  // namespace oak::core

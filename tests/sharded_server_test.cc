@@ -48,6 +48,9 @@ class ShardedFixture : public ::testing::Test {
     universe_.store().replicate("http://x0.net/o.js", "http://alt.net/o.js");
 
     cfg_.detector.min_population = 4;
+    // Contexts ride the merged log too (policy replay over a sharded
+    // deployment) — recording them must not perturb decisions.
+    cfg_.policy.record_context = true;
   }
 
   std::vector<Rule> rules() const {
@@ -156,9 +159,15 @@ TEST_F(ShardedFixture, StressMatchesSingleThreadedReplay) {
     }
   }
 
-  // Decision totals match the replay type-for-type.
+  // Decision totals match the replay type-for-type, and the replay
+  // contexts merge alongside them in one global time order.
   const DecisionLog merged = sharded.merged_decision_log();
   EXPECT_EQ(merged.size(), replay.decision_log().size());
+  EXPECT_EQ(merged.contexts().size(), replay.decision_log().contexts().size());
+  EXPECT_FALSE(merged.contexts().empty());
+  for (std::size_t i = 1; i < merged.contexts().size(); ++i) {
+    EXPECT_LE(merged.contexts()[i - 1].time, merged.contexts()[i].time);
+  }
   for (DecisionType type :
        {DecisionType::kActivate, DecisionType::kDeactivate,
         DecisionType::kAdvanceAlternative, DecisionType::kKeepAlternative,

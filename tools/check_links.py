@@ -4,8 +4,12 @@
 Scans README.md, DESIGN.md and docs/*.md for markdown links and images.
 External links (http/https/mailto) are out of scope — this catches the
 common failure mode where a doc is renamed or moved and a relative link
-quietly rots. Anchors are stripped before the existence check; a bare
-"#section" link is accepted as-is.
+quietly rots.
+
+Anchors into other markdown files ("FILE.md#section") are resolved against
+GitHub-style heading slugs of the target file, so a renamed section breaks
+CI the same way a renamed file does. Bare "#section" links are checked
+against the containing file's own headings.
 
 Additionally, every top-level *.md (plus docs/*.md) is scanned for
 references to BENCH_*.json artifacts: docs routinely cite bench results
@@ -31,7 +35,21 @@ REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
 # BENCH artifacts live in the repo root by convention.
 BENCH_REF = re.compile(r"\bBENCH_[A-Za-z0-9_]+\.json\b")
 
-SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+# GitHub's slugger: lowercase, drop everything but word chars / spaces /
+# hyphens (after stripping inline-code backticks), spaces to hyphens.
+SLUG_DROP = re.compile(r"[^\w\- ]")
+
+
+def slugs_of(path: pathlib.Path):
+    slugs = set()
+    for match in HEADING.finditer(path.read_text(encoding="utf-8")):
+        title = match.group(1).replace("`", "")
+        slug = SLUG_DROP.sub("", title.lower()).strip().replace(" ", "-")
+        slugs.add(slug)
+    return slugs
 
 
 def doc_files(root: pathlib.Path):
@@ -62,17 +80,22 @@ def targets_in(text: str):
 
 def check(root: pathlib.Path) -> int:
     broken = []
+    slug_cache = {}
     for doc in doc_files(root):
         text = doc.read_text(encoding="utf-8")
         for target in targets_in(text):
             if target.startswith(SKIP_PREFIXES):
                 continue
-            rel = target.split("#", 1)[0]
-            if not rel:
-                continue
-            resolved = (doc.parent / rel).resolve()
+            rel, _, anchor = target.partition("#")
+            resolved = (doc.parent / rel).resolve() if rel else doc
             if not resolved.exists():
                 broken.append((doc.relative_to(root), target))
+                continue
+            if anchor and resolved.suffix == ".md":
+                if resolved not in slug_cache:
+                    slug_cache[resolved] = slugs_of(resolved)
+                if anchor not in slug_cache[resolved]:
+                    broken.append((doc.relative_to(root), target))
     for doc, target in broken:
         print(f"BROKEN  {doc}: {target}")
 

@@ -1,0 +1,301 @@
+// policy_replay: the operator's decision-replay driver (docs/POLICIES.md).
+//
+// Three modes, all deterministic:
+//
+//   record   Drive a seeded ChaosScenario with context recording on and
+//            write a self-contained replay bundle: the rule file text, the
+//            recording policy, the history mode and the decision log
+//            (decisions + per-report contexts).
+//   replay   Re-decide a recorded bundle under a candidate policy and
+//            write {"score": ..., "decisions": [...]}. Two invocations
+//            over the same bundle are byte-identical (CI asserts this).
+//   compare  Replay the bundle under several candidate policies and print
+//            a score table side by side.
+//
+// Candidate policies are named strategies ("paper", "racing",
+// "hysteresis", or any operator strategy in the bundle's table) — applied
+// as the default strategy for every rule — or "@file.json", a full Policy
+// document as produced by core::policy_to_json.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "browser/browser.h"
+#include "core/decision_log.h"
+#include "core/policy.h"
+#include "core/policy_replay.h"
+#include "core/rule_parser.h"
+#include "util/json.h"
+#include "workload/chaos.h"
+#include "workload/vantage.h"
+
+namespace {
+
+using namespace oak;
+
+constexpr int kBundleVersion = 1;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  policy_replay record [--scenario NAME] [--seed N] [--policy P]\n"
+      "                       [--horizon-s S] --out FILE\n"
+      "      scenarios: outage-refused (default), outage-stall,\n"
+      "                 outage-truncate, racing\n"
+      "  policy_replay replay --log FILE [--policy P] [--out FILE]\n"
+      "  policy_replay compare --log FILE --policy P [--policy P ...]\n"
+      "\n"
+      "  P is a strategy name (paper|racing|hysteresis|<operator name>),\n"
+      "  applied as the default strategy for every rule, or @policy.json\n"
+      "  (a full core::policy_to_json document).\n");
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "policy_replay: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "policy_replay: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << text;
+}
+
+struct Args {
+  std::string mode;
+  std::string scenario = "outage-refused";
+  std::uint64_t seed = 23;
+  double horizon_s = 0.0;  // 0 = scenario default
+  std::string log_path;
+  std::string out_path;
+  std::vector<std::string> policies;
+};
+
+Args parse_args(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args a;
+  a.mode = argv[1];
+  if (a.mode != "record" && a.mode != "replay" && a.mode != "compare")
+    usage();
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (flag == "--scenario") {
+      a.scenario = value();
+    } else if (flag == "--seed") {
+      a.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--horizon-s") {
+      a.horizon_s = std::strtod(value().c_str(), nullptr);
+    } else if (flag == "--log") {
+      a.log_path = value();
+    } else if (flag == "--out") {
+      a.out_path = value();
+    } else if (flag == "--policy") {
+      a.policies.push_back(value());
+    } else {
+      usage();
+    }
+  }
+  return a;
+}
+
+// --- record ---------------------------------------------------------------
+
+core::Policy recording_policy(const std::string& spec) {
+  core::Policy p;
+  if (!spec.empty()) {
+    if (spec[0] == '@') {
+      p = core::policy_from_json(util::Json::parse(read_file(spec.substr(1))));
+    } else {
+      p.default_strategy = spec;
+    }
+  }
+  p.record_context = true;
+  return p;
+}
+
+int run_record(const Args& args) {
+  workload::ChaosScenario::Options opt;
+  opt.seed = args.seed;
+  if (args.scenario == "outage-refused") {
+    opt.fault = net::FaultType::kConnectRefused;
+  } else if (args.scenario == "outage-stall") {
+    opt.fault = net::FaultType::kStall;
+  } else if (args.scenario == "outage-truncate") {
+    opt.fault = net::FaultType::kTruncate;
+  } else if (args.scenario == "racing") {
+    opt.fault = net::FaultType::kConnectRefused;
+    opt.racing_mirrors = true;
+  } else {
+    std::fprintf(stderr, "policy_replay: unknown scenario '%s'\n",
+                 args.scenario.c_str());
+    return 2;
+  }
+  opt.policy = recording_policy(args.policies.empty() ? std::string()
+                                                      : args.policies[0]);
+  if (args.out_path.empty()) usage();
+
+  workload::ChaosScenario scenario(opt);
+  auto vps = workload::make_vantage_points(scenario.universe().network(), 8);
+  browser::BrowserConfig bc;
+  bc.use_cache = false;
+  bc.fetch_timeout_s = 5.0;
+  std::vector<std::unique_ptr<browser::Browser>> fleet;
+  for (const auto& vp : vps) {
+    fleet.push_back(std::make_unique<browser::Browser>(scenario.universe(),
+                                                       vp.client, bc));
+  }
+
+  const double horizon = args.horizon_s > 0.0
+                             ? args.horizon_s
+                             : opt.onset_s + opt.duration_s + 1800.0;
+  constexpr double kInterval = 300.0;
+  for (double t = 0.0; t < horizon; t += kInterval) {
+    for (auto& b : fleet) b->load(scenario.oak_site_url(), t);
+  }
+
+  util::JsonObject bundle;
+  bundle["version"] = std::int64_t(kBundleVersion);
+  bundle["scenario"] = args.scenario;
+  bundle["seed"] = std::int64_t(args.seed);
+  bundle["history"] =
+      std::int64_t(static_cast<int>(scenario.oak().config().history));
+  bundle["rules"] = core::format_rules(scenario.oak().rules());
+  // The rule file format carries no ids (the server assigns them), but the
+  // contexts reference rules BY id — record them, parallel to parse order.
+  util::JsonArray rule_ids;
+  for (const auto& r : scenario.oak().rules()) rule_ids.push_back(r.id);
+  bundle["rule_ids"] = std::move(rule_ids);
+  bundle["policy"] = core::policy_to_json(scenario.oak().config().policy);
+  bundle["log"] = scenario.oak().decision_log().to_json();
+
+  const auto& log = scenario.oak().decision_log();
+  write_file(args.out_path,
+             util::Json(std::move(bundle)).dump_pretty(2) + "\n");
+  std::printf("recorded %s: %zu decisions, %zu contexts -> %s\n",
+              args.scenario.c_str(), log.entries().size(),
+              log.contexts().size(), args.out_path.c_str());
+  return 0;
+}
+
+// --- replay / compare -----------------------------------------------------
+
+struct Bundle {
+  std::vector<core::Rule> rules;
+  core::Policy policy;  // the policy that recorded the log
+  core::HistoryMode history = core::HistoryMode::kMinDistance;
+  core::DecisionLog log;
+};
+
+Bundle load_bundle(const std::string& path) {
+  const util::Json doc = util::Json::parse(read_file(path));
+  if (const util::Json* v = doc.find("version");
+      !v || v->as_int() != kBundleVersion) {
+    std::fprintf(stderr, "policy_replay: %s: unsupported bundle version\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  Bundle b;
+  b.rules = core::parse_rules(doc.at("rules").as_string());
+  const auto& ids = doc.at("rule_ids").as_array();
+  if (ids.size() != b.rules.size()) {
+    std::fprintf(stderr, "policy_replay: %s: rule_ids/rules mismatch\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  for (std::size_t i = 0; i < b.rules.size(); ++i) {
+    b.rules[i].id = static_cast<int>(ids[i].as_int());
+  }
+  b.policy = core::policy_from_json(doc.at("policy"));
+  b.history = static_cast<core::HistoryMode>(doc.at("history").as_int());
+  b.log = core::DecisionLog::from_json(doc.at("log"));
+  return b;
+}
+
+// Resolve a candidate spec against the bundle: a name swaps the default
+// strategy (clearing per-rule overrides so the candidate governs every
+// rule); "@file" replaces the whole policy document.
+core::Policy candidate_policy(const Bundle& bundle, const std::string& spec,
+                              std::vector<core::Rule>* rules) {
+  core::Policy p = bundle.policy;
+  if (!spec.empty() && spec[0] == '@') {
+    p = core::policy_from_json(util::Json::parse(read_file(spec.substr(1))));
+  } else if (!spec.empty()) {
+    p.default_strategy = spec;
+    for (auto& r : *rules) r.policy.clear();
+  }
+  p.record_context = false;
+  return p;
+}
+
+int run_replay(const Args& args) {
+  if (args.log_path.empty()) usage();
+  Bundle bundle = load_bundle(args.log_path);
+  std::vector<core::Rule> rules = bundle.rules;
+  const std::string spec = args.policies.empty() ? "" : args.policies[0];
+  const core::Policy policy = candidate_policy(bundle, spec, &rules);
+
+  core::PolicyReplayer replayer(rules, policy, bundle.history);
+  for (const auto& ctx : bundle.log.contexts()) replayer.step(ctx);
+
+  const std::string out = replayer.result_json().dump_pretty(2) + "\n";
+  if (args.out_path.empty()) {
+    std::fputs(out.c_str(), stdout);
+  } else {
+    write_file(args.out_path, out);
+    const core::ReplayScore s = replayer.score();
+    std::printf("replayed %zu contexts under '%s': %zu activations, "
+                "observed %.3fs est %.3fs -> %s\n",
+                s.reports + s.serve_ticks,
+                spec.empty() ? "(recorded)" : spec.c_str(), s.activations,
+                s.observed_mean_plt_s, s.estimated_mean_plt_s,
+                args.out_path.c_str());
+  }
+  return 0;
+}
+
+int run_compare(const Args& args) {
+  if (args.log_path.empty() || args.policies.empty()) usage();
+  Bundle bundle = load_bundle(args.log_path);
+  std::printf("%-14s %9s %9s %9s %9s %12s %12s\n", "policy", "reports",
+              "mitig.", "activ.", "deact.", "observed-plt", "est-plt");
+  for (const std::string& spec : args.policies) {
+    std::vector<core::Rule> rules = bundle.rules;
+    const core::Policy policy = candidate_policy(bundle, spec, &rules);
+    core::PolicyReplayer replayer(rules, policy, bundle.history);
+    for (const auto& ctx : bundle.log.contexts()) replayer.step(ctx);
+    const core::ReplayScore s = replayer.score();
+    std::printf("%-14s %9zu %9zu %9zu %9zu %11.3fs %11.3fs\n", spec.c_str(),
+                s.reports, s.mitigated_reports, s.activations,
+                s.deactivations, s.observed_mean_plt_s,
+                s.estimated_mean_plt_s);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.mode == "record") return run_record(args);
+  if (args.mode == "replay") return run_replay(args);
+  return run_compare(args);
+}
